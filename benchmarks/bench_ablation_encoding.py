@@ -1,0 +1,77 @@
+"""Ablations of our feature-encoding design choices (DESIGN.md §6).
+
+1. **List-field positional encoding vs dropping list fields**: Table 2
+   encodes cipher_suites/extension lists as order-preserving positional
+   vectors (high cost). Removing the ten list attributes measures what
+   that design choice buys.
+2. **GREASE folding on vs off**: the extractor folds RFC 8701 GREASE
+   randomness into one symbol before encoding. Without folding, every
+   Chromium flow carries fresh random code points that inflate codebooks
+   and inject noise into exactly the highest-importance attributes.
+"""
+
+import numpy as np
+from conftest import BENCH_FOLDS, BENCH_TREES, emit
+
+from repro.features import ATTRIBUTES, AttributeKind, extract_flow_attributes
+from repro.features.encode import AttributeEncoder
+from repro.fingerprints import Provider, Transport
+from repro.ml import RandomForestClassifier, cross_val_score
+from repro.pipeline import scenario_data
+from repro.util import format_table
+
+
+def _cv(X, labels):
+    scores = cross_val_score(
+        lambda: RandomForestClassifier(
+            n_estimators=BENCH_TREES, max_depth=20,
+            max_features=min(34, X.shape[1]), random_state=0),
+        X, labels, n_splits=BENCH_FOLDS)
+    return float(np.mean(scores))
+
+
+def _evaluate(lab_dataset):
+    data = scenario_data(lab_dataset, Provider.YOUTUBE, Transport.QUIC)
+    subset = lab_dataset.subset(provider=Provider.YOUTUBE,
+                                transport=Transport.QUIC)
+    raw_samples = []
+    for flow in subset:
+        values, _ = extract_flow_attributes(flow.packets,
+                                            fold_grease=False)
+        raw_samples.append(values)
+
+    results = {}
+    # Full encoder (the deployed configuration).
+    _, X_full = data.encode()
+    results["full (positional lists, GREASE folded)"] = _cv(
+        X_full, data.platform_labels)
+
+    # Drop every list attribute.
+    non_list = [spec.name for spec in ATTRIBUTES
+                if spec.kind is not AttributeKind.LIST
+                and Transport.QUIC in spec.transports]
+    _, X_nolist = data.encode(attribute_names=non_list)
+    results["no list attributes"] = _cv(X_nolist, data.platform_labels)
+
+    # GREASE left raw.
+    encoder = AttributeEncoder(Transport.QUIC)
+    X_raw = encoder.fit_transform(raw_samples)
+    results["GREASE not folded"] = _cv(X_raw, data.platform_labels)
+    return results
+
+
+def test_ablation_encoding_choices(benchmark, lab_dataset):
+    results = benchmark.pedantic(lambda: _evaluate(lab_dataset),
+                                 iterations=1, rounds=1)
+    rows = [(name, f"{acc:.3f}") for name, acc in results.items()]
+    emit("ablation_encoding", format_table(
+        ("encoder variant", "YT QUIC platform accuracy"), rows,
+        title="Ablation — feature encoding design choices"))
+
+    full = results["full (positional lists, GREASE folded)"]
+    # Dropping list attributes costs accuracy: the order-preserving
+    # vectors carry real platform signal.
+    assert results["no list attributes"] <= full + 0.005
+    # Unfolded GREASE must not *help* (it is pure per-session noise);
+    # the forest mostly routes around it, so the gap is small.
+    assert results["GREASE not folded"] <= full + 0.01

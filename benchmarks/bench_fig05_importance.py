@@ -1,0 +1,104 @@
+"""Fig 5 — attribute importance (normalized information gain) for
+YouTube flows over QUIC (a) and TCP (b), for the three classification
+objectives, annotated with preprocessing cost tiers.
+"""
+
+from conftest import emit
+
+from repro.features import (
+    HIGH_THRESHOLD,
+    extract_flow_attributes,
+    importance_by_objective,
+)
+from repro.fingerprints import Provider, Transport
+from repro.pipeline import split_platform_label
+from repro.util import format_table
+
+# §4.2.2: attributes with high importance for all three objectives on
+# YouTube QUIC.
+PAPER_HIGH_ALL_THREE = {
+    "init_packet_size", "handshake_length", "cipher_suites",
+    "tls_extensions", "status_request", "supported_groups",
+    "signature_algorithms", "signed_certificate_timestamp",
+    "compress_certificate", "supported_versions", "key_share",
+    "max_idle_timeout", "initial_max_data",
+    "initial_max_stream_data_bidi_local", "active_connection_id_limit",
+    "google_connection_options", "version_information",
+}
+
+
+def _importances(lab_dataset, transport):
+    subset = lab_dataset.subset(provider=Provider.YOUTUBE,
+                                transport=transport)
+    samples, platforms = [], []
+    for flow in subset:
+        values, _ = extract_flow_attributes(flow.packets)
+        samples.append(values)
+        platforms.append(flow.platform_label)
+    devices = [split_platform_label(p)[0] for p in platforms]
+    agents = [split_platform_label(p)[1] for p in platforms]
+    return importance_by_objective(samples, platforms, devices, agents,
+                                   transport)
+
+
+def test_fig05a_importance_youtube_quic(benchmark, lab_dataset):
+    by_objective = benchmark.pedantic(
+        lambda: _importances(lab_dataset, Transport.QUIC),
+        iterations=1, rounds=1)
+    rows = []
+    high_all = set()
+    platform_rank = {imp.spec.name: imp
+                     for imp in by_objective["user_platform"]}
+    for imp in by_objective["user_platform"]:
+        name = imp.spec.name
+        scores = {
+            objective: next(x.score for x in items
+                            if x.spec.name == name)
+            for objective, items in by_objective.items()
+        }
+        if all(score > HIGH_THRESHOLD for score in scores.values()):
+            high_all.add(name)
+        rows.append((imp.spec.label, name, imp.spec.cost.value,
+                     f"{scores['user_platform']:.2f}",
+                     f"{scores['device_type']:.2f}",
+                     f"{scores['software_agent']:.2f}",
+                     platform_rank[name].tier))
+    emit("fig05a_importance_quic", format_table(
+        ("label", "attribute", "cost", "platform IG", "device IG",
+         "agent IG", "tier"),
+        rows, title="Fig 5(a) — attribute importance, YouTube QUIC"))
+
+    overlap = high_all & PAPER_HIGH_ALL_THREE
+    # The paper finds 17 attributes high for all three objectives; our
+    # synthetic value distributions produce a comparable-sized set with
+    # substantial overlap (the per-objective split differs where our
+    # in-class diversity is lower than the real capture's).
+    assert len(high_all) >= 10, sorted(high_all)
+    assert len(overlap) >= 6, sorted(overlap)
+    # ttl must matter for device type far more than a GREASE-noised list.
+    device = {i.spec.name: i.score for i in by_objective["device_type"]}
+    assert device["ttl"] > 0.15
+
+
+def test_fig05b_importance_youtube_tcp(benchmark, lab_dataset):
+    by_objective = benchmark.pedantic(
+        lambda: _importances(lab_dataset, Transport.TCP),
+        iterations=1, rounds=1)
+    platform = {i.spec.name: i for i in by_objective["user_platform"]}
+    rows = [(imp.spec.label, name, imp.spec.cost.value,
+             f"{imp.score:.2f}", imp.tier)
+            for name, imp in platform.items()]
+    emit("fig05b_importance_tcp", format_table(
+        ("label", "attribute", "cost", "platform IG", "tier"),
+        rows, title="Fig 5(b) — attribute importance, YouTube TCP"))
+
+    # Paper: o15 (session_ticket) has near-zero importance for QUIC but
+    # over 0.1 for TCP (§4.2.2's transport-dependence example).
+    quic = {i.spec.name: i.score
+            for i in _importances(lab_dataset,
+                                  Transport.QUIC)["user_platform"]}
+    assert platform["session_ticket"].score > quic["session_ticket"]
+    # TCP-only stack attributes carry device signal.
+    device = {i.spec.name: i.score for i in by_objective["device_type"]}
+    assert device["tcp_window_size"] > 0.1
+    assert device["ttl"] > 0.15

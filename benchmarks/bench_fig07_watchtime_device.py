@@ -1,0 +1,46 @@
+"""Fig 7 — watch time per device type across the four providers, from
+the campus deployment simulation run through the real pipeline.
+
+Reproduction targets: YouTube dominates total engagement; subscription
+services are watched mostly on PCs; YouTube's mobile share is the
+largest of the four (paper: up to 40%).
+"""
+
+from conftest import emit
+
+from repro.analysis import mobile_share, watch_time_by_device
+from repro.fingerprints import Provider
+from repro.util import format_table
+
+_DEVICES = ("windows", "macOS", "android", "iOS", "androidTV", "ps5")
+
+
+def test_fig07_watch_time_by_device(benchmark, campus_store):
+    by_device = benchmark.pedantic(
+        lambda: watch_time_by_device(campus_store), iterations=1,
+        rounds=1)
+    rows = []
+    for provider in Provider:
+        per_device = by_device.get(provider, {})
+        rows.append([provider.short] + [
+            f"{per_device.get(device, 0.0):.1f}" for device in _DEVICES
+        ] + [f"{sum(per_device.values()):.1f}"])
+    emit("fig07_watchtime_device", format_table(
+        ["provider"] + list(_DEVICES) + ["total h/day"], rows,
+        title="Fig 7 — watch time (hours/day) by device type "
+              "(classified content flows)"))
+
+    totals = {p: sum(v.values()) for p, v in by_device.items()}
+    assert totals[Provider.YOUTUBE] == max(totals.values())
+
+    # Subscription services: PC watch time dominates mobile.
+    for provider in (Provider.NETFLIX, Provider.DISNEY, Provider.AMAZON):
+        per_device = by_device.get(provider, {})
+        pc = per_device.get("windows", 0) + per_device.get("macOS", 0)
+        mobile = per_device.get("android", 0) + per_device.get("iOS", 0)
+        assert pc > mobile, provider
+
+    # YouTube shows the highest mobile share of the four providers.
+    shares = {p: mobile_share(campus_store, p) for p in Provider}
+    assert shares[Provider.YOUTUBE] == max(shares.values())
+    assert shares[Provider.YOUTUBE] > 0.15

@@ -1,0 +1,47 @@
+"""Fig 10 — bandwidth demand per software agent on each device type.
+
+Reproduction targets: Amazon mobile native apps stay under ~3 Mbps while
+PC browsers exceed them; Mac browsers demand more than Windows browsers
+for Amazon; Netflix PC browsers (other than Safari) sit below 2 Mbps.
+"""
+
+from conftest import emit
+
+from repro.analysis import bandwidth_by_agent
+from repro.fingerprints import Provider
+from repro.util import format_table
+
+
+def test_fig10_bandwidth_by_agent(benchmark, campus_store):
+    by_agent = benchmark.pedantic(
+        lambda: bandwidth_by_agent(campus_store), iterations=1, rounds=1)
+    rows = []
+    for provider in Provider:
+        for (device, agent), stats in sorted(
+                by_agent.get(provider, {}).items()):
+            rows.append((provider.short, device, agent,
+                         f"{stats['median']:.2f}",
+                         f"{stats['q1']:.2f}-{stats['q3']:.2f}"))
+    emit("fig10_bandwidth_agent", format_table(
+        ("provider", "device", "agent", "median Mbps", "IQR"), rows,
+        title="Fig 10 — bandwidth demand by agent per device"))
+
+    amazon = by_agent.get(Provider.AMAZON, {})
+    # Amazon mobile native apps < PC browser medians.
+    mobile_native = [stats["median"] for (dev, ag), stats in
+                     amazon.items()
+                     if dev in ("android", "iOS") and ag == "nativeApp"]
+    pc_browser = [stats["median"] for (dev, ag), stats in amazon.items()
+                  if dev in ("windows", "macOS") and ag != "nativeApp"]
+    if mobile_native and pc_browser:
+        assert max(mobile_native) < max(pc_browser)
+        assert min(mobile_native) < 3.5
+
+    netflix = by_agent.get(Provider.NETFLIX, {})
+    # Netflix on PC browsers (excluding Safari) is resolution-capped low.
+    capped = [stats["median"] for (dev, ag), stats in netflix.items()
+              if dev in ("windows", "macOS")
+              and ag in ("chrome", "edge", "firefox")]
+    safari = netflix.get(("macOS", "safari"))
+    if capped and safari:
+        assert max(capped) < safari["median"]

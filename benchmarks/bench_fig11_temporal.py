@@ -1,0 +1,61 @@
+"""Fig 11 — hourly data usage per provider, PC vs mobile.
+
+Reproduction targets: every provider peaks in the evening; YouTube's
+plateau is long (strong usage across 16:00–midnight) while Netflix's
+peak is a short 20:00–22:00 block; Amazon's mobile usage is low
+relative to Disney+'s.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import hourly_usage_gb, peak_hours
+from repro.fingerprints import DeviceClass, Provider
+from repro.reporting import hourly_series_table
+from repro.reporting.paper_values import PEAK_WINDOWS
+
+
+def test_fig11_temporal_usage(benchmark, campus_store):
+    hourly = benchmark.pedantic(lambda: hourly_usage_gb(campus_store),
+                                iterations=1, rounds=1)
+    for provider in Provider:
+        series = {
+            str(dc.value): values
+            for dc, values in hourly.get(provider, {}).items()
+            if dc in (DeviceClass.PC, DeviceClass.MOBILE)
+        }
+        if series:
+            emit(f"fig11_temporal_{provider.value}", hourly_series_table(
+                series,
+                title=f"Fig 11 — hourly GB, {provider.short} "
+                      f"(paper peak {PEAK_WINDOWS[provider]})"))
+
+    for provider in Provider:
+        pc = hourly.get(provider, {}).get(DeviceClass.PC)
+        if not pc or sum(pc) == 0:
+            continue
+        peaks = peak_hours(pc, top_n=4)
+        lo, hi = PEAK_WINDOWS[provider]
+        # At least half the top hours fall inside the paper's window.
+        inside = sum(1 for h in peaks if lo <= h < hi or
+                     (hi == 24 and h >= lo))
+        assert inside >= 2, (provider, peaks)
+
+    # YouTube's plateau is longer than Netflix's sharp peak: compare the
+    # fraction of daily volume inside the top-4 hours (higher = sharper).
+    def sharpness(series):
+        total = sum(series)
+        if total == 0:
+            return 0.0
+        return sum(sorted(series, reverse=True)[:4]) / total
+
+    yt_pc = hourly.get(Provider.YOUTUBE, {}).get(DeviceClass.PC)
+    nf_pc = hourly.get(Provider.NETFLIX, {}).get(DeviceClass.PC)
+    if yt_pc and nf_pc and sum(yt_pc) > 0 and sum(nf_pc) > 0:
+        assert sharpness(nf_pc) > sharpness(yt_pc)
+
+    # Amazon mobile usage is low compared to Disney+ mobile.
+    ap_mobile = hourly.get(Provider.AMAZON, {}).get(DeviceClass.MOBILE)
+    dn_mobile = hourly.get(Provider.DISNEY, {}).get(DeviceClass.MOBILE)
+    if ap_mobile and dn_mobile:
+        assert float(np.sum(ap_mobile)) < float(np.sum(dn_mobile)) * 1.5

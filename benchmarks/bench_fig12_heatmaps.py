@@ -1,0 +1,92 @@
+"""Fig 12 — per-platform median field values (the appendix heatmaps) for
+YouTube flows over QUIC (a) and TCP (b).
+
+Each cell is (median normalized value, #unique values) per platform —
+here rendered as a table of per-platform unique-value counts for the
+most informative fields, plus the single-valued-field check that drives
+Fig 12's red/green annotations: four fields useless on QUIC
+(ec_point_formats, ALPN, session_ticket, psk_key_exchange_modes) become
+useful on TCP.
+"""
+
+from collections import defaultdict
+
+from conftest import emit
+
+from repro.features import extract_flow_attributes, symbol_column
+from repro.fingerprints import Provider, Transport
+from repro.util import format_table
+
+FIELDS = ("init_packet_size", "handshake_length", "cipher_suites",
+          "tls_extensions", "supported_groups", "key_share",
+          "ec_point_formats", "application_layer_protocol_negotiation",
+          "session_ticket", "psk_key_exchange_modes")
+
+QUIC_DEAD_TCP_ALIVE = ("ec_point_formats",
+                       "application_layer_protocol_negotiation",
+                       "session_ticket", "psk_key_exchange_modes")
+
+
+def _per_platform_uniques(lab_dataset, transport):
+    subset = lab_dataset.subset(provider=Provider.YOUTUBE,
+                                transport=transport)
+    samples_by_platform = defaultdict(list)
+    for flow in subset:
+        values, _ = extract_flow_attributes(flow.packets,
+                                            fold_grease=False)
+        samples_by_platform[flow.platform_label].append(values)
+    table = {}
+    for platform, samples in samples_by_platform.items():
+        table[platform] = {
+            field: len(set(symbol_column(samples, field)))
+            for field in FIELDS
+        }
+    return table
+
+
+def test_fig12_median_value_heatmaps(benchmark, lab_dataset):
+    def run():
+        return (_per_platform_uniques(lab_dataset, Transport.QUIC),
+                _per_platform_uniques(lab_dataset, Transport.TCP))
+
+    quic, tcp = benchmark.pedantic(run, iterations=1, rounds=1)
+    for name, table in (("quic", quic), ("tcp", tcp)):
+        rows = []
+        for platform in sorted(table):
+            rows.append([platform] + [str(table[platform][f])
+                                      for f in FIELDS])
+        emit(f"fig12_heatmap_{name}", format_table(
+            ["platform"] + [f[:18] for f in FIELDS], rows,
+            title=f"Fig 12 — #unique values per platform, YouTube "
+                  f"{name.upper()}"))
+
+    assert len(quic) == 12  # Fig 12(a) platforms
+    assert len(tcp) == 14   # Fig 12(b) platforms
+
+    # The four fields that are dead on QUIC but indicative on TCP: on
+    # QUIC every platform sees the same (absent/constant) value; on TCP
+    # their value sets differ across platforms.
+    for field in QUIC_DEAD_TCP_ALIVE:
+        quic_values = {tuple(sorted(
+            str(v) for v in {table[field] for table in [quic[p]]}))
+            for p in quic}
+        tcp_distinct = len({
+            frozenset([tcp[p][field]]) for p in tcp
+        })
+        assert tcp_distinct >= 1  # structure exists; detail via symbols
+
+    # Stronger check on actual values: recompute distinct per-platform
+    # symbol sets for one dead-on-QUIC field.
+    def distinct_sets(table_src, transport, field):
+        subset = lab_dataset.subset(provider=Provider.YOUTUBE,
+                                    transport=transport)
+        per_platform = defaultdict(set)
+        for flow in subset:
+            values, _ = extract_flow_attributes(flow.packets)
+            per_platform[flow.platform_label].add(
+                str(values.get(field)))
+        return {frozenset(v) for v in per_platform.values()}
+
+    for field in ("ec_point_formats", "session_ticket"):
+        assert len(distinct_sets(quic, Transport.QUIC, field)) == 1
+        assert len(distinct_sets(tcp, Transport.TCP, field)) >= 2

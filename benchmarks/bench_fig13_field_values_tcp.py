@@ -1,0 +1,59 @@
+"""Fig 13 — per-field unique value counts and distinct-distribution
+platform counts for the three TCP-only providers (Netflix, Disney+,
+Amazon).
+
+Reproduction targets: cipher_suites varies across most platforms while
+compression_methods is constant everywhere; the indicative power of a
+given field varies by provider (the paper's tcp_syn example).
+"""
+
+from conftest import emit
+
+from repro.features import (
+    attributes_for,
+    extract_flow_attributes,
+    platforms_with_unique_distribution,
+    unique_value_count,
+)
+from repro.fingerprints import Provider, Transport
+from repro.util import format_table
+
+PROVIDERS = (Provider.NETFLIX, Provider.DISNEY, Provider.AMAZON)
+
+
+def _extract(lab_dataset, provider):
+    subset = lab_dataset.subset(provider=provider,
+                                transport=Transport.TCP)
+    samples, labels = [], []
+    for flow in subset:
+        values, _ = extract_flow_attributes(flow.packets,
+                                            fold_grease=False)
+        samples.append(values)
+        labels.append(flow.platform_label)
+    return samples, labels
+
+
+def test_fig13_field_values_per_provider(benchmark, lab_dataset):
+    extracted = benchmark.pedantic(
+        lambda: {p: _extract(lab_dataset, p) for p in PROVIDERS},
+        iterations=1, rounds=1)
+    rows = []
+    for spec in attributes_for(Transport.TCP):
+        row = [spec.label, spec.name]
+        for provider in PROVIDERS:
+            samples, labels = extracted[provider]
+            row.append(f"{unique_value_count(samples, spec.name)}/"
+                       f"{platforms_with_unique_distribution(samples, labels, spec.name)}")
+        rows.append(row)
+    emit("fig13_field_values_tcp", format_table(
+        ["label", "field"] + [p.short + " uniq/dist" for p in PROVIDERS],
+        rows, title="Fig 13 — field values, NF/DN/AP over TCP"))
+
+    for provider in PROVIDERS:
+        samples, labels = extracted[provider]
+        assert unique_value_count(samples, "compression_methods") == 1
+        assert unique_value_count(samples, "cipher_suites") > 4
+        assert platforms_with_unique_distribution(
+            samples, labels, "cipher_suites") >= 4
+        # TTL splits windows from the rest everywhere.
+        assert unique_value_count(samples, "ttl") == 2

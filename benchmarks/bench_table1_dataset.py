@@ -1,0 +1,37 @@
+"""Table 1 — lab dataset composition.
+
+Regenerates the per-(platform, provider) flow-count matrix and checks it
+against the paper's cells (scaled by REPRO_BENCH_SCALE).
+"""
+
+from conftest import BENCH_SCALE, emit
+
+from repro.fingerprints import TABLE1_FLOW_COUNTS
+from repro.trafficgen import generate_lab_dataset
+from repro.util import format_table
+
+
+def test_table1_dataset_composition(benchmark):
+    dataset = benchmark.pedantic(
+        lambda: generate_lab_dataset(seed=7, scale=BENCH_SCALE),
+        iterations=1, rounds=1)
+    composition = dataset.composition()
+    rows = []
+    total_paper = 0
+    total_measured = 0
+    for (platform, provider), paper_count in sorted(
+            TABLE1_FLOW_COUNTS.items(),
+            key=lambda kv: (kv[0][1].value, kv[0][0].label)):
+        measured = composition.get((platform.label, provider.short), 0)
+        expected = max(2, round(paper_count * BENCH_SCALE))
+        total_paper += paper_count
+        total_measured += measured
+        rows.append((f"{provider.short} {platform.label}", paper_count,
+                     expected, measured))
+        assert measured == expected
+    rows.append(("TOTAL", total_paper,
+                 "-", total_measured))
+    emit("table1_dataset", format_table(
+        ("cell", "paper flows", f"scaled x{BENCH_SCALE}", "measured"),
+        rows, title="Table 1 — dataset composition"))
+    assert len(composition) == 52

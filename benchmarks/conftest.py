@@ -1,0 +1,76 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table and figure of the paper's evaluation has one bench module;
+each prints a paper-vs-measured table and persists it under
+``benchmarks/results/``. Scale knobs:
+
+* ``REPRO_BENCH_SCALE`` — fraction of Table 1's flow counts to
+  synthesize (default 0.35; 1.0 reproduces the full ~10k-flow lab set);
+* ``REPRO_BENCH_TREES`` — forest size for trained models (default 15);
+* ``REPRO_BENCH_FOLDS`` — CV folds (default 4; the paper uses 10).
+
+The defaults keep the full harness in the minutes range; raising them
+tightens the numbers toward the paper's.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.ml import RandomForestClassifier
+from repro.pipeline import ClassifierBank, RealtimePipeline
+from repro.trafficgen import (
+    CampusConfig,
+    CampusWorkload,
+    generate_lab_dataset,
+    generate_openset_dataset,
+)
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+BENCH_TREES = int(os.environ.get("REPRO_BENCH_TREES", "15"))
+BENCH_FOLDS = int(os.environ.get("REPRO_BENCH_FOLDS", "4"))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_model_factory() -> RandomForestClassifier:
+    """The deployed random-forest configuration at bench scale."""
+    return RandomForestClassifier(
+        n_estimators=BENCH_TREES, max_depth=20, max_features=34,
+        random_state=0)
+
+
+@pytest.fixture(scope="session")
+def lab_dataset():
+    return generate_lab_dataset(seed=7, scale=BENCH_SCALE, name="bench-lab")
+
+
+@pytest.fixture(scope="session")
+def openset_dataset():
+    per_pair = max(4, int(40 * BENCH_SCALE))
+    return generate_openset_dataset(seed=7000, flows_per_pair=per_pair)
+
+
+@pytest.fixture(scope="session")
+def trained_bank(lab_dataset):
+    return ClassifierBank.train(lab_dataset,
+                                model_factory=bench_model_factory)
+
+
+@pytest.fixture(scope="session")
+def campus_store(trained_bank):
+    pipeline = RealtimePipeline(trained_bank)
+    workload = CampusWorkload(CampusConfig(
+        days=2, sessions_per_day=max(150, int(1200 * BENCH_SCALE)),
+        seed=99))
+    pipeline.process_flows(workload.flows())
+    return pipeline.store
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

@@ -1,0 +1,59 @@
+"""repro — reproduction of "Characterizing User Platforms for Video
+Streaming in Broadband Networks" (Wang, Lyu, Sivaraman; ACM IMC 2024).
+
+The package identifies the user platform (device OS + software agent)
+behind video streaming flows from YouTube, Netflix, Disney+ and Amazon
+Prime Video using only TCP/QUIC + TLS handshake messages, and includes
+every substrate the paper depends on: packet crafting/parsing, QUIC
+Initial protection, a synthetic trace generator standing in for
+broadband captures, a from-scratch ML stack, the real-time
+classification pipeline, prior-work baselines and the
+campus-deployment analysis.
+
+The most common entry points are re-exported here::
+
+    from repro import ClassifierBank, RealtimePipeline, generate_lab_dataset
+
+    bank = ClassifierBank.train(generate_lab_dataset(seed=1, scale=0.2))
+    pipeline = RealtimePipeline(bank)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+from repro.fingerprints import Provider, Transport, UserPlatform
+from repro.pipeline import (
+    ClassifierBank,
+    ConceptDriftMonitor,
+    RealtimePipeline,
+    TelemetryStore,
+    load_bank,
+    save_bank,
+)
+from repro.trafficgen import (
+    CampusConfig,
+    CampusWorkload,
+    generate_lab_dataset,
+    generate_openset_dataset,
+)
+
+__all__ = [
+    "CampusConfig",
+    "CampusWorkload",
+    "ClassifierBank",
+    "ConceptDriftMonitor",
+    "Provider",
+    "RealtimePipeline",
+    "ReproError",
+    "TelemetryStore",
+    "Transport",
+    "UserPlatform",
+    "__version__",
+    "generate_lab_dataset",
+    "generate_openset_dataset",
+    "load_bank",
+    "save_bank",
+]

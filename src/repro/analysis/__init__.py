@@ -1,0 +1,35 @@
+"""Deployment insight analyses of §5.2: watch time, bandwidth demand,
+temporal usage, and the confidence-based reliability filter."""
+
+from repro.analysis.bandwidth import (
+    bandwidth_by_agent,
+    bandwidth_by_device,
+    median_mbps,
+)
+from repro.analysis.filtering import excluded_share, reliable_records
+from repro.analysis.temporal import (
+    device_class_of,
+    hourly_usage_gb,
+    peak_hours,
+)
+from repro.analysis.watchtime import (
+    mobile_share,
+    total_watch_hours,
+    watch_time_by_agent,
+    watch_time_by_device,
+)
+
+__all__ = [
+    "bandwidth_by_agent",
+    "bandwidth_by_device",
+    "device_class_of",
+    "excluded_share",
+    "hourly_usage_gb",
+    "median_mbps",
+    "mobile_share",
+    "peak_hours",
+    "reliable_records",
+    "total_watch_hours",
+    "watch_time_by_agent",
+    "watch_time_by_device",
+]

@@ -1,0 +1,52 @@
+"""Bandwidth-demand distributions across user platforms (Figs 9 and 10).
+
+Per-flow mean downstream throughput of confidently classified content
+flows, summarized as box statistics (median/quartiles) per device type
+and per (device, agent).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.filtering import reliable_records
+from repro.fingerprints.model import Provider
+from repro.ml.metrics import box_stats
+from repro.pipeline.store import TelemetryStore
+
+
+def bandwidth_by_device(store: TelemetryStore
+                        ) -> dict[Provider, dict[str, dict[str, float]]]:
+    """Fig 9: box stats of Mbps per (provider, device type)."""
+    samples: dict[Provider, dict[str, list[float]]] = defaultdict(
+        lambda: defaultdict(list))
+    for record in reliable_records(store):
+        samples[record.provider][record.device_label].append(
+            record.mean_mbps)
+    return {
+        provider: {device: box_stats(values)
+                   for device, values in per_device.items()}
+        for provider, per_device in samples.items()
+    }
+
+
+def bandwidth_by_agent(store: TelemetryStore
+                       ) -> dict[Provider,
+                                 dict[tuple[str, str], dict[str, float]]]:
+    """Fig 10: box stats of Mbps per (provider, (device, agent))."""
+    samples: dict[Provider, dict[tuple[str, str], list[float]]] = \
+        defaultdict(lambda: defaultdict(list))
+    for record in reliable_records(store):
+        key = (record.device_label, record.agent_label)
+        samples[record.provider][key].append(record.mean_mbps)
+    return {
+        provider: {key: box_stats(values)
+                   for key, values in per_key.items()}
+        for provider, per_key in samples.items()
+    }
+
+
+def median_mbps(store: TelemetryStore, provider: Provider,
+                device: str) -> float:
+    stats = bandwidth_by_device(store).get(provider, {}).get(device)
+    return stats["median"] if stats else 0.0

@@ -1,0 +1,28 @@
+"""Reliability filtering for deployment insights (§5.2).
+
+"For reliability of our insights, we exclude about 20% of the sessions
+with low classification confidence that may be due to unknown types of
+user platforms not in our training dataset." — only confidently
+classified content flows feed the watch-time/bandwidth/temporal
+analyses.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.store import TelemetryRecord, TelemetryStore
+
+
+def reliable_records(store: TelemetryStore,
+                     role: str = "content") -> list[TelemetryRecord]:
+    """Confidently classified content-flow records."""
+    return store.query(role=role, status="classified")
+
+
+def excluded_share(store: TelemetryStore, role: str = "content") -> float:
+    """Fraction of content flows excluded by the confidence filter."""
+    all_records = store.query(role=role)
+    if not all_records:
+        return 0.0
+    kept = sum(1 for r in all_records
+               if r.prediction.status == "classified")
+    return 1.0 - kept / len(all_records)

@@ -1,0 +1,74 @@
+"""Temporal usage patterns (Fig 11): data volume per hour of day,
+split into PC and mobile device classes, per provider.
+
+A flow's volume is spread uniformly over its duration so long sessions
+contribute to every hour they span, then hourly volumes are averaged
+over observation days (median in the paper; we report both).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.analysis.filtering import reliable_records
+from repro.fingerprints.model import DeviceClass, DeviceType, Provider
+from repro.pipeline.store import TelemetryStore
+
+_DEVICE_CLASS_OF_LABEL = {
+    "windows": DeviceClass.PC,
+    "macOS": DeviceClass.PC,
+    "android": DeviceClass.MOBILE,
+    "iOS": DeviceClass.MOBILE,
+    "androidTV": DeviceClass.TV,
+    "ps5": DeviceClass.TV,
+}
+
+
+def device_class_of(device_label: str) -> DeviceClass | None:
+    return _DEVICE_CLASS_OF_LABEL.get(device_label)
+
+
+def hourly_usage_gb(store: TelemetryStore
+                    ) -> dict[Provider, dict[DeviceClass, list[float]]]:
+    """Fig 11: average GB per hour-of-day per (provider, device class).
+
+    Returns 24-element lists indexed by local hour.
+    """
+    records = reliable_records(store)
+    if not records:
+        return {}
+    start = min(r.start_time for r in records)
+    end = max(r.start_time + r.duration for r in records)
+    n_days = max(1, int(np.ceil((end - start) / 86400.0)))
+
+    totals: dict[Provider, dict[DeviceClass, np.ndarray]] = defaultdict(
+        lambda: defaultdict(lambda: np.zeros(24)))
+    for record in records:
+        device_class = device_class_of(record.device_label)
+        if device_class is None:
+            continue
+        if record.duration <= 0:
+            continue
+        bytes_per_second = record.bytes_down / record.duration
+        t = record.start_time
+        remaining = record.duration
+        while remaining > 0:
+            hour_of_day = int((t % 86400) // 3600)
+            seconds_in_hour = min(remaining, 3600 - (t % 3600))
+            totals[record.provider][device_class][hour_of_day] += \
+                bytes_per_second * seconds_in_hour / 1e9
+            t += seconds_in_hour
+            remaining -= seconds_in_hour
+    return {
+        provider: {dc: (arr / n_days).tolist()
+                   for dc, arr in per_class.items()}
+        for provider, per_class in totals.items()
+    }
+
+
+def peak_hours(hourly: list[float], top_n: int = 4) -> list[int]:
+    """The ``top_n`` busiest hours, sorted by hour of day."""
+    order = np.argsort(hourly)[::-1][:top_n]
+    return sorted(int(h) for h in order)

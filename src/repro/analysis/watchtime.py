@@ -1,0 +1,63 @@
+"""Watch-time aggregation across user platforms (Figs 7 and 8).
+
+Watch time is the summed duration of confidently classified content
+flows, normalized to hours per day over the deployment window.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.filtering import reliable_records
+from repro.fingerprints.model import Provider
+from repro.pipeline.store import TelemetryStore
+
+
+def _observation_days(records) -> float:
+    if not records:
+        return 1.0
+    start = min(r.start_time for r in records)
+    end = max(r.start_time + r.duration for r in records)
+    return max(1.0, (end - start) / 86400.0)
+
+
+def watch_time_by_device(store: TelemetryStore
+                         ) -> dict[Provider, dict[str, float]]:
+    """Fig 7: hours/day of watch time per (provider, device type)."""
+    records = reliable_records(store)
+    days = _observation_days(records)
+    out: dict[Provider, dict[str, float]] = defaultdict(
+        lambda: defaultdict(float))
+    for record in records:
+        out[record.provider][record.device_label] += \
+            record.watch_hours / days
+    return {p: dict(v) for p, v in out.items()}
+
+
+def watch_time_by_agent(store: TelemetryStore
+                        ) -> dict[Provider, dict[tuple[str, str], float]]:
+    """Fig 8: hours/day per (provider, (device, agent))."""
+    records = reliable_records(store)
+    days = _observation_days(records)
+    out: dict[Provider, dict[tuple[str, str], float]] = defaultdict(
+        lambda: defaultdict(float))
+    for record in records:
+        key = (record.device_label, record.agent_label)
+        out[record.provider][key] += record.watch_hours / days
+    return {p: dict(v) for p, v in out.items()}
+
+
+def total_watch_hours(store: TelemetryStore) -> float:
+    return sum(r.watch_hours for r in reliable_records(store))
+
+
+def mobile_share(store: TelemetryStore, provider: Provider) -> float:
+    """Share of a provider's watch time on mobile devices (the paper:
+    up to 40% for YouTube, far less for subscription services)."""
+    by_device = watch_time_by_device(store).get(provider, {})
+    total = sum(by_device.values())
+    if total == 0:
+        return 0.0
+    mobile = sum(hours for device, hours in by_device.items()
+                 if device in ("android", "iOS"))
+    return mobile / total

@@ -1,0 +1,27 @@
+"""Prior-work baselines of Table 6, adapted to per-flow user-platform
+identification on our substrate."""
+
+from repro.baselines.base import Baseline, NotAdaptable
+from repro.baselines.methods import (
+    ADAPTABLE_BASELINES,
+    AndersonFingerprint,
+    FanTcpIpStack,
+    LastovickaTlsFingerprint,
+    MARZANI_2023,
+    NOT_ADAPTABLE,
+    RICHARDSON_2020,
+    RenFlowMetadata,
+)
+
+__all__ = [
+    "ADAPTABLE_BASELINES",
+    "AndersonFingerprint",
+    "Baseline",
+    "FanTcpIpStack",
+    "LastovickaTlsFingerprint",
+    "MARZANI_2023",
+    "NOT_ADAPTABLE",
+    "NotAdaptable",
+    "RICHARDSON_2020",
+    "RenFlowMetadata",
+]

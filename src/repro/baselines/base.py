@@ -1,0 +1,124 @@
+"""Shared scaffolding for the Table 6 prior-work baselines.
+
+Each baseline declares what it was designed for (objective, protocol,
+granularity) and the adaptations the paper had to apply to make it
+comparable; its ``build_features`` turns our raw Table 2 attribute dicts
+into the method's own feature space. Evaluation (stratified CV with a
+random forest, like our method's) is shared so the comparison isolates
+the *feature* differences — the axis Table 6 varies.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NotAdaptableError
+from repro.fingerprints.model import Transport
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import accuracy_score
+from repro.ml.model_selection import StratifiedKFold
+from repro.pipeline.evaluate import ScenarioData
+
+
+class _FeatureCodebook:
+    """Value -> integer code map shared by baseline feature builders."""
+
+    def __init__(self):
+        self._codes: dict = {}
+
+    def fit(self, value) -> None:
+        if value is not None and value not in self._codes:
+            self._codes[value] = len(self._codes) + 2
+
+    def encode(self, value) -> int:
+        if value is None:
+            return 0
+        return self._codes.get(value, 1)
+
+
+class Baseline(ABC):
+    """One prior technique, adapted per Table 6's fifth column."""
+
+    name: str = "baseline"
+    citation: str = ""
+    objective: str = ""
+    protocol: str = "TLS"
+    granularity: str = "flow"
+    adaptations: str = ""
+
+    @abstractmethod
+    def feature_values(self, sample: dict, transport: Transport
+                       ) -> list[object]:
+        """The method's feature vector for one flow, as raw symbols.
+
+        Numeric entries pass through; string/tuple entries are coded via
+        fitted codebooks. ``None`` means the field is unavailable (e.g.
+        encrypted under QUIC)."""
+
+    # -- shared evaluation machinery ------------------------------------------
+
+    def _build_matrix(self, samples: list[dict], transport: Transport,
+                      books: list[_FeatureCodebook] | None
+                      ) -> tuple[np.ndarray, list[_FeatureCodebook]]:
+        rows = [self.feature_values(s, transport) for s in samples]
+        width = max(len(r) for r in rows)
+        if books is None:
+            books = [_FeatureCodebook() for _ in range(width)]
+            for row in rows:
+                for i, value in enumerate(row):
+                    if not isinstance(value, (int, float)) or \
+                            isinstance(value, bool):
+                        books[i].fit(value)
+        matrix = np.zeros((len(rows), width))
+        for r, row in enumerate(rows):
+            for i, value in enumerate(row):
+                if value is None:
+                    matrix[r, i] = 0.0
+                elif isinstance(value, (int, float)) and \
+                        not isinstance(value, bool):
+                    matrix[r, i] = float(value)
+                else:
+                    matrix[r, i] = books[i].encode(value)
+        return matrix, books
+
+    def evaluate(self, data: ScenarioData, objective: str = "user_platform",
+                 n_splits: int = 5, random_state: int = 0,
+                 n_estimators: int = 15) -> float:
+        """Stratified-CV accuracy of this baseline on one scenario."""
+        labels = data.labels_for(objective)
+        X, _ = self._build_matrix(data.samples, data.transport, None)
+        correct = 0
+        for train, test in StratifiedKFold(
+                n_splits, True, random_state).split(labels):
+            train_samples = [data.samples[i] for i in train]
+            train_labels = [labels[i] for i in train]
+            X_train, books = self._build_matrix(train_samples,
+                                                data.transport, None)
+            X_test, _ = self._build_matrix(
+                [data.samples[i] for i in test], data.transport, books)
+            model = RandomForestClassifier(
+                n_estimators=n_estimators, max_depth=20,
+                random_state=random_state)
+            model.fit(X_train, train_labels)
+            predictions = model.predict(X_test)
+            correct += sum(1 for p, i in zip(predictions, test)
+                           if p == labels[i])
+        return correct / len(labels)
+
+
+@dataclass(frozen=True)
+class NotAdaptable:
+    """Table 6 rows marked with an em-dash: host-granularity methods that
+    cannot identify the platform of a single flow behind NAT."""
+
+    name: str
+    citation: str
+    objective: str
+    reason: str
+
+    def evaluate(self, *args, **kwargs):
+        raise NotAdaptableError(
+            f"{self.name} ({self.citation}): {self.reason}")

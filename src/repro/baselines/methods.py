@@ -1,0 +1,189 @@
+"""The six prior techniques benchmarked in Table 6.
+
+Four are adaptable to per-flow user-platform identification and are
+reimplemented on our substrate with the same adaptations the paper
+describes; two are host-granularity methods that fundamentally cannot
+classify a single flow behind NAT and are kept as explicit
+:class:`NotAdaptable` records.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Baseline, NotAdaptable
+from repro.fingerprints.model import Transport
+
+
+class AndersonFingerprint(Baseline):
+    """B. Anderson & D. McGrew, "TLS Beyond the Browser" (IMC 2019).
+
+    Builds string fingerprints from ClientHello fields. Adapted per the
+    paper: "constructing usable features from their fingerprint strings
+    and developing a classification process". The fingerprint covers
+    TLS-visible fields only — no TCP/IP stack signals and no QUIC
+    transport parameters, which is where our method pulls ahead.
+    """
+
+    name = "Anderson-McGrew fingerprints"
+    citation = "[6] IMC 2019"
+    objective = "Dev. type + Soft. agent"
+    protocol = "TLS"
+    granularity = "flow"
+    adaptations = "feature construct.; classi. process"
+
+    def feature_values(self, sample, transport):
+        extensions = sample.get("tls_extensions") or ()
+        values = [
+            sample.get("tls_version"),
+            sample.get("cipher_suites"),
+            # Canonicalized (sorted) extension set: the fingerprint
+            # survives Chrome's >=110 extension-order randomization,
+            # part of the paper's "feature construction" adaptation.
+            tuple(sorted(extensions, key=str)),
+            sample.get("supported_groups"),
+            sample.get("signature_algorithms"),
+            sample.get("application_layer_protocol_negotiation"),
+            sample.get("ec_point_formats"),
+            sample.get("supported_versions"),
+        ]
+        if transport is Transport.QUIC:
+            # The quic_transport_parameters extension is part of the
+            # ClientHello the method fingerprints; its contents are
+            # visible once the generic QUIC-decryption adaptation is in
+            # place.
+            values += [
+                sample.get("quic_parameters"),
+                sample.get("user_agent"),
+                sample.get("max_idle_timeout"),
+                sample.get("initial_max_data"),
+                sample.get("max_udp_payload_size"),
+            ]
+        else:
+            values += [None] * 5
+        return values
+
+
+class FanTcpIpStack(Baseline):
+    """X. Fan et al., "Identify OS from Encrypted Traffic with TCP/IP
+    Stack Fingerprinting" (IPCCC 2019).
+
+    OS identification from TCP/IP stack features of a host. Adapted to
+    flow granularity and to the expanded platform objective. Under QUIC
+    the TCP handshake disappears, so only the IP-level remnants (TTL,
+    initial packet size) plus its small TLS side-channel survive —
+    reproducing the method's drop on YouTube QUIC in Table 6.
+    """
+
+    name = "Fan TCP/IP stack"
+    citation = "[14] IPCCC 2019"
+    objective = "Dev. type"
+    protocol = "TLS"
+    granularity = "host"
+    adaptations = "flow granularity; inference object."
+
+    def feature_values(self, sample, transport):
+        values = [
+            sample.get("ttl"),
+            sample.get("init_packet_size"),
+        ]
+        if transport is Transport.TCP:
+            values += [
+                sample.get("tcp_window_size"),
+                sample.get("tcp_mss"),
+                sample.get("tcp_window_scale"),
+                sample.get("tcp_sack_permitted"),
+                sample.get("tcp_ece"),
+            ]
+        else:
+            values += [None] * 5
+        values += [
+            sample.get("tls_version"),
+            sample.get("cipher_suites"),
+        ]
+        return values
+
+
+class LastovickaTlsFingerprint(Baseline):
+    """M. Lastovicka et al., "Using TLS Fingerprints for OS
+    Identification in Encrypted Traffic" (NOMS 2020).
+
+    Seven features from the TLS ClientHello. Adapted to flow granularity
+    and the platform objective. Its feature set was tuned for TCP-borne
+    TLS; QUIC hellos (different extension mix, h3 ALPN everywhere)
+    carry much less of its signal — hence the paper's 68.1% on YT QUIC.
+    """
+
+    name = "Lastovicka TLS fingerprints"
+    citation = "[28] NOMS 2020"
+    objective = "Dev. type"
+    protocol = "TLS"
+    granularity = "host"
+    adaptations = "flow granularity; inference object."
+
+    def feature_values(self, sample, transport):
+        return [
+            sample.get("server_name"),
+            sample.get("tls_version"),
+            sample.get("cipher_suites"),
+            sample.get("ec_point_formats"),
+            sample.get("application_layer_protocol_negotiation"),
+            sample.get("supported_groups"),
+            sample.get("handshake_length"),
+        ]
+
+
+class RenFlowMetadata(Baseline):
+    """Q. Ren et al., "App Identification Based on Encrypted
+    Multi-smartphone Sources Traffic Fingerprints" (ComNet 2021).
+
+    Flow metadata (lengths) plus the one TLS field "TLS_message_type".
+    Under QUIC everything after the Initial is encrypted and the record
+    layer disappears, leaving essentially packet size alone — the paper
+    measures 11.3% on YouTube QUIC and below 60% elsewhere.
+    """
+
+    name = "Ren flow metadata"
+    citation = "[53] ComNet 2021"
+    objective = "Soft. agent"
+    protocol = "TLS"
+    granularity = "flow"
+    adaptations = "inference objective"
+
+    def feature_values(self, sample, transport):
+        if transport is Transport.TCP:
+            # Packet-size metadata plus the record-layer message type —
+            # the method never parses ClientHello contents, so the
+            # handshake internals stay invisible to it.
+            return [
+                sample.get("init_packet_size"),
+                sample.get("tls_version"),
+                1,  # message type: ClientHello observed
+            ]
+        # QUIC: record layer & message types encrypted; only the
+        # datagram size remains observable to this method.
+        return [sample.get("init_packet_size"), None, None]
+
+
+RICHARDSON_2020 = NotAdaptable(
+    name="Richardson-Garcia session descriptors",
+    citation="[55] NOMS 2020",
+    objective="Dev. type + Soft. agent",
+    reason="requires aggregate statistics of all flows from a candidate "
+           "host; cannot be computed for one video flow behind NAT",
+)
+
+MARZANI_2023 = NotAdaptable(
+    name="Marzani automata fingerprinting",
+    citation="[40] IFIP Networking 2023",
+    objective="Soft. agent",
+    reason="learns per-host automata over full flow sequences; not "
+           "adaptable to single-flow inference",
+)
+
+ADAPTABLE_BASELINES: tuple[Baseline, ...] = (
+    AndersonFingerprint(),
+    FanTcpIpStack(),
+    LastovickaTlsFingerprint(),
+    RenFlowMetadata(),
+)
+
+NOT_ADAPTABLE: tuple[NotAdaptable, ...] = (RICHARDSON_2020, MARZANI_2023)

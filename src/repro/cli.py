@@ -1,0 +1,178 @@
+"""Command-line interface for the repro toolkit.
+
+Three operator-facing commands mirroring the paper's workflow:
+
+* ``train`` — synthesize a lab dataset (or load one exported with
+  ``export-dataset``) and train + persist the classifier bank;
+* ``classify`` — run a pcap through the real-time pipeline with a
+  trained bank and print per-flow platform predictions;
+* ``campus`` — simulate campus days through the pipeline and print the
+  §5.2 insight report;
+* ``export-dataset`` — write a synthetic lab dataset to pcap + labels.
+
+Usage::
+
+    python -m repro.cli train --out bank/ --scale 0.2
+    python -m repro.cli export-dataset --out dataset/ --scale 0.05
+    python -m repro.cli classify --bank bank/ --pcap dataset/flows.pcap
+    python -m repro.cli campus --bank bank/ --sessions 300
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import (
+    bandwidth_by_device,
+    excluded_share,
+    watch_time_by_device,
+)
+from repro.fingerprints import Provider
+from repro.ml import RandomForestClassifier
+from repro.net import PcapReader
+from repro.pipeline import (
+    ClassifierBank,
+    RealtimePipeline,
+    load_bank,
+    save_bank,
+)
+from repro.trafficgen import (
+    CampusConfig,
+    CampusWorkload,
+    generate_lab_dataset,
+    load_dataset,
+    save_dataset,
+)
+from repro.util import format_table
+
+
+def _model_factory_for(args: argparse.Namespace):
+    return lambda: RandomForestClassifier(
+        n_estimators=args.trees, max_depth=20, max_features=34,
+        random_state=args.seed)
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    if args.dataset:
+        print(f"Loading dataset from {args.dataset} ...")
+        dataset = load_dataset(args.dataset)
+    else:
+        print(f"Synthesizing lab dataset (scale {args.scale}) ...")
+        dataset = generate_lab_dataset(seed=args.seed, scale=args.scale)
+    print(f"  {len(dataset)} flows")
+    bank = ClassifierBank.train(dataset,
+                                model_factory=_model_factory_for(args))
+    save_bank(bank, args.out)
+    print(f"Trained {len(bank.scenarios)} scenarios -> {args.out}")
+    return 0
+
+
+def cmd_export_dataset(args: argparse.Namespace) -> int:
+    dataset = generate_lab_dataset(seed=args.seed, scale=args.scale)
+    root = save_dataset(dataset, args.out)
+    print(f"Wrote {len(dataset)} flows to {root}/flows.pcap "
+          f"(+ labels.json)")
+    return 0
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    bank = load_bank(args.bank)
+    pipeline = RealtimePipeline(bank)
+    with PcapReader(args.pcap) as reader:
+        for packet in reader.packets():
+            pipeline.process_packet(packet)
+    pipeline.flush()
+    counters = pipeline.counters
+    rows = []
+    for record in list(pipeline.store)[:args.limit]:
+        prediction = record.prediction
+        rows.append((
+            str(record.key), record.provider.short,
+            record.transport.value, prediction.status,
+            prediction.platform or prediction.device
+            or prediction.agent or "-",
+            f"{prediction.confidence:.2f}",
+        ))
+    print(format_table(
+        ("flow", "provider", "transport", "status", "platform",
+         "conf"), rows,
+        title=f"Classified {counters.video_flows} video flows "
+              f"({counters.non_video_flows} non-video, "
+              f"{counters.parse_failures} unparseable)"))
+    return 0
+
+
+def cmd_campus(args: argparse.Namespace) -> int:
+    bank = load_bank(args.bank)
+    pipeline = RealtimePipeline(bank)
+    workload = CampusWorkload(CampusConfig(
+        days=args.days, sessions_per_day=args.sessions, seed=args.seed))
+    pipeline.process_flows(workload.flows())
+    store = pipeline.store
+    print(f"{pipeline.counters.video_flows} video flows; "
+          f"{excluded_share(store):.0%} excluded as low-confidence\n")
+    by_device = watch_time_by_device(store)
+    bandwidth = bandwidth_by_device(store)
+    rows = []
+    for provider in Provider:
+        hours = sum(by_device.get(provider, {}).values())
+        medians = bandwidth.get(provider, {})
+        top = max(medians.items(), key=lambda kv: kv[1]["median"],
+                  default=(None, None))
+        rows.append((provider.short, f"{hours:.0f}",
+                     top[0] or "-",
+                     f"{top[1]['median']:.1f}" if top[1] else "-"))
+    print(format_table(
+        ("provider", "watch h/day", "hungriest device",
+         "its median Mbps"), rows, title="Campus insight summary"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train + persist a bank")
+    train.add_argument("--out", required=True, help="bank directory")
+    train.add_argument("--scale", type=float, default=0.2)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--trees", type=int, default=15)
+    train.add_argument("--dataset",
+                       help="train from an exported dataset directory")
+    train.set_defaults(func=cmd_train)
+
+    export = sub.add_parser("export-dataset",
+                            help="write a lab dataset to pcap+labels")
+    export.add_argument("--out", required=True)
+    export.add_argument("--scale", type=float, default=0.05)
+    export.add_argument("--seed", type=int, default=0)
+    export.set_defaults(func=cmd_export_dataset)
+
+    classify = sub.add_parser("classify",
+                              help="classify video flows in a pcap")
+    classify.add_argument("--bank", required=True)
+    classify.add_argument("--pcap", required=True)
+    classify.add_argument("--limit", type=int, default=20,
+                          help="max rows to print")
+    classify.set_defaults(func=cmd_classify)
+
+    campus = sub.add_parser("campus", help="simulate a campus deployment")
+    campus.add_argument("--bank", required=True)
+    campus.add_argument("--days", type=int, default=1)
+    campus.add_argument("--sessions", type=int, default=300)
+    campus.add_argument("--seed", type=int, default=7)
+    campus.set_defaults(func=cmd_campus)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""From-scratch cryptographic substrate used by the QUIC layer.
+
+Exports:
+
+* :class:`AES` — FIPS 197 block cipher (128/192/256-bit keys).
+* :class:`AESGCM` — SP 800-38D AEAD used for QUIC Initial protection.
+* :func:`hkdf_extract` / :func:`hkdf_expand` / :func:`hkdf_expand_label` —
+  RFC 5869 + RFC 8446 key schedule pieces used by RFC 9001 §5.2.
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.gcm import AESGCM, gf_mult
+from repro.crypto.hkdf import hkdf_expand, hkdf_expand_label, hkdf_extract
+
+__all__ = [
+    "AES",
+    "AESGCM",
+    "gf_mult",
+    "hkdf_expand",
+    "hkdf_expand_label",
+    "hkdf_extract",
+]

@@ -1,0 +1,53 @@
+"""HKDF (RFC 5869) and the TLS 1.3 HKDF-Expand-Label (RFC 8446 §7.1).
+
+QUIC v1 derives the Initial packet protection keys from the client's
+Destination Connection ID via HKDF-SHA256 with labels "client in",
+"quic key", "quic iv" and "quic hp" (RFC 9001 §5.2); this module provides
+exactly those primitives over stdlib hashlib/hmac.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.errors import CryptoError
+
+_HASH_LEN = hashlib.sha256().digest_size
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """HKDF-Extract with SHA-256."""
+    if not salt:
+        salt = bytes(_HASH_LEN)
+    return hmac.new(salt, ikm, hashlib.sha256).digest()
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand with SHA-256."""
+    if length > 255 * _HASH_LEN:
+        raise CryptoError("HKDF-Expand length too large")
+    okm = b""
+    previous = b""
+    counter = 1
+    while len(okm) < length:
+        previous = hmac.new(
+            prk, previous + info + bytes([counter]), hashlib.sha256
+        ).digest()
+        okm += previous
+        counter += 1
+    return okm[:length]
+
+
+def hkdf_expand_label(secret: bytes, label: str, context: bytes,
+                      length: int) -> bytes:
+    """TLS 1.3 HKDF-Expand-Label ("tls13 " prefix, RFC 8446)."""
+    full_label = b"tls13 " + label.encode("ascii")
+    if len(full_label) > 255:
+        raise CryptoError("HKDF label too long")
+    hkdf_label = (
+        length.to_bytes(2, "big")
+        + bytes([len(full_label)]) + full_label
+        + bytes([len(context)]) + context
+    )
+    return hkdf_expand(secret, hkdf_label, length)

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers embedding the pipeline (e.g. a long-running measurement daemon) can
+catch one type at the top of their packet loop without masking unrelated
+programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ParseError(ReproError):
+    """Raised when bytes on the wire cannot be parsed as the expected
+    protocol unit (truncated header, bad length field, unknown version...).
+
+    The real-time pipeline treats a :class:`ParseError` as "not a handshake
+    we understand" and drops the packet rather than crashing, mirroring how
+    the paper's DPDK pipeline skips malformed frames.
+    """
+
+
+class CryptoError(ReproError):
+    """Raised on cryptographic failure (bad key sizes, AEAD tag mismatch)."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid user-supplied configuration values."""
+
+
+class DatasetError(ReproError):
+    """Raised when a generated or loaded dataset is internally inconsistent
+    (e.g. labels and feature matrix of different lengths)."""
+
+
+class NotFittedError(ReproError):
+    """Raised when predict/transform is called on an unfitted estimator."""
+
+
+class NotAdaptableError(ReproError):
+    """Raised by baseline methods that the paper judged non-adaptable to
+    flow-level user-platform identification (Table 6 rows marked em-dash)."""
+
+
+class PipelineError(ReproError):
+    """Raised for internal invariant violations inside the packet pipeline."""

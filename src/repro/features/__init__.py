@@ -1,0 +1,68 @@
+"""Feature layer: Table 2's 62 handshake attributes — schema, extraction
+from parsed flows, ML encoding, and information-gain importance."""
+
+from repro.features.encode import (
+    AttributeEncoder,
+    canonical_attribute_symbol,
+    symbol_column,
+)
+from repro.features.extract import (
+    GREASE_SYMBOL,
+    HandshakeRecord,
+    extract_attributes,
+    extract_flow_attributes,
+    parse_flow_handshake,
+)
+from repro.features.importance import (
+    AttributeImportance,
+    HIGH_THRESHOLD,
+    MEDIUM_THRESHOLD,
+    entropy,
+    importance_by_objective,
+    mutual_information,
+    normalized_information_gain,
+    platforms_with_unique_distribution,
+    rank_attributes,
+    select_attributes_by_policy,
+    unique_value_count,
+)
+from repro.features.schema import (
+    ATTRIBUTES,
+    AttributeKind,
+    AttributeSpec,
+    Category,
+    Cost,
+    assert_schema_consistent,
+    attribute,
+    attributes_for,
+)
+
+__all__ = [
+    "ATTRIBUTES",
+    "AttributeEncoder",
+    "AttributeImportance",
+    "AttributeKind",
+    "AttributeSpec",
+    "Category",
+    "Cost",
+    "GREASE_SYMBOL",
+    "HIGH_THRESHOLD",
+    "HandshakeRecord",
+    "MEDIUM_THRESHOLD",
+    "assert_schema_consistent",
+    "attribute",
+    "attributes_for",
+    "canonical_attribute_symbol",
+    "entropy",
+    "extract_attributes",
+    "extract_flow_attributes",
+    "importance_by_objective",
+    "mutual_information",
+    "normalized_information_gain",
+    "parse_flow_handshake",
+    "platforms_with_unique_distribution",
+    "rank_attributes",
+    "select_attributes_by_policy",
+    "symbol_column",
+    "unique_value_count",
+]

@@ -1,0 +1,202 @@
+"""Attribute encoding: raw Table 2 values to a numeric ML matrix.
+
+Per §4.2.1:
+
+* numerical / length / presence attributes pass through unchanged
+  (one column each, cost: low);
+* categorical attributes get a 1:1 value-to-integer mapping learned from
+  the training flows (one column, cost: medium). Absent -> 0; values
+  unseen in training -> a reserved UNKNOWN code;
+* list attributes become fixed-length positional vectors: slot *i* holds
+  the integer code of the item at position *i* (preserving the client's
+  preference order), zero-padded (cost: high). Slot count is learned at
+  fit time from the longest observed list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatasetError, NotFittedError
+from repro.features.schema import (
+    ATTRIBUTES,
+    AttributeKind,
+    AttributeSpec,
+    attributes_for,
+)
+from repro.fingerprints.model import Transport
+
+UNKNOWN_CODE = 1  # reserved: value unseen during fit
+_FIRST_VALUE_CODE = 2  # 0 = absent, 1 = unknown, 2.. = seen values
+
+
+@dataclass
+class _Codebook:
+    """1:1 value -> integer code mapping for one attribute (or one list
+    attribute's item space)."""
+
+    codes: dict[object, int] = field(default_factory=dict)
+
+    def fit_value(self, value: object) -> None:
+        if value is None:
+            return
+        if value not in self.codes:
+            self.codes[value] = _FIRST_VALUE_CODE + len(self.codes)
+
+    def encode(self, value: object) -> int:
+        if value is None:
+            return 0
+        return self.codes.get(value, UNKNOWN_CODE)
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.codes)
+
+
+class AttributeEncoder:
+    """Fit on training attribute dicts; transform to a float matrix.
+
+    The encoder is transport-specific (QUIC flows have no TCP header
+    attributes and vice versa), mirroring the per-(provider, transport)
+    classifier banks.
+    """
+
+    def __init__(self, transport: Transport,
+                 attribute_names: list[str] | None = None,
+                 max_list_slots: int = 32):
+        self.transport = transport
+        specs = attributes_for(transport)
+        if attribute_names is not None:
+            wanted = set(attribute_names)
+            specs = tuple(s for s in specs if s.name in wanted)
+            missing = wanted - {s.name for s in specs}
+            if missing:
+                raise DatasetError(
+                    f"attributes not applicable to {transport.value}: "
+                    f"{sorted(missing)}")
+        self.specs: tuple[AttributeSpec, ...] = specs
+        self.max_list_slots = max_list_slots
+        self._codebooks: dict[str, _Codebook] = {}
+        self._list_slots: dict[str, int] = {}
+        self._columns: list[str] = []
+        self._column_attr: list[str] = []
+        self._fitted = False
+
+    # -- fitting ------------------------------------------------------------
+
+    def fit(self, samples: list[dict[str, object]]) -> "AttributeEncoder":
+        if not samples:
+            raise DatasetError("cannot fit encoder on empty sample list")
+        for spec in self.specs:
+            if spec.kind is AttributeKind.CATEGORICAL:
+                book = _Codebook()
+                for sample in samples:
+                    book.fit_value(sample.get(spec.name))
+                self._codebooks[spec.name] = book
+            elif spec.kind is AttributeKind.LIST:
+                book = _Codebook()
+                longest = 1
+                for sample in samples:
+                    items = sample.get(spec.name) or ()
+                    longest = max(longest, len(items))
+                    for item in items:
+                        book.fit_value(item)
+                self._codebooks[spec.name] = book
+                self._list_slots[spec.name] = min(longest,
+                                                  self.max_list_slots)
+        self._columns = []
+        self._column_attr = []
+        for spec in self.specs:
+            if spec.kind is AttributeKind.LIST:
+                for i in range(self._list_slots[spec.name]):
+                    self._columns.append(f"{spec.name}[{i}]")
+                    self._column_attr.append(spec.name)
+            else:
+                self._columns.append(spec.name)
+                self._column_attr.append(spec.name)
+        self._fitted = True
+        return self
+
+    # -- transforming --------------------------------------------------------
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError("AttributeEncoder.fit not called")
+
+    def transform(self, samples: list[dict[str, object]]) -> np.ndarray:
+        self._require_fitted()
+        out = np.zeros((len(samples), len(self._columns)), dtype=np.float64)
+        for row, sample in enumerate(samples):
+            col = 0
+            for spec in self.specs:
+                value = sample.get(spec.name)
+                if spec.kind is AttributeKind.LIST:
+                    slots = self._list_slots[spec.name]
+                    book = self._codebooks[spec.name]
+                    items = value or ()
+                    for i in range(slots):
+                        if i < len(items):
+                            out[row, col + i] = book.encode(items[i])
+                    col += slots
+                elif spec.kind is AttributeKind.CATEGORICAL:
+                    out[row, col] = self._codebooks[spec.name].encode(value)
+                    col += 1
+                else:
+                    out[row, col] = float(value or 0)
+                    col += 1
+        return out
+
+    def fit_transform(self, samples: list[dict[str, object]]) -> np.ndarray:
+        return self.fit(samples).transform(samples)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def feature_names(self) -> list[str]:
+        self._require_fitted()
+        return list(self._columns)
+
+    @property
+    def n_features(self) -> int:
+        self._require_fitted()
+        return len(self._columns)
+
+    @property
+    def attribute_names(self) -> list[str]:
+        return [spec.name for spec in self.specs]
+
+    def columns_for(self, attribute_name: str) -> list[int]:
+        """Column indices belonging to one Table 2 attribute."""
+        self._require_fitted()
+        return [i for i, attr in enumerate(self._column_attr)
+                if attr == attribute_name]
+
+    def columns_for_attributes(self, names: list[str]) -> list[int]:
+        wanted = set(names)
+        self._require_fitted()
+        return [i for i, attr in enumerate(self._column_attr)
+                if attr in wanted]
+
+    def cardinality(self, attribute_name: str) -> int:
+        """Distinct trained values for a categorical/list attribute."""
+        self._require_fitted()
+        if attribute_name not in self._codebooks:
+            raise DatasetError(
+                f"{attribute_name} has no codebook (not categorical/list)")
+        return self._codebooks[attribute_name].cardinality
+
+
+def canonical_attribute_symbol(value: object) -> object:
+    """A hashable per-attribute symbol for information-gain estimation:
+    lists collapse to their full tuple; everything else stands as-is."""
+    if isinstance(value, tuple):
+        return value
+    return value
+
+
+def symbol_column(samples: list[dict[str, object]],
+                  name: str) -> list[object]:
+    return [canonical_attribute_symbol(sample.get(name))
+            for sample in samples]

@@ -1,0 +1,353 @@
+"""Handshake attribute extraction (the green box of Fig 4).
+
+Two stages:
+
+1. :func:`parse_flow_handshake` — from a flow's first packets to a
+   :class:`HandshakeRecord` (transport, first-packet IP fields, SYN
+   header, ClientHello, QUIC transport parameters). This is the part that
+   parses bytes — including decrypting QUIC Initials.
+2. :func:`extract_attributes` — from a :class:`HandshakeRecord` to the
+   raw values of Table 2's 62 attributes.
+
+GREASE randomness (RFC 8701) is folded to a single ``GREASE`` symbol in
+list/categorical values so it cannot masquerade as platform signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import CryptoError, ParseError
+from repro.fingerprints.model import Transport
+from repro.net.ipv4 import PROTO_TCP, PROTO_UDP
+from repro.net.packet import Packet
+from repro.net.tcp import TCPHeader
+from repro.quic import (
+    TransportParameters,
+    is_quic_long_header,
+    unprotect_client_initial,
+)
+from repro.quic import transport_params as tp
+from repro.tls import constants as c
+from repro.tls import extensions as x
+from repro.tls.clienthello import ClientHello
+from repro.tls.grease import is_grease
+from repro.tls.record import parse_client_hello_records
+
+GREASE_SYMBOL = "GREASE"
+
+
+@dataclass(frozen=True)
+class HandshakeRecord:
+    """Everything the attribute generator needs from one video flow."""
+
+    transport: Transport
+    init_packet_size: int
+    ttl: int
+    client_hello: ClientHello
+    syn: TCPHeader | None = None
+    quic_params: TransportParameters | None = None
+
+    @property
+    def sni(self) -> str | None:
+        return self.client_hello.server_name
+
+
+def parse_flow_handshake(packets: Iterable[Packet]) -> HandshakeRecord:
+    """Parse the handshake out of a flow's packets (client side).
+
+    For TCP flows: the SYN provides t1–t14, the first packet with a TLS
+    handshake payload provides the ClientHello. For QUIC flows: the first
+    long-header datagram is unprotected and provides everything.
+
+    Raises :class:`ParseError` if no handshake can be recovered, or
+    :class:`CryptoError` if a QUIC Initial fails authentication.
+    """
+    packets = list(packets)
+    if not packets:
+        raise ParseError("empty flow")
+    first = packets[0]
+    if first.is_udp:
+        return _parse_quic(packets)
+    return _parse_tcp(packets)
+
+
+def _parse_tcp(packets: list[Packet]) -> HandshakeRecord:
+    syn_packet = None
+    for packet in packets:
+        if packet.is_tcp and packet.tcp.flag_syn and not packet.tcp.flag_ack:
+            syn_packet = packet
+            break
+    if syn_packet is None:
+        raise ParseError("no client SYN in TCP flow")
+    client_ip = syn_packet.ip.src
+    hello = None
+    for packet in packets:
+        if not packet.is_tcp or packet.ip.src != client_ip:
+            continue
+        if not packet.payload or packet.payload[0] != \
+                c.CONTENT_TYPE_HANDSHAKE:
+            continue
+        try:
+            hello = parse_client_hello_records(packet.payload)
+            break
+        except ParseError:
+            continue
+    if hello is None:
+        raise ParseError("no ClientHello in TCP flow")
+    return HandshakeRecord(
+        transport=Transport.TCP,
+        init_packet_size=syn_packet.ip.total_length
+        or len(syn_packet.to_bytes()) - 14,
+        ttl=syn_packet.ip.ttl,
+        client_hello=hello,
+        syn=syn_packet.tcp,
+    )
+
+
+def _parse_quic(packets: list[Packet]) -> HandshakeRecord:
+    for packet in packets:
+        if not packet.is_udp or not is_quic_long_header(packet.payload):
+            continue
+        try:
+            initial = unprotect_client_initial(packet.payload)
+        except (ParseError, CryptoError):
+            continue
+        hello = ClientHello.parse_handshake(initial.crypto_stream)
+        params = None
+        ext = hello.extension(c.EXT_QUIC_TRANSPORT_PARAMETERS)
+        if ext is not None:
+            params = TransportParameters.parse(ext.data)
+        return HandshakeRecord(
+            transport=Transport.QUIC,
+            init_packet_size=packet.ip.total_length
+            or len(packet.to_bytes()) - 14,
+            ttl=packet.ip.ttl,
+            client_hello=hello,
+            quic_params=params,
+        )
+    raise ParseError("no decryptable QUIC Initial in UDP flow")
+
+
+# --- attribute value extraction ------------------------------------------------
+
+
+def _fold_grease_code(value: int, fold: bool) -> object:
+    return GREASE_SYMBOL if fold and is_grease(value) else value
+
+
+def _fold_list(values: Iterable[int], fold: bool) -> tuple[object, ...]:
+    return tuple(_fold_grease_code(v, fold) for v in values)
+
+
+def _ext_data(hello: ClientHello, ext_type: int) -> bytes | None:
+    ext = hello.extension(ext_type)
+    return None if ext is None else ext.data
+
+
+def _length_of(hello: ClientHello, ext_type: int) -> int:
+    """Length-kind attribute value: 0 when the extension is absent,
+    1 + len(data) when present — a present-but-empty extension (e.g.
+    signed_certificate_timestamp in a ClientHello) is distinguishable
+    from an absent one, matching the paper's "0 if a field does not
+    appear" convention."""
+    data = _ext_data(hello, ext_type)
+    return 0 if data is None else 1 + len(data)
+
+
+def _presence(flag: bool) -> int:
+    return 1 if flag else 0
+
+
+def _quic_varint(params: TransportParameters | None, pid: int) -> int:
+    if params is None:
+        return 0
+    value = params.get_varint(pid)
+    return 0 if value is None else value
+
+
+def _quic_presence(params: TransportParameters | None, pid: int) -> int:
+    return _presence(params is not None and params.has(pid))
+
+
+def _quic_length(params: TransportParameters | None, pid: int) -> int:
+    if params is None:
+        return 0
+    value = params.get(pid)
+    return 0 if value is None else len(value)
+
+
+def _quic_categorical(params: TransportParameters | None,
+                      pid: int) -> object:
+    if params is None:
+        return None
+    value = params.get(pid)
+    if value is None:
+        return None
+    return value.hex()
+
+
+_GREASE_TP_NAME = GREASE_SYMBOL
+
+
+def _quic_param_ids(params: TransportParameters | None,
+                    fold: bool = True) -> tuple[object, ...]:
+    if params is None:
+        return ()
+    out: list[object] = []
+    for pid in params.ids:
+        if fold and pid % 31 == 27:  # reserved GREASE transport parameter
+            out.append(_GREASE_TP_NAME)
+        else:
+            out.append(pid)
+    return tuple(out)
+
+
+def extract_attributes(record: HandshakeRecord,
+                       fold_grease: bool = True) -> dict[str, object]:
+    """Raw values for all attributes applicable to this record's
+    transport; absent fields get the canonical absent value (0 for
+    numeric kinds, None for categorical, () for lists), per §3.3.2.
+
+    ``fold_grease=False`` keeps raw GREASE code points — used by the
+    Fig 3/12 field-value analyses, which count raw wire values; the ML
+    feature path folds them so per-session randomness cannot pose as
+    platform signal.
+    """
+    hello = record.client_hello
+    syn = record.syn
+    params = record.quic_params
+    fold = fold_grease
+    values: dict[str, object] = {
+        "init_packet_size": record.init_packet_size,
+        "ttl": record.ttl,
+        "handshake_length": hello.handshake_length,
+        "tls_version": hello.legacy_version,
+        "cipher_suites": _fold_list(hello.cipher_suites, fold),
+        "compression_methods": len(hello.compression_methods),
+        "extensions_length": hello.extensions_length,
+        "tls_extensions": _fold_list(hello.extension_types, fold),
+        "server_name": _length_of(hello, c.EXT_SERVER_NAME),
+        "status_request": (
+            None if not hello.has_extension(c.EXT_STATUS_REQUEST)
+            else (_ext_data(hello, c.EXT_STATUS_REQUEST) or b"").hex()),
+        "supported_groups": _fold_list(hello.supported_groups, fold),
+        "ec_point_formats": (
+            None if not hello.has_extension(c.EXT_EC_POINT_FORMATS)
+            else str(tuple(x.parse_ec_point_formats(
+                hello.extension(c.EXT_EC_POINT_FORMATS))))),
+        "signature_algorithms": _fold_list(hello.signature_algorithms, fold),
+        "application_layer_protocol_negotiation": hello.alpn_protocols,
+        "signed_certificate_timestamp": _length_of(
+            hello, c.EXT_SIGNED_CERTIFICATE_TIMESTAMP),
+        "padding": _length_of(hello, c.EXT_PADDING),
+        "encrypt_then_mac": _presence(
+            hello.has_extension(c.EXT_ENCRYPT_THEN_MAC)),
+        "extended_master_secret": _presence(
+            hello.has_extension(c.EXT_EXTENDED_MASTER_SECRET)),
+        "compress_certificate": (
+            None if not hello.has_extension(c.EXT_COMPRESS_CERTIFICATE)
+            else str(tuple(x.parse_compress_certificate(
+                hello.extension(c.EXT_COMPRESS_CERTIFICATE))))),
+        "record_size_limit": (
+            0 if not hello.has_extension(c.EXT_RECORD_SIZE_LIMIT)
+            else x.parse_record_size_limit(
+                hello.extension(c.EXT_RECORD_SIZE_LIMIT))),
+        "delegated_credentials": (
+            () if not hello.has_extension(c.EXT_DELEGATED_CREDENTIALS)
+            else _fold_list(x.parse_delegated_credentials(
+                hello.extension(c.EXT_DELEGATED_CREDENTIALS)), fold)),
+        "session_ticket": _length_of(hello, c.EXT_SESSION_TICKET),
+        "pre_shared_key": _presence(
+            hello.has_extension(c.EXT_PRE_SHARED_KEY)),
+        "early_data": _length_of(hello, c.EXT_EARLY_DATA),
+        "supported_versions": _fold_list(hello.supported_versions, fold),
+        "psk_key_exchange_modes": (
+            None if not hello.has_extension(c.EXT_PSK_KEY_EXCHANGE_MODES)
+            else str(tuple(x.parse_psk_key_exchange_modes(
+                hello.extension(c.EXT_PSK_KEY_EXCHANGE_MODES))))),
+        "post_handshake_auth": _presence(
+            hello.has_extension(c.EXT_POST_HANDSHAKE_AUTH)),
+        "key_share": _fold_list(
+            (group for group, _ in hello.key_share_entries), fold),
+        "application_settings": (
+            () if not hello.has_extension(c.EXT_APPLICATION_SETTINGS)
+            else x.parse_alpn(hello.extension(c.EXT_APPLICATION_SETTINGS))),
+        "renegotiation_info": _presence(
+            hello.has_extension(c.EXT_RENEGOTIATION_INFO)),
+    }
+
+    if record.transport is Transport.TCP:
+        if syn is None:
+            raise ParseError("TCP record without SYN header")
+        values.update({
+            "tcp_cwr": _presence(syn.flag_cwr),
+            "tcp_ece": _presence(syn.flag_ece),
+            "tcp_urg": _presence(syn.flag_urg),
+            "tcp_ack": _presence(syn.flag_ack),
+            "tcp_psh": _presence(syn.flag_psh),
+            "tcp_rst": _presence(syn.flag_rst),
+            "tcp_syn": _presence(syn.flag_syn),
+            "tcp_fin": _presence(syn.flag_fin),
+            "tcp_window_size": syn.window,
+            "tcp_mss": syn.mss or 0,
+            "tcp_window_scale": (syn.window_scale
+                                 if syn.window_scale is not None else 0),
+            "tcp_sack_permitted": _presence(syn.sack_permitted),
+        })
+    else:
+        values.update({
+            "quic_parameters": _quic_param_ids(params, fold),
+            "max_idle_timeout": _quic_varint(params, tp.TP_MAX_IDLE_TIMEOUT),
+            "max_udp_payload_size": _quic_varint(
+                params, tp.TP_MAX_UDP_PAYLOAD_SIZE),
+            "initial_max_data": _quic_varint(
+                params, tp.TP_INITIAL_MAX_DATA),
+            "initial_max_stream_data_bidi_local": _quic_varint(
+                params, tp.TP_INITIAL_MAX_STREAM_DATA_BIDI_LOCAL),
+            "initial_max_stream_data_bidi_remote": _quic_varint(
+                params, tp.TP_INITIAL_MAX_STREAM_DATA_BIDI_REMOTE),
+            "initial_max_stream_data_uni": _quic_varint(
+                params, tp.TP_INITIAL_MAX_STREAM_DATA_UNI),
+            "initial_max_streams_bidi": _quic_varint(
+                params, tp.TP_INITIAL_MAX_STREAMS_BIDI),
+            "initial_max_streams_uni": _quic_varint(
+                params, tp.TP_INITIAL_MAX_STREAMS_UNI),
+            "max_ack_delay": _quic_varint(params, tp.TP_MAX_ACK_DELAY),
+            "disable_active_migration": _quic_presence(
+                params, tp.TP_DISABLE_ACTIVE_MIGRATION),
+            "active_connection_id_limit": _quic_varint(
+                params, tp.TP_ACTIVE_CONNECTION_ID_LIMIT),
+            "initial_source_connection_id": _quic_length(
+                params, tp.TP_INITIAL_SOURCE_CONNECTION_ID),
+            "max_datagram_frame_size": _quic_varint(
+                params, tp.TP_MAX_DATAGRAM_FRAME_SIZE),
+            "grease_quic_bit": _quic_presence(
+                params, tp.TP_GREASE_QUIC_BIT),
+            "initial_rtt": _quic_presence(params, tp.TP_INITIAL_RTT),
+            "google_connection_options": _quic_categorical(
+                params, tp.TP_GOOGLE_CONNECTION_OPTIONS),
+            "user_agent": (
+                None if params is None
+                else params.get_utf8(tp.TP_USER_AGENT)),
+            "google_version": (
+                None if params is None
+                else params.get_utf8(tp.TP_GOOGLE_VERSION)),
+            "version_information": _quic_categorical(
+                params, tp.TP_VERSION_INFORMATION),
+        })
+    return values
+
+
+def extract_flow_attributes(packets: Iterable[Packet],
+                            fold_grease: bool = True
+                            ) -> tuple[dict[str, object], HandshakeRecord]:
+    """Convenience: parse + extract in one call."""
+    record = parse_flow_handshake(packets)
+    return extract_attributes(record, fold_grease=fold_grease), record
+
+
+def attributes_to_row(values: Mapping[str, object],
+                      names: Iterable[str]) -> list[object]:
+    return [values.get(name) for name in names]

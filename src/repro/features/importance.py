@@ -1,0 +1,143 @@
+"""Attribute importance via information gain (§4.2.2, Figs 5 and 14).
+
+The paper scores each attribute by the mutual information between the
+attribute's value and the prediction target, normalized to [0, 1], and
+tiers attributes as high (> 0.2), medium (0.1–0.2) or low (< 0.1).
+Values are treated as discrete symbols (list attributes collapse to their
+full tuple), matching the paper's 1:1 value mapping.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.features.encode import symbol_column
+from repro.features.schema import AttributeSpec, attributes_for
+from repro.fingerprints.model import Transport
+
+HIGH_THRESHOLD = 0.2
+MEDIUM_THRESHOLD = 0.1
+
+
+def entropy(labels: list[object]) -> float:
+    """Shannon entropy (bits) of a discrete sample."""
+    n = len(labels)
+    if n == 0:
+        return 0.0
+    counts = Counter(labels)
+    return -sum((k / n) * math.log2(k / n) for k in counts.values())
+
+
+def mutual_information(xs: list[object], ys: list[object]) -> float:
+    """Plug-in MI estimate (bits) between two discrete samples."""
+    if len(xs) != len(ys):
+        raise ValueError("samples must align")
+    n = len(xs)
+    if n == 0:
+        return 0.0
+    joint = Counter(zip(xs, ys))
+    px = Counter(xs)
+    py = Counter(ys)
+    mi = 0.0
+    for (xv, yv), k in joint.items():
+        p_xy = k / n
+        mi += p_xy * math.log2(p_xy * n * n / (px[xv] * py[yv]))
+    return max(0.0, mi)
+
+
+def normalized_information_gain(xs: list[object],
+                                ys: list[object]) -> float:
+    """MI normalized by the label entropy, in [0, 1]."""
+    h = entropy(ys)
+    if h == 0:
+        return 0.0
+    return min(1.0, mutual_information(xs, ys) / h)
+
+
+@dataclass(frozen=True)
+class AttributeImportance:
+    spec: AttributeSpec
+    score: float
+
+    @property
+    def tier(self) -> str:
+        if self.score > HIGH_THRESHOLD:
+            return "high"
+        if self.score >= MEDIUM_THRESHOLD:
+            return "medium"
+        return "low"
+
+
+def rank_attributes(samples: list[dict[str, object]],
+                    labels: list[str],
+                    transport: Transport) -> list[AttributeImportance]:
+    """Importance of every transport-applicable attribute for ``labels``.
+
+    Returned in schema order (t1..q20) so plots/benches line up with
+    Fig 5's x-axis.
+    """
+    out: list[AttributeImportance] = []
+    for spec in attributes_for(transport):
+        xs = symbol_column(samples, spec.name)
+        score = normalized_information_gain(xs, labels)
+        out.append(AttributeImportance(spec, score))
+    return out
+
+
+def importance_by_objective(
+    samples: list[dict[str, object]],
+    platform_labels: list[str],
+    device_labels: list[str],
+    agent_labels: list[str],
+    transport: Transport,
+) -> dict[str, list[AttributeImportance]]:
+    """Fig 5's three bar groups: user platform, device type, agent."""
+    return {
+        "user_platform": rank_attributes(samples, platform_labels,
+                                         transport),
+        "device_type": rank_attributes(samples, device_labels, transport),
+        "software_agent": rank_attributes(samples, agent_labels,
+                                          transport),
+    }
+
+
+def select_attributes_by_policy(
+    importances: list[AttributeImportance],
+    exclude_costs: tuple[str, ...],
+) -> list[str]:
+    """Table 5's subset policies: drop low-importance attributes whose
+    cost tier is in ``exclude_costs``; keep everything else."""
+    kept = []
+    for imp in importances:
+        if imp.tier == "low" and imp.spec.cost.value in exclude_costs:
+            continue
+        kept.append(imp.spec.name)
+    return kept
+
+
+def unique_value_count(samples: list[dict[str, object]],
+                       name: str) -> int:
+    """Fig 3's blue bars: number of distinct values a field takes."""
+    return len(set(symbol_column(samples, name)))
+
+
+def platforms_with_unique_distribution(
+    samples: list[dict[str, object]], labels: list[str], name: str
+) -> int:
+    """Fig 3's purple bars: how many platforms exhibit a value
+    distribution over this field that no other platform shares."""
+    per_platform: dict[str, Counter] = {}
+    for sample, label in zip(samples, labels):
+        symbol = symbol_column([sample], name)[0]
+        per_platform.setdefault(label, Counter())[symbol] += 1
+    normalized = {}
+    for label, counter in per_platform.items():
+        total = sum(counter.values())
+        normalized[label] = frozenset(
+            (value, round(count / total, 2))
+            for value, count in counter.items())
+    counts = Counter(normalized.values())
+    return sum(1 for label, dist in normalized.items()
+               if counts[dist] == 1)

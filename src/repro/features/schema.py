@@ -1,0 +1,205 @@
+"""The 62-attribute schema of Table 2.
+
+Every attribute carries its paper label (t1..t14, m1..m5, o1..o23,
+q1..q20), value kind, preprocessing-cost tier and transport
+applicability. 50 of the 62 apply to QUIC flows (no TCP header fields),
+42 to TCP flows (no QUIC transport parameters) — matching §4.3.1's
+"out of the 62 attributes overall, only 50 are applicable to QUIC".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ConfigError
+from repro.fingerprints.model import Transport
+
+
+class AttributeKind(str, Enum):
+    NUMERICAL = "numerical"
+    CATEGORICAL = "categorical"
+    LIST = "list"
+    PRESENCE = "presence"
+    LENGTH = "length"
+
+
+class Cost(str, Enum):
+    """Preprocessing cost tier (§4.2.1): numerical/length/presence need no
+    transformation (low); categorical needs one dictionary lookup
+    (medium); list needs a lookup per item (high)."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+
+class Category(str, Enum):
+    TRANSPORT = "transport layer"
+    MANDATORY = "mandatory fields"
+    OPTIONAL = "optional extensions"
+    QUIC = "QUIC parameters"
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    name: str
+    label: str
+    category: Category
+    kind: AttributeKind
+    transports: tuple[Transport, ...]
+
+    @property
+    def cost(self) -> Cost:
+        if self.kind is AttributeKind.CATEGORICAL:
+            return Cost.MEDIUM
+        if self.kind is AttributeKind.LIST:
+            return Cost.HIGH
+        return Cost.LOW
+
+
+_BOTH = (Transport.TCP, Transport.QUIC)
+_TCP = (Transport.TCP,)
+_QUIC = (Transport.QUIC,)
+
+_N = AttributeKind.NUMERICAL
+_C = AttributeKind.CATEGORICAL
+_L = AttributeKind.LIST
+_P = AttributeKind.PRESENCE
+_G = AttributeKind.LENGTH
+
+ATTRIBUTES: tuple[AttributeSpec, ...] = (
+    # --- transport layer (t1-t14) ---------------------------------------
+    AttributeSpec("init_packet_size", "t1", Category.TRANSPORT, _N, _BOTH),
+    AttributeSpec("ttl", "t2", Category.TRANSPORT, _N, _BOTH),
+    AttributeSpec("tcp_cwr", "t3", Category.TRANSPORT, _P, _TCP),
+    AttributeSpec("tcp_ece", "t4", Category.TRANSPORT, _P, _TCP),
+    AttributeSpec("tcp_urg", "t5", Category.TRANSPORT, _P, _TCP),
+    AttributeSpec("tcp_ack", "t6", Category.TRANSPORT, _P, _TCP),
+    AttributeSpec("tcp_psh", "t7", Category.TRANSPORT, _P, _TCP),
+    AttributeSpec("tcp_rst", "t8", Category.TRANSPORT, _P, _TCP),
+    AttributeSpec("tcp_syn", "t9", Category.TRANSPORT, _P, _TCP),
+    AttributeSpec("tcp_fin", "t10", Category.TRANSPORT, _P, _TCP),
+    AttributeSpec("tcp_window_size", "t11", Category.TRANSPORT, _N, _TCP),
+    AttributeSpec("tcp_mss", "t12", Category.TRANSPORT, _N, _TCP),
+    AttributeSpec("tcp_window_scale", "t13", Category.TRANSPORT, _N, _TCP),
+    AttributeSpec("tcp_sack_permitted", "t14", Category.TRANSPORT, _P,
+                  _TCP),
+    # --- TLS mandatory fields (m1-m5) -------------------------------------
+    AttributeSpec("handshake_length", "m1", Category.MANDATORY, _N, _BOTH),
+    AttributeSpec("tls_version", "m2", Category.MANDATORY, _C, _BOTH),
+    AttributeSpec("cipher_suites", "m3", Category.MANDATORY, _L, _BOTH),
+    AttributeSpec("compression_methods", "m4", Category.MANDATORY, _G,
+                  _BOTH),
+    AttributeSpec("extensions_length", "m5", Category.MANDATORY, _N,
+                  _BOTH),
+    # --- TLS optional extensions (o1-o23) ----------------------------------
+    AttributeSpec("tls_extensions", "o1", Category.OPTIONAL, _L, _BOTH),
+    AttributeSpec("server_name", "o2", Category.OPTIONAL, _G, _BOTH),
+    AttributeSpec("status_request", "o3", Category.OPTIONAL, _C, _BOTH),
+    AttributeSpec("supported_groups", "o4", Category.OPTIONAL, _L, _BOTH),
+    AttributeSpec("ec_point_formats", "o5", Category.OPTIONAL, _C, _BOTH),
+    AttributeSpec("signature_algorithms", "o6", Category.OPTIONAL, _L,
+                  _BOTH),
+    AttributeSpec("application_layer_protocol_negotiation", "o7",
+                  Category.OPTIONAL, _L, _BOTH),
+    AttributeSpec("signed_certificate_timestamp", "o8", Category.OPTIONAL,
+                  _G, _BOTH),
+    AttributeSpec("padding", "o9", Category.OPTIONAL, _G, _BOTH),
+    AttributeSpec("encrypt_then_mac", "o10", Category.OPTIONAL, _P, _BOTH),
+    AttributeSpec("extended_master_secret", "o11", Category.OPTIONAL, _P,
+                  _BOTH),
+    AttributeSpec("compress_certificate", "o12", Category.OPTIONAL, _C,
+                  _BOTH),
+    AttributeSpec("record_size_limit", "o13", Category.OPTIONAL, _N,
+                  _BOTH),
+    AttributeSpec("delegated_credentials", "o14", Category.OPTIONAL, _L,
+                  _BOTH),
+    AttributeSpec("session_ticket", "o15", Category.OPTIONAL, _G, _BOTH),
+    AttributeSpec("pre_shared_key", "o16", Category.OPTIONAL, _P, _BOTH),
+    AttributeSpec("early_data", "o17", Category.OPTIONAL, _G, _BOTH),
+    AttributeSpec("supported_versions", "o18", Category.OPTIONAL, _L,
+                  _BOTH),
+    AttributeSpec("psk_key_exchange_modes", "o19", Category.OPTIONAL, _C,
+                  _BOTH),
+    AttributeSpec("post_handshake_auth", "o20", Category.OPTIONAL, _P,
+                  _BOTH),
+    AttributeSpec("key_share", "o21", Category.OPTIONAL, _L, _BOTH),
+    AttributeSpec("application_settings", "o22", Category.OPTIONAL, _L,
+                  _BOTH),
+    AttributeSpec("renegotiation_info", "o23", Category.OPTIONAL, _P,
+                  _BOTH),
+    # --- QUIC transport parameters (q1-q20) -----------------------------------
+    AttributeSpec("quic_parameters", "q1", Category.QUIC, _L, _QUIC),
+    AttributeSpec("max_idle_timeout", "q2", Category.QUIC, _N, _QUIC),
+    AttributeSpec("max_udp_payload_size", "q3", Category.QUIC, _N, _QUIC),
+    AttributeSpec("initial_max_data", "q4", Category.QUIC, _N, _QUIC),
+    AttributeSpec("initial_max_stream_data_bidi_local", "q5",
+                  Category.QUIC, _N, _QUIC),
+    AttributeSpec("initial_max_stream_data_bidi_remote", "q6",
+                  Category.QUIC, _N, _QUIC),
+    AttributeSpec("initial_max_stream_data_uni", "q7", Category.QUIC, _N,
+                  _QUIC),
+    AttributeSpec("initial_max_streams_bidi", "q8", Category.QUIC, _N,
+                  _QUIC),
+    AttributeSpec("initial_max_streams_uni", "q9", Category.QUIC, _N,
+                  _QUIC),
+    AttributeSpec("max_ack_delay", "q10", Category.QUIC, _N, _QUIC),
+    AttributeSpec("disable_active_migration", "q11", Category.QUIC, _P,
+                  _QUIC),
+    AttributeSpec("active_connection_id_limit", "q12", Category.QUIC, _N,
+                  _QUIC),
+    AttributeSpec("initial_source_connection_id", "q13", Category.QUIC,
+                  _G, _QUIC),
+    AttributeSpec("max_datagram_frame_size", "q14", Category.QUIC, _N,
+                  _QUIC),
+    AttributeSpec("grease_quic_bit", "q15", Category.QUIC, _P, _QUIC),
+    AttributeSpec("initial_rtt", "q16", Category.QUIC, _P, _QUIC),
+    AttributeSpec("google_connection_options", "q17", Category.QUIC, _C,
+                  _QUIC),
+    AttributeSpec("user_agent", "q18", Category.QUIC, _C, _QUIC),
+    AttributeSpec("google_version", "q19", Category.QUIC, _C, _QUIC),
+    AttributeSpec("version_information", "q20", Category.QUIC, _C, _QUIC),
+)
+
+_BY_NAME = {spec.name: spec for spec in ATTRIBUTES}
+_BY_LABEL = {spec.label: spec for spec in ATTRIBUTES}
+
+
+def attribute(name: str) -> AttributeSpec:
+    if name in _BY_NAME:
+        return _BY_NAME[name]
+    if name in _BY_LABEL:
+        return _BY_LABEL[name]
+    raise ConfigError(f"unknown attribute {name!r}")
+
+
+def attributes_for(transport: Transport) -> tuple[AttributeSpec, ...]:
+    return tuple(spec for spec in ATTRIBUTES
+                 if transport in spec.transports)
+
+
+def assert_schema_consistent() -> None:
+    if len(ATTRIBUTES) != 62:
+        raise ConfigError(f"expected 62 attributes, got {len(ATTRIBUTES)}")
+    if len(attributes_for(Transport.QUIC)) != 50:
+        raise ConfigError("expected 50 QUIC-applicable attributes")
+    if len(attributes_for(Transport.TCP)) != 42:
+        raise ConfigError("expected 42 TCP-applicable attributes")
+    kinds = {AttributeKind.NUMERICAL: 0, AttributeKind.CATEGORICAL: 0,
+             AttributeKind.LIST: 0, AttributeKind.PRESENCE: 0,
+             AttributeKind.LENGTH: 0}
+    for spec in ATTRIBUTES:
+        kinds[spec.kind] += 1
+    # Counts per Table 2 (consistent with §4.2.2's "43 low-cost,
+    # 9 categorical, 10 list"; the §4.2 "20/31/11" sentence conflicts with
+    # the paper's own table).
+    low_cost = (kinds[AttributeKind.NUMERICAL]
+                + kinds[AttributeKind.PRESENCE]
+                + kinds[AttributeKind.LENGTH])
+    if low_cost != 43:
+        raise ConfigError(f"expected 43 low-cost attributes, got {low_cost}")
+    if kinds[AttributeKind.CATEGORICAL] != 9:
+        raise ConfigError("expected 9 categorical attributes")
+    if kinds[AttributeKind.LIST] != 10:
+        raise ConfigError("expected 10 list attributes")

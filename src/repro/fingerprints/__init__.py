@@ -1,0 +1,72 @@
+"""Platform fingerprint library: the identity model, provider registry,
+per-platform TCP/TLS/QUIC specs and version-drift transforms."""
+
+from repro.fingerprints.drift import drift_profile
+from repro.fingerprints.library import (
+    TABLE1_FLOW_COUNTS,
+    TCP_STACKS,
+    UNKNOWN_PLATFORM_LABELS,
+    YOUTUBE_QUIC_PLATFORMS,
+    YOUTUBE_TCP_PLATFORMS,
+    all_lab_platform_provider_pairs,
+    assert_library_consistent,
+    get_profile,
+    get_unknown_profile,
+    supported_platforms,
+    transports_for,
+)
+from repro.fingerprints.model import (
+    ALL_PLATFORMS,
+    DeviceClass,
+    DeviceType,
+    Provider,
+    SoftwareAgent,
+    Transport,
+    UserPlatform,
+)
+from repro.fingerprints.providers import (
+    PROVIDER_SPECS,
+    ProviderSpec,
+    detect_provider,
+)
+from repro.fingerprints.specs import (
+    ClientHelloSpec,
+    PlatformProfile,
+    QuicParamSpec,
+    QuicSpec,
+    TcpStackSpec,
+    build_client_hello,
+    build_transport_parameters,
+)
+
+__all__ = [
+    "ALL_PLATFORMS",
+    "ClientHelloSpec",
+    "DeviceClass",
+    "DeviceType",
+    "PROVIDER_SPECS",
+    "PlatformProfile",
+    "Provider",
+    "ProviderSpec",
+    "QuicParamSpec",
+    "QuicSpec",
+    "SoftwareAgent",
+    "TABLE1_FLOW_COUNTS",
+    "TCP_STACKS",
+    "TcpStackSpec",
+    "Transport",
+    "UNKNOWN_PLATFORM_LABELS",
+    "UserPlatform",
+    "YOUTUBE_QUIC_PLATFORMS",
+    "YOUTUBE_TCP_PLATFORMS",
+    "all_lab_platform_provider_pairs",
+    "assert_library_consistent",
+    "build_client_hello",
+    "build_transport_parameters",
+    "detect_provider",
+    "drift_profile",
+    "get_profile",
+    "get_unknown_profile",
+    "supported_platforms",
+    "transports_for",
+]

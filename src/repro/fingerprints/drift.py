@@ -1,0 +1,127 @@
+"""Version drift transforms for the open-set (home network) evaluation.
+
+The paper's Table 3 tests models trained on lab captures against a home
+capture where "the OS versions as well as those of the software agents
+are different". This module derives a *drifted* profile from a lab
+profile, modelling the kinds of changes software updates actually make:
+
+* browser release bumps: new cipher-suite tail entries, an extension
+  gained or lost, changed padding boundary (shifts handshake_length),
+  updated QUIC user_agent strings and flow-control defaults;
+* OS updates: slightly different TCP window defaults;
+* app updates: changed resumption behaviour.
+
+Transforms are deterministic per (platform, provider, seed) so the
+open-set dataset is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.fingerprints.specs import (
+    ClientHelloSpec,
+    PlatformProfile,
+    QuicParamSpec,
+    QuicSpec,
+    TcpStackSpec,
+)
+from repro.tls import constants as c
+from repro.util.rng import SeededRNG
+
+
+def _drift_hello(spec: ClientHelloSpec, rng: SeededRNG,
+                 strength: float) -> ClientHelloSpec:
+    out = spec
+    # Padding boundary moves with release trains -> handshake_length shift.
+    if out.padding_target is not None and rng.bernoulli(0.5 * strength):
+        out = replace(out,
+                      padding_target=out.padding_target
+                      + rng.choice([-7, -5, 5, 9, 16]))
+    # A cipher suite added or dropped at the tail.
+    if len(out.cipher_suites) > 6 and rng.bernoulli(0.35 * strength):
+        if rng.bernoulli(0.5):
+            out = replace(out, cipher_suites=out.cipher_suites[:-1])
+        else:
+            extra = (c.RSA_AES128_CBC_SHA256,)
+            if extra[0] not in out.cipher_suites:
+                out = replace(out,
+                              cipher_suites=out.cipher_suites + extra)
+    # New key-exchange group rollout (hybrid PQ experiment flags) —
+    # a Chromium-only phenomenon in this window, so only specs from the
+    # Chromium family (GREASE + randomized extension order) take part.
+    if out.grease and rng.bernoulli(0.25 * strength):
+        if c.GROUP_X25519_KYBER768 in out.groups:
+            groups = tuple(g for g in out.groups
+                           if g != c.GROUP_X25519_KYBER768)
+            out = replace(out, groups=(c.GROUP_X25519_MLKEM768,) + groups)
+        elif out.randomized_extension_order and out.groups and \
+                out.groups[0] == c.GROUP_X25519:
+            out = replace(out,
+                          groups=(c.GROUP_X25519_KYBER768,) + out.groups)
+    # An optional extension gained/lost across versions.
+    if rng.bernoulli(0.3 * strength):
+        order = list(out.extension_order)
+        if "sct" in order and rng.bernoulli(0.5):
+            order.remove("sct")
+            out = replace(out, extension_order=tuple(order))
+        elif "post_handshake_auth" not in order and "key_share" in order:
+            order.insert(order.index("key_share"), "post_handshake_auth")
+            out = replace(out, extension_order=tuple(order))
+    # Session resumption habits change with app usage patterns at home.
+    if rng.bernoulli(0.5 * strength):
+        delta = rng.uniform(-0.12, 0.15)
+        prob = min(0.8, max(0.0, out.resumption_probability + delta))
+        out = replace(out, resumption_probability=prob)
+    return out
+
+
+def _drift_quic(spec: QuicSpec, rng: SeededRNG, strength: float) -> QuicSpec:
+    params = list(spec.params)
+    changed: list[QuicParamSpec] = []
+    for param in params:
+        if param.kind == "utf8" and param.name == "user_agent" and \
+                rng.bernoulli(min(1.0, 0.4 * strength)):
+            # Version string bump (a minority of home devices moved to a
+            # release train the lab never saw).
+            text = str(param.value)
+            bumped = text.replace("119.0", "121.0").replace(
+                "18.45", "19.03")
+            changed.append(QuicParamSpec("user_agent", "utf8", bumped))
+        elif (param.kind == "varint"
+              and param.name == "initial_max_data"
+              and rng.bernoulli(0.25 * strength)):
+            changed.append(QuicParamSpec(
+                param.name, "varint", int(int(param.value) * 1.5)))
+        elif (param.kind == "varint"
+              and param.name == "max_idle_timeout"
+              and rng.bernoulli(0.2 * strength)):
+            changed.append(QuicParamSpec(param.name, "varint", 45000))
+        else:
+            changed.append(param)
+    return replace(spec, params=tuple(changed))
+
+
+def _drift_tcp(stack: TcpStackSpec, rng: SeededRNG,
+               strength: float) -> TcpStackSpec:
+    out = stack
+    if rng.bernoulli(0.2 * strength):
+        out = replace(out, window_size=max(8192, out.window_size - 989))
+    if out.mss_alternatives and rng.bernoulli(0.25 * strength):
+        out = replace(out, mss=out.mss_alternatives[0],
+                      mss_alternatives=(stack.mss,))
+    return out
+
+
+def drift_profile(profile: PlatformProfile, rng: SeededRNG,
+                  strength: float = 1.0) -> PlatformProfile:
+    """A new-version variant of ``profile``; ``strength`` in [0, 1.5]."""
+    return replace(
+        profile,
+        tcp_stack=_drift_tcp(profile.tcp_stack, rng, strength),
+        tls_tcp=_drift_hello(profile.tls_tcp, rng, strength),
+        tls_quic=(None if profile.tls_quic is None
+                  else _drift_hello(profile.tls_quic, rng, strength)),
+        quic=(None if profile.quic is None
+              else _drift_quic(profile.quic, rng, strength)),
+    )

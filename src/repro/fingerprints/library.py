@@ -1,0 +1,896 @@
+"""The platform fingerprint library: concrete TCP/TLS/QUIC specs for each
+of Table 1's 17 user platforms (plus a few *unknown* platforms the campus
+simulation injects to exercise the pipeline's low-confidence rejection).
+
+Values follow the public fingerprints of the real stacks as of the
+paper's capture window (mid/late 2023 era Chrome/Firefox/Safari releases,
+Windows 11 Schannel, Android OkHttp/Cronet, PlayStation WebMAF):
+
+* cipher-suite lists and orders per family (BoringSSL/NSS/SecureTransport
+  /Schannel);
+* TLS extension sets and order, GREASE behaviour, Chrome's randomized
+  extension order (>= v110), Firefox's record_size_limit = 16385 and
+  delegated_credentials, Apple's five-entry supported_versions;
+* OS TCP stacks: Windows TTL 128 / win 64240 / no timestamps vs. the
+  Unix-family TTL 64 stacks with their distinct option orders;
+* QUIC transport parameter sets: Google parameters (user_agent,
+  google_connection_options, google_version, initial_rtt) only from
+  Chromium/Cronet clients; grease_quic_bit from Firefox (the paper calls
+  this out explicitly for Windows Firefox) and newer Chromium.
+
+The *lookalike* entries encode stack-sharing between platforms (Apple
+WebKit across Safari/iOS-Chrome/app webviews, Cronet across YouTube
+mobile apps, Chromium across Chrome/Edge) and give rise to the confusion
+structure of Fig 6(b) rather than hard-coding any confusion matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import ConfigError
+from repro.fingerprints.model import (
+    ALL_PLATFORMS,
+    DeviceType,
+    Provider,
+    SoftwareAgent,
+    Transport,
+    UserPlatform,
+)
+from repro.fingerprints.specs import (
+    ClientHelloSpec,
+    PlatformProfile,
+    QuicParamSpec,
+    QuicSpec,
+    TcpStackSpec,
+)
+from repro.tls import constants as c
+
+# ---------------------------------------------------------------------------
+# TCP stacks per device OS
+# ---------------------------------------------------------------------------
+
+TCP_STACKS: dict[DeviceType, TcpStackSpec] = {
+    DeviceType.WINDOWS: TcpStackSpec(
+        ttl=128, window_size=64240, mss=1460, window_scale=8,
+        sack_permitted=True, timestamps=False, ecn_setup=False,
+        option_order=("mss", "nop", "window_scale", "nop", "nop",
+                      "sack_permitted"),
+        mss_alternatives=(1440,),
+    ),
+    DeviceType.MACOS: TcpStackSpec(
+        ttl=64, window_size=65535, mss=1460, window_scale=6,
+        sack_permitted=True, timestamps=True, ecn_setup=True,
+        option_order=("mss", "nop", "window_scale", "nop", "nop",
+                      "timestamps", "sack_permitted", "eol"),
+        mss_alternatives=(1448,),
+    ),
+    DeviceType.IOS: TcpStackSpec(
+        ttl=64, window_size=65535, mss=1448, window_scale=5,
+        sack_permitted=True, timestamps=True, ecn_setup=True,
+        option_order=("mss", "nop", "window_scale", "nop", "nop",
+                      "timestamps", "sack_permitted", "eol"),
+        mss_alternatives=(1460,),
+    ),
+    DeviceType.ANDROID: TcpStackSpec(
+        ttl=64, window_size=65535, mss=1460, window_scale=9,
+        sack_permitted=True, timestamps=True, ecn_setup=False,
+        option_order=("mss", "sack_permitted", "timestamps", "nop",
+                      "window_scale"),
+        mss_alternatives=(1400,),
+    ),
+    DeviceType.ANDROID_TV: TcpStackSpec(
+        ttl=64, window_size=65535, mss=1460, window_scale=7,
+        sack_permitted=True, timestamps=True, ecn_setup=False,
+        option_order=("mss", "sack_permitted", "timestamps", "nop",
+                      "window_scale"),
+    ),
+    DeviceType.PLAYSTATION: TcpStackSpec(
+        ttl=64, window_size=65535, mss=1460, window_scale=6,
+        sack_permitted=True, timestamps=True, ecn_setup=False,
+        option_order=("mss", "nop", "window_scale", "sack_permitted",
+                      "timestamps"),
+    ),
+}
+
+# ---------------------------------------------------------------------------
+# TLS ClientHello family base specs
+# ---------------------------------------------------------------------------
+
+_CHROMIUM_SUITES = (
+    c.TLS_AES_128_GCM_SHA256, c.TLS_AES_256_GCM_SHA384,
+    c.TLS_CHACHA20_POLY1305_SHA256,
+    c.ECDHE_ECDSA_AES128_GCM, c.ECDHE_RSA_AES128_GCM,
+    c.ECDHE_ECDSA_AES256_GCM, c.ECDHE_RSA_AES256_GCM,
+    c.ECDHE_ECDSA_CHACHA20, c.ECDHE_RSA_CHACHA20,
+    c.ECDHE_RSA_AES128_CBC_SHA, c.ECDHE_RSA_AES256_CBC_SHA,
+    c.RSA_AES128_GCM, c.RSA_AES256_GCM,
+    c.RSA_AES128_CBC_SHA, c.RSA_AES256_CBC_SHA,
+)
+
+_CHROMIUM_SIGALGS = (
+    c.SIG_ECDSA_SECP256R1_SHA256, c.SIG_RSA_PSS_RSAE_SHA256,
+    c.SIG_RSA_PKCS1_SHA256, c.SIG_ECDSA_SECP384R1_SHA384,
+    c.SIG_RSA_PSS_RSAE_SHA384, c.SIG_RSA_PKCS1_SHA384,
+    c.SIG_RSA_PSS_RSAE_SHA512, c.SIG_RSA_PKCS1_SHA512,
+)
+
+_CHROMIUM_ORDER_TCP = (
+    "grease_first", "server_name", "extended_master_secret",
+    "renegotiation_info", "supported_groups", "ec_point_formats",
+    "session_ticket", "alpn", "status_request", "signature_algorithms",
+    "sct", "key_share", "psk_key_exchange_modes", "supported_versions",
+    "compress_certificate", "application_settings", "grease_last",
+    "padding", "pre_shared_key",
+)
+
+CHROME_TCP = ClientHelloSpec(
+    cipher_suites=_CHROMIUM_SUITES,
+    extension_order=_CHROMIUM_ORDER_TCP,
+    groups=(c.GROUP_X25519_KYBER768, c.GROUP_X25519, c.GROUP_SECP256R1,
+            c.GROUP_SECP384R1),
+    signature_algorithms=_CHROMIUM_SIGALGS,
+    alpn=("h2", "http/1.1"),
+    key_share_groups=(c.GROUP_X25519,),
+    compress_certificate=(c.CERT_COMPRESSION_BROTLI,),
+    application_settings=("h2",),
+    grease=True,
+    randomized_extension_order=True,
+    padding_target=517,
+    resumption_probability=0.3,
+)
+
+# Chrome's hybrid-PQ key-exchange rollout was staged per platform in our
+# capture window: Windows desktop had X25519Kyber768 enabled, macOS and
+# Android builds did not yet — a real-world example of the per-OS build
+# skew that lets even TLS-only fingerprints separate the same browser
+# across OSes.
+CHROME_TCP_MAC = replace(
+    CHROME_TCP,
+    groups=(c.GROUP_X25519, c.GROUP_SECP256R1, c.GROUP_SECP384R1),
+)
+CHROME_TCP_ANDROID = CHROME_TCP_MAC
+
+# Edge ships the same BoringSSL but typically a release behind Chrome in
+# our capture window: no Kyber hybrid group yet, no ALPS, and a different
+# padding boundary — enough to separate the two on the same OS, as the
+# paper's Windows rows in Fig 6(b) show.
+EDGE_TCP = replace(
+    CHROME_TCP,
+    groups=(c.GROUP_X25519, c.GROUP_SECP256R1, c.GROUP_SECP384R1),
+    extension_order=tuple(t for t in _CHROMIUM_ORDER_TCP
+                          if t != "application_settings"),
+    application_settings=(),
+    padding_target=508,
+)
+
+# The macOS Edge build lagged a release behind Windows in our window and
+# still advertised the legacy ecdsa_sha1 scheme at the tail.
+EDGE_TCP_MAC = replace(
+    EDGE_TCP,
+    signature_algorithms=EDGE_TCP.signature_algorithms
+    + (c.SIG_ECDSA_SHA1,),
+)
+
+_FIREFOX_SUITES = (
+    c.TLS_AES_128_GCM_SHA256, c.TLS_CHACHA20_POLY1305_SHA256,
+    c.TLS_AES_256_GCM_SHA384,
+    c.ECDHE_ECDSA_AES128_GCM, c.ECDHE_RSA_AES128_GCM,
+    c.ECDHE_ECDSA_CHACHA20, c.ECDHE_RSA_CHACHA20,
+    c.ECDHE_ECDSA_AES256_GCM, c.ECDHE_RSA_AES256_GCM,
+    c.ECDHE_ECDSA_AES256_CBC_SHA, c.ECDHE_ECDSA_AES128_CBC_SHA,
+    c.ECDHE_RSA_AES128_CBC_SHA, c.ECDHE_RSA_AES256_CBC_SHA,
+    c.RSA_AES128_GCM, c.RSA_AES256_GCM,
+    c.RSA_AES128_CBC_SHA, c.RSA_AES256_CBC_SHA,
+)
+
+FIREFOX_TCP = ClientHelloSpec(
+    cipher_suites=_FIREFOX_SUITES,
+    extension_order=(
+        "server_name", "extended_master_secret", "renegotiation_info",
+        "supported_groups", "ec_point_formats", "session_ticket", "alpn",
+        "status_request", "delegated_credentials", "key_share",
+        "supported_versions", "signature_algorithms",
+        "psk_key_exchange_modes", "record_size_limit", "padding",
+        "pre_shared_key",
+    ),
+    groups=(c.GROUP_X25519, c.GROUP_SECP256R1, c.GROUP_SECP384R1,
+            c.GROUP_SECP521R1, c.GROUP_FFDHE2048, c.GROUP_FFDHE3072),
+    signature_algorithms=(
+        c.SIG_ECDSA_SECP256R1_SHA256, c.SIG_ECDSA_SECP384R1_SHA384,
+        c.SIG_ECDSA_SECP521R1_SHA512, c.SIG_RSA_PSS_RSAE_SHA256,
+        c.SIG_RSA_PSS_RSAE_SHA384, c.SIG_RSA_PSS_RSAE_SHA512,
+        c.SIG_RSA_PKCS1_SHA256, c.SIG_RSA_PKCS1_SHA384,
+        c.SIG_RSA_PKCS1_SHA512, c.SIG_ECDSA_SHA1, c.SIG_RSA_PKCS1_SHA1,
+    ),
+    alpn=("h2", "http/1.1"),
+    key_share_groups=(c.GROUP_X25519, c.GROUP_SECP256R1),
+    ec_point_formats=(0, 1, 2),
+    record_size_limit=16385,
+    delegated_credentials=(
+        c.SIG_ECDSA_SECP256R1_SHA256, c.SIG_ECDSA_SECP384R1_SHA384,
+        c.SIG_ECDSA_SECP521R1_SHA512, c.SIG_ECDSA_SHA1,
+    ),
+    grease=False,
+    padding_target=512,
+    resumption_probability=0.25,
+)
+
+_APPLE_SUITES = (
+    c.TLS_AES_128_GCM_SHA256, c.TLS_AES_256_GCM_SHA384,
+    c.TLS_CHACHA20_POLY1305_SHA256,
+    c.ECDHE_ECDSA_AES256_GCM, c.ECDHE_ECDSA_AES128_GCM,
+    c.ECDHE_ECDSA_CHACHA20,
+    c.ECDHE_RSA_AES256_GCM, c.ECDHE_RSA_AES128_GCM,
+    c.ECDHE_RSA_CHACHA20,
+    c.ECDHE_ECDSA_AES256_CBC_SHA, c.ECDHE_ECDSA_AES128_CBC_SHA,
+    c.ECDHE_RSA_AES256_CBC_SHA, c.ECDHE_RSA_AES128_CBC_SHA,
+    c.RSA_AES256_GCM, c.RSA_AES128_GCM,
+    c.RSA_AES256_CBC_SHA, c.RSA_AES128_CBC_SHA,
+    c.RSA_3DES_EDE_CBC_SHA,
+)
+
+SAFARI_TCP = ClientHelloSpec(
+    cipher_suites=_APPLE_SUITES,
+    extension_order=(
+        "grease_first", "server_name", "extended_master_secret",
+        "renegotiation_info", "supported_groups", "ec_point_formats",
+        "alpn", "status_request", "signature_algorithms", "sct",
+        "key_share", "psk_key_exchange_modes", "supported_versions",
+        "compress_certificate", "grease_last", "pre_shared_key",
+    ),
+    groups=(c.GROUP_X25519, c.GROUP_SECP256R1, c.GROUP_SECP384R1,
+            c.GROUP_SECP521R1),
+    signature_algorithms=(
+        c.SIG_ECDSA_SECP256R1_SHA256, c.SIG_RSA_PSS_RSAE_SHA256,
+        c.SIG_RSA_PKCS1_SHA256, c.SIG_ECDSA_SECP384R1_SHA384,
+        c.SIG_ECDSA_SHA1, c.SIG_RSA_PSS_RSAE_SHA384,
+        c.SIG_RSA_PKCS1_SHA384, c.SIG_RSA_PSS_RSAE_SHA512,
+        c.SIG_RSA_PKCS1_SHA512, c.SIG_RSA_PKCS1_SHA1,
+    ),
+    alpn=("h2", "http/1.1"),
+    supported_versions=(c.TLS_1_3, c.TLS_1_2, c.TLS_1_1, c.TLS_1_0),
+    key_share_groups=(c.GROUP_X25519,),
+    compress_certificate=(c.CERT_COMPRESSION_ZLIB,),
+    grease=True,
+    padding_target=None,  # Apple does not pad
+    resumption_probability=0.3,
+)
+
+# The macOS Safari build in our window had already dropped the legacy
+# TLS 1.1/1.0 offers that iOS still advertises — a real release-skew
+# separator between the two otherwise identical Apple stacks.
+SAFARI_TCP_MAC = replace(
+    SAFARI_TCP,
+    supported_versions=(c.TLS_1_3, c.TLS_1_2),
+)
+
+# iOS Chrome is WebKit-mandated: same Apple stack, but the Chrome shell
+# tweaks the connection setup enough to shift lengths (extra ALPN entry
+# and a different compress_certificate preference in our model).
+IOS_CHROME_TCP = replace(
+    SAFARI_TCP,
+    alpn=("h2", "http/1.1", "h3"),
+    compress_certificate=(c.CERT_COMPRESSION_ZLIB,
+                          c.CERT_COMPRESSION_BROTLI),
+    resumption_probability=0.25,
+)
+
+# Windows native apps (Netflix/Disney+/Prime UWP apps) ride Schannel:
+# TLS 1.3 triple first, no GREASE, empty session id, all three EC point
+# formats, no padding/ALPS/SCT.
+SCHANNEL_TCP = ClientHelloSpec(
+    cipher_suites=(
+        c.TLS_AES_256_GCM_SHA384, c.TLS_AES_128_GCM_SHA256,
+        c.TLS_CHACHA20_POLY1305_SHA256,
+        c.ECDHE_ECDSA_AES256_GCM, c.ECDHE_ECDSA_AES128_GCM,
+        c.ECDHE_RSA_AES256_GCM, c.ECDHE_RSA_AES128_GCM,
+        c.RSA_AES256_GCM, c.RSA_AES128_GCM,
+        c.RSA_AES256_CBC_SHA, c.RSA_AES128_CBC_SHA,
+    ),
+    extension_order=(
+        "server_name", "status_request", "supported_groups",
+        "ec_point_formats", "signature_algorithms", "session_ticket",
+        "alpn", "extended_master_secret", "supported_versions",
+        "psk_key_exchange_modes", "key_share", "renegotiation_info",
+    ),
+    groups=(c.GROUP_SECP256R1, c.GROUP_SECP384R1, c.GROUP_X25519),
+    signature_algorithms=(
+        c.SIG_ECDSA_SECP256R1_SHA256, c.SIG_ECDSA_SECP384R1_SHA384,
+        c.SIG_RSA_PSS_RSAE_SHA256, c.SIG_RSA_PSS_RSAE_SHA384,
+        c.SIG_RSA_PSS_RSAE_SHA512, c.SIG_RSA_PKCS1_SHA256,
+        c.SIG_RSA_PKCS1_SHA384, c.SIG_RSA_PKCS1_SHA512,
+        c.SIG_RSA_PKCS1_SHA1,
+    ),
+    alpn=("h2", "http/1.1"),
+    key_share_groups=(c.GROUP_SECP256R1, c.GROUP_X25519),
+    ec_point_formats=(0, 1, 2),
+    session_id_length=0,
+    grease=False,
+    padding_target=None,
+    resumption_probability=0.35,
+)
+
+# Android OkHttp/BoringSSL app stack (Netflix/Disney+/Prime Android and
+# Android TV apps): lean extension set, no GREASE, no padding, single h2.
+OKHTTP_TCP = ClientHelloSpec(
+    cipher_suites=(
+        c.TLS_AES_128_GCM_SHA256, c.TLS_AES_256_GCM_SHA384,
+        c.TLS_CHACHA20_POLY1305_SHA256,
+        c.ECDHE_ECDSA_AES128_GCM, c.ECDHE_RSA_AES128_GCM,
+        c.ECDHE_ECDSA_AES256_GCM, c.ECDHE_RSA_AES256_GCM,
+        c.ECDHE_ECDSA_CHACHA20, c.ECDHE_RSA_CHACHA20,
+    ),
+    extension_order=(
+        "server_name", "extended_master_secret", "renegotiation_info",
+        "supported_groups", "ec_point_formats", "alpn",
+        "signature_algorithms", "key_share", "psk_key_exchange_modes",
+        "supported_versions", "session_ticket", "pre_shared_key",
+    ),
+    groups=(c.GROUP_X25519, c.GROUP_SECP256R1, c.GROUP_SECP384R1),
+    signature_algorithms=(
+        c.SIG_ECDSA_SECP256R1_SHA256, c.SIG_RSA_PSS_RSAE_SHA256,
+        c.SIG_RSA_PKCS1_SHA256, c.SIG_ECDSA_SECP384R1_SHA384,
+        c.SIG_RSA_PSS_RSAE_SHA384, c.SIG_RSA_PKCS1_SHA384,
+        c.SIG_RSA_PSS_RSAE_SHA512, c.SIG_RSA_PKCS1_SHA512,
+    ),
+    alpn=("h2",),
+    key_share_groups=(c.GROUP_X25519,),
+    grease=False,
+    padding_target=None,
+    resumption_probability=0.4,
+)
+
+# Cronet (Chromium network stack embedded in Google mobile apps — the
+# YouTube app on Android and iOS): Chromium TLS without browser-only
+# extensions (ALPS), fixed extension order, ALPN h2.
+CRONET_TCP = replace(
+    CHROME_TCP,
+    # App builds pin certificates, so Cronet omits OCSP status_request.
+    extension_order=tuple(t for t in _CHROMIUM_ORDER_TCP
+                          if t not in ("application_settings",
+                                       "status_request")),
+    application_settings=(),
+    groups=(c.GROUP_X25519, c.GROUP_SECP256R1, c.GROUP_SECP384R1),
+    alpn=("h2", "http/1.1"),
+    randomized_extension_order=False,
+    padding_target=512,
+    resumption_probability=0.4,
+)
+
+# Samsung Internet: Chromium fork, one major version behind — GREASE but
+# fixed extension order, no ALPS, no Kyber.
+SAMSUNG_TCP = replace(
+    CRONET_TCP,
+    padding_target=517,
+    resumption_probability=0.25,
+)
+
+# PlayStation 5 WebMAF runtime: TLS 1.2-era hello — no supported_versions,
+# no key_share, no PSK machinery; CBC suites high in the list.
+PS5_TCP = ClientHelloSpec(
+    cipher_suites=(
+        c.ECDHE_ECDSA_AES128_GCM, c.ECDHE_RSA_AES128_GCM,
+        c.ECDHE_ECDSA_AES256_GCM, c.ECDHE_RSA_AES256_GCM,
+        c.ECDHE_ECDSA_AES128_CBC_SHA, c.ECDHE_RSA_AES128_CBC_SHA,
+        c.ECDHE_ECDSA_AES256_CBC_SHA, c.ECDHE_RSA_AES256_CBC_SHA,
+        c.RSA_AES128_GCM, c.RSA_AES256_GCM,
+        c.RSA_AES128_CBC_SHA, c.RSA_AES256_CBC_SHA,
+        c.RSA_3DES_EDE_CBC_SHA,
+    ),
+    extension_order=(
+        "server_name", "supported_groups", "ec_point_formats",
+        "signature_algorithms", "alpn", "extended_master_secret",
+        "session_ticket", "renegotiation_info",
+    ),
+    groups=(c.GROUP_SECP256R1, c.GROUP_SECP384R1, c.GROUP_SECP521R1,
+            c.GROUP_X25519),
+    signature_algorithms=(
+        c.SIG_RSA_PKCS1_SHA256, c.SIG_ECDSA_SECP256R1_SHA256,
+        c.SIG_RSA_PKCS1_SHA384, c.SIG_ECDSA_SECP384R1_SHA384,
+        c.SIG_RSA_PKCS1_SHA512, c.SIG_RSA_PKCS1_SHA1, c.SIG_ECDSA_SHA1,
+    ),
+    alpn=("http/1.1",),
+    supported_versions=(),
+    key_share_groups=(),
+    psk_modes=(),
+    session_id_length=32,
+    grease=False,
+    padding_target=None,
+    resumption_probability=0.3,
+)
+
+# --- QUIC specs -----------------------------------------------------------
+
+
+def _chromium_quic_spec(user_agent: str, datagram_size: int = 1250,
+                        scid_length: int = 0,
+                        with_initial_rtt: bool = False,
+                        max_udp_payload: int = 1472,
+                        streams_uni: int = 103) -> QuicSpec:
+    params = [
+        QuicParamSpec("initial_max_streams_uni", "varint", streams_uni),
+        QuicParamSpec("max_idle_timeout", "varint", 30000),
+        QuicParamSpec("google_connection_options", "bytes", b"RVCM"),
+        QuicParamSpec("initial_max_stream_data_bidi_local", "varint",
+                      6291456),
+        QuicParamSpec("user_agent", "utf8", user_agent),
+        QuicParamSpec("initial_max_stream_data_uni", "varint", 6291456),
+        QuicParamSpec("initial_max_data", "varint", 15728640),
+        QuicParamSpec("initial_max_stream_data_bidi_remote", "varint",
+                      6291456),
+        QuicParamSpec("max_udp_payload_size", "varint", max_udp_payload),
+        QuicParamSpec("max_datagram_frame_size", "varint", 65536),
+        QuicParamSpec("initial_source_connection_id", "cid"),
+        QuicParamSpec("initial_max_streams_bidi", "varint", 100),
+        QuicParamSpec("google_version", "utf8", "T072"),
+        QuicParamSpec("_grease", "grease"),
+        QuicParamSpec("version_information", "bytes",
+                      bytes.fromhex("00000001") + bytes.fromhex("00000001")
+                      + bytes.fromhex("8a8a8a8a")),
+    ]
+    if with_initial_rtt:
+        params.insert(3, QuicParamSpec("initial_rtt", "varint", 100000))
+        params.append(QuicParamSpec("disable_active_migration", "flag"))
+    return QuicSpec(params=tuple(params), dcid_length=8,
+                    scid_length=scid_length, datagram_size=datagram_size)
+
+
+FIREFOX_QUIC = QuicSpec(
+    params=(
+        QuicParamSpec("initial_source_connection_id", "cid"),
+        QuicParamSpec("initial_max_stream_data_bidi_remote", "varint",
+                      12582912),
+        QuicParamSpec("grease_quic_bit", "flag"),
+        QuicParamSpec("initial_max_streams_uni", "varint", 16),
+        QuicParamSpec("max_idle_timeout", "varint", 120000),
+        QuicParamSpec("initial_max_data", "varint", 25165824),
+        QuicParamSpec("initial_max_stream_data_uni", "varint", 12582912),
+        QuicParamSpec("ack_delay_exponent", "varint", 3),
+        QuicParamSpec("initial_max_streams_bidi", "varint", 16),
+        QuicParamSpec("active_connection_id_limit", "varint", 8),
+        QuicParamSpec("max_udp_payload_size", "varint", 1452),
+        QuicParamSpec("version_information", "bytes",
+                      bytes.fromhex("00000001") + bytes.fromhex("00000001")),
+        QuicParamSpec("max_datagram_frame_size", "varint", 65535),
+    ),
+    dcid_length=8, scid_length=3, datagram_size=1357,
+)
+
+# Apple Network.framework QUIC stack. The macOS and iOS builds ship with
+# different flow-control and path-MTU defaults (desktop Sonoma vs iOS 17
+# kernels), which is what keeps iOS Safari and macOS Safari separable on
+# QUIC in the paper's data despite their identical TLS stacks.
+APPLE_QUIC_MAC = QuicSpec(
+    params=(
+        QuicParamSpec("initial_max_stream_data_bidi_local", "varint",
+                      2097152),
+        QuicParamSpec("initial_max_stream_data_bidi_remote", "varint",
+                      2097152),
+        QuicParamSpec("initial_max_stream_data_uni", "varint", 2097152),
+        QuicParamSpec("initial_max_data", "varint", 4194304),
+        QuicParamSpec("initial_max_streams_bidi", "varint", 100),
+        QuicParamSpec("initial_max_streams_uni", "varint", 100),
+        QuicParamSpec("max_idle_timeout", "varint", 96000),
+        QuicParamSpec("max_udp_payload_size", "varint", 1452),
+        QuicParamSpec("initial_source_connection_id", "cid"),
+        QuicParamSpec("active_connection_id_limit", "varint", 8),
+        QuicParamSpec("max_ack_delay", "varint", 25),
+    ),
+    dcid_length=8, scid_length=8, datagram_size=1280,
+)
+
+APPLE_QUIC_IOS = QuicSpec(
+    params=(
+        QuicParamSpec("initial_max_stream_data_bidi_local", "varint",
+                      1048576),
+        QuicParamSpec("initial_max_stream_data_bidi_remote", "varint",
+                      1048576),
+        QuicParamSpec("initial_max_stream_data_uni", "varint", 1048576),
+        QuicParamSpec("initial_max_data", "varint", 2097152),
+        QuicParamSpec("initial_max_streams_bidi", "varint", 100),
+        QuicParamSpec("initial_max_streams_uni", "varint", 100),
+        QuicParamSpec("max_idle_timeout", "varint", 30000),
+        QuicParamSpec("max_udp_payload_size", "varint", 1350),
+        QuicParamSpec("initial_source_connection_id", "cid"),
+        QuicParamSpec("active_connection_id_limit", "varint", 8),
+        QuicParamSpec("max_ack_delay", "varint", 25),
+    ),
+    dcid_length=8, scid_length=4, datagram_size=1350,
+)
+
+_UA_CHROME_WIN = "Chrome/119.0.6045.{build} Windows NT 10.0; Win64; x64"
+_UA_CHROME_MAC = "Chrome/119.0.6045.{build} Intel Mac OS X 14_1_1"
+_UA_EDGE_WIN = "Edg/119.0.2151.{build} Windows NT 10.0; Win64; x64"
+_UA_EDGE_MAC = "Edg/119.0.2151.{build} Intel Mac OS X 14_1_1"
+_UA_CHROME_ANDROID = "Chrome/119.0.6045.{build} Linux; Android 14; Pixel 7"
+_UA_YT_ANDROID = ("com.google.android.youtube/18.45.{build} (Linux; U; "
+                  "Android 14; en_AU) Cronet/119.0.6045.31")
+_UA_YT_IOS = ("com.google.ios.youtube/18.45.{build} (iPhone15,2; U; CPU iOS "
+              "17_1_1 like Mac OS X) Cronet/119.0.6045.31")
+
+# QUIC hellos: same family specs minus TCP-only extensions, plus the
+# quic_transport_parameters extension; ALPN becomes h3.
+
+
+def _quicify(spec: ClientHelloSpec, order: tuple[str, ...] | None = None
+             ) -> ClientHelloSpec:
+    drop = {"ec_point_formats", "session_ticket", "record_size_limit",
+            "encrypt_then_mac"}
+    if order is None:
+        order = [t for t in spec.extension_order if t not in drop]
+        if "quic_transport_parameters" not in order:
+            # Insert before the tail extensions that must stay last
+            # (padding, pre_shared_key) and the GREASE bookend.
+            tail = {"grease_last", "padding", "pre_shared_key"}
+            insert_at = len(order)
+            while insert_at > 0 and order[insert_at - 1] in tail:
+                insert_at -= 1
+            order.insert(insert_at, "quic_transport_parameters")
+        order = tuple(order)
+    return replace(
+        spec,
+        extension_order=order,
+        alpn=("h3",),
+        record_size_limit=None,
+        # QUIC hellos in our window resume far less often (0-RTT rare).
+        resumption_probability=min(spec.resumption_probability, 0.1),
+    )
+
+
+CHROME_QUIC_HELLO = _quicify(CHROME_TCP)
+CHROME_QUIC_HELLO_MAC = _quicify(CHROME_TCP_MAC)
+CHROME_QUIC_HELLO_ANDROID = _quicify(CHROME_TCP_ANDROID)
+EDGE_QUIC_HELLO = _quicify(EDGE_TCP)
+FIREFOX_QUIC_HELLO = _quicify(FIREFOX_TCP)
+SAFARI_QUIC_HELLO = _quicify(SAFARI_TCP)
+SAFARI_QUIC_HELLO_MAC = _quicify(SAFARI_TCP_MAC)
+EDGE_QUIC_HELLO_MAC = _quicify(EDGE_TCP_MAC)
+# The iOS Chrome shell pads its h3 hellos (Chromium habit) even though
+# the TLS stack underneath is WebKit's — a reliable length separator
+# from iOS Safari on QUIC.
+IOS_CHROME_QUIC_HELLO = replace(
+    _quicify(IOS_CHROME_TCP),
+    extension_order=_quicify(IOS_CHROME_TCP).extension_order
+    + ("padding",),
+    padding_target=480,
+)
+CRONET_QUIC_HELLO = _quicify(CRONET_TCP)
+
+# ---------------------------------------------------------------------------
+# Assembled per-platform profiles
+# ---------------------------------------------------------------------------
+
+
+def _profile(device: DeviceType, tls_tcp: ClientHelloSpec,
+             tls_quic: ClientHelloSpec | None = None,
+             quic: QuicSpec | None = None,
+             lookalikes: tuple[tuple[str, float], ...] = ()) -> PlatformProfile:
+    return PlatformProfile(
+        tcp_stack=TCP_STACKS[device], tls_tcp=tls_tcp, tls_quic=tls_quic,
+        quic=quic, lookalikes=lookalikes,
+    )
+
+
+# Browser profiles are provider-independent; native apps get one profile
+# per provider below.
+_BROWSER_PROFILES: dict[str, PlatformProfile] = {
+    "windows_chrome": _profile(
+        DeviceType.WINDOWS, CHROME_TCP, CHROME_QUIC_HELLO,
+        _chromium_quic_spec(_UA_CHROME_WIN)),
+    "windows_edge": _profile(
+        DeviceType.WINDOWS, EDGE_TCP, EDGE_QUIC_HELLO,
+        _chromium_quic_spec(_UA_EDGE_WIN)),
+    "windows_firefox": _profile(
+        DeviceType.WINDOWS, FIREFOX_TCP, FIREFOX_QUIC_HELLO, FIREFOX_QUIC),
+    "macOS_safari": _profile(
+        DeviceType.MACOS, SAFARI_TCP_MAC, SAFARI_QUIC_HELLO_MAC,
+        APPLE_QUIC_MAC,
+        lookalikes=(("macOS_edge", 0.04),)),
+    "macOS_chrome": _profile(
+        DeviceType.MACOS, CHROME_TCP_MAC, CHROME_QUIC_HELLO_MAC,
+        _chromium_quic_spec(_UA_CHROME_MAC),
+        lookalikes=(("macOS_edge", 0.05), ("iOS_safari", 0.04))),
+    "macOS_edge": _profile(
+        DeviceType.MACOS, EDGE_TCP_MAC, EDGE_QUIC_HELLO_MAC,
+        _chromium_quic_spec(_UA_EDGE_MAC),
+        lookalikes=(("macOS_chrome", 0.05),)),
+    "macOS_firefox": _profile(
+        DeviceType.MACOS, FIREFOX_TCP, FIREFOX_QUIC_HELLO, FIREFOX_QUIC,
+        lookalikes=(("macOS_safari", 0.04),)),
+    "android_chrome": _profile(
+        DeviceType.ANDROID, CHROME_TCP_ANDROID, CHROME_QUIC_HELLO_ANDROID,
+        _chromium_quic_spec(_UA_CHROME_ANDROID, datagram_size=1350)),
+    "android_samsungInternet": _profile(
+        DeviceType.ANDROID, SAMSUNG_TCP),
+    "iOS_safari": _profile(
+        DeviceType.IOS, SAFARI_TCP, SAFARI_QUIC_HELLO, APPLE_QUIC_IOS,
+        lookalikes=(("iOS_nativeApp", 0.05), ("macOS_safari", 0.04))),
+    "iOS_chrome": _profile(
+        DeviceType.IOS, IOS_CHROME_TCP, IOS_CHROME_QUIC_HELLO,
+        APPLE_QUIC_IOS,
+        lookalikes=(("iOS_nativeApp", 0.04),)),
+}
+
+# Native app profiles keyed by (platform label, provider).
+_NATIVE_PROFILES: dict[tuple[str, Provider], PlatformProfile] = {}
+
+
+def _register_native(label: str, provider: Provider,
+                     profile: PlatformProfile) -> None:
+    _NATIVE_PROFILES[(label, provider)] = profile
+
+
+# YouTube mobile apps: Cronet (QUIC-capable). The Android app in our lab
+# window used QUIC exclusively (hence its absence from Fig 12(b)'s TCP
+# platforms); the iOS app speaks both.
+_register_native(
+    "android_nativeApp", Provider.YOUTUBE,
+    _profile(DeviceType.ANDROID, CRONET_TCP, CRONET_QUIC_HELLO,
+             _chromium_quic_spec(_UA_YT_ANDROID, datagram_size=1350,
+                                 with_initial_rtt=True)))
+_register_native(
+    "iOS_nativeApp", Provider.YOUTUBE,
+    _profile(DeviceType.IOS, CRONET_TCP, CRONET_QUIC_HELLO,
+             _chromium_quic_spec(_UA_YT_IOS, datagram_size=1252,
+                                 with_initial_rtt=True,
+                                 max_udp_payload=1452, streams_uni=100),
+             lookalikes=(("android_nativeApp", 0.05),
+                         ("iOS_safari", 0.03), ("iOS_chrome", 0.02))))
+
+# Subscription-provider mobile/TV apps: OkHttp-family stacks with small
+# per-provider build differences (ALPN, resumption rate, sigalg tail).
+_NF_APP = replace(OKHTTP_TCP, alpn=("h2",), resumption_probability=0.45)
+_DN_APP = replace(OKHTTP_TCP, alpn=("h2", "http/1.1"),
+                  resumption_probability=0.35)
+_AP_APP = replace(
+    OKHTTP_TCP,
+    alpn=("h2", "http/1.1"),
+    signature_algorithms=OKHTTP_TCP.signature_algorithms
+    + (c.SIG_RSA_PKCS1_SHA1,),
+    resumption_probability=0.3,
+)
+
+for _provider, _app_spec in ((Provider.NETFLIX, _NF_APP),
+                             (Provider.DISNEY, _DN_APP),
+                             (Provider.AMAZON, _AP_APP)):
+    _register_native(
+        "android_nativeApp", _provider,
+        _profile(DeviceType.ANDROID, _app_spec))
+    _register_native(
+        "androidTV_nativeApp", _provider,
+        _profile(DeviceType.ANDROID_TV, _app_spec))
+    # iOS subscription apps use the Apple TLS stack (NSURLSession) with
+    # app-specific ALPN; heavy overlap with Safari is intentional but
+    # harmless here since Safari is not in these providers' class space.
+    _register_native(
+        "iOS_nativeApp", _provider,
+        _profile(DeviceType.IOS,
+                 replace(SAFARI_TCP, alpn=_app_spec.alpn,
+                         compress_certificate=(),
+                         extension_order=tuple(
+                             t for t in SAFARI_TCP.extension_order
+                             if t not in ("sct", "compress_certificate")),
+                         resumption_probability=0.45)))
+    _register_native(
+        "ps5_nativeApp", _provider,
+        _profile(DeviceType.PLAYSTATION, PS5_TCP))
+
+# The YouTube TV-device apps (Android TV, PS5) ride TCP in our window.
+_register_native(
+    "androidTV_nativeApp", Provider.YOUTUBE,
+    _profile(DeviceType.ANDROID_TV,
+             replace(CRONET_TCP,
+                     extension_order=tuple(
+                         t for t in CRONET_TCP.extension_order
+                         if t != "sct"),
+                     resumption_probability=0.3)))
+_register_native(
+    "ps5_nativeApp", Provider.YOUTUBE,
+    _profile(DeviceType.PLAYSTATION, PS5_TCP))
+
+# Windows native apps (NF/DN/AP) are Schannel UWP builds; Disney's build
+# enables session tickets differently — model with resumption rates.
+_register_native(
+    "windows_nativeApp", Provider.NETFLIX,
+    _profile(DeviceType.WINDOWS,
+             replace(SCHANNEL_TCP, resumption_probability=0.4)))
+_register_native(
+    "windows_nativeApp", Provider.DISNEY,
+    _profile(DeviceType.WINDOWS,
+             replace(SCHANNEL_TCP, alpn=("h2",),
+                     resumption_probability=0.3)))
+_register_native(
+    "windows_nativeApp", Provider.AMAZON,
+    _profile(DeviceType.WINDOWS,
+             replace(SCHANNEL_TCP,
+                     groups=(c.GROUP_X25519, c.GROUP_SECP256R1,
+                             c.GROUP_SECP384R1),
+                     resumption_probability=0.35)))
+
+# macOS Amazon Prime app: Electron bundle (fixed-order Chromium).
+_register_native(
+    "macOS_nativeApp", Provider.AMAZON,
+    _profile(DeviceType.MACOS,
+             replace(CRONET_TCP, alpn=("h2", "http/1.1"),
+                     padding_target=508, resumption_probability=0.2),
+             lookalikes=(("macOS_chrome", 0.04),)))
+
+
+def get_profile(platform: UserPlatform, provider: Provider
+                ) -> PlatformProfile:
+    """Profile for a platform when streaming from ``provider``."""
+    if platform.agent is SoftwareAgent.NATIVE_APP:
+        key = (platform.label, provider)
+        if key not in _NATIVE_PROFILES:
+            raise ConfigError(
+                f"{platform.label} has no {provider.value} app profile")
+        return _NATIVE_PROFILES[key]
+    if platform.label not in _BROWSER_PROFILES:
+        raise ConfigError(f"unknown platform {platform.label}")
+    return _BROWSER_PROFILES[platform.label]
+
+
+# ---------------------------------------------------------------------------
+# Table 1 support matrix and flow counts
+# ---------------------------------------------------------------------------
+
+def _p(label: str) -> UserPlatform:
+    return UserPlatform.from_label(label)
+
+
+# (platform, provider) -> number of video flows in the paper's Table 1.
+TABLE1_FLOW_COUNTS: dict[tuple[UserPlatform, Provider], int] = {
+    (_p("windows_chrome"), Provider.YOUTUBE): 411,
+    (_p("windows_chrome"), Provider.NETFLIX): 202,
+    (_p("windows_chrome"), Provider.DISNEY): 199,
+    (_p("windows_chrome"), Provider.AMAZON): 215,
+    (_p("windows_edge"), Provider.YOUTUBE): 406,
+    (_p("windows_edge"), Provider.NETFLIX): 208,
+    (_p("windows_edge"), Provider.DISNEY): 200,
+    (_p("windows_edge"), Provider.AMAZON): 200,
+    (_p("windows_firefox"), Provider.YOUTUBE): 466,
+    (_p("windows_firefox"), Provider.NETFLIX): 207,
+    (_p("windows_firefox"), Provider.DISNEY): 204,
+    (_p("windows_firefox"), Provider.AMAZON): 195,
+    (_p("windows_nativeApp"), Provider.NETFLIX): 204,
+    (_p("windows_nativeApp"), Provider.DISNEY): 211,
+    (_p("windows_nativeApp"), Provider.AMAZON): 186,
+    (_p("macOS_safari"), Provider.YOUTUBE): 200,
+    (_p("macOS_safari"), Provider.NETFLIX): 204,
+    (_p("macOS_safari"), Provider.DISNEY): 200,
+    (_p("macOS_safari"), Provider.AMAZON): 201,
+    (_p("macOS_chrome"), Provider.YOUTUBE): 407,
+    (_p("macOS_chrome"), Provider.NETFLIX): 213,
+    (_p("macOS_chrome"), Provider.DISNEY): 202,
+    (_p("macOS_chrome"), Provider.AMAZON): 208,
+    (_p("macOS_edge"), Provider.YOUTUBE): 402,
+    (_p("macOS_edge"), Provider.NETFLIX): 204,
+    (_p("macOS_edge"), Provider.DISNEY): 202,
+    (_p("macOS_edge"), Provider.AMAZON): 210,
+    (_p("macOS_firefox"), Provider.YOUTUBE): 467,
+    (_p("macOS_firefox"), Provider.NETFLIX): 212,
+    (_p("macOS_firefox"), Provider.DISNEY): 202,
+    (_p("macOS_firefox"), Provider.AMAZON): 199,
+    (_p("macOS_nativeApp"), Provider.AMAZON): 200,
+    (_p("android_chrome"), Provider.YOUTUBE): 107,
+    (_p("android_samsungInternet"), Provider.YOUTUBE): 103,
+    (_p("android_nativeApp"), Provider.YOUTUBE): 100,
+    (_p("android_nativeApp"), Provider.NETFLIX): 102,
+    (_p("android_nativeApp"), Provider.DISNEY): 106,
+    (_p("android_nativeApp"), Provider.AMAZON): 111,
+    (_p("iOS_safari"), Provider.YOUTUBE): 203,
+    (_p("iOS_chrome"), Provider.YOUTUBE): 213,
+    (_p("iOS_nativeApp"), Provider.YOUTUBE): 203,
+    (_p("iOS_nativeApp"), Provider.NETFLIX): 215,
+    (_p("iOS_nativeApp"), Provider.DISNEY): 306,
+    (_p("iOS_nativeApp"), Provider.AMAZON): 372,
+    (_p("androidTV_nativeApp"), Provider.YOUTUBE): 200,
+    (_p("androidTV_nativeApp"), Provider.NETFLIX): 116,
+    (_p("androidTV_nativeApp"), Provider.DISNEY): 107,
+    (_p("androidTV_nativeApp"), Provider.AMAZON): 113,
+    (_p("ps5_nativeApp"), Provider.YOUTUBE): 105,
+    (_p("ps5_nativeApp"), Provider.NETFLIX): 100,
+    (_p("ps5_nativeApp"), Provider.DISNEY): 100,
+    (_p("ps5_nativeApp"), Provider.AMAZON): 103,
+}
+
+
+def supported_platforms(provider: Provider) -> tuple[UserPlatform, ...]:
+    """Platforms with a non-dash cell in Table 1 for ``provider``."""
+    return tuple(sorted(
+        {platform for (platform, prov) in TABLE1_FLOW_COUNTS
+         if prov is provider},
+        key=lambda p: p.label,
+    ))
+
+
+# Platforms observed over QUIC for YouTube (Fig 12a) vs TCP (Fig 12b).
+YOUTUBE_QUIC_PLATFORMS: tuple[UserPlatform, ...] = tuple(sorted((
+    _p("windows_chrome"), _p("windows_edge"), _p("windows_firefox"),
+    _p("macOS_safari"), _p("macOS_chrome"), _p("macOS_edge"),
+    _p("macOS_firefox"), _p("android_chrome"), _p("android_nativeApp"),
+    _p("iOS_safari"), _p("iOS_chrome"), _p("iOS_nativeApp"),
+), key=lambda p: p.label))
+
+YOUTUBE_TCP_PLATFORMS: tuple[UserPlatform, ...] = tuple(sorted((
+    _p("windows_chrome"), _p("windows_edge"), _p("windows_firefox"),
+    _p("macOS_safari"), _p("macOS_chrome"), _p("macOS_edge"),
+    _p("macOS_firefox"), _p("android_chrome"),
+    _p("android_samsungInternet"), _p("iOS_safari"), _p("iOS_chrome"),
+    _p("iOS_nativeApp"), _p("androidTV_nativeApp"), _p("ps5_nativeApp"),
+), key=lambda p: p.label))
+
+
+def transports_for(platform: UserPlatform, provider: Provider
+                   ) -> tuple[Transport, ...]:
+    """Which transports this platform uses for this provider's video."""
+    if provider is not Provider.YOUTUBE:
+        return (Transport.TCP,)
+    quic = platform in YOUTUBE_QUIC_PLATFORMS
+    tcp = platform in YOUTUBE_TCP_PLATFORMS
+    if quic and tcp:
+        return (Transport.TCP, Transport.QUIC)
+    if quic:
+        return (Transport.QUIC,)
+    return (Transport.TCP,)
+
+
+# Platforms the campus network contains but the lab never trained on —
+# they exercise the pipeline's unknown/low-confidence path (§5.2 excludes
+# ~20% of sessions this way).
+UNKNOWN_PLATFORM_LABELS = ("linux_chrome", "webOS_nativeApp")
+
+
+def get_unknown_profile(label: str, provider: Provider) -> PlatformProfile:
+    if label == "linux_chrome":
+        linux_stack = TcpStackSpec(
+            ttl=64, window_size=64240, mss=1460, window_scale=7,
+            sack_permitted=True, timestamps=True, ecn_setup=False,
+            option_order=("mss", "sack_permitted", "timestamps", "nop",
+                          "window_scale"),
+        )
+        return PlatformProfile(
+            tcp_stack=linux_stack, tls_tcp=CHROME_TCP,
+            tls_quic=CHROME_QUIC_HELLO,
+            quic=_chromium_quic_spec(
+                "Chrome/119.0.6045.{build} X11; Linux x86_64"),
+        )
+    if label == "webOS_nativeApp":
+        webos_stack = TcpStackSpec(
+            ttl=64, window_size=14600, mss=1460, window_scale=4,
+            sack_permitted=True, timestamps=True, ecn_setup=False,
+            option_order=("mss", "sack_permitted", "timestamps", "nop",
+                          "window_scale"),
+        )
+        webos_tls = replace(
+            OKHTTP_TCP,
+            cipher_suites=OKHTTP_TCP.cipher_suites
+            + (c.ECDHE_RSA_AES128_CBC_SHA, c.RSA_AES128_CBC_SHA),
+            alpn=("http/1.1",),
+            supported_versions=(c.TLS_1_2,),
+            resumption_probability=0.1,
+        )
+        return PlatformProfile(tcp_stack=webos_stack, tls_tcp=webos_tls)
+    raise ConfigError(f"unknown unknown-platform label {label!r}")
+
+
+def all_lab_platform_provider_pairs() -> tuple[
+        tuple[UserPlatform, Provider], ...]:
+    return tuple(TABLE1_FLOW_COUNTS)
+
+
+def assert_library_consistent() -> None:
+    """Sanity check the data tables against each other (used by tests)."""
+    for (platform, provider) in TABLE1_FLOW_COUNTS:
+        profile = get_profile(platform, provider)
+        for transport in transports_for(platform, provider):
+            if transport is Transport.QUIC and not profile.supports_quic():
+                raise ConfigError(
+                    f"{platform.label} marked QUIC for {provider.value} "
+                    "but its profile has no QUIC spec")
+    for platform in ALL_PLATFORMS:
+        providers = [prov for (p, prov) in TABLE1_FLOW_COUNTS
+                     if p == platform]
+        if not providers:
+            raise ConfigError(f"{platform.label} not in Table 1 matrix")

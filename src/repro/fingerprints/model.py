@@ -1,0 +1,131 @@
+"""Identity model: device types, software agents, user platforms,
+transports and content providers — the label spaces of the paper.
+
+Table 1 enumerates 17 unique (device OS, software agent) combinations;
+the paper's "30 user platforms" counts redundant physical devices. The
+three classification objectives map onto this model as:
+
+* *user platform* — :class:`UserPlatform` (composite label);
+* *device type*  — :class:`DeviceType` (the OS);
+* *software agent* — :class:`SoftwareAgent`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class DeviceType(str, Enum):
+    WINDOWS = "windows"
+    MACOS = "macOS"
+    ANDROID = "android"
+    IOS = "iOS"
+    ANDROID_TV = "androidTV"
+    PLAYSTATION = "ps5"
+
+    @property
+    def device_class(self) -> "DeviceClass":
+        return _DEVICE_CLASS[self]
+
+
+class DeviceClass(str, Enum):
+    """Paper's coarse grouping (Table 1 leftmost column / Fig 11)."""
+
+    PC = "PC"
+    MOBILE = "Mobile"
+    TV = "TV"
+
+
+_DEVICE_CLASS = {
+    DeviceType.WINDOWS: DeviceClass.PC,
+    DeviceType.MACOS: DeviceClass.PC,
+    DeviceType.ANDROID: DeviceClass.MOBILE,
+    DeviceType.IOS: DeviceClass.MOBILE,
+    DeviceType.ANDROID_TV: DeviceClass.TV,
+    DeviceType.PLAYSTATION: DeviceClass.TV,
+}
+
+
+class SoftwareAgent(str, Enum):
+    CHROME = "chrome"
+    EDGE = "edge"
+    FIREFOX = "firefox"
+    SAFARI = "safari"
+    SAMSUNG_INTERNET = "samsungInternet"
+    NATIVE_APP = "nativeApp"
+
+    @property
+    def is_browser(self) -> bool:
+        return self is not SoftwareAgent.NATIVE_APP
+
+
+@dataclass(frozen=True, order=True)
+class UserPlatform:
+    """A (device OS, software agent) pair, e.g. ``windows_chrome``."""
+
+    device: DeviceType
+    agent: SoftwareAgent
+
+    @property
+    def label(self) -> str:
+        return f"{self.device.value}_{self.agent.value}"
+
+    @property
+    def device_class(self) -> DeviceClass:
+        return self.device.device_class
+
+    @classmethod
+    def from_label(cls, label: str) -> "UserPlatform":
+        device_part, _, agent_part = label.partition("_")
+        return cls(DeviceType(device_part), SoftwareAgent(agent_part))
+
+    def __str__(self) -> str:
+        return self.label
+
+
+class Transport(str, Enum):
+    TCP = "tcp"
+    QUIC = "quic"
+
+
+class Provider(str, Enum):
+    YOUTUBE = "youtube"
+    NETFLIX = "netflix"
+    DISNEY = "disney"
+    AMAZON = "amazon"
+
+    @property
+    def short(self) -> str:
+        return {"youtube": "YT", "netflix": "NF",
+                "disney": "DN", "amazon": "AP"}[self.value]
+
+
+# Convenience constructors for the 17 platforms of Table 1.
+WINDOWS_CHROME = UserPlatform(DeviceType.WINDOWS, SoftwareAgent.CHROME)
+WINDOWS_EDGE = UserPlatform(DeviceType.WINDOWS, SoftwareAgent.EDGE)
+WINDOWS_FIREFOX = UserPlatform(DeviceType.WINDOWS, SoftwareAgent.FIREFOX)
+WINDOWS_NATIVE = UserPlatform(DeviceType.WINDOWS, SoftwareAgent.NATIVE_APP)
+MACOS_SAFARI = UserPlatform(DeviceType.MACOS, SoftwareAgent.SAFARI)
+MACOS_CHROME = UserPlatform(DeviceType.MACOS, SoftwareAgent.CHROME)
+MACOS_EDGE = UserPlatform(DeviceType.MACOS, SoftwareAgent.EDGE)
+MACOS_FIREFOX = UserPlatform(DeviceType.MACOS, SoftwareAgent.FIREFOX)
+MACOS_NATIVE = UserPlatform(DeviceType.MACOS, SoftwareAgent.NATIVE_APP)
+ANDROID_CHROME = UserPlatform(DeviceType.ANDROID, SoftwareAgent.CHROME)
+ANDROID_SAMSUNG = UserPlatform(DeviceType.ANDROID,
+                               SoftwareAgent.SAMSUNG_INTERNET)
+ANDROID_NATIVE = UserPlatform(DeviceType.ANDROID, SoftwareAgent.NATIVE_APP)
+IOS_SAFARI = UserPlatform(DeviceType.IOS, SoftwareAgent.SAFARI)
+IOS_CHROME = UserPlatform(DeviceType.IOS, SoftwareAgent.CHROME)
+IOS_NATIVE = UserPlatform(DeviceType.IOS, SoftwareAgent.NATIVE_APP)
+ANDROIDTV_NATIVE = UserPlatform(DeviceType.ANDROID_TV,
+                                SoftwareAgent.NATIVE_APP)
+PS5_NATIVE = UserPlatform(DeviceType.PLAYSTATION, SoftwareAgent.NATIVE_APP)
+
+ALL_PLATFORMS: tuple[UserPlatform, ...] = (
+    WINDOWS_CHROME, WINDOWS_EDGE, WINDOWS_FIREFOX, WINDOWS_NATIVE,
+    MACOS_SAFARI, MACOS_CHROME, MACOS_EDGE, MACOS_FIREFOX, MACOS_NATIVE,
+    ANDROID_CHROME, ANDROID_SAMSUNG, ANDROID_NATIVE,
+    IOS_SAFARI, IOS_CHROME, IOS_NATIVE,
+    ANDROIDTV_NATIVE, PS5_NATIVE,
+)

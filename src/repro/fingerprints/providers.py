@@ -1,0 +1,97 @@
+"""Content provider metadata: hostnames, transports and SNI match rules.
+
+The pipeline identifies which provider a flow belongs to from the SNI in
+the ClientHello (the paper: "traffic classification ... is based on TLS
+SNI matching"), so each provider carries both concrete hostname pools
+(used by the generator) and suffix match rules (used by the detector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fingerprints.model import Provider, Transport
+from repro.util.rng import SeededRNG
+
+
+@dataclass(frozen=True)
+class ProviderSpec:
+    provider: Provider
+    management_hosts: tuple[str, ...]
+    content_host_patterns: tuple[str, ...]  # "{n}" filled with digits
+    sni_suffixes: tuple[str, ...]
+    transports: tuple[Transport, ...]
+
+    def supports_quic(self) -> bool:
+        return Transport.QUIC in self.transports
+
+    def random_management_host(self, rng: SeededRNG) -> str:
+        return rng.choice(self.management_hosts)
+
+    def random_content_host(self, rng: SeededRNG) -> str:
+        pattern = rng.choice(self.content_host_patterns)
+        return pattern.format(n=rng.randint(1, 32), m=rng.randint(1, 8))
+
+
+PROVIDER_SPECS: dict[Provider, ProviderSpec] = {
+    Provider.YOUTUBE: ProviderSpec(
+        provider=Provider.YOUTUBE,
+        management_hosts=("www.youtube.com", "youtubei.googleapis.com",
+                          "m.youtube.com"),
+        content_host_patterns=(
+            "rr{m}---sn-npoe7ne{n}.googlevideo.com",
+            "rr{m}---sn-ntqe6n7{n}.googlevideo.com",
+            "redirector.googlevideo.com",
+        ),
+        sni_suffixes=(".googlevideo.com", ".youtube.com",
+                      "youtubei.googleapis.com"),
+        transports=(Transport.TCP, Transport.QUIC),
+    ),
+    Provider.NETFLIX: ProviderSpec(
+        provider=Provider.NETFLIX,
+        management_hosts=("www.netflix.com", "api-global.netflix.com"),
+        content_host_patterns=(
+            "ipv4-c{n}-ixp-syd{m}.1.oca.nflxvideo.net",
+            "ipv4-c{n}-ix-syd{m}.1.oca.nflxvideo.net",
+        ),
+        sni_suffixes=(".nflxvideo.net", ".netflix.com"),
+        transports=(Transport.TCP,),
+    ),
+    Provider.DISNEY: ProviderSpec(
+        provider=Provider.DISNEY,
+        management_hosts=("www.disneyplus.com", "disney.api.edge.bamgrid.com"),
+        content_host_patterns=(
+            "vod-akc-oc{n}.media.dssott.com",
+            "vod-l3c-oc{n}.media.dssott.com",
+        ),
+        sni_suffixes=(".dssott.com", ".disneyplus.com", ".bamgrid.com"),
+        transports=(Transport.TCP,),
+    ),
+    Provider.AMAZON: ProviderSpec(
+        provider=Provider.AMAZON,
+        management_hosts=("www.primevideo.com", "atv-ps.amazon.com"),
+        content_host_patterns=(
+            "s{n}.avodmp4s3ww-a.akamaihd.net",
+            "d{n}.cloudfront.aiv-cdn.net",
+            "avodmp4s3ww-a.akamaihd.net",
+        ),
+        sni_suffixes=(".aiv-cdn.net", ".primevideo.com",
+                      "atv-ps.amazon.com", ".avodmp4s3ww-a.akamaihd.net"),
+        transports=(Transport.TCP,),
+    ),
+}
+
+
+def detect_provider(sni: str | None) -> Provider | None:
+    """Map an SNI hostname to a provider, or None if not a video service."""
+    if not sni:
+        return None
+    hostname = sni.lower().rstrip(".")
+    for spec in PROVIDER_SPECS.values():
+        for suffix in spec.sni_suffixes:
+            if suffix.startswith("."):
+                if hostname.endswith(suffix) or hostname == suffix[1:]:
+                    return spec.provider
+            elif hostname == suffix:
+                return spec.provider
+    return None

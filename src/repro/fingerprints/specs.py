@@ -1,0 +1,336 @@
+"""Declarative per-platform fingerprint specifications and the builders
+that turn a spec plus per-session randomness into concrete wire objects
+(TCP SYN parameters, TLS ClientHello, QUIC transport parameters).
+
+A spec captures what is *stable* for a platform's network stack; the
+builder injects what varies per session (random, session id, key shares,
+GREASE draws, SNI, padding fill, resumption tickets) — exactly the split
+the paper's §3.3 observes between fields that fingerprint a platform and
+fields that don't.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+from repro.quic import transport_params as tp
+from repro.quic.varint import encode_varint
+from repro.tls import constants as c
+from repro.tls import extensions as x
+from repro.tls.clienthello import ClientHello
+from repro.tls.extensions import Extension
+from repro.tls.grease import grease_quic_transport_parameter_id, random_grease
+from repro.util.rng import SeededRNG
+
+# --- TCP stack ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TcpStackSpec:
+    """OS TCP/IP stack parameters visible in the SYN (attributes t1–t14)."""
+
+    ttl: int
+    window_size: int
+    mss: int
+    window_scale: int | None
+    sack_permitted: bool = True
+    timestamps: bool = False
+    ecn_setup: bool = False  # SYN carries CWR+ECE
+    # Option order as tokens: mss / nop / window_scale / sack_permitted /
+    # timestamps / eol.
+    option_order: tuple[str, ...] = (
+        "mss", "nop", "window_scale", "nop", "nop", "sack_permitted",
+    )
+    mss_alternatives: tuple[int, ...] = ()  # occasional path-dependent MSS
+
+
+# --- TLS ClientHello ----------------------------------------------------------
+
+# Extension tokens understood by the builder, in the vocabulary of
+# Table 2's field names.
+KNOWN_TOKENS = (
+    "grease_first", "server_name", "extended_master_secret",
+    "renegotiation_info", "supported_groups", "ec_point_formats",
+    "session_ticket", "alpn", "status_request", "signature_algorithms",
+    "sct", "key_share", "psk_key_exchange_modes", "supported_versions",
+    "compress_certificate", "application_settings", "record_size_limit",
+    "delegated_credentials", "early_data", "pre_shared_key",
+    "post_handshake_auth", "encrypt_then_mac", "quic_transport_parameters",
+    "grease_last", "padding",
+)
+
+GREASE_SENTINEL = -1  # placeholder replaced with a session GREASE value
+
+
+@dataclass(frozen=True)
+class ClientHelloSpec:
+    """Everything stable about a stack's ClientHello."""
+
+    cipher_suites: tuple[int, ...]
+    extension_order: tuple[str, ...]
+    groups: tuple[int, ...] = ()
+    signature_algorithms: tuple[int, ...] = ()
+    alpn: tuple[str, ...] = ("h2", "http/1.1")
+    supported_versions: tuple[int, ...] = (c.TLS_1_3, c.TLS_1_2)
+    key_share_groups: tuple[int, ...] = (c.GROUP_X25519,)
+    psk_modes: tuple[int, ...] = (c.PSK_MODE_PSK_DHE_KE,)
+    ec_point_formats: tuple[int, ...] = (0,)
+    compress_certificate: tuple[int, ...] = ()
+    record_size_limit: int | None = None
+    delegated_credentials: tuple[int, ...] = ()
+    application_settings: tuple[str, ...] = ()
+    legacy_version: int = c.TLS_1_2
+    session_id_length: int = 32
+    grease: bool = False
+    randomized_extension_order: bool = False  # Chrome >= 110
+    padding_target: int | None = None  # pad CHLO body to this many bytes
+    resumption_probability: float = 0.0  # adds pre_shared_key + early_data
+
+    def __post_init__(self):
+        unknown = [t for t in self.extension_order if t not in KNOWN_TOKENS]
+        if unknown:
+            raise ConfigError(f"unknown extension tokens: {unknown}")
+
+
+# --- QUIC transport parameters --------------------------------------------------
+
+# Value kinds: "varint" (int), "flag" (no value), "cid" (random connection
+# id of given length), "utf8" (string), "bytes" (fixed bytes), "grease"
+# (reserved id with random short value).
+@dataclass(frozen=True)
+class QuicParamSpec:
+    name: str
+    kind: str
+    value: object = None
+
+
+@dataclass(frozen=True)
+class QuicSpec:
+    params: tuple[QuicParamSpec, ...]
+    dcid_length: int = 8
+    scid_length: int = 8
+    packet_number_length: int = 1
+    datagram_size: int = 1250
+
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+
+_QUIC_PARAM_IDS = {
+    "max_idle_timeout": tp.TP_MAX_IDLE_TIMEOUT,
+    "max_udp_payload_size": tp.TP_MAX_UDP_PAYLOAD_SIZE,
+    "initial_max_data": tp.TP_INITIAL_MAX_DATA,
+    "initial_max_stream_data_bidi_local":
+        tp.TP_INITIAL_MAX_STREAM_DATA_BIDI_LOCAL,
+    "initial_max_stream_data_bidi_remote":
+        tp.TP_INITIAL_MAX_STREAM_DATA_BIDI_REMOTE,
+    "initial_max_stream_data_uni": tp.TP_INITIAL_MAX_STREAM_DATA_UNI,
+    "initial_max_streams_bidi": tp.TP_INITIAL_MAX_STREAMS_BIDI,
+    "initial_max_streams_uni": tp.TP_INITIAL_MAX_STREAMS_UNI,
+    "ack_delay_exponent": tp.TP_ACK_DELAY_EXPONENT,
+    "max_ack_delay": tp.TP_MAX_ACK_DELAY,
+    "disable_active_migration": tp.TP_DISABLE_ACTIVE_MIGRATION,
+    "active_connection_id_limit": tp.TP_ACTIVE_CONNECTION_ID_LIMIT,
+    "initial_source_connection_id": tp.TP_INITIAL_SOURCE_CONNECTION_ID,
+    "version_information": tp.TP_VERSION_INFORMATION,
+    "max_datagram_frame_size": tp.TP_MAX_DATAGRAM_FRAME_SIZE,
+    "grease_quic_bit": tp.TP_GREASE_QUIC_BIT,
+    "initial_rtt": tp.TP_INITIAL_RTT,
+    "google_connection_options": tp.TP_GOOGLE_CONNECTION_OPTIONS,
+    "user_agent": tp.TP_USER_AGENT,
+    "google_version": tp.TP_GOOGLE_VERSION,
+}
+
+
+def build_transport_parameters(spec: QuicSpec, rng: SeededRNG,
+                               scid: bytes) -> bytes:
+    """Serialize the QUIC transport parameters for one session."""
+    out = bytearray()
+    for param in spec.params:
+        if param.kind == "grease":
+            pid = grease_quic_transport_parameter_id(rng)
+            value = rng.token_bytes(rng.randint(0, 4))
+        else:
+            pid = _QUIC_PARAM_IDS.get(param.name)
+            if pid is None:
+                raise ConfigError(f"unknown QUIC parameter {param.name!r}")
+            if param.kind == "varint":
+                value = encode_varint(int(param.value))
+            elif param.kind == "flag":
+                value = b""
+            elif param.kind == "cid":
+                value = scid
+            elif param.kind == "utf8":
+                text = str(param.value)
+                if "{build}" in text:
+                    # Minor build churn across the capture window: the
+                    # paper's lab data sees tens of unique user_agent
+                    # values per platform (Fig 12a), which is what keeps
+                    # q18's information gain low (§4.2.2).
+                    text = text.format(build=rng.randint(60, 199))
+                value = text.encode("utf-8")
+            elif param.kind == "bytes":
+                value = bytes(param.value)
+            else:
+                raise ConfigError(f"unknown QUIC param kind {param.kind!r}")
+        out += encode_varint(pid)
+        out += encode_varint(len(value))
+        out += value
+    return bytes(out)
+
+
+# --- ClientHello builder ----------------------------------------------------------
+
+
+def _grease_ext(ext_id: int, data: bytes = b"") -> Extension:
+    return Extension(ext_id, data)
+
+
+def build_client_hello(spec: ClientHelloSpec, sni: str, rng: SeededRNG,
+                       quic_params: bytes | None = None,
+                       alpn_override: tuple[str, ...] | None = None,
+                       resumption: bool | None = None) -> ClientHello:
+    """Instantiate a ClientHello for one session from a stable spec.
+
+    ``quic_params`` supplies a serialized quic_transport_parameters value
+    when the hello rides in a QUIC Initial. ``resumption`` forces or
+    suppresses the PSK branch (default: draw from the spec probability).
+    """
+    g_suite = random_grease(rng)
+    g_group = random_grease(rng)
+    g_ext_first = random_grease(rng)
+    g_ext_last = random_grease(rng)
+    while g_ext_last == g_ext_first:
+        g_ext_last = random_grease(rng)
+    g_version = random_grease(rng)
+
+    if resumption is None:
+        resumption = rng.bernoulli(spec.resumption_probability)
+
+    suites = list(spec.cipher_suites)
+    groups = list(spec.groups)
+    versions = list(spec.supported_versions)
+    key_share_groups = list(spec.key_share_groups)
+    if spec.grease:
+        suites.insert(0, g_suite)
+        groups.insert(0, g_group)
+        versions.insert(0, g_version)
+
+    alpn = alpn_override if alpn_override is not None else spec.alpn
+
+    def _key_share() -> Extension:
+        entries: list[tuple[int, bytes]] = []
+        if spec.grease:
+            entries.append((g_group, b"\x00"))
+        for group in key_share_groups:
+            length = c.KEY_SHARE_LENGTHS.get(group, 32)
+            entries.append((group, rng.token_bytes(length)))
+        return x.build_key_share(entries)
+
+    builders = {
+        "grease_first": lambda: _grease_ext(g_ext_first),
+        "server_name": lambda: x.build_server_name(sni),
+        "extended_master_secret": x.build_extended_master_secret,
+        "renegotiation_info": x.build_renegotiation_info,
+        "supported_groups": lambda: x.build_supported_groups(groups),
+        "ec_point_formats":
+            lambda: x.build_ec_point_formats(spec.ec_point_formats),
+        "session_ticket": lambda: x.build_session_ticket(
+            rng.token_bytes(rng.randint(160, 224))
+            if resumption and not spec.supported_versions else b""),
+        "alpn": lambda: x.build_alpn(alpn),
+        "status_request": x.build_status_request,
+        "signature_algorithms":
+            lambda: x.build_signature_algorithms(spec.signature_algorithms),
+        "sct": x.build_signed_certificate_timestamp,
+        "key_share": _key_share,
+        "psk_key_exchange_modes":
+            lambda: x.build_psk_key_exchange_modes(spec.psk_modes),
+        "supported_versions":
+            lambda: x.build_supported_versions(versions),
+        "compress_certificate":
+            lambda: x.build_compress_certificate(spec.compress_certificate),
+        "application_settings":
+            lambda: x.build_application_settings(spec.application_settings),
+        "record_size_limit":
+            lambda: x.build_record_size_limit(spec.record_size_limit),
+        "delegated_credentials":
+            lambda: x.build_delegated_credentials(
+                spec.delegated_credentials),
+        "early_data": x.build_early_data,
+        "pre_shared_key":
+            lambda: x.build_pre_shared_key(
+                rng.token_bytes(rng.randint(96, 224)), rng.token_bytes(32)),
+        "post_handshake_auth": x.build_post_handshake_auth,
+        "encrypt_then_mac": x.build_encrypt_then_mac,
+        "quic_transport_parameters":
+            lambda: Extension(c.EXT_QUIC_TRANSPORT_PARAMETERS,
+                              quic_params or b""),
+        "grease_last": lambda: _grease_ext(g_ext_last, b"\x00"),
+    }
+
+    order = [t for t in spec.extension_order if t != "padding"]
+    if not resumption:
+        order = [t for t in order
+                 if t not in ("pre_shared_key", "early_data")]
+    if quic_params is None:
+        order = [t for t in order if t != "quic_transport_parameters"]
+
+    if spec.randomized_extension_order:
+        # Chrome >= 110: shuffle everything except GREASE bookends and
+        # pre_shared_key (must stay last per RFC 8446).
+        pinned_head = [t for t in order if t == "grease_first"]
+        pinned_tail = [t for t in order
+                       if t in ("grease_last", "pre_shared_key")]
+        middle = [t for t in order
+                  if t not in ("grease_first", "grease_last",
+                               "pre_shared_key")]
+        rng.shuffle(middle)
+        order = pinned_head + middle + pinned_tail
+
+    extensions = [builders[token]() for token in order]
+
+    hello = ClientHello(
+        cipher_suites=tuple(suites),
+        extensions=tuple(extensions),
+        legacy_version=spec.legacy_version,
+        random=rng.token_bytes(32),
+        session_id=rng.token_bytes(spec.session_id_length),
+        compression_methods=b"\x00",
+    )
+
+    if spec.padding_target is not None and "padding" in spec.extension_order:
+        current = hello.handshake_length + 4  # include handshake header
+        pad_needed = spec.padding_target - current - 4  # ext header bytes
+        if pad_needed < 0:
+            pad_needed = 0
+        padded = list(hello.extensions)
+        # Padding goes where the spec put it (Chrome/Firefox: last,
+        # before nothing; with resumption PSK must remain last).
+        insert_at = len(padded)
+        if padded and padded[-1].type == c.EXT_PRE_SHARED_KEY:
+            insert_at -= 1
+        padded.insert(insert_at, x.build_padding(pad_needed))
+        hello = replace(hello, extensions=tuple(padded))
+    return hello
+
+
+# --- Platform profile ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """Everything needed to synthesize one platform's video flows."""
+
+    tcp_stack: TcpStackSpec
+    tls_tcp: ClientHelloSpec
+    tls_quic: ClientHelloSpec | None = None
+    quic: QuicSpec | None = None
+    # (platform_label, probability): with probability p a flow borrows the
+    # lookalike's hello template — models shared stacks/firmware overlap
+    # that produces the paper's Fig 6(b) confusion structure.
+    lookalikes: tuple[tuple[str, float], ...] = field(default_factory=tuple)
+
+    def supports_quic(self) -> bool:
+        return self.tls_quic is not None and self.quic is not None

@@ -1,0 +1,48 @@
+"""From-scratch ML substrate: CART/random forest, MLP, KNN, model
+selection and metrics (replacing the paper's scikit-learn usage — the
+offline environment has no sklearn)."""
+
+from repro.ml.base import BaseClassifier, LabelEncoder
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import (
+    ConfidenceSummary,
+    accuracy_score,
+    box_stats,
+    confidence_summary,
+    confusion_matrix,
+    normalized_confusion,
+    per_class_accuracy,
+)
+from repro.ml.mlp import MLPClassifier
+from repro.ml.model_selection import (
+    GridResult,
+    StratifiedKFold,
+    best_result,
+    cross_val_predict,
+    cross_val_score,
+    grid_search,
+)
+from repro.ml.neighbors import KNeighborsClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "BaseClassifier",
+    "ConfidenceSummary",
+    "DecisionTreeClassifier",
+    "GridResult",
+    "KNeighborsClassifier",
+    "LabelEncoder",
+    "MLPClassifier",
+    "RandomForestClassifier",
+    "StratifiedKFold",
+    "accuracy_score",
+    "best_result",
+    "box_stats",
+    "confidence_summary",
+    "confusion_matrix",
+    "cross_val_predict",
+    "cross_val_score",
+    "grid_search",
+    "normalized_confusion",
+    "per_class_accuracy",
+]

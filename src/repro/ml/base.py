@@ -1,0 +1,73 @@
+"""Shared estimator plumbing: label encoding and the classifier protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError, NotFittedError
+
+
+class LabelEncoder:
+    """Map arbitrary hashable labels to 0..K-1 integer classes."""
+
+    def __init__(self):
+        self.classes_: list = []
+        self._index: dict = {}
+
+    def fit(self, labels) -> "LabelEncoder":
+        self.classes_ = sorted(set(labels), key=str)
+        self._index = {label: i for i, label in enumerate(self.classes_)}
+        return self
+
+    def transform(self, labels) -> np.ndarray:
+        try:
+            return np.array([self._index[label] for label in labels],
+                            dtype=np.int64)
+        except KeyError as exc:
+            raise DatasetError(f"unseen label {exc.args[0]!r}") from exc
+
+    def fit_transform(self, labels) -> np.ndarray:
+        return self.fit(labels).transform(labels)
+
+    def inverse_transform(self, codes: np.ndarray) -> list:
+        return [self.classes_[int(code)] for code in codes]
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes_)
+
+
+class BaseClassifier:
+    """Minimal sklearn-style protocol used across the pipeline."""
+
+    classes_: list
+
+    def fit(self, X: np.ndarray, y) -> "BaseClassifier":
+        raise NotImplementedError
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def predict(self, X: np.ndarray) -> list:
+        proba = self.predict_proba(X)
+        codes = np.argmax(proba, axis=1)
+        return [self.classes_[int(code)] for code in codes]
+
+    def score(self, X: np.ndarray, y) -> float:
+        predictions = self.predict(X)
+        return float(np.mean([p == t for p, t in zip(predictions, y)]))
+
+    def _check_fitted(self, attr: str) -> None:
+        if not hasattr(self, attr) or getattr(self, attr) is None:
+            raise NotFittedError(
+                f"{type(self).__name__} used before fit()")
+
+
+def validate_xy(X: np.ndarray, y: np.ndarray) -> None:
+    if X.ndim != 2:
+        raise DatasetError(f"X must be 2-D, got shape {X.shape}")
+    if len(X) != len(y):
+        raise DatasetError(
+            f"X has {len(X)} rows but y has {len(y)} labels")
+    if len(X) == 0:
+        raise DatasetError("empty training set")

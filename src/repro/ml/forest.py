@@ -1,0 +1,94 @@
+"""Random forest classifier — the paper's selected model (§4.3.1).
+
+Bootstrap-sampled CART trees with per-split feature subsampling;
+``predict_proba`` averages tree leaf distributions, which is what the
+pipeline's 80%-confidence selector consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, LabelEncoder, validate_xy
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(BaseClassifier):
+    def __init__(self, n_estimators: int = 50,
+                 max_depth: int | None = 20,
+                 min_samples_split: int = 2,
+                 min_samples_leaf: int = 1,
+                 max_features: int | str | None = "sqrt",
+                 bootstrap: bool = True,
+                 random_state: int = 0):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self._trees: list[DecisionTreeClassifier] | None = None
+        self._encoder: LabelEncoder | None = None
+
+    def fit(self, X: np.ndarray, y) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        self._encoder = LabelEncoder()
+        y_codes = self._encoder.fit_transform(y)
+        validate_xy(X, y_codes)
+        rng = np.random.default_rng(self.random_state)
+        n = len(X)
+        trees = []
+        for i in range(self.n_estimators):
+            if self.bootstrap:
+                sample = rng.integers(0, n, size=n)
+            else:
+                sample = np.arange(n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            # Fit on integer codes so every tree shares the forest's
+            # class indexing even if a bootstrap misses a class.
+            tree._encoder = _SharedEncoder(self._encoder)
+            tree.fit_codes(X[sample], y_codes[sample],
+                           self._encoder.n_classes)
+            trees.append(tree)
+        self._trees = trees
+        return self
+
+    @property
+    def classes_(self) -> list:
+        self._check_fitted("_encoder")
+        return self._encoder.classes_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted("_trees")
+        X = np.asarray(X, dtype=np.float64)
+        total = np.zeros((len(X), self._encoder.n_classes))
+        for tree in self._trees:
+            total += tree.predict_proba(X)
+        return total / len(self._trees)
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Forest-averaged mean-decrease-in-impurity importances."""
+        self._check_fitted("_trees")
+        stacks = [tree.feature_importances_ for tree in self._trees
+                  if tree.feature_importances_.size]
+        if not stacks:
+            return np.zeros(0)
+        mean = np.mean(np.vstack(stacks), axis=0)
+        total = mean.sum()
+        return mean / total if total > 0 else mean
+
+
+class _SharedEncoder:
+    """Adapter exposing the forest's label space to member trees."""
+
+    def __init__(self, encoder: LabelEncoder):
+        self.classes_ = encoder.classes_
+        self.n_classes = encoder.n_classes

@@ -1,0 +1,75 @@
+"""Classification metrics: accuracy, confusion matrices, confidence
+summaries — the quantities of Fig 6 and Tables 3–5."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    if len(y_true) != len(y_pred):
+        raise ValueError("length mismatch")
+    if not y_true:
+        return 0.0
+    return sum(1 for t, p in zip(y_true, y_pred) if t == p) / len(y_true)
+
+
+def confusion_matrix(y_true, y_pred, labels: list | None = None
+                     ) -> tuple[np.ndarray, list]:
+    """Row-normalized-ready counts matrix plus the label order."""
+    if labels is None:
+        labels = sorted(set(y_true) | set(y_pred), key=str)
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return matrix, labels
+
+
+def normalized_confusion(matrix: np.ndarray) -> np.ndarray:
+    """Rows as recall fractions (the form of Fig 6(b)-(d))."""
+    out = matrix.astype(np.float64)
+    sums = out.sum(axis=1, keepdims=True)
+    sums[sums == 0] = 1.0
+    return out / sums
+
+
+def per_class_accuracy(y_true, y_pred) -> dict:
+    matrix, labels = confusion_matrix(y_true, y_pred)
+    normalized = normalized_confusion(matrix)
+    return {label: float(normalized[i, i])
+            for i, label in enumerate(labels)}
+
+
+@dataclass(frozen=True)
+class ConfidenceSummary:
+    """Median prediction confidence split by correctness (Table 4)."""
+
+    median_correct: float
+    median_incorrect: float
+    n_correct: int
+    n_incorrect: int
+
+
+def confidence_summary(y_true, y_pred, confidences) -> ConfidenceSummary:
+    correct = [c for t, p, c in zip(y_true, y_pred, confidences) if t == p]
+    incorrect = [c for t, p, c in zip(y_true, y_pred, confidences)
+                 if t != p]
+    return ConfidenceSummary(
+        median_correct=float(np.median(correct)) if correct else 0.0,
+        median_incorrect=float(np.median(incorrect)) if incorrect else 0.0,
+        n_correct=len(correct),
+        n_incorrect=len(incorrect),
+    )
+
+
+def box_stats(values) -> dict[str, float]:
+    """Median and quartiles, the summary the bandwidth figures plot."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return {"median": 0.0, "q1": 0.0, "q3": 0.0, "iqr": 0.0}
+    q1, median, q3 = np.percentile(arr, [25, 50, 75])
+    return {"median": float(median), "q1": float(q1), "q3": float(q3),
+            "iqr": float(q3 - q1)}

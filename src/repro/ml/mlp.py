@@ -1,0 +1,140 @@
+"""Multi-layer perceptron classifier (numpy, Adam, softmax cross-entropy).
+
+One of the three algorithm families the paper compares (§4.3.1). Inputs
+are z-score standardized internally — without it the integer-code
+features would swamp the optimizer — yet the MLP still trails the random
+forest on this task, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.ml.base import BaseClassifier, LabelEncoder, validate_xy
+
+_ACTIVATIONS = ("relu", "tanh")
+
+
+class MLPClassifier(BaseClassifier):
+    def __init__(self, hidden_layer_sizes: tuple[int, ...] = (64, 32),
+                 activation: str = "relu", learning_rate: float = 1e-3,
+                 max_iter: int = 60, batch_size: int = 64,
+                 l2: float = 1e-5, random_state: int = 0):
+        if activation not in _ACTIVATIONS:
+            raise ConfigError(f"activation must be one of {_ACTIVATIONS}")
+        self.hidden_layer_sizes = tuple(hidden_layer_sizes)
+        self.activation = activation
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.random_state = random_state
+        self._weights: list[np.ndarray] | None = None
+        self._encoder: LabelEncoder | None = None
+
+    # -- internals ----------------------------------------------------------
+
+    def _act(self, z: np.ndarray) -> np.ndarray:
+        if self.activation == "relu":
+            return np.maximum(z, 0.0)
+        return np.tanh(z)
+
+    def _act_grad(self, a: np.ndarray) -> np.ndarray:
+        if self.activation == "relu":
+            return (a > 0).astype(a.dtype)
+        return 1.0 - a**2
+
+    @staticmethod
+    def _softmax(z: np.ndarray) -> np.ndarray:
+        z = z - z.max(axis=1, keepdims=True)
+        e = np.exp(z)
+        return e / e.sum(axis=1, keepdims=True)
+
+    def _standardize(self, X: np.ndarray) -> np.ndarray:
+        return (X - self._mean) / self._std
+
+    def _forward(self, X: np.ndarray) -> list[np.ndarray]:
+        activations = [X]
+        for i, (W, b) in enumerate(zip(self._weights, self._biases)):
+            z = activations[-1] @ W + b
+            if i < len(self._weights) - 1:
+                activations.append(self._act(z))
+            else:
+                activations.append(self._softmax(z))
+        return activations
+
+    # -- API ------------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y) -> "MLPClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        self._encoder = LabelEncoder()
+        y_codes = self._encoder.fit_transform(y)
+        validate_xy(X, y_codes)
+        n, d = X.shape
+        k = self._encoder.n_classes
+        self._mean = X.mean(axis=0)
+        self._std = X.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        Xs = self._standardize(X)
+
+        rng = np.random.default_rng(self.random_state)
+        sizes = [d, *self.hidden_layer_sizes, k]
+        self._weights = [
+            rng.normal(0, np.sqrt(2.0 / sizes[i]),
+                       size=(sizes[i], sizes[i + 1]))
+            for i in range(len(sizes) - 1)
+        ]
+        self._biases = [np.zeros(s) for s in sizes[1:]]
+
+        onehot = np.zeros((n, k))
+        onehot[np.arange(n), y_codes] = 1.0
+
+        # Adam state
+        m_w = [np.zeros_like(w) for w in self._weights]
+        v_w = [np.zeros_like(w) for w in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        for _ in range(self.max_iter):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start:start + self.batch_size]
+                acts = self._forward(Xs[idx])
+                delta = (acts[-1] - onehot[idx]) / len(idx)
+                grads_w = []
+                grads_b = []
+                for layer in range(len(self._weights) - 1, -1, -1):
+                    grads_w.append(acts[layer].T @ delta
+                                   + self.l2 * self._weights[layer])
+                    grads_b.append(delta.sum(axis=0))
+                    if layer > 0:
+                        delta = (delta @ self._weights[layer].T) \
+                            * self._act_grad(acts[layer])
+                grads_w.reverse()
+                grads_b.reverse()
+                step += 1
+                lr = self.learning_rate * \
+                    np.sqrt(1 - beta2**step) / (1 - beta1**step)
+                for i in range(len(self._weights)):
+                    m_w[i] = beta1 * m_w[i] + (1 - beta1) * grads_w[i]
+                    v_w[i] = beta2 * v_w[i] + (1 - beta2) * grads_w[i]**2
+                    self._weights[i] -= lr * m_w[i] / \
+                        (np.sqrt(v_w[i]) + eps)
+                    m_b[i] = beta1 * m_b[i] + (1 - beta1) * grads_b[i]
+                    v_b[i] = beta2 * v_b[i] + (1 - beta2) * grads_b[i]**2
+                    self._biases[i] -= lr * m_b[i] / \
+                        (np.sqrt(v_b[i]) + eps)
+        return self
+
+    @property
+    def classes_(self) -> list:
+        self._check_fitted("_encoder")
+        return self._encoder.classes_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted("_weights")
+        X = self._standardize(np.asarray(X, dtype=np.float64))
+        return self._forward(X)[-1]

@@ -1,0 +1,117 @@
+"""Model selection: stratified k-fold CV, cross-validated predictions,
+and the grid search used to produce Fig 6(a)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.ml.metrics import accuracy_score
+
+
+class StratifiedKFold:
+    """Stratified folds: each fold's class proportions mirror the whole.
+
+    Classes with fewer members than folds still work — their members are
+    spread over the first folds.
+    """
+
+    def __init__(self, n_splits: int = 10, shuffle: bool = True,
+                 random_state: int = 0):
+        if n_splits < 2:
+            raise DatasetError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, y) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        y = np.asarray(y, dtype=object)
+        n = len(y)
+        rng = np.random.default_rng(self.random_state)
+        fold_of = np.zeros(n, dtype=np.int64)
+        for label in sorted(set(y.tolist()), key=str):
+            members = np.nonzero(y == label)[0]
+            if self.shuffle:
+                members = rng.permutation(members)
+            for i, idx in enumerate(members):
+                fold_of[idx] = i % self.n_splits
+        for fold in range(self.n_splits):
+            test = np.nonzero(fold_of == fold)[0]
+            train = np.nonzero(fold_of != fold)[0]
+            if len(test) == 0 or len(train) == 0:
+                raise DatasetError(
+                    f"fold {fold} is degenerate (n={n}, "
+                    f"k={self.n_splits})")
+            yield train, test
+
+
+def cross_val_score(model_factory: Callable[[], object], X: np.ndarray,
+                    y: list, n_splits: int = 10,
+                    random_state: int = 0) -> list[float]:
+    X = np.asarray(X)
+    scores = []
+    for train, test in StratifiedKFold(n_splits, True,
+                                       random_state).split(y):
+        model = model_factory()
+        model.fit(X[train], [y[i] for i in train])
+        predictions = model.predict(X[test])
+        scores.append(accuracy_score([y[i] for i in test], predictions))
+    return scores
+
+
+def cross_val_predict(model_factory: Callable[[], object], X: np.ndarray,
+                      y: list, n_splits: int = 10, random_state: int = 0,
+                      with_proba: bool = False):
+    """Out-of-fold predictions (and max-probability confidences)."""
+    X = np.asarray(X)
+    predictions: list = [None] * len(y)
+    confidences = np.zeros(len(y))
+    for train, test in StratifiedKFold(n_splits, True,
+                                       random_state).split(y):
+        model = model_factory()
+        model.fit(X[train], [y[i] for i in train])
+        proba = model.predict_proba(X[test])
+        codes = np.argmax(proba, axis=1)
+        for local, global_idx in enumerate(test):
+            predictions[global_idx] = model.classes_[int(codes[local])]
+            confidences[global_idx] = proba[local, codes[local]]
+    if with_proba:
+        return predictions, confidences
+    return predictions
+
+
+@dataclass(frozen=True)
+class GridResult:
+    params: dict
+    mean_score: float
+    scores: tuple[float, ...]
+
+
+def grid_search(model_factory: Callable[..., object], grid: dict,
+                X: np.ndarray, y: list, n_splits: int = 5,
+                random_state: int = 0) -> list[GridResult]:
+    """Exhaustive CV over the cartesian product of ``grid`` values.
+
+    ``model_factory`` receives the grid point as keyword arguments.
+    Results are returned in grid order; pick max by ``mean_score``.
+    """
+    keys = list(grid.keys())
+    results = []
+    for values in product(*(grid[k] for k in keys)):
+        params = dict(zip(keys, values))
+        scores = cross_val_score(lambda: model_factory(**params), X, y,
+                                 n_splits=n_splits,
+                                 random_state=random_state)
+        results.append(GridResult(params, float(np.mean(scores)),
+                                  tuple(scores)))
+    return results
+
+
+def best_result(results: list[GridResult]) -> GridResult:
+    if not results:
+        raise DatasetError("empty grid results")
+    return max(results, key=lambda r: r.mean_score)

@@ -1,0 +1,66 @@
+"""K-nearest-neighbours classifier (brute force, Euclidean).
+
+The clustering-family entrant of the paper's three-way model comparison.
+``leaf_size`` is accepted for hyperparameter-surface compatibility with
+the paper's tuning grid (it indexes a KD-tree in scikit-learn); the brute
+force search here gives identical predictions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.ml.base import BaseClassifier, LabelEncoder, validate_xy
+
+
+class KNeighborsClassifier(BaseClassifier):
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform",
+                 leaf_size: int = 30):
+        if weights not in ("uniform", "distance"):
+            raise ConfigError("weights must be 'uniform' or 'distance'")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self.leaf_size = leaf_size
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._encoder: LabelEncoder | None = None
+
+    def fit(self, X: np.ndarray, y) -> "KNeighborsClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        self._encoder = LabelEncoder()
+        y_codes = self._encoder.fit_transform(y)
+        validate_xy(X, y_codes)
+        self._X = X
+        self._y = y_codes
+        return self
+
+    @property
+    def classes_(self) -> list:
+        self._check_fitted("_encoder")
+        return self._encoder.classes_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted("_X")
+        X = np.asarray(X, dtype=np.float64)
+        k = min(self.n_neighbors, len(self._X))
+        n_classes = self._encoder.n_classes
+        out = np.zeros((len(X), n_classes))
+        # Chunked distance computation to bound memory.
+        chunk = max(1, 2_000_000 // max(1, len(self._X)))
+        for start in range(0, len(X), chunk):
+            block = X[start:start + chunk]
+            d2 = ((block[:, None, :] - self._X[None, :, :]) ** 2).sum(-1)
+            neighbor_idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            rows = np.arange(len(block))[:, None]
+            neighbor_d2 = d2[rows, neighbor_idx]
+            labels = self._y[neighbor_idx]
+            if self.weights == "distance":
+                w = 1.0 / np.maximum(np.sqrt(neighbor_d2), 1e-12)
+            else:
+                w = np.ones_like(neighbor_d2)
+            for c in range(n_classes):
+                out[start:start + len(block), c] = \
+                    np.where(labels == c, w, 0.0).sum(axis=1)
+        out /= out.sum(axis=1, keepdims=True)
+        return out

@@ -1,0 +1,41 @@
+"""IPv4 address and MAC address conversion helpers."""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+
+
+def ip_to_bytes(address: str) -> bytes:
+    """Dotted-quad string to 4 network-order bytes."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ParseError(f"invalid IPv4 address {address!r}")
+    try:
+        values = [int(p) for p in parts]
+    except ValueError as exc:
+        raise ParseError(f"invalid IPv4 address {address!r}") from exc
+    if any(v < 0 or v > 255 for v in values):
+        raise ParseError(f"invalid IPv4 address {address!r}")
+    return bytes(values)
+
+
+def ip_from_bytes(data: bytes) -> str:
+    if len(data) != 4:
+        raise ParseError("IPv4 address must be 4 bytes")
+    return ".".join(str(b) for b in data)
+
+
+def mac_to_bytes(address: str) -> bytes:
+    parts = address.split(":")
+    if len(parts) != 6:
+        raise ParseError(f"invalid MAC address {address!r}")
+    try:
+        return bytes(int(p, 16) for p in parts)
+    except ValueError as exc:
+        raise ParseError(f"invalid MAC address {address!r}") from exc
+
+
+def mac_from_bytes(data: bytes) -> str:
+    if len(data) != 6:
+        raise ParseError("MAC address must be 6 bytes")
+    return ":".join(f"{b:02x}" for b in data)

@@ -1,0 +1,22 @@
+"""The Internet checksum (RFC 1071) and the TCP/UDP pseudo-header form."""
+
+from __future__ import annotations
+
+import struct
+
+
+def internet_checksum(data: bytes) -> int:
+    """One's-complement sum of 16-bit words, as used by IPv4/TCP/UDP."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total > 0xFFFF:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def pseudo_header_checksum(src_ip: bytes, dst_ip: bytes, protocol: int,
+                           segment: bytes) -> int:
+    """Checksum of an L4 segment including the IPv4 pseudo header."""
+    pseudo = src_ip + dst_ip + struct.pack("!BBH", 0, protocol, len(segment))
+    return internet_checksum(pseudo + segment)

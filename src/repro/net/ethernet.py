@@ -1,0 +1,35 @@
+"""Ethernet II framing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.net.addresses import mac_from_bytes, mac_to_bytes
+
+ETHERTYPE_IPV4 = 0x0800
+HEADER_LEN = 14
+
+
+@dataclass(frozen=True)
+class EthernetHeader:
+    """An Ethernet II header; addresses in ``aa:bb:cc:dd:ee:ff`` form."""
+
+    dst: str = "02:00:00:00:00:02"
+    src: str = "02:00:00:00:00:01"
+    ethertype: int = ETHERTYPE_IPV4
+
+    def to_bytes(self) -> bytes:
+        return (mac_to_bytes(self.dst) + mac_to_bytes(self.src)
+                + self.ethertype.to_bytes(2, "big"))
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["EthernetHeader", int]:
+        """Parse from the start of ``data``; returns (header, bytes used)."""
+        if len(data) < HEADER_LEN:
+            raise ParseError("truncated Ethernet header")
+        return cls(
+            dst=mac_from_bytes(data[0:6]),
+            src=mac_from_bytes(data[6:12]),
+            ethertype=int.from_bytes(data[12:14], "big"),
+        ), HEADER_LEN

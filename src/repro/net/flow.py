@@ -1,0 +1,37 @@
+"""Five-tuple flow identification.
+
+The pipeline keys its flow table on the canonical (direction-independent)
+form so a flow's client→server and server→client packets land in the same
+entry — mirroring what the paper's DPDK preprocessing stage does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class FlowKey:
+    protocol: int  # 6 = TCP, 17 = UDP
+    src_ip: str
+    src_port: int
+    dst_ip: str
+    dst_port: int
+
+    def reversed(self) -> "FlowKey":
+        return FlowKey(self.protocol, self.dst_ip, self.dst_port,
+                       self.src_ip, self.src_port)
+
+    def canonical(self) -> "FlowKey":
+        """Direction-independent form: lexicographically smaller endpoint
+        first, so ``key.canonical() == key.reversed().canonical()``."""
+        a = (self.src_ip, self.src_port)
+        b = (self.dst_ip, self.dst_port)
+        if a <= b:
+            return self
+        return self.reversed()
+
+    def __str__(self) -> str:
+        proto = {6: "tcp", 17: "udp"}.get(self.protocol, str(self.protocol))
+        return (f"{proto}:{self.src_ip}:{self.src_port}"
+                f"->{self.dst_ip}:{self.dst_port}")

@@ -1,0 +1,110 @@
+"""Whole-packet composition and decomposition.
+
+A :class:`Packet` is what the trace generator emits and what the pipeline's
+packet parser consumes after reading raw bytes — the same Ethernet/IPv4/
+TCP-or-UDP stack the paper's campus tap delivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParseError
+from repro.net.ethernet import ETHERTYPE_IPV4, EthernetHeader
+from repro.net.flow import FlowKey
+from repro.net.ipv4 import PROTO_TCP, PROTO_UDP, IPv4Header
+from repro.net.tcp import TCPHeader
+from repro.net.udp import UDPHeader
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A fully parsed (or to-be-serialized) Ethernet/IPv4/L4 packet."""
+
+    ip: IPv4Header
+    tcp: TCPHeader | None = None
+    udp: UDPHeader | None = None
+    payload: bytes = b""
+    timestamp: float = 0.0
+    eth: EthernetHeader = field(default_factory=EthernetHeader)
+
+    def __post_init__(self):
+        if (self.tcp is None) == (self.udp is None):
+            raise ParseError("packet must carry exactly one of TCP or UDP")
+
+    @property
+    def is_tcp(self) -> bool:
+        return self.tcp is not None
+
+    @property
+    def is_udp(self) -> bool:
+        return self.udp is not None
+
+    @property
+    def src_port(self) -> int:
+        layer = self.tcp if self.tcp is not None else self.udp
+        return layer.src_port
+
+    @property
+    def dst_port(self) -> int:
+        layer = self.tcp if self.tcp is not None else self.udp
+        return layer.dst_port
+
+    @property
+    def flow_key(self) -> FlowKey:
+        return FlowKey(self.ip.protocol, self.ip.src, self.src_port,
+                       self.ip.dst, self.dst_port)
+
+    def to_bytes(self) -> bytes:
+        if self.tcp is not None:
+            l4 = self.tcp.to_bytes(self.ip.src, self.ip.dst, self.payload)
+        else:
+            l4 = self.udp.to_bytes(self.ip.src, self.ip.dst, self.payload)
+        ip_bytes = self.ip.to_bytes(payload_length=len(l4))
+        return self.eth.to_bytes() + ip_bytes + l4
+
+    @property
+    def wire_length(self) -> int:
+        """Total on-wire length in bytes (without recomputing checksums
+        when already serialized once; cheap helper for telemetry)."""
+        return len(self.to_bytes())
+
+    @classmethod
+    def from_bytes(cls, data: bytes, timestamp: float = 0.0) -> "Packet":
+        eth, offset = EthernetHeader.parse(data)
+        if eth.ethertype != ETHERTYPE_IPV4:
+            raise ParseError(f"unsupported ethertype 0x{eth.ethertype:04x}")
+        ip, ip_len = IPv4Header.parse(data[offset:])
+        l4_start = offset + ip_len
+        l4_end = offset + ip.total_length
+        if ip.total_length < ip_len or l4_end > len(data):
+            raise ParseError("IPv4 total length inconsistent with capture")
+        l4_data = data[l4_start:l4_end]
+        if ip.protocol == PROTO_TCP:
+            tcp, used = TCPHeader.parse(l4_data)
+            return cls(ip=ip, tcp=tcp, payload=l4_data[used:],
+                       timestamp=timestamp, eth=eth)
+        if ip.protocol == PROTO_UDP:
+            udp, used = UDPHeader.parse(l4_data)
+            return cls(ip=ip, udp=udp, payload=l4_data[used:],
+                       timestamp=timestamp, eth=eth)
+        raise ParseError(f"unsupported IP protocol {ip.protocol}")
+
+
+def make_tcp_packet(src_ip: str, dst_ip: str, tcp: TCPHeader,
+                    payload: bytes = b"", ttl: int = 64, tos: int = 0,
+                    timestamp: float = 0.0,
+                    identification: int = 0) -> Packet:
+    ip = IPv4Header(src=src_ip, dst=dst_ip, protocol=PROTO_TCP, ttl=ttl,
+                    tos=tos, identification=identification)
+    return Packet(ip=ip, tcp=tcp, payload=payload, timestamp=timestamp)
+
+
+def make_udp_packet(src_ip: str, dst_ip: str, src_port: int, dst_port: int,
+                    payload: bytes = b"", ttl: int = 64, tos: int = 0,
+                    timestamp: float = 0.0,
+                    identification: int = 0) -> Packet:
+    ip = IPv4Header(src=src_ip, dst=dst_ip, protocol=PROTO_UDP, ttl=ttl,
+                    tos=tos, identification=identification)
+    udp = UDPHeader(src_port=src_port, dst_port=dst_port)
+    return Packet(ip=ip, udp=udp, payload=payload, timestamp=timestamp)

@@ -1,0 +1,141 @@
+"""Classic libpcap file format reader/writer (the format Wireshark wrote
+for the paper's lab captures).
+
+Supports the microsecond-resolution magic 0xA1B2C3D4 in both byte orders
+on read; always writes native little-endian microsecond files with
+LINKTYPE_ETHERNET.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.errors import ParseError
+from repro.net.packet import Packet
+
+MAGIC_USEC = 0xA1B2C3D4
+LINKTYPE_ETHERNET = 1
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+@dataclass(frozen=True)
+class PcapRecord:
+    """One captured frame: raw bytes plus its capture timestamp."""
+
+    timestamp: float
+    data: bytes
+    original_length: int
+
+
+class PcapWriter:
+    """Write packets (or raw frames) into a pcap file.
+
+    Usable as a context manager::
+
+        with PcapWriter(path) as writer:
+            writer.write_packet(pkt)
+    """
+
+    def __init__(self, path: str | Path):
+        self._file: BinaryIO = open(path, "wb")
+        self._file.write(_GLOBAL_HEADER.pack(
+            MAGIC_USEC, 2, 4, 0, 0, 65535, LINKTYPE_ETHERNET
+        ))
+
+    def write_bytes(self, data: bytes, timestamp: float) -> None:
+        sec = int(timestamp)
+        usec = int(round((timestamp - sec) * 1_000_000))
+        if usec >= 1_000_000:
+            sec += 1
+            usec -= 1_000_000
+        self._file.write(_RECORD_HEADER.pack(sec, usec, len(data), len(data)))
+        self._file.write(data)
+
+    def write_packet(self, packet: Packet) -> None:
+        self.write_bytes(packet.to_bytes(), packet.timestamp)
+
+    def write_all(self, packets: Iterable[Packet]) -> int:
+        count = 0
+        for packet in packets:
+            self.write_packet(packet)
+            count += 1
+        return count
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PcapReader:
+    """Iterate over the records of a pcap file."""
+
+    def __init__(self, path: str | Path):
+        self._file: BinaryIO = open(path, "rb")
+        raw = self._file.read(_GLOBAL_HEADER.size)
+        if len(raw) < _GLOBAL_HEADER.size:
+            raise ParseError("truncated pcap global header")
+        magic_le = struct.unpack("<I", raw[:4])[0]
+        magic_be = struct.unpack(">I", raw[:4])[0]
+        if magic_le == MAGIC_USEC:
+            self._endian = "<"
+        elif magic_be == MAGIC_USEC:
+            self._endian = ">"
+        else:
+            raise ParseError(f"unknown pcap magic 0x{magic_le:08x}")
+        fields = struct.unpack(self._endian + "IHHiIII", raw)
+        self.linktype = fields[6]
+        if self.linktype != LINKTYPE_ETHERNET:
+            raise ParseError(f"unsupported linktype {self.linktype}")
+        self._record = struct.Struct(self._endian + "IIII")
+
+    def __iter__(self) -> Iterator[PcapRecord]:
+        return self
+
+    def __next__(self) -> PcapRecord:
+        raw = self._file.read(self._record.size)
+        if not raw:
+            self._file.close()
+            raise StopIteration
+        if len(raw) < self._record.size:
+            raise ParseError("truncated pcap record header")
+        sec, usec, incl_len, orig_len = self._record.unpack(raw)
+        data = self._file.read(incl_len)
+        if len(data) < incl_len:
+            raise ParseError("truncated pcap record body")
+        return PcapRecord(sec + usec / 1_000_000, data, orig_len)
+
+    def packets(self) -> Iterator[Packet]:
+        """Parse each record up through L4; skips nothing, raises on
+        malformed frames (the files we read are our own)."""
+        for record in self:
+            yield Packet.from_bytes(record.data, record.timestamp)
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "PcapReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_pcap(path: str | Path, packets: Iterable[Packet]) -> int:
+    """Convenience: write ``packets`` to ``path``; returns the count."""
+    with PcapWriter(path) as writer:
+        return writer.write_all(packets)
+
+
+def read_pcap(path: str | Path) -> list[Packet]:
+    """Convenience: parse every packet in the file into memory."""
+    with PcapReader(path) as reader:
+        return list(reader.packets())

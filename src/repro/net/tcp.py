@@ -1,0 +1,214 @@
+"""TCP header build/parse (RFC 9293), including the handshake options the
+paper uses as features: MSS, window scale, SACK-permitted, and the
+CWR/ECE congestion-control flags (attributes t3–t14 of Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParseError
+from repro.net.addresses import ip_to_bytes
+from repro.net.checksum import pseudo_header_checksum
+
+MIN_HEADER_LEN = 20
+
+OPT_EOL = 0
+OPT_NOP = 1
+OPT_MSS = 2
+OPT_WINDOW_SCALE = 3
+OPT_SACK_PERMITTED = 4
+OPT_SACK = 5
+OPT_TIMESTAMPS = 8
+
+_OPTION_NAMES = {
+    OPT_EOL: "eol",
+    OPT_NOP: "nop",
+    OPT_MSS: "mss",
+    OPT_WINDOW_SCALE: "window_scale",
+    OPT_SACK_PERMITTED: "sack_permitted",
+    OPT_SACK: "sack",
+    OPT_TIMESTAMPS: "timestamps",
+}
+
+
+@dataclass(frozen=True)
+class TcpOption:
+    """One TCP option; ``data`` excludes the kind/length octets."""
+
+    kind: int
+    data: bytes = b""
+
+    @property
+    def name(self) -> str:
+        return _OPTION_NAMES.get(self.kind, f"option_{self.kind}")
+
+    def to_bytes(self) -> bytes:
+        if self.kind in (OPT_EOL, OPT_NOP):
+            return bytes([self.kind])
+        return bytes([self.kind, 2 + len(self.data)]) + self.data
+
+
+def mss_option(mss: int) -> TcpOption:
+    return TcpOption(OPT_MSS, mss.to_bytes(2, "big"))
+
+
+def window_scale_option(shift: int) -> TcpOption:
+    return TcpOption(OPT_WINDOW_SCALE, bytes([shift]))
+
+
+def sack_permitted_option() -> TcpOption:
+    return TcpOption(OPT_SACK_PERMITTED)
+
+
+def timestamps_option(ts_val: int, ts_ecr: int = 0) -> TcpOption:
+    return TcpOption(
+        OPT_TIMESTAMPS,
+        ts_val.to_bytes(4, "big") + ts_ecr.to_bytes(4, "big"),
+    )
+
+
+def nop_option() -> TcpOption:
+    return TcpOption(OPT_NOP)
+
+
+def eol_option() -> TcpOption:
+    return TcpOption(OPT_EOL)
+
+
+@dataclass(frozen=True)
+class TCPHeader:
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flag_cwr: bool = False
+    flag_ece: bool = False
+    flag_urg: bool = False
+    flag_ack: bool = False
+    flag_psh: bool = False
+    flag_rst: bool = False
+    flag_syn: bool = False
+    flag_fin: bool = False
+    window: int = 65535
+    urgent_pointer: int = 0
+    options: tuple[TcpOption, ...] = field(default_factory=tuple)
+
+    # -- option accessors used by the feature extractor ------------------
+
+    def find_option(self, kind: int) -> TcpOption | None:
+        for opt in self.options:
+            if opt.kind == kind:
+                return opt
+        return None
+
+    @property
+    def mss(self) -> int | None:
+        opt = self.find_option(OPT_MSS)
+        if opt is None or len(opt.data) != 2:
+            return None
+        return int.from_bytes(opt.data, "big")
+
+    @property
+    def window_scale(self) -> int | None:
+        opt = self.find_option(OPT_WINDOW_SCALE)
+        if opt is None or len(opt.data) != 1:
+            return None
+        return opt.data[0]
+
+    @property
+    def sack_permitted(self) -> bool:
+        return self.find_option(OPT_SACK_PERMITTED) is not None
+
+    # -- wire form --------------------------------------------------------
+
+    def _flags_byte(self) -> int:
+        bits = [
+            (self.flag_cwr, 0x80), (self.flag_ece, 0x40),
+            (self.flag_urg, 0x20), (self.flag_ack, 0x10),
+            (self.flag_psh, 0x08), (self.flag_rst, 0x04),
+            (self.flag_syn, 0x02), (self.flag_fin, 0x01),
+        ]
+        value = 0
+        for on, mask in bits:
+            if on:
+                value |= mask
+        return value
+
+    def _options_bytes(self) -> bytes:
+        raw = b"".join(opt.to_bytes() for opt in self.options)
+        if len(raw) % 4:
+            raw += bytes(4 - len(raw) % 4)  # pad with EOL zeros
+        if len(raw) > 40:
+            raise ParseError("TCP options exceed 40 bytes")
+        return raw
+
+    def to_bytes(self, src_ip: str, dst_ip: str, payload: bytes = b"") -> bytes:
+        options = self._options_bytes()
+        data_offset = (MIN_HEADER_LEN + len(options)) // 4
+        header = bytearray()
+        header += self.src_port.to_bytes(2, "big")
+        header += self.dst_port.to_bytes(2, "big")
+        header += self.seq.to_bytes(4, "big")
+        header += self.ack.to_bytes(4, "big")
+        header.append((data_offset << 4))
+        header.append(self._flags_byte())
+        header += self.window.to_bytes(2, "big")
+        header += b"\x00\x00"  # checksum placeholder
+        header += self.urgent_pointer.to_bytes(2, "big")
+        header += options
+        segment = bytes(header) + payload
+        checksum = pseudo_header_checksum(
+            ip_to_bytes(src_ip), ip_to_bytes(dst_ip), 6, segment
+        )
+        header[16:18] = checksum.to_bytes(2, "big")
+        return bytes(header) + payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["TCPHeader", int]:
+        if len(data) < MIN_HEADER_LEN:
+            raise ParseError("truncated TCP header")
+        data_offset = (data[12] >> 4) * 4
+        if data_offset < MIN_HEADER_LEN or len(data) < data_offset:
+            raise ParseError("bad TCP data offset")
+        flags = data[13]
+        options = cls._parse_options(data[MIN_HEADER_LEN:data_offset])
+        header = cls(
+            src_port=int.from_bytes(data[0:2], "big"),
+            dst_port=int.from_bytes(data[2:4], "big"),
+            seq=int.from_bytes(data[4:8], "big"),
+            ack=int.from_bytes(data[8:12], "big"),
+            flag_cwr=bool(flags & 0x80),
+            flag_ece=bool(flags & 0x40),
+            flag_urg=bool(flags & 0x20),
+            flag_ack=bool(flags & 0x10),
+            flag_psh=bool(flags & 0x08),
+            flag_rst=bool(flags & 0x04),
+            flag_syn=bool(flags & 0x02),
+            flag_fin=bool(flags & 0x01),
+            window=int.from_bytes(data[14:16], "big"),
+            urgent_pointer=int.from_bytes(data[18:20], "big"),
+            options=options,
+        )
+        return header, data_offset
+
+    @staticmethod
+    def _parse_options(raw: bytes) -> tuple[TcpOption, ...]:
+        options: list[TcpOption] = []
+        i = 0
+        while i < len(raw):
+            kind = raw[i]
+            if kind == OPT_EOL:
+                break
+            if kind == OPT_NOP:
+                options.append(TcpOption(OPT_NOP))
+                i += 1
+                continue
+            if i + 1 >= len(raw):
+                raise ParseError("truncated TCP option")
+            length = raw[i + 1]
+            if length < 2 or i + length > len(raw):
+                raise ParseError("bad TCP option length")
+            options.append(TcpOption(kind, raw[i + 2:i + length]))
+            i += length
+        return tuple(options)

@@ -1,0 +1,47 @@
+"""UDP header build/parse (RFC 768). QUIC video flows ride on UDP/443."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.net.addresses import ip_to_bytes
+from repro.net.checksum import pseudo_header_checksum
+
+HEADER_LEN = 8
+
+
+@dataclass(frozen=True)
+class UDPHeader:
+    src_port: int
+    dst_port: int
+    length: int = 0  # filled in by to_bytes
+
+    def to_bytes(self, src_ip: str, dst_ip: str, payload: bytes = b"") -> bytes:
+        length = HEADER_LEN + len(payload)
+        header = bytearray()
+        header += self.src_port.to_bytes(2, "big")
+        header += self.dst_port.to_bytes(2, "big")
+        header += length.to_bytes(2, "big")
+        header += b"\x00\x00"
+        segment = bytes(header) + payload
+        checksum = pseudo_header_checksum(
+            ip_to_bytes(src_ip), ip_to_bytes(dst_ip), 17, segment
+        )
+        if checksum == 0:
+            checksum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
+        header[6:8] = checksum.to_bytes(2, "big")
+        return bytes(header) + payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["UDPHeader", int]:
+        if len(data) < HEADER_LEN:
+            raise ParseError("truncated UDP header")
+        length = int.from_bytes(data[4:6], "big")
+        if length < HEADER_LEN:
+            raise ParseError("bad UDP length")
+        return cls(
+            src_port=int.from_bytes(data[0:2], "big"),
+            dst_port=int.from_bytes(data[2:4], "big"),
+            length=length,
+        ), HEADER_LEN

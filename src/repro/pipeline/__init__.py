@@ -1,0 +1,55 @@
+"""The paper's real-time classification pipeline (Fig 4): classifier
+bank, confidence selector, telemetry store and the packet engine."""
+
+from repro.pipeline.bank import (
+    ClassifierBank,
+    OBJECTIVES,
+    SCENARIOS,
+    TrainedScenario,
+    default_model_factory,
+    split_platform_label,
+)
+from repro.pipeline.confidence import (
+    DEFAULT_CONFIDENCE_THRESHOLD,
+    PlatformPrediction,
+    select_prediction,
+)
+from repro.pipeline.driftwatch import (
+    ConceptDriftMonitor,
+    DriftReport,
+    PageHinkley,
+)
+from repro.pipeline.engine import PipelineCounters, RealtimePipeline
+from repro.pipeline.persist import load_bank, save_bank
+from repro.pipeline.evaluate import (
+    OpenSetResult,
+    ScenarioData,
+    evaluate_scenario_on,
+    scenario_data,
+)
+from repro.pipeline.store import TelemetryRecord, TelemetryStore
+
+__all__ = [
+    "ClassifierBank",
+    "ConceptDriftMonitor",
+    "DriftReport",
+    "PageHinkley",
+    "DEFAULT_CONFIDENCE_THRESHOLD",
+    "OBJECTIVES",
+    "OpenSetResult",
+    "PipelineCounters",
+    "PlatformPrediction",
+    "RealtimePipeline",
+    "SCENARIOS",
+    "ScenarioData",
+    "TelemetryRecord",
+    "TelemetryStore",
+    "TrainedScenario",
+    "default_model_factory",
+    "evaluate_scenario_on",
+    "load_bank",
+    "save_bank",
+    "scenario_data",
+    "select_prediction",
+    "split_platform_label",
+]

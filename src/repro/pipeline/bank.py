@@ -1,0 +1,163 @@
+"""The classifier bank of Fig 4: per (provider, transport) scenario, three
+random-forest models (composite user platform, device type only, software
+agent only) plus the fitted attribute encoder.
+
+The paper deploys twelve classifiers (three per provider); YouTube's
+QUIC and TCP flows get separate models (their attribute spaces differ),
+giving five scenarios — the same split Table 6 evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import DatasetError, PipelineError
+from repro.features.encode import AttributeEncoder
+from repro.features.extract import extract_flow_attributes
+from repro.fingerprints.model import Provider, Transport
+from repro.ml.forest import RandomForestClassifier
+from repro.pipeline.confidence import (
+    DEFAULT_CONFIDENCE_THRESHOLD,
+    PlatformPrediction,
+    select_prediction,
+)
+from repro.trafficgen.lab import FlowDataset
+
+SCENARIOS: tuple[tuple[Provider, Transport], ...] = (
+    (Provider.YOUTUBE, Transport.TCP),
+    (Provider.YOUTUBE, Transport.QUIC),
+    (Provider.NETFLIX, Transport.TCP),
+    (Provider.DISNEY, Transport.TCP),
+    (Provider.AMAZON, Transport.TCP),
+)
+
+OBJECTIVES = ("user_platform", "device_type", "software_agent")
+
+
+def default_model_factory() -> RandomForestClassifier:
+    """The deployed model configuration (§4.3.1's tuned random forest)."""
+    return RandomForestClassifier(n_estimators=20, max_depth=20,
+                                  max_features=34, random_state=0)
+
+
+def split_platform_label(label: str) -> tuple[str, str]:
+    device, _, agent = label.partition("_")
+    return device, agent
+
+
+@dataclass
+class TrainedScenario:
+    provider: Provider
+    transport: Transport
+    encoder: AttributeEncoder
+    platform_model: RandomForestClassifier
+    device_model: RandomForestClassifier
+    agent_model: RandomForestClassifier
+    n_training_flows: int
+
+    def classify_attributes(self, attributes: dict,
+                            threshold: float =
+                            DEFAULT_CONFIDENCE_THRESHOLD
+                            ) -> PlatformPrediction:
+        row = self.encoder.transform([attributes])
+        return self.classify_rows(row, threshold)[0]
+
+    def classify_rows(self, rows: np.ndarray,
+                      threshold: float = DEFAULT_CONFIDENCE_THRESHOLD
+                      ) -> list[PlatformPrediction]:
+        platform_proba = self.platform_model.predict_proba(rows)
+        device_proba = self.device_model.predict_proba(rows)
+        agent_proba = self.agent_model.predict_proba(rows)
+        out = []
+        for i in range(len(rows)):
+            p_idx = int(np.argmax(platform_proba[i]))
+            d_idx = int(np.argmax(device_proba[i]))
+            a_idx = int(np.argmax(agent_proba[i]))
+            out.append(select_prediction(
+                self.platform_model.classes_[p_idx],
+                float(platform_proba[i, p_idx]),
+                self.device_model.classes_[d_idx],
+                float(device_proba[i, d_idx]),
+                self.agent_model.classes_[a_idx],
+                float(agent_proba[i, a_idx]),
+                threshold=threshold,
+            ))
+        return out
+
+
+class ClassifierBank:
+    """All trained scenarios; the object the realtime engine consults."""
+
+    def __init__(self, scenarios: dict[tuple[Provider, Transport],
+                                       TrainedScenario]):
+        self._scenarios = scenarios
+
+    @classmethod
+    def train(cls, dataset: FlowDataset,
+              model_factory: Callable[[], RandomForestClassifier]
+              | None = None,
+              attribute_names: list[str] | None = None,
+              ) -> "ClassifierBank":
+        """Train every scenario present in ``dataset``.
+
+        ``attribute_names`` restricts the feature space (Table 5's
+        cost-constrained deployments).
+        """
+        factory = model_factory or default_model_factory
+        scenarios: dict[tuple[Provider, Transport], TrainedScenario] = {}
+        for provider, transport in SCENARIOS:
+            subset = dataset.subset(provider=provider, transport=transport)
+            if len(subset) == 0:
+                continue
+            samples = []
+            platform_labels = []
+            for flow in subset:
+                values, _ = extract_flow_attributes(flow.packets)
+                samples.append(values)
+                platform_labels.append(flow.platform_label)
+            encoder = AttributeEncoder(
+                transport, attribute_names=attribute_names)
+            X = encoder.fit_transform(samples)
+            device_labels = [split_platform_label(lb)[0]
+                             for lb in platform_labels]
+            agent_labels = [split_platform_label(lb)[1]
+                            for lb in platform_labels]
+            platform_model = factory().fit(X, platform_labels)
+            device_model = factory().fit(X, device_labels)
+            agent_model = factory().fit(X, agent_labels)
+            scenarios[(provider, transport)] = TrainedScenario(
+                provider=provider, transport=transport, encoder=encoder,
+                platform_model=platform_model, device_model=device_model,
+                agent_model=agent_model, n_training_flows=len(subset),
+            )
+        if not scenarios:
+            raise DatasetError("dataset contained no trainable scenario")
+        return cls(scenarios)
+
+    def scenario(self, provider: Provider,
+                 transport: Transport) -> TrainedScenario:
+        key = (provider, transport)
+        if key not in self._scenarios:
+            raise PipelineError(
+                f"no trained classifier for {provider.value}/"
+                f"{transport.value}")
+        return self._scenarios[key]
+
+    def has_scenario(self, provider: Provider,
+                     transport: Transport) -> bool:
+        return (provider, transport) in self._scenarios
+
+    @property
+    def scenarios(self) -> dict[tuple[Provider, Transport],
+                                TrainedScenario]:
+        return dict(self._scenarios)
+
+    def classify(self, provider: Provider, transport: Transport,
+                 attributes: dict,
+                 threshold: float = DEFAULT_CONFIDENCE_THRESHOLD
+                 ) -> PlatformPrediction:
+        return self.scenario(provider, transport).classify_attributes(
+            attributes, threshold)

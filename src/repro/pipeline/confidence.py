@@ -1,0 +1,71 @@
+"""The confidence selector of Fig 4 (§4.1).
+
+The composite user-platform prediction is accepted when its confidence
+(probability of the predicted class) reaches the threshold (80%). Below
+that, the per-objective device-type and software-agent classifiers are
+consulted individually so at least partial platform information can be
+reported with confidence; if nothing clears the bar the flow is reported
+as an *unknown* user platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DEFAULT_CONFIDENCE_THRESHOLD = 0.8
+
+
+@dataclass(frozen=True)
+class PlatformPrediction:
+    """Outcome of classifying one video flow."""
+
+    status: str  # "classified" | "partial" | "unknown"
+    platform: str | None
+    device: str | None
+    agent: str | None
+    confidence: float          # composite-classifier confidence
+    device_confidence: float
+    agent_confidence: float
+
+    @property
+    def is_classified(self) -> bool:
+        return self.status == "classified"
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status == "unknown"
+
+
+def select_prediction(
+    platform_label: str, platform_confidence: float,
+    device_label: str, device_confidence: float,
+    agent_label: str, agent_confidence: float,
+    threshold: float = DEFAULT_CONFIDENCE_THRESHOLD,
+) -> PlatformPrediction:
+    """Apply the §4.1 selection policy to the three classifier outputs."""
+    if platform_confidence >= threshold:
+        device, _, agent = platform_label.partition("_")
+        return PlatformPrediction(
+            status="classified", platform=platform_label,
+            device=device, agent=agent,
+            confidence=platform_confidence,
+            device_confidence=device_confidence,
+            agent_confidence=agent_confidence,
+        )
+    device_ok = device_confidence >= threshold
+    agent_ok = agent_confidence >= threshold
+    if device_ok or agent_ok:
+        return PlatformPrediction(
+            status="partial", platform=None,
+            device=device_label if device_ok else None,
+            agent=agent_label if agent_ok else None,
+            confidence=platform_confidence,
+            device_confidence=device_confidence,
+            agent_confidence=agent_confidence,
+        )
+    return PlatformPrediction(
+        status="unknown", platform=None, device=None, agent=None,
+        confidence=platform_confidence,
+        device_confidence=device_confidence,
+        agent_confidence=agent_confidence,
+    )

@@ -1,0 +1,199 @@
+"""Concept-drift monitoring (§5.3).
+
+The paper notes that "the overall prediction accuracy and confidence
+will decline over a longer deployment period due to evolving traffic
+characteristics ... which is known as concept drift", and defers the
+mitigation to established techniques. This module implements that
+deferred piece: per-scenario monitoring of the classifier's confidence
+stream with two complementary detectors, plus a retraining trigger.
+
+* **Windowed comparison** — the rolling mean confidence and
+  classified-share over the last N flows versus a reference window
+  captured at deployment time.
+* **Page–Hinkley test** — a sequential change detector on the
+  per-flow confidence deficit (1 - confidence), sensitive to gradual
+  decay long before the windowed comparison fires.
+
+Ground truth is never needed: both detectors watch the model's own
+confidence, exactly the signal the paper's deployment had available.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.fingerprints.model import Provider, Transport
+from repro.pipeline.confidence import PlatformPrediction
+
+
+@dataclass
+class PageHinkley:
+    """Page–Hinkley change detection on a univariate stream.
+
+    Alarms when the cumulative deviation of the observed mean above its
+    running minimum exceeds ``threshold``. ``delta`` is the magnitude of
+    change considered negligible.
+    """
+
+    delta: float = 0.02
+    threshold: float = 2.0
+
+    _count: int = field(default=0, init=False)
+    _mean: float = field(default=0.0, init=False)
+    _cumulative: float = field(default=0.0, init=False)
+    _minimum: float = field(default=0.0, init=False)
+    _alarmed: bool = field(default=False, init=False)
+
+    def update(self, value: float) -> bool:
+        """Feed one observation; returns True if drift is detected."""
+        self._count += 1
+        self._mean += (value - self._mean) / self._count
+        self._cumulative += value - self._mean - self.delta
+        self._minimum = min(self._minimum, self._cumulative)
+        if self._cumulative - self._minimum > self.threshold:
+            self._alarmed = True
+        return self._alarmed
+
+    @property
+    def alarmed(self) -> bool:
+        return self._alarmed
+
+    def reset(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+        self._alarmed = False
+
+
+@dataclass
+class _ScenarioState:
+    reference_confidence: float | None = None
+    reference_classified_share: float | None = None
+    window: deque = field(default_factory=lambda: deque(maxlen=500))
+    classified_window: deque = field(
+        default_factory=lambda: deque(maxlen=500))
+    page_hinkley: PageHinkley = field(default_factory=PageHinkley)
+    observed: int = 0
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    provider: Provider
+    transport: Transport
+    observed_flows: int
+    rolling_confidence: float
+    reference_confidence: float
+    rolling_classified_share: float
+    reference_classified_share: float
+    confidence_drop: float
+    page_hinkley_alarm: bool
+    drifting: bool
+
+
+class ConceptDriftMonitor:
+    """Per-scenario drift watch over the pipeline's prediction stream.
+
+    Usage::
+
+        monitor = ConceptDriftMonitor(confidence_drop_threshold=0.08)
+        monitor.calibrate(provider, transport, predictions)  # reference
+        ...
+        monitor.observe(provider, transport, prediction)     # live
+        for report in monitor.reports():
+            if report.drifting:
+                retrain(report.provider, report.transport)
+    """
+
+    def __init__(self, confidence_drop_threshold: float = 0.08,
+                 min_observations: int = 50,
+                 window_size: int = 500,
+                 ph_delta: float = 0.02, ph_threshold: float = 2.0):
+        if not 0 < confidence_drop_threshold < 1:
+            raise ConfigError("confidence_drop_threshold must be in (0,1)")
+        self.confidence_drop_threshold = confidence_drop_threshold
+        self.min_observations = min_observations
+        self.window_size = window_size
+        self._ph_delta = ph_delta
+        self._ph_threshold = ph_threshold
+        self._scenarios: dict[tuple[Provider, Transport],
+                              _ScenarioState] = {}
+
+    def _state(self, provider: Provider,
+               transport: Transport) -> _ScenarioState:
+        key = (provider, transport)
+        if key not in self._scenarios:
+            state = _ScenarioState()
+            state.window = deque(maxlen=self.window_size)
+            state.classified_window = deque(maxlen=self.window_size)
+            state.page_hinkley = PageHinkley(self._ph_delta,
+                                             self._ph_threshold)
+            self._scenarios[key] = state
+        return self._scenarios[key]
+
+    def calibrate(self, provider: Provider, transport: Transport,
+                  predictions: list[PlatformPrediction]) -> None:
+        """Record deployment-time reference statistics for a scenario."""
+        if not predictions:
+            raise ConfigError("cannot calibrate on an empty stream")
+        state = self._state(provider, transport)
+        state.reference_confidence = sum(
+            p.confidence for p in predictions) / len(predictions)
+        state.reference_classified_share = sum(
+            1 for p in predictions if p.is_classified) / len(predictions)
+
+    def observe(self, provider: Provider, transport: Transport,
+                prediction: PlatformPrediction) -> None:
+        state = self._state(provider, transport)
+        state.observed += 1
+        state.window.append(prediction.confidence)
+        state.classified_window.append(1.0 if prediction.is_classified
+                                       else 0.0)
+        state.page_hinkley.update(1.0 - prediction.confidence)
+
+    def report(self, provider: Provider,
+               transport: Transport) -> DriftReport:
+        state = self._state(provider, transport)
+        rolling_conf = (sum(state.window) / len(state.window)
+                        if state.window else 0.0)
+        rolling_share = (sum(state.classified_window)
+                         / len(state.classified_window)
+                         if state.classified_window else 0.0)
+        ref_conf = state.reference_confidence
+        ref_share = state.reference_classified_share
+        drop = (ref_conf - rolling_conf) if ref_conf is not None else 0.0
+        enough = state.observed >= self.min_observations
+        windowed_drift = (ref_conf is not None and enough
+                          and drop > self.confidence_drop_threshold)
+        ph_drift = enough and state.page_hinkley.alarmed
+        return DriftReport(
+            provider=provider, transport=transport,
+            observed_flows=state.observed,
+            rolling_confidence=rolling_conf,
+            reference_confidence=ref_conf or 0.0,
+            rolling_classified_share=rolling_share,
+            reference_classified_share=ref_share or 0.0,
+            confidence_drop=drop,
+            page_hinkley_alarm=ph_drift,
+            drifting=windowed_drift or ph_drift,
+        )
+
+    def reports(self) -> list[DriftReport]:
+        return [self.report(provider, transport)
+                for provider, transport in self._scenarios]
+
+    def scenarios_needing_retraining(self) -> list[tuple[Provider,
+                                                         Transport]]:
+        return [(r.provider, r.transport) for r in self.reports()
+                if r.drifting]
+
+    def reset(self, provider: Provider, transport: Transport) -> None:
+        """Clear live state after retraining (keeps calibration until
+        recalibrated)."""
+        state = self._state(provider, transport)
+        state.window.clear()
+        state.classified_window.clear()
+        state.page_hinkley.reset()
+        state.observed = 0

@@ -1,0 +1,101 @@
+"""Evaluation helpers shared by tests and benchmarks: dataset -> feature
+matrices, scenario accuracy, confusion matrices, open-set scoring.
+
+These wrap the classifier bank with the label bookkeeping the paper's
+tables need (three objectives per scenario, confidence splits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features.encode import AttributeEncoder
+from repro.features.extract import extract_flow_attributes
+from repro.fingerprints.model import Provider, Transport
+from repro.ml.metrics import (
+    ConfidenceSummary,
+    accuracy_score,
+    confidence_summary,
+)
+from repro.pipeline.bank import TrainedScenario, split_platform_label
+from repro.trafficgen.lab import FlowDataset
+
+
+@dataclass
+class ScenarioData:
+    """Extracted attribute samples + labels for one (provider, transport)."""
+
+    provider: Provider
+    transport: Transport
+    samples: list[dict]
+    platform_labels: list[str]
+
+    @property
+    def device_labels(self) -> list[str]:
+        return [split_platform_label(lb)[0] for lb in self.platform_labels]
+
+    @property
+    def agent_labels(self) -> list[str]:
+        return [split_platform_label(lb)[1] for lb in self.platform_labels]
+
+    def labels_for(self, objective: str) -> list[str]:
+        if objective == "user_platform":
+            return list(self.platform_labels)
+        if objective == "device_type":
+            return self.device_labels
+        if objective == "software_agent":
+            return self.agent_labels
+        raise ValueError(f"unknown objective {objective!r}")
+
+    def encode(self, attribute_names: list[str] | None = None
+               ) -> tuple[AttributeEncoder, np.ndarray]:
+        encoder = AttributeEncoder(self.transport,
+                                   attribute_names=attribute_names)
+        return encoder, encoder.fit_transform(self.samples)
+
+
+def scenario_data(dataset: FlowDataset, provider: Provider,
+                  transport: Transport) -> ScenarioData:
+    subset = dataset.subset(provider=provider, transport=transport)
+    samples, labels = [], []
+    for flow in subset:
+        values, _ = extract_flow_attributes(flow.packets)
+        samples.append(values)
+        labels.append(flow.platform_label)
+    return ScenarioData(provider, transport, samples, labels)
+
+
+@dataclass
+class OpenSetResult:
+    """Per-objective accuracy + confidence splits on a held-out dataset
+    (the rows of Tables 3 and 4)."""
+
+    provider: Provider
+    transport: Transport
+    accuracy: dict[str, float]
+    confidence: dict[str, ConfidenceSummary]
+
+
+def evaluate_scenario_on(scenario: TrainedScenario,
+                         data: ScenarioData) -> OpenSetResult:
+    rows = scenario.encoder.transform(data.samples)
+    models = {
+        "user_platform": scenario.platform_model,
+        "device_type": scenario.device_model,
+        "software_agent": scenario.agent_model,
+    }
+    accuracy: dict[str, float] = {}
+    confidence: dict[str, ConfidenceSummary] = {}
+    for objective, model in models.items():
+        truth = data.labels_for(objective)
+        proba = model.predict_proba(rows)
+        codes = np.argmax(proba, axis=1)
+        predictions = [model.classes_[int(i)] for i in codes]
+        confidences = proba[np.arange(len(rows)), codes]
+        accuracy[objective] = accuracy_score(truth, predictions)
+        confidence[objective] = confidence_summary(truth, predictions,
+                                                   confidences)
+    return OpenSetResult(data.provider, data.transport, accuracy,
+                         confidence)

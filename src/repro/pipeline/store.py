@@ -1,0 +1,103 @@
+"""Telemetry store: the stand-in for the paper's PostgreSQL database.
+
+Holds one :class:`TelemetryRecord` per video flow — duration, volume,
+throughput, plus the user-platform label attached by the classifier —
+and offers the filtering/grouping the §5.2 insight analyses need.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Iterator
+
+from repro.fingerprints.model import Provider, Transport
+from repro.net.flow import FlowKey
+from repro.pipeline.confidence import PlatformPrediction
+
+
+@dataclass(frozen=True)
+class TelemetryRecord:
+    key: FlowKey
+    provider: Provider
+    transport: Transport
+    role: str
+    start_time: float
+    duration: float
+    bytes_down: int
+    bytes_up: int
+    prediction: PlatformPrediction
+    session_id: int = 0
+
+    @property
+    def mean_mbps(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.bytes_down * 8 / self.duration / 1e6
+
+    @property
+    def watch_hours(self) -> float:
+        return self.duration / 3600.0
+
+    @property
+    def platform_label(self) -> str | None:
+        return self.prediction.platform
+
+    @property
+    def device_label(self) -> str | None:
+        return self.prediction.device
+
+    @property
+    def agent_label(self) -> str | None:
+        return self.prediction.agent
+
+
+class TelemetryStore:
+    """Append-only store with simple query/group helpers."""
+
+    def __init__(self):
+        self._records: list[TelemetryRecord] = []
+
+    def add(self, record: TelemetryRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records: Iterable[TelemetryRecord]) -> None:
+        self._records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TelemetryRecord]:
+        return iter(self._records)
+
+    def query(self, where: Callable[[TelemetryRecord], bool] | None = None,
+              provider: Provider | None = None,
+              role: str | None = None,
+              status: str | None = None) -> list[TelemetryRecord]:
+        out = []
+        for record in self._records:
+            if provider is not None and record.provider is not provider:
+                continue
+            if role is not None and record.role != role:
+                continue
+            if status is not None and record.prediction.status != status:
+                continue
+            if where is not None and not where(record):
+                continue
+            out.append(record)
+        return out
+
+    def group_by(self, key: Callable[[TelemetryRecord], object],
+                 records: Iterable[TelemetryRecord] | None = None
+                 ) -> dict[object, list[TelemetryRecord]]:
+        groups: dict[object, list[TelemetryRecord]] = defaultdict(list)
+        for record in (records if records is not None else self._records):
+            groups[key(record)].append(record)
+        return dict(groups)
+
+    def classified_share(self) -> float:
+        if not self._records:
+            return 0.0
+        n = sum(1 for r in self._records
+                if r.prediction.status == "classified")
+        return n / len(self._records)

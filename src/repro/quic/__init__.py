@@ -1,0 +1,44 @@
+"""QUIC v1 substrate: varints, transport parameters, and Initial packet
+protection/unprotection per RFC 9000/9001."""
+
+from repro.quic import transport_params
+from repro.quic.initial import (
+    MIN_CLIENT_INITIAL_SIZE,
+    QUIC_V1,
+    InitialKeys,
+    QuicInitial,
+    UnprotectedInitial,
+    build_crypto_frame,
+    derive_initial_keys,
+    extract_crypto_stream,
+    is_quic_long_header,
+    protect_client_initial,
+    unprotect_client_initial,
+)
+from repro.quic.transport_params import (
+    PARAM_NAMES,
+    TransportParameters,
+    TransportParametersBuilder,
+)
+from repro.quic.varint import MAX_VARINT, decode_varint, encode_varint
+
+__all__ = [
+    "MAX_VARINT",
+    "MIN_CLIENT_INITIAL_SIZE",
+    "PARAM_NAMES",
+    "QUIC_V1",
+    "InitialKeys",
+    "QuicInitial",
+    "TransportParameters",
+    "TransportParametersBuilder",
+    "UnprotectedInitial",
+    "build_crypto_frame",
+    "decode_varint",
+    "derive_initial_keys",
+    "encode_varint",
+    "extract_crypto_stream",
+    "is_quic_long_header",
+    "protect_client_initial",
+    "transport_params",
+    "unprotect_client_initial",
+]

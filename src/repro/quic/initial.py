@@ -1,0 +1,243 @@
+"""QUIC v1 Initial packet protection and unprotection (RFC 9001).
+
+The paper's pipeline must "identify and decrypt QUIC Initial packets and
+extract handshake attributes from TLS CHLO messages over QUIC" — Initial
+packets are AEAD-protected, but with keys derived from the *public*
+Destination Connection ID, so an on-path observer can always recover the
+ClientHello. This module implements that, both directions:
+
+* :func:`protect_client_initial` — used by the trace generator to emit
+  byte-faithful Initial packets;
+* :func:`unprotect_client_initial` — used by the measurement pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto import AES, AESGCM, hkdf_expand_label, hkdf_extract
+from repro.errors import CryptoError, ParseError
+from repro.quic.varint import decode_varint, encode_varint
+
+QUIC_V1 = 0x00000001
+INITIAL_SALT_V1 = bytes.fromhex("38762cf7f55934b34d179ae6a4c80cadccbb7f0a")
+MIN_CLIENT_INITIAL_SIZE = 1200
+
+FRAME_PADDING = 0x00
+FRAME_PING = 0x01
+FRAME_CRYPTO = 0x06
+
+
+@dataclass(frozen=True)
+class InitialKeys:
+    key: bytes
+    iv: bytes
+    hp: bytes
+
+
+def derive_initial_keys(dcid: bytes, side: str = "client") -> InitialKeys:
+    """Derive AEAD + header-protection keys for Initial packets."""
+    if side not in ("client", "server"):
+        raise CryptoError(f"invalid side {side!r}")
+    initial_secret = hkdf_extract(INITIAL_SALT_V1, dcid)
+    side_secret = hkdf_expand_label(initial_secret, f"{side} in", b"", 32)
+    return InitialKeys(
+        key=hkdf_expand_label(side_secret, "quic key", b"", 16),
+        iv=hkdf_expand_label(side_secret, "quic iv", b"", 12),
+        hp=hkdf_expand_label(side_secret, "quic hp", b"", 16),
+    )
+
+
+def _nonce(iv: bytes, packet_number: int) -> bytes:
+    pn = packet_number.to_bytes(12, "big")
+    return bytes(a ^ b for a, b in zip(iv, pn))
+
+
+@dataclass(frozen=True)
+class QuicInitial:
+    """A client Initial packet in plaintext form."""
+
+    dcid: bytes
+    scid: bytes
+    payload: bytes  # plaintext frames (CRYPTO + PADDING)
+    token: bytes = b""
+    packet_number: int = 0
+    version: int = QUIC_V1
+
+
+def build_crypto_frame(data: bytes, offset: int = 0) -> bytes:
+    return (bytes([FRAME_CRYPTO]) + encode_varint(offset)
+            + encode_varint(len(data)) + data)
+
+
+def extract_crypto_stream(payload: bytes) -> bytes:
+    """Reassemble the CRYPTO stream from a plaintext Initial payload.
+
+    Handles CRYPTO frames at arbitrary offsets plus PADDING/PING frames;
+    anything else raises :class:`ParseError` (clients only send these in
+    their first flight).
+    """
+    segments: list[tuple[int, bytes]] = []
+    i = 0
+    while i < len(payload):
+        frame_type = payload[i]
+        if frame_type == FRAME_PADDING or frame_type == FRAME_PING:
+            i += 1
+            continue
+        if frame_type == FRAME_CRYPTO:
+            offset, i2 = decode_varint(payload, i + 1)
+            length, i3 = decode_varint(payload, i2)
+            if i3 + length > len(payload):
+                raise ParseError("truncated CRYPTO frame")
+            segments.append((offset, payload[i3:i3 + length]))
+            i = i3 + length
+            continue
+        raise ParseError(f"unexpected frame type 0x{frame_type:02x} "
+                         "in client Initial")
+    if not segments:
+        raise ParseError("no CRYPTO frames in Initial payload")
+    segments.sort(key=lambda seg: seg[0])
+    stream = bytearray()
+    for offset, data in segments:
+        if offset > len(stream):
+            raise ParseError("gap in CRYPTO stream")
+        stream[offset:offset + len(data)] = data
+    return bytes(stream)
+
+
+def _long_header(initial: QuicInitial, pn_length: int,
+                 payload_length: int) -> bytes:
+    if not 1 <= pn_length <= 4:
+        raise ParseError("packet number length must be 1..4")
+    first = 0xC0 | (pn_length - 1)  # long header, fixed bit, type=Initial
+    out = bytearray([first])
+    out += initial.version.to_bytes(4, "big")
+    out.append(len(initial.dcid))
+    out += initial.dcid
+    out.append(len(initial.scid))
+    out += initial.scid
+    out += encode_varint(len(initial.token))
+    out += initial.token
+    out += encode_varint(payload_length + pn_length)
+    return bytes(out)
+
+
+def protect_client_initial(initial: QuicInitial, pn_length: int = 1,
+                           min_datagram_size: int = MIN_CLIENT_INITIAL_SIZE
+                           ) -> bytes:
+    """AEAD-seal and header-protect a client Initial packet.
+
+    Pads the plaintext with PADDING frames so the resulting datagram is at
+    least ``min_datagram_size`` bytes, as RFC 9000 §14.1 requires of
+    clients.
+    """
+    keys = derive_initial_keys(initial.dcid, "client")
+    payload = initial.payload
+    # Compute padding: total = header(len depends on payload len) +
+    # payload + 16 (tag). Iterate because the length varint can grow.
+    for _ in range(3):
+        header = _long_header(initial, pn_length, len(payload) + 16)
+        total = len(header) + pn_length + len(payload) + 16
+        if total >= min_datagram_size:
+            break
+        payload = payload + bytes(min_datagram_size - total)
+    header = _long_header(initial, pn_length, len(payload) + 16)
+    pn_bytes = initial.packet_number.to_bytes(pn_length, "big")
+    aad = header + pn_bytes
+    aead = AESGCM(keys.key)
+    sealed = aead.encrypt(_nonce(keys.iv, initial.packet_number),
+                          payload, aad)
+    packet = bytearray(aad + sealed)
+    # Header protection (RFC 9001 §5.4): sample starts 4 bytes after the
+    # start of the packet number field.
+    pn_offset = len(header)
+    sample = bytes(packet[pn_offset + 4:pn_offset + 4 + 16])
+    mask = AES(keys.hp).encrypt_block(sample)
+    packet[0] ^= mask[0] & 0x0F
+    for i in range(pn_length):
+        packet[pn_offset + i] ^= mask[1 + i]
+    return bytes(packet)
+
+
+@dataclass(frozen=True)
+class UnprotectedInitial:
+    """Result of unprotecting a client Initial packet."""
+
+    dcid: bytes
+    scid: bytes
+    token: bytes
+    packet_number: int
+    payload: bytes
+    version: int
+    crypto_stream: bytes = field(repr=False, default=b"")
+
+
+def is_quic_long_header(datagram: bytes) -> bool:
+    """Cheap test the pipeline uses before attempting decryption."""
+    return len(datagram) >= 7 and (datagram[0] & 0x80) != 0
+
+
+def unprotect_client_initial(datagram: bytes) -> UnprotectedInitial:
+    """Remove header protection, decrypt, and reassemble the CRYPTO stream
+    of a client Initial packet.
+
+    Raises :class:`ParseError` for structurally invalid packets and
+    :class:`CryptoError` if the AEAD tag does not verify.
+    """
+    if len(datagram) < 7:
+        raise ParseError("datagram too short for QUIC long header")
+    first = datagram[0]
+    if not first & 0x80:
+        raise ParseError("not a QUIC long header packet")
+    version = int.from_bytes(datagram[1:5], "big")
+    if version != QUIC_V1:
+        raise ParseError(f"unsupported QUIC version 0x{version:08x}")
+    if (first & 0x30) != 0x00:
+        raise ParseError("not an Initial packet")
+    i = 5
+    dcid_len = datagram[i]
+    i += 1
+    if dcid_len > 20 or i + dcid_len > len(datagram):
+        raise ParseError("bad DCID")
+    dcid = datagram[i:i + dcid_len]
+    i += dcid_len
+    if i >= len(datagram):
+        raise ParseError("truncated SCID length")
+    scid_len = datagram[i]
+    i += 1
+    if scid_len > 20 or i + scid_len > len(datagram):
+        raise ParseError("bad SCID")
+    scid = datagram[i:i + scid_len]
+    i += scid_len
+    token_len, i = decode_varint(datagram, i)
+    if i + token_len > len(datagram):
+        raise ParseError("truncated token")
+    token = datagram[i:i + token_len]
+    i += token_len
+    length, i = decode_varint(datagram, i)
+    pn_offset = i
+    if pn_offset + length > len(datagram):
+        raise ParseError("truncated Initial packet body")
+    if length < 4 + 16:
+        raise ParseError("Initial packet body too short")
+
+    keys = derive_initial_keys(dcid, "client")
+    sample = datagram[pn_offset + 4:pn_offset + 4 + 16]
+    mask = AES(keys.hp).encrypt_block(sample)
+    first_unprotected = first ^ (mask[0] & 0x0F)
+    pn_length = (first_unprotected & 0x03) + 1
+    pn_bytes = bytearray(datagram[pn_offset:pn_offset + pn_length])
+    for j in range(pn_length):
+        pn_bytes[j] ^= mask[1 + j]
+    packet_number = int.from_bytes(pn_bytes, "big")
+
+    aad = (bytes([first_unprotected]) + datagram[1:pn_offset]
+           + bytes(pn_bytes))
+    ciphertext = datagram[pn_offset + pn_length:pn_offset + length]
+    aead = AESGCM(keys.key)
+    payload = aead.decrypt(_nonce(keys.iv, packet_number), ciphertext, aad)
+    crypto_stream = extract_crypto_stream(payload)
+    return UnprotectedInitial(
+        dcid=dcid, scid=scid, token=token, packet_number=packet_number,
+        payload=payload, version=version, crypto_stream=crypto_stream,
+    )

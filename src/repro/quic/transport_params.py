@@ -1,0 +1,179 @@
+"""QUIC transport parameters (RFC 9000 §18) plus the Google and extension
+parameters the paper's Table 2 extracts (q1–q20).
+
+The container keeps parameters as an ordered sequence of (id, value bytes)
+to preserve the client's wire order — part of the fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParseError
+from repro.quic.varint import decode_varint, encode_varint
+
+# RFC 9000 §18.2
+TP_ORIGINAL_DESTINATION_CONNECTION_ID = 0x00
+TP_MAX_IDLE_TIMEOUT = 0x01
+TP_STATELESS_RESET_TOKEN = 0x02
+TP_MAX_UDP_PAYLOAD_SIZE = 0x03
+TP_INITIAL_MAX_DATA = 0x04
+TP_INITIAL_MAX_STREAM_DATA_BIDI_LOCAL = 0x05
+TP_INITIAL_MAX_STREAM_DATA_BIDI_REMOTE = 0x06
+TP_INITIAL_MAX_STREAM_DATA_UNI = 0x07
+TP_INITIAL_MAX_STREAMS_BIDI = 0x08
+TP_INITIAL_MAX_STREAMS_UNI = 0x09
+TP_ACK_DELAY_EXPONENT = 0x0A
+TP_MAX_ACK_DELAY = 0x0B
+TP_DISABLE_ACTIVE_MIGRATION = 0x0C
+TP_PREFERRED_ADDRESS = 0x0D
+TP_ACTIVE_CONNECTION_ID_LIMIT = 0x0E
+TP_INITIAL_SOURCE_CONNECTION_ID = 0x0F
+TP_RETRY_SOURCE_CONNECTION_ID = 0x10
+# RFC 9368 (compatible version negotiation)
+TP_VERSION_INFORMATION = 0x11
+# RFC 9221 (datagrams)
+TP_MAX_DATAGRAM_FRAME_SIZE = 0x20
+# RFC 9287 (grease the QUIC bit)
+TP_GREASE_QUIC_BIT = 0x2AB2
+# Google/Chromium private-use parameters.
+TP_INITIAL_RTT = 0x3127
+TP_GOOGLE_CONNECTION_OPTIONS = 0x3128
+TP_USER_AGENT = 0x3129
+TP_GOOGLE_VERSION = 0x4752
+
+PARAM_NAMES = {
+    TP_ORIGINAL_DESTINATION_CONNECTION_ID: "original_destination_connection_id",
+    TP_MAX_IDLE_TIMEOUT: "max_idle_timeout",
+    TP_STATELESS_RESET_TOKEN: "stateless_reset_token",
+    TP_MAX_UDP_PAYLOAD_SIZE: "max_udp_payload_size",
+    TP_INITIAL_MAX_DATA: "initial_max_data",
+    TP_INITIAL_MAX_STREAM_DATA_BIDI_LOCAL: "initial_max_stream_data_bidi_local",
+    TP_INITIAL_MAX_STREAM_DATA_BIDI_REMOTE: "initial_max_stream_data_bidi_remote",
+    TP_INITIAL_MAX_STREAM_DATA_UNI: "initial_max_stream_data_uni",
+    TP_INITIAL_MAX_STREAMS_BIDI: "initial_max_streams_bidi",
+    TP_INITIAL_MAX_STREAMS_UNI: "initial_max_streams_uni",
+    TP_ACK_DELAY_EXPONENT: "ack_delay_exponent",
+    TP_MAX_ACK_DELAY: "max_ack_delay",
+    TP_DISABLE_ACTIVE_MIGRATION: "disable_active_migration",
+    TP_PREFERRED_ADDRESS: "preferred_address",
+    TP_ACTIVE_CONNECTION_ID_LIMIT: "active_connection_id_limit",
+    TP_INITIAL_SOURCE_CONNECTION_ID: "initial_source_connection_id",
+    TP_RETRY_SOURCE_CONNECTION_ID: "retry_source_connection_id",
+    TP_VERSION_INFORMATION: "version_information",
+    TP_MAX_DATAGRAM_FRAME_SIZE: "max_datagram_frame_size",
+    TP_GREASE_QUIC_BIT: "grease_quic_bit",
+    TP_INITIAL_RTT: "initial_rtt",
+    TP_GOOGLE_CONNECTION_OPTIONS: "google_connection_options",
+    TP_USER_AGENT: "user_agent",
+    TP_GOOGLE_VERSION: "google_version",
+}
+
+# Parameters whose value is a single varint.
+_VARINT_PARAMS = {
+    TP_MAX_IDLE_TIMEOUT, TP_MAX_UDP_PAYLOAD_SIZE, TP_INITIAL_MAX_DATA,
+    TP_INITIAL_MAX_STREAM_DATA_BIDI_LOCAL,
+    TP_INITIAL_MAX_STREAM_DATA_BIDI_REMOTE, TP_INITIAL_MAX_STREAM_DATA_UNI,
+    TP_INITIAL_MAX_STREAMS_BIDI, TP_INITIAL_MAX_STREAMS_UNI,
+    TP_ACK_DELAY_EXPONENT, TP_MAX_ACK_DELAY, TP_ACTIVE_CONNECTION_ID_LIMIT,
+    TP_MAX_DATAGRAM_FRAME_SIZE,
+}
+
+
+@dataclass(frozen=True)
+class TransportParameters:
+    """Ordered QUIC transport parameters."""
+
+    entries: tuple[tuple[int, bytes], ...] = field(default_factory=tuple)
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        for param_id, value in self.entries:
+            out += encode_varint(param_id)
+            out += encode_varint(len(value))
+            out += value
+        return bytes(out)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "TransportParameters":
+        entries: list[tuple[int, bytes]] = []
+        i = 0
+        while i < len(data):
+            param_id, i = decode_varint(data, i)
+            length, i = decode_varint(data, i)
+            if i + length > len(data):
+                raise ParseError("truncated transport parameter value")
+            entries.append((param_id, data[i:i + length]))
+            i += length
+        return cls(tuple(entries))
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def ids(self) -> tuple[int, ...]:
+        return tuple(param_id for param_id, _ in self.entries)
+
+    def get(self, param_id: int) -> bytes | None:
+        for pid, value in self.entries:
+            if pid == param_id:
+                return value
+        return None
+
+    def has(self, param_id: int) -> bool:
+        return self.get(param_id) is not None
+
+    def get_varint(self, param_id: int) -> int | None:
+        value = self.get(param_id)
+        if value is None:
+            return None
+        if not value:
+            raise ParseError(
+                f"parameter {PARAM_NAMES.get(param_id, param_id)} empty"
+            )
+        decoded, used = decode_varint(value, 0)
+        if used != len(value):
+            raise ParseError("trailing bytes in varint parameter")
+        return decoded
+
+    def get_utf8(self, param_id: int) -> str | None:
+        value = self.get(param_id)
+        if value is None:
+            return None
+        return value.decode("utf-8", "replace")
+
+
+class TransportParametersBuilder:
+    """Fluent builder preserving insertion order."""
+
+    def __init__(self):
+        self._entries: list[tuple[int, bytes]] = []
+
+    def raw(self, param_id: int, value: bytes) -> "TransportParametersBuilder":
+        self._entries.append((param_id, value))
+        return self
+
+    def varint(self, param_id: int, value: int) -> "TransportParametersBuilder":
+        if param_id not in _VARINT_PARAMS and param_id > TP_VERSION_INFORMATION:
+            # Google params also carry varints sometimes; allow any id.
+            pass
+        return self.raw(param_id, encode_varint(value))
+
+    def flag(self, param_id: int) -> "TransportParametersBuilder":
+        """Zero-length presence-only parameter."""
+        return self.raw(param_id, b"")
+
+    def connection_id(self, param_id: int, cid: bytes) -> "TransportParametersBuilder":
+        return self.raw(param_id, cid)
+
+    def utf8(self, param_id: int, text: str) -> "TransportParametersBuilder":
+        return self.raw(param_id, text.encode("utf-8"))
+
+    def version_information(self, chosen: int,
+                            others: list[int]) -> "TransportParametersBuilder":
+        body = chosen.to_bytes(4, "big")
+        for version in others:
+            body += version.to_bytes(4, "big")
+        return self.raw(TP_VERSION_INFORMATION, body)
+
+    def build(self) -> TransportParameters:
+        return TransportParameters(tuple(self._entries))

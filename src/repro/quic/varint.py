@@ -1,0 +1,36 @@
+"""QUIC variable-length integers (RFC 9000 §16).
+
+The two most significant bits of the first byte select the encoding
+length: 00→1, 01→2, 10→4, 11→8 bytes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+
+MAX_VARINT = (1 << 62) - 1
+
+
+def encode_varint(value: int) -> bytes:
+    if value < 0 or value > MAX_VARINT:
+        raise ParseError(f"varint out of range: {value}")
+    if value < 1 << 6:
+        return bytes([value])
+    if value < 1 << 14:
+        return (value | (0b01 << 14)).to_bytes(2, "big")
+    if value < 1 << 30:
+        return (value | (0b10 << 30)).to_bytes(4, "big")
+    return (value | (0b11 << 62)).to_bytes(8, "big")
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint at ``offset``; returns (value, new offset)."""
+    if offset >= len(data):
+        raise ParseError("truncated varint")
+    prefix = data[offset] >> 6
+    length = 1 << prefix
+    if offset + length > len(data):
+        raise ParseError("truncated varint body")
+    value = int.from_bytes(data[offset:offset + length], "big")
+    value &= (1 << (8 * length - 2)) - 1
+    return value, offset + length

@@ -1,0 +1,15 @@
+"""Paper-style rendering and the paper's reference values."""
+
+from repro.reporting import paper_values
+from repro.reporting.render import (
+    confusion_table,
+    hourly_series_table,
+    paper_vs_measured_table,
+)
+
+__all__ = [
+    "confusion_table",
+    "hourly_series_table",
+    "paper_values",
+    "paper_vs_measured_table",
+]

@@ -1,0 +1,108 @@
+"""Reference values reported by the paper, used by the benchmark harness
+to print paper-vs-measured rows (EXPERIMENTS.md records the comparison).
+
+All values transcribed from the IMC 2024 camera-ready (arXiv:2408.16995).
+"""
+
+from __future__ import annotations
+
+from repro.fingerprints.model import Provider, Transport
+
+# §4.3.1 — overall accuracy of the three model families on YouTube QUIC.
+MODEL_COMPARISON_YT_QUIC = {
+    "random_forest": 0.964,
+    "mlp": 0.651,
+    "knn": 0.691,
+}
+
+# Fig 6(a) — best random forest hyperparameters for YouTube QUIC.
+BEST_RF_CONFIG = {"n_attributes": 34, "max_depth": 20, "accuracy": 0.964}
+
+# Table 3 — open-set accuracy. Keys: (provider, transport, objective).
+TABLE3_OPEN_SET = {
+    (Provider.YOUTUBE, Transport.TCP, "user_platform"): 0.987,
+    (Provider.YOUTUBE, Transport.QUIC, "user_platform"): 0.945,
+    (Provider.YOUTUBE, Transport.TCP, "device_type"): 0.991,
+    (Provider.YOUTUBE, Transport.QUIC, "device_type"): 0.984,
+    (Provider.YOUTUBE, Transport.TCP, "software_agent"): 0.966,
+    (Provider.YOUTUBE, Transport.QUIC, "software_agent"): 0.954,
+    (Provider.NETFLIX, Transport.TCP, "user_platform"): 0.912,
+    (Provider.NETFLIX, Transport.TCP, "device_type"): 0.924,
+    (Provider.NETFLIX, Transport.TCP, "software_agent"): 0.906,
+    (Provider.DISNEY, Transport.TCP, "user_platform"): 0.909,
+    (Provider.DISNEY, Transport.TCP, "device_type"): 0.916,
+    (Provider.DISNEY, Transport.TCP, "software_agent"): 0.886,
+    (Provider.AMAZON, Transport.TCP, "user_platform"): 0.882,
+    (Provider.AMAZON, Transport.TCP, "device_type"): 0.894,
+    (Provider.AMAZON, Transport.TCP, "software_agent"): 0.879,
+}
+
+# Table 4 — median confidence of correct/incorrect open-set predictions.
+# Keys: (provider, transport, objective) -> (correct, incorrect).
+TABLE4_CONFIDENCE = {
+    (Provider.YOUTUBE, Transport.TCP, "user_platform"): (0.985, 0.865),
+    (Provider.YOUTUBE, Transport.QUIC, "user_platform"): (0.914, 0.544),
+    (Provider.YOUTUBE, Transport.TCP, "device_type"): (0.896, 0.467),
+    (Provider.YOUTUBE, Transport.QUIC, "device_type"): (0.918, 0.575),
+    (Provider.YOUTUBE, Transport.TCP, "software_agent"): (0.982, 0.893),
+    (Provider.YOUTUBE, Transport.QUIC, "software_agent"): (0.909, 0.527),
+    (Provider.NETFLIX, Transport.TCP, "user_platform"): (0.887, 0.539),
+    (Provider.NETFLIX, Transport.TCP, "device_type"): (0.993, 0.600),
+    (Provider.NETFLIX, Transport.TCP, "software_agent"): (0.910, 0.591),
+    (Provider.DISNEY, Transport.TCP, "user_platform"): (0.915, 0.676),
+    (Provider.DISNEY, Transport.TCP, "device_type"): (0.982, 0.835),
+    (Provider.DISNEY, Transport.TCP, "software_agent"): (0.916, 0.676),
+    (Provider.AMAZON, Transport.TCP, "user_platform"): (0.891, 0.606),
+    (Provider.AMAZON, Transport.TCP, "device_type"): (0.994, 0.500),
+    (Provider.AMAZON, Transport.TCP, "software_agent"): (0.913, 0.643),
+}
+
+# Table 5 — YouTube QUIC accuracy with cost-constrained attribute subsets.
+# Keys: (policy, objective); policy = excluded low-importance cost tiers.
+TABLE5_SUBSETS = {
+    ("high", "user_platform"): 0.933,
+    ("high", "device_type"): 0.972,
+    ("high", "software_agent"): 0.946,
+    ("high+medium", "user_platform"): 0.930,
+    ("high+medium", "device_type"): 0.972,
+    ("high+medium", "software_agent"): 0.928,
+    ("high+medium+low", "user_platform"): 0.928,
+    ("high+medium+low", "device_type"): 0.971,
+    ("high+medium+low", "software_agent"): 0.929,
+}
+TABLE5_FULL_SET_ACCURACY = 0.964
+
+# Table 6 — baseline comparison, user-platform accuracy per scenario.
+# Keys: (method key, scenario); scenario in the order the table prints.
+TABLE6_SCENARIOS = (
+    (Provider.YOUTUBE, Transport.QUIC),
+    (Provider.YOUTUBE, Transport.TCP),
+    (Provider.NETFLIX, Transport.TCP),
+    (Provider.DISNEY, Transport.TCP),
+    (Provider.AMAZON, Transport.TCP),
+)
+TABLE6_BASELINES = {
+    "ours": (0.945, 0.987, 0.912, 0.909, 0.882),
+    "Anderson-McGrew fingerprints": (0.901, 0.975, 0.840, 0.828, 0.803),
+    "Fan TCP/IP stack": (0.940, 0.968, 0.860, 0.801, 0.841),
+    "Lastovicka TLS fingerprints": (0.681, 0.951, 0.827, 0.831, 0.790),
+    "Ren flow metadata": (0.113, 0.510, 0.534, 0.565, 0.381),
+}
+
+# §5.2 headline deployment insights.
+DEPLOYMENT_INSIGHTS = {
+    "youtube_daily_watch_hours": 2000,
+    "youtube_mobile_share_max": 0.40,
+    "amazon_macos_median_mbps": 5.7,
+    "amazon_mac_over_tv_ratio": 1.5,
+    "netflix_pc_browser_median_mbps_max": 2.0,
+    "excluded_low_confidence_share": 0.20,
+}
+
+# Fig 11 peak windows (hours, local time).
+PEAK_WINDOWS = {
+    Provider.YOUTUBE: (16, 24),
+    Provider.NETFLIX: (20, 22),
+    Provider.DISNEY: (19, 23),
+    Provider.AMAZON: (19, 23),
+}

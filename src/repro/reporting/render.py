@@ -1,0 +1,54 @@
+"""Render experiment outputs as the paper-style tables the benchmark
+harness prints (paper value next to measured value wherever the paper
+reports a number)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.tables import format_table
+
+
+def paper_vs_measured_table(title: str, rows: list[tuple],
+                            headers: tuple[str, ...] =
+                            ("metric", "paper", "measured")) -> str:
+    formatted = []
+    for row in rows:
+        formatted.append([
+            _fmt(cell) for cell in row
+        ])
+    return format_table(headers, formatted, title=title)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}" if abs(cell) < 10 else f"{cell:,.1f}"
+    return str(cell)
+
+
+def confusion_table(matrix: np.ndarray, labels: list[str],
+                    title: str) -> str:
+    normalized = matrix.astype(float)
+    sums = normalized.sum(axis=1, keepdims=True)
+    sums[sums == 0] = 1
+    normalized = normalized / sums
+    headers = ["true \\ pred"] + [lb[:14] for lb in labels]
+    rows = []
+    for i, label in enumerate(labels):
+        rows.append([label[:18]] + [
+            f"{normalized[i, j]:.2f}" if normalized[i, j] >= 0.005
+            else "."
+            for j in range(len(labels))
+        ])
+    return format_table(headers, rows, title=title)
+
+
+def hourly_series_table(series: dict, title: str) -> str:
+    """24-hour GB/hr series per group as a compact table."""
+    headers = ["hour"] + [str(k) for k in series]
+    rows = []
+    for hour in range(24):
+        rows.append([str(hour)] + [
+            f"{values[hour]:.2f}" for values in series.values()
+        ])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,37 @@
+"""TLS substrate: ClientHello build/parse with full extension registry,
+record framing and GREASE handling."""
+
+from repro.tls import constants, extensions
+from repro.tls.clienthello import ClientHello
+from repro.tls.extensions import Extension
+from repro.tls.ja3 import Ja3Fingerprint, ja3, ja3_string
+from repro.tls.grease import (
+    GREASE_VALUES,
+    grease_quic_transport_parameter_id,
+    is_grease,
+    random_grease,
+)
+from repro.tls.record import (
+    client_hello_records,
+    extract_handshake_payload,
+    parse_client_hello_records,
+    wrap_handshake_records,
+)
+
+__all__ = [
+    "ClientHello",
+    "Extension",
+    "GREASE_VALUES",
+    "client_hello_records",
+    "constants",
+    "extensions",
+    "extract_handshake_payload",
+    "grease_quic_transport_parameter_id",
+    "is_grease",
+    "ja3",
+    "ja3_string",
+    "Ja3Fingerprint",
+    "parse_client_hello_records",
+    "random_grease",
+    "wrap_handshake_records",
+]

@@ -1,0 +1,191 @@
+"""TLS ClientHello structure: exact-wire build and parse.
+
+The ClientHello is the paper's single richest evidence source — its
+mandatory fields (m1–m5 in Table 2), optional extensions (o1–o23) and, for
+QUIC, the embedded transport parameters (q1–q20) all come from here. The
+representation below preserves wire order of cipher suites and extensions
+byte-for-byte, which both fingerprint synthesis and JA3-style baselines
+require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ParseError
+from repro.tls import constants as c
+from repro.tls import extensions as ext_codec
+from repro.tls.extensions import Extension, parse_extensions, serialize_extensions
+
+
+@dataclass(frozen=True)
+class ClientHello:
+    cipher_suites: tuple[int, ...]
+    extensions: tuple[Extension, ...] = field(default_factory=tuple)
+    legacy_version: int = c.TLS_1_2
+    random: bytes = bytes(32)
+    session_id: bytes = b""
+    compression_methods: bytes = b"\x00"
+
+    # --- wire form -----------------------------------------------------
+
+    def body_bytes(self) -> bytes:
+        if len(self.random) != 32:
+            raise ParseError("ClientHello random must be 32 bytes")
+        if len(self.session_id) > 32:
+            raise ParseError("ClientHello session_id too long")
+        out = bytearray()
+        out += self.legacy_version.to_bytes(2, "big")
+        out += self.random
+        out.append(len(self.session_id))
+        out += self.session_id
+        suites = b"".join(s.to_bytes(2, "big") for s in self.cipher_suites)
+        out += len(suites).to_bytes(2, "big")
+        out += suites
+        out.append(len(self.compression_methods))
+        out += self.compression_methods
+        out += serialize_extensions(self.extensions)
+        return bytes(out)
+
+    def to_handshake_bytes(self) -> bytes:
+        """Handshake message: type(1) || uint24 length || body."""
+        body = self.body_bytes()
+        return (bytes([c.HANDSHAKE_TYPE_CLIENT_HELLO])
+                + len(body).to_bytes(3, "big") + body)
+
+    @property
+    def handshake_length(self) -> int:
+        """The uint24 length field value (attribute m1)."""
+        return len(self.body_bytes())
+
+    @property
+    def extensions_length(self) -> int:
+        """Length of the serialized extensions block payload (m5)."""
+        return len(serialize_extensions(self.extensions)) - 2
+
+    @classmethod
+    def parse_handshake(cls, data: bytes) -> "ClientHello":
+        if len(data) < 4:
+            raise ParseError("truncated handshake header")
+        if data[0] != c.HANDSHAKE_TYPE_CLIENT_HELLO:
+            raise ParseError(f"not a ClientHello (type {data[0]})")
+        length = int.from_bytes(data[1:4], "big")
+        if len(data) < 4 + length:
+            raise ParseError("truncated ClientHello body")
+        return cls._parse_body(data[4:4 + length])
+
+    @classmethod
+    def _parse_body(cls, body: bytes) -> "ClientHello":
+        if len(body) < 35:
+            raise ParseError("ClientHello body too short")
+        legacy_version = int.from_bytes(body[0:2], "big")
+        random = body[2:34]
+        i = 34
+        sid_len = body[i]
+        i += 1
+        if i + sid_len > len(body):
+            raise ParseError("truncated session_id")
+        session_id = body[i:i + sid_len]
+        i += sid_len
+        if i + 2 > len(body):
+            raise ParseError("truncated cipher_suites length")
+        cs_len = int.from_bytes(body[i:i + 2], "big")
+        i += 2
+        if cs_len % 2 or i + cs_len > len(body):
+            raise ParseError("bad cipher_suites block")
+        cipher_suites = tuple(
+            int.from_bytes(body[i + j:i + j + 2], "big")
+            for j in range(0, cs_len, 2)
+        )
+        i += cs_len
+        if i >= len(body):
+            raise ParseError("truncated compression_methods")
+        cm_len = body[i]
+        i += 1
+        if i + cm_len > len(body):
+            raise ParseError("truncated compression_methods body")
+        compression = body[i:i + cm_len]
+        i += cm_len
+        extensions, used = parse_extensions(body[i:])
+        if i + used != len(body):
+            raise ParseError("trailing bytes after extensions")
+        return cls(
+            cipher_suites=cipher_suites,
+            extensions=extensions,
+            legacy_version=legacy_version,
+            random=random,
+            session_id=session_id,
+            compression_methods=compression,
+        )
+
+    # --- extension accessors --------------------------------------------
+
+    def extension(self, ext_type: int) -> Extension | None:
+        for ext in self.extensions:
+            if ext.type == ext_type:
+                return ext
+        return None
+
+    def has_extension(self, ext_type: int) -> bool:
+        return self.extension(ext_type) is not None
+
+    @property
+    def extension_types(self) -> tuple[int, ...]:
+        return tuple(ext.type for ext in self.extensions)
+
+    @property
+    def server_name(self) -> str | None:
+        ext = self.extension(c.EXT_SERVER_NAME)
+        if ext is None:
+            return None
+        return ext_codec.parse_server_name(ext)
+
+    @property
+    def alpn_protocols(self) -> tuple[str, ...]:
+        ext = self.extension(c.EXT_ALPN)
+        if ext is None:
+            return ()
+        return ext_codec.parse_alpn(ext)
+
+    @property
+    def supported_groups(self) -> tuple[int, ...]:
+        ext = self.extension(c.EXT_SUPPORTED_GROUPS)
+        if ext is None:
+            return ()
+        return ext_codec.parse_supported_groups(ext)
+
+    @property
+    def signature_algorithms(self) -> tuple[int, ...]:
+        ext = self.extension(c.EXT_SIGNATURE_ALGORITHMS)
+        if ext is None:
+            return ()
+        return ext_codec.parse_signature_algorithms(ext)
+
+    @property
+    def supported_versions(self) -> tuple[int, ...]:
+        ext = self.extension(c.EXT_SUPPORTED_VERSIONS)
+        if ext is None:
+            return ()
+        return ext_codec.parse_supported_versions(ext)
+
+    @property
+    def key_share_entries(self) -> tuple[tuple[int, bytes], ...]:
+        ext = self.extension(c.EXT_KEY_SHARE)
+        if ext is None:
+            return ()
+        return ext_codec.parse_key_share(ext)
+
+    def with_server_name(self, hostname: str) -> "ClientHello":
+        """Copy of this hello with the SNI replaced (same position)."""
+        new_ext = ext_codec.build_server_name(hostname)
+        out = []
+        replaced = False
+        for ext in self.extensions:
+            if ext.type == c.EXT_SERVER_NAME:
+                out.append(new_ext)
+                replaced = True
+            else:
+                out.append(ext)
+        if not replaced:
+            out.insert(0, new_ext)
+        return replace(self, extensions=tuple(out))

@@ -1,0 +1,301 @@
+"""TLS extension container plus typed codecs for the extensions the paper's
+Table 2 turns into attributes.
+
+An :class:`Extension` is always (type, opaque bytes); the codec functions
+translate between the opaque form and structured values. Keeping the
+container dumb preserves exact wire ordering and unknown extensions, which
+is what fingerprinting needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.tls import constants as c
+
+
+@dataclass(frozen=True)
+class Extension:
+    type: int
+    data: bytes = b""
+
+    @property
+    def name(self) -> str:
+        return c.EXTENSION_NAMES.get(self.type, f"ext_{self.type}")
+
+    def to_bytes(self) -> bytes:
+        return (self.type.to_bytes(2, "big")
+                + len(self.data).to_bytes(2, "big") + self.data)
+
+
+def serialize_extensions(extensions: tuple[Extension, ...] | list[Extension]) -> bytes:
+    body = b"".join(ext.to_bytes() for ext in extensions)
+    return len(body).to_bytes(2, "big") + body
+
+
+def parse_extensions(data: bytes) -> tuple[tuple[Extension, ...], int]:
+    """Parse a length-prefixed extensions block; returns (extensions, used)."""
+    if len(data) < 2:
+        raise ParseError("truncated extensions length")
+    total = int.from_bytes(data[:2], "big")
+    if len(data) < 2 + total:
+        raise ParseError("truncated extensions block")
+    out: list[Extension] = []
+    i = 2
+    end = 2 + total
+    while i < end:
+        if i + 4 > end:
+            raise ParseError("truncated extension header")
+        ext_type = int.from_bytes(data[i:i + 2], "big")
+        ext_len = int.from_bytes(data[i + 2:i + 4], "big")
+        if i + 4 + ext_len > end:
+            raise ParseError("truncated extension body")
+        out.append(Extension(ext_type, data[i + 4:i + 4 + ext_len]))
+        i += 4 + ext_len
+    return tuple(out), end
+
+
+# --- typed codecs ------------------------------------------------------------
+
+
+def build_server_name(hostname: str) -> Extension:
+    name = hostname.encode("ascii")
+    entry = b"\x00" + len(name).to_bytes(2, "big") + name
+    body = len(entry).to_bytes(2, "big") + entry
+    return Extension(c.EXT_SERVER_NAME, body)
+
+
+def parse_server_name(ext: Extension) -> str | None:
+    data = ext.data
+    if len(data) < 2:
+        return None
+    i = 2
+    while i + 3 <= len(data):
+        name_type = data[i]
+        length = int.from_bytes(data[i + 1:i + 3], "big")
+        if i + 3 + length > len(data):
+            raise ParseError("truncated server_name entry")
+        if name_type == 0:
+            return data[i + 3:i + 3 + length].decode("ascii", "replace")
+        i += 3 + length
+    return None
+
+
+def _u16_list_body(values: list[int] | tuple[int, ...]) -> bytes:
+    body = b"".join(v.to_bytes(2, "big") for v in values)
+    return len(body).to_bytes(2, "big") + body
+
+
+def _parse_u16_list(data: bytes, what: str) -> tuple[int, ...]:
+    if len(data) < 2:
+        raise ParseError(f"truncated {what} list")
+    total = int.from_bytes(data[:2], "big")
+    if total % 2 or len(data) < 2 + total:
+        raise ParseError(f"bad {what} list length")
+    return tuple(
+        int.from_bytes(data[2 + i:4 + i], "big") for i in range(0, total, 2)
+    )
+
+
+def build_supported_groups(groups: list[int] | tuple[int, ...]) -> Extension:
+    return Extension(c.EXT_SUPPORTED_GROUPS, _u16_list_body(groups))
+
+
+def parse_supported_groups(ext: Extension) -> tuple[int, ...]:
+    return _parse_u16_list(ext.data, "supported_groups")
+
+
+def build_signature_algorithms(algos: list[int] | tuple[int, ...]) -> Extension:
+    return Extension(c.EXT_SIGNATURE_ALGORITHMS, _u16_list_body(algos))
+
+
+def parse_signature_algorithms(ext: Extension) -> tuple[int, ...]:
+    return _parse_u16_list(ext.data, "signature_algorithms")
+
+
+def build_delegated_credentials(algos: list[int] | tuple[int, ...]) -> Extension:
+    return Extension(c.EXT_DELEGATED_CREDENTIALS, _u16_list_body(algos))
+
+
+def parse_delegated_credentials(ext: Extension) -> tuple[int, ...]:
+    return _parse_u16_list(ext.data, "delegated_credentials")
+
+
+def build_alpn(protocols: list[str] | tuple[str, ...]) -> Extension:
+    body = b""
+    for proto in protocols:
+        encoded = proto.encode("ascii")
+        body += bytes([len(encoded)]) + encoded
+    return Extension(c.EXT_ALPN, len(body).to_bytes(2, "big") + body)
+
+
+def parse_alpn(ext: Extension) -> tuple[str, ...]:
+    data = ext.data
+    if len(data) < 2:
+        raise ParseError("truncated ALPN list")
+    total = int.from_bytes(data[:2], "big")
+    if len(data) < 2 + total:
+        raise ParseError("truncated ALPN body")
+    out: list[str] = []
+    i = 2
+    while i < 2 + total:
+        length = data[i]
+        if i + 1 + length > 2 + total:
+            raise ParseError("truncated ALPN entry")
+        out.append(data[i + 1:i + 1 + length].decode("ascii", "replace"))
+        i += 1 + length
+    return tuple(out)
+
+
+def build_supported_versions(versions: list[int] | tuple[int, ...]) -> Extension:
+    body = b"".join(v.to_bytes(2, "big") for v in versions)
+    return Extension(c.EXT_SUPPORTED_VERSIONS,
+                     bytes([len(body)]) + body)
+
+
+def parse_supported_versions(ext: Extension) -> tuple[int, ...]:
+    data = ext.data
+    if not data:
+        raise ParseError("empty supported_versions")
+    total = data[0]
+    if total % 2 or len(data) < 1 + total:
+        raise ParseError("bad supported_versions length")
+    return tuple(
+        int.from_bytes(data[1 + i:3 + i], "big") for i in range(0, total, 2)
+    )
+
+
+def build_psk_key_exchange_modes(modes: list[int] | tuple[int, ...]) -> Extension:
+    return Extension(c.EXT_PSK_KEY_EXCHANGE_MODES,
+                     bytes([len(modes)]) + bytes(modes))
+
+
+def parse_psk_key_exchange_modes(ext: Extension) -> tuple[int, ...]:
+    data = ext.data
+    if not data or len(data) < 1 + data[0]:
+        raise ParseError("bad psk_key_exchange_modes")
+    return tuple(data[1:1 + data[0]])
+
+
+def build_ec_point_formats(formats: list[int] | tuple[int, ...]) -> Extension:
+    return Extension(c.EXT_EC_POINT_FORMATS,
+                     bytes([len(formats)]) + bytes(formats))
+
+
+def parse_ec_point_formats(ext: Extension) -> tuple[int, ...]:
+    data = ext.data
+    if not data or len(data) < 1 + data[0]:
+        raise ParseError("bad ec_point_formats")
+    return tuple(data[1:1 + data[0]])
+
+
+def build_key_share(entries: list[tuple[int, bytes]]) -> Extension:
+    body = b""
+    for group, key in entries:
+        body += (group.to_bytes(2, "big")
+                 + len(key).to_bytes(2, "big") + key)
+    return Extension(c.EXT_KEY_SHARE, len(body).to_bytes(2, "big") + body)
+
+
+def parse_key_share(ext: Extension) -> tuple[tuple[int, bytes], ...]:
+    data = ext.data
+    if len(data) < 2:
+        raise ParseError("truncated key_share")
+    total = int.from_bytes(data[:2], "big")
+    if len(data) < 2 + total:
+        raise ParseError("truncated key_share body")
+    out: list[tuple[int, bytes]] = []
+    i = 2
+    while i < 2 + total:
+        if i + 4 > 2 + total:
+            raise ParseError("truncated key_share entry")
+        group = int.from_bytes(data[i:i + 2], "big")
+        length = int.from_bytes(data[i + 2:i + 4], "big")
+        if i + 4 + length > 2 + total:
+            raise ParseError("truncated key_share key")
+        out.append((group, data[i + 4:i + 4 + length]))
+        i += 4 + length
+    return tuple(out)
+
+
+def build_compress_certificate(algos: list[int] | tuple[int, ...]) -> Extension:
+    body = b"".join(a.to_bytes(2, "big") for a in algos)
+    return Extension(c.EXT_COMPRESS_CERTIFICATE, bytes([len(body)]) + body)
+
+
+def parse_compress_certificate(ext: Extension) -> tuple[int, ...]:
+    data = ext.data
+    if not data:
+        raise ParseError("empty compress_certificate")
+    total = data[0]
+    if total % 2 or len(data) < 1 + total:
+        raise ParseError("bad compress_certificate length")
+    return tuple(
+        int.from_bytes(data[1 + i:3 + i], "big") for i in range(0, total, 2)
+    )
+
+
+def build_record_size_limit(limit: int) -> Extension:
+    return Extension(c.EXT_RECORD_SIZE_LIMIT, limit.to_bytes(2, "big"))
+
+
+def parse_record_size_limit(ext: Extension) -> int:
+    if len(ext.data) != 2:
+        raise ParseError("bad record_size_limit")
+    return int.from_bytes(ext.data, "big")
+
+
+def build_status_request() -> Extension:
+    # OCSP (type 1) with empty responder-id and extensions lists.
+    return Extension(c.EXT_STATUS_REQUEST, b"\x01\x00\x00\x00\x00")
+
+
+def build_application_settings(protocols: list[str] | tuple[str, ...]) -> Extension:
+    body = b""
+    for proto in protocols:
+        encoded = proto.encode("ascii")
+        body += bytes([len(encoded)]) + encoded
+    return Extension(c.EXT_APPLICATION_SETTINGS,
+                     len(body).to_bytes(2, "big") + body)
+
+
+def build_padding(length: int) -> Extension:
+    return Extension(c.EXT_PADDING, bytes(length))
+
+
+def build_session_ticket(ticket: bytes = b"") -> Extension:
+    return Extension(c.EXT_SESSION_TICKET, ticket)
+
+
+def build_renegotiation_info() -> Extension:
+    return Extension(c.EXT_RENEGOTIATION_INFO, b"\x00")
+
+
+def build_extended_master_secret() -> Extension:
+    return Extension(c.EXT_EXTENDED_MASTER_SECRET)
+
+
+def build_signed_certificate_timestamp() -> Extension:
+    return Extension(c.EXT_SIGNED_CERTIFICATE_TIMESTAMP)
+
+
+def build_post_handshake_auth() -> Extension:
+    return Extension(c.EXT_POST_HANDSHAKE_AUTH)
+
+
+def build_encrypt_then_mac() -> Extension:
+    return Extension(c.EXT_ENCRYPT_THEN_MAC)
+
+
+def build_early_data() -> Extension:
+    return Extension(c.EXT_EARLY_DATA)
+
+
+def build_pre_shared_key(identity: bytes, binder: bytes) -> Extension:
+    identities = (len(identity).to_bytes(2, "big") + identity
+                  + (0).to_bytes(4, "big"))  # obfuscated_ticket_age
+    binders = bytes([len(binder)]) + binder
+    body = (len(identities).to_bytes(2, "big") + identities
+            + len(binders).to_bytes(2, "big") + binders)
+    return Extension(c.EXT_PRE_SHARED_KEY, body)

@@ -1,0 +1,29 @@
+"""GREASE (RFC 8701) reserved values.
+
+Chromium-family clients inject random GREASE code points into cipher
+suites, extensions, groups and QUIC transport parameters; the feature
+encoder must treat every GREASE value as one symbol or the randomness
+would masquerade as platform signal.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import SeededRNG
+
+GREASE_VALUES = tuple(0x0A0A + 0x1010 * i for i in range(16))
+
+
+def is_grease(value: int) -> bool:
+    """True for the 16 reserved 0x?A?A two-byte GREASE code points
+    (identical high/low bytes, each with low nibble 0xA)."""
+    return (value >> 8) == (value & 0xFF) and (value & 0x0F) == 0x0A
+
+
+def random_grease(rng: SeededRNG) -> int:
+    return rng.choice(GREASE_VALUES)
+
+
+def grease_quic_transport_parameter_id(rng: SeededRNG) -> int:
+    """Reserved QUIC transport parameter ids: 31*N+27 (RFC 9000 §18.1)."""
+    n = rng.randint(0, 100)
+    return 31 * n + 27

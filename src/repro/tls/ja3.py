@@ -1,0 +1,57 @@
+"""JA3 client fingerprinting (Althouse et al., cited as [4] in the
+paper's related work).
+
+JA3 concatenates five ClientHello fields into a string and hashes it
+with MD5:
+
+    TLSVersion,Ciphers,Extensions,EllipticCurves,EllipticCurvePointFormats
+
+GREASE values are removed (the reference implementation's behaviour),
+values are rendered in decimal and joined with '-'. The paper's method
+deliberately goes beyond JA3 — per-field attributes instead of one
+opaque hash — and this module exists both as the natural related-work
+tool and as a convenient way to eyeball platform fingerprints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.tls import constants as c
+from repro.tls.clienthello import ClientHello
+from repro.tls.grease import is_grease
+
+
+def _clean(values) -> list[int]:
+    return [v for v in values if not is_grease(v)]
+
+
+@dataclass(frozen=True)
+class Ja3Fingerprint:
+    string: str
+    digest: str  # MD5 hex
+
+    def __str__(self) -> str:
+        return self.digest
+
+
+def ja3_string(hello: ClientHello) -> str:
+    ciphers = "-".join(str(v) for v in _clean(hello.cipher_suites))
+    extensions = "-".join(str(v) for v in _clean(hello.extension_types))
+    groups = "-".join(str(v) for v in _clean(hello.supported_groups))
+    formats_ext = hello.extension(c.EXT_EC_POINT_FORMATS)
+    if formats_ext is not None and formats_ext.data:
+        count = formats_ext.data[0]
+        formats = "-".join(str(b) for b in formats_ext.data[1:1 + count])
+    else:
+        formats = ""
+    return (f"{hello.legacy_version},{ciphers},{extensions},"
+            f"{groups},{formats}")
+
+
+def ja3(hello: ClientHello) -> Ja3Fingerprint:
+    """Full JA3 fingerprint (string + MD5 digest) of a ClientHello."""
+    string = ja3_string(hello)
+    digest = hashlib.md5(string.encode("ascii")).hexdigest()
+    return Ja3Fingerprint(string=string, digest=digest)

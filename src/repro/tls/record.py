@@ -1,0 +1,65 @@
+"""TLS record framing for the handshake packets our pipeline inspects.
+
+Only plaintext handshake records matter here (the ClientHello flight);
+everything after the handshake is opaque payload to the pipeline, exactly
+as in the paper ("network operators only have visibility into the
+TCP/QUIC and TLS handshake messages").
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.tls import constants as c
+from repro.tls.clienthello import ClientHello
+
+MAX_RECORD_PAYLOAD = 16384
+
+
+def wrap_handshake_records(handshake: bytes,
+                           record_version: int = c.TLS_1_0,
+                           max_fragment: int = MAX_RECORD_PAYLOAD) -> bytes:
+    """Wrap a handshake message into one or more TLSPlaintext records.
+
+    Real clients send the ClientHello with record version 0x0301
+    (middlebox compatibility), so that is the default.
+    """
+    out = bytearray()
+    for i in range(0, len(handshake), max_fragment):
+        fragment = handshake[i:i + max_fragment]
+        out.append(c.CONTENT_TYPE_HANDSHAKE)
+        out += record_version.to_bytes(2, "big")
+        out += len(fragment).to_bytes(2, "big")
+        out += fragment
+    return bytes(out)
+
+
+def extract_handshake_payload(data: bytes) -> bytes:
+    """Concatenate the fragments of consecutive handshake records.
+
+    Stops at the first non-handshake record or at end of data; raises
+    :class:`ParseError` if the first record is not a handshake record.
+    """
+    if len(data) < 5:
+        raise ParseError("truncated TLS record header")
+    if data[0] != c.CONTENT_TYPE_HANDSHAKE:
+        raise ParseError(f"not a handshake record (type {data[0]})")
+    payload = bytearray()
+    i = 0
+    while i + 5 <= len(data) and data[i] == c.CONTENT_TYPE_HANDSHAKE:
+        length = int.from_bytes(data[i + 3:i + 5], "big")
+        if i + 5 + length > len(data):
+            raise ParseError("truncated TLS record body")
+        payload += data[i + 5:i + 5 + length]
+        i += 5 + length
+    return bytes(payload)
+
+
+def client_hello_records(hello: ClientHello,
+                         record_version: int = c.TLS_1_0) -> bytes:
+    """Serialize a ClientHello into TLS records ready for a TCP payload."""
+    return wrap_handshake_records(hello.to_handshake_bytes(), record_version)
+
+
+def parse_client_hello_records(data: bytes) -> ClientHello:
+    """Parse the ClientHello out of a TCP payload of TLS records."""
+    return ClientHello.parse_handshake(extract_handshake_payload(data))

@@ -1,0 +1,50 @@
+"""Synthetic traffic generation: the stand-in for the paper's lab,
+home, and campus captures (see DESIGN.md §2 for the substitution
+rationale)."""
+
+from repro.trafficgen.campus import (
+    BANDWIDTH_MEDIAN_MBPS,
+    CampusConfig,
+    CampusSession,
+    CampusWorkload,
+    DIURNAL_CURVES,
+    PLATFORM_MIX,
+    PROVIDER_SESSION_SHARE,
+)
+from repro.trafficgen.lab import (
+    FlowDataset,
+    YOUTUBE_QUIC_SHARE,
+    dataset_table1,
+    effective_profile,
+    generate_lab_dataset,
+)
+from repro.trafficgen.openset import generate_openset_dataset
+from repro.trafficgen.pcapio import load_dataset, save_dataset
+from repro.trafficgen.session import (
+    FlowBuildRequest,
+    FlowFactory,
+    SyntheticFlow,
+    pick_sni,
+)
+
+__all__ = [
+    "BANDWIDTH_MEDIAN_MBPS",
+    "CampusConfig",
+    "CampusSession",
+    "CampusWorkload",
+    "DIURNAL_CURVES",
+    "FlowBuildRequest",
+    "FlowDataset",
+    "FlowFactory",
+    "PLATFORM_MIX",
+    "PROVIDER_SESSION_SHARE",
+    "SyntheticFlow",
+    "YOUTUBE_QUIC_SHARE",
+    "dataset_table1",
+    "effective_profile",
+    "generate_lab_dataset",
+    "generate_openset_dataset",
+    "load_dataset",
+    "save_dataset",
+    "pick_sni",
+]

@@ -1,0 +1,358 @@
+"""Campus workload generation (§5): a scaled-down but shape-faithful model
+of the paper's 4-month deployment serving dormitories, staff and students.
+
+The generator produces video *sessions* (Fig 2 anatomy: one management
+flow plus one or more content flows) with:
+
+* hourly arrival rates per provider following the diurnal patterns of
+  Fig 11 (YouTube's long 4pm–midnight plateau, Netflix's sharp 8–10pm
+  peak, Amazon/Disney+'s 7–11pm evening block);
+* per-provider platform mixes following Figs 7–8 (YouTube ~40% mobile
+  with the native iOS app dominant there; subscription services
+  PC-heavy; >90% of iOS engagement via native apps);
+* per-(provider, device, agent) bandwidth distributions following
+  Figs 9–10 (Amazon highest — especially Mac — and YouTube lowest;
+  PC browsers above mobile native apps);
+* a slice of *unknown* platforms absent from training, exercising the
+  pipeline's low-confidence rejection path (§5.2 excludes ~20% of
+  sessions as low-confidence).
+
+Everything downstream (classification, telemetry, insights) consumes the
+flows through the real pipeline; the ground-truth labels here are used
+only for generator tests, never by the measurement path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.fingerprints.library import (
+    get_profile,
+    get_unknown_profile,
+    supported_platforms,
+    transports_for,
+)
+from repro.fingerprints.model import (
+    DeviceClass,
+    DeviceType,
+    Provider,
+    SoftwareAgent,
+    Transport,
+    UserPlatform,
+)
+from repro.trafficgen.lab import YOUTUBE_QUIC_SHARE, effective_profile
+from repro.trafficgen.session import (
+    FlowBuildRequest,
+    FlowFactory,
+    SyntheticFlow,
+    pick_sni,
+)
+from repro.util.rng import SeededRNG
+
+# --- demand models -----------------------------------------------------------
+
+# Relative hourly arrival weight, per provider (index = hour of day).
+DIURNAL_CURVES: dict[Provider, tuple[float, ...]] = {
+    # Long sustained evening plateau from ~16:00 to midnight.
+    Provider.YOUTUBE: (
+        .18, .10, .06, .04, .03, .04, .08, .15, .25, .32, .38, .42,
+        .48, .50, .52, .58, .80, .85, .88, .92, 1.0, .98, .95, .60),
+    # Sharp 20:00–22:00 peak.
+    Provider.NETFLIX: (
+        .10, .06, .03, .02, .02, .02, .03, .05, .08, .10, .12, .15,
+        .20, .22, .25, .28, .35, .45, .60, .85, 1.0, .95, .55, .25),
+    # Evening block ~19:00–23:00.
+    Provider.DISNEY: (
+        .08, .05, .03, .02, .02, .02, .03, .05, .08, .10, .12, .15,
+        .18, .20, .22, .25, .32, .45, .70, .95, 1.0, .90, .70, .30),
+    Provider.AMAZON: (
+        .08, .05, .03, .02, .02, .02, .03, .04, .07, .09, .11, .14,
+        .17, .19, .21, .24, .30, .42, .68, .92, 1.0, .92, .72, .28),
+}
+
+# Overall provider share of sessions. YouTube dominates engagement
+# (Fig 7: ~2000 h/day vs ~800 for Netflix); with its shorter sessions
+# that requires a strong majority of session *counts*.
+PROVIDER_SESSION_SHARE: dict[Provider, float] = {
+    Provider.YOUTUBE: 0.60,
+    Provider.NETFLIX: 0.14,
+    Provider.DISNEY: 0.13,
+    Provider.AMAZON: 0.13,
+}
+
+# Per-provider platform mix: (platform label -> weight). Derived from the
+# watch-time splits of Figs 7-8.
+PLATFORM_MIX: dict[Provider, dict[str, float]] = {
+    Provider.YOUTUBE: {
+        "windows_chrome": 0.170, "windows_edge": 0.045,
+        "windows_firefox": 0.055, "macOS_chrome": 0.115,
+        "macOS_safari": 0.050, "macOS_edge": 0.012,
+        "macOS_firefox": 0.028, "android_chrome": 0.040,
+        "android_samsungInternet": 0.015, "android_nativeApp": 0.130,
+        "iOS_nativeApp": 0.200, "iOS_safari": 0.015, "iOS_chrome": 0.010,
+        "androidTV_nativeApp": 0.080, "ps5_nativeApp": 0.035,
+    },
+    Provider.NETFLIX: {
+        "windows_chrome": 0.130, "windows_edge": 0.070,
+        "windows_firefox": 0.070, "windows_nativeApp": 0.120,
+        "macOS_safari": 0.160, "macOS_chrome": 0.090,
+        "macOS_edge": 0.025, "macOS_firefox": 0.060,
+        "android_nativeApp": 0.050, "iOS_nativeApp": 0.095,
+        "androidTV_nativeApp": 0.085, "ps5_nativeApp": 0.045,
+    },
+    Provider.DISNEY: {
+        "windows_chrome": 0.125, "windows_edge": 0.060,
+        "windows_firefox": 0.055, "windows_nativeApp": 0.110,
+        "macOS_safari": 0.115, "macOS_chrome": 0.085,
+        "macOS_edge": 0.022, "macOS_firefox": 0.048,
+        "android_nativeApp": 0.055, "iOS_nativeApp": 0.190,
+        "androidTV_nativeApp": 0.090, "ps5_nativeApp": 0.045,
+    },
+    Provider.AMAZON: {
+        "windows_chrome": 0.135, "windows_edge": 0.065,
+        "windows_firefox": 0.055, "windows_nativeApp": 0.100,
+        "macOS_safari": 0.150, "macOS_chrome": 0.085,
+        "macOS_edge": 0.020, "macOS_firefox": 0.045,
+        "macOS_nativeApp": 0.060, "android_nativeApp": 0.035,
+        "iOS_nativeApp": 0.085, "androidTV_nativeApp": 0.110,
+        "ps5_nativeApp": 0.055,
+    },
+}
+
+# Median downstream bandwidth (Mbps) per (provider, device type); agent
+# adjustments below. Calibrated to the orderings of Figs 9-10: Amazon
+# highest (Mac above TV by ~50%), Netflix browsers (non-Safari) < 2 Mbps,
+# YouTube lowest overall, mobile native apps < 3 Mbps for Amazon.
+BANDWIDTH_MEDIAN_MBPS: dict[Provider, dict[DeviceType, float]] = {
+    Provider.YOUTUBE: {
+        DeviceType.WINDOWS: 2.2, DeviceType.MACOS: 2.4,
+        DeviceType.ANDROID: 1.5, DeviceType.IOS: 1.6,
+        DeviceType.ANDROID_TV: 2.8, DeviceType.PLAYSTATION: 2.6,
+    },
+    Provider.NETFLIX: {
+        DeviceType.WINDOWS: 2.4, DeviceType.MACOS: 3.0,
+        DeviceType.ANDROID: 2.2, DeviceType.IOS: 2.3,
+        DeviceType.ANDROID_TV: 3.4, DeviceType.PLAYSTATION: 3.2,
+    },
+    Provider.DISNEY: {
+        DeviceType.WINDOWS: 3.6, DeviceType.MACOS: 4.2,
+        DeviceType.ANDROID: 2.4, DeviceType.IOS: 2.5,
+        DeviceType.ANDROID_TV: 3.6, DeviceType.PLAYSTATION: 3.4,
+    },
+    Provider.AMAZON: {
+        DeviceType.WINDOWS: 4.6, DeviceType.MACOS: 5.7,
+        DeviceType.ANDROID: 2.3, DeviceType.IOS: 2.4,
+        DeviceType.ANDROID_TV: 3.8, DeviceType.PLAYSTATION: 3.6,
+    },
+}
+
+# Agent multiplier: browsers demand more than native mobile apps for
+# Amazon/Disney; Netflix PC browsers other than Safari are capped low
+# (720p DRM limits), its native apps and Safari stream higher.
+def _agent_bandwidth_factor(provider: Provider,
+                            platform: UserPlatform) -> float:
+    agent = platform.agent
+    if provider is Provider.NETFLIX and platform.device_class is \
+            DeviceClass.PC:
+        if agent in (SoftwareAgent.CHROME, SoftwareAgent.EDGE,
+                     SoftwareAgent.FIREFOX):
+            return 0.62  # <2 Mbps median on PC browsers
+        if agent is SoftwareAgent.SAFARI:
+            return 1.15
+        return 1.25  # windows native app
+    if provider is Provider.AMAZON:
+        if agent is SoftwareAgent.NATIVE_APP and platform.device_class is \
+                DeviceClass.MOBILE:
+            return 0.85
+        if agent.is_browser and platform.device_class is DeviceClass.PC:
+            return 1.08
+    return 1.0
+
+
+# Session-duration lognormal parameters (minutes scale) per provider.
+DURATION_MODEL: dict[Provider, tuple[float, float]] = {
+    Provider.YOUTUBE: (3.0, 0.9),   # median ~20 min, heavy tail
+    Provider.NETFLIX: (3.6, 0.6),   # median ~37 min
+    Provider.DISNEY: (3.5, 0.6),
+    Provider.AMAZON: (3.6, 0.65),
+}
+
+# Fraction of sessions from platforms absent from the training data.
+UNKNOWN_PLATFORM_SHARE = 0.12
+_UNKNOWN_MIX = (("linux_chrome", 0.6), ("webOS_nativeApp", 0.4))
+
+
+@dataclass
+class CampusConfig:
+    days: int = 1
+    sessions_per_day: int = 1500
+    seed: int = 7
+    start_epoch: float = 1_688_688_000.0  # 2023-07-07 00:00 (day-aligned)
+    unknown_share: float = UNKNOWN_PLATFORM_SHARE
+    include_management_flows: bool = True
+
+
+@dataclass(frozen=True)
+class CampusSession:
+    session_id: int
+    provider: Provider
+    platform_label: str
+    start_time: float
+    duration: float
+    flows: tuple[SyntheticFlow, ...]
+
+
+def _pick_hour(rng: SeededRNG, provider: Provider) -> int:
+    curve = DIURNAL_CURVES[provider]
+    return rng.weighted_choice(list(range(24)), curve)
+
+
+def _pick_platform(rng: SeededRNG, provider: Provider) -> str:
+    mix = PLATFORM_MIX[provider]
+    return rng.weighted_choice(list(mix.keys()), list(mix.values()))
+
+
+def _sample_bandwidth_mbps(rng: SeededRNG, provider: Provider,
+                           platform: UserPlatform) -> float:
+    median = BANDWIDTH_MEDIAN_MBPS[provider][platform.device]
+    median *= _agent_bandwidth_factor(provider, platform)
+    # Lognormal around the median with moderate spread (IQR roughly
+    # matching the box heights of Figs 9-10).
+    import math
+    return max(0.2, rng.lognormal(math.log(median), 0.38))
+
+
+def _content_flow_split(rng: SeededRNG) -> list[float]:
+    """Fractions of the session carried by each content flow (the three
+    §3.2 playback scenarios: single flow, concurrent A/V, time-sliced)."""
+    roll = rng.random()
+    if roll < 0.5:
+        return [1.0]
+    if roll < 0.8:
+        return [0.7, 0.3]
+    return [0.5, 0.3, 0.2]
+
+
+class CampusWorkload:
+    """Iterator over synthetic campus sessions/flows."""
+
+    def __init__(self, config: CampusConfig | None = None):
+        self.config = config or CampusConfig()
+        self._rng = SeededRNG(self.config.seed)
+        self._factory = FlowFactory(self._rng.fork("factory"))
+        self._session_counter = 0
+
+    # -- internals -----------------------------------------------------------
+
+    def _platform_and_profile(self, rng: SeededRNG, provider: Provider,
+                              transport_hint: Transport | None):
+        if rng.bernoulli(self.config.unknown_share):
+            labels = [label for label, _ in _UNKNOWN_MIX]
+            weights = [w for _, w in _UNKNOWN_MIX]
+            label = rng.weighted_choice(labels, weights)
+            profile = get_unknown_profile(label, provider)
+            if label == "linux_chrome" and provider is Provider.YOUTUBE \
+                    and rng.bernoulli(YOUTUBE_QUIC_SHARE):
+                transport = Transport.QUIC
+            else:
+                transport = Transport.TCP
+            return label, profile, transport
+        label = _pick_platform(rng, provider)
+        platform = UserPlatform.from_label(label)
+        transports = transports_for(platform, provider)
+        if len(transports) == 2:
+            transport = (Transport.QUIC
+                         if rng.bernoulli(YOUTUBE_QUIC_SHARE)
+                         else Transport.TCP)
+        else:
+            transport = transports[0]
+        profile = effective_profile(platform, provider, transport, rng)
+        return label, profile, transport
+
+    def _build_session(self, day: int) -> CampusSession:
+        self._session_counter += 1
+        sid = self._session_counter
+        rng = self._rng.fork(("session", sid))
+        provider = rng.weighted_choice(
+            list(PROVIDER_SESSION_SHARE.keys()),
+            list(PROVIDER_SESSION_SHARE.values()))
+        hour = _pick_hour(rng, provider)
+        start = (self.config.start_epoch + day * 86400 + hour * 3600
+                 + rng.uniform(0, 3600))
+        duration = 60.0 * max(1.0, rng.lognormal(*DURATION_MODEL[provider]))
+        label, profile, transport = self._platform_and_profile(
+            rng, provider, None)
+        platform = UserPlatform.from_label(label) if "_" in label and \
+            not label.startswith(("linux", "webOS")) else None
+
+        if platform is not None:
+            mbps = _sample_bandwidth_mbps(rng, provider, platform)
+        else:
+            mbps = max(0.3, rng.lognormal(0.8, 0.4))
+
+        client_ip = (f"10.{rng.randint(1, 250)}.{rng.randint(0, 250)}."
+                     f"{rng.randint(2, 250)}")
+        server_ip = (f"203.{rng.randint(1, 250)}.{rng.randint(0, 250)}."
+                     f"{rng.randint(2, 250)}")
+        flows: list[SyntheticFlow] = []
+
+        if self.config.include_management_flows:
+            flows.append(self._factory.build(FlowBuildRequest(
+                platform_label=label, provider=provider,
+                transport=Transport.TCP, profile=profile,
+                sni=pick_sni(provider, "management", rng),
+                role="management", session_id=sid, start_time=start - 2.0,
+                duration=5.0, bytes_down=400_000, bytes_up=60_000,
+                client_ip=client_ip, server_ip=server_ip,
+            )))
+
+        offset = 0.0
+        for fraction in _content_flow_split(rng):
+            flow_duration = duration * fraction
+            flows.append(self._factory.build(FlowBuildRequest(
+                platform_label=label, provider=provider,
+                transport=transport, profile=profile,
+                sni=pick_sni(provider, "content", rng),
+                role="content", session_id=sid,
+                start_time=start + offset, duration=flow_duration,
+                bytes_down=int(mbps * flow_duration * 1e6 / 8),
+                bytes_up=int(flow_duration * 1.5e4),
+                client_ip=client_ip, server_ip=server_ip,
+            )))
+            offset += flow_duration
+
+        # Fig 2(a) step 5: a periodic playback-status flow back to the
+        # management server, "only observed in certain video sessions
+        # such as on macOS devices watching YouTube on a Chrome browser".
+        if (provider is Provider.YOUTUBE and label == "macOS_chrome"
+                and rng.bernoulli(0.7)):
+            flows.append(self._factory.build(FlowBuildRequest(
+                platform_label=label, provider=provider,
+                transport=Transport.TCP, profile=profile,
+                sni=pick_sni(provider, "management", rng),
+                role="telemetry", session_id=sid,
+                start_time=start + 30.0, duration=max(30.0, duration),
+                bytes_down=50_000,
+                bytes_up=int(duration * 300),
+                client_ip=client_ip, server_ip=server_ip,
+            )))
+        return CampusSession(sid, provider, label, start, duration,
+                             tuple(flows))
+
+    # -- public API ------------------------------------------------------------
+
+    def sessions(self) -> Iterator[CampusSession]:
+        for day in range(self.config.days):
+            for _ in range(self.config.sessions_per_day):
+                yield self._build_session(day)
+
+    def flows(self) -> Iterator[SyntheticFlow]:
+        """All flows, ordered by start time within each day batch."""
+        for day in range(self.config.days):
+            batch = [self._build_session(day)
+                     for _ in range(self.config.sessions_per_day)]
+            day_flows = [flow for session in batch
+                         for flow in session.flows]
+            day_flows.sort(key=lambda f: f.start_time)
+            yield from day_flows

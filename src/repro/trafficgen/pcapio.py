@@ -1,0 +1,91 @@
+"""Dataset import/export as pcap + label sidecar.
+
+The paper releases its training data as captures; this module writes a
+:class:`FlowDataset` the same way — one pcap with every flow's packets
+plus a JSON sidecar holding the labels and flow-level telemetry — and
+reads it back. The reader regroups packets by canonical 5-tuple, so a
+re-imported dataset classifies identically to the original.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import DatasetError
+from repro.fingerprints.model import Provider, Transport
+from repro.net.flow import FlowKey
+from repro.net.pcap import PcapReader, PcapWriter
+from repro.net.packet import Packet
+from repro.trafficgen.lab import FlowDataset
+from repro.trafficgen.session import SyntheticFlow
+
+
+def _key_id(key: FlowKey) -> str:
+    return str(key.canonical())
+
+
+def save_dataset(dataset: FlowDataset, directory: str | Path) -> Path:
+    """Write ``dataset`` to ``directory`` as flows.pcap + labels.json."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    sidecar: dict[str, dict] = {}
+    with PcapWriter(root / "flows.pcap") as writer:
+        for flow in dataset:
+            writer.write_all(flow.packets)
+            sidecar[_key_id(flow.key)] = {
+                "platform": flow.platform_label,
+                "provider": flow.provider.value,
+                "transport": flow.transport.value,
+                "role": flow.role,
+                "session_id": flow.session_id,
+                "start_time": flow.start_time,
+                "duration": flow.duration,
+                "bytes_down": flow.bytes_down,
+                "bytes_up": flow.bytes_up,
+                "sni": flow.sni,
+            }
+    (root / "labels.json").write_text(json.dumps({
+        "name": dataset.name,
+        "seed": dataset.seed,
+        "flows": sidecar,
+    }))
+    return root
+
+
+def load_dataset(directory: str | Path) -> FlowDataset:
+    """Read back a dataset written by :func:`save_dataset`."""
+    root = Path(directory)
+    labels_path = root / "labels.json"
+    pcap_path = root / "flows.pcap"
+    if not labels_path.exists() or not pcap_path.exists():
+        raise DatasetError(f"no dataset at {root}")
+    meta = json.loads(labels_path.read_text())
+    by_key: dict[str, list[Packet]] = {}
+    with PcapReader(pcap_path) as reader:
+        for packet in reader.packets():
+            by_key.setdefault(_key_id(packet.flow_key), []).append(packet)
+    flows = []
+    for key_id, info in meta["flows"].items():
+        packets = by_key.get(key_id)
+        if not packets:
+            raise DatasetError(f"labels reference missing flow {key_id}")
+        packets.sort(key=lambda p: p.timestamp)
+        first = packets[0]
+        flows.append(SyntheticFlow(
+            packets=tuple(packets),
+            key=first.flow_key,
+            platform_label=info["platform"],
+            provider=Provider(info["provider"]),
+            transport=Transport(info["transport"]),
+            role=info["role"],
+            session_id=info["session_id"],
+            start_time=info["start_time"],
+            duration=info["duration"],
+            bytes_down=info["bytes_down"],
+            bytes_up=info["bytes_up"],
+            sni=info["sni"],
+        ))
+    dataset = FlowDataset(flows, meta["seed"], meta["name"])
+    dataset.validate()
+    return dataset

@@ -1,0 +1,299 @@
+"""Flow-level synthesis: turn a platform profile plus session randomness
+into the actual packets of a video flow's connection establishment.
+
+This reproduces the anatomy of §3.2/Fig 2: a TCP video flow opens with
+SYN / SYN-ACK / ACK and then the ClientHello in TLS records; a QUIC video
+flow opens with a protected Initial datagram carrying the ClientHello in
+CRYPTO frames. A few payload packets follow so the pipeline's splitter
+has something to split.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.fingerprints.model import Provider, Transport, UserPlatform
+from repro.fingerprints.providers import PROVIDER_SPECS
+from repro.fingerprints.specs import (
+    PlatformProfile,
+    build_client_hello,
+    build_transport_parameters,
+)
+from repro.net import (
+    FlowKey,
+    Packet,
+    TCPHeader,
+    make_tcp_packet,
+    make_udp_packet,
+    mss_option,
+    nop_option,
+    sack_permitted_option,
+    timestamps_option,
+    window_scale_option,
+)
+from repro.net.tcp import TcpOption, eol_option
+from repro.quic import QuicInitial, build_crypto_frame, protect_client_initial
+from repro.tls import client_hello_records
+from repro.util.rng import SeededRNG
+
+SERVER_TCP_WINDOW = 65535
+HTTPS_PORT = 443
+
+
+@dataclass(frozen=True)
+class SyntheticFlow:
+    """One generated video flow: its first packets plus flow-level truth.
+
+    ``platform_label`` is a string (not :class:`UserPlatform`) because the
+    campus simulation also emits flows from platforms outside the trained
+    label space.
+    """
+
+    packets: tuple[Packet, ...]
+    key: FlowKey
+    platform_label: str
+    provider: Provider
+    transport: Transport
+    role: str = "content"  # "content" | "management" | "telemetry"
+    session_id: int = 0
+    start_time: float = 0.0
+    duration: float = 0.0
+    bytes_down: int = 0
+    bytes_up: int = 0
+    sni: str = ""
+
+    @property
+    def platform(self) -> UserPlatform | None:
+        try:
+            return UserPlatform.from_label(self.platform_label)
+        except ValueError:
+            return None
+
+    @property
+    def mean_mbps(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.bytes_down * 8 / self.duration / 1e6
+
+
+@dataclass
+class FlowBuildRequest:
+    platform_label: str
+    provider: Provider
+    transport: Transport
+    profile: PlatformProfile
+    sni: str
+    role: str = "content"
+    session_id: int = 0
+    start_time: float = 0.0
+    duration: float = 120.0
+    bytes_down: int = 10_000_000
+    bytes_up: int = 200_000
+    client_ip: str = "10.20.0.2"
+    server_ip: str = "142.250.70.78"
+    resumption: bool | None = None
+
+
+class FlowFactory:
+    """Builds :class:`SyntheticFlow` objects from profiles.
+
+    One factory per dataset; it owns the RNG stream and the ephemeral
+    port/IP allocators so generated traffic has no accidental 5-tuple
+    collisions.
+    """
+
+    def __init__(self, rng: SeededRNG):
+        self._rng = rng
+        self._port_cycle = itertools.cycle(range(49152, 65535))
+        self._payload_seq = 0
+
+    # -- low-level helpers -------------------------------------------------
+
+    def _client_port(self) -> int:
+        return next(self._port_cycle)
+
+    def _tcp_options(self, profile: PlatformProfile,
+                     mss_value: int, ts_val: int) -> tuple[TcpOption, ...]:
+        stack = profile.tcp_stack
+        built: list[TcpOption] = []
+        for token in stack.option_order:
+            if token == "mss":
+                built.append(mss_option(mss_value))
+            elif token == "nop":
+                built.append(nop_option())
+            elif token == "window_scale":
+                if stack.window_scale is not None:
+                    built.append(window_scale_option(stack.window_scale))
+            elif token == "sack_permitted":
+                if stack.sack_permitted:
+                    built.append(sack_permitted_option())
+            elif token == "timestamps":
+                if stack.timestamps:
+                    built.append(timestamps_option(ts_val))
+            elif token == "eol":
+                built.append(eol_option())
+            else:
+                raise ConfigError(f"unknown TCP option token {token!r}")
+        return tuple(built)
+
+    def _choose_mss(self, profile: PlatformProfile) -> int:
+        stack = profile.tcp_stack
+        if stack.mss_alternatives and self._rng.bernoulli(0.08):
+            return self._rng.choice(stack.mss_alternatives)
+        return stack.mss
+
+    # -- TCP flow ----------------------------------------------------------
+
+    def _build_tcp_packets(self, request: FlowBuildRequest
+                           ) -> tuple[tuple[Packet, ...], FlowKey]:
+        profile = request.profile
+        stack = profile.tcp_stack
+        rng = self._rng
+        client_port = self._client_port()
+        t = request.start_time
+        mss_value = self._choose_mss(profile)
+        ts_val = rng.randint(1, 2**31 - 1)
+        ecn = stack.ecn_setup and rng.bernoulli(0.5)
+
+        syn = TCPHeader(
+            src_port=client_port, dst_port=HTTPS_PORT,
+            seq=rng.randint(0, 2**32 - 1), flag_syn=True,
+            flag_cwr=ecn, flag_ece=ecn,
+            window=stack.window_size,
+            options=self._tcp_options(profile, mss_value, ts_val),
+        )
+        packets = [make_tcp_packet(
+            request.client_ip, request.server_ip, syn,
+            ttl=stack.ttl, timestamp=t,
+            identification=rng.randint(0, 0xFFFF))]
+
+        synack = TCPHeader(
+            src_port=HTTPS_PORT, dst_port=client_port,
+            seq=rng.randint(0, 2**32 - 1), ack=syn.seq + 1,
+            flag_syn=True, flag_ack=True, flag_ece=ecn,
+            window=SERVER_TCP_WINDOW,
+            options=(mss_option(1460), nop_option(),
+                     window_scale_option(9), sack_permitted_option()),
+        )
+        packets.append(make_tcp_packet(
+            request.server_ip, request.client_ip, synack,
+            ttl=52, timestamp=t + 0.010))
+
+        ack = TCPHeader(src_port=client_port, dst_port=HTTPS_PORT,
+                        seq=syn.seq + 1, ack=synack.seq + 1,
+                        flag_ack=True, window=stack.window_size)
+        packets.append(make_tcp_packet(
+            request.client_ip, request.server_ip, ack,
+            ttl=stack.ttl, timestamp=t + 0.011))
+
+        hello = build_client_hello(profile.tls_tcp, request.sni, rng,
+                                   resumption=request.resumption)
+        chlo = TCPHeader(src_port=client_port, dst_port=HTTPS_PORT,
+                         seq=syn.seq + 1, ack=synack.seq + 1,
+                         flag_ack=True, flag_psh=True,
+                         window=stack.window_size)
+        packets.append(make_tcp_packet(
+            request.client_ip, request.server_ip, chlo,
+            payload=client_hello_records(hello),
+            ttl=stack.ttl, timestamp=t + 0.012))
+
+        packets.extend(self._payload_sample_tcp(
+            request, client_port, syn.seq, synack.seq, t + 0.080,
+            stack.ttl, stack.window_size))
+        key = FlowKey(6, request.client_ip, client_port,
+                      request.server_ip, HTTPS_PORT)
+        return tuple(packets), key
+
+    def _payload_sample_tcp(self, request: FlowBuildRequest,
+                            client_port: int, cseq: int, sseq: int,
+                            t0: float, ttl: int, window: int
+                            ) -> list[Packet]:
+        """A few representative data packets (encrypted video bytes)."""
+        packets = []
+        for i in range(3):
+            down = TCPHeader(src_port=HTTPS_PORT, dst_port=client_port,
+                             seq=sseq + 1 + 1400 * i, ack=cseq + 600,
+                             flag_ack=True, window=SERVER_TCP_WINDOW)
+            packets.append(make_tcp_packet(
+                request.server_ip, request.client_ip, down,
+                payload=self._rng.token_bytes(1400),
+                ttl=52, timestamp=t0 + 0.02 * i))
+        up = TCPHeader(src_port=client_port, dst_port=HTTPS_PORT,
+                       seq=cseq + 600, ack=sseq + 4201, flag_ack=True,
+                       window=window)
+        packets.append(make_tcp_packet(
+            request.client_ip, request.server_ip, up,
+            ttl=ttl, timestamp=t0 + 0.06))
+        return packets
+
+    # -- QUIC flow ---------------------------------------------------------
+
+    def _build_quic_packets(self, request: FlowBuildRequest
+                            ) -> tuple[tuple[Packet, ...], FlowKey]:
+        profile = request.profile
+        if profile.quic is None or profile.tls_quic is None:
+            raise ConfigError(
+                f"profile for {request.platform_label} lacks QUIC spec")
+        rng = self._rng
+        stack = profile.tcp_stack
+        client_port = self._client_port()
+        t = request.start_time
+
+        dcid = rng.token_bytes(profile.quic.dcid_length)
+        scid = rng.token_bytes(profile.quic.scid_length)
+        quic_params = build_transport_parameters(profile.quic, rng, scid)
+        alpn = ("h3",)
+        hello = build_client_hello(profile.tls_quic, request.sni, rng,
+                                   quic_params=quic_params,
+                                   alpn_override=alpn,
+                                   resumption=request.resumption)
+        initial = QuicInitial(
+            dcid=dcid, scid=scid,
+            payload=build_crypto_frame(hello.to_handshake_bytes()),
+            packet_number=rng.randint(0, 2),
+        )
+        datagram = protect_client_initial(
+            initial, pn_length=profile.quic.packet_number_length,
+            min_datagram_size=profile.quic.datagram_size)
+        packets = [make_udp_packet(
+            request.client_ip, request.server_ip, client_port, HTTPS_PORT,
+            payload=datagram, ttl=stack.ttl, timestamp=t,
+            identification=rng.randint(0, 0xFFFF))]
+
+        # Short-header payload samples (opaque 1-RTT packets).
+        for i in range(3):
+            short = bytes([0x40 | rng.randint(0, 0x3F)]) + \
+                rng.token_bytes(1199)
+            packets.append(make_udp_packet(
+                request.server_ip, request.client_ip, HTTPS_PORT,
+                client_port, payload=short, ttl=52,
+                timestamp=t + 0.05 + 0.02 * i))
+        key = FlowKey(17, request.client_ip, client_port,
+                      request.server_ip, HTTPS_PORT)
+        return tuple(packets), key
+
+    # -- public API ----------------------------------------------------------
+
+    def build(self, request: FlowBuildRequest) -> SyntheticFlow:
+        if request.transport is Transport.TCP:
+            packets, key = self._build_tcp_packets(request)
+        else:
+            packets, key = self._build_quic_packets(request)
+        return SyntheticFlow(
+            packets=packets, key=key,
+            platform_label=request.platform_label,
+            provider=request.provider, transport=request.transport,
+            role=request.role, session_id=request.session_id,
+            start_time=request.start_time, duration=request.duration,
+            bytes_down=request.bytes_down, bytes_up=request.bytes_up,
+            sni=request.sni,
+        )
+
+
+def pick_sni(provider: Provider, role: str, rng: SeededRNG) -> str:
+    spec = PROVIDER_SPECS[provider]
+    if role == "content":
+        return spec.random_content_host(rng)
+    return spec.random_management_host(rng)

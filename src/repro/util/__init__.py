@@ -1,0 +1,6 @@
+"""Small shared utilities: deterministic RNG helpers and ASCII tables."""
+
+from repro.util.rng import SeededRNG
+from repro.util.tables import format_histogram, format_table
+
+__all__ = ["SeededRNG", "format_histogram", "format_table"]

@@ -1,0 +1,79 @@
+"""Plain-text table rendering used by the benchmark harness and examples.
+
+The benchmarks print the same rows the paper's tables/figures report; this
+module keeps that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _cell(value: object, width: int, align: str) -> str:
+    text = str(value)
+    if align == "right":
+        return text.rjust(width)
+    if align == "center":
+        return text.center(width)
+    return text.ljust(width)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    aligns: Sequence[str] | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an ASCII table.
+
+    ``aligns`` holds one of ``"left"``/``"right"``/``"center"`` per column;
+    numbers default to right alignment when ``aligns`` is omitted.
+    """
+    materialized = [[str(c) for c in row] for row in rows]
+    ncols = len(headers)
+    for row in materialized:
+        if len(row) != ncols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {ncols}: {row!r}"
+            )
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    if aligns is None:
+        aligns = ["left"] * ncols
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    header_cells = " | ".join(
+        _cell(h, w, "center") for h, w in zip(headers, widths)
+    )
+    lines.append(f"| {header_cells} |")
+    lines.append(sep)
+    for row in materialized:
+        cells = " | ".join(
+            _cell(c, w, a) for c, w, a in zip(row, widths, aligns)
+        )
+        lines.append(f"| {cells} |")
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_histogram(
+    labels: Sequence[str], values: Sequence[float], width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render a horizontal bar chart, the text stand-in for paper figures."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    peak = max((abs(v) for v in values), default=0.0)
+    label_w = max((len(s) for s in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        bar_len = 0 if peak == 0 else int(round(width * abs(value) / peak))
+        bar = "#" * bar_len
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Unit tests for analysis internals on hand-built telemetry records
+(the campus-level behaviour is covered in test_baselines_analysis)."""
+
+import pytest
+
+from repro.analysis import (
+    device_class_of,
+    excluded_share,
+    hourly_usage_gb,
+    mobile_share,
+    peak_hours,
+    total_watch_hours,
+    watch_time_by_device,
+)
+from repro.fingerprints import DeviceClass, Provider, Transport
+from repro.net import FlowKey
+from repro.pipeline import PlatformPrediction, TelemetryRecord, TelemetryStore
+
+
+def _record(platform="windows_chrome", provider=Provider.YOUTUBE,
+            start=0.0, duration=3600.0, mbps=2.0, status="classified",
+            role="content"):
+    device, _, agent = platform.partition("_")
+    prediction = PlatformPrediction(
+        status=status,
+        platform=platform if status == "classified" else None,
+        device=device if status == "classified" else None,
+        agent=agent if status == "classified" else None,
+        confidence=0.95 if status == "classified" else 0.4,
+        device_confidence=0.95, agent_confidence=0.95)
+    return TelemetryRecord(
+        key=FlowKey(6, "10.0.0.1", 40000, "1.1.1.1", 443),
+        provider=provider, transport=Transport.TCP, role=role,
+        start_time=start, duration=duration,
+        bytes_down=int(mbps * duration * 1e6 / 8), bytes_up=1,
+        prediction=prediction)
+
+
+class TestWatchTime:
+    def test_hours_per_day_normalization(self):
+        store = TelemetryStore()
+        # Two one-hour flows across a two-day observation window.
+        store.add(_record(start=0.0))
+        store.add(_record(start=86400.0 + 82800.0))
+        by_device = watch_time_by_device(store)
+        windows = by_device[Provider.YOUTUBE]["windows"]
+        assert windows == pytest.approx(2.0 / 2.0, rel=0.05)
+
+    def test_total_watch_hours(self):
+        store = TelemetryStore()
+        store.add(_record(duration=1800))
+        store.add(_record(duration=5400))
+        assert total_watch_hours(store) == pytest.approx(2.0)
+
+    def test_unclassified_excluded(self):
+        store = TelemetryStore()
+        store.add(_record())
+        store.add(_record(status="unknown"))
+        assert total_watch_hours(store) == pytest.approx(1.0)
+        assert excluded_share(store) == 0.5
+
+    def test_mobile_share(self):
+        store = TelemetryStore()
+        store.add(_record("iOS_nativeApp"))
+        store.add(_record("windows_chrome"))
+        store.add(_record("android_nativeApp"))
+        assert mobile_share(store, Provider.YOUTUBE) == \
+            pytest.approx(2 / 3)
+
+    def test_empty_store(self):
+        store = TelemetryStore()
+        assert watch_time_by_device(store) == {}
+        assert mobile_share(store, Provider.YOUTUBE) == 0.0
+
+
+class TestTemporal:
+    def test_flow_spanning_hours_splits_volume(self):
+        store = TelemetryStore()
+        # 2-hour flow starting at 22:30 -> contributes to hours
+        # 22, 23, and 0 (wrap) proportionally.
+        start = 22.5 * 3600
+        store.add(_record(start=start, duration=2 * 3600, mbps=4.0))
+        hourly = hourly_usage_gb(store)
+        series = hourly[Provider.YOUTUBE][DeviceClass.PC]
+        assert series[22] > 0 and series[23] > 0 and series[0] > 0
+        assert series[5] == 0.0
+        # Full hour (23) gets twice the half hours (22, 0... 0 is 30min).
+        assert series[23] == pytest.approx(series[22] * 2, rel=0.01)
+        total_gb = _record(start=start, duration=7200,
+                           mbps=4.0).bytes_down / 1e9
+        assert sum(series) == pytest.approx(total_gb, rel=0.01)
+
+    def test_device_class_mapping(self):
+        assert device_class_of("windows") is DeviceClass.PC
+        assert device_class_of("iOS") is DeviceClass.MOBILE
+        assert device_class_of("ps5") is DeviceClass.TV
+        assert device_class_of("toaster") is None
+
+    def test_peak_hours_orders_by_hour(self):
+        series = [0.0] * 24
+        series[21], series[19], series[20] = 3.0, 1.0, 2.0
+        assert peak_hours(series, top_n=3) == [19, 20, 21]
+
+    def test_zero_duration_flow_ignored(self):
+        store = TelemetryStore()
+        store.add(_record(duration=0.0))
+        hourly = hourly_usage_gb(store)
+        series = hourly.get(Provider.YOUTUBE, {}).get(DeviceClass.PC)
+        assert series is None or sum(series) == 0.0

@@ -1,0 +1,165 @@
+"""Tests for the Table 6 baselines and the §5.2 analysis modules."""
+
+import pytest
+
+from repro.analysis import (
+    bandwidth_by_agent,
+    bandwidth_by_device,
+    excluded_share,
+    hourly_usage_gb,
+    mobile_share,
+    peak_hours,
+    reliable_records,
+    watch_time_by_agent,
+    watch_time_by_device,
+)
+from repro.baselines import (
+    ADAPTABLE_BASELINES,
+    AndersonFingerprint,
+    MARZANI_2023,
+    NOT_ADAPTABLE,
+    RICHARDSON_2020,
+    RenFlowMetadata,
+)
+from repro.errors import NotAdaptableError
+from repro.fingerprints import DeviceClass, Provider, Transport
+from repro.ml import RandomForestClassifier
+from repro.pipeline import ClassifierBank, RealtimePipeline, scenario_data
+from repro.trafficgen import CampusConfig, CampusWorkload, generate_lab_dataset
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return generate_lab_dataset(seed=31, scale=0.15)
+
+
+@pytest.fixture(scope="module")
+def campus_store(lab):
+    # The deployed configuration (max_features=34) matters here: with
+    # sqrt-features the composite confidence rarely clears the 80% bar.
+    bank = ClassifierBank.train(
+        lab,
+        model_factory=lambda: RandomForestClassifier(
+            n_estimators=15, max_depth=20, max_features=34,
+            random_state=3))
+    pipeline = RealtimePipeline(bank)
+    workload = CampusWorkload(CampusConfig(days=1, sessions_per_day=250,
+                                           seed=23))
+    pipeline.process_flows(workload.flows())
+    return pipeline.store
+
+
+class TestBaselines:
+    def test_all_adaptable_run_on_netflix(self, lab):
+        data = scenario_data(lab, Provider.NETFLIX, Transport.TCP)
+        for baseline in ADAPTABLE_BASELINES:
+            acc = baseline.evaluate(data, n_splits=3, n_estimators=5)
+            assert 0.0 <= acc <= 1.0
+
+    def test_anderson_strong_on_tcp(self, lab):
+        data = scenario_data(lab, Provider.NETFLIX, Transport.TCP)
+        acc = AndersonFingerprint().evaluate(data, n_splits=3,
+                                             n_estimators=8)
+        assert acc > 0.7
+
+    def test_ren_collapses_on_quic(self, lab):
+        data = scenario_data(lab, Provider.YOUTUBE, Transport.QUIC)
+        acc = RenFlowMetadata().evaluate(data, n_splits=3,
+                                         n_estimators=8)
+        # With only the (padded, near-constant) datagram size visible,
+        # Ren's method cannot separate 12 platforms.
+        assert acc < 0.6
+
+    def test_ren_much_weaker_than_anderson_on_quic(self, lab):
+        data = scenario_data(lab, Provider.YOUTUBE, Transport.QUIC)
+        anderson = AndersonFingerprint().evaluate(data, n_splits=3,
+                                                  n_estimators=8)
+        ren = RenFlowMetadata().evaluate(data, n_splits=3,
+                                         n_estimators=8)
+        assert anderson > ren + 0.2
+
+    def test_not_adaptable_raise(self):
+        for method in NOT_ADAPTABLE:
+            with pytest.raises(NotAdaptableError):
+                method.evaluate()
+        assert "host" in RICHARDSON_2020.reason
+        assert "automata" in MARZANI_2023.reason
+
+    def test_metadata_fields_present(self):
+        for baseline in ADAPTABLE_BASELINES:
+            assert baseline.name
+            assert baseline.citation
+            assert baseline.adaptations
+
+
+class TestAnalysis:
+    def test_reliable_records_only_classified(self, campus_store):
+        records = reliable_records(campus_store)
+        assert records
+        assert all(r.prediction.status == "classified" for r in records)
+        assert all(r.role == "content" for r in records)
+
+    def test_excluded_share_in_plausible_band(self, campus_store):
+        share = excluded_share(campus_store)
+        # Paper excludes ~20%; unknown platforms + lookalikes put us in
+        # the same ballpark (the band is generous because this fixture
+        # trains at reduced scale, which lowers confidence overall).
+        assert 0.02 < share < 0.5
+
+    def test_watch_time_by_device_structure(self, campus_store):
+        by_device = watch_time_by_device(campus_store)
+        assert Provider.YOUTUBE in by_device
+        yt = by_device[Provider.YOUTUBE]
+        assert sum(yt.values()) > 0
+        assert set(yt) <= {"windows", "macOS", "android", "iOS",
+                           "androidTV", "ps5"}
+
+    def test_youtube_dominates_watch_time(self, campus_store):
+        by_device = watch_time_by_device(campus_store)
+        totals = {p: sum(v.values()) for p, v in by_device.items()}
+        assert totals[Provider.YOUTUBE] == max(totals.values())
+
+    def test_youtube_mobile_share_higher_than_netflix(self, campus_store):
+        yt = mobile_share(campus_store, Provider.YOUTUBE)
+        nf = mobile_share(campus_store, Provider.NETFLIX)
+        assert yt > nf
+
+    def test_watch_time_by_agent_keys(self, campus_store):
+        by_agent = watch_time_by_agent(campus_store)
+        yt = by_agent[Provider.YOUTUBE]
+        assert any(device == "windows" and agent == "chrome"
+                   for device, agent in yt)
+
+    def test_bandwidth_orderings(self, campus_store):
+        by_device = bandwidth_by_device(campus_store)
+        amazon = by_device.get(Provider.AMAZON, {})
+        youtube = by_device.get(Provider.YOUTUBE, {})
+        if "macOS" in amazon and "macOS" in youtube:
+            assert amazon["macOS"]["median"] > youtube["macOS"]["median"]
+
+    def test_bandwidth_by_agent_structure(self, campus_store):
+        by_agent = bandwidth_by_agent(campus_store)
+        for provider, stats in by_agent.items():
+            for key, box in stats.items():
+                assert box["q1"] <= box["median"] <= box["q3"]
+
+    def test_hourly_usage_shape(self, campus_store):
+        hourly = hourly_usage_gb(campus_store)
+        yt = hourly.get(Provider.YOUTUBE, {})
+        assert DeviceClass.PC in yt
+        assert len(yt[DeviceClass.PC]) == 24
+        assert sum(yt[DeviceClass.PC]) > 0
+
+    def test_evening_peaks(self, campus_store):
+        hourly = hourly_usage_gb(campus_store)
+        nf = hourly.get(Provider.NETFLIX, {}).get(DeviceClass.PC)
+        if nf and sum(nf) > 0:
+            peaks = peak_hours(nf, top_n=4)
+            # Netflix's peak block sits in the evening.
+            assert any(18 <= h <= 23 for h in peaks)
+
+    def test_peak_hours_helper(self):
+        series = [0.0] * 24
+        series[20] = 5.0
+        series[21] = 4.0
+        assert peak_hours(series, top_n=2) == [20, 21]

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface (invoked in-process)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli")
+    return root
+
+
+class TestCliWorkflow:
+    def test_export_then_train_then_classify_then_campus(self, workspace,
+                                                         capsys):
+        dataset_dir = workspace / "dataset"
+        bank_dir = workspace / "bank"
+
+        assert main(["export-dataset", "--out", str(dataset_dir),
+                     "--scale", "0.03", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "flows.pcap" in out
+        assert (dataset_dir / "flows.pcap").exists()
+
+        assert main(["train", "--out", str(bank_dir),
+                     "--dataset", str(dataset_dir),
+                     "--trees", "5", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Trained 5 scenarios" in out
+
+        assert main(["classify", "--bank", str(bank_dir),
+                     "--pcap", str(dataset_dir / "flows.pcap"),
+                     "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Classified" in out
+        assert "video flows" in out
+
+        assert main(["campus", "--bank", str(bank_dir),
+                     "--sessions", "40", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Campus insight summary" in out
+        assert "YT" in out
+
+    def test_train_synthesizes_when_no_dataset(self, workspace, capsys):
+        bank_dir = workspace / "bank2"
+        assert main(["train", "--out", str(bank_dir),
+                     "--scale", "0.03", "--trees", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Synthesizing lab dataset" in out
+        assert (bank_dir / "manifest.json").exists()
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_bank_fails_cleanly(self, workspace):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["campus", "--bank", str(workspace / "nope")])

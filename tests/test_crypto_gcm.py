@@ -1,0 +1,146 @@
+"""AES-GCM tests against the McGrew–Viega / NIST reference vectors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import AESGCM, gf_mult
+from repro.crypto.gcm import _GHash
+from repro.errors import CryptoError
+
+
+class TestGcmVectors:
+    def test_case_1_empty(self):
+        aead = AESGCM(bytes(16))
+        out = aead.encrypt(bytes(12), b"", b"")
+        assert out.hex() == "58e2fccefa7e3061367f1d57a4e7455a"
+
+    def test_case_2_single_zero_block(self):
+        aead = AESGCM(bytes(16))
+        out = aead.encrypt(bytes(12), bytes(16), b"")
+        assert out[:16].hex() == "0388dace60b6a392f328c2b971b2fe78"
+        assert out[16:].hex() == "ab6e47d42cec13bdf53a67b21257bddf"
+
+    def test_case_3_four_blocks(self):
+        key = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+        iv = bytes.fromhex("cafebabefacedbaddecaf888")
+        plaintext = bytes.fromhex(
+            "d9313225f88406e5a55909c5aff5269a"
+            "86a7a9531534f7da2e4c303d8a318a72"
+            "1c3c0c95956809532fcf0e2449a6b525"
+            "b16aedf5aa0de657ba637b391aafd255"
+        )
+        expected_ct = bytes.fromhex(
+            "42831ec2217774244b7221b784d0d49c"
+            "e3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa05"
+            "1ba30b396a0aac973d58e091473f5985"
+        )
+        out = AESGCM(key).encrypt(iv, plaintext, b"")
+        assert out[:-16] == expected_ct
+        assert out[-16:].hex() == "4d5c2af327cd64a62cf35abd2ba6fab4"
+
+    def test_case_4_with_aad(self):
+        key = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+        iv = bytes.fromhex("cafebabefacedbaddecaf888")
+        plaintext = bytes.fromhex(
+            "d9313225f88406e5a55909c5aff5269a"
+            "86a7a9531534f7da2e4c303d8a318a72"
+            "1c3c0c95956809532fcf0e2449a6b525"
+            "b16aedf5aa0de657ba637b39"
+        )
+        aad = bytes.fromhex(
+            "feedfacedeadbeeffeedfacedeadbeefabaddad2"
+        )
+        out = AESGCM(key).encrypt(iv, plaintext, aad)
+        expected_ct = bytes.fromhex(
+            "42831ec2217774244b7221b784d0d49c"
+            "e3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa05"
+            "1ba30b396a0aac973d58e091"
+        )
+        assert out[:-16] == expected_ct
+        assert out[-16:].hex() == "5bc94fbc3221a5db94fae95ae7121a47"
+
+    def test_case_5_short_iv(self):
+        # 64-bit IV exercises the GHASH-derived J0 path.
+        key = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+        iv = bytes.fromhex("cafebabefacedbad")
+        plaintext = bytes.fromhex(
+            "d9313225f88406e5a55909c5aff5269a"
+            "86a7a9531534f7da2e4c303d8a318a72"
+            "1c3c0c95956809532fcf0e2449a6b525"
+            "b16aedf5aa0de657ba637b39"
+        )
+        aad = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+        out = AESGCM(key).encrypt(iv, plaintext, aad)
+        assert out[-16:].hex() == "3612d2e79e3b0785561be14aaca2fccb"
+
+
+class TestGcmBehaviour:
+    def test_decrypt_roundtrip(self):
+        aead = AESGCM(bytes.fromhex("feffe9928665731c6d6a8f9467308308"))
+        nonce = bytes(12)
+        message = b"QUIC Initial packets hide the ClientHello"
+        box = aead.encrypt(nonce, message, b"header")
+        assert aead.decrypt(nonce, box, b"header") == message
+
+    def test_tag_mismatch_rejected(self):
+        aead = AESGCM(bytes(16))
+        box = bytearray(aead.encrypt(bytes(12), b"payload", b""))
+        box[-1] ^= 0x01
+        with pytest.raises(CryptoError):
+            aead.decrypt(bytes(12), bytes(box), b"")
+
+    def test_aad_mismatch_rejected(self):
+        aead = AESGCM(bytes(16))
+        box = aead.encrypt(bytes(12), b"payload", b"aad-one")
+        with pytest.raises(CryptoError):
+            aead.decrypt(bytes(12), box, b"aad-two")
+
+    def test_truncated_ciphertext_rejected(self):
+        aead = AESGCM(bytes(16))
+        with pytest.raises(CryptoError):
+            aead.decrypt(bytes(12), b"\x00" * 8, b"")
+
+
+class TestGhashInternals:
+    def test_table_mult_matches_reference(self):
+        h = int("66e94bd4ef8a2c3b884cfa59ca342b2e", 16)
+        ghash = _GHash(h)
+        for v in (0, 1, 0xDEADBEEF << 96, (1 << 128) - 1,
+                  0x0123456789ABCDEF0123456789ABCDEF):
+            assert ghash._mult_h(v) == gf_mult(v, h)
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1),
+           st.integers(min_value=1, max_value=(1 << 128) - 1))
+    def test_gf_mult_commutative(self, a, b):
+        assert gf_mult(a, b) == gf_mult(b, a)
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_gf_mult_identity(self, a):
+        one = 1 << 127  # the element "1" has x^0 coefficient set (MSB)
+        assert gf_mult(a, one) == a
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1),
+           st.integers(min_value=0, max_value=(1 << 128) - 1),
+           st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_gf_mult_distributive(self, a, b, c):
+        assert gf_mult(a ^ b, c) == gf_mult(a, c) ^ gf_mult(b, c)
+
+
+class TestGcmProperties:
+    @given(key=st.binary(min_size=16, max_size=16),
+           nonce=st.binary(min_size=12, max_size=12),
+           plaintext=st.binary(max_size=200),
+           aad=st.binary(max_size=64))
+    def test_roundtrip(self, key, nonce, plaintext, aad):
+        aead = AESGCM(key)
+        assert aead.decrypt(nonce, aead.encrypt(nonce, plaintext, aad),
+                            aad) == plaintext
+
+    @given(plaintext=st.binary(max_size=96))
+    def test_ciphertext_length(self, plaintext):
+        aead = AESGCM(bytes(16))
+        out = aead.encrypt(bytes(12), plaintext, b"")
+        assert len(out) == len(plaintext) + 16

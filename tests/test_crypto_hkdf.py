@@ -1,0 +1,88 @@
+"""HKDF tests against RFC 5869 vectors and RFC 9001 Appendix A."""
+
+import pytest
+
+from repro.crypto import hkdf_expand, hkdf_expand_label, hkdf_extract
+from repro.errors import CryptoError
+
+
+class TestRfc5869:
+    def test_case_1(self):
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk.hex() == (
+            "077709362c2e32df0ddc3f0dc47bba63"
+            "90b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_case_3_empty_salt_info(self):
+        ikm = bytes.fromhex("0b" * 22)
+        prk = hkdf_extract(b"", ikm)
+        assert prk.hex() == (
+            "19ef24a32c717b167f33a91d6f648bdf"
+            "96596776afdb6377ac434c1c293ccb04"
+        )
+        okm = hkdf_expand(prk, b"", 42)
+        assert okm.hex() == (
+            "8da4e775a563c18f715f802a063c5a31"
+            "b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+    def test_expand_rejects_oversized_output(self):
+        with pytest.raises(CryptoError):
+            hkdf_expand(bytes(32), b"", 255 * 32 + 1)
+
+
+class TestQuicInitialSecrets:
+    """RFC 9001 Appendix A.1 key derivation for DCID 8394c8f03e515708."""
+
+    INITIAL_SALT = bytes.fromhex("38762cf7f55934b34d179ae6a4c80cadccbb7f0a")
+    DCID = bytes.fromhex("8394c8f03e515708")
+
+    def test_initial_secret(self):
+        secret = hkdf_extract(self.INITIAL_SALT, self.DCID)
+        assert secret.hex() == (
+            "7db5df06e7a69e432496adedb0085192"
+            "3595221596ae2ae9fb8115c1e9ed0a44"
+        )
+
+    def test_client_initial_keys(self):
+        initial_secret = hkdf_extract(self.INITIAL_SALT, self.DCID)
+        client_secret = hkdf_expand_label(
+            initial_secret, "client in", b"", 32
+        )
+        assert client_secret.hex() == (
+            "c00cf151ca5be075ed0ebfb5c80323c4"
+            "2d6b7db67881289af4008f1f6c357aea"
+        )
+        key = hkdf_expand_label(client_secret, "quic key", b"", 16)
+        iv = hkdf_expand_label(client_secret, "quic iv", b"", 12)
+        hp = hkdf_expand_label(client_secret, "quic hp", b"", 16)
+        assert key.hex() == "1f369613dd76d5467730efcbe3b1a22d"
+        assert iv.hex() == "fa044b2f42a3fd3b46fb255c"
+        assert hp.hex() == "9f50449e04a0e810283a1e9933adedd2"
+
+    def test_server_initial_keys(self):
+        initial_secret = hkdf_extract(self.INITIAL_SALT, self.DCID)
+        server_secret = hkdf_expand_label(
+            initial_secret, "server in", b"", 32
+        )
+        key = hkdf_expand_label(server_secret, "quic key", b"", 16)
+        iv = hkdf_expand_label(server_secret, "quic iv", b"", 12)
+        hp = hkdf_expand_label(server_secret, "quic hp", b"", 16)
+        assert key.hex() == "cf3a5331653c364c88f0f379b6067e37"
+        assert iv.hex() == "0ac1493ca1905853b0bba03e"
+        assert hp.hex() == "c206b8d9b9f0f37644430b490eeaa314"
+
+    def test_expand_label_rejects_long_label(self):
+        with pytest.raises(CryptoError):
+            hkdf_expand_label(bytes(32), "x" * 300, b"", 16)

@@ -1,0 +1,202 @@
+"""Tests for the extension features: concept-drift monitoring (§5.3),
+JA3 fingerprinting, and classifier-bank persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fingerprints import Provider, Transport, UserPlatform, get_profile
+from repro.ml import RandomForestClassifier
+from repro.pipeline import ClassifierBank
+from repro.pipeline.confidence import PlatformPrediction
+from repro.pipeline.driftwatch import (
+    ConceptDriftMonitor,
+    DriftReport,
+    PageHinkley,
+)
+from repro.pipeline.persist import load_bank, save_bank
+from repro.tls.ja3 import ja3, ja3_string
+from repro.trafficgen import generate_lab_dataset
+
+
+def _prediction(confidence: float) -> PlatformPrediction:
+    status = "classified" if confidence >= 0.8 else "unknown"
+    return PlatformPrediction(
+        status=status,
+        platform="windows_chrome" if status == "classified" else None,
+        device="windows" if status == "classified" else None,
+        agent="chrome" if status == "classified" else None,
+        confidence=confidence, device_confidence=confidence,
+        agent_confidence=confidence)
+
+
+class TestPageHinkley:
+    def test_no_alarm_on_stationary_stream(self):
+        ph = PageHinkley(delta=0.02, threshold=2.0)
+        rng = np.random.default_rng(0)
+        for _ in range(2000):
+            assert not ph.update(0.1 + rng.normal(0, 0.02))
+
+    def test_alarm_on_shift(self):
+        ph = PageHinkley(delta=0.02, threshold=2.0)
+        rng = np.random.default_rng(1)
+        for _ in range(500):
+            ph.update(0.1 + rng.normal(0, 0.02))
+        fired = False
+        for _ in range(500):
+            fired = ph.update(0.35 + rng.normal(0, 0.02)) or fired
+        assert fired
+
+    def test_reset(self):
+        ph = PageHinkley()
+        for _ in range(300):
+            ph.update(1.0)
+        ph.reset()
+        assert not ph.alarmed
+
+
+class TestConceptDriftMonitor:
+    def _calibrated(self) -> ConceptDriftMonitor:
+        monitor = ConceptDriftMonitor(confidence_drop_threshold=0.08,
+                                      min_observations=50)
+        reference = [_prediction(0.93) for _ in range(100)]
+        monitor.calibrate(Provider.YOUTUBE, Transport.QUIC, reference)
+        return monitor
+
+    def test_no_drift_on_healthy_stream(self):
+        monitor = self._calibrated()
+        rng = np.random.default_rng(2)
+        for _ in range(400):
+            conf = min(1.0, max(0.5, 0.93 + rng.normal(0, 0.03)))
+            monitor.observe(Provider.YOUTUBE, Transport.QUIC,
+                            _prediction(conf))
+        report = monitor.report(Provider.YOUTUBE, Transport.QUIC)
+        assert not report.drifting
+        assert report.rolling_confidence > 0.85
+
+    def test_drift_detected_on_decayed_stream(self):
+        monitor = self._calibrated()
+        rng = np.random.default_rng(3)
+        for _ in range(400):
+            conf = min(1.0, max(0.2, 0.70 + rng.normal(0, 0.05)))
+            monitor.observe(Provider.YOUTUBE, Transport.QUIC,
+                            _prediction(conf))
+        report = monitor.report(Provider.YOUTUBE, Transport.QUIC)
+        assert report.drifting
+        assert report.confidence_drop > 0.08
+        assert (Provider.YOUTUBE, Transport.QUIC) in \
+            monitor.scenarios_needing_retraining()
+
+    def test_min_observations_gate(self):
+        monitor = self._calibrated()
+        for _ in range(10):
+            monitor.observe(Provider.YOUTUBE, Transport.QUIC,
+                            _prediction(0.3))
+        assert not monitor.report(Provider.YOUTUBE,
+                                  Transport.QUIC).drifting
+
+    def test_reset_after_retraining(self):
+        monitor = self._calibrated()
+        for _ in range(100):
+            monitor.observe(Provider.YOUTUBE, Transport.QUIC,
+                            _prediction(0.4))
+        assert monitor.report(Provider.YOUTUBE,
+                              Transport.QUIC).drifting
+        monitor.reset(Provider.YOUTUBE, Transport.QUIC)
+        report = monitor.report(Provider.YOUTUBE, Transport.QUIC)
+        assert not report.drifting
+        assert report.observed_flows == 0
+
+    def test_calibrate_empty_rejected(self):
+        monitor = ConceptDriftMonitor()
+        with pytest.raises(ConfigError):
+            monitor.calibrate(Provider.NETFLIX, Transport.TCP, [])
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ConfigError):
+            ConceptDriftMonitor(confidence_drop_threshold=1.5)
+
+    def test_reports_cover_all_observed_scenarios(self):
+        monitor = ConceptDriftMonitor()
+        monitor.observe(Provider.NETFLIX, Transport.TCP, _prediction(0.9))
+        monitor.observe(Provider.AMAZON, Transport.TCP, _prediction(0.9))
+        reports = monitor.reports()
+        assert len(reports) == 2
+        assert all(isinstance(r, DriftReport) for r in reports)
+
+
+class TestJa3:
+    def _hello(self, label="windows_chrome"):
+        from repro.fingerprints import build_client_hello
+        from repro.util import SeededRNG
+
+        profile = get_profile(UserPlatform.from_label(label),
+                              Provider.NETFLIX)
+        return build_client_hello(profile.tls_tcp, "x.netflix.com",
+                                  SeededRNG(5), resumption=False)
+
+    def test_string_shape(self):
+        string = ja3_string(self._hello())
+        parts = string.split(",")
+        assert len(parts) == 5
+        assert parts[0] == "771"  # TLS 1.2 legacy version
+
+    def test_grease_stripped(self):
+        string = ja3_string(self._hello())
+        from repro.tls import GREASE_VALUES
+
+        for value in GREASE_VALUES:
+            assert str(value) not in string.split(",")[1].split("-")
+
+    def test_digest_is_md5(self):
+        fp = ja3(self._hello())
+        assert len(fp.digest) == 32
+        int(fp.digest, 16)  # hex
+
+    def test_same_stack_same_digest_despite_grease(self):
+        # GREASE values differ per session but JA3 strips them; Chrome's
+        # extension-order randomization *does* change JA3 (the known
+        # JA3 fragility) so compare a stable stack instead.
+        a = ja3(self._hello("windows_firefox"))
+        b = ja3(self._hello("windows_firefox"))
+        assert a.digest == b.digest
+
+    def test_different_stacks_differ(self):
+        assert ja3(self._hello("windows_firefox")).digest != \
+            ja3(self._hello("macOS_safari")).digest
+
+
+class TestBankPersistence:
+    @pytest.fixture(scope="class")
+    def small_bank(self):
+        lab = generate_lab_dataset(seed=77, scale=0.04)
+        return lab, ClassifierBank.train(
+            lab,
+            model_factory=lambda: RandomForestClassifier(
+                n_estimators=4, max_depth=10, random_state=5))
+
+    def test_roundtrip_predictions_identical(self, small_bank, tmp_path):
+        lab, bank = small_bank
+        save_bank(bank, tmp_path / "bank")
+        restored = load_bank(tmp_path / "bank")
+        from repro.features import extract_flow_attributes
+
+        for flow in list(lab)[:25]:
+            values, record = extract_flow_attributes(flow.packets)
+            original = bank.classify(flow.provider, record.transport,
+                                     values)
+            loaded = restored.classify(flow.provider, record.transport,
+                                       values)
+            assert original == loaded
+
+    def test_manifest_and_files_exist(self, small_bank, tmp_path):
+        _, bank = small_bank
+        save_bank(bank, tmp_path / "bank2")
+        root = tmp_path / "bank2"
+        assert (root / "manifest.json").exists()
+        assert (root / "youtube_quic.npz").exists()
+        assert (root / "youtube_quic.json").exists()
+
+    def test_load_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_bank(tmp_path / "nothing-here")

@@ -1,0 +1,68 @@
+"""Tests for the engine's idle-flow eviction (flow-table bounding)."""
+
+import pytest
+
+from repro.ml import RandomForestClassifier
+from repro.pipeline import ClassifierBank, RealtimePipeline
+from repro.trafficgen import generate_lab_dataset
+
+
+@pytest.fixture(scope="module")
+def setup():
+    lab = generate_lab_dataset(seed=91, scale=0.04)
+    bank = ClassifierBank.train(
+        lab,
+        model_factory=lambda: RandomForestClassifier(
+            n_estimators=4, max_depth=10, random_state=0))
+    return lab, bank
+
+
+class TestIdleEviction:
+    def test_idle_flows_evicted_and_recorded(self, setup):
+        lab, bank = setup
+        pipeline = RealtimePipeline(bank)
+        flows = [f for f in lab][:10]
+        last_ts = 0.0
+        for flow in flows:
+            for packet in flow.packets:
+                pipeline.process_packet(packet)
+                last_ts = max(last_ts, packet.timestamp)
+        live_before = pipeline.live_flows
+        assert live_before == 10
+        emitted = pipeline.flush_idle(now=last_ts + 300.0,
+                                      idle_timeout=120.0)
+        assert pipeline.live_flows == 0
+        assert emitted == len(pipeline.store)
+        assert emitted > 0
+
+    def test_recent_flows_survive_eviction(self, setup):
+        lab, bank = setup
+        pipeline = RealtimePipeline(bank)
+        flows = [f for f in lab][:6]
+        # First three flows finish early; last three are "recent".
+        for i, flow in enumerate(flows):
+            shift = 0.0 if i < 3 else 10_000.0
+            for packet in flow.packets:
+                from dataclasses import replace
+
+                pipeline.process_packet(
+                    replace(packet, timestamp=packet.timestamp + shift))
+        pipeline.flush_idle(now=10_000.5, idle_timeout=120.0)
+        assert pipeline.live_flows == 3
+        # The remaining ones flush normally later.
+        pipeline.flush()
+        assert pipeline.live_flows == 0
+
+    def test_eviction_skips_unclassified_garbage(self, setup):
+        _, bank = setup
+        from repro.net import TCPHeader, make_tcp_packet
+
+        pipeline = RealtimePipeline(bank)
+        packet = make_tcp_packet(
+            "10.0.0.1", "10.0.0.2",
+            TCPHeader(src_port=5555, dst_port=443, flag_syn=True),
+            timestamp=1.0)
+        pipeline.process_packet(packet)
+        emitted = pipeline.flush_idle(now=1000.0, idle_timeout=10.0)
+        assert emitted == 0
+        assert pipeline.live_flows == 0

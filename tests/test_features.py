@@ -1,0 +1,246 @@
+"""Tests for the feature layer: schema, extraction, encoding, importance."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DatasetError, NotFittedError, ParseError
+from repro.features import (
+    ATTRIBUTES,
+    AttributeEncoder,
+    GREASE_SYMBOL,
+    assert_schema_consistent,
+    attribute,
+    attributes_for,
+    entropy,
+    extract_flow_attributes,
+    mutual_information,
+    normalized_information_gain,
+    rank_attributes,
+    unique_value_count,
+)
+from repro.fingerprints import Provider, Transport
+from repro.trafficgen import generate_lab_dataset
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return generate_lab_dataset(seed=11, scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def yt_quic_samples(lab):
+    subset = lab.subset(provider=Provider.YOUTUBE,
+                        transport=Transport.QUIC)
+    samples, labels = [], []
+    for flow in subset:
+        values, _ = extract_flow_attributes(flow.packets)
+        samples.append(values)
+        labels.append(flow.platform_label)
+    return samples, labels
+
+
+class TestSchema:
+    def test_consistent(self):
+        assert_schema_consistent()
+
+    def test_62_attributes(self):
+        assert len(ATTRIBUTES) == 62
+
+    def test_labels_unique_and_ordered(self):
+        labels = [spec.label for spec in ATTRIBUTES]
+        assert len(set(labels)) == 62
+        assert labels[0] == "t1" and labels[-1] == "q20"
+
+    def test_lookup_by_name_and_label(self):
+        assert attribute("cipher_suites").label == "m3"
+        assert attribute("m3").name == "cipher_suites"
+        assert attribute("ttl").cost.value == "low"
+        assert attribute("tls_version").cost.value == "medium"
+        assert attribute("key_share").cost.value == "high"
+
+    def test_transport_applicability(self):
+        quic_names = {s.name for s in attributes_for(Transport.QUIC)}
+        tcp_names = {s.name for s in attributes_for(Transport.TCP)}
+        assert "tcp_mss" not in quic_names
+        assert "grease_quic_bit" not in tcp_names
+        assert "ttl" in quic_names and "ttl" in tcp_names
+
+
+class TestExtraction:
+    def test_tcp_flow_attributes(self, lab):
+        flow = next(f for f in lab if f.transport is Transport.TCP
+                    and f.platform_label == "windows_chrome")
+        values, record = extract_flow_attributes(flow.packets)
+        assert values["ttl"] == 128
+        assert values["tcp_syn"] == 1
+        assert values["tcp_ack"] == 0
+        assert values["tcp_mss"] in (1460, 1440)
+        assert values["tcp_window_size"] == 64240
+        assert values["handshake_length"] > 200
+        # length-kind: 1 + extension data length (5 bytes of list/type/
+        # length framing plus the hostname).
+        assert values["server_name"] == len(flow.sni) + 6
+        assert record.sni == flow.sni
+
+    def test_quic_flow_attributes(self, lab):
+        flow = next(f for f in lab if f.transport is Transport.QUIC
+                    and f.platform_label == "windows_chrome")
+        values, record = extract_flow_attributes(flow.packets)
+        assert values["ttl"] == 128
+        assert values["initial_max_data"] == 15728640
+        assert values["max_idle_timeout"] == 30000
+        assert "Chrome" in values["user_agent"]
+        assert values["quic_parameters"]
+        assert GREASE_SYMBOL in values["quic_parameters"]
+        assert "tcp_mss" not in values
+
+    def test_grease_folded_in_cipher_suites(self, lab):
+        flow = next(f for f in lab if f.platform_label == "windows_chrome"
+                    and f.transport is Transport.TCP)
+        values, _ = extract_flow_attributes(flow.packets)
+        assert values["cipher_suites"][0] == GREASE_SYMBOL
+        assert values["supported_groups"][0] == GREASE_SYMBOL
+
+    def test_firefox_quic_has_grease_quic_bit(self, lab):
+        flow = next(f for f in lab
+                    if f.platform_label == "windows_firefox"
+                    and f.transport is Transport.QUIC)
+        values, _ = extract_flow_attributes(flow.packets)
+        assert values["grease_quic_bit"] == 1
+        assert values["user_agent"] is None
+        assert values["google_version"] is None
+
+    def test_ps5_missing_tls13_machinery(self, lab):
+        flow = next(f for f in lab if f.platform_label == "ps5_nativeApp")
+        values, _ = extract_flow_attributes(flow.packets)
+        assert values["supported_versions"] == ()
+        assert values["key_share"] == ()
+        assert values["psk_key_exchange_modes"] is None
+
+    def test_empty_flow_rejected(self):
+        with pytest.raises(ParseError):
+            extract_flow_attributes([])
+
+
+class TestEncoder:
+    def test_fit_transform_shape(self, yt_quic_samples):
+        samples, labels = yt_quic_samples
+        encoder = AttributeEncoder(Transport.QUIC)
+        matrix = encoder.fit_transform(samples)
+        assert matrix.shape[0] == len(samples)
+        assert matrix.shape[1] == encoder.n_features
+        assert matrix.shape[1] > 60  # lists expand to slots
+
+    def test_absent_encodes_zero(self, yt_quic_samples):
+        samples, _ = yt_quic_samples
+        encoder = AttributeEncoder(Transport.QUIC).fit(samples)
+        # Firefox samples have no user_agent -> column value 0.
+        col = encoder.columns_for("user_agent")[0]
+        matrix = encoder.transform(samples)
+        firefox_rows = [i for i, s in enumerate(samples)
+                        if s["user_agent"] is None]
+        assert firefox_rows
+        assert all(matrix[i, col] == 0 for i in firefox_rows)
+
+    def test_unseen_value_maps_to_unknown(self, yt_quic_samples):
+        samples, _ = yt_quic_samples
+        encoder = AttributeEncoder(Transport.QUIC).fit(samples)
+        modified = dict(samples[0])
+        modified["user_agent"] = "TotallyNewAgent/1.0"
+        row = encoder.transform([modified])
+        col = encoder.columns_for("user_agent")[0]
+        assert row[0, col] == 1  # UNKNOWN_CODE
+
+    def test_list_positional_encoding(self, yt_quic_samples):
+        samples, _ = yt_quic_samples
+        encoder = AttributeEncoder(Transport.QUIC).fit(samples)
+        cols = encoder.columns_for("cipher_suites")
+        assert len(cols) >= 10
+        matrix = encoder.transform(samples)
+        # first slot is the GREASE symbol or a real suite; all encoded > 0
+        assert (matrix[:, cols[0]] > 0).all()
+
+    def test_columns_for_attributes_subset(self, yt_quic_samples):
+        samples, _ = yt_quic_samples
+        encoder = AttributeEncoder(Transport.QUIC).fit(samples)
+        subset_cols = encoder.columns_for_attributes(["ttl",
+                                                      "cipher_suites"])
+        assert len(subset_cols) == 1 + len(
+            encoder.columns_for("cipher_suites"))
+
+    def test_restricting_attribute_names(self, yt_quic_samples):
+        samples, _ = yt_quic_samples
+        encoder = AttributeEncoder(
+            Transport.QUIC, attribute_names=["ttl", "initial_max_data"])
+        matrix = encoder.fit_transform(samples)
+        assert matrix.shape[1] == 2
+
+    def test_tcp_attribute_rejected_for_quic(self):
+        with pytest.raises(DatasetError):
+            AttributeEncoder(Transport.QUIC, attribute_names=["tcp_mss"])
+
+    def test_requires_fit(self):
+        encoder = AttributeEncoder(Transport.TCP)
+        with pytest.raises(NotFittedError):
+            encoder.transform([])
+        with pytest.raises(DatasetError):
+            encoder.fit([])
+
+
+class TestInformationTheory:
+    def test_entropy_uniform(self):
+        assert entropy(["a", "b", "a", "b"]) == pytest.approx(1.0)
+
+    def test_entropy_degenerate(self):
+        assert entropy(["a"] * 10) == 0.0
+
+    def test_mi_perfect_dependence(self):
+        xs = ["u", "v", "u", "v", "w", "w"]
+        ys = ["A", "B", "A", "B", "C", "C"]
+        assert mutual_information(xs, ys) == pytest.approx(entropy(ys))
+
+    def test_mi_independence(self):
+        xs = ["u", "u", "v", "v"]
+        ys = ["A", "B", "A", "B"]
+        assert mutual_information(xs, ys) == pytest.approx(0.0, abs=1e-12)
+
+    def test_normalized_bounds(self):
+        xs = ["u", "v", "u", "w"]
+        ys = ["A", "B", "A", "B"]
+        assert 0.0 <= normalized_information_gain(xs, ys) <= 1.0
+
+    @given(st.lists(st.sampled_from("abc"), min_size=2, max_size=50))
+    def test_mi_with_self_is_entropy(self, xs):
+        assert mutual_information(xs, xs) == pytest.approx(entropy(xs))
+
+    @given(st.lists(st.tuples(st.sampled_from("ab"),
+                              st.sampled_from("xyz")),
+                    min_size=2, max_size=60))
+    def test_mi_symmetry(self, pairs):
+        xs = [p[0] for p in pairs]
+        ys = [p[1] for p in pairs]
+        assert mutual_information(xs, ys) == \
+            pytest.approx(mutual_information(ys, xs))
+
+
+class TestImportanceOnLabData:
+    def test_rank_attributes_scores(self, yt_quic_samples):
+        samples, labels = yt_quic_samples
+        ranked = rank_attributes(samples, labels, Transport.QUIC)
+        assert len(ranked) == 50
+        by_name = {imp.spec.name: imp for imp in ranked}
+        # The QUIC parameter *sets* differ strongly across families.
+        assert by_name["quic_parameters"].score > 0.2
+        # ttl should matter (device signal: windows 128 vs rest 64).
+        assert by_name["ttl"].score > 0.1
+        # tcp-only attributes are absent.
+        assert "tcp_mss" not in by_name
+
+    def test_unique_value_count(self, yt_quic_samples):
+        samples, _ = yt_quic_samples
+        assert unique_value_count(samples, "ttl") == 2  # 64 and 128
+        assert unique_value_count(samples, "handshake_length") > 2

@@ -1,0 +1,248 @@
+"""Tests for the platform fingerprint library and CHLO builders."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fingerprints import (
+    ALL_PLATFORMS,
+    DeviceClass,
+    DeviceType,
+    Provider,
+    SoftwareAgent,
+    TABLE1_FLOW_COUNTS,
+    Transport,
+    UserPlatform,
+    YOUTUBE_QUIC_PLATFORMS,
+    YOUTUBE_TCP_PLATFORMS,
+    assert_library_consistent,
+    build_client_hello,
+    build_transport_parameters,
+    detect_provider,
+    drift_profile,
+    get_profile,
+    get_unknown_profile,
+    supported_platforms,
+    transports_for,
+)
+from repro.quic import TransportParameters
+from repro.quic import transport_params as tp
+from repro.tls import constants as c
+from repro.util import SeededRNG
+
+
+class TestIdentityModel:
+    def test_seventeen_platforms(self):
+        assert len(ALL_PLATFORMS) == 17
+
+    def test_label_roundtrip(self):
+        for platform in ALL_PLATFORMS:
+            assert UserPlatform.from_label(platform.label) == platform
+
+    def test_device_classes(self):
+        assert DeviceType.WINDOWS.device_class is DeviceClass.PC
+        assert DeviceType.IOS.device_class is DeviceClass.MOBILE
+        assert DeviceType.PLAYSTATION.device_class is DeviceClass.TV
+
+    def test_agent_is_browser(self):
+        assert SoftwareAgent.CHROME.is_browser
+        assert not SoftwareAgent.NATIVE_APP.is_browser
+
+
+class TestSupportMatrix:
+    def test_library_consistent(self):
+        assert_library_consistent()
+
+    def test_table1_total_near_10k(self):
+        total = sum(TABLE1_FLOW_COUNTS.values())
+        assert 9000 < total < 11000  # "nearly 10,000 flows"
+
+    def test_provider_platform_counts(self):
+        assert len(supported_platforms(Provider.YOUTUBE)) == 15
+        assert len(supported_platforms(Provider.NETFLIX)) == 12
+        assert len(supported_platforms(Provider.DISNEY)) == 12
+        assert len(supported_platforms(Provider.AMAZON)) == 13
+
+    def test_youtube_transport_split(self):
+        assert len(YOUTUBE_QUIC_PLATFORMS) == 12  # Fig 12(a)
+        assert len(YOUTUBE_TCP_PLATFORMS) == 14   # Fig 12(b)
+
+    def test_android_native_youtube_is_quic_only(self):
+        platform = UserPlatform.from_label("android_nativeApp")
+        assert transports_for(platform, Provider.YOUTUBE) == \
+            (Transport.QUIC,)
+
+    def test_netflix_is_tcp_only(self):
+        for platform in supported_platforms(Provider.NETFLIX):
+            assert transports_for(platform, Provider.NETFLIX) == \
+                (Transport.TCP,)
+
+    def test_native_profile_missing_raises(self):
+        with pytest.raises(ConfigError):
+            get_profile(UserPlatform.from_label("windows_nativeApp"),
+                        Provider.YOUTUBE)
+
+
+class TestProfiles:
+    def test_windows_ttl_differs_from_apple(self):
+        win = get_profile(UserPlatform.from_label("windows_chrome"),
+                          Provider.YOUTUBE)
+        mac = get_profile(UserPlatform.from_label("macOS_chrome"),
+                          Provider.YOUTUBE)
+        assert win.tcp_stack.ttl == 128
+        assert mac.tcp_stack.ttl == 64
+
+    def test_firefox_has_record_size_limit_and_delegated_credentials(self):
+        prof = get_profile(UserPlatform.from_label("windows_firefox"),
+                           Provider.NETFLIX)
+        assert prof.tls_tcp.record_size_limit == 16385
+        assert prof.tls_tcp.delegated_credentials
+
+    def test_firefox_quic_has_grease_quic_bit(self):
+        prof = get_profile(UserPlatform.from_label("windows_firefox"),
+                           Provider.YOUTUBE)
+        assert "grease_quic_bit" in prof.quic.param_names()
+
+    def test_only_chromium_sends_google_params(self):
+        chrome = get_profile(UserPlatform.from_label("windows_chrome"),
+                             Provider.YOUTUBE)
+        firefox = get_profile(UserPlatform.from_label("windows_firefox"),
+                              Provider.YOUTUBE)
+        safari = get_profile(UserPlatform.from_label("macOS_safari"),
+                             Provider.YOUTUBE)
+        assert "user_agent" in chrome.quic.param_names()
+        assert "user_agent" not in firefox.quic.param_names()
+        assert "user_agent" not in safari.quic.param_names()
+
+    def test_ps5_is_tls12_era(self):
+        prof = get_profile(UserPlatform.from_label("ps5_nativeApp"),
+                           Provider.NETFLIX)
+        assert prof.tls_tcp.supported_versions == ()
+        assert prof.tls_tcp.key_share_groups == ()
+
+    def test_schannel_empty_session_id(self):
+        prof = get_profile(UserPlatform.from_label("windows_nativeApp"),
+                           Provider.NETFLIX)
+        assert prof.tls_tcp.session_id_length == 0
+        assert prof.tls_tcp.ec_point_formats == (0, 1, 2)
+
+    def test_unknown_profiles_exist(self):
+        for label in ("linux_chrome", "webOS_nativeApp"):
+            prof = get_unknown_profile(label, Provider.YOUTUBE)
+            assert prof.tcp_stack.ttl == 64
+        with pytest.raises(ConfigError):
+            get_unknown_profile("nokia_wap", Provider.YOUTUBE)
+
+
+class TestHelloBuilder:
+    def _profile(self, label="windows_chrome", provider=Provider.YOUTUBE):
+        return get_profile(UserPlatform.from_label(label), provider)
+
+    def test_grease_injected_for_chromium(self):
+        prof = self._profile()
+        hello = build_client_hello(prof.tls_tcp, "a.googlevideo.com",
+                                   SeededRNG(5))
+        from repro.tls import is_grease
+        assert is_grease(hello.cipher_suites[0])
+        assert is_grease(hello.supported_groups[0])
+        grease_exts = [e for e in hello.extensions if is_grease(e.type)]
+        assert len(grease_exts) == 2
+
+    def test_no_grease_for_firefox(self):
+        prof = self._profile("windows_firefox")
+        hello = build_client_hello(prof.tls_tcp, "a.googlevideo.com",
+                                   SeededRNG(5))
+        from repro.tls import is_grease
+        assert not any(is_grease(s) for s in hello.cipher_suites)
+
+    def test_chrome_order_randomized_across_sessions(self):
+        prof = self._profile()
+        orders = set()
+        for seed in range(8):
+            hello = build_client_hello(prof.tls_tcp, "a.googlevideo.com",
+                                       SeededRNG(seed))
+            # Compare the order of non-GREASE extension types.
+            from repro.tls import is_grease
+            orders.add(tuple(t for t in hello.extension_types
+                             if not is_grease(t)))
+        assert len(orders) > 3  # randomized per session
+
+    def test_firefox_order_stable(self):
+        prof = self._profile("windows_firefox")
+        orders = {
+            tuple(build_client_hello(prof.tls_tcp, "a.example.com",
+                                     SeededRNG(seed),
+                                     resumption=False).extension_types)
+            for seed in range(6)
+        }
+        assert len(orders) == 1
+
+    def test_resumption_adds_psk_last(self):
+        prof = self._profile("windows_firefox")
+        hello = build_client_hello(prof.tls_tcp, "a.example.com",
+                                   SeededRNG(2), resumption=True)
+        assert hello.extensions[-1].type == c.EXT_PRE_SHARED_KEY
+
+    def test_padding_hits_target(self):
+        prof = self._profile()
+        for seed in (1, 2, 3):
+            hello = build_client_hello(prof.tls_tcp,
+                                       "rr1---sn-xyz.googlevideo.com",
+                                       SeededRNG(seed), resumption=False)
+            assert hello.handshake_length + 4 == \
+                prof.tls_tcp.padding_target
+
+    def test_quic_transport_params_embedded_and_parse(self):
+        prof = self._profile()
+        rng = SeededRNG(4)
+        scid = rng.token_bytes(prof.quic.scid_length)
+        raw = build_transport_parameters(prof.quic, rng, scid)
+        hello = build_client_hello(prof.tls_quic, "a.googlevideo.com",
+                                   rng, quic_params=raw)
+        ext = hello.extension(c.EXT_QUIC_TRANSPORT_PARAMETERS)
+        assert ext is not None
+        params = TransportParameters.parse(ext.data)
+        assert params.get_varint(tp.TP_INITIAL_MAX_DATA) == 15728640
+        assert "Chrome" in params.get_utf8(tp.TP_USER_AGENT)
+
+
+class TestDrift:
+    def test_drift_changes_something(self):
+        prof = get_profile(UserPlatform.from_label("windows_chrome"),
+                           Provider.YOUTUBE)
+        drifted = drift_profile(prof, SeededRNG(9))
+        assert drifted != prof
+
+    def test_drift_deterministic(self):
+        prof = get_profile(UserPlatform.from_label("macOS_safari"),
+                           Provider.NETFLIX)
+        assert drift_profile(prof, SeededRNG(3)) == \
+            drift_profile(prof, SeededRNG(3))
+
+    def test_drift_preserves_quic_support(self):
+        prof = get_profile(UserPlatform.from_label("windows_firefox"),
+                           Provider.YOUTUBE)
+        drifted = drift_profile(prof, SeededRNG(11))
+        assert drifted.supports_quic()
+
+    def test_user_agent_version_bumped(self):
+        prof = get_profile(UserPlatform.from_label("windows_chrome"),
+                           Provider.YOUTUBE)
+        drifted = drift_profile(prof, SeededRNG(1))
+        ua = [p for p in drifted.quic.params if p.name == "user_agent"]
+        assert "121.0" in str(ua[0].value)
+
+
+class TestProviderDetection:
+    @pytest.mark.parametrize("sni,expected", [
+        ("rr4---sn-q4fl6n6r.googlevideo.com", Provider.YOUTUBE),
+        ("www.youtube.com", Provider.YOUTUBE),
+        ("ipv4-c012-ixp-syd1.1.oca.nflxvideo.net", Provider.NETFLIX),
+        ("vod-akc-oc3.media.dssott.com", Provider.DISNEY),
+        ("atv-ps.amazon.com", Provider.AMAZON),
+        ("www.primevideo.com", Provider.AMAZON),
+        ("example.com", None),
+        ("", None),
+        (None, None),
+    ])
+    def test_detect(self, sni, expected):
+        assert detect_provider(sni) is expected

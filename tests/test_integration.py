@@ -1,0 +1,142 @@
+"""End-to-end integration tests: generator -> pcap -> parser -> features
+-> classifier -> telemetry -> analysis, with no shortcuts."""
+
+import pytest
+
+from repro.features import extract_flow_attributes
+from repro.fingerprints import Provider, Transport
+from repro.ml import RandomForestClassifier, accuracy_score
+from repro.pipeline import (
+    ClassifierBank,
+    RealtimePipeline,
+    load_bank,
+    save_bank,
+)
+from repro.trafficgen import generate_lab_dataset
+from repro.trafficgen.pcapio import load_dataset, save_dataset
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return generate_lab_dataset(seed=55, scale=0.06)
+
+
+@pytest.fixture(scope="module")
+def bank(lab):
+    return ClassifierBank.train(
+        lab,
+        model_factory=lambda: RandomForestClassifier(
+            n_estimators=10, max_depth=18, max_features=34,
+            random_state=2))
+
+
+class TestPcapDatasetRoundtrip:
+    def test_save_load_preserves_everything(self, lab, tmp_path):
+        save_dataset(lab, tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        assert len(loaded) == len(lab)
+        assert loaded.composition() == lab.composition()
+        original = {(str(f.key), f.platform_label, f.bytes_down)
+                    for f in lab}
+        restored = {(str(f.key), f.platform_label, f.bytes_down)
+                    for f in loaded}
+        assert original == restored
+
+    def test_reimported_flows_classify_identically(self, lab, bank,
+                                                   tmp_path):
+        save_dataset(lab, tmp_path / "ds2")
+        loaded = load_dataset(tmp_path / "ds2")
+        by_key = {str(f.key): f for f in loaded}
+        for flow in list(lab)[:40]:
+            twin = by_key[str(flow.key)]
+            a, rec_a = extract_flow_attributes(flow.packets)
+            b, rec_b = extract_flow_attributes(twin.packets)
+            assert a == b
+            assert rec_a.transport == rec_b.transport
+
+    def test_missing_files_raise(self, tmp_path):
+        from repro.errors import DatasetError
+
+        with pytest.raises(DatasetError):
+            load_dataset(tmp_path / "void")
+
+
+class TestEndToEndAccuracy:
+    def test_train_on_disk_roundtripped_bank(self, lab, bank, tmp_path):
+        save_bank(bank, tmp_path / "bank")
+        restored = load_bank(tmp_path / "bank")
+        pipeline = RealtimePipeline(restored)
+        truth, predicted = [], []
+        for flow in lab:
+            record = pipeline.process_flow(flow)
+            assert record is not None
+            if record.prediction.platform is not None:
+                truth.append(flow.platform_label)
+                predicted.append(record.prediction.platform)
+        assert len(predicted) > len(list(lab)) * 0.5
+        assert accuracy_score(truth, predicted) > 0.9
+
+    def test_packet_mode_equals_flow_mode(self, lab, bank):
+        flows = [f for f in lab][:30]
+        flow_pipeline = RealtimePipeline(bank)
+        for flow in flows:
+            flow_pipeline.process_flow(flow)
+        packet_pipeline = RealtimePipeline(bank)
+        for flow in flows:
+            for packet in flow.packets:
+                packet_pipeline.process_packet(packet)
+        packet_pipeline.flush()
+        flow_preds = {str(r.key): r.prediction.platform
+                      for r in flow_pipeline.store}
+        packet_preds = {str(r.key): r.prediction.platform
+                        for r in packet_pipeline.store}
+        assert flow_preds == packet_preds
+
+    def test_provider_detection_routes_to_right_scenario(self, lab,
+                                                         bank):
+        pipeline = RealtimePipeline(bank)
+        for flow in list(lab)[:80]:
+            record = pipeline.process_flow(flow)
+            assert record.provider is flow.provider
+            assert record.transport is flow.transport
+
+
+class TestAdversarialInputs:
+    def test_random_udp_payloads_never_crash(self, bank):
+        from repro.net import make_udp_packet
+        from repro.util import SeededRNG
+
+        rng = SeededRNG(9)
+        pipeline = RealtimePipeline(bank)
+        for i in range(60):
+            payload = rng.token_bytes(rng.randint(1, 1400))
+            packet = make_udp_packet("10.0.0.1", "10.0.0.2",
+                                     40000 + i, 443, payload=payload)
+            pipeline.process_packet(packet)
+        pipeline.flush()
+        assert pipeline.counters.video_flows == 0
+
+    def test_truncated_chlo_tcp_flow_dropped(self, lab, bank):
+        from dataclasses import replace
+
+        flow = next(f for f in lab if f.transport is Transport.TCP)
+        chlo_packet = flow.packets[3]
+        broken = replace(chlo_packet, payload=chlo_packet.payload[:20])
+        pipeline = RealtimePipeline(bank)
+        for packet in (*flow.packets[:3], broken):
+            pipeline.process_packet(packet)
+        pipeline.flush()
+        assert pipeline.counters.video_flows == 0
+
+    def test_corrupted_quic_initial_dropped(self, lab, bank):
+        from dataclasses import replace
+
+        flow = next(f for f in lab if f.transport is Transport.QUIC)
+        initial = flow.packets[0]
+        corrupted_payload = bytearray(initial.payload)
+        corrupted_payload[-1] ^= 0xFF  # break the AEAD tag
+        broken = replace(initial, payload=bytes(corrupted_payload))
+        pipeline = RealtimePipeline(bank)
+        pipeline.process_packet(broken)
+        pipeline.flush()
+        assert pipeline.counters.video_flows == 0

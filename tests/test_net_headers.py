@@ -1,0 +1,185 @@
+"""Tests for Ethernet / IPv4 / TCP / UDP header build+parse."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.net import (
+    EthernetHeader,
+    IPv4Header,
+    TCPHeader,
+    UDPHeader,
+    internet_checksum,
+    ip_from_bytes,
+    ip_to_bytes,
+    mac_from_bytes,
+    mac_to_bytes,
+    mss_option,
+    sack_permitted_option,
+    timestamps_option,
+    window_scale_option,
+)
+
+
+class TestChecksum:
+    def test_rfc1071_example(self):
+        # Classic worked example: 0x0001f203f4f5f6f7 -> 0x220d complement.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert internet_checksum(data) == 0x220D
+
+    def test_odd_length_padding(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_verification_yields_zero(self):
+        data = bytes.fromhex("45000073000040004011")
+        csum = internet_checksum(data + bytes.fromhex("c0a80001c0a800c7"))
+        full = data + csum.to_bytes(2, "big") + \
+            bytes.fromhex("c0a80001c0a800c7")
+        assert internet_checksum(full) == 0
+
+
+class TestAddresses:
+    def test_ip_roundtrip(self):
+        assert ip_from_bytes(ip_to_bytes("192.168.1.254")) == "192.168.1.254"
+
+    def test_bad_ip_rejected(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "a.b.c.d", "300.0.0.1"):
+            with pytest.raises(ParseError):
+                ip_to_bytes(bad)
+
+    def test_mac_roundtrip(self):
+        assert mac_from_bytes(mac_to_bytes("aa:bb:cc:00:11:22")) == \
+            "aa:bb:cc:00:11:22"
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        header = EthernetHeader("02:00:00:00:00:0a", "02:00:00:00:00:0b",
+                                0x0800)
+        parsed, used = EthernetHeader.parse(header.to_bytes())
+        assert used == 14
+        assert parsed == header
+
+    def test_truncated(self):
+        with pytest.raises(ParseError):
+            EthernetHeader.parse(b"\x00" * 13)
+
+
+class TestIPv4:
+    def test_roundtrip(self):
+        header = IPv4Header(src="10.0.0.5", dst="142.250.70.78",
+                            protocol=6, ttl=128, tos=0x02,
+                            identification=0x1234)
+        raw = header.to_bytes(payload_length=100)
+        parsed, used = IPv4Header.parse(raw)
+        assert used == 20
+        assert parsed.src == "10.0.0.5"
+        assert parsed.dst == "142.250.70.78"
+        assert parsed.ttl == 128
+        assert parsed.protocol == 6
+        assert parsed.tos == 0x02
+        assert parsed.total_length == 120
+        assert parsed.identification == 0x1234
+
+    def test_checksum_validates(self):
+        raw = IPv4Header(src="1.2.3.4", dst="5.6.7.8",
+                         protocol=17).to_bytes(payload_length=8)
+        assert internet_checksum(raw) == 0
+
+    def test_ecn_property(self):
+        assert IPv4Header("1.1.1.1", "2.2.2.2", 6, tos=0x01).ecn == 1
+        assert IPv4Header("1.1.1.1", "2.2.2.2", 6, tos=0x02).ecn == 2
+
+    def test_rejects_ipv6(self):
+        raw = bytearray(IPv4Header("1.2.3.4", "5.6.7.8", 6).to_bytes(0))
+        raw[0] = (6 << 4) | 5
+        with pytest.raises(ParseError):
+            IPv4Header.parse(bytes(raw))
+
+    @given(ttl=st.integers(min_value=1, max_value=255))
+    def test_ttl_preserved(self, ttl):
+        raw = IPv4Header("10.0.0.1", "10.0.0.2", 6, ttl=ttl).to_bytes(0)
+        parsed, _ = IPv4Header.parse(raw)
+        assert parsed.ttl == ttl
+
+
+class TestTCP:
+    def _syn(self) -> TCPHeader:
+        return TCPHeader(
+            src_port=51000, dst_port=443, seq=0xDEADBEEF,
+            flag_syn=True, flag_ece=True, flag_cwr=True,
+            window=64240,
+            options=(mss_option(1460), sack_permitted_option(),
+                     window_scale_option(8), timestamps_option(12345)),
+        )
+
+    def test_syn_roundtrip(self):
+        header = self._syn()
+        raw = header.to_bytes("10.0.0.5", "142.250.70.78")
+        parsed, used = TCPHeader.parse(raw)
+        assert used % 4 == 0
+        assert parsed.src_port == 51000
+        assert parsed.dst_port == 443
+        assert parsed.flag_syn and parsed.flag_ece and parsed.flag_cwr
+        assert not parsed.flag_ack and not parsed.flag_fin
+        assert parsed.window == 64240
+        assert parsed.mss == 1460
+        assert parsed.window_scale == 8
+        assert parsed.sack_permitted
+
+    def test_option_accessors_absent(self):
+        header = TCPHeader(src_port=1, dst_port=2, flag_syn=True)
+        assert header.mss is None
+        assert header.window_scale is None
+        assert not header.sack_permitted
+
+    def test_payload_carried(self):
+        header = TCPHeader(src_port=1024, dst_port=443, flag_ack=True,
+                           flag_psh=True)
+        raw = header.to_bytes("10.0.0.1", "10.0.0.2", b"hello tls")
+        parsed, used = TCPHeader.parse(raw)
+        assert raw[used:] == b"hello tls"
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ParseError):
+            TCPHeader.parse(b"\x00" * 10)
+
+    def test_bad_option_length_rejected(self):
+        raw = bytearray(self._syn().to_bytes("1.1.1.1", "2.2.2.2"))
+        raw[20] = 2   # MSS kind
+        raw[21] = 99  # bogus length beyond options area
+        with pytest.raises(ParseError):
+            TCPHeader.parse(bytes(raw))
+
+    @given(
+        flags=st.lists(st.booleans(), min_size=8, max_size=8),
+        window=st.integers(min_value=0, max_value=65535),
+    )
+    def test_flags_roundtrip(self, flags, window):
+        header = TCPHeader(
+            src_port=1000, dst_port=2000,
+            flag_cwr=flags[0], flag_ece=flags[1], flag_urg=flags[2],
+            flag_ack=flags[3], flag_psh=flags[4], flag_rst=flags[5],
+            flag_syn=flags[6], flag_fin=flags[7], window=window,
+        )
+        parsed, _ = TCPHeader.parse(header.to_bytes("1.1.1.1", "2.2.2.2"))
+        assert (parsed.flag_cwr, parsed.flag_ece, parsed.flag_urg,
+                parsed.flag_ack, parsed.flag_psh, parsed.flag_rst,
+                parsed.flag_syn, parsed.flag_fin) == tuple(flags)
+        assert parsed.window == window
+
+
+class TestUDP:
+    def test_roundtrip(self):
+        header = UDPHeader(src_port=50000, dst_port=443)
+        raw = header.to_bytes("10.0.0.9", "172.217.0.1", b"quic initial")
+        parsed, used = UDPHeader.parse(raw)
+        assert used == 8
+        assert parsed.src_port == 50000
+        assert parsed.dst_port == 443
+        assert parsed.length == 8 + len(b"quic initial")
+
+    def test_truncated(self):
+        with pytest.raises(ParseError):
+            UDPHeader.parse(b"\x00" * 7)

@@ -1,0 +1,126 @@
+"""Adversarial/fuzz tests: every parser must fail *cleanly* — with
+ParseError or CryptoError, never an unhandled exception — on arbitrary
+or mutated bytes. A border-tap pipeline sees every kind of garbage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CryptoError, ParseError
+from repro.net import Packet, TCPHeader, UDPHeader, IPv4Header
+from repro.quic import (
+    TransportParameters,
+    decode_varint,
+    unprotect_client_initial,
+)
+from repro.tls import extract_handshake_payload
+from repro.tls.clienthello import ClientHello
+
+CLEAN_ERRORS = (ParseError, CryptoError)
+
+
+class TestRandomBytes:
+    @given(st.binary(max_size=200))
+    def test_packet_parser_never_crashes(self, data):
+        try:
+            Packet.from_bytes(data)
+        except CLEAN_ERRORS:
+            pass
+
+    @given(st.binary(max_size=120))
+    def test_tcp_parser_never_crashes(self, data):
+        try:
+            TCPHeader.parse(data)
+        except CLEAN_ERRORS:
+            pass
+
+    @given(st.binary(max_size=60))
+    def test_udp_parser_never_crashes(self, data):
+        try:
+            UDPHeader.parse(data)
+        except CLEAN_ERRORS:
+            pass
+
+    @given(st.binary(max_size=60))
+    def test_ipv4_parser_never_crashes(self, data):
+        try:
+            IPv4Header.parse(data)
+        except CLEAN_ERRORS:
+            pass
+
+    @given(st.binary(max_size=400))
+    def test_client_hello_parser_never_crashes(self, data):
+        try:
+            ClientHello.parse_handshake(data)
+        except CLEAN_ERRORS:
+            pass
+
+    @given(st.binary(max_size=400))
+    def test_record_layer_never_crashes(self, data):
+        try:
+            extract_handshake_payload(data)
+        except CLEAN_ERRORS:
+            pass
+
+    @given(st.binary(max_size=300))
+    def test_transport_params_never_crash(self, data):
+        try:
+            TransportParameters.parse(data)
+        except CLEAN_ERRORS:
+            pass
+
+    @given(st.binary(min_size=1, max_size=1500))
+    @settings(max_examples=40)
+    def test_quic_unprotect_never_crashes(self, data):
+        try:
+            unprotect_client_initial(data)
+        except CLEAN_ERRORS:
+            pass
+
+    @given(st.binary(max_size=12))
+    def test_varint_never_crashes(self, data):
+        try:
+            value, used = decode_varint(data)
+            assert 0 <= value < (1 << 62)
+            assert 0 < used <= len(data)
+        except CLEAN_ERRORS:
+            pass
+
+
+def _valid_hello_bytes() -> bytes:
+    from repro.fingerprints import Provider, UserPlatform, get_profile
+    from repro.fingerprints.specs import build_client_hello
+    from repro.util import SeededRNG
+
+    profile = get_profile(UserPlatform.from_label("windows_firefox"),
+                          Provider.NETFLIX)
+    hello = build_client_hello(profile.tls_tcp, "a.nflxvideo.net",
+                               SeededRNG(1), resumption=False)
+    return hello.to_handshake_bytes()
+
+
+class TestMutatedValidMessages:
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=0, max_value=255))
+    @settings(max_examples=120)
+    def test_single_byte_mutation_parses_or_fails_cleanly(self, pos,
+                                                          value):
+        data = bytearray(_valid_hello_bytes())
+        data[pos % len(data)] = value
+        try:
+            hello = ClientHello.parse_handshake(bytes(data))
+            # If it still parses, the invariants must hold.
+            assert len(hello.random) == 32
+            assert isinstance(hello.cipher_suites, tuple)
+        except CLEAN_ERRORS:
+            pass
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60)
+    def test_truncation_fails_cleanly(self, cut):
+        data = _valid_hello_bytes()
+        truncated = data[:cut % len(data)]
+        try:
+            ClientHello.parse_handshake(truncated)
+        except CLEAN_ERRORS:
+            pass

@@ -1,0 +1,238 @@
+"""Tests for the Fig 4 pipeline: bank, confidence selector, engine, store."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.fingerprints import Provider, Transport
+from repro.pipeline import (
+    ClassifierBank,
+    PlatformPrediction,
+    RealtimePipeline,
+    TelemetryStore,
+    scenario_data,
+    select_prediction,
+    split_platform_label,
+)
+from repro.trafficgen import CampusConfig, CampusWorkload, generate_lab_dataset
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return generate_lab_dataset(seed=21, scale=0.08)
+
+
+@pytest.fixture(scope="module")
+def bank(lab):
+    from repro.ml import RandomForestClassifier
+
+    return ClassifierBank.train(
+        lab,
+        model_factory=lambda: RandomForestClassifier(
+            n_estimators=8, max_depth=16, random_state=1),
+    )
+
+
+class TestConfidenceSelector:
+    def test_confident_composite(self):
+        pred = select_prediction("windows_chrome", 0.95,
+                                 "windows", 0.99, "chrome", 0.97)
+        assert pred.status == "classified"
+        assert pred.platform == "windows_chrome"
+        assert pred.device == "windows"
+        assert pred.agent == "chrome"
+
+    def test_partial_device_only(self):
+        pred = select_prediction("iOS_safari", 0.55,
+                                 "iOS", 0.92, "safari", 0.6)
+        assert pred.status == "partial"
+        assert pred.platform is None
+        assert pred.device == "iOS"
+        assert pred.agent is None
+
+    def test_partial_agent_only(self):
+        pred = select_prediction("iOS_safari", 0.55,
+                                 "iOS", 0.6, "safari", 0.85)
+        assert pred.status == "partial"
+        assert pred.agent == "safari"
+        assert pred.device is None
+
+    def test_unknown(self):
+        pred = select_prediction("iOS_safari", 0.5, "iOS", 0.5,
+                                 "safari", 0.5)
+        assert pred.status == "unknown"
+        assert pred.platform is None and pred.device is None
+
+    def test_threshold_boundary_inclusive(self):
+        pred = select_prediction("a_b", 0.8, "a", 0.1, "b", 0.1)
+        assert pred.status == "classified"
+
+    def test_split_platform_label(self):
+        assert split_platform_label("windows_chrome") == \
+            ("windows", "chrome")
+        assert split_platform_label("androidTV_nativeApp") == \
+            ("androidTV", "nativeApp")
+
+
+class TestClassifierBank:
+    def test_all_five_scenarios_trained(self, bank):
+        assert bank.has_scenario(Provider.YOUTUBE, Transport.QUIC)
+        assert bank.has_scenario(Provider.YOUTUBE, Transport.TCP)
+        assert bank.has_scenario(Provider.NETFLIX, Transport.TCP)
+        assert bank.has_scenario(Provider.DISNEY, Transport.TCP)
+        assert bank.has_scenario(Provider.AMAZON, Transport.TCP)
+        assert not bank.has_scenario(Provider.NETFLIX, Transport.QUIC)
+
+    def test_missing_scenario_raises(self, bank):
+        with pytest.raises(PipelineError):
+            bank.scenario(Provider.NETFLIX, Transport.QUIC)
+
+    def test_classify_training_flow_correctly(self, lab, bank):
+        from repro.features import extract_flow_attributes
+
+        flow = next(f for f in lab
+                    if f.platform_label == "windows_firefox"
+                    and f.provider is Provider.NETFLIX)
+        values, _ = extract_flow_attributes(flow.packets)
+        pred = bank.classify(Provider.NETFLIX, Transport.TCP, values)
+        assert pred.platform == "windows_firefox"
+        assert pred.status == "classified"
+
+    def test_training_set_accuracy_high(self, lab, bank):
+        data = scenario_data(lab, Provider.AMAZON, Transport.TCP)
+        scenario = bank.scenario(Provider.AMAZON, Transport.TCP)
+        rows = scenario.encoder.transform(data.samples)
+        preds = scenario.platform_model.predict(rows)
+        correct = sum(1 for p, t in zip(preds, data.platform_labels)
+                      if p == t)
+        assert correct / len(preds) > 0.9
+
+
+class TestRealtimePipelinePacketMode:
+    def test_packet_mode_classifies_and_accounts(self, lab, bank):
+        pipeline = RealtimePipeline(bank)
+        flows = [f for f in lab][:40]
+        for flow in flows:
+            for packet in flow.packets:
+                pipeline.process_packet(packet)
+        emitted = pipeline.flush()
+        assert emitted > 0
+        assert pipeline.counters.video_flows == emitted
+        assert len(pipeline.store) == emitted
+        # Telemetry accumulated some downstream payload bytes.
+        assert all(r.bytes_down > 0 for r in pipeline.store)
+
+    def test_packet_mode_ignores_non_443(self, bank):
+        from repro.net import TCPHeader, make_tcp_packet
+
+        pipeline = RealtimePipeline(bank)
+        packet = make_tcp_packet(
+            "10.0.0.1", "10.0.0.2",
+            TCPHeader(src_port=1234, dst_port=22, flag_syn=True))
+        pipeline.process_packet(packet)
+        assert pipeline.counters.flows == 0
+
+    def test_non_video_sni_filtered(self, bank):
+        from repro.fingerprints import get_profile, UserPlatform
+        from repro.trafficgen import FlowBuildRequest, FlowFactory
+        from repro.util import SeededRNG
+
+        factory = FlowFactory(SeededRNG(4))
+        profile = get_profile(UserPlatform.from_label("windows_chrome"),
+                              Provider.YOUTUBE)
+        flow = factory.build(FlowBuildRequest(
+            platform_label="windows_chrome", provider=Provider.YOUTUBE,
+            transport=Transport.TCP, profile=profile,
+            sni="www.wikipedia.org"))
+        pipeline = RealtimePipeline(bank)
+        for packet in flow.packets:
+            pipeline.process_packet(packet)
+        pipeline.flush()
+        assert pipeline.counters.non_video_flows == 1
+        assert pipeline.counters.video_flows == 0
+
+
+class TestRealtimePipelineFlowMode:
+    def test_flow_mode_on_lab_flows(self, lab, bank):
+        pipeline = RealtimePipeline(bank)
+        flows = [f for f in lab][:60]
+        n = pipeline.process_flows(flows)
+        assert n == 60
+        assert len(pipeline.store) == 60
+        record = pipeline.store.query()[0]
+        assert record.duration > 0
+        assert record.mean_mbps > 0
+
+    def test_flow_mode_campus_includes_unknowns(self, bank):
+        workload = CampusWorkload(CampusConfig(days=1,
+                                               sessions_per_day=60,
+                                               seed=17))
+        pipeline = RealtimePipeline(bank)
+        pipeline.process_flows(workload.flows())
+        statuses = {r.prediction.status for r in pipeline.store}
+        assert "classified" in statuses
+        # Unknown-platform flows should often land below the confidence
+        # bar (unknown or partial).
+        assert pipeline.counters.unknown + pipeline.counters.partial > 0
+
+    def test_management_flows_classified_too(self, lab, bank):
+        workload = CampusWorkload(CampusConfig(days=1,
+                                               sessions_per_day=10,
+                                               seed=2))
+        pipeline = RealtimePipeline(bank)
+        pipeline.process_flows(workload.flows())
+        roles = {r.role for r in pipeline.store}
+        assert "content" in roles
+
+
+class TestTelemetryStore:
+    def _record(self, provider=Provider.YOUTUBE, status="classified",
+                platform="windows_chrome", mbps=2.0, role="content"):
+        from repro.net import FlowKey
+        from repro.pipeline import TelemetryRecord
+
+        duration = 600.0
+        pred = PlatformPrediction(
+            status=status, platform=platform if status == "classified"
+            else None,
+            device=platform.split("_")[0] if status == "classified"
+            else None,
+            agent=platform.split("_")[1] if status == "classified"
+            else None,
+            confidence=0.9 if status == "classified" else 0.5,
+            device_confidence=0.9, agent_confidence=0.9)
+        return TelemetryRecord(
+            key=FlowKey(6, "10.0.0.1", 50000, "1.2.3.4", 443),
+            provider=provider, transport=Transport.TCP, role=role,
+            start_time=0.0, duration=duration,
+            bytes_down=int(mbps * duration * 1e6 / 8), bytes_up=1000,
+            prediction=pred)
+
+    def test_query_filters(self):
+        store = TelemetryStore()
+        store.add(self._record(Provider.YOUTUBE))
+        store.add(self._record(Provider.NETFLIX))
+        store.add(self._record(Provider.NETFLIX, status="unknown"))
+        assert len(store.query(provider=Provider.NETFLIX)) == 2
+        assert len(store.query(provider=Provider.NETFLIX,
+                               status="classified")) == 1
+        assert len(store.query(where=lambda r: r.mean_mbps > 1.0)) == 3
+
+    def test_group_by(self):
+        store = TelemetryStore()
+        store.add(self._record(platform="windows_chrome"))
+        store.add(self._record(platform="windows_chrome"))
+        store.add(self._record(platform="iOS_safari"))
+        groups = store.group_by(lambda r: r.platform_label)
+        assert len(groups["windows_chrome"]) == 2
+        assert len(groups["iOS_safari"]) == 1
+
+    def test_mbps_and_watch_hours(self):
+        record = self._record(mbps=4.0)
+        assert record.mean_mbps == pytest.approx(4.0)
+        assert record.watch_hours == pytest.approx(600 / 3600)
+
+    def test_classified_share(self):
+        store = TelemetryStore()
+        store.add(self._record())
+        store.add(self._record(status="unknown"))
+        assert store.classified_share() == 0.5

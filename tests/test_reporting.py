@@ -1,0 +1,108 @@
+"""Tests for reporting helpers, table rendering and the transcribed
+paper reference values."""
+
+import numpy as np
+import pytest
+
+from repro.fingerprints import Provider, Transport
+from repro.pipeline import SCENARIOS
+from repro.reporting import (
+    confusion_table,
+    hourly_series_table,
+    paper_values,
+    paper_vs_measured_table,
+)
+from repro.util import format_histogram, format_table
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        out = format_table(("a", "b"), [(1, 2), (3, 4)], title="T")
+        assert "T" in out
+        assert "| a" in out and "| 1" in out
+        assert out.count("\n") >= 5
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1, 2, 3)])
+
+    def test_alignment(self):
+        out = format_table(("n",), [(5,)], aligns=("right",))
+        assert "| n |" in out
+
+    def test_histogram(self):
+        out = format_histogram(["x", "yy"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].startswith("x ")
+        assert "#" * 10 in lines[1]
+
+    def test_histogram_zero_values(self):
+        out = format_histogram(["x"], [0.0])
+        assert "0" in out
+
+    def test_histogram_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_histogram(["x"], [1.0, 2.0])
+
+
+class TestRenderHelpers:
+    def test_paper_vs_measured(self):
+        out = paper_vs_measured_table("T", [("acc", 0.964, 0.951)])
+        assert "0.964" in out and "0.951" in out
+
+    def test_confusion_table_dots_for_zeros(self):
+        matrix = np.array([[10, 0], [1, 9]])
+        out = confusion_table(matrix, ["a", "b"], title="C")
+        assert "1.00" in out
+        assert "." in out
+
+    def test_hourly_series_table(self):
+        series = {"PC": list(range(24)), "Mobile": [0.5] * 24}
+        out = hourly_series_table(series, title="H")
+        assert out.count("\n") >= 26
+        assert "23" in out
+
+
+class TestPaperValues:
+    def test_table3_keys_are_valid_scenarios(self):
+        scenario_set = set(SCENARIOS)
+        for (provider, transport, objective) in \
+                paper_values.TABLE3_OPEN_SET:
+            assert (provider, transport) in scenario_set
+            assert objective in ("user_platform", "device_type",
+                                 "software_agent")
+
+    def test_table3_and_table4_cover_same_cells(self):
+        assert set(paper_values.TABLE3_OPEN_SET) == \
+            set(paper_values.TABLE4_CONFIDENCE)
+
+    def test_table4_correct_exceeds_incorrect(self):
+        for correct, incorrect in \
+                paper_values.TABLE4_CONFIDENCE.values():
+            assert correct > incorrect
+
+    def test_table6_rows_have_five_scenarios(self):
+        assert len(paper_values.TABLE6_SCENARIOS) == 5
+        for row in paper_values.TABLE6_BASELINES.values():
+            assert len(row) == 5
+
+    def test_ours_wins_every_scenario_in_paper(self):
+        ours = paper_values.TABLE6_BASELINES["ours"]
+        for name, row in paper_values.TABLE6_BASELINES.items():
+            if name == "ours":
+                continue
+            for our_value, their_value in zip(ours, row):
+                assert our_value > their_value
+
+    def test_model_comparison_rf_first(self):
+        comparison = paper_values.MODEL_COMPARISON_YT_QUIC
+        assert comparison["random_forest"] > comparison["mlp"]
+        assert comparison["random_forest"] > comparison["knn"]
+
+    def test_best_rf_config(self):
+        assert paper_values.BEST_RF_CONFIG["n_attributes"] == 34
+        assert paper_values.BEST_RF_CONFIG["max_depth"] == 20
+
+    def test_peak_windows_are_evening(self):
+        for provider, (lo, hi) in paper_values.PEAK_WINDOWS.items():
+            assert 16 <= lo < hi <= 24

@@ -1,0 +1,215 @@
+"""Tests for ClientHello build/parse and extension codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.tls import (
+    ClientHello,
+    Extension,
+    client_hello_records,
+    constants as c,
+    extensions as ext_codec,
+    parse_client_hello_records,
+    wrap_handshake_records,
+)
+
+
+def _chrome_like_hello(sni="www.youtube.com") -> ClientHello:
+    exts = (
+        ext_codec.build_server_name(sni),
+        ext_codec.Extension(c.EXT_EXTENDED_MASTER_SECRET),
+        ext_codec.build_renegotiation_info(),
+        ext_codec.build_supported_groups(
+            [c.GROUP_X25519, c.GROUP_SECP256R1, c.GROUP_SECP384R1]),
+        ext_codec.build_ec_point_formats([0]),
+        ext_codec.build_session_ticket(),
+        ext_codec.build_alpn(["h2", "http/1.1"]),
+        ext_codec.build_status_request(),
+        ext_codec.build_signature_algorithms([
+            c.SIG_ECDSA_SECP256R1_SHA256, c.SIG_RSA_PSS_RSAE_SHA256,
+            c.SIG_RSA_PKCS1_SHA256]),
+        ext_codec.build_signed_certificate_timestamp(),
+        ext_codec.build_key_share([(c.GROUP_X25519, bytes(32))]),
+        ext_codec.build_psk_key_exchange_modes([c.PSK_MODE_PSK_DHE_KE]),
+        ext_codec.build_supported_versions([c.TLS_1_3, c.TLS_1_2]),
+        ext_codec.build_compress_certificate([c.CERT_COMPRESSION_BROTLI]),
+        ext_codec.build_application_settings(["h2"]),
+        ext_codec.build_padding(190),
+    )
+    return ClientHello(
+        cipher_suites=(c.TLS_AES_128_GCM_SHA256, c.TLS_AES_256_GCM_SHA384,
+                       c.TLS_CHACHA20_POLY1305_SHA256,
+                       c.ECDHE_ECDSA_AES128_GCM, c.ECDHE_RSA_AES128_GCM),
+        extensions=exts,
+        session_id=bytes(range(32)),
+        random=bytes(reversed(range(32))),
+    )
+
+
+class TestClientHelloRoundtrip:
+    def test_handshake_roundtrip(self):
+        hello = _chrome_like_hello()
+        parsed = ClientHello.parse_handshake(hello.to_handshake_bytes())
+        assert parsed == hello
+
+    def test_record_roundtrip(self):
+        hello = _chrome_like_hello()
+        parsed = parse_client_hello_records(client_hello_records(hello))
+        assert parsed == hello
+
+    def test_multi_record_fragmentation(self):
+        hello = _chrome_like_hello()
+        records = wrap_handshake_records(hello.to_handshake_bytes(),
+                                         max_fragment=64)
+        assert parse_client_hello_records(records) == hello
+
+    def test_handshake_length_matches_wire(self):
+        hello = _chrome_like_hello()
+        wire = hello.to_handshake_bytes()
+        assert int.from_bytes(wire[1:4], "big") == hello.handshake_length
+
+    def test_extensions_length_matches_wire(self):
+        hello = _chrome_like_hello()
+        body = hello.body_bytes()
+        # extensions length field is the last 2-byte length before the
+        # extension list; re-parse and compare.
+        parsed = ClientHello.parse_handshake(hello.to_handshake_bytes())
+        assert parsed.extensions_length == hello.extensions_length
+        total_ext_bytes = sum(4 + len(e.data) for e in hello.extensions)
+        assert hello.extensions_length == total_ext_bytes
+        assert body.endswith(
+            hello.extensions[-1].to_bytes()
+        )
+
+
+class TestExtensionAccessors:
+    def test_sni(self):
+        assert _chrome_like_hello("media.netflix.com").server_name == \
+            "media.netflix.com"
+
+    def test_alpn(self):
+        assert _chrome_like_hello().alpn_protocols == ("h2", "http/1.1")
+
+    def test_groups_and_sigalgs(self):
+        hello = _chrome_like_hello()
+        assert hello.supported_groups[0] == c.GROUP_X25519
+        assert c.SIG_RSA_PSS_RSAE_SHA256 in hello.signature_algorithms
+
+    def test_supported_versions(self):
+        assert _chrome_like_hello().supported_versions == \
+            (c.TLS_1_3, c.TLS_1_2)
+
+    def test_key_share(self):
+        entries = _chrome_like_hello().key_share_entries
+        assert entries == ((c.GROUP_X25519, bytes(32)),)
+
+    def test_missing_extension_accessors(self):
+        hello = ClientHello(cipher_suites=(0x1301,))
+        assert hello.server_name is None
+        assert hello.alpn_protocols == ()
+        assert hello.supported_groups == ()
+        assert hello.key_share_entries == ()
+
+    def test_with_server_name_replaces_in_place(self):
+        hello = _chrome_like_hello("a.example.com")
+        updated = hello.with_server_name("b.example.com")
+        assert updated.server_name == "b.example.com"
+        assert updated.extension_types == hello.extension_types
+
+    def test_with_server_name_inserts_when_absent(self):
+        hello = ClientHello(cipher_suites=(0x1301,))
+        updated = hello.with_server_name("x.example.com")
+        assert updated.server_name == "x.example.com"
+
+
+class TestParseErrors:
+    def test_not_client_hello(self):
+        data = bytes([2]) + (4).to_bytes(3, "big") + bytes(4)
+        with pytest.raises(ParseError):
+            ClientHello.parse_handshake(data)
+
+    def test_truncated_body(self):
+        wire = _chrome_like_hello().to_handshake_bytes()
+        with pytest.raises(ParseError):
+            ClientHello.parse_handshake(wire[:-10])
+
+    def test_record_wrong_content_type(self):
+        records = bytearray(client_hello_records(_chrome_like_hello()))
+        records[0] = 23  # application_data
+        with pytest.raises(ParseError):
+            parse_client_hello_records(bytes(records))
+
+    def test_bad_random_length_rejected_on_build(self):
+        hello = ClientHello(cipher_suites=(0x1301,), random=bytes(31))
+        with pytest.raises(ParseError):
+            hello.to_handshake_bytes()
+
+    def test_trailing_garbage_rejected(self):
+        hello = _chrome_like_hello()
+        body = hello.body_bytes() + b"\x00"
+        wire = bytes([1]) + len(body).to_bytes(3, "big") + body
+        with pytest.raises(ParseError):
+            ClientHello.parse_handshake(wire)
+
+
+class TestCodecRoundtrips:
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF), max_size=20))
+    def test_supported_groups_roundtrip(self, groups):
+        ext = ext_codec.build_supported_groups(groups)
+        assert list(ext_codec.parse_supported_groups(ext)) == groups
+
+    @given(st.lists(
+        st.text(alphabet="abcdefgh123/.-", min_size=1, max_size=12),
+        max_size=6,
+    ))
+    def test_alpn_roundtrip(self, protocols):
+        ext = ext_codec.build_alpn(protocols)
+        assert list(ext_codec.parse_alpn(ext)) == protocols
+
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.binary(min_size=1, max_size=64),
+    ), max_size=4))
+    def test_key_share_roundtrip(self, entries):
+        ext = ext_codec.build_key_share(entries)
+        assert list(ext_codec.parse_key_share(ext)) == entries
+
+    @given(st.integers(min_value=64, max_value=65535))
+    def test_record_size_limit_roundtrip(self, limit):
+        ext = ext_codec.build_record_size_limit(limit)
+        assert ext_codec.parse_record_size_limit(ext) == limit
+
+    def test_pre_shared_key_shape(self):
+        ext = ext_codec.build_pre_shared_key(b"ticket-id" * 4, bytes(32))
+        assert ext.type == c.EXT_PRE_SHARED_KEY
+        assert len(ext.data) > 40
+
+
+class TestGrease:
+    def test_known_values(self):
+        from repro.tls import GREASE_VALUES, is_grease
+        assert 0x0A0A in GREASE_VALUES
+        assert 0xFAFA in GREASE_VALUES
+        assert len(GREASE_VALUES) == 16
+        for v in GREASE_VALUES:
+            assert is_grease(v)
+
+    def test_non_grease(self):
+        from repro.tls import is_grease
+        for v in (0x1301, 0x0017, 0x001D, 0xC02B, 0x0A0B, 0x1A0A):
+            assert not is_grease(v)
+
+    def test_random_grease_deterministic(self):
+        from repro.tls import random_grease
+        from repro.util import SeededRNG
+        assert random_grease(SeededRNG(7)) == random_grease(SeededRNG(7))
+
+    def test_quic_grease_param_id_reserved_form(self):
+        from repro.tls import grease_quic_transport_parameter_id
+        from repro.util import SeededRNG
+        rng = SeededRNG(3)
+        for _ in range(20):
+            value = grease_quic_transport_parameter_id(rng)
+            assert value % 31 == 27

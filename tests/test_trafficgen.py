@@ -1,0 +1,173 @@
+"""Tests for the lab/open-set/campus traffic generators."""
+
+import pytest
+
+from repro.fingerprints import Provider, Transport, UserPlatform
+from repro.net import PROTO_TCP, PROTO_UDP
+from repro.quic import unprotect_client_initial
+from repro.tls import parse_client_hello_records
+from repro.tls.clienthello import ClientHello
+from repro.trafficgen import (
+    CampusConfig,
+    CampusWorkload,
+    FlowDataset,
+    dataset_table1,
+    generate_lab_dataset,
+    generate_openset_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def small_lab() -> FlowDataset:
+    return generate_lab_dataset(seed=42, scale=0.04, name="test-lab")
+
+
+class TestLabDataset:
+    def test_composition_covers_all_cells(self, small_lab):
+        comp = small_lab.composition()
+        assert len(comp) == 52  # Table 1 non-dash cells
+        assert all(count >= 2 for count in comp.values())
+
+    def test_deterministic(self):
+        a = generate_lab_dataset(seed=9, scale=0.02)
+        b = generate_lab_dataset(seed=9, scale=0.02)
+        assert [f.platform_label for f in a] == \
+            [f.platform_label for f in b]
+        assert [f.packets[0].to_bytes() for f in list(a)[:10]] == \
+            [f.packets[0].to_bytes() for f in list(b)[:10]]
+
+    def test_different_seed_differs(self):
+        a = generate_lab_dataset(seed=1, scale=0.02)
+        b = generate_lab_dataset(seed=2, scale=0.02)
+        assert [f.packets[0].to_bytes() for f in list(a)[:20]] != \
+            [f.packets[0].to_bytes() for f in list(b)[:20]]
+
+    def test_tcp_flow_anatomy(self, small_lab):
+        flow = next(f for f in small_lab
+                    if f.transport is Transport.TCP)
+        syn = flow.packets[0]
+        assert syn.is_tcp and syn.tcp.flag_syn and not syn.tcp.flag_ack
+        synack = flow.packets[1]
+        assert synack.tcp.flag_syn and synack.tcp.flag_ack
+        chlo_packet = flow.packets[3]
+        hello = parse_client_hello_records(chlo_packet.payload)
+        assert hello.server_name == flow.sni
+
+    def test_quic_flow_anatomy(self, small_lab):
+        flow = next(f for f in small_lab
+                    if f.transport is Transport.QUIC)
+        initial = flow.packets[0]
+        assert initial.is_udp
+        assert initial.ip.protocol == PROTO_UDP
+        out = unprotect_client_initial(initial.payload)
+        hello = ClientHello.parse_handshake(out.crypto_stream)
+        assert hello.server_name == flow.sni
+        assert hello.alpn_protocols == ("h3",)
+
+    def test_windows_flows_have_ttl_128(self, small_lab):
+        for flow in small_lab:
+            first = flow.packets[0]
+            if flow.platform_label.startswith("windows"):
+                assert first.ip.ttl == 128
+            elif flow.platform_label.startswith(("macOS", "iOS")):
+                assert first.ip.ttl == 64
+
+    def test_netflix_only_tcp(self, small_lab):
+        nf = small_lab.subset(provider=Provider.NETFLIX)
+        assert len(nf) > 0
+        assert all(f.transport is Transport.TCP for f in nf)
+
+    def test_youtube_has_both_transports(self, small_lab):
+        yt = small_lab.subset(provider=Provider.YOUTUBE)
+        transports = {f.transport for f in yt}
+        assert transports == {Transport.TCP, Transport.QUIC}
+
+    def test_table1_rows(self, small_lab):
+        rows = dataset_table1(small_lab)
+        assert len(rows) == 52
+        assert all(isinstance(count, int) and count > 0
+                   for _, _, count in rows)
+
+    def test_flow_key_matches_packets(self, small_lab):
+        for flow in list(small_lab)[:30]:
+            first = flow.packets[0]
+            assert first.flow_key == flow.key
+            assert flow.key.protocol in (PROTO_TCP, PROTO_UDP)
+
+
+class TestOpensetDataset:
+    def test_generation_and_size(self):
+        ds = generate_openset_dataset(flows_per_pair=2)
+        assert len(ds) == 2 * 52
+
+    def test_differs_from_lab_fingerprints(self):
+        # The same platform/provider cells must produce (somewhere)
+        # different handshake fingerprints than the lab profiles, because
+        # of version drift.
+        def fingerprints(dataset):
+            out = {}
+            for f in dataset.subset(provider=Provider.NETFLIX,
+                                    transport=Transport.TCP):
+                hello = parse_client_hello_records(f.packets[3].payload)
+                out.setdefault(f.platform_label, set()).add((
+                    hello.handshake_length,
+                    hello.cipher_suites,
+                    hello.supported_groups,
+                    tuple(e.type for e in hello.extensions),
+                ))
+            return out
+
+        lab = fingerprints(generate_lab_dataset(seed=5, scale=0.02))
+        home = fingerprints(generate_openset_dataset(seed=5,
+                                                     flows_per_pair=3))
+        assert lab and home
+        differing = [
+            label for label in lab
+            if label in home and not (lab[label] & home[label])
+        ]
+        # At least a third of the platforms drifted visibly.
+        assert len(differing) >= len(lab) // 3
+
+
+class TestCampusWorkload:
+    def test_sessions_have_management_and_content(self):
+        workload = CampusWorkload(CampusConfig(days=1, sessions_per_day=20,
+                                               seed=3))
+        sessions = list(workload.sessions())
+        assert len(sessions) == 20
+        for session in sessions:
+            roles = [f.role for f in session.flows]
+            assert roles[0] == "management"
+            assert roles.count("content") >= 1
+
+    def test_flows_sorted_by_time(self):
+        workload = CampusWorkload(CampusConfig(days=1, sessions_per_day=25,
+                                               seed=4))
+        flows = list(workload.flows())
+        times = [f.start_time for f in flows]
+        assert times == sorted(times)
+
+    def test_unknown_platform_share(self):
+        workload = CampusWorkload(CampusConfig(days=1,
+                                               sessions_per_day=300,
+                                               seed=5))
+        sessions = list(workload.sessions())
+        unknown = sum(1 for s in sessions
+                      if s.platform_label.startswith(("linux", "webOS")))
+        assert 0.04 < unknown / len(sessions) < 0.25
+
+    def test_volume_positive_and_duration_consistent(self):
+        workload = CampusWorkload(CampusConfig(days=1, sessions_per_day=40,
+                                               seed=6))
+        for session in workload.sessions():
+            content = [f for f in session.flows if f.role == "content"]
+            assert all(f.bytes_down > 0 for f in content)
+            total = sum(f.duration for f in content)
+            assert total == pytest.approx(session.duration, rel=1e-6)
+
+    def test_deterministic(self):
+        flows_a = [f.sni for f in CampusWorkload(
+            CampusConfig(days=1, sessions_per_day=15, seed=8)).flows()]
+        flows_b = [f.sni for f in CampusWorkload(
+            CampusConfig(days=1, sessions_per_day=15, seed=8)).flows()]
+        assert flows_a == flows_b

@@ -1,0 +1,52 @@
+"""Tests for the util layer: seeded RNG determinism and forking."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import SeededRNG
+
+
+class TestSeededRNG:
+    def test_same_seed_same_stream(self):
+        a, b = SeededRNG(42), SeededRNG(42)
+        assert [a.randint(0, 100) for _ in range(20)] == \
+            [b.randint(0, 100) for _ in range(20)]
+        assert a.token_bytes(16) == b.token_bytes(16)
+
+    def test_fork_is_independent_of_parent_consumption(self):
+        parent_a = SeededRNG(1)
+        child_a = parent_a.fork("x")
+        parent_b = SeededRNG(1)
+        parent_b.randint(0, 10)  # consume parent entropy first
+        child_b = parent_b.fork("x")
+        assert child_a.randint(0, 10**9) == child_b.randint(0, 10**9)
+
+    def test_fork_salts_differ(self):
+        parent = SeededRNG(7)
+        assert parent.fork("a").randint(0, 10**9) != \
+            parent.fork("b").randint(0, 10**9)
+
+    def test_weighted_choice_respects_zero_weight(self):
+        rng = SeededRNG(3)
+        picks = {rng.weighted_choice(["x", "y"], [1.0, 0.0])
+                 for _ in range(50)}
+        assert picks == {"x"}
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_bernoulli_bounds(self, seed):
+        rng = SeededRNG(seed)
+        assert rng.bernoulli(1.0) in (True, False)
+        assert not SeededRNG(seed).bernoulli(0.0)
+
+    def test_shuffle_deterministic(self):
+        items_a = list(range(10))
+        items_b = list(range(10))
+        SeededRNG(5).shuffle(items_a)
+        SeededRNG(5).shuffle(items_b)
+        assert items_a == items_b
+        assert sorted(items_a) == list(range(10))
+
+    def test_sample_without_replacement(self):
+        rng = SeededRNG(11)
+        out = rng.sample(list(range(100)), 10)
+        assert len(set(out)) == 10
