@@ -12,7 +12,7 @@ import time
 
 from conftest import emit
 
-from repro.pipeline import RealtimePipeline
+from repro.pipeline import RealtimePipeline, ShardedPipeline
 from repro.util import format_table
 
 
@@ -52,3 +52,109 @@ def test_pipeline_packet_throughput(benchmark, lab_dataset,
     # enough for the paper's "maximum of over 1000 concurrent video
     # flows" arrival regime.
     assert flow_rate > 100
+
+
+def test_batch_and_shard_throughput(benchmark, lab_dataset, trained_bank):
+    """Single-flow vs batched vs sharded classification rate.
+
+    The paper's VNF classifies in-line across cores; our lever in
+    Python is batching (one encoder + forest pass per scenario group)
+    and 5-tuple sharding (the multi-core partitioning shape). Two
+    comparisons are reported: the end-to-end pipeline (which still pays
+    per-flow TLS parsing and attribute extraction — the Amdahl floor)
+    and the classification path alone, where the batch win is pure.
+    The equivalence suite proves the fast paths byte-identical; this
+    bench proves them fast.
+    """
+    from repro.features.extract import (
+        extract_attributes,
+        parse_flow_handshake,
+    )
+    from repro.fingerprints.providers import detect_provider
+
+    flows = list(lab_dataset)[:500]
+    n = len(flows)
+
+    def run_variant(make_pipeline):
+        pipeline = make_pipeline()
+        start = time.perf_counter()
+        for flow in flows:
+            for packet in flow.packets:
+                pipeline.process_packet(packet)
+        pipeline.flush()
+        return pipeline, time.perf_counter() - start
+
+    def run_all():
+        # End-to-end packet mode, best-of-3 per variant to keep the
+        # ratio assertions off the noise floor.
+        single_runs = [run_variant(
+            lambda: RealtimePipeline(trained_bank, batch_size=1))
+            for _ in range(3)]
+        batched_runs = [run_variant(
+            lambda: RealtimePipeline(trained_bank, batch_size=128))
+            for _ in range(3)]
+        sharded_runs = [run_variant(
+            lambda: ShardedPipeline(trained_bank, num_shards=4,
+                                    batch_size=128))
+            for _ in range(3)]
+        single, t_single = min(single_runs, key=lambda r: r[1])
+        batched, t_batched = min(batched_runs, key=lambda r: r[1])
+        sharded, t_sharded = min(sharded_runs, key=lambda r: r[1])
+
+        # Classification path alone: the same parsed attributes pushed
+        # through the per-flow reference path vs one classify_batch.
+        items = []
+        for flow in flows:
+            record = parse_flow_handshake(flow.packets)
+            items.append((detect_provider(record.sni), record.transport,
+                          extract_attributes(record)))
+        t0 = time.perf_counter()
+        per_flow_preds = [trained_bank.classify(p, t, a)
+                          for p, t, a in items]
+        t1 = time.perf_counter()
+        batch_preds = trained_bank.classify_batch(items)
+        t2 = time.perf_counter()
+        assert batch_preds == per_flow_preds
+        return (single, t_single, batched, t_batched, sharded,
+                t_sharded, t1 - t0, t2 - t1)
+
+    (single, t_single, batched, t_batched, sharded, t_sharded,
+     t_cls_single, t_cls_batch) = \
+        benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    rate_single = n / t_single
+    rate_batched = n / t_batched
+    rate_sharded = n / t_sharded
+    rate_cls_single = n / t_cls_single
+    rate_cls_batch = n / t_cls_batch
+    emit("pipeline_batch_shard", format_table(
+        ("path", "flows/s", "speedup"),
+        [
+            ("end-to-end single-flow (batch_size=1)",
+             f"{rate_single:,.0f}", "1.0x"),
+            ("end-to-end batched (batch_size=128)",
+             f"{rate_batched:,.0f}",
+             f"{rate_batched / rate_single:.1f}x"),
+            ("end-to-end sharded 4x (batch_size=128)",
+             f"{rate_sharded:,.0f}",
+             f"{rate_sharded / rate_single:.1f}x"),
+            ("classify path, per-flow", f"{rate_cls_single:,.0f}",
+             "1.0x"),
+            ("classify path, batched", f"{rate_cls_batch:,.0f}",
+             f"{rate_cls_batch / rate_cls_single:.1f}x"),
+        ],
+        title="§5.1 — batched/sharded classification throughput"))
+
+    # All three paths classify the same corpus identically.
+    assert batched.counters == single.counters
+    assert sharded.counters == single.counters
+    # The batched classification path must deliver a real vectorization
+    # win over per-flow classification, not noise (typically ~8-14x;
+    # the 3x floor leaves room for loaded machines).
+    assert rate_cls_batch >= 3.0 * rate_cls_single
+    # End-to-end still pays per-flow TLS parsing/extraction (the Amdahl
+    # floor), and this bench runs on whatever hardware is at hand — so
+    # only guard against outright regression here; the measured
+    # speedups (~2.5-3x batched) live in the emitted table.
+    assert rate_batched >= 1.2 * rate_single
+    assert rate_sharded >= 1.0 * rate_single

@@ -35,6 +35,7 @@ from repro.net import PcapReader
 from repro.pipeline import (
     ClassifierBank,
     RealtimePipeline,
+    ShardedPipeline,
     load_bank,
     save_bank,
 )
@@ -77,9 +78,17 @@ def cmd_export_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_pipeline(bank, args: argparse.Namespace):
+    """Honor the batch/shard knobs shared by classify and campus."""
+    if args.shards > 1:
+        return ShardedPipeline(bank, num_shards=args.shards,
+                               batch_size=args.batch_size)
+    return RealtimePipeline(bank, batch_size=args.batch_size)
+
+
 def cmd_classify(args: argparse.Namespace) -> int:
     bank = load_bank(args.bank)
-    pipeline = RealtimePipeline(bank)
+    pipeline = _build_pipeline(bank, args)
     with PcapReader(args.pcap) as reader:
         for packet in reader.packets():
             pipeline.process_packet(packet)
@@ -100,13 +109,14 @@ def cmd_classify(args: argparse.Namespace) -> int:
          "conf"), rows,
         title=f"Classified {counters.video_flows} video flows "
               f"({counters.non_video_flows} non-video, "
-              f"{counters.parse_failures} unparseable)"))
+              f"{counters.parse_failures} unparseable, "
+              f"{counters.incomplete} incomplete)"))
     return 0
 
 
 def cmd_campus(args: argparse.Namespace) -> int:
     bank = load_bank(args.bank)
-    pipeline = RealtimePipeline(bank)
+    pipeline = _build_pipeline(bank, args)
     workload = CampusWorkload(CampusConfig(
         days=args.days, sessions_per_day=args.sessions, seed=args.seed))
     pipeline.process_flows(workload.flows())
@@ -158,6 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--pcap", required=True)
     classify.add_argument("--limit", type=int, default=20,
                           help="max rows to print")
+    _add_scaling_args(classify)
     classify.set_defaults(func=cmd_classify)
 
     campus = sub.add_parser("campus", help="simulate a campus deployment")
@@ -165,8 +176,28 @@ def build_parser() -> argparse.ArgumentParser:
     campus.add_argument("--days", type=int, default=1)
     campus.add_argument("--sessions", type=int, default=300)
     campus.add_argument("--seed", type=int, default=7)
+    _add_scaling_args(campus)
     campus.set_defaults(func=cmd_campus)
     return parser
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}")
+    return value
+
+
+def _add_scaling_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batch-size", type=_positive_int, default=64,
+        help="flows buffered per batched classification drain "
+             "(1 = classify each flow as its handshake parses)")
+    parser.add_argument(
+        "--shards", type=_positive_int, default=1,
+        help="worker pipelines partitioned by 5-tuple hash "
+             "(1 = single unsharded pipeline)")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -99,7 +99,7 @@ def _parse_tcp(packets: list[Packet]) -> HandshakeRecord:
     return HandshakeRecord(
         transport=Transport.TCP,
         init_packet_size=syn_packet.ip.total_length
-        or len(syn_packet.to_bytes()) - 14,
+        or syn_packet.wire_length - 14,
         ttl=syn_packet.ip.ttl,
         client_hello=hello,
         syn=syn_packet.tcp,
@@ -122,7 +122,7 @@ def _parse_quic(packets: list[Packet]) -> HandshakeRecord:
         return HandshakeRecord(
             transport=Transport.QUIC,
             init_packet_size=packet.ip.total_length
-            or len(packet.to_bytes()) - 14,
+            or packet.wire_length - 14,
             ttl=packet.ip.ttl,
             client_hello=hello,
             quic_params=params,

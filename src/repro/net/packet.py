@@ -55,6 +55,19 @@ class Packet:
         return FlowKey(self.ip.protocol, self.ip.src, self.src_port,
                        self.ip.dst, self.dst_port)
 
+    @property
+    def canonical_key_tuple(self) -> tuple[int, str, int, str, int]:
+        """The canonical 5-tuple as a plain tuple — what the realtime
+        flow table keys on (equals ``flow_key.canonical()`` field-wise,
+        without constructing FlowKey objects per packet)."""
+        ip = self.ip
+        layer = self.tcp if self.tcp is not None else self.udp
+        src, dst = ip.src, ip.dst
+        sp, dp = layer.src_port, layer.dst_port
+        if (src, sp) <= (dst, dp):
+            return (ip.protocol, src, sp, dst, dp)
+        return (ip.protocol, dst, dp, src, sp)
+
     def to_bytes(self) -> bytes:
         if self.tcp is not None:
             l4 = self.tcp.to_bytes(self.ip.src, self.ip.dst, self.payload)
@@ -65,9 +78,11 @@ class Packet:
 
     @property
     def wire_length(self) -> int:
-        """Total on-wire length in bytes (without recomputing checksums
-        when already serialized once; cheap helper for telemetry)."""
-        return len(self.to_bytes())
+        """Total on-wire length in bytes, computed from header sizes —
+        no serialization (and no checksum work) needed."""
+        l4 = self.tcp if self.tcp is not None else self.udp
+        return (14 + self.ip.header_length() + l4.header_length()
+                + len(self.payload))
 
     @classmethod
     def from_bytes(cls, data: bytes, timestamp: float = 0.0) -> "Packet":

@@ -143,6 +143,10 @@ class TCPHeader:
             raise ParseError("TCP options exceed 40 bytes")
         return raw
 
+    def header_length(self) -> int:
+        """Serialized header size (with padded options), sans payload."""
+        return MIN_HEADER_LEN + len(self._options_bytes())
+
     def to_bytes(self, src_ip: str, dst_ip: str, payload: bytes = b"") -> bytes:
         options = self._options_bytes()
         data_offset = (MIN_HEADER_LEN + len(options)) // 4

@@ -17,6 +17,9 @@ class UDPHeader:
     dst_port: int
     length: int = 0  # filled in by to_bytes
 
+    def header_length(self) -> int:
+        return HEADER_LEN
+
     def to_bytes(self, src_ip: str, dst_ip: str, payload: bytes = b"") -> bytes:
         length = HEADER_LEN + len(payload)
         header = bytearray()

@@ -21,6 +21,7 @@ from repro.pipeline.driftwatch import (
 )
 from repro.pipeline.engine import PipelineCounters, RealtimePipeline
 from repro.pipeline.persist import load_bank, save_bank
+from repro.pipeline.sharded import ShardedPipeline, shard_index
 from repro.pipeline.evaluate import (
     OpenSetResult,
     ScenarioData,
@@ -42,6 +43,7 @@ __all__ = [
     "RealtimePipeline",
     "SCENARIOS",
     "ScenarioData",
+    "ShardedPipeline",
     "TelemetryRecord",
     "TelemetryStore",
     "TrainedScenario",
@@ -51,5 +53,6 @@ __all__ = [
     "save_bank",
     "scenario_data",
     "select_prediction",
+    "shard_index",
     "split_platform_label",
 ]

@@ -71,21 +71,37 @@ class TrainedScenario:
         platform_proba = self.platform_model.predict_proba(rows)
         device_proba = self.device_model.predict_proba(rows)
         agent_proba = self.agent_model.predict_proba(rows)
+        n = len(rows)
+        p_idx = np.argmax(platform_proba, axis=1)
+        d_idx = np.argmax(device_proba, axis=1)
+        a_idx = np.argmax(agent_proba, axis=1)
+        row_idx = np.arange(n)
+        p_conf = platform_proba[row_idx, p_idx]
+        d_conf = device_proba[row_idx, d_idx]
+        a_conf = agent_proba[row_idx, a_idx]
         out = []
-        for i in range(len(rows)):
-            p_idx = int(np.argmax(platform_proba[i]))
-            d_idx = int(np.argmax(device_proba[i]))
-            a_idx = int(np.argmax(agent_proba[i]))
+        for i in range(n):
             out.append(select_prediction(
-                self.platform_model.classes_[p_idx],
-                float(platform_proba[i, p_idx]),
-                self.device_model.classes_[d_idx],
-                float(device_proba[i, d_idx]),
-                self.agent_model.classes_[a_idx],
-                float(agent_proba[i, a_idx]),
+                self.platform_model.classes_[int(p_idx[i])],
+                float(p_conf[i]),
+                self.device_model.classes_[int(d_idx[i])],
+                float(d_conf[i]),
+                self.agent_model.classes_[int(a_idx[i])],
+                float(a_conf[i]),
                 threshold=threshold,
             ))
         return out
+
+    def classify_attribute_batch(self, samples: list[dict],
+                                 threshold: float =
+                                 DEFAULT_CONFIDENCE_THRESHOLD
+                                 ) -> list[PlatformPrediction]:
+        """Encode a batch of attribute dicts once and classify the whole
+        matrix in one pass through the three forests."""
+        if not samples:
+            return []
+        rows = self.encoder.transform(samples)
+        return self.classify_rows(rows, threshold)
 
 
 class ClassifierBank:
@@ -161,3 +177,32 @@ class ClassifierBank:
                  ) -> PlatformPrediction:
         return self.scenario(provider, transport).classify_attributes(
             attributes, threshold)
+
+    def classify_batch(self, items: list[tuple[Provider, Transport, dict]],
+                       threshold: float = DEFAULT_CONFIDENCE_THRESHOLD
+                       ) -> list[PlatformPrediction]:
+        """Classify many flows at once, grouped by scenario.
+
+        ``items`` is a list of ``(provider, transport, attributes)``
+        triples in arrival order. Flows of the same (provider,
+        transport) scenario are encoded together in one matrix and run
+        through the three forests in one ``classify_rows`` call; results
+        come back in the input order. Every item must belong to a
+        trained scenario (the pipeline pre-filters with
+        :meth:`has_scenario`); an unknown scenario raises
+        :class:`PipelineError`, matching :meth:`classify`.
+        """
+        if not items:
+            return []
+        groups: dict[tuple[Provider, Transport], list[int]] = {}
+        for i, (provider, transport, _) in enumerate(items):
+            groups.setdefault((provider, transport), []).append(i)
+        out: list[PlatformPrediction | None] = [None] * len(items)
+        for key, indices in groups.items():
+            scenario = self.scenario(*key)
+            samples = [items[i][2] for i in indices]
+            predictions = scenario.classify_attribute_batch(
+                samples, threshold)
+            for i, prediction in zip(indices, predictions):
+                out[i] = prediction
+        return out

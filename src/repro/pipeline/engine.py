@@ -7,6 +7,15 @@ video flow of a known provider, the handshake attribute generator runs
 once the ClientHello is seen, the classifier bank predicts the platform,
 and volumetric telemetry accumulates per flow until the flow is flushed.
 
+Classification is *buffered*: a flow whose handshake has been parsed
+and filtered joins a pending queue, and whenever ``batch_size`` flows
+are waiting the queue drains through :meth:`ClassifierBank.classify_batch`
+— one encoder pass and one forest pass per (provider, transport)
+scenario instead of per flow. ``batch_size=1`` degenerates to the
+classic classify-at-parse-time behavior; any batch size produces
+byte-identical predictions, counters, and telemetry (the equivalence
+test suite holds the two paths together).
+
 Flow-summary mode (:meth:`process_flow`) classifies from the same real
 packets but takes the flow's total volume/duration from the generator's
 summary instead of observing every payload packet — the scale
@@ -17,7 +26,7 @@ packets in Python would add nothing to the measurement path under test).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.errors import CryptoError, ParseError
 from repro.features.extract import extract_attributes, parse_flow_handshake
@@ -47,6 +56,10 @@ class PipelineCounters:
     unknown: int = 0
     non_video_flows: int = 0
     parse_failures: int = 0
+    # Flows evicted before their handshake ever completed (truncated
+    # before _MAX_HANDSHAKE_PACKETS): distinct from parse_failures,
+    # which only counts flows whose 8 observed packets never parsed.
+    incomplete: int = 0
 
     def record(self, prediction: PlatformPrediction) -> None:
         if prediction.status == "classified":
@@ -55,6 +68,12 @@ class PipelineCounters:
             self.partial += 1
         else:
             self.unknown += 1
+
+    def merge(self, other: "PipelineCounters") -> None:
+        """Accumulate another counter set (shard aggregation)."""
+        for f in fields(self):
+            setattr(self, f.name,
+                    getattr(self, f.name) + getattr(other, f.name))
 
 
 @dataclass
@@ -74,15 +93,34 @@ class _FlowState:
 
 
 class RealtimePipeline:
+    """One packet-processing worker.
+
+    ``batch_size`` controls the classification buffer: 1 classifies each
+    flow the moment its handshake parses (the reference path); larger
+    values gather up to that many classification-ready flows and push
+    them through the vectorized batch path in one go. :meth:`flush` and
+    :meth:`flush_idle` always drain the buffer first, so no prediction
+    is ever lost to buffering.
+    """
+
     def __init__(self, bank: ClassifierBank,
                  store: TelemetryStore | None = None,
                  confidence_threshold: float =
-                 DEFAULT_CONFIDENCE_THRESHOLD):
+                 DEFAULT_CONFIDENCE_THRESHOLD,
+                 batch_size: int = 1):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.bank = bank
         self.store = store if store is not None else TelemetryStore()
         self.threshold = confidence_threshold
+        self.batch_size = batch_size
         self.counters = PipelineCounters()
-        self._flows: dict[FlowKey, _FlowState] = {}
+        # Keyed on the canonical 5-tuple as a plain tuple: tuple hashing
+        # is the per-packet hot path, FlowKey objects are only built
+        # once per flow (for telemetry).
+        self._flows: dict[tuple, _FlowState] = {}
+        self._pending: list[tuple[_FlowState, Provider, Transport, dict]] \
+            = []
 
     # -- packet mode -----------------------------------------------------------
 
@@ -90,10 +128,11 @@ class RealtimePipeline:
         self.counters.packets += 1
         if packet.dst_port != HTTPS_PORT and packet.src_port != HTTPS_PORT:
             return
-        key = packet.flow_key.canonical()
+        key = packet.canonical_key_tuple
         state = self._flows.get(key)
         if state is None:
-            state = _FlowState(key=key, first_seen=packet.timestamp,
+            state = _FlowState(key=FlowKey(*key),
+                               first_seen=packet.timestamp,
                                client_ip=self._client_ip(packet))
             self._flows[key] = state
             self.counters.flows += 1
@@ -104,10 +143,14 @@ class RealtimePipeline:
             state.bytes_up += payload_len
         else:
             state.bytes_down += payload_len
-        if state.not_video or state.prediction is not None:
+        if state.not_video or state.done_collecting:
             return
-        if not state.done_collecting:
-            state.handshake_packets.append(packet)
+        state.handshake_packets.append(packet)
+        # A payload-less packet (SYN, SYN-ACK, bare ACK) cannot complete
+        # a handshake the previous attempt couldn't parse — skip the
+        # reparse unless the flow just hit the parse-failure bar.
+        if payload_len or \
+                len(state.handshake_packets) >= _MAX_HANDSHAKE_PACKETS:
             self._try_classify(state)
 
     @staticmethod
@@ -137,15 +180,38 @@ class RealtimePipeline:
             self.counters.non_video_flows += 1
             return
         attributes = extract_attributes(record)
-        prediction = self.bank.classify(provider, record.transport,
-                                        attributes, self.threshold)
-        state.prediction = prediction
         state.handshake_packets.clear()
         self.counters.video_flows += 1
-        self.counters.record(prediction)
+        self._pending.append((state, provider, record.transport,
+                              attributes))
+        if len(self._pending) >= self.batch_size:
+            self.drain()
+
+    def drain(self) -> int:
+        """Classify every buffered flow through the batch path; returns
+        the number of predictions assigned."""
+        if not self._pending:
+            return 0
+        pending, self._pending = self._pending, []
+        items = [(provider, transport, attributes)
+                 for _, provider, transport, attributes in pending]
+        predictions = self.bank.classify_batch(items, self.threshold)
+        for (state, _, _, _), prediction in zip(pending, predictions):
+            state.prediction = prediction
+            self.counters.record(prediction)
+        return len(pending)
+
+    @property
+    def pending_classifications(self) -> int:
+        """Flows buffered for the next batch drain."""
+        return len(self._pending)
 
     def _emit(self, state: _FlowState, role: str) -> bool:
         if state.prediction is None:
+            if not state.not_video:
+                # Truncated before the handshake completed: never hit
+                # the 8-packet parse-failure bar, never classified.
+                self.counters.incomplete += 1
             return False
         duration = max(0.0, state.last_seen - state.first_seen)
         self.store.add(TelemetryRecord(
@@ -160,6 +226,7 @@ class RealtimePipeline:
     def flush(self, role: str = "content") -> int:
         """Finalize all live flows into telemetry records; returns the
         number of video-flow records emitted."""
+        self.drain()
         emitted = sum(1 for state in self._flows.values()
                       if self._emit(state, role))
         self._flows.clear()
@@ -170,6 +237,7 @@ class RealtimePipeline:
         """Finalize flows idle for ``idle_timeout`` seconds at time
         ``now`` — the flow-table eviction a long-running tap needs to
         bound its state. Returns emitted video-flow records."""
+        self.drain()
         emitted = 0
         expired = [key for key, state in self._flows.items()
                    if now - state.last_seen >= idle_timeout]
@@ -211,19 +279,73 @@ class RealtimePipeline:
                                         attributes, self.threshold)
         self.counters.video_flows += 1
         self.counters.record(prediction)
-        telemetry = TelemetryRecord(
-            key=flow.key, provider=provider, transport=record.transport,
+        telemetry = self._flow_record(flow, provider, record.transport,
+                                      prediction)
+        self.store.add(telemetry)
+        return telemetry
+
+    def _flow_record(self, flow: SyntheticFlow, provider: Provider,
+                     transport: Transport,
+                     prediction: PlatformPrediction) -> TelemetryRecord:
+        return TelemetryRecord(
+            key=flow.key, provider=provider, transport=transport,
             role=flow.role, start_time=flow.start_time,
             duration=flow.duration, bytes_down=flow.bytes_down,
             bytes_up=flow.bytes_up, prediction=prediction,
             session_id=flow.session_id,
         )
-        self.store.add(telemetry)
-        return telemetry
+
+    def _process_flow_batch(self, flows: list[SyntheticFlow]) -> int:
+        """Flow-summary counterpart of the packet-mode batch drain:
+        parse and filter each flow, then classify all survivors in one
+        :meth:`ClassifierBank.classify_batch` call."""
+        ready: list[tuple[SyntheticFlow, Provider, Transport, dict]] = []
+        for flow in flows:
+            self.counters.flows += 1
+            self.counters.packets += len(flow.packets)
+            try:
+                record = parse_flow_handshake(flow.packets)
+            except (ParseError, CryptoError):
+                self.counters.parse_failures += 1
+                continue
+            provider = detect_provider(record.sni)
+            if provider is None:
+                self.counters.non_video_flows += 1
+                continue
+            if not self.bank.has_scenario(provider, record.transport):
+                self.counters.non_video_flows += 1
+                continue
+            ready.append((flow, provider, record.transport,
+                          extract_attributes(record)))
+        if not ready:
+            return 0
+        items = [(provider, transport, attributes)
+                 for _, provider, transport, attributes in ready]
+        predictions = self.bank.classify_batch(items, self.threshold)
+        for (flow, provider, transport, _), prediction in zip(ready,
+                                                              predictions):
+            self.counters.video_flows += 1
+            self.counters.record(prediction)
+            self.store.add(self._flow_record(flow, provider, transport,
+                                             prediction))
+        return len(ready)
 
     def process_flows(self, flows) -> int:
+        """Run many flow summaries; with ``batch_size > 1`` the flows
+        ride the batch classification path in ``batch_size`` chunks."""
+        if self.batch_size <= 1:
+            count = 0
+            for flow in flows:
+                if self.process_flow(flow) is not None:
+                    count += 1
+            return count
         count = 0
+        batch: list[SyntheticFlow] = []
         for flow in flows:
-            if self.process_flow(flow) is not None:
-                count += 1
+            batch.append(flow)
+            if len(batch) >= self.batch_size:
+                count += self._process_flow_batch(batch)
+                batch = []
+        if batch:
+            count += self._process_flow_batch(batch)
         return count

@@ -1,0 +1,160 @@
+"""Sharded pipeline front-end: the multi-core shape of the paper's tap.
+
+The paper's DPDK deployment spreads a 20 Gbps tap across cores with
+RSS-style 5-tuple hashing; every packet of a flow — both directions —
+must land on the same core so the flow table never splits. This module
+reproduces that shape: a :class:`ShardedPipeline` owns K worker
+:class:`RealtimePipeline` instances and routes each packet by a stable
+hash of its *canonical* flow key, then merges the workers' counters and
+telemetry for the operator view.
+
+The hash is deliberately not Python's builtin ``hash`` (randomized per
+process): shard placement must be reproducible so captures replay
+identically across runs and machines.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.net.flow import FlowKey
+from repro.net.packet import Packet
+from repro.pipeline.bank import ClassifierBank
+from repro.pipeline.confidence import DEFAULT_CONFIDENCE_THRESHOLD
+from repro.pipeline.engine import PipelineCounters, RealtimePipeline
+from repro.pipeline.store import TelemetryStore
+from repro.trafficgen.session import SyntheticFlow
+
+
+def _shard_of_tuple(key: tuple, num_shards: int) -> int:
+    material = (f"{key[0]}|{key[1]}|{key[2]}|{key[3]}|"
+                f"{key[4]}").encode()
+    return zlib.crc32(material) % num_shards
+
+
+def shard_index(key: FlowKey, num_shards: int) -> int:
+    """Deterministic shard for a flow key.
+
+    Hashes the canonical (direction-independent) form, so a flow's
+    client->server and server->client packets always pick the same
+    shard.
+    """
+    canonical = key.canonical()
+    return _shard_of_tuple(
+        (canonical.protocol, canonical.src_ip, canonical.src_port,
+         canonical.dst_ip, canonical.dst_port), num_shards)
+
+
+class ShardedPipeline:
+    """K worker pipelines behind a 5-tuple hash dispatcher.
+
+    Each worker keeps its own flow table, classification buffer, and
+    telemetry store (no cross-shard locking — the property that lets a
+    real deployment pin one worker per core). ``counters`` and
+    ``telemetry`` merge the per-shard state on demand.
+    """
+
+    def __init__(self, bank: ClassifierBank, num_shards: int = 4,
+                 confidence_threshold: float =
+                 DEFAULT_CONFIDENCE_THRESHOLD,
+                 batch_size: int = 1):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+        self.shards: list[RealtimePipeline] = [
+            RealtimePipeline(bank, store=TelemetryStore(),
+                             confidence_threshold=confidence_threshold,
+                             batch_size=batch_size)
+            for _ in range(num_shards)
+        ]
+
+    def shard_for(self, key: FlowKey) -> int:
+        return shard_index(key, self.num_shards)
+
+    # -- packet mode -----------------------------------------------------------
+
+    def process_packet(self, packet: Packet) -> None:
+        shard = _shard_of_tuple(packet.canonical_key_tuple,
+                                self.num_shards)
+        self.shards[shard].process_packet(packet)
+
+    # -- flow-summary mode -----------------------------------------------------
+
+    def process_flow(self, flow: SyntheticFlow):
+        return self.shards[self.shard_for(flow.key)].process_flow(flow)
+
+    def process_flows(self, flows) -> int:
+        """Partition a flow stream across shards, draining each shard's
+        buffer through its (possibly batched) flow path as it fills —
+        the stream is never materialized, so memory stays
+        O(shards x batch_size) however large the corpus."""
+        buffers: list[list[SyntheticFlow]] = [
+            [] for _ in range(self.num_shards)]
+        count = 0
+        for flow in flows:
+            i = self.shard_for(flow.key)
+            buffers[i].append(flow)
+            if len(buffers[i]) >= self.shards[i].batch_size:
+                count += self.shards[i].process_flows(buffers[i])
+                buffers[i] = []
+        for shard, buffer in zip(self.shards, buffers):
+            if buffer:
+                count += shard.process_flows(buffer)
+        return count
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def drain(self) -> int:
+        return sum(shard.drain() for shard in self.shards)
+
+    def flush(self, role: str = "content") -> int:
+        return sum(shard.flush(role) for shard in self.shards)
+
+    def flush_idle(self, now: float, idle_timeout: float = 120.0,
+                   role: str = "content") -> int:
+        return sum(shard.flush_idle(now, idle_timeout, role)
+                   for shard in self.shards)
+
+    # -- merged views ----------------------------------------------------------
+
+    @property
+    def counters(self) -> PipelineCounters:
+        """Sum of all shard counters."""
+        merged = PipelineCounters()
+        for shard in self.shards:
+            merged.merge(shard.counters)
+        return merged
+
+    @property
+    def telemetry(self) -> TelemetryStore:
+        """All shards' records merged into one store, ordered by shard
+        then by emission order within the shard.
+
+        This is a fresh read-only snapshot built per access (an
+        O(records) merge) — records live in the per-shard stores, so
+        adding to the returned store affects nothing. Use
+        ``self.shards[i].store`` for the live per-shard stores.
+        """
+        merged = TelemetryStore()
+        for shard in self.shards:
+            merged.extend(shard.store)
+        return merged
+
+    # ``store`` lets report code read either pipeline flavor; same
+    # merged-snapshot semantics as ``telemetry``, not a live store.
+    @property
+    def store(self) -> TelemetryStore:
+        return self.telemetry
+
+    @property
+    def live_flows(self) -> int:
+        return sum(shard.live_flows for shard in self.shards)
+
+    @property
+    def pending_classifications(self) -> int:
+        return sum(shard.pending_classifications for shard in self.shards)
+
+    @property
+    def shard_loads(self) -> list[int]:
+        """Flows seen per shard — the balance a hash dispatcher gives."""
+        return [shard.counters.flows for shard in self.shards]

@@ -11,6 +11,7 @@ require.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 
 from repro.errors import ParseError
 from repro.tls import constants as c
@@ -53,12 +54,12 @@ class ClientHello:
         return (bytes([c.HANDSHAKE_TYPE_CLIENT_HELLO])
                 + len(body).to_bytes(3, "big") + body)
 
-    @property
+    @cached_property
     def handshake_length(self) -> int:
         """The uint24 length field value (attribute m1)."""
         return len(self.body_bytes())
 
-    @property
+    @cached_property
     def extensions_length(self) -> int:
         """Length of the serialized extensions block payload (m5)."""
         return len(serialize_extensions(self.extensions)) - 2
@@ -120,16 +121,21 @@ class ClientHello:
 
     # --- extension accessors --------------------------------------------
 
-    def extension(self, ext_type: int) -> Extension | None:
+    @cached_property
+    def _extension_index(self) -> dict[int, Extension]:
+        """First-occurrence index (duplicate types keep wire order)."""
+        index: dict[int, Extension] = {}
         for ext in self.extensions:
-            if ext.type == ext_type:
-                return ext
-        return None
+            index.setdefault(ext.type, ext)
+        return index
+
+    def extension(self, ext_type: int) -> Extension | None:
+        return self._extension_index.get(ext_type)
 
     def has_extension(self, ext_type: int) -> bool:
-        return self.extension(ext_type) is not None
+        return ext_type in self._extension_index
 
-    @property
+    @cached_property
     def extension_types(self) -> tuple[int, ...]:
         return tuple(ext.type for ext in self.extensions)
 

@@ -1,0 +1,7 @@
+"""Shared pytest configuration for the test suite."""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: performance smoke tests (deselect with -m 'not perf')")

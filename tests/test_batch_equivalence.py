@@ -1,0 +1,207 @@
+"""Equivalence suite: the batched classification path must be
+byte-identical to the per-flow reference path.
+
+Every fast path introduced for throughput — the packed-forest
+``predict_proba``, ``ClassifierBank.classify_batch``, and the buffered
+``RealtimePipeline`` — is held against the per-flow reference here:
+identical predictions (exact float equality), identical counters, and
+identical telemetry across all five scenarios, mixed providers,
+open-set platforms, and non-video flows. Future optimizations must keep
+these tests green; the reference path is the oracle.
+"""
+
+from itertools import chain, zip_longest
+
+import numpy as np
+import pytest
+
+from repro.features.extract import extract_attributes, parse_flow_handshake
+from repro.fingerprints import Provider, Transport, UserPlatform, get_profile
+from repro.fingerprints.providers import detect_provider
+from repro.ml import RandomForestClassifier
+from repro.pipeline import SCENARIOS, ClassifierBank, RealtimePipeline
+from repro.trafficgen import (
+    CampusConfig,
+    CampusWorkload,
+    FlowBuildRequest,
+    FlowFactory,
+    generate_lab_dataset,
+    generate_openset_dataset,
+)
+from repro.util import SeededRNG
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return generate_lab_dataset(seed=21, scale=0.08)
+
+
+@pytest.fixture(scope="module")
+def bank(lab):
+    return ClassifierBank.train(
+        lab,
+        model_factory=lambda: RandomForestClassifier(
+            n_estimators=8, max_depth=16, random_state=1),
+    )
+
+
+@pytest.fixture(scope="module")
+def mixed_flows(lab):
+    """Mixed-provider corpus: every scenario, open-set platforms, a
+    non-video flow, and a truncated flow."""
+    flows = list(lab)[::7][:120]  # stride through the provider blocks
+    flows += list(generate_openset_dataset(seed=5, flows_per_pair=2))[:20]
+    factory = FlowFactory(SeededRNG(4))
+    profile = get_profile(UserPlatform.from_label("windows_chrome"),
+                          Provider.YOUTUBE)
+    flows.append(factory.build(FlowBuildRequest(
+        platform_label="windows_chrome", provider=Provider.YOUTUBE,
+        transport=Transport.TCP, profile=profile,
+        sni="www.wikipedia.org")))
+    return flows
+
+
+def interleaved_packets(flows):
+    """Round-robin the flows' packets so flow state interleaves in the
+    flow table like a real tap."""
+    rows = zip_longest(*[flow.packets for flow in flows])
+    return [p for row in rows for p in row if p is not None]
+
+
+class TestForestEquivalence:
+    def test_packed_equals_reference(self, lab, bank):
+        for key in bank.scenarios:
+            scenario = bank.scenario(*key)
+            samples = []
+            for flow in lab.subset(provider=key[0], transport=key[1]):
+                record = parse_flow_handshake(flow.packets)
+                samples.append(extract_attributes(record))
+                if len(samples) >= 40:
+                    break
+            rows = scenario.encoder.transform(samples)
+            for model in (scenario.platform_model, scenario.device_model,
+                          scenario.agent_model):
+                packed = model.predict_proba(rows)
+                reference = model.predict_proba_reference(rows)
+                assert np.array_equal(packed, reference)
+
+    def test_batch_equals_row_by_row(self, lab, bank):
+        key = (Provider.NETFLIX, Transport.TCP)
+        scenario = bank.scenario(*key)
+        samples = []
+        for flow in lab.subset(provider=key[0], transport=key[1]):
+            samples.append(extract_attributes(
+                parse_flow_handshake(flow.packets)))
+            if len(samples) >= 30:
+                break
+        rows = scenario.encoder.transform(samples)
+        batch = scenario.platform_model.predict_proba(rows)
+        singles = np.vstack([
+            scenario.platform_model.predict_proba(rows[i:i + 1])
+            for i in range(len(rows))
+        ])
+        assert np.array_equal(batch, singles)
+
+
+class TestClassifyBatchEquivalence:
+    def _items(self, lab):
+        items = []
+        for flow in list(lab)[::5]:
+            record = parse_flow_handshake(flow.packets)
+            provider = detect_provider(record.sni)
+            items.append((provider, record.transport,
+                          extract_attributes(record)))
+        return items
+
+    def test_matches_per_flow_classify(self, lab, bank):
+        items = self._items(lab)
+        scenarios_hit = {(p, t) for p, t, _ in items}
+        assert scenarios_hit == set(SCENARIOS)  # all five scenarios
+        batch = bank.classify_batch(items)
+        reference = [bank.classify(p, t, a) for p, t, a in items]
+        assert batch == reference
+
+    def test_scenario_classify_rows_vs_attributes(self, lab, bank):
+        for key in bank.scenarios:
+            scenario = bank.scenario(*key)
+            samples = []
+            for flow in lab.subset(provider=key[0], transport=key[1]):
+                samples.append(extract_attributes(
+                    parse_flow_handshake(flow.packets)))
+                if len(samples) >= 20:
+                    break
+            rows = scenario.encoder.transform(samples)
+            batch = scenario.classify_rows(rows)
+            singles = [scenario.classify_attributes(s) for s in samples]
+            assert batch == singles
+
+    def test_empty_batch(self, bank):
+        assert bank.classify_batch([]) == []
+
+
+class TestPipelineBatchEquivalence:
+    def test_packet_mode_buffered_equals_reference(self, bank,
+                                                   mixed_flows):
+        packets = interleaved_packets(mixed_flows)
+        reference = RealtimePipeline(bank, batch_size=1)
+        buffered = RealtimePipeline(bank, batch_size=64)
+        for packet in packets:
+            reference.process_packet(packet)
+        for packet in packets:
+            buffered.process_packet(packet)
+        assert reference.flush() == buffered.flush()
+        assert buffered.counters == reference.counters
+        assert list(buffered.store) == list(reference.store)
+
+    @pytest.mark.parametrize("batch_size", [2, 7, 32, 1000])
+    def test_batch_size_invariant(self, bank, mixed_flows, batch_size):
+        packets = interleaved_packets(mixed_flows[:60])
+        reference = RealtimePipeline(bank, batch_size=1)
+        buffered = RealtimePipeline(bank, batch_size=batch_size)
+        for packet in packets:
+            reference.process_packet(packet)
+            buffered.process_packet(packet)
+        reference.flush()
+        buffered.flush()
+        assert buffered.counters == reference.counters
+        assert list(buffered.store) == list(reference.store)
+
+    def test_flush_drains_pending(self, bank, lab):
+        pipeline = RealtimePipeline(bank, batch_size=10_000)
+        flows = list(lab)[:30]
+        for packet in chain.from_iterable(f.packets for f in flows):
+            pipeline.process_packet(packet)
+        # Nothing classified yet — the buffer never filled.
+        assert pipeline.pending_classifications == len(flows)
+        assert pipeline.counters.classified == 0
+        emitted = pipeline.flush()
+        assert emitted == len(flows)
+        assert pipeline.pending_classifications == 0
+        assert (pipeline.counters.classified + pipeline.counters.partial
+                + pipeline.counters.unknown) == len(flows)
+
+    def test_explicit_drain(self, bank, lab):
+        pipeline = RealtimePipeline(bank, batch_size=10_000)
+        flows = list(lab)[:10]
+        for packet in chain.from_iterable(f.packets for f in flows):
+            pipeline.process_packet(packet)
+        assert pipeline.drain() == len(flows)
+        assert pipeline.drain() == 0  # idempotent when empty
+        assert pipeline.pending_classifications == 0
+
+    def test_flow_mode_batched_equals_reference(self, bank):
+        workload = CampusWorkload(CampusConfig(days=1,
+                                               sessions_per_day=50,
+                                               seed=17))
+        flows = list(workload.flows())
+        reference = RealtimePipeline(bank, batch_size=1)
+        batched = RealtimePipeline(bank, batch_size=32)
+        n_ref = reference.process_flows(flows)
+        n_bat = batched.process_flows(flows)
+        assert n_bat == n_ref
+        assert batched.counters == reference.counters
+        assert list(batched.store) == list(reference.store)
+
+    def test_bad_batch_size_rejected(self, bank):
+        with pytest.raises(ValueError):
+            RealtimePipeline(bank, batch_size=0)

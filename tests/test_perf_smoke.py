@@ -1,0 +1,57 @@
+"""Perf regression guard (marked ``perf``; deselect with -m "not perf").
+
+A vectorization regression in the packed forest, the batch encoder, or
+``classify_batch`` grouping would silently rot throughput while every
+functional test stays green. This smoke test pins the floor: on a
+500-flow corpus the batched classification path must not be slower than
+the per-flow path (in practice it is several times faster; the
+assertion only fails when batching genuinely regresses).
+"""
+
+import time
+
+import pytest
+
+from repro.features.extract import extract_attributes, parse_flow_handshake
+from repro.fingerprints.providers import detect_provider
+from repro.ml import RandomForestClassifier
+from repro.pipeline import ClassifierBank
+from repro.trafficgen import generate_lab_dataset
+
+
+@pytest.mark.perf
+def test_batched_classification_not_slower():
+    lab = generate_lab_dataset(seed=33, scale=0.06)
+    bank = ClassifierBank.train(
+        lab,
+        model_factory=lambda: RandomForestClassifier(
+            n_estimators=8, max_depth=16, random_state=1),
+    )
+    flows = list(lab)[:500]
+    assert len(flows) >= 400  # corpus sanity
+    items = []
+    for flow in flows:
+        record = parse_flow_handshake(flow.packets)
+        items.append((detect_provider(record.sni), record.transport,
+                      extract_attributes(record)))
+
+    bank.classify_batch(items)  # warm packed-forest caches
+
+    def time_single():
+        start = time.perf_counter()
+        predictions = [bank.classify(p, t, a) for p, t, a in items]
+        return time.perf_counter() - start, predictions
+
+    def time_batched():
+        start = time.perf_counter()
+        predictions = bank.classify_batch(items)
+        return time.perf_counter() - start, predictions
+
+    t_single, ref = min((time_single() for _ in range(3)),
+                        key=lambda r: r[0])
+    t_batched, batch = min((time_batched() for _ in range(3)),
+                           key=lambda r: r[0])
+    assert batch == ref  # perf must never come at the cost of fidelity
+    assert t_batched <= t_single, (
+        f"batched path slower than per-flow path: "
+        f"{t_batched:.3f}s vs {t_single:.3f}s over {len(items)} flows")

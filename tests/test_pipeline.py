@@ -131,6 +131,39 @@ class TestRealtimePipelinePacketMode:
         pipeline.process_packet(packet)
         assert pipeline.counters.flows == 0
 
+    def test_truncated_flow_counted_incomplete(self, lab, bank):
+        """A flow cut off before its handshake completes is not a parse
+        failure (it never reached the 8-packet bar) — it must surface as
+        ``incomplete`` at flush instead of vanishing silently."""
+        flow = next(iter(lab))
+        pipeline = RealtimePipeline(bank)
+        # SYN / SYN-ACK only: no ClientHello, fewer than 8 packets.
+        for packet in flow.packets[:2]:
+            pipeline.process_packet(packet)
+        emitted = pipeline.flush()
+        assert emitted == 0
+        assert pipeline.counters.incomplete == 1
+        assert pipeline.counters.parse_failures == 0
+        assert pipeline.counters.video_flows == 0
+        assert len(pipeline.store) == 0
+
+    def test_truncated_flow_incomplete_on_idle_eviction(self, lab, bank):
+        flow = next(iter(lab))
+        pipeline = RealtimePipeline(bank)
+        for packet in flow.packets[:2]:
+            pipeline.process_packet(packet)
+        assert pipeline.flush_idle(now=1e9, idle_timeout=1.0) == 0
+        assert pipeline.counters.incomplete == 1
+        assert pipeline.live_flows == 0
+
+    def test_complete_flows_not_counted_incomplete(self, lab, bank):
+        pipeline = RealtimePipeline(bank)
+        for flow in list(lab)[:20]:
+            for packet in flow.packets:
+                pipeline.process_packet(packet)
+        pipeline.flush()
+        assert pipeline.counters.incomplete == 0
+
     def test_non_video_sni_filtered(self, bank):
         from repro.fingerprints import get_profile, UserPlatform
         from repro.trafficgen import FlowBuildRequest, FlowFactory

@@ -1,0 +1,154 @@
+"""Tests for the sharded pipeline front-end.
+
+The invariants a multi-core tap needs: a flow's packets always land on
+one shard (both directions), the merged shard state equals the
+unsharded pipeline's, and idle eviction operates per shard.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.ml import RandomForestClassifier
+from repro.pipeline import ClassifierBank, RealtimePipeline, ShardedPipeline
+from repro.pipeline.sharded import _shard_of_tuple, shard_index
+from repro.trafficgen import generate_lab_dataset
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return generate_lab_dataset(seed=21, scale=0.08)
+
+
+@pytest.fixture(scope="module")
+def bank(lab):
+    return ClassifierBank.train(
+        lab,
+        model_factory=lambda: RandomForestClassifier(
+            n_estimators=8, max_depth=16, random_state=1),
+    )
+
+
+@pytest.fixture(scope="module")
+def mixed_flows(lab):
+    return list(lab)[::5][:150]
+
+
+def _sorted_records(store):
+    return sorted(store, key=lambda r: (str(r.key), r.start_time,
+                                        r.bytes_down))
+
+
+class TestShardPlacement:
+    def test_same_flow_same_shard(self, mixed_flows):
+        for flow in mixed_flows:
+            shards = {_shard_of_tuple(p.canonical_key_tuple, 4)
+                      for p in flow.packets}
+            assert len(shards) == 1
+
+    def test_direction_independent(self, mixed_flows):
+        for flow in mixed_flows[:40]:
+            key = flow.key
+            assert shard_index(key, 8) == shard_index(key.reversed(), 8)
+
+    def test_deterministic_across_calls(self, mixed_flows):
+        placements = [shard_index(f.key, 4) for f in mixed_flows]
+        assert placements == [shard_index(f.key, 4) for f in mixed_flows]
+
+    def test_packet_and_flow_key_paths_agree(self, mixed_flows):
+        for flow in mixed_flows[:40]:
+            from_packet = _shard_of_tuple(
+                flow.packets[0].canonical_key_tuple, 4)
+            assert from_packet == shard_index(flow.key, 4)
+
+    def test_canonical_tuple_pins_flowkey_canonical(self, mixed_flows):
+        """The fast tuple path duplicates FlowKey.canonical()'s ordering
+        rule; this pins the two implementations together so a change to
+        one cannot silently split flows across shards."""
+        from dataclasses import astuple
+
+        for flow in mixed_flows[:40]:
+            for packet in flow.packets:
+                assert packet.canonical_key_tuple == \
+                    astuple(packet.flow_key.canonical())
+
+    def test_all_shards_used(self, mixed_flows):
+        loads = [0] * 4
+        for flow in mixed_flows:
+            loads[shard_index(flow.key, 4)] += 1
+        assert all(load > 0 for load in loads)
+
+    def test_bad_shard_count_rejected(self, bank):
+        with pytest.raises(ValueError):
+            ShardedPipeline(bank, num_shards=0)
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("num_shards,batch_size", [(4, 1), (4, 32),
+                                                       (1, 16)])
+    def test_merged_counters_equal_unsharded(self, bank, mixed_flows,
+                                             num_shards, batch_size):
+        packets = [p for f in mixed_flows for p in f.packets]
+        unsharded = RealtimePipeline(bank, batch_size=batch_size)
+        sharded = ShardedPipeline(bank, num_shards=num_shards,
+                                  batch_size=batch_size)
+        for packet in packets:
+            unsharded.process_packet(packet)
+            sharded.process_packet(packet)
+        assert unsharded.flush() == sharded.flush()
+        assert sharded.counters == unsharded.counters
+        assert _sorted_records(sharded.telemetry) == \
+            _sorted_records(unsharded.store)
+
+    def test_flow_mode_merged_equals_unsharded(self, bank, mixed_flows):
+        unsharded = RealtimePipeline(bank, batch_size=16)
+        sharded = ShardedPipeline(bank, num_shards=4, batch_size=16)
+        n_unsharded = unsharded.process_flows(mixed_flows)
+        n_sharded = sharded.process_flows(mixed_flows)
+        assert n_sharded == n_unsharded
+        assert sharded.counters == unsharded.counters
+        assert _sorted_records(sharded.store) == \
+            _sorted_records(unsharded.store)
+
+    def test_shard_loads_sum_to_total(self, bank, mixed_flows):
+        sharded = ShardedPipeline(bank, num_shards=4)
+        for flow in mixed_flows:
+            for packet in flow.packets:
+                sharded.process_packet(packet)
+        assert sum(sharded.shard_loads) == sharded.counters.flows
+        assert sharded.counters.flows == len(mixed_flows)
+
+
+class TestShardedEviction:
+    def test_flush_idle_evicts_per_shard(self, bank, mixed_flows):
+        # Two flows on (ideally) different shards: one goes idle, one
+        # stays fresh — only the idle one's shard may evict.
+        old_flow, new_flow = mixed_flows[0], mixed_flows[1]
+        sharded = ShardedPipeline(bank, num_shards=4)
+        for packet in old_flow.packets:
+            sharded.process_packet(packet)
+        for packet in new_flow.packets:
+            sharded.process_packet(replace(packet,
+                                           timestamp=packet.timestamp
+                                           + 1000.0))
+        assert sharded.live_flows == 2
+        emitted = sharded.flush_idle(now=1000.0, idle_timeout=120.0)
+        assert emitted == 1
+        assert sharded.live_flows == 1
+        # The fresh flow survives on its own shard.
+        fresh_shard = sharded.shards[sharded.shard_for(new_flow.key)]
+        assert fresh_shard.live_flows == 1
+        idle_shard = sharded.shards[sharded.shard_for(old_flow.key)]
+        if idle_shard is not fresh_shard:
+            assert idle_shard.live_flows == 0
+
+    def test_flush_idle_drains_pending_first(self, bank, mixed_flows):
+        sharded = ShardedPipeline(bank, num_shards=2, batch_size=10_000)
+        for flow in mixed_flows[:20]:
+            for packet in flow.packets:
+                sharded.process_packet(packet)
+        assert sharded.pending_classifications == 20
+        emitted = sharded.flush_idle(now=1e9, idle_timeout=1.0)
+        assert emitted == 20
+        assert sharded.pending_classifications == 0
+        assert sharded.live_flows == 0
