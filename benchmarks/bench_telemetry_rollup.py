@@ -1,0 +1,113 @@
+"""Rollup engine vs full-scan telemetry as flow volume grows.
+
+The paper answers §5.2 with SQL aggregations over months of stored
+flow records; our full-scan analyses are O(flows) per query and the
+raw store is O(flows) resident. The rollup engine trades both for
+O(cells): this bench ingests a growing synthetic stream (fixed
+deployment window, so the cell population saturates while flows keep
+climbing) and reports, per volume step, the resident record/cell
+counts and the latency of the full Figs 7–11 query suite on each path.
+
+Expected shape: full-scan query time and resident records grow
+linearly with flows; rollup query time and resident cells go flat once
+every (bucket, label) combination has been seen.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.analysis import (
+    bandwidth_by_device,
+    excluded_share,
+    hourly_usage_gb,
+    watch_time_by_device,
+)
+from repro.pipeline import TelemetryStore
+from repro.telemetry import RollupConfig, RollupCube
+from repro.telemetry import queries as rollup_queries
+from repro.telemetry.simulate import synthesize_records
+
+VOLUME_STEPS = (8_000, 32_000, 128_000)
+WINDOW_DAYS = 7.0
+
+
+def _query_suite_full_scan(store):
+    watch_time_by_device(store)
+    bandwidth_by_device(store)
+    hourly_usage_gb(store)
+    excluded_share(store)
+
+
+def _query_suite_rollup(cube):
+    rollup_queries.watch_time_by_device(cube)
+    rollup_queries.bandwidth_by_device(cube)
+    rollup_queries.hourly_usage_gb(cube)
+    rollup_queries.excluded_share(cube)
+
+
+def test_rollup_vs_full_scan_scaling(benchmark):
+    records = synthesize_records(max(VOLUME_STEPS), seed=47,
+                                 days=WINDOW_DAYS)
+
+    def run():
+        store = TelemetryStore()
+        cube = RollupCube(RollupConfig(bucket_seconds=86400.0))
+        rows = []
+        done = 0
+        for target in VOLUME_STEPS:
+            chunk = records[done:target]
+            done = target
+            t0 = time.perf_counter()
+            store.extend(chunk)
+            t_store_ingest = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            cube.ingest_many(chunk)
+            t_cube_ingest = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            _query_suite_full_scan(store)
+            t_scan = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            _query_suite_rollup(cube)
+            t_rollup = time.perf_counter() - t0
+            rows.append((target, len(store), len(cube), t_store_ingest,
+                         t_cube_ingest, t_scan, t_rollup))
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    emit("telemetry_rollup", _render(rows))
+
+    # Memory: resident records grow O(flows); cells must not. With a
+    # fixed deployment window the cell population saturates — by the
+    # last volume step cells may grow only marginally while flows 4x.
+    (_, records_mid, cells_mid, *_), (flows_hi, records_hi, cells_hi,
+                                      *_rest) = rows[-2], rows[-1]
+    t_scan_hi, t_rollup_hi = rows[-1][5], rows[-1][6]
+    assert records_hi == flows_hi  # full scan retains every record
+    assert cells_hi <= 1.2 * cells_mid, (
+        f"cell population still growing: {cells_mid} -> {cells_hi}")
+    assert cells_hi < records_hi / 10
+    # Latency: at the top volume the O(cells) query suite must beat
+    # the O(flows) full scan outright.
+    assert t_rollup_hi < t_scan_hi, (
+        f"rollup queries ({t_rollup_hi:.4f}s) not faster than "
+        f"full scan ({t_scan_hi:.4f}s) at {flows_hi} flows")
+
+
+def _render(rows) -> str:
+    from repro.util import format_table
+
+    table_rows = [
+        (f"{flows:,}", f"{resident:,}", f"{cells:,}",
+         f"{t_si * 1e3:.1f}", f"{t_ci * 1e3:.1f}",
+         f"{t_scan * 1e3:.1f}", f"{t_roll * 1e3:.1f}",
+         f"{t_scan / t_roll:.0f}x")
+        for flows, resident, cells, t_si, t_ci, t_scan, t_roll in rows
+    ]
+    return format_table(
+        ("flows ingested", "resident records", "resident cells",
+         "store ingest ms", "rollup ingest ms", "full-scan query ms",
+         "rollup query ms", "query speedup"),
+        table_rows,
+        title="Telemetry rollup engine — O(cells) vs O(flows) "
+              f"({WINDOW_DAYS:.0f}-day window, daily buckets)")

@@ -48,5 +48,11 @@ def bandwidth_by_agent(store: TelemetryStore
 
 def median_mbps(store: TelemetryStore, provider: Provider,
                 device: str) -> float:
-    stats = bandwidth_by_device(store).get(provider, {}).get(device)
-    return stats["median"] if stats else 0.0
+    """Median Mbps of one (provider, device) cell — a single filtered
+    pass over the reliable records, not a full Fig 9 cube rebuild."""
+    values = [record.mean_mbps for record in reliable_records(store)
+              if record.provider is provider
+              and record.device_label == device]
+    if not values:
+        return 0.0
+    return box_stats(values)["median"]

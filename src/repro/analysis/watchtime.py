@@ -51,13 +51,24 @@ def total_watch_hours(store: TelemetryStore) -> float:
     return sum(r.watch_hours for r in reliable_records(store))
 
 
+MOBILE_DEVICES = ("android", "iOS")
+
+
 def mobile_share(store: TelemetryStore, provider: Provider) -> float:
     """Share of a provider's watch time on mobile devices (the paper:
-    up to 40% for YouTube, far less for subscription services)."""
-    by_device = watch_time_by_device(store).get(provider, {})
-    total = sum(by_device.values())
+    up to 40% for YouTube, far less for subscription services).
+
+    One pass over the provider's reliable records; the observation-day
+    normalization of the full Fig 7 aggregation cancels in the ratio.
+    """
+    total = 0.0
+    mobile = 0.0
+    for record in reliable_records(store):
+        if record.provider is not provider:
+            continue
+        total += record.watch_hours
+        if record.device_label in MOBILE_DEVICES:
+            mobile += record.watch_hours
     if total == 0:
         return 0.0
-    mobile = sum(hours for device, hours in by_device.items()
-                 if device in ("android", "iOS"))
     return mobile / total

@@ -8,7 +8,9 @@ Three operator-facing commands mirroring the paper's workflow:
   trained bank and print per-flow platform predictions;
 * ``campus`` — simulate campus days through the pipeline and print the
   §5.2 insight report;
-* ``export-dataset`` — write a synthetic lab dataset to pcap + labels.
+* ``export-dataset`` — write a synthetic lab dataset to pcap + labels;
+* ``report`` — render the §5.2 paper tables from a saved rollup
+  snapshot, without any raw records.
 
 Usage::
 
@@ -16,6 +18,9 @@ Usage::
     python -m repro.cli export-dataset --out dataset/ --scale 0.05
     python -m repro.cli classify --bank bank/ --pcap dataset/flows.pcap
     python -m repro.cli campus --bank bank/ --sessions 300
+    python -m repro.cli campus --bank bank/ --retention rollup \
+        --save-rollup rollup/
+    python -m repro.cli report --rollup rollup/
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from pathlib import Path
 from repro.analysis import (
     bandwidth_by_device,
     excluded_share,
+    peak_hours,
     watch_time_by_device,
 )
 from repro.fingerprints import Provider
@@ -34,11 +40,14 @@ from repro.ml import RandomForestClassifier
 from repro.net import PcapReader
 from repro.pipeline import (
     ClassifierBank,
+    RETENTION_MODES,
     RealtimePipeline,
     ShardedPipeline,
     load_bank,
     save_bank,
 )
+from repro.telemetry import load_rollup, save_rollup
+from repro.telemetry import queries as rollup_queries
 from repro.trafficgen import (
     CampusConfig,
     CampusWorkload,
@@ -79,14 +88,23 @@ def cmd_export_dataset(args: argparse.Namespace) -> int:
 
 
 def _build_pipeline(bank, args: argparse.Namespace):
-    """Honor the batch/shard knobs shared by classify and campus."""
+    """Honor the batch/shard/retention knobs shared by classify and
+    campus."""
     if args.shards > 1:
         return ShardedPipeline(bank, num_shards=args.shards,
-                               batch_size=args.batch_size)
-    return RealtimePipeline(bank, batch_size=args.batch_size)
+                               batch_size=args.batch_size,
+                               retention=args.retention)
+    return RealtimePipeline(bank, batch_size=args.batch_size,
+                            retention=args.retention)
 
 
 def cmd_classify(args: argparse.Namespace) -> int:
+    if args.retention == "rollup":
+        # The per-flow prediction table needs raw records; rollup
+        # cells only hold aggregates.
+        print("classify needs raw records for its per-flow table; "
+              "use --retention raw or both", file=sys.stderr)
+        return 2
     bank = load_bank(args.bank)
     pipeline = _build_pipeline(bank, args)
     with PcapReader(args.pcap) as reader:
@@ -115,16 +133,33 @@ def cmd_classify(args: argparse.Namespace) -> int:
 
 
 def cmd_campus(args: argparse.Namespace) -> int:
+    if args.save_rollup and args.retention == "raw":
+        print("--save-rollup requires --retention rollup or both",
+              file=sys.stderr)
+        return 2
     bank = load_bank(args.bank)
     pipeline = _build_pipeline(bank, args)
     workload = CampusWorkload(CampusConfig(
         days=args.days, sessions_per_day=args.sessions, seed=args.seed))
     pipeline.process_flows(workload.flows())
-    store = pipeline.store
-    print(f"{pipeline.counters.video_flows} video flows; "
-          f"{excluded_share(store):.0%} excluded as low-confidence\n")
-    by_device = watch_time_by_device(store)
-    bandwidth = bandwidth_by_device(store)
+    # Bind the merged cube once: on a sharded pipeline ``rollup`` is a
+    # fresh O(cells) merge per access.
+    cube = pipeline.rollup if args.retention != "raw" else None
+    if args.retention == "rollup":
+        # No raw records were retained: answer from the rollup cube.
+        excluded = rollup_queries.excluded_share(cube)
+        sessions = rollup_queries.distinct_sessions(cube)
+        by_device = rollup_queries.watch_time_by_device(cube)
+        bandwidth = rollup_queries.bandwidth_by_device(cube)
+    else:
+        store = pipeline.store
+        excluded = excluded_share(store)
+        sessions = store.distinct_sessions()
+        by_device = watch_time_by_device(store)
+        bandwidth = bandwidth_by_device(store)
+    print(f"{pipeline.counters.video_flows} video flows from "
+          f"{sessions} distinct sessions; "
+          f"{excluded:.0%} excluded as low-confidence\n")
     rows = []
     for provider in Provider:
         hours = sum(by_device.get(provider, {}).values())
@@ -137,6 +172,64 @@ def cmd_campus(args: argparse.Namespace) -> int:
     print(format_table(
         ("provider", "watch h/day", "hungriest device",
          "its median Mbps"), rows, title="Campus insight summary"))
+    if args.save_rollup:
+        save_rollup(cube, args.save_rollup)
+        print(f"\nSaved rollup snapshot ({len(cube)} cells) -> "
+              f"{args.save_rollup}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render the §5.2 tables from a rollup snapshot alone — what a
+    months-long ``retention=rollup`` deployment can answer after a
+    restart, with no raw records anywhere."""
+    cube = load_rollup(args.rollup)
+    excluded = rollup_queries.excluded_share(cube)
+    sessions = rollup_queries.distinct_sessions(cube)
+    print(f"Rollup snapshot: {cube.total_flows} flows in {len(cube)} "
+          f"cells from {sessions} distinct sessions; "
+          f"{excluded:.0%} of content flows excluded as low-confidence\n")
+
+    by_device = rollup_queries.watch_time_by_device(cube)
+    bandwidth = rollup_queries.bandwidth_by_device(cube)
+    hourly = rollup_queries.hourly_usage_gb(cube)
+    provider_rows = []
+    for provider in Provider:
+        per_device = by_device.get(provider, {})
+        hours = sum(per_device.values())
+        share = rollup_queries.mobile_share(cube, provider)
+        combined = [0.0] * 24
+        for series in hourly.get(provider, {}).values():
+            combined = [a + b for a, b in zip(combined, series)]
+        peaks = (",".join(f"{h:02d}" for h in peak_hours(combined))
+                 if any(combined) else "-")
+        provider_rows.append((
+            provider.short, f"{hours:.0f}", f"{share:.0%}", peaks))
+    print(format_table(
+        ("provider", "watch h/day", "mobile share", "peak hours"),
+        provider_rows, title="Figs 7/11 — engagement per provider"))
+    print()
+
+    device_rows = []
+    for provider in Provider:
+        per_device = sorted(by_device.get(provider, {}).items(),
+                            key=lambda kv: kv[1], reverse=True)
+        for device, hours in per_device[:args.limit]:
+            stats = bandwidth.get(provider, {}).get(device)
+            device_rows.append((
+                provider.short, device, f"{hours:.1f}",
+                f"{stats['median']:.1f}" if stats else "-",
+                f"{stats['iqr']:.1f}" if stats else "-",
+                # Classified-only, matching the row's other columns
+                # (both filtered by the §5.2 reliability contract).
+                str(rollup_queries.distinct_sessions(
+                    cube, provider=provider, device=device,
+                    role="content", status="classified")),
+            ))
+    print(format_table(
+        ("provider", "device", "watch h/day", "median Mbps",
+         "IQR Mbps", "sessions"), device_rows,
+        title="Figs 7/9 — per-device detail"))
     return 0
 
 
@@ -176,8 +269,20 @@ def build_parser() -> argparse.ArgumentParser:
     campus.add_argument("--days", type=int, default=1)
     campus.add_argument("--sessions", type=int, default=300)
     campus.add_argument("--seed", type=int, default=7)
+    campus.add_argument("--save-rollup", metavar="DIR",
+                        help="persist the rollup cube to DIR "
+                             "(requires --retention rollup|both)")
     _add_scaling_args(campus)
     campus.set_defaults(func=cmd_campus)
+
+    report = sub.add_parser(
+        "report", help="render §5.2 tables from a rollup snapshot")
+    report.add_argument("--rollup", required=True,
+                        help="rollup snapshot directory "
+                             "(from campus --save-rollup)")
+    report.add_argument("--limit", type=_positive_int, default=6,
+                        help="max devices listed per provider")
+    report.set_defaults(func=cmd_report)
     return parser
 
 
@@ -198,6 +303,10 @@ def _add_scaling_args(parser: argparse.ArgumentParser) -> None:
         "--shards", type=_positive_int, default=1,
         help="worker pipelines partitioned by 5-tuple hash "
              "(1 = single unsharded pipeline)")
+    parser.add_argument(
+        "--retention", choices=RETENTION_MODES, default="raw",
+        help="per-record retention: raw store, bounded-memory rollup "
+             "cube, or both")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -19,7 +19,11 @@ from repro.pipeline.driftwatch import (
     DriftReport,
     PageHinkley,
 )
-from repro.pipeline.engine import PipelineCounters, RealtimePipeline
+from repro.pipeline.engine import (
+    PipelineCounters,
+    RETENTION_MODES,
+    RealtimePipeline,
+)
 from repro.pipeline.persist import load_bank, save_bank
 from repro.pipeline.sharded import ShardedPipeline, shard_index
 from repro.pipeline.evaluate import (
@@ -40,6 +44,7 @@ __all__ = [
     "OpenSetResult",
     "PipelineCounters",
     "PlatformPrediction",
+    "RETENTION_MODES",
     "RealtimePipeline",
     "SCENARIOS",
     "ScenarioData",

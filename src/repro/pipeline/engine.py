@@ -45,6 +45,11 @@ from repro.trafficgen.session import SyntheticFlow
 HTTPS_PORT = 443
 _MAX_HANDSHAKE_PACKETS = 8
 
+# What the pipeline keeps per emitted telemetry record: raw records in
+# the store (the seed behavior and the §5.2 full-scan oracle), rollup
+# cells only (bounded memory for long deployments), or both.
+RETENTION_MODES = ("raw", "rollup", "both")
+
 
 @dataclass
 class PipelineCounters:
@@ -101,19 +106,43 @@ class RealtimePipeline:
     them through the vectorized batch path in one go. :meth:`flush` and
     :meth:`flush_idle` always drain the buffer first, so no prediction
     is ever lost to buffering.
+
+    ``retention`` controls what survives of each emitted telemetry
+    record: ``"raw"`` appends to the O(flows) store (seed behavior),
+    ``"rollup"`` folds into the O(cells) :class:`RollupCube` only, and
+    ``"both"`` does both — the configuration the rollup equivalence
+    suite uses to hold the two representations together.
     """
 
     def __init__(self, bank: ClassifierBank,
                  store: TelemetryStore | None = None,
                  confidence_threshold: float =
                  DEFAULT_CONFIDENCE_THRESHOLD,
-                 batch_size: int = 1):
+                 batch_size: int = 1,
+                 retention: str = "raw",
+                 rollup_config: "RollupConfig | None" = None):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if retention not in RETENTION_MODES:
+            raise ValueError(
+                f"retention must be one of {RETENTION_MODES}, "
+                f"got {retention!r}")
         self.bank = bank
         self.store = store if store is not None else TelemetryStore()
         self.threshold = confidence_threshold
         self.batch_size = batch_size
+        self.retention = retention
+        if retention == "raw":
+            self.rollup = None
+        else:
+            # Imported lazily: repro.telemetry's query layer reaches
+            # back into analysis/pipeline modules, and a module-level
+            # import here would make that a cycle.
+            from repro.telemetry.rollup import RollupConfig, RollupCube
+
+            self.rollup = RollupCube(rollup_config
+                                     if rollup_config is not None
+                                     else RollupConfig())
         self.counters = PipelineCounters()
         # Keyed on the canonical 5-tuple as a plain tuple: tuple hashing
         # is the per-packet hot path, FlowKey objects are only built
@@ -206,6 +235,14 @@ class RealtimePipeline:
         """Flows buffered for the next batch drain."""
         return len(self._pending)
 
+    def _record(self, record: TelemetryRecord) -> None:
+        """Route one emitted record into the configured retention
+        sinks: the raw store, the rollup cube, or both."""
+        if self.retention != "rollup":
+            self.store.add(record)
+        if self.rollup is not None:
+            self.rollup.ingest(record)
+
     def _emit(self, state: _FlowState, role: str) -> bool:
         if state.prediction is None:
             if not state.not_video:
@@ -214,7 +251,7 @@ class RealtimePipeline:
                 self.counters.incomplete += 1
             return False
         duration = max(0.0, state.last_seen - state.first_seen)
-        self.store.add(TelemetryRecord(
+        self._record(TelemetryRecord(
             key=state.key, provider=state.provider,
             transport=state.transport, role=role,
             start_time=state.first_seen, duration=duration,
@@ -281,7 +318,7 @@ class RealtimePipeline:
         self.counters.record(prediction)
         telemetry = self._flow_record(flow, provider, record.transport,
                                       prediction)
-        self.store.add(telemetry)
+        self._record(telemetry)
         return telemetry
 
     def _flow_record(self, flow: SyntheticFlow, provider: Provider,
@@ -326,8 +363,8 @@ class RealtimePipeline:
                                                               predictions):
             self.counters.video_flows += 1
             self.counters.record(prediction)
-            self.store.add(self._flow_record(flow, provider, transport,
-                                             prediction))
+            self._record(self._flow_record(flow, provider, transport,
+                                           prediction))
         return len(ready)
 
     def process_flows(self, flows) -> int:

@@ -57,14 +57,18 @@ class ShardedPipeline:
     def __init__(self, bank: ClassifierBank, num_shards: int = 4,
                  confidence_threshold: float =
                  DEFAULT_CONFIDENCE_THRESHOLD,
-                 batch_size: int = 1):
+                 batch_size: int = 1,
+                 retention: str = "raw",
+                 rollup_config=None):
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self.num_shards = num_shards
         self.shards: list[RealtimePipeline] = [
             RealtimePipeline(bank, store=TelemetryStore(),
                              confidence_threshold=confidence_threshold,
-                             batch_size=batch_size)
+                             batch_size=batch_size,
+                             retention=retention,
+                             rollup_config=rollup_config)
             for _ in range(num_shards)
         ]
 
@@ -145,6 +149,23 @@ class ShardedPipeline:
     @property
     def store(self) -> TelemetryStore:
         return self.telemetry
+
+    @property
+    def rollup(self):
+        """All shards' rollup cubes merged into one (or None when
+        ``retention="raw"``). Same merged-snapshot semantics as
+        ``telemetry``: a fresh O(cells) merge per access, exact for
+        every additive aggregate and order-independent by the rollup
+        merge contract. Use ``self.shards[i].rollup`` for the live
+        per-shard cubes."""
+        if self.shards[0].rollup is None:
+            return None
+        from repro.telemetry.rollup import RollupCube
+
+        merged = RollupCube(self.shards[0].rollup.config)
+        for shard in self.shards:
+            merged.merge_from(shard.rollup)
+        return merged
 
     @property
     def live_flows(self) -> int:

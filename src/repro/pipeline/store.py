@@ -95,6 +95,15 @@ class TelemetryStore:
             groups[key(record)].append(record)
         return dict(groups)
 
+    def distinct_sessions(self, role: str | None = None) -> int:
+        """Distinct trafficgen session ids joined onto the records
+        (``session_id`` 0 means "no session" — packet-mode records —
+        and is never counted). Full-scan oracle for the rollup
+        engine's per-cell session sets."""
+        return len({r.session_id for r in self._records
+                    if r.session_id
+                    and (role is None or r.role == role)})
+
     def classified_share(self) -> float:
         if not self._records:
             return 0.0

@@ -1,0 +1,31 @@
+"""Streaming telemetry rollup engine (§5.2 at deployment scale).
+
+Bounded-memory longitudinal aggregation: a time-bucketed rollup cube
+keyed by (bucket, provider, transport, role, status, device, agent)
+holding additive counters, exact float sums, distinct-session sets and
+Greenwald–Khanna quantile sketches — ingested at pipeline flush time,
+mergeable across sharded workers, persistable across restarts, and
+queryable through rollup-backed re-implementations of the Figs 7–11
+analyses (``repro.telemetry.queries``).
+"""
+
+from repro.telemetry.rollup import (
+    RollupCell,
+    RollupConfig,
+    RollupCube,
+    RollupKey,
+)
+from repro.telemetry.sketch import GKQuantileSketch
+from repro.telemetry.snapshot import load_rollup, save_rollup
+from repro.telemetry.summing import ExactSum
+
+__all__ = [
+    "ExactSum",
+    "GKQuantileSketch",
+    "RollupCell",
+    "RollupConfig",
+    "RollupCube",
+    "RollupKey",
+    "load_rollup",
+    "save_rollup",
+]

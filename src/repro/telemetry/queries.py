@@ -1,0 +1,241 @@
+"""Figs 7–11 analyses over rollup cubes instead of raw records.
+
+Each function here mirrors one full-scan analysis in
+``repro.analysis`` — same signature shape, same return shape — but
+reads a :class:`RollupCube`, so query cost is O(cells) however many
+flows were ingested. The full-scan functions remain the equivalence
+oracle: additive aggregates (flow/byte counts, watch-time sums, the
+excluded-share ratio) reproduce the oracle up to float summation order
+(the rollup side is exactly summed; the oracle sums in stream order),
+and sketch-backed quantiles are rank-error-bounded per the GK contract.
+
+Reliability filtering matches §5.2: only ``role == "content"`` cells
+with ``status == "classified"`` feed the insight queries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.analysis.temporal import device_class_of
+from repro.analysis.watchtime import MOBILE_DEVICES
+from repro.fingerprints.model import DeviceClass, Provider
+from repro.telemetry.rollup import HOURS_PER_DAY, RollupCell, RollupCube, RollupKey
+from repro.telemetry.sketch import GKQuantileSketch
+from repro.telemetry.summing import ExactSum
+
+
+def _reliable_cells(cube: RollupCube, role: str = "content"
+                    ) -> list[tuple[RollupKey, RollupCell]]:
+    """Cells surviving the §5.2 confidence filter, in canonical key
+    order — sketch merges are order-sensitive within their rank bound,
+    so iterating canonically makes every query answer a function of
+    cube *state* alone, not of ingest or shard-merge history."""
+    return sorted(((key, cell) for key, cell in cube.items()
+                   if key.role == role and key.status == "classified"),
+                  key=lambda kv: kv[0].sort_key())
+
+
+def _observation_days(cells) -> float:
+    if not cells:
+        return 1.0
+    start = min(cell.min_start for _, cell in cells)
+    end = max(cell.max_end for _, cell in cells)
+    return max(1.0, (end - start) / 86400.0)
+
+
+def sketch_box_stats(sketch: GKQuantileSketch) -> dict[str, float]:
+    """Median/quartiles from a sketch, in ``ml.metrics.box_stats`` shape."""
+    if len(sketch) == 0:
+        return {"median": 0.0, "q1": 0.0, "q3": 0.0, "iqr": 0.0}
+    q1 = sketch.quantile(0.25)
+    median = sketch.quantile(0.5)
+    q3 = sketch.quantile(0.75)
+    return {"median": median, "q1": q1, "q3": q3, "iqr": q3 - q1}
+
+
+# -- Figs 7/8: watch time ----------------------------------------------------
+
+
+def watch_time_by_device(cube: RollupCube
+                         ) -> dict[Provider, dict[str, float]]:
+    """Fig 7: hours/day of watch time per (provider, device type)."""
+    cells = _reliable_cells(cube)
+    if not cells:
+        return {}
+    days = _observation_days(cells)
+    sums: dict[Provider, dict[str, ExactSum]] = defaultdict(dict)
+    for key, cell in cells:
+        slot = sums[key.provider].setdefault(key.device, ExactSum())
+        slot.merge(cell.watch_seconds)
+    return {provider: {device: acc.value / 3600.0 / days
+                       for device, acc in per_device.items()}
+            for provider, per_device in sums.items()}
+
+
+def watch_time_by_agent(cube: RollupCube
+                        ) -> dict[Provider, dict[tuple[str, str], float]]:
+    """Fig 8: hours/day per (provider, (device, agent))."""
+    cells = _reliable_cells(cube)
+    if not cells:
+        return {}
+    days = _observation_days(cells)
+    sums: dict[Provider, dict[tuple[str, str], ExactSum]] = defaultdict(dict)
+    for key, cell in cells:
+        slot = sums[key.provider].setdefault((key.device, key.agent),
+                                             ExactSum())
+        slot.merge(cell.watch_seconds)
+    return {provider: {pair: acc.value / 3600.0 / days
+                       for pair, acc in per_pair.items()}
+            for provider, per_pair in sums.items()}
+
+
+def total_watch_hours(cube: RollupCube) -> float:
+    acc = ExactSum()
+    for _, cell in _reliable_cells(cube):
+        acc.merge(cell.watch_seconds)
+    return acc.value / 3600.0
+
+
+def mobile_share(cube: RollupCube, provider: Provider) -> float:
+    """Share of a provider's watch time on mobile devices (the
+    observation-day normalization cancels in the ratio)."""
+    total = ExactSum()
+    mobile = ExactSum()
+    for key, cell in _reliable_cells(cube):
+        if key.provider is not provider:
+            continue
+        total.merge(cell.watch_seconds)
+        if key.device in MOBILE_DEVICES:
+            mobile.merge(cell.watch_seconds)
+    denominator = total.value
+    if denominator == 0:
+        return 0.0
+    return mobile.value / denominator
+
+
+# -- Figs 9/10: bandwidth ----------------------------------------------------
+
+
+def bandwidth_by_device(cube: RollupCube
+                        ) -> dict[Provider, dict[str, dict[str, float]]]:
+    """Fig 9: box stats of Mbps per (provider, device type)."""
+    merged: dict[Provider, dict[str, GKQuantileSketch]] = defaultdict(dict)
+    for key, cell in _reliable_cells(cube):
+        sketch = merged[key.provider].setdefault(
+            key.device, GKQuantileSketch(cube.config.epsilon))
+        sketch.merge(cell.mbps)
+    return {provider: {device: sketch_box_stats(sketch)
+                       for device, sketch in per_device.items()}
+            for provider, per_device in merged.items()}
+
+
+def bandwidth_by_agent(cube: RollupCube
+                       ) -> dict[Provider,
+                                 dict[tuple[str, str], dict[str, float]]]:
+    """Fig 10: box stats of Mbps per (provider, (device, agent))."""
+    merged: dict[Provider, dict[tuple[str, str], GKQuantileSketch]] = \
+        defaultdict(dict)
+    for key, cell in _reliable_cells(cube):
+        sketch = merged[key.provider].setdefault(
+            (key.device, key.agent), GKQuantileSketch(cube.config.epsilon))
+        sketch.merge(cell.mbps)
+    return {provider: {pair: sketch_box_stats(sketch)
+                       for pair, sketch in per_pair.items()}
+            for provider, per_pair in merged.items()}
+
+
+def median_mbps(cube: RollupCube, provider: Provider, device: str) -> float:
+    """Median Mbps of one (provider, device) cell."""
+    merged: GKQuantileSketch | None = None
+    for key, cell in _reliable_cells(cube):
+        if key.provider is not provider or key.device != device:
+            continue
+        if merged is None:
+            merged = GKQuantileSketch(cube.config.epsilon)
+        merged.merge(cell.mbps)
+    if merged is None or len(merged) == 0:
+        return 0.0
+    return merged.quantile(0.5)
+
+
+# -- Fig 11: temporal --------------------------------------------------------
+
+
+def hourly_usage_gb(cube: RollupCube
+                    ) -> dict[Provider, dict[DeviceClass, list[float]]]:
+    """Fig 11: average GB per hour-of-day per (provider, device class)."""
+    cells = _reliable_cells(cube)
+    if not cells:
+        return {}
+    start = min(cell.min_start for _, cell in cells)
+    end = max(cell.max_end for _, cell in cells)
+    n_days = max(1, int(np.ceil((end - start) / 86400.0)))
+
+    sums: dict[Provider, dict[DeviceClass, list[ExactSum]]] = \
+        defaultdict(dict)
+    for key, cell in cells:
+        device_class = device_class_of(key.device)
+        if device_class is None or cell.hourly_bytes is None:
+            continue
+        bins = sums[key.provider].setdefault(
+            device_class, [ExactSum() for _ in range(HOURS_PER_DAY)])
+        for acc, cell_bin in zip(bins, cell.hourly_bytes):
+            acc.merge(cell_bin)
+    return {provider: {dc: [acc.value / 1e9 / n_days for acc in bins]
+                       for dc, bins in per_class.items()}
+            for provider, per_class in sums.items()}
+
+
+# -- reliability + sessions --------------------------------------------------
+
+
+def excluded_share(cube: RollupCube, role: str = "content") -> float:
+    """Fraction of content flows excluded by the confidence filter
+    (exact: a ratio of integer counters)."""
+    total = 0
+    kept = 0
+    for key, cell in cube.items():
+        if key.role != role:
+            continue
+        total += cell.flows
+        if key.status == "classified":
+            kept += cell.flows
+    if total == 0:
+        return 0.0
+    return 1.0 - kept / total
+
+
+def classified_share(cube: RollupCube) -> float:
+    """Rollup counterpart of ``TelemetryStore.classified_share``."""
+    total = 0
+    kept = 0
+    for key, cell in cube.items():
+        total += cell.flows
+        if key.status == "classified":
+            kept += cell.flows
+    if total == 0:
+        return 0.0
+    return kept / total
+
+
+def distinct_sessions(cube: RollupCube, provider: Provider | None = None,
+                      device: str | None = None,
+                      role: str | None = None,
+                      status: str | None = None) -> int:
+    """Distinct trafficgen session ids across matching cells — the
+    per-cell session sets union exactly under shard merges."""
+    sessions: set[int] = set()
+    for key, cell in cube.items():
+        if provider is not None and key.provider is not provider:
+            continue
+        if device is not None and key.device != device:
+            continue
+        if role is not None and key.role != role:
+            continue
+        if status is not None and key.status != status:
+            continue
+        sessions |= cell.sessions
+    return len(sessions)

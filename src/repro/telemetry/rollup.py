@@ -1,0 +1,216 @@
+"""Bounded-memory longitudinal telemetry rollups.
+
+The paper lands every classified flow in PostgreSQL and answers the
+§5.2 platform-characterization questions with aggregation queries over
+months of records. Our :class:`~repro.pipeline.store.TelemetryStore`
+stand-in keeps raw records in a Python list, which grows O(flows) — a
+non-starter for the "months on a border tap" regime. This module keeps
+the §5.2 answers available in O(cells) memory instead: a
+:class:`RollupCube` ingests each :class:`TelemetryRecord` at pipeline
+flush time and folds it into a cell keyed by
+
+    (time bucket, provider, transport, role, status, device, agent)
+
+holding only additive state — flow/byte counters, an exact watch-second
+sum, min/max observation times, the distinct trafficgen session ids,
+a per-hour-of-day byte spread (Fig 11), and a Greenwald–Khanna sketch
+of per-flow mean Mbps (Figs 9–10 box stats).
+
+Cells are associative and commutative under :meth:`RollupCell.merge`,
+so the sharded pipeline's share-nothing workers each own a private cube
+and merge on demand — the same shape as PR 1's counter merge. Additive
+aggregates merge *exactly* (integer counters, exact float summation via
+:class:`ExactSum`, min/max); sketch quantiles stay within the GK rank
+bound. ``repro.telemetry.queries`` re-implements the Figs 7–11
+analyses over a cube, with the full-scan functions in
+``repro.analysis`` kept as the equivalence oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ItemsView, Iterator
+
+from repro.fingerprints.model import Provider, Transport
+from repro.telemetry.sketch import GKQuantileSketch
+from repro.telemetry.summing import ExactSum
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.pipeline.store import TelemetryRecord
+
+HOURS_PER_DAY = 24
+
+
+@dataclass(frozen=True)
+class RollupConfig:
+    """Knobs of the rollup engine.
+
+    ``bucket_seconds`` sets the longitudinal resolution (3600 = hourly
+    cells, 86400 = daily); ``epsilon`` the GK sketch rank-error bound.
+    """
+
+    bucket_seconds: float = 3600.0
+    epsilon: float = 0.01
+
+    def __post_init__(self):
+        if self.bucket_seconds <= 0:
+            raise ValueError(
+                f"bucket_seconds must be > 0, got {self.bucket_seconds}")
+        if not 0.0 < self.epsilon < 0.5:
+            raise ValueError(
+                f"epsilon must be in (0, 0.5), got {self.epsilon}")
+
+
+@dataclass(frozen=True)
+class RollupKey:
+    """Cell coordinates: one combination of time bucket and labels."""
+
+    bucket: int
+    provider: Provider
+    transport: Transport
+    role: str
+    status: str
+    device: str | None
+    agent: str | None
+
+    def sort_key(self) -> tuple:
+        return (self.bucket, self.provider.value, self.transport.value,
+                self.role, self.status, self.device or "", self.agent or "")
+
+
+class RollupCell:
+    """Additive aggregates plus a quantile sketch for one cell."""
+
+    __slots__ = ("flows", "bytes_down", "bytes_up", "watch_seconds",
+                 "min_start", "max_end", "sessions", "mbps",
+                 "hourly_bytes")
+
+    def __init__(self, epsilon: float):
+        self.flows = 0
+        self.bytes_down = 0
+        self.bytes_up = 0
+        self.watch_seconds = ExactSum()
+        self.min_start = math.inf
+        self.max_end = -math.inf
+        self.sessions: set[int] = set()
+        self.mbps = GKQuantileSketch(epsilon)
+        # 24 exact sums of downstream bytes spread over hour-of-day,
+        # allocated on the first positive-duration flow (Fig 11).
+        self.hourly_bytes: list[ExactSum] | None = None
+
+    def ingest(self, record: "TelemetryRecord") -> None:
+        self.flows += 1
+        self.bytes_down += record.bytes_down
+        self.bytes_up += record.bytes_up
+        self.watch_seconds.add(record.duration)
+        if record.start_time < self.min_start:
+            self.min_start = record.start_time
+        end = record.start_time + record.duration
+        if end > self.max_end:
+            self.max_end = end
+        if record.session_id:
+            self.sessions.add(record.session_id)
+        self.mbps.add(record.mean_mbps)
+        if record.duration > 0:
+            self._spread_hourly(record)
+
+    def _spread_hourly(self, record: "TelemetryRecord") -> None:
+        """Spread the flow's volume uniformly over the hours it spans —
+        the identical walk ``analysis.temporal.hourly_usage_gb`` does
+        per record, performed once at ingest instead of per query."""
+        if self.hourly_bytes is None:
+            self.hourly_bytes = [ExactSum() for _ in range(HOURS_PER_DAY)]
+        bytes_per_second = record.bytes_down / record.duration
+        t = record.start_time
+        remaining = record.duration
+        while remaining > 0:
+            hour_of_day = int((t % 86400) // 3600)
+            seconds_in_hour = min(remaining, 3600 - (t % 3600))
+            self.hourly_bytes[hour_of_day].add(
+                bytes_per_second * seconds_in_hour)
+            t += seconds_in_hour
+            remaining -= seconds_in_hour
+
+    def merge(self, other: "RollupCell") -> None:
+        """Fold ``other`` in; exact for every additive aggregate."""
+        self.flows += other.flows
+        self.bytes_down += other.bytes_down
+        self.bytes_up += other.bytes_up
+        self.watch_seconds.merge(other.watch_seconds)
+        if other.min_start < self.min_start:
+            self.min_start = other.min_start
+        if other.max_end > self.max_end:
+            self.max_end = other.max_end
+        self.sessions |= other.sessions
+        self.mbps.merge(other.mbps)
+        if other.hourly_bytes is not None:
+            if self.hourly_bytes is None:
+                self.hourly_bytes = [ExactSum()
+                                     for _ in range(HOURS_PER_DAY)]
+            for mine, theirs in zip(self.hourly_bytes, other.hourly_bytes):
+                mine.merge(theirs)
+
+
+class RollupCube:
+    """The time-bucketed rollup: a dict of cells, O(cells) resident.
+
+    ``ingest`` is the streaming hot path (called once per emitted
+    telemetry record); ``merge_from`` folds another cube in (sharded
+    workers); iteration and ``items()`` feed the query layer.
+    """
+
+    def __init__(self, config: RollupConfig | None = None):
+        self.config = config if config is not None else RollupConfig()
+        self._cells: dict[RollupKey, RollupCell] = {}
+
+    def key_for(self, record: "TelemetryRecord") -> RollupKey:
+        prediction = record.prediction
+        return RollupKey(
+            bucket=int(record.start_time // self.config.bucket_seconds),
+            provider=record.provider,
+            transport=record.transport,
+            role=record.role,
+            status=prediction.status,
+            device=prediction.device,
+            agent=prediction.agent,
+        )
+
+    def ingest(self, record: "TelemetryRecord") -> None:
+        key = self.key_for(record)
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = RollupCell(self.config.epsilon)
+            self._cells[key] = cell
+        cell.ingest(record)
+
+    def ingest_many(self, records) -> None:
+        for record in records:
+            self.ingest(record)
+
+    def merge_from(self, other: "RollupCube") -> None:
+        """Fold another cube in (must share bucket_seconds/epsilon)."""
+        if other.config != self.config:
+            raise ValueError(
+                f"cannot merge rollups with different configs: "
+                f"{self.config} vs {other.config}")
+        for key, their_cell in other._cells.items():
+            cell = self._cells.get(key)
+            if cell is None:
+                cell = RollupCell(self.config.epsilon)
+                self._cells[key] = cell
+            cell.merge(their_cell)
+
+    def items(self) -> ItemsView[RollupKey, RollupCell]:
+        return self._cells.items()
+
+    def __iter__(self) -> Iterator[RollupKey]:
+        return iter(self._cells)
+
+    def __len__(self) -> int:
+        """Resident cell count — the memory story of the engine."""
+        return len(self._cells)
+
+    @property
+    def total_flows(self) -> int:
+        return sum(cell.flows for cell in self._cells.values())

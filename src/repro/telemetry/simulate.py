@@ -1,0 +1,89 @@
+"""Synthetic telemetry-record streams for rollup tests and benches.
+
+The rollup engine's property suite and its benchmark need large,
+varied :class:`TelemetryRecord` streams without paying for handshake
+synthesis and classification — the rollup contract is about
+aggregation, not the classifier. This generator produces records whose
+label/status/role mix, timing spread, and volumetrics resemble what
+the campus pipeline emits, deterministically from one seed.
+"""
+
+from __future__ import annotations
+
+from repro.fingerprints.model import Provider, Transport
+from repro.net.flow import FlowKey
+from repro.pipeline.confidence import PlatformPrediction
+from repro.pipeline.store import TelemetryRecord
+from repro.util.rng import SeededRNG
+
+_PLATFORMS = (
+    ("windows", "chrome"), ("windows", "edge"), ("windows", "firefox"),
+    ("macOS", "safari"), ("macOS", "chrome"),
+    ("android", "nativeApp"), ("android", "chrome"),
+    ("iOS", "nativeApp"), ("iOS", "safari"),
+    ("androidTV", "nativeApp"), ("ps5", "nativeApp"),
+)
+
+_BASE_TIME = 1_688_688_000.0  # 2023-07-07 00:00, day-aligned
+
+
+def _prediction(rng: SeededRNG, device: str, agent: str
+                ) -> PlatformPrediction:
+    roll = rng.random()
+    if roll < 0.72:
+        return PlatformPrediction(
+            status="classified", platform=f"{device}_{agent}",
+            device=device, agent=agent,
+            confidence=rng.uniform(0.8, 1.0),
+            device_confidence=rng.uniform(0.8, 1.0),
+            agent_confidence=rng.uniform(0.8, 1.0))
+    if roll < 0.86:
+        device_ok = rng.bernoulli(0.6)
+        return PlatformPrediction(
+            status="partial", platform=None,
+            device=device if device_ok else None,
+            agent=None if device_ok else agent,
+            confidence=rng.uniform(0.3, 0.8),
+            device_confidence=rng.uniform(0.5, 1.0),
+            agent_confidence=rng.uniform(0.5, 1.0))
+    return PlatformPrediction(
+        status="unknown", platform=None, device=None, agent=None,
+        confidence=rng.uniform(0.0, 0.5),
+        device_confidence=rng.uniform(0.0, 0.5),
+        agent_confidence=rng.uniform(0.0, 0.5))
+
+
+def synthesize_records(n: int, seed: int = 0, days: float = 3.0,
+                       base_time: float = _BASE_TIME
+                       ) -> list[TelemetryRecord]:
+    """``n`` plausible telemetry records spread over ``days`` days."""
+    rng = SeededRNG(seed)
+    providers = list(Provider)
+    records: list[TelemetryRecord] = []
+    max_session = max(1, n // 3)
+    for i in range(n):
+        provider = rng.choice(providers)
+        device, agent = rng.choice(_PLATFORMS)
+        transport = (Transport.QUIC
+                     if provider is Provider.YOUTUBE and rng.bernoulli(0.5)
+                     else Transport.TCP)
+        role = "content" if rng.bernoulli(0.85) else "management"
+        duration = (5.0 if role == "management"
+                    else max(30.0, 60.0 * rng.lognormal(3.2, 0.8)))
+        start = base_time + rng.uniform(0.0, days * 86400.0)
+        mbps = max(0.2, rng.lognormal(0.9, 0.5))
+        records.append(TelemetryRecord(
+            key=FlowKey(6 if transport is Transport.TCP else 17,
+                        f"10.{rng.randint(1, 250)}.{rng.randint(0, 250)}"
+                        f".{rng.randint(2, 250)}",
+                        rng.randint(49152, 65534),
+                        f"203.0.{rng.randint(0, 250)}"
+                        f".{rng.randint(2, 250)}", 443),
+            provider=provider, transport=transport, role=role,
+            start_time=start, duration=duration,
+            bytes_down=int(mbps * duration * 1e6 / 8),
+            bytes_up=int(duration * 1.2e4),
+            prediction=_prediction(rng, device, agent),
+            session_id=1 + rng.randint(0, max_session),
+        ))
+    return records

@@ -1,0 +1,160 @@
+"""Greenwald–Khanna streaming quantile sketch.
+
+The §5.2 bandwidth figures (Figs 9–10) are box plots — median and
+quartiles of per-flow mean Mbps per (provider, device[, agent]) cell.
+Keeping every flow's Mbps in a list grows O(flows); the paper's
+months-long deployment needs quantiles in bounded memory. This module
+implements the Greenwald–Khanna ε-approximate quantile summary
+[GK, SIGMOD'01]: a sorted list of ``(value, g, delta)`` tuples where
+``g`` is the gap in minimum rank to the predecessor and ``delta`` the
+extra rank uncertainty. The invariant ``max(g + delta) <= 2εn`` makes
+every quantile query accurate to ±εn ranks while the summary holds
+O((1/ε) log(εn)) tuples.
+
+Merging (the sharded-pipeline requirement) follows the conservative
+widen-then-compress scheme: samples of both summaries are interleaved
+in value order, each tuple's ``delta`` widened by the other summary's
+maximum rank spread, then recompressed against the combined count. The
+widened deltas keep every tuple's true-rank interval valid, so the
+merged summary still answers queries within the ε bound; repeated
+merges trade some compression (a few extra retained tuples) for that
+correctness, never accuracy. The property suite in
+``tests/test_telemetry_rollup.py`` asserts the rank-error bound under
+single streams, shard merges, and many-cell query-time merges.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class GKQuantileSketch:
+    """ε-approximate quantiles over a stream, mergeable, O(1/ε·log εn).
+
+    New values land in a small buffer and are batch-inserted (sorted)
+    every ``1/(2ε)`` additions, which keeps per-add cost amortized and
+    triggers compression on the same cadence the GK analysis assumes.
+    """
+
+    __slots__ = ("epsilon", "_samples", "_buffer", "_buffer_size",
+                 "_count")
+
+    def __init__(self, epsilon: float = 0.01):
+        if not 0.0 < epsilon < 0.5:
+            raise ValueError(f"epsilon must be in (0, 0.5), got {epsilon}")
+        self.epsilon = epsilon
+        # Sorted by value; entries are [value, g, delta].
+        self._samples: list[list] = []
+        self._buffer: list[float] = []
+        self._buffer_size = max(1, int(1.0 / (2.0 * epsilon)))
+        self._count = 0
+
+    def __len__(self) -> int:
+        """Number of values observed (not tuples retained)."""
+        return self._count
+
+    @property
+    def sample_count(self) -> int:
+        """Tuples currently retained — the bounded-memory footprint."""
+        return len(self._samples) + len(self._buffer)
+
+    def add(self, value: float) -> None:
+        self._buffer.append(float(value))
+        if len(self._buffer) >= self._buffer_size:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._buffer:
+            return
+        self._buffer.sort()
+        samples = self._samples
+        merged: list[list] = []
+        i = 0
+        for value in self._buffer:
+            while i < len(samples) and samples[i][0] <= value:
+                merged.append(samples[i])
+                i += 1
+            self._count += 1
+            if not merged or i == len(samples):
+                delta = 0  # current minimum or maximum: rank is exact
+            else:
+                delta = max(0, int(2 * self.epsilon * self._count) - 1)
+            merged.append([value, 1, delta])
+        merged.extend(samples[i:])
+        self._samples = merged
+        self._buffer = []
+        self._compress()
+
+    def _compress(self) -> None:
+        threshold = int(2 * self.epsilon * self._count)
+        samples = self._samples
+        if threshold <= 1 or len(samples) < 3:
+            return
+        # Merge a tuple into its successor while the combined spread
+        # stays under 2εn; the first tuple (the minimum) never merges
+        # away, and merging *into* the last preserves the maximum.
+        out = [samples[0]]
+        cur = samples[1]
+        for nxt in samples[2:]:
+            if cur[1] + nxt[1] + nxt[2] < threshold:
+                cur = [nxt[0], cur[1] + nxt[1], nxt[2]]
+            else:
+                out.append(cur)
+                cur = nxt
+        out.append(cur)
+        self._samples = out
+
+    def quantile(self, phi: float) -> float:
+        """Value whose rank is within ±εn of ``ceil(phi · n)``."""
+        if not 0.0 <= phi <= 1.0:
+            raise ValueError(f"phi must be in [0, 1], got {phi}")
+        self._flush()
+        if self._count == 0:
+            return 0.0
+        target = max(1, math.ceil(phi * self._count))
+        allowed = self.epsilon * self._count
+        rmin = 0
+        result = self._samples[0][0]
+        for value, g, delta in self._samples:
+            rmin += g
+            if rmin + delta > target + allowed:
+                return result
+            result = value
+        return result
+
+    def merge(self, other: "GKQuantileSketch") -> None:
+        """Fold ``other`` in (``other``'s buffer is flushed, its
+        summary otherwise untouched)."""
+        self._flush()
+        other._flush()
+        if other._count == 0:
+            return
+        if self._count == 0:
+            self._samples = [list(s) for s in other._samples]
+            self._count = other._count
+            return
+        # Widen each side's deltas by the other's maximum rank spread:
+        # a tuple's position among the other stream's values is known
+        # only to within that spread, and widening keeps the
+        # [rmin, rmax] interval of every tuple truthful.
+        spread_self = max(0, int(2 * self.epsilon * self._count) - 1)
+        spread_other = max(0, int(2 * other.epsilon * other._count) - 1)
+        a, b = self._samples, other._samples
+        merged: list[list] = []
+        i = j = 0
+        while i < len(a) and j < len(b):
+            if a[i][0] <= b[j][0]:
+                value, g, delta = a[i]
+                merged.append([value, g, delta + spread_other])
+                i += 1
+            else:
+                value, g, delta = b[j]
+                merged.append([value, g, delta + spread_self])
+                j += 1
+        for value, g, delta in a[i:]:
+            merged.append([value, g, delta + spread_other])
+        for value, g, delta in b[j:]:
+            merged.append([value, g, delta + spread_self])
+        self._samples = merged
+        self._count += other._count
+        self._compress()

@@ -1,0 +1,160 @@
+"""Snapshot/restore for rollup cubes.
+
+A months-long deployment must survive process restarts without losing
+its longitudinal aggregates, mirroring ``pipeline/persist.py`` for
+trained banks: cell metadata and small scalars land in one JSON file,
+bulk numeric state (session-id sets, GK sketch tuples, hourly-spread
+partials) in one compressed numpy archive:
+
+    rollup/
+      rollup.json   format version, config, per-cell counters + key
+      rollup.npz    per-cell arrays: c{i}_sessions, c{i}_gk,
+                    c{i}_hour_partials + c{i}_hour_offsets
+
+The snapshot is deterministic — cells sorted by key, session ids
+sorted, JSON keys sorted, float values serialized with Python's exact
+shortest-repr round trip — so saving a restored cube reproduces the
+original ``rollup.json`` byte for byte and every npz array exactly
+(the round-trip property the test suite pins).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fingerprints.model import Provider, Transport
+from repro.telemetry.rollup import (
+    HOURS_PER_DAY,
+    RollupCell,
+    RollupConfig,
+    RollupCube,
+    RollupKey,
+)
+from repro.telemetry.sketch import GKQuantileSketch
+from repro.telemetry.summing import ExactSum
+
+_FORMAT_VERSION = 1
+
+
+def save_rollup(cube: RollupCube, path: str | Path) -> None:
+    """Write a cube to ``path`` (a directory, created)."""
+    root = Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+    cells = sorted(cube.items(), key=lambda kv: kv[0].sort_key())
+    arrays: dict[str, np.ndarray] = {}
+    meta_cells = []
+    for i, (key, cell) in enumerate(cells):
+        stem = f"c{i:06d}"
+        cell.mbps._flush()  # sketch state must be fully in the summary
+        meta_cells.append({
+            "bucket": key.bucket,
+            "provider": key.provider.value,
+            "transport": key.transport.value,
+            "role": key.role,
+            "status": key.status,
+            "device": key.device,
+            "agent": key.agent,
+            "flows": cell.flows,
+            "bytes_down": cell.bytes_down,
+            "bytes_up": cell.bytes_up,
+            "watch_partials": list(cell.watch_seconds.partials),
+            "min_start": cell.min_start,
+            "max_end": cell.max_end,
+            "sketch_count": len(cell.mbps),
+        })
+        if cell.sessions:
+            arrays[f"{stem}_sessions"] = np.array(
+                sorted(cell.sessions), dtype=np.int64)
+        if cell.mbps.sample_count:
+            arrays[f"{stem}_gk"] = np.array(
+                cell.mbps._samples, dtype=np.float64)
+        if cell.hourly_bytes is not None:
+            partials: list[float] = []
+            offsets = [0]
+            for acc in cell.hourly_bytes:
+                partials.extend(acc.partials)
+                offsets.append(len(partials))
+            arrays[f"{stem}_hour_partials"] = np.array(
+                partials, dtype=np.float64)
+            arrays[f"{stem}_hour_offsets"] = np.array(
+                offsets, dtype=np.int64)
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "bucket_seconds": cube.config.bucket_seconds,
+        "epsilon": cube.config.epsilon,
+        "cells": meta_cells,
+    }
+    (root / "rollup.json").write_text(
+        json.dumps(manifest, sort_keys=True, indent=1))
+    np.savez_compressed(root / "rollup.npz", **arrays)
+
+
+def load_rollup(path: str | Path) -> RollupCube:
+    """Load a cube previously written by :func:`save_rollup`."""
+    root = Path(path)
+    manifest_path = root / "rollup.json"
+    if not manifest_path.exists():
+        raise ConfigError(f"no rollup snapshot at {root}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise ConfigError(
+            f"unsupported rollup format {manifest.get('format_version')}")
+    config = RollupConfig(bucket_seconds=manifest["bucket_seconds"],
+                          epsilon=manifest["epsilon"])
+    cube = RollupCube(config)
+    npz_path = root / "rollup.npz"
+    if not npz_path.exists():
+        raise ConfigError(f"rollup snapshot at {root} lacks rollup.npz")
+    with np.load(npz_path) as arrays:
+        for i, meta in enumerate(manifest["cells"]):
+            stem = f"c{i:06d}"
+            key = RollupKey(
+                bucket=int(meta["bucket"]),
+                provider=Provider(meta["provider"]),
+                transport=Transport(meta["transport"]),
+                role=meta["role"],
+                status=meta["status"],
+                device=meta["device"],
+                agent=meta["agent"],
+            )
+            cube._cells[key] = _restore_cell(meta, stem, arrays, config)
+    return cube
+
+
+def _restore_cell(meta: dict, stem: str, arrays, config: RollupConfig
+                  ) -> RollupCell:
+    cell = RollupCell(config.epsilon)
+    cell.flows = int(meta["flows"])
+    cell.bytes_down = int(meta["bytes_down"])
+    cell.bytes_up = int(meta["bytes_up"])
+    cell.watch_seconds = ExactSum(meta["watch_partials"])
+    cell.min_start = float(meta["min_start"])
+    cell.max_end = float(meta["max_end"])
+    if f"{stem}_sessions" in arrays:
+        cell.sessions = set(int(s) for s in arrays[f"{stem}_sessions"])
+    cell.mbps = _restore_sketch(meta, stem, arrays, config.epsilon)
+    if f"{stem}_hour_partials" in arrays:
+        partials = arrays[f"{stem}_hour_partials"]
+        offsets = arrays[f"{stem}_hour_offsets"]
+        cell.hourly_bytes = [
+            ExactSum(float(p)
+                     for p in partials[offsets[h]:offsets[h + 1]])
+            for h in range(HOURS_PER_DAY)
+        ]
+    return cell
+
+
+def _restore_sketch(meta: dict, stem: str, arrays,
+                    epsilon: float) -> GKQuantileSketch:
+    sketch = GKQuantileSketch(epsilon)
+    sketch._count = int(meta["sketch_count"])
+    if f"{stem}_gk" in arrays:
+        sketch._samples = [[float(v), int(g), int(d)]
+                           for v, g, d in arrays[f"{stem}_gk"]]
+    if sketch._count and not sketch._samples:  # corrupt snapshot
+        raise ConfigError(f"inconsistent sketch state for cell {stem}")
+    return sketch

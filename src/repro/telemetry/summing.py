@@ -1,0 +1,66 @@
+"""Order-independent exact accumulation of float sums.
+
+Rollup cells accumulate watch seconds and hourly byte volumes as
+floating-point sums, and the merge contract of the rollup engine
+promises that *any* grouping of the input stream — per-shard cubes
+merged in any order, or one cube over the concatenated stream —
+produces identical aggregates. Naive ``+=`` accumulation cannot keep
+that promise (float addition is not associative), so cells carry a
+:class:`ExactSum`: Shewchuk-style non-overlapping partials, the same
+error-free transformation ``math.fsum`` uses internally. The partials
+represent the *exact* real-number sum of every value ever added, so the
+rounded :attr:`value` is the correctly-rounded true sum regardless of
+insertion or merge order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+class ExactSum:
+    """Exact running sum of floats with order-independent merge.
+
+    ``add`` folds a value into the partials with exact (error-free)
+    float transformations; ``merge`` folds another accumulator's
+    partials in, which is exact for the same reason. The partials list
+    stays tiny in practice (one or two floats for well-scaled data).
+    """
+
+    __slots__ = ("_partials",)
+
+    def __init__(self, partials: Iterable[float] = ()):
+        self._partials: list[float] = [float(p) for p in partials]
+
+    def add(self, x: float) -> None:
+        partials = self._partials
+        i = 0
+        for y in partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            hi = x + y
+            lo = y - (hi - x)
+            if lo:
+                partials[i] = lo
+                i += 1
+            x = hi
+        partials[i:] = [x]
+
+    def merge(self, other: "ExactSum") -> None:
+        """Fold ``other`` in; ``other`` is left untouched."""
+        for p in list(other._partials):
+            self.add(p)
+
+    @property
+    def value(self) -> float:
+        """Correctly-rounded sum of everything added so far."""
+        return math.fsum(self._partials)
+
+    @property
+    def partials(self) -> tuple[float, ...]:
+        """The raw partials, for snapshot serialization."""
+        return tuple(self._partials)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ExactSum({self.value!r})"

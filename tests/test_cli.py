@@ -11,6 +11,15 @@ def workspace(tmp_path_factory):
     return root
 
 
+@pytest.fixture(scope="module")
+def trained_bank_dir(workspace):
+    """A small trained bank, independent of test ordering."""
+    bank_dir = workspace / "rollup-bank"
+    assert main(["train", "--out", str(bank_dir),
+                 "--scale", "0.03", "--trees", "4", "--seed", "4"]) == 0
+    return bank_dir
+
+
 class TestCliWorkflow:
     def test_export_then_train_then_classify_then_campus(self, workspace,
                                                          capsys):
@@ -41,6 +50,59 @@ class TestCliWorkflow:
         out = capsys.readouterr().out
         assert "Campus insight summary" in out
         assert "YT" in out
+        assert "distinct sessions" in out
+
+    def test_campus_rollup_retention_then_report(self, workspace,
+                                                 trained_bank_dir,
+                                                 capsys):
+        rollup_dir = workspace / "rollup"
+        capsys.readouterr()  # drop fixture training output
+        assert main(["campus", "--bank", str(trained_bank_dir),
+                     "--sessions", "40", "--seed", "3",
+                     "--retention", "rollup",
+                     "--save-rollup", str(rollup_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Campus insight summary" in out
+        assert "Saved rollup snapshot" in out
+        assert (rollup_dir / "rollup.json").exists()
+        assert (rollup_dir / "rollup.npz").exists()
+
+        assert main(["report", "--rollup", str(rollup_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Rollup snapshot:" in out
+        assert "engagement per provider" in out
+        assert "per-device detail" in out
+
+    def test_campus_rollup_and_raw_reports_agree(self, trained_bank_dir,
+                                                 capsys):
+        """retention=rollup answers the summary from the cube alone;
+        the headline table must match the raw-store run."""
+        capsys.readouterr()  # drop fixture training output
+
+        def summary(retention):
+            assert main(["campus", "--bank", str(trained_bank_dir),
+                         "--sessions", "40", "--seed", "3",
+                         "--retention", retention]) == 0
+            out = capsys.readouterr().out
+            return out[out.index("Campus insight summary"):]
+
+        raw = summary("raw")
+        rollup = summary("rollup")
+        # Watch hours and session counts are exact across retention
+        # modes; median Mbps is sketch-backed (rank-bounded, and on
+        # small cells an observed value rather than an interpolated
+        # percentile — whole-Mbps divergence is possible). Compare
+        # only the provider and watch-hour columns.
+        for line_raw, line_rollup in zip(raw.splitlines(),
+                                         rollup.splitlines()):
+            assert line_raw.split("|")[:3] == line_rollup.split("|")[:3]
+
+    def test_save_rollup_requires_rollup_retention(self, workspace,
+                                                   capsys):
+        assert main(["campus", "--bank", str(workspace / "bank"),
+                     "--sessions", "5",
+                     "--save-rollup", str(workspace / "r")]) == 2
+        assert "--save-rollup requires" in capsys.readouterr().err
 
     def test_train_synthesizes_when_no_dataset(self, workspace, capsys):
         bank_dir = workspace / "bank2"

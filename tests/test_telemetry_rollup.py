@@ -1,0 +1,476 @@
+"""Rollup engine equivalence suite.
+
+The contract (docs/ARCHITECTURE.md, "Telemetry rollup engine"):
+
+* shard-wise rollup merge ≡ one rollup over the concatenated stream,
+  **exactly**, in any merge order — integer counters, exact float sums
+  (Shewchuk partials), min/max times, session sets, hourly spreads;
+* rollup-backed Figs 7–11 queries match the full-scan oracle in
+  ``repro.analysis`` — exact for integer counts/ratios, equal to
+  within float-summation reordering (rel 1e-9) for float sums, and
+  rank-error-bounded for sketch quantiles;
+* snapshot → restore round-trips byte-stably (identical rollup.json,
+  identical npz arrays) and reproduces identical query answers.
+
+The ``perf``-marked test at the bottom pins the reason the subsystem
+exists: ingest-plus-query through rollups must not regress below raw
+append plus full-scan queries once queries repeat.
+"""
+
+import bisect
+import time
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bandwidth_by_agent,
+    bandwidth_by_device,
+    excluded_share,
+    hourly_usage_gb,
+    median_mbps,
+    mobile_share,
+    total_watch_hours,
+    watch_time_by_agent,
+    watch_time_by_device,
+)
+from repro.analysis.filtering import reliable_records
+from repro.fingerprints import Provider
+from repro.ml import RandomForestClassifier
+from repro.pipeline import (
+    ClassifierBank,
+    RealtimePipeline,
+    ShardedPipeline,
+    TelemetryStore,
+)
+from repro.telemetry import (
+    ExactSum,
+    GKQuantileSketch,
+    RollupConfig,
+    RollupCube,
+    load_rollup,
+    save_rollup,
+)
+from repro.telemetry import queries as rq
+from repro.telemetry.simulate import synthesize_records
+from repro.trafficgen import CampusConfig, CampusWorkload, generate_lab_dataset
+
+APPROX = dict(rel=1e-9, abs=1e-12)
+
+
+def _additive_state(cube):
+    """Everything in a cube except the sketches, hashable-comparable."""
+    return {
+        key: (cell.flows, cell.bytes_down, cell.bytes_up,
+              cell.watch_seconds.value, cell.min_start, cell.max_end,
+              tuple(sorted(cell.sessions)),
+              None if cell.hourly_bytes is None
+              else tuple(acc.value for acc in cell.hourly_bytes))
+        for key, cell in cube.items()
+    }
+
+
+def _assert_rank_bounded(estimate, sorted_values, phi, eps):
+    """``estimate`` sits within ±eps·n ranks of the phi-quantile."""
+    n = len(sorted_values)
+    lo = bisect.bisect_left(sorted_values, estimate)
+    hi = bisect.bisect_right(sorted_values, estimate)
+    target = phi * n
+    if lo <= target <= hi:
+        return
+    err = min(abs(lo - target), abs(hi - target))
+    assert err <= eps * n + 2, (
+        f"phi={phi}: estimate {estimate} is {err:.1f} ranks off "
+        f"(allowed {eps * n + 2:.1f} of n={n})")
+
+
+class TestExactSum:
+    def test_matches_fsum_and_ignores_order(self):
+        import math
+
+        values = [1e16, 1.0, -1e16, 1e-8, 3.14, -2.5e15, 7.0] * 13
+        forward = ExactSum()
+        for v in values:
+            forward.add(v)
+        backward = ExactSum()
+        for v in reversed(values):
+            backward.add(v)
+        assert forward.value == backward.value == math.fsum(values)
+
+    def test_merge_equals_concatenation(self):
+        import math
+
+        rng = np.random.default_rng(5)
+        chunks = [rng.normal(scale=10.0 ** e, size=50).tolist()
+                  for e in (0, 8, -6, 16)]
+        merged = ExactSum()
+        for chunk in chunks:
+            part = ExactSum()
+            for v in chunk:
+                part.add(v)
+            merged.merge(part)
+        flat = ExactSum()
+        for v in [v for chunk in chunks for v in chunk]:
+            flat.add(v)
+        assert merged.value == flat.value == \
+            math.fsum(v for chunk in chunks for v in chunk)
+
+    def test_partials_round_trip(self):
+        acc = ExactSum()
+        for v in (1e16, 1.0, -1.0, 2.5):
+            acc.add(v)
+        clone = ExactSum(acc.partials)
+        assert clone.value == acc.value
+
+
+class TestGKSketch:
+    @pytest.mark.parametrize("dist", ["uniform", "lognormal"])
+    def test_rank_error_bounded_with_compression(self, dist):
+        rng = np.random.default_rng(17)
+        n = 5000
+        values = (rng.uniform(0, 100, n) if dist == "uniform"
+                  else rng.lognormal(1.0, 0.6, n))
+        sketch = GKQuantileSketch(epsilon=0.02)
+        for v in values:
+            sketch.add(v)
+        # Compression must actually engage — that's what the bound
+        # protects; an uncompressed sketch is exact by construction.
+        assert sketch.sample_count < n / 4
+        ordered = sorted(values)
+        for phi in (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            _assert_rank_bounded(sketch.quantile(phi), ordered, phi, 0.02)
+
+    def test_merge_rank_error_bounded(self):
+        rng = np.random.default_rng(23)
+        parts = [rng.lognormal(0.8, 0.5, 1500) for _ in range(4)]
+        merged = GKQuantileSketch(epsilon=0.02)
+        for part in parts:
+            sketch = GKQuantileSketch(epsilon=0.02)
+            for v in part:
+                sketch.add(v)
+            merged.merge(sketch)
+        ordered = sorted(np.concatenate(parts))
+        assert len(merged) == len(ordered)
+        for phi in (0.25, 0.5, 0.75):
+            # Widen-then-compress merging stays within ~2x the single
+            # stream bound in the worst case.
+            _assert_rank_bounded(merged.quantile(phi), ordered, phi, 0.04)
+
+    def test_exact_when_small(self):
+        sketch = GKQuantileSketch(epsilon=0.05)
+        for v in (5.0, 1.0, 3.0):
+            sketch.add(v)
+        assert sketch.quantile(0.5) == 3.0
+        assert len(sketch) == 3
+
+    def test_empty_quantile_is_zero(self):
+        assert GKQuantileSketch().quantile(0.5) == 0.0
+
+
+class TestRollupMerge:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return synthesize_records(4000, seed=11, days=2.0)
+
+    @pytest.mark.parametrize("bucket_seconds", [3600.0, 86400.0])
+    def test_shard_merge_equals_single_stream_exactly(self, records,
+                                                      bucket_seconds):
+        config = RollupConfig(bucket_seconds=bucket_seconds)
+        single = RollupCube(config)
+        single.ingest_many(records)
+        shards = [RollupCube(config) for _ in range(4)]
+        for record in records:
+            index = zlib.crc32(str(record.key).encode()) % 4
+            shards[index].ingest(record)
+        reference = _additive_state(single)
+        for order in ([0, 1, 2, 3], [3, 1, 0, 2], [2, 3, 1, 0]):
+            merged = RollupCube(config)
+            for i in order:
+                merged.merge_from(shards[i])
+            assert _additive_state(merged) == reference, order
+
+    def test_merged_sketches_stay_rank_bounded(self, records):
+        config = RollupConfig(bucket_seconds=3600.0)
+        shards = [RollupCube(config) for _ in range(4)]
+        for i, record in enumerate(records):
+            shards[i % 4].ingest(record)
+        merged = RollupCube(config)
+        for shard in shards:
+            merged.merge_from(shard)
+        store = TelemetryStore()
+        store.extend(records)
+        stats = rq.bandwidth_by_device(merged)
+        for provider in stats:
+            for device, box in stats[provider].items():
+                ordered = sorted(
+                    r.mean_mbps for r in reliable_records(store)
+                    if r.provider is provider
+                    and r.device_label == device)
+                for name, phi in (("q1", 0.25), ("median", 0.5),
+                                  ("q3", 0.75)):
+                    _assert_rank_bounded(box[name], ordered, phi, 0.05)
+
+    def test_merge_rejects_mismatched_configs(self):
+        a = RollupCube(RollupConfig(bucket_seconds=3600.0))
+        b = RollupCube(RollupConfig(bucket_seconds=86400.0))
+        with pytest.raises(ValueError):
+            a.merge_from(b)
+
+
+class TestQueryEquivalence:
+    """Rollup-backed Figs 7–11 vs the full-scan oracle."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        records = synthesize_records(5000, seed=3, days=3.0)
+        store = TelemetryStore()
+        store.extend(records)
+        cube = RollupCube(RollupConfig(bucket_seconds=3600.0))
+        cube.ingest_many(records)
+        return store, cube
+
+    def test_watch_time_by_device(self, corpus):
+        store, cube = corpus
+        oracle, rollup = watch_time_by_device(store), \
+            rq.watch_time_by_device(cube)
+        assert set(oracle) == set(rollup)
+        for provider in oracle:
+            assert set(oracle[provider]) == set(rollup[provider])
+            for device, hours in oracle[provider].items():
+                assert rollup[provider][device] == \
+                    pytest.approx(hours, **APPROX)
+
+    def test_watch_time_by_agent(self, corpus):
+        store, cube = corpus
+        oracle, rollup = watch_time_by_agent(store), \
+            rq.watch_time_by_agent(cube)
+        assert set(oracle) == set(rollup)
+        for provider in oracle:
+            for pair, hours in oracle[provider].items():
+                assert rollup[provider][pair] == \
+                    pytest.approx(hours, **APPROX)
+
+    def test_total_and_mobile_and_excluded(self, corpus):
+        store, cube = corpus
+        assert rq.total_watch_hours(cube) == \
+            pytest.approx(total_watch_hours(store), **APPROX)
+        # Ratios of integer counters are exact, not approximate.
+        assert rq.excluded_share(cube) == excluded_share(store)
+        assert rq.classified_share(cube) == store.classified_share()
+        for provider in Provider:
+            assert rq.mobile_share(cube, provider) == \
+                pytest.approx(mobile_share(store, provider), **APPROX)
+
+    def test_hourly_usage(self, corpus):
+        store, cube = corpus
+        oracle, rollup = hourly_usage_gb(store), rq.hourly_usage_gb(cube)
+        assert set(oracle) == set(rollup)
+        for provider in oracle:
+            assert set(oracle[provider]) == set(rollup[provider])
+            for device_class, series in oracle[provider].items():
+                assert rollup[provider][device_class] == \
+                    pytest.approx(series, **APPROX)
+
+    @pytest.mark.parametrize("by", ["device", "agent"])
+    def test_bandwidth_rank_bounded(self, corpus, by):
+        store, cube = corpus
+        if by == "device":
+            oracle, rollup = bandwidth_by_device(store), \
+                rq.bandwidth_by_device(cube)
+            key_of = lambda r: r.device_label  # noqa: E731
+        else:
+            oracle, rollup = bandwidth_by_agent(store), \
+                rq.bandwidth_by_agent(cube)
+            key_of = lambda r: (r.device_label, r.agent_label)  # noqa: E731
+        assert set(oracle) == set(rollup)
+        for provider in oracle:
+            assert set(oracle[provider]) == set(rollup[provider])
+            for cell_key in oracle[provider]:
+                ordered = sorted(
+                    r.mean_mbps for r in reliable_records(store)
+                    if r.provider is provider and key_of(r) == cell_key)
+                box = rollup[provider][cell_key]
+                for name, phi in (("q1", 0.25), ("median", 0.5),
+                                  ("q3", 0.75)):
+                    _assert_rank_bounded(box[name], ordered, phi, 0.05)
+
+    def test_median_mbps_single_cell(self, corpus):
+        store, cube = corpus
+        for provider in (Provider.YOUTUBE, Provider.AMAZON):
+            for device in ("windows", "iOS"):
+                ordered = sorted(
+                    r.mean_mbps for r in reliable_records(store)
+                    if r.provider is provider
+                    and r.device_label == device)
+                estimate = rq.median_mbps(cube, provider, device)
+                _assert_rank_bounded(estimate, ordered, 0.5, 0.05)
+                # And the full-scan fast path agrees with its own
+                # Fig 9 cube (the satellite fix kept semantics).
+                assert median_mbps(store, provider, device) == \
+                    bandwidth_by_device(store)[provider][device]["median"]
+        assert rq.median_mbps(cube, Provider.NETFLIX, "toaster") == 0.0
+        assert median_mbps(store, Provider.NETFLIX, "toaster") == 0.0
+
+    def test_distinct_sessions(self, corpus):
+        store, cube = corpus
+        assert rq.distinct_sessions(cube) == store.distinct_sessions()
+        assert rq.distinct_sessions(cube, role="content") == \
+            store.distinct_sessions(role="content")
+
+    def test_empty_cube(self):
+        cube = RollupCube()
+        assert rq.watch_time_by_device(cube) == {}
+        assert rq.bandwidth_by_device(cube) == {}
+        assert rq.hourly_usage_gb(cube) == {}
+        assert rq.excluded_share(cube) == 0.0
+        assert rq.total_watch_hours(cube) == 0.0
+        assert rq.mobile_share(cube, Provider.YOUTUBE) == 0.0
+        assert rq.distinct_sessions(cube) == 0
+
+
+class TestSnapshot:
+    def test_round_trip_byte_stable(self, tmp_path):
+        records = synthesize_records(1500, seed=29, days=2.0)
+        cube = RollupCube(RollupConfig(bucket_seconds=3600.0))
+        cube.ingest_many(records)
+        first, second = tmp_path / "r1", tmp_path / "r2"
+        save_rollup(cube, first)
+        restored = load_rollup(first)
+        save_rollup(restored, second)
+        assert (first / "rollup.json").read_bytes() == \
+            (second / "rollup.json").read_bytes()
+        with np.load(first / "rollup.npz") as a, \
+                np.load(second / "rollup.npz") as b:
+            assert sorted(a.files) == sorted(b.files)
+            for name in a.files:
+                assert np.array_equal(a[name], b[name]), name
+
+    def test_restored_cube_answers_identically(self, tmp_path):
+        records = synthesize_records(1500, seed=31, days=2.0)
+        cube = RollupCube(RollupConfig(bucket_seconds=86400.0,
+                                       epsilon=0.02))
+        cube.ingest_many(records)
+        save_rollup(cube, tmp_path / "snap")
+        restored = load_rollup(tmp_path / "snap")
+        assert restored.config == cube.config
+        assert _additive_state(restored) == _additive_state(cube)
+        assert rq.watch_time_by_device(restored) == \
+            rq.watch_time_by_device(cube)
+        assert rq.bandwidth_by_device(restored) == \
+            rq.bandwidth_by_device(cube)
+        assert rq.hourly_usage_gb(restored) == rq.hourly_usage_gb(cube)
+        assert rq.distinct_sessions(restored) == \
+            rq.distinct_sessions(cube)
+
+    def test_missing_snapshot_fails_cleanly(self, tmp_path):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            load_rollup(tmp_path / "nope")
+
+
+@pytest.fixture(scope="module")
+def small_bank():
+    lab = generate_lab_dataset(seed=33, scale=0.05)
+    return ClassifierBank.train(
+        lab,
+        model_factory=lambda: RandomForestClassifier(
+            n_estimators=5, max_depth=12, random_state=1))
+
+
+def _campus_flows():
+    workload = CampusWorkload(CampusConfig(days=1, sessions_per_day=50,
+                                           seed=5))
+    return workload.flows()
+
+
+class TestPipelineRetention:
+    def test_retention_modes(self, small_bank):
+        raw = RealtimePipeline(small_bank, retention="raw")
+        raw.process_flows(_campus_flows())
+        both = RealtimePipeline(small_bank, retention="both")
+        both.process_flows(_campus_flows())
+        rollup_only = RealtimePipeline(small_bank, retention="rollup")
+        rollup_only.process_flows(_campus_flows())
+
+        assert raw.rollup is None
+        assert len(raw.store) > 0
+        assert list(both.store) == list(raw.store)
+        # Bounded memory: no raw records retained, nothing else lost.
+        assert len(rollup_only.store) == 0
+        assert raw.counters == both.counters == rollup_only.counters
+        assert _additive_state(rollup_only.rollup) == \
+            _additive_state(both.rollup)
+        # The cube carries the threaded trafficgen session ids.
+        assert rq.distinct_sessions(both.rollup) == \
+            both.store.distinct_sessions() > 0
+
+    def test_rollup_queries_match_store_oracle(self, small_bank):
+        pipeline = RealtimePipeline(small_bank, retention="both")
+        pipeline.process_flows(_campus_flows())
+        store, cube = pipeline.store, pipeline.rollup
+        assert rq.excluded_share(cube) == excluded_share(store)
+        oracle = watch_time_by_device(store)
+        rollup = rq.watch_time_by_device(cube)
+        assert set(oracle) == set(rollup)
+        for provider in oracle:
+            for device, hours in oracle[provider].items():
+                assert rollup[provider][device] == \
+                    pytest.approx(hours, **APPROX)
+
+    def test_sharded_rollup_merge_is_exact(self, small_bank):
+        unsharded = RealtimePipeline(small_bank, retention="rollup")
+        unsharded.process_flows(_campus_flows())
+        sharded = ShardedPipeline(small_bank, num_shards=4,
+                                  batch_size=16, retention="rollup")
+        sharded.process_flows(_campus_flows())
+        assert _additive_state(sharded.rollup) == \
+            _additive_state(unsharded.rollup)
+        assert sharded.counters == unsharded.counters
+
+    def test_invalid_retention_rejected(self, small_bank):
+        with pytest.raises(ValueError):
+            RealtimePipeline(small_bank, retention="postgres")
+
+
+@pytest.mark.perf
+def test_rollup_ingest_and_query_not_slower_than_full_scan():
+    """The reason the subsystem exists: once an operator dashboard
+    queries repeatedly, rollup ingest + O(cells) queries must beat raw
+    append + O(flows) full scans. Guarded here (and in CI's perf job)
+    so the rollup ingest path never rots below the full-scan baseline.
+    """
+    records = synthesize_records(20_000, seed=41, days=3.0)
+    query_rounds = 10
+
+    def run_full_scan():
+        start = time.perf_counter()
+        store = TelemetryStore()
+        for record in records:
+            store.add(record)
+        for _ in range(query_rounds):
+            watch_time_by_device(store)
+            bandwidth_by_device(store)
+            hourly_usage_gb(store)
+            excluded_share(store)
+        return time.perf_counter() - start
+
+    def run_rollup():
+        start = time.perf_counter()
+        cube = RollupCube(RollupConfig(bucket_seconds=86400.0))
+        for record in records:
+            cube.ingest(record)
+        for _ in range(query_rounds):
+            rq.watch_time_by_device(cube)
+            rq.bandwidth_by_device(cube)
+            rq.hourly_usage_gb(cube)
+            rq.excluded_share(cube)
+        return time.perf_counter() - start
+
+    t_scan = min(run_full_scan() for _ in range(2))
+    t_rollup = min(run_rollup() for _ in range(2))
+    assert t_rollup <= t_scan, (
+        f"rollup ingest+query path slower than full scan: "
+        f"{t_rollup:.3f}s vs {t_scan:.3f}s over {len(records)} records "
+        f"x {query_rounds} query rounds")
