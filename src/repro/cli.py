@@ -17,7 +17,10 @@ Usage::
     python -m repro.cli train --out bank/ --scale 0.2
     python -m repro.cli export-dataset --out dataset/ --scale 0.05
     python -m repro.cli classify --bank bank/ --pcap dataset/flows.pcap
+    python -m repro.cli classify --bank bank/ --pcap cap.pcap \
+        --ingest eager
     python -m repro.cli campus --bank bank/ --sessions 300
+    python -m repro.cli campus --bank bank/ --pcap campus-day.pcap
     python -m repro.cli campus --bank bank/ --retention rollup \
         --save-rollup rollup/
     python -m repro.cli report --rollup rollup/
@@ -37,12 +40,13 @@ from repro.analysis import (
 )
 from repro.fingerprints import Provider
 from repro.ml import RandomForestClassifier
-from repro.net import PcapReader
 from repro.pipeline import (
     ClassifierBank,
+    INGEST_MODES,
     RETENTION_MODES,
     RealtimePipeline,
     ShardedPipeline,
+    ingest_pcap,
     load_bank,
     save_bank,
 )
@@ -107,10 +111,11 @@ def cmd_classify(args: argparse.Namespace) -> int:
         return 2
     bank = load_bank(args.bank)
     pipeline = _build_pipeline(bank, args)
-    with PcapReader(args.pcap) as reader:
-        for packet in reader.packets():
-            pipeline.process_packet(packet)
+    result = ingest_pcap(pipeline, args.pcap, mode=args.ingest)
     pipeline.flush()
+    if result.skipped:
+        print(f"Skipped {result.skipped} unparseable frames "
+              f"(non-IPv4/non-TCP-UDP)", file=sys.stderr)
     counters = pipeline.counters
     rows = []
     for record in list(pipeline.store)[:args.limit]:
@@ -139,9 +144,19 @@ def cmd_campus(args: argparse.Namespace) -> int:
         return 2
     bank = load_bank(args.bank)
     pipeline = _build_pipeline(bank, args)
-    workload = CampusWorkload(CampusConfig(
-        days=args.days, sessions_per_day=args.sessions, seed=args.seed))
-    pipeline.process_flows(workload.flows())
+    if args.pcap:
+        # Replay a captured campus trace through the packet path
+        # instead of synthesizing flow summaries.
+        result = ingest_pcap(pipeline, args.pcap, mode=args.ingest)
+        pipeline.flush()
+        if result.skipped:
+            print(f"Skipped {result.skipped} unparseable frames "
+                  f"(non-IPv4/non-TCP-UDP)", file=sys.stderr)
+    else:
+        workload = CampusWorkload(CampusConfig(
+            days=args.days, sessions_per_day=args.sessions,
+            seed=args.seed))
+        pipeline.process_flows(workload.flows())
     # Bind the merged cube once: on a sharded pipeline ``rollup`` is a
     # fresh O(cells) merge per access.
     cube = pipeline.rollup if args.retention != "raw" else None
@@ -269,6 +284,9 @@ def build_parser() -> argparse.ArgumentParser:
     campus.add_argument("--days", type=int, default=1)
     campus.add_argument("--sessions", type=int, default=300)
     campus.add_argument("--seed", type=int, default=7)
+    campus.add_argument("--pcap",
+                        help="replay this capture through the packet "
+                             "path instead of simulating sessions")
     campus.add_argument("--save-rollup", metavar="DIR",
                         help="persist the rollup cube to DIR "
                              "(requires --retention rollup|both)")
@@ -307,6 +325,10 @@ def _add_scaling_args(parser: argparse.ArgumentParser) -> None:
         "--retention", choices=RETENTION_MODES, default="raw",
         help="per-record retention: raw store, bounded-memory rollup "
              "cube, or both")
+    parser.add_argument(
+        "--ingest", choices=INGEST_MODES, default="raw",
+        help="pcap ingest path: zero-copy raw frames (fast path) or "
+             "eager per-record Packet.from_bytes (the oracle)")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -54,6 +54,13 @@ class HandshakeRecord:
         return self.client_hello.server_name
 
 
+def _eth_len(packet: Packet) -> int:
+    """L2 framing bytes to strip when falling back to ``wire_length``
+    for t1: 18 for 802.1Q-tagged frames, 14 otherwise — t1 is the IP
+    packet size either way."""
+    return 14 if packet.eth.vlan_id is None else 18
+
+
 def parse_flow_handshake(packets: Iterable[Packet]) -> HandshakeRecord:
     """Parse the handshake out of a flow's packets (client side).
 
@@ -73,6 +80,40 @@ def parse_flow_handshake(packets: Iterable[Packet]) -> HandshakeRecord:
     return _parse_tcp(packets)
 
 
+_SEQ_MOD = 1 << 32
+
+
+def _reassemble_client_stream(packets: list[Packet], client_ip: str,
+                              isn: int) -> bytes:
+    """Rebuild the contiguous client→server byte stream from the
+    buffered handshake packets.
+
+    Segments are ordered by sequence number relative to ``isn + 1``
+    (mod 2^32), duplicates and retransmitted overlaps are dropped, and
+    reassembly stops at the first gap — bytes beyond a hole can never
+    be part of a contiguous ClientHello."""
+    start = (isn + 1) % _SEQ_MOD
+    segments = []
+    for packet in packets:
+        if not packet.is_tcp or packet.ip.src != client_ip \
+                or not packet.payload:
+            continue
+        rel = (packet.tcp.seq - start) % _SEQ_MOD
+        if rel >= _SEQ_MOD // 2:  # before the ISN: not handshake data
+            continue
+        segments.append((rel, bytes(packet.payload)))
+    segments.sort(key=lambda seg: seg[0])
+    stream = bytearray()
+    for rel, payload in segments:
+        have = len(stream)
+        if rel > have:
+            break  # gap: the rest cannot extend a contiguous prefix
+        if rel + len(payload) <= have:
+            continue  # pure duplicate / fully-overlapped retransmit
+        stream += payload[have - rel:]
+    return bytes(stream)
+
+
 def _parse_tcp(packets: list[Packet]) -> HandshakeRecord:
     syn_packet = None
     for packet in packets:
@@ -83,23 +124,37 @@ def _parse_tcp(packets: list[Packet]) -> HandshakeRecord:
         raise ParseError("no client SYN in TCP flow")
     client_ip = syn_packet.ip.src
     hello = None
-    for packet in packets:
-        if not packet.is_tcp or packet.ip.src != client_ip:
-            continue
-        if not packet.payload or packet.payload[0] != \
-                c.CONTENT_TYPE_HANDSHAKE:
-            continue
+    # Real captures split the ClientHello across TCP segments (and
+    # deliver them out of order): parse from the reassembled
+    # client→server stream first.
+    stream = _reassemble_client_stream(packets, client_ip,
+                                       syn_packet.tcp.seq)
+    if stream and stream[0] == c.CONTENT_TYPE_HANDSHAKE:
         try:
-            hello = parse_client_hello_records(packet.payload)
-            break
+            hello = parse_client_hello_records(stream)
         except ParseError:
-            continue
+            hello = None
+    if hello is None:
+        # Fallback for flows whose sequence numbers are inconsistent
+        # with the SYN's ISN (mangled or rewritten captures): any
+        # single segment that carries a whole ClientHello.
+        for packet in packets:
+            if not packet.is_tcp or packet.ip.src != client_ip:
+                continue
+            if not packet.payload or packet.payload[0] != \
+                    c.CONTENT_TYPE_HANDSHAKE:
+                continue
+            try:
+                hello = parse_client_hello_records(packet.payload)
+                break
+            except ParseError:
+                continue
     if hello is None:
         raise ParseError("no ClientHello in TCP flow")
     return HandshakeRecord(
         transport=Transport.TCP,
         init_packet_size=syn_packet.ip.total_length
-        or syn_packet.wire_length - 14,
+        or syn_packet.wire_length - _eth_len(syn_packet),
         ttl=syn_packet.ip.ttl,
         client_hello=hello,
         syn=syn_packet.tcp,
@@ -122,7 +177,7 @@ def _parse_quic(packets: list[Packet]) -> HandshakeRecord:
         return HandshakeRecord(
             transport=Transport.QUIC,
             init_packet_size=packet.ip.total_length
-            or packet.wire_length - 14,
+            or packet.wire_length - _eth_len(packet),
             ttl=packet.ip.ttl,
             client_hello=hello,
             quic_params=params,

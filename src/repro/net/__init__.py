@@ -8,10 +8,11 @@ from repro.net.addresses import (
     mac_to_bytes,
 )
 from repro.net.checksum import internet_checksum, pseudo_header_checksum
-from repro.net.ethernet import ETHERTYPE_IPV4, EthernetHeader
+from repro.net.ethernet import ETHERTYPE_IPV4, ETHERTYPE_VLAN, EthernetHeader
 from repro.net.flow import FlowKey
 from repro.net.ipv4 import PROTO_TCP, PROTO_UDP, IPv4Header
 from repro.net.packet import Packet, make_tcp_packet, make_udp_packet
+from repro.net.rawpacket import RawPacket
 from repro.net.pcap import (
     PcapReader,
     PcapRecord,
@@ -32,6 +33,7 @@ from repro.net.udp import UDPHeader
 
 __all__ = [
     "ETHERTYPE_IPV4",
+    "ETHERTYPE_VLAN",
     "EthernetHeader",
     "FlowKey",
     "IPv4Header",
@@ -41,6 +43,7 @@ __all__ = [
     "PcapReader",
     "PcapRecord",
     "PcapWriter",
+    "RawPacket",
     "TCPHeader",
     "TcpOption",
     "UDPHeader",

@@ -1,4 +1,11 @@
-"""Ethernet II framing."""
+"""Ethernet II framing, including 802.1Q VLAN tags.
+
+Campus taps commonly sit on trunk ports, so frames arrive with a 4-byte
+802.1Q tag between the source MAC and the ethertype. The parser strips
+the tag transparently — ``ethertype`` is always the *inner* (payload)
+ethertype — and surfaces the VLAN id so per-VLAN accounting stays
+possible.
+"""
 
 from __future__ import annotations
 
@@ -8,28 +15,53 @@ from repro.errors import ParseError
 from repro.net.addresses import mac_from_bytes, mac_to_bytes
 
 ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_VLAN = 0x8100  # 802.1Q tag protocol identifier
 HEADER_LEN = 14
+VLAN_HEADER_LEN = 18
 
 
 @dataclass(frozen=True)
 class EthernetHeader:
-    """An Ethernet II header; addresses in ``aa:bb:cc:dd:ee:ff`` form."""
+    """An Ethernet II header; addresses in ``aa:bb:cc:dd:ee:ff`` form.
+
+    ``vlan_id`` is the 12-bit 802.1Q VLAN identifier when the frame was
+    tagged, else None. ``ethertype`` is the payload ethertype in both
+    cases (never 0x8100).
+    """
 
     dst: str = "02:00:00:00:00:02"
     src: str = "02:00:00:00:00:01"
     ethertype: int = ETHERTYPE_IPV4
+    vlan_id: int | None = None
 
     def to_bytes(self) -> bytes:
-        return (mac_to_bytes(self.dst) + mac_to_bytes(self.src)
+        addresses = mac_to_bytes(self.dst) + mac_to_bytes(self.src)
+        if self.vlan_id is None:
+            return addresses + self.ethertype.to_bytes(2, "big")
+        return (addresses + ETHERTYPE_VLAN.to_bytes(2, "big")
+                + (self.vlan_id & 0x0FFF).to_bytes(2, "big")
                 + self.ethertype.to_bytes(2, "big"))
 
     @classmethod
     def parse(cls, data: bytes) -> tuple["EthernetHeader", int]:
-        """Parse from the start of ``data``; returns (header, bytes used)."""
+        """Parse from the start of ``data``; returns (header, bytes used).
+
+        An 802.1Q-tagged frame consumes 18 bytes and yields the inner
+        ethertype plus the tag's VLAN id."""
         if len(data) < HEADER_LEN:
             raise ParseError("truncated Ethernet header")
+        ethertype = int.from_bytes(data[12:14], "big")
+        vlan_id = None
+        used = HEADER_LEN
+        if ethertype == ETHERTYPE_VLAN:
+            if len(data) < VLAN_HEADER_LEN:
+                raise ParseError("truncated 802.1Q header")
+            vlan_id = int.from_bytes(data[14:16], "big") & 0x0FFF
+            ethertype = int.from_bytes(data[16:18], "big")
+            used = VLAN_HEADER_LEN
         return cls(
             dst=mac_from_bytes(data[0:6]),
             src=mac_from_bytes(data[6:12]),
-            ethertype=int.from_bytes(data[12:14], "big"),
-        ), HEADER_LEN
+            ethertype=ethertype,
+            vlan_id=vlan_id,
+        ), used

@@ -41,6 +41,11 @@ class Packet:
         return self.udp is not None
 
     @property
+    def vlan_id(self) -> int | None:
+        """802.1Q VLAN id when the frame arrived tagged, else None."""
+        return self.eth.vlan_id
+
+    @property
     def src_port(self) -> int:
         layer = self.tcp if self.tcp is not None else self.udp
         return layer.src_port
@@ -81,7 +86,8 @@ class Packet:
         """Total on-wire length in bytes, computed from header sizes —
         no serialization (and no checksum work) needed."""
         l4 = self.tcp if self.tcp is not None else self.udp
-        return (14 + self.ip.header_length() + l4.header_length()
+        eth_len = 14 if self.eth.vlan_id is None else 18
+        return (eth_len + self.ip.header_length() + l4.header_length()
                 + len(self.payload))
 
     @classmethod

@@ -15,6 +15,7 @@ from typing import BinaryIO, Iterable, Iterator
 
 from repro.errors import ParseError
 from repro.net.packet import Packet
+from repro.net.rawpacket import RawPacket
 
 MAGIC_USEC = 0xA1B2C3D4
 LINKTYPE_ETHERNET = 1
@@ -118,6 +119,32 @@ class PcapReader:
         malformed frames (the files we read are our own)."""
         for record in self:
             yield Packet.from_bytes(record.data, record.timestamp)
+
+    def frames(self) -> Iterator[tuple[bytes, float]]:
+        """Stream raw ``(frame bytes, timestamp)`` pairs without any
+        packet parsing — the feed for ``process_frames``."""
+        read = self._file.read
+        header_size = self._record.size
+        unpack = self._record.unpack
+        while True:
+            raw = read(header_size)
+            if not raw:
+                self._file.close()
+                return
+            if len(raw) < header_size:
+                raise ParseError("truncated pcap record header")
+            sec, usec, incl_len, _ = unpack(raw)
+            data = read(incl_len)
+            if len(data) < incl_len:
+                raise ParseError("truncated pcap record body")
+            yield data, sec + usec / 1_000_000
+
+    def raw_packets(self) -> Iterator[RawPacket]:
+        """Stream each record as a zero-copy :class:`RawPacket` view —
+        same validation as :meth:`packets`, none of the dataclass
+        construction."""
+        for data, timestamp in self.frames():
+            yield RawPacket.parse(data, timestamp)
 
     def close(self) -> None:
         self._file.close()

@@ -24,6 +24,7 @@ from repro.pipeline.engine import (
     RETENTION_MODES,
     RealtimePipeline,
 )
+from repro.pipeline.ingest import INGEST_MODES, ingest_pcap
 from repro.pipeline.persist import load_bank, save_bank
 from repro.pipeline.sharded import ShardedPipeline, shard_index
 from repro.pipeline.evaluate import (
@@ -40,6 +41,7 @@ __all__ = [
     "DriftReport",
     "PageHinkley",
     "DEFAULT_CONFIDENCE_THRESHOLD",
+    "INGEST_MODES",
     "OBJECTIVES",
     "OpenSetResult",
     "PipelineCounters",
@@ -54,6 +56,7 @@ __all__ = [
     "TrainedScenario",
     "default_model_factory",
     "evaluate_scenario_on",
+    "ingest_pcap",
     "load_bank",
     "save_bank",
     "scenario_data",

@@ -34,6 +34,7 @@ from repro.fingerprints.model import Provider, Transport
 from repro.fingerprints.providers import detect_provider
 from repro.net.flow import FlowKey
 from repro.net.packet import Packet
+from repro.net.rawpacket import RawPacket
 from repro.pipeline.bank import ClassifierBank
 from repro.pipeline.confidence import (
     DEFAULT_CONFIDENCE_THRESHOLD,
@@ -165,6 +166,11 @@ class RealtimePipeline:
                                client_ip=self._client_ip(packet))
             self._flows[key] = state
             self.counters.flows += 1
+        # Reordered captures can deliver a later packet first: track
+        # both ends of the flow window symmetrically, or §5.1 durations
+        # skew by the reorder distance.
+        elif packet.timestamp < state.first_seen:
+            state.first_seen = packet.timestamp
         state.last_seen = max(state.last_seen, packet.timestamp)
         is_client = packet.ip.src == state.client_ip
         payload_len = len(packet.payload)
@@ -175,17 +181,86 @@ class RealtimePipeline:
         if state.not_video or state.done_collecting:
             return
         state.handshake_packets.append(packet)
-        # A payload-less packet (SYN, SYN-ACK, bare ACK) cannot complete
-        # a handshake the previous attempt couldn't parse — skip the
-        # reparse unless the flow just hit the parse-failure bar.
+        # A payload-less packet (SYN-ACK, bare ACK) cannot complete a
+        # handshake the previous attempt couldn't parse — skip the
+        # reparse unless the flow just hit the parse-failure bar. The
+        # one exception is a client SYN arriving *after* other packets
+        # (reorder): it supplies the ISN a buffered ClientHello needs.
         if payload_len or \
-                len(state.handshake_packets) >= _MAX_HANDSHAKE_PACKETS:
+                len(state.handshake_packets) >= _MAX_HANDSHAKE_PACKETS \
+                or self._is_late_client_syn(state, packet):
             self._try_classify(state)
+
+    @staticmethod
+    def _is_late_client_syn(state: _FlowState, packet: Packet) -> bool:
+        return (len(state.handshake_packets) > 1 and packet.is_tcp
+                and packet.tcp.flag_syn and not packet.tcp.flag_ack)
 
     @staticmethod
     def _client_ip(packet: Packet) -> str:
         return (packet.ip.src if packet.dst_port == HTTPS_PORT
                 else packet.ip.dst)
+
+    # -- raw-frame mode --------------------------------------------------------
+
+    def process_frame(self, data, timestamp: float = 0.0) -> None:
+        """Ingest one raw captured frame through the zero-copy path.
+
+        Equivalent to ``process_packet(Packet.from_bytes(data,
+        timestamp))`` — identical counters, predictions, and telemetry
+        on any capture — but only the handshake packets that reach
+        ``parse_flow_handshake`` ever pay for full parsing; everything
+        else is decoded by struct offsets alone."""
+        self.process_raw(RawPacket.parse(data, timestamp))
+
+    def process_raw(self, raw: RawPacket) -> None:
+        """Ingest an already-parsed :class:`RawPacket` view (the shared
+        core of :meth:`process_frame`; the sharded dispatcher calls this
+        directly so a frame is never parsed twice)."""
+        self.counters.packets += 1
+        if raw.dst_port != HTTPS_PORT and raw.src_port != HTTPS_PORT:
+            return
+        key = raw.canonical_key_tuple
+        state = self._flows.get(key)
+        if state is None:
+            client_ip = (raw.src_ip if raw.dst_port == HTTPS_PORT
+                         else raw.dst_ip)
+            state = _FlowState(key=FlowKey(*key),
+                               first_seen=raw.timestamp,
+                               client_ip=client_ip)
+            self._flows[key] = state
+            self.counters.flows += 1
+        elif raw.timestamp < state.first_seen:
+            state.first_seen = raw.timestamp
+        if raw.timestamp > state.last_seen:
+            state.last_seen = raw.timestamp
+        payload_len = raw.payload_len
+        if raw.src_ip == state.client_ip:
+            state.bytes_up += payload_len
+        else:
+            state.bytes_down += payload_len
+        if state.not_video or state.done_collecting:
+            return
+        # Lazy promotion: only handshake-phase packets (≤8 per flow)
+        # ever become full Packet objects.
+        promoted = raw.promote()
+        state.handshake_packets.append(promoted)
+        if payload_len or \
+                len(state.handshake_packets) >= _MAX_HANDSHAKE_PACKETS \
+                or self._is_late_client_syn(state, promoted):
+            self._try_classify(state)
+
+    def process_frames(self, frames) -> int:
+        """Ingest an iterable of ``(frame bytes, timestamp)`` pairs —
+        the batched feed a pcap reader or ring buffer hands over.
+        Returns the number of frames processed."""
+        parse = RawPacket.parse
+        process = self.process_raw
+        count = 0
+        for data, timestamp in frames:
+            process(parse(data, timestamp))
+            count += 1
+        return count
 
     def _try_classify(self, state: _FlowState) -> None:
         try:

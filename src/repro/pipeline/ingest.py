@@ -1,0 +1,68 @@
+"""Capture-file ingest glue: stream a pcap through a pipeline.
+
+One function bridges :class:`~repro.net.pcap.PcapReader` and either
+pipeline flavor without materializing the capture. ``mode="raw"`` (the
+default, and what the CLI uses) streams raw frames through the
+zero-copy ``process_frames`` path; ``mode="eager"`` keeps the original
+per-record ``Packet.from_bytes`` path alive as the equivalence oracle —
+both produce identical counters, predictions, and telemetry on the same
+file (``tests/test_ingest_equivalence.py`` pins this).
+
+Real captures carry frames the pipeline cannot use — ARP, IPv6, LLDP,
+mangled records. By default those are skipped and tallied rather than
+aborting the replay; ``strict=True`` restores fail-fast for captures we
+generated ourselves. Because the two ingest paths reject exactly the
+same frame classes, skipping preserves the equivalence contract.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import NamedTuple
+
+from repro.errors import ParseError
+from repro.net.packet import Packet
+from repro.net.pcap import PcapReader
+from repro.net.rawpacket import RawPacket
+
+INGEST_MODES = ("raw", "eager")
+
+
+class IngestResult(NamedTuple):
+    """What a capture replay did: frames the pipeline consumed, and
+    frames skipped as unparseable (non-IPv4/non-TCP-UDP/mangled)."""
+
+    frames: int
+    skipped: int
+
+
+def ingest_pcap(pipeline, path: str | Path, mode: str = "raw",
+                strict: bool = False) -> IngestResult:
+    """Stream every frame of ``path`` into ``pipeline``.
+
+    Does not flush — callers decide when flows are final. With
+    ``strict=True`` the first unparseable frame raises
+    :class:`ParseError` instead of being counted in ``skipped``.
+    """
+    if mode not in INGEST_MODES:
+        raise ValueError(
+            f"mode must be one of {INGEST_MODES}, got {mode!r}")
+    frames = skipped = 0
+    with PcapReader(path) as reader:
+        if mode == "raw":
+            parse = RawPacket.parse
+            process = pipeline.process_raw
+        else:
+            parse = Packet.from_bytes
+            process = pipeline.process_packet
+        for data, timestamp in reader.frames():
+            try:
+                packet = parse(data, timestamp)
+            except ParseError:
+                if strict:
+                    raise
+                skipped += 1
+                continue
+            process(packet)
+            frames += 1
+    return IngestResult(frames, skipped)

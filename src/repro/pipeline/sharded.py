@@ -19,6 +19,7 @@ import zlib
 
 from repro.net.flow import FlowKey
 from repro.net.packet import Packet
+from repro.net.rawpacket import RawPacket
 from repro.pipeline.bank import ClassifierBank
 from repro.pipeline.confidence import DEFAULT_CONFIDENCE_THRESHOLD
 from repro.pipeline.engine import PipelineCounters, RealtimePipeline
@@ -81,6 +82,31 @@ class ShardedPipeline:
         shard = _shard_of_tuple(packet.canonical_key_tuple,
                                 self.num_shards)
         self.shards[shard].process_packet(packet)
+
+    # -- raw-frame mode --------------------------------------------------------
+
+    def process_frame(self, data, timestamp: float = 0.0) -> None:
+        """Zero-copy ingest: parse the frame once, route the view by
+        canonical 5-tuple — the same placement the eager path gives the
+        same frame (both hash the identical canonical tuple)."""
+        self.process_raw(RawPacket.parse(data, timestamp))
+
+    def process_raw(self, raw: RawPacket) -> None:
+        shard = _shard_of_tuple(raw.canonical_key_tuple, self.num_shards)
+        self.shards[shard].process_raw(raw)
+
+    def process_frames(self, frames) -> int:
+        """Ingest ``(frame bytes, timestamp)`` pairs; returns the count."""
+        parse = RawPacket.parse
+        shards = self.shards
+        num_shards = self.num_shards
+        count = 0
+        for data, timestamp in frames:
+            raw = parse(data, timestamp)
+            shard = _shard_of_tuple(raw.canonical_key_tuple, num_shards)
+            shards[shard].process_raw(raw)
+            count += 1
+        return count
 
     # -- flow-summary mode -----------------------------------------------------
 

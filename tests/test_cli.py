@@ -104,6 +104,37 @@ class TestCliWorkflow:
                      "--save-rollup", str(workspace / "r")]) == 2
         assert "--save-rollup requires" in capsys.readouterr().err
 
+    def test_classify_raw_and_eager_ingest_agree(self, workspace,
+                                                 trained_bank_dir,
+                                                 capsys):
+        dataset_dir = workspace / "ingest-dataset"
+        assert main(["export-dataset", "--out", str(dataset_dir),
+                     "--scale", "0.03", "--seed", "4"]) == 0
+        capsys.readouterr()
+        assert main(["classify", "--bank", str(trained_bank_dir),
+                     "--pcap", str(dataset_dir / "flows.pcap"),
+                     "--ingest", "raw"]) == 0
+        raw_out = capsys.readouterr().out
+        assert main(["classify", "--bank", str(trained_bank_dir),
+                     "--pcap", str(dataset_dir / "flows.pcap"),
+                     "--ingest", "eager"]) == 0
+        eager_out = capsys.readouterr().out
+        assert raw_out == eager_out
+        assert "Classified" in raw_out
+
+    def test_campus_replays_pcap_through_packet_path(self, workspace,
+                                                     trained_bank_dir,
+                                                     capsys):
+        dataset_dir = workspace / "replay-dataset"
+        assert main(["export-dataset", "--out", str(dataset_dir),
+                     "--scale", "0.03", "--seed", "4"]) == 0
+        capsys.readouterr()
+        assert main(["campus", "--bank", str(trained_bank_dir),
+                     "--pcap", str(dataset_dir / "flows.pcap")]) == 0
+        out = capsys.readouterr().out
+        assert "Campus insight summary" in out
+        assert "video flows" in out
+
     def test_train_synthesizes_when_no_dataset(self, workspace, capsys):
         bank_dir = workspace / "bank2"
         assert main(["train", "--out", str(bank_dir),

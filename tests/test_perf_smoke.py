@@ -1,11 +1,13 @@
 """Perf regression guard (marked ``perf``; deselect with -m "not perf").
 
-A vectorization regression in the packed forest, the batch encoder, or
-``classify_batch`` grouping would silently rot throughput while every
-functional test stays green. This smoke test pins the floor: on a
-500-flow corpus the batched classification path must not be slower than
-the per-flow path (in practice it is several times faster; the
-assertion only fails when batching genuinely regresses).
+A vectorization regression in the packed forest, the batch encoder,
+``classify_batch`` grouping, or the zero-copy ingest layer would
+silently rot throughput while every functional test stays green. Two
+floors are pinned here: on a 500-flow corpus the batched classification
+path must not be slower than the per-flow path, and on a bulk-dominated
+campus trace the raw-frame ingest path must not be slower than eager
+per-packet ``Packet.from_bytes`` (in practice both are several times
+faster; the assertions only fail on genuine regressions).
 """
 
 import time
@@ -15,8 +17,10 @@ import pytest
 from repro.features.extract import extract_attributes, parse_flow_handshake
 from repro.fingerprints.providers import detect_provider
 from repro.ml import RandomForestClassifier
-from repro.pipeline import ClassifierBank
+from repro.net import Packet, TCPHeader, make_tcp_packet
+from repro.pipeline import ClassifierBank, RealtimePipeline
 from repro.trafficgen import generate_lab_dataset
+from repro.util import SeededRNG
 
 
 @pytest.mark.perf
@@ -55,3 +59,53 @@ def test_batched_classification_not_slower():
     assert t_batched <= t_single, (
         f"batched path slower than per-flow path: "
         f"{t_batched:.3f}s vs {t_single:.3f}s over {len(items)} flows")
+
+
+@pytest.mark.perf
+def test_raw_ingest_not_slower_than_eager():
+    """Ingest floor: on a campus-mix trace dominated by non-video bulk
+    (the regime the paper's tap lives in), ``process_frames`` must beat
+    feeding eager ``Packet.from_bytes`` packets one by one — and must
+    produce identical counters and telemetry while doing it."""
+    lab = generate_lab_dataset(seed=44, scale=0.04)
+    bank = ClassifierBank.train(
+        lab,
+        model_factory=lambda: RandomForestClassifier(
+            n_estimators=6, max_depth=14, random_state=1),
+    )
+    video = [pkt for flow in list(lab)[:60] for pkt in flow.packets]
+    rng = SeededRNG(3)
+    bulk = []
+    for i in range(3000):
+        tcp = TCPHeader(src_port=40000 + i % 700, dst_port=8080,
+                        seq=i * 512, flag_ack=True)
+        bulk.append(make_tcp_packet(
+            f"10.{i % 120}.9.1", "93.184.216.34", tcp,
+            payload=rng.token_bytes(600), timestamp=5.0 + i * 1e-4))
+    packets = video + bulk
+    frames = [(p.to_bytes(), p.timestamp) for p in packets]
+
+    def time_eager():
+        pipeline = RealtimePipeline(bank, batch_size=32)
+        start = time.perf_counter()
+        for data, timestamp in frames:
+            pipeline.process_packet(Packet.from_bytes(data, timestamp))
+        pipeline.flush()
+        return time.perf_counter() - start, pipeline
+
+    def time_raw():
+        pipeline = RealtimePipeline(bank, batch_size=32)
+        start = time.perf_counter()
+        pipeline.process_frames(frames)
+        pipeline.flush()
+        return time.perf_counter() - start, pipeline
+
+    t_eager, ref = min((time_eager() for _ in range(3)),
+                       key=lambda r: r[0])
+    t_raw, fast = min((time_raw() for _ in range(3)),
+                      key=lambda r: r[0])
+    assert fast.counters == ref.counters
+    assert list(fast.store) == list(ref.store)
+    assert t_raw <= t_eager, (
+        f"raw ingest slower than eager from_bytes: "
+        f"{t_raw:.3f}s vs {t_eager:.3f}s over {len(frames)} frames")
