@@ -19,6 +19,8 @@ Usage::
     python -m repro.cli classify --bank bank/ --pcap dataset/flows.pcap
     python -m repro.cli classify --bank bank/ --pcap cap.pcap \
         --ingest eager
+    python -m repro.cli classify --bank bank/ --pcap cap.pcap \
+        --workers 4 --idle-timeout 120
     python -m repro.cli campus --bank bank/ --sessions 300
     python -m repro.cli campus --bank bank/ --pcap campus-day.pcap
     python -m repro.cli campus --bank bank/ --retention rollup \
@@ -30,7 +32,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
 
 from repro.analysis import (
     bandwidth_by_device,
@@ -44,6 +45,7 @@ from repro.pipeline import (
     ClassifierBank,
     INGEST_MODES,
     RETENTION_MODES,
+    ParallelShardedPipeline,
     RealtimePipeline,
     ShardedPipeline,
     ingest_pcap,
@@ -91,9 +93,21 @@ def cmd_export_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_pipeline(bank, args: argparse.Namespace):
-    """Honor the batch/shard/retention knobs shared by classify and
-    campus."""
+def _build_pipeline(args: argparse.Namespace):
+    """Honor the batch/shard/worker/retention knobs shared by classify
+    and campus. ``--workers`` gives the shards real processes (each
+    loads the bank from ``--bank`` on its own); ``--shards`` keeps the
+    serial in-process dispatcher."""
+    if args.workers > 1 and args.shards > 1:
+        print("--workers (multiprocess) and --shards (in-process) are "
+              "alternative runtimes; pick one", file=sys.stderr)
+        raise SystemExit(2)
+    if args.workers > 1:
+        return ParallelShardedPipeline(args.bank,
+                                       num_workers=args.workers,
+                                       batch_size=args.batch_size,
+                                       retention=args.retention)
+    bank = load_bank(args.bank)
     if args.shards > 1:
         return ShardedPipeline(bank, num_shards=args.shards,
                                batch_size=args.batch_size,
@@ -109,24 +123,28 @@ def cmd_classify(args: argparse.Namespace) -> int:
         print("classify needs raw records for its per-flow table; "
               "use --retention raw or both", file=sys.stderr)
         return 2
-    bank = load_bank(args.bank)
-    pipeline = _build_pipeline(bank, args)
-    result = ingest_pcap(pipeline, args.pcap, mode=args.ingest)
-    pipeline.flush()
-    if result.skipped:
-        print(f"Skipped {result.skipped} unparseable frames "
-              f"(non-IPv4/non-TCP-UDP)", file=sys.stderr)
-    counters = pipeline.counters
-    rows = []
-    for record in list(pipeline.store)[:args.limit]:
-        prediction = record.prediction
-        rows.append((
-            str(record.key), record.provider.short,
-            record.transport.value, prediction.status,
-            prediction.platform or prediction.device
-            or prediction.agent or "-",
-            f"{prediction.confidence:.2f}",
-        ))
+    # Every runtime shares the context-manager lifecycle: no-op for
+    # the in-process flavors, close-on-success / terminate-on-error
+    # for the multiprocess one (so a close-time barrier against an
+    # already-dead worker never masks the original traceback).
+    with _build_pipeline(args) as pipeline:
+        result = ingest_pcap(pipeline, args.pcap, mode=args.ingest,
+                             idle_timeout=args.idle_timeout)
+        pipeline.flush()
+        if result.skipped:
+            print(f"Skipped {result.skipped} unparseable frames "
+                  f"(non-IPv4/non-TCP-UDP)", file=sys.stderr)
+        counters = pipeline.counters
+        rows = []
+        for record in list(pipeline.store)[:args.limit]:
+            prediction = record.prediction
+            rows.append((
+                str(record.key), record.provider.short,
+                record.transport.value, prediction.status,
+                prediction.platform or prediction.device
+                or prediction.agent or "-",
+                f"{prediction.confidence:.2f}",
+            ))
     print(format_table(
         ("flow", "provider", "transport", "status", "platform",
          "conf"), rows,
@@ -142,12 +160,16 @@ def cmd_campus(args: argparse.Namespace) -> int:
         print("--save-rollup requires --retention rollup or both",
               file=sys.stderr)
         return 2
-    bank = load_bank(args.bank)
-    pipeline = _build_pipeline(bank, args)
+    with _build_pipeline(args) as pipeline:
+        return _run_campus(pipeline, args)
+
+
+def _run_campus(pipeline, args: argparse.Namespace) -> int:
     if args.pcap:
         # Replay a captured campus trace through the packet path
         # instead of synthesizing flow summaries.
-        result = ingest_pcap(pipeline, args.pcap, mode=args.ingest)
+        result = ingest_pcap(pipeline, args.pcap, mode=args.ingest,
+                             idle_timeout=args.idle_timeout)
         pipeline.flush()
         if result.skipped:
             print(f"Skipped {result.skipped} unparseable frames "
@@ -157,6 +179,7 @@ def cmd_campus(args: argparse.Namespace) -> int:
             days=args.days, sessions_per_day=args.sessions,
             seed=args.seed))
         pipeline.process_flows(workload.flows())
+        pipeline.flush()
     # Bind the merged cube once: on a sharded pipeline ``rollup`` is a
     # fresh O(cells) merge per access.
     cube = pipeline.rollup if args.retention != "raw" else None
@@ -321,6 +344,16 @@ def _add_scaling_args(parser: argparse.ArgumentParser) -> None:
         "--shards", type=_positive_int, default=1,
         help="worker pipelines partitioned by 5-tuple hash "
              "(1 = single unsharded pipeline)")
+    parser.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="run the shards as real OS processes, each loading the "
+             "bank from --bank (1 = stay in-process; mutually "
+             "exclusive with --shards)")
+    parser.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="evict flows idle this long (capture time) during pcap "
+             "replay, bounding the flow table on long captures "
+             "(default: no eviction)")
     parser.add_argument(
         "--retention", choices=RETENTION_MODES, default="raw",
         help="per-record retention: raw store, bounded-memory rollup "

@@ -25,6 +25,7 @@ from repro.pipeline.engine import (
     RealtimePipeline,
 )
 from repro.pipeline.ingest import INGEST_MODES, ingest_pcap
+from repro.pipeline.parallel import ParallelShardedPipeline
 from repro.pipeline.persist import load_bank, save_bank
 from repro.pipeline.sharded import ShardedPipeline, shard_index
 from repro.pipeline.evaluate import (
@@ -44,6 +45,7 @@ __all__ = [
     "INGEST_MODES",
     "OBJECTIVES",
     "OpenSetResult",
+    "ParallelShardedPipeline",
     "PipelineCounters",
     "PlatformPrediction",
     "RETENTION_MODES",

@@ -158,26 +158,11 @@ class RealtimePipeline:
         self.counters.packets += 1
         if packet.dst_port != HTTPS_PORT and packet.src_port != HTTPS_PORT:
             return
-        key = packet.canonical_key_tuple
-        state = self._flows.get(key)
-        if state is None:
-            state = _FlowState(key=FlowKey(*key),
-                               first_seen=packet.timestamp,
-                               client_ip=self._client_ip(packet))
-            self._flows[key] = state
-            self.counters.flows += 1
-        # Reordered captures can deliver a later packet first: track
-        # both ends of the flow window symmetrically, or §5.1 durations
-        # skew by the reorder distance.
-        elif packet.timestamp < state.first_seen:
-            state.first_seen = packet.timestamp
-        state.last_seen = max(state.last_seen, packet.timestamp)
-        is_client = packet.ip.src == state.client_ip
         payload_len = len(packet.payload)
-        if is_client:
-            state.bytes_up += payload_len
-        else:
-            state.bytes_down += payload_len
+        state = self._update_flow(packet.canonical_key_tuple,
+                                  packet.timestamp, packet.ip.src,
+                                  packet.ip.dst, packet.dst_port,
+                                  payload_len)
         if state.not_video or state.done_collecting:
             return
         state.handshake_packets.append(packet)
@@ -196,10 +181,32 @@ class RealtimePipeline:
         return (len(state.handshake_packets) > 1 and packet.is_tcp
                 and packet.tcp.flag_syn and not packet.tcp.flag_ack)
 
-    @staticmethod
-    def _client_ip(packet: Packet) -> str:
-        return (packet.ip.src if packet.dst_port == HTTPS_PORT
-                else packet.ip.dst)
+    def _update_flow(self, key: tuple, timestamp: float, src_ip: str,
+                     dst_ip: str, dst_port: int,
+                     payload_len: int) -> _FlowState:
+        """The one place both ingest paths touch flow-window and byte
+        accounting: find-or-create the flow state, widen the
+        [first_seen, last_seen] window, and attribute payload bytes to
+        the client or server direction."""
+        state = self._flows.get(key)
+        if state is None:
+            state = _FlowState(key=FlowKey(*key), first_seen=timestamp,
+                               client_ip=src_ip
+                               if dst_port == HTTPS_PORT else dst_ip)
+            self._flows[key] = state
+            self.counters.flows += 1
+        # Reordered captures can deliver a later packet first: track
+        # both ends of the flow window symmetrically, or §5.1 durations
+        # skew by the reorder distance.
+        elif timestamp < state.first_seen:
+            state.first_seen = timestamp
+        if timestamp > state.last_seen:
+            state.last_seen = timestamp
+        if src_ip == state.client_ip:
+            state.bytes_up += payload_len
+        else:
+            state.bytes_down += payload_len
+        return state
 
     # -- raw-frame mode --------------------------------------------------------
 
@@ -220,25 +227,10 @@ class RealtimePipeline:
         self.counters.packets += 1
         if raw.dst_port != HTTPS_PORT and raw.src_port != HTTPS_PORT:
             return
-        key = raw.canonical_key_tuple
-        state = self._flows.get(key)
-        if state is None:
-            client_ip = (raw.src_ip if raw.dst_port == HTTPS_PORT
-                         else raw.dst_ip)
-            state = _FlowState(key=FlowKey(*key),
-                               first_seen=raw.timestamp,
-                               client_ip=client_ip)
-            self._flows[key] = state
-            self.counters.flows += 1
-        elif raw.timestamp < state.first_seen:
-            state.first_seen = raw.timestamp
-        if raw.timestamp > state.last_seen:
-            state.last_seen = raw.timestamp
         payload_len = raw.payload_len
-        if raw.src_ip == state.client_ip:
-            state.bytes_up += payload_len
-        else:
-            state.bytes_down += payload_len
+        state = self._update_flow(raw.canonical_key_tuple, raw.timestamp,
+                                  raw.src_ip, raw.dst_ip, raw.dst_port,
+                                  payload_len)
         if state.not_video or state.done_collecting:
             return
         # Lazy promotion: only handshake-phase packets (≤8 per flow)
@@ -269,10 +261,18 @@ class RealtimePipeline:
             if len(state.handshake_packets) >= _MAX_HANDSHAKE_PACKETS:
                 state.not_video = True
                 state.done_collecting = True
+                state.handshake_packets.clear()
                 self.counters.parse_failures += 1
             return
         provider = detect_provider(record.sni)
         state.done_collecting = True
+        # The handshake buffer has served its purpose the moment the
+        # parse succeeds (or terminally fails, above): every transition
+        # out of the collecting phase must release the promoted Packet
+        # objects, or dead flows — the non-video majority of a campus
+        # tap — pin up to 8 full payload-carrying packets each until
+        # eviction.
+        state.handshake_packets.clear()
         if provider is None:
             state.not_video = True
             self.counters.non_video_flows += 1
@@ -284,7 +284,6 @@ class RealtimePipeline:
             self.counters.non_video_flows += 1
             return
         attributes = extract_attributes(record)
-        state.handshake_packets.clear()
         self.counters.video_flows += 1
         self._pending.append((state, provider, record.transport,
                               attributes))
@@ -362,6 +361,19 @@ class RealtimePipeline:
     def live_flows(self) -> int:
         """Current flow-table size (bounded via :meth:`flush_idle`)."""
         return len(self._flows)
+
+    # Uniform runtime lifecycle: in-process pipelines have nothing to
+    # release, but sharing the protocol lets callers scope any runtime
+    # (this, sharded, or the multiprocess parallel one) identically.
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "RealtimePipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
 
     # -- flow-summary mode ---------------------------------------------------------
 

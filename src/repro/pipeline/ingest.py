@@ -13,6 +13,15 @@ mangled records. By default those are skipped and tallied rather than
 aborting the replay; ``strict=True`` restores fail-fast for captures we
 generated ourselves. Because the two ingest paths reject exactly the
 same frame classes, skipping preserves the equivalence contract.
+
+A replay is also where flow-table bounding has to be driven from: a
+live tap evicts idle flows on wall-clock timers, but a capture's only
+clock is its timestamps. ``idle_timeout`` makes :func:`ingest_pcap`
+call the pipeline's ``flush_idle`` every ``evict_interval`` seconds of
+*capture* time, so a day-long replay holds O(concurrent flows) state
+instead of O(total flows). For captures shorter than the timeout no
+flow can be idle long enough to evict, so counters and telemetry stay
+identical to an unbounded replay.
 """
 
 from __future__ import annotations
@@ -37,17 +46,39 @@ class IngestResult(NamedTuple):
 
 
 def ingest_pcap(pipeline, path: str | Path, mode: str = "raw",
-                strict: bool = False) -> IngestResult:
+                strict: bool = False,
+                idle_timeout: float | None = None,
+                evict_interval: float | None = None) -> IngestResult:
     """Stream every frame of ``path`` into ``pipeline``.
 
     Does not flush — callers decide when flows are final. With
     ``strict=True`` the first unparseable frame raises
     :class:`ParseError` instead of being counted in ``skipped``.
+
+    ``idle_timeout`` bounds the flow table during the replay: every
+    ``evict_interval`` seconds of capture time (default
+    ``idle_timeout / 4``) the pipeline's ``flush_idle`` runs at the
+    capture clock, finalizing flows idle for ``idle_timeout`` seconds.
+    The capture clock is the maximum timestamp seen so far, so a
+    reordered slice never drives it backwards.
     """
     if mode not in INGEST_MODES:
         raise ValueError(
             f"mode must be one of {INGEST_MODES}, got {mode!r}")
+    if idle_timeout is None:
+        if evict_interval is not None:
+            raise ValueError("evict_interval requires idle_timeout")
+    elif idle_timeout <= 0:
+        raise ValueError(
+            f"idle_timeout must be positive, got {idle_timeout}")
+    if evict_interval is None:
+        evict_interval = idle_timeout / 4 if idle_timeout else None
+    elif evict_interval <= 0:
+        raise ValueError(
+            f"evict_interval must be positive, got {evict_interval}")
     frames = skipped = 0
+    clock: float | None = None
+    next_evict: float | None = None
     with PcapReader(path) as reader:
         if mode == "raw":
             parse = RawPacket.parse
@@ -56,6 +87,18 @@ def ingest_pcap(pipeline, path: str | Path, mode: str = "raw",
             parse = Packet.from_bytes
             process = pipeline.process_packet
         for data, timestamp in reader.frames():
+            # The clock advances on every frame — skipped ones too: an
+            # unparseable-heavy stretch (IPv6/ARP bursts) still passes
+            # capture time, and idle flows must not outlive it.
+            if idle_timeout is not None:
+                if clock is None or timestamp > clock:
+                    clock = timestamp
+                    if next_evict is None:
+                        next_evict = clock + evict_interval
+                if clock >= next_evict:
+                    pipeline.flush_idle(now=clock,
+                                        idle_timeout=idle_timeout)
+                    next_evict = clock + evict_interval
             try:
                 packet = parse(data, timestamp)
             except ParseError:

@@ -1,0 +1,461 @@
+"""True multiprocess shard runtime: one OS process per shard.
+
+:class:`~repro.pipeline.sharded.ShardedPipeline` reproduces the *shape*
+of the paper's deployment — K workers behind RSS-style 5-tuple hashing —
+but executes every shard serially in one Python process, so throughput
+never scales past one core. :class:`ParallelShardedPipeline` gives the
+same shards real cores: K worker **processes**, each running its own
+:class:`~repro.pipeline.engine.RealtimePipeline` over a classifier bank
+loaded from the persisted bank directory (``pipeline/persist.py``), so
+trained forests never pickle across the fork — exactly how a restarted
+production worker would come up.
+
+Routing and merging reuse the contracts the serial dispatcher already
+pinned:
+
+* the parent routes every frame by the same canonical-5-tuple crc32 as
+  :func:`~repro.pipeline.sharded.shard_index`, shipping frames to each
+  worker in batched chunks over a per-worker queue (per-flow ordering is
+  preserved because a flow maps to exactly one worker and chunks drain
+  FIFO);
+* on sync the parent collects each worker's
+  :class:`~repro.pipeline.engine.PipelineCounters`, telemetry records,
+  and — via the byte-stable snapshot machinery in
+  ``telemetry/snapshot.py`` — its rollup cube, merging with the
+  order-independent ``PipelineCounters.merge`` / ``RollupCube.merge_from``
+  contracts.
+
+The result is held to the serial :class:`ShardedPipeline` as an
+equivalence oracle (``tests/test_parallel_pipeline.py``): identical
+counters, predictions, telemetry, and rollup snapshots on the same
+capture for any worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import shutil
+import tempfile
+import traceback
+from pathlib import Path
+from typing import NamedTuple
+
+from repro.errors import ConfigError
+from repro.net.packet import Packet
+from repro.net.rawpacket import RawPacket
+from repro.pipeline.confidence import DEFAULT_CONFIDENCE_THRESHOLD
+from repro.pipeline.engine import (
+    PipelineCounters,
+    RETENTION_MODES,
+    RealtimePipeline,
+)
+from repro.pipeline.persist import load_bank
+from repro.pipeline.sharded import _shard_of_tuple, shard_index
+from repro.pipeline.store import TelemetryRecord, TelemetryStore
+
+# Frames shipped per queue message: large enough to amortize pickling
+# and queue locking, small enough that worker memory stays bounded and
+# synchronous commands (flush, eviction ticks) never wait long.
+DEFAULT_CHUNK_ITEMS = 512
+
+# Chunks a worker's command queue may hold before the parent blocks:
+# routing is cheaper than processing, so without backpressure a long
+# replay accumulates the whole capture in queue buffers — the bound
+# keeps parent memory O(workers x maxsize x chunk) however long the
+# capture runs.
+_QUEUE_MAX_CHUNKS = 16
+
+_REPLY_TIMEOUT = 5.0  # between liveness checks while awaiting a reply
+
+
+class _WorkerState(NamedTuple):
+    """One worker's collected state at a sync barrier."""
+
+    counters: PipelineCounters
+    records: list[TelemetryRecord]
+    live_flows: int
+    pending: int
+
+
+def _worker_main(worker_id: int, bank_dir: str, options: dict,
+                 cmd_queue, out_queue) -> None:
+    """Worker process entry point: load the bank from disk, run a
+    private :class:`RealtimePipeline`, and serve the parent's command
+    stream until ``stop``.
+
+    Data commands (``frames``/``packets``/``flows``) are fire-and-forget
+    chunks; control commands (``drain``/``flush``/``flush_idle``/
+    ``sync``/``stop``) each produce exactly one ``("ok", payload)``
+    reply. Any failure ships the traceback back as ``("error", text)``
+    and ends the worker — the parent raises it at the next barrier.
+    """
+    try:
+        bank = load_bank(bank_dir)
+        pipeline = RealtimePipeline(bank, store=TelemetryStore(),
+                                    **options)
+        while True:
+            cmd = cmd_queue.get()
+            op = cmd[0]
+            if op == "frames":
+                pipeline.process_frames(cmd[1])
+            elif op == "packets":
+                for packet in cmd[1]:
+                    pipeline.process_packet(packet)
+            elif op == "flows":
+                pipeline.process_flows(cmd[1])
+            elif op == "drain":
+                out_queue.put(("ok", pipeline.drain()))
+            elif op == "flush":
+                out_queue.put(("ok", pipeline.flush(cmd[1])))
+            elif op == "flush_idle":
+                out_queue.put(("ok", pipeline.flush_idle(
+                    now=cmd[1], idle_timeout=cmd[2], role=cmd[3])))
+            elif op == "sync":
+                rollup_dir = cmd[1]
+                if pipeline.rollup is not None and rollup_dir is not None:
+                    from repro.telemetry.snapshot import save_rollup
+
+                    save_rollup(pipeline.rollup, rollup_dir)
+                out_queue.put(("ok", _WorkerState(
+                    counters=pipeline.counters,
+                    records=list(pipeline.store),
+                    live_flows=pipeline.live_flows,
+                    pending=pipeline.pending_classifications)))
+            elif op == "stop":
+                out_queue.put(("ok", None))
+                return
+            else:  # pragma: no cover - protocol bug
+                raise RuntimeError(f"unknown worker command {op!r}")
+    except BaseException:
+        out_queue.put(("error", traceback.format_exc()))
+
+
+class ParallelShardedPipeline:
+    """K shard pipelines, one OS process each, behind the 5-tuple hash.
+
+    Constructed from a *persisted bank directory* (``save_bank``), not a
+    live :class:`ClassifierBank`: each worker calls ``load_bank`` on its
+    own, so model arrays are never pickled through the spawn/fork.
+
+    The ingest surface mirrors :class:`ShardedPipeline` —
+    ``process_packet`` / ``process_frame`` / ``process_raw`` /
+    ``process_frames`` / ``process_flows`` — and the merged views
+    (``counters``, ``telemetry``/``store``, ``rollup``, ``live_flows``,
+    ``shard_loads``) read identically. Data calls buffer into per-worker
+    chunks and return immediately; ``drain``/``flush``/``flush_idle``
+    are synchronous barriers across all workers, as is the state sync
+    behind the merged views. Use as a context manager (or call
+    :meth:`close`) so worker processes always join.
+    """
+
+    def __init__(self, bank_dir: str | Path, num_workers: int = 4,
+                 confidence_threshold: float =
+                 DEFAULT_CONFIDENCE_THRESHOLD,
+                 batch_size: int = 1,
+                 retention: str = "raw",
+                 rollup_config=None,
+                 chunk_items: int = DEFAULT_CHUNK_ITEMS,
+                 start_method: str | None = None):
+        if num_workers < 1:
+            raise ValueError(
+                f"num_workers must be >= 1, got {num_workers}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if retention not in RETENTION_MODES:
+            raise ValueError(
+                f"retention must be one of {RETENTION_MODES}, "
+                f"got {retention!r}")
+        if chunk_items < 1:
+            raise ValueError(
+                f"chunk_items must be >= 1, got {chunk_items}")
+        bank_dir = Path(bank_dir)
+        if not (bank_dir / "manifest.json").exists():
+            # Fail in the parent with a pointable error instead of K
+            # tracebacks from freshly spawned workers.
+            raise ConfigError(f"no bank manifest at {bank_dir}")
+        self.bank_dir = bank_dir
+        self.num_workers = num_workers
+        self.retention = retention
+        self.chunk_items = chunk_items
+        options = dict(confidence_threshold=confidence_threshold,
+                       batch_size=batch_size, retention=retention,
+                       rollup_config=rollup_config)
+        ctx = multiprocessing.get_context(start_method)
+        self._cmd_queues = [ctx.Queue(maxsize=_QUEUE_MAX_CHUNKS)
+                            for _ in range(num_workers)]
+        self._out_queues = [ctx.Queue() for _ in range(num_workers)]
+        self._workers = []
+        for i in range(num_workers):
+            process = ctx.Process(
+                target=_worker_main,
+                args=(i, str(bank_dir), options,
+                      self._cmd_queues[i], self._out_queues[i]),
+                name=f"repro-shard-{i}", daemon=True)
+            process.start()
+            self._workers.append(process)
+        self._buffers: list[list] = [[] for _ in range(num_workers)]
+        self._buffer_kind: list[str | None] = [None] * num_workers
+        self._closed = False
+        self._state: list[_WorkerState] | None = None
+        self._rollup_cache = None
+
+    # -- worker plumbing -------------------------------------------------------
+
+    def _enqueue(self, worker: int, kind: str, item) -> None:
+        if self._closed:
+            raise RuntimeError("pipeline is closed")
+        if self._buffer_kind[worker] != kind and self._buffers[worker]:
+            self._ship(worker)
+        self._buffer_kind[worker] = kind
+        self._buffers[worker].append(item)
+        if len(self._buffers[worker]) >= self.chunk_items:
+            self._ship(worker)
+        self._state = None
+
+    def _ship(self, worker: int) -> None:
+        if self._buffers[worker]:
+            self._put(worker,
+                      (self._buffer_kind[worker], self._buffers[worker]))
+            self._buffers[worker] = []
+
+    def _put(self, worker: int, command: tuple) -> None:
+        """Enqueue with backpressure and a liveness check: the queue is
+        bounded (a slow worker throttles the parent instead of the
+        capture accumulating in queue buffers), and a dead worker
+        surfaces at the next put instead of hours later at a barrier —
+        otherwise the parent would pickle the rest of a multi-hour
+        replay into a queue nobody drains."""
+        q = self._cmd_queues[worker]
+        while True:
+            if not self._workers[worker].is_alive():
+                self._raise_worker_death(worker)
+            try:
+                q.put(command, timeout=_REPLY_TIMEOUT)
+                return
+            except queue_mod.Full:
+                continue
+
+    def _raise_worker_death(self, worker: int) -> None:
+        """Surface a dead worker's traceback if it managed to send one;
+        otherwise report the exit code."""
+        try:
+            reply = self._out_queues[worker].get_nowait()
+        except queue_mod.Empty:
+            reply = None
+        if reply is not None and reply[0] == "error":
+            raise RuntimeError(f"worker {worker} failed:\n{reply[1]}")
+        raise RuntimeError(
+            f"worker {worker} died (exit code "
+            f"{self._workers[worker].exitcode})")
+
+    def _await(self, worker: int):
+        while True:
+            try:
+                reply = self._out_queues[worker].get(
+                    timeout=_REPLY_TIMEOUT)
+            except queue_mod.Empty:
+                if not self._workers[worker].is_alive():
+                    raise RuntimeError(
+                        f"worker {worker} died (exit code "
+                        f"{self._workers[worker].exitcode}) without "
+                        f"replying") from None
+                continue
+            if reply[0] == "error":
+                raise RuntimeError(
+                    f"worker {worker} failed:\n{reply[1]}")
+            return reply[1]
+
+    def _barrier(self, command: tuple) -> list:
+        """Ship buffered chunks, broadcast one control command, and
+        gather every worker's reply (in worker order)."""
+        if self._closed:
+            raise RuntimeError("pipeline is closed")
+        for worker in range(self.num_workers):
+            self._ship(worker)
+            self._put(worker, command)
+        return [self._await(worker)
+                for worker in range(self.num_workers)]
+
+    def _sync(self) -> list[_WorkerState]:
+        """Collect (and cache) every worker's counters, telemetry, and
+        rollup snapshot. Reused until the next data/control command
+        invalidates it."""
+        if self._state is not None:
+            return self._state
+        if self._closed:
+            raise RuntimeError("pipeline was terminated before a sync")
+        rollup_root = None
+        if self.retention != "raw":
+            rollup_root = Path(tempfile.mkdtemp(prefix="repro-rollup-"))
+        try:
+            dirs = [str(rollup_root / f"worker{i}") if rollup_root
+                    else None for i in range(self.num_workers)]
+            for worker in range(self.num_workers):
+                self._ship(worker)
+                self._put(worker, ("sync", dirs[worker]))
+            self._state = [self._await(worker)
+                           for worker in range(self.num_workers)]
+            if rollup_root is not None:
+                from repro.telemetry.rollup import RollupCube
+                from repro.telemetry.snapshot import load_rollup
+
+                cubes = [load_rollup(d) for d in dirs]
+                merged = RollupCube(cubes[0].config)
+                for cube in cubes:
+                    merged.merge_from(cube)
+                self._rollup_cache = merged
+        finally:
+            if rollup_root is not None:
+                shutil.rmtree(rollup_root, ignore_errors=True)
+        return self._state
+
+    # -- packet mode -----------------------------------------------------------
+
+    def process_packet(self, packet: Packet) -> None:
+        worker = _shard_of_tuple(packet.canonical_key_tuple,
+                                 self.num_workers)
+        self._enqueue(worker, "packets", packet)
+
+    # -- raw-frame mode --------------------------------------------------------
+
+    def process_frame(self, data, timestamp: float = 0.0) -> None:
+        self.process_raw(RawPacket.parse(data, timestamp))
+
+    def process_raw(self, raw: RawPacket) -> None:
+        """Route a parsed frame view to its worker. The parent only
+        parses for placement; the frame crosses the process boundary as
+        bytes and the worker re-parses on its own core (cheaper than
+        pickling a promoted packet, and it keeps the worker-side path
+        byte-identical to the serial shard's ``process_frames``)."""
+        worker = _shard_of_tuple(raw.canonical_key_tuple,
+                                 self.num_workers)
+        data = raw.data
+        if not isinstance(data, bytes):
+            data = bytes(data)
+        self._enqueue(worker, "frames", (data, raw.timestamp))
+
+    def process_frames(self, frames) -> int:
+        parse = RawPacket.parse
+        count = 0
+        for data, timestamp in frames:
+            self.process_raw(parse(data, timestamp))
+            count += 1
+        return count
+
+    # -- flow-summary mode -----------------------------------------------------
+
+    def process_flows(self, flows) -> None:
+        """Partition a flow-summary stream across the workers (same
+        placement as ``ShardedPipeline.shard_for``). Unlike the serial
+        dispatcher this cannot return the classified count without a
+        barrier — read ``counters.video_flows`` after :meth:`flush`."""
+        for flow in flows:
+            worker = shard_index(flow.key, self.num_workers)
+            self._enqueue(worker, "flows", flow)
+
+    def shard_for(self, key) -> int:
+        return shard_index(key, self.num_workers)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def drain(self) -> int:
+        result = sum(self._barrier(("drain",)))
+        self._state = None
+        return result
+
+    def flush(self, role: str = "content") -> int:
+        result = sum(self._barrier(("flush", role)))
+        self._state = None
+        return result
+
+    def flush_idle(self, now: float, idle_timeout: float = 120.0,
+                   role: str = "content") -> int:
+        result = sum(self._barrier(("flush_idle", now, idle_timeout,
+                                    role)))
+        self._state = None
+        return result
+
+    def close(self) -> None:
+        """Stop and join every worker. Merged views stay readable: the
+        final state is synced before the workers exit. If the final
+        sync or stop barrier fails (a worker already dead), the
+        remaining workers are terminated rather than leaked."""
+        if self._closed:
+            return
+        try:
+            self._sync()  # capture final state while workers are alive
+            self._barrier(("stop",))
+        except BaseException:
+            self.terminate()
+            raise
+        self._closed = True
+        for process in self._workers:
+            process.join(timeout=30.0)
+        for q in (*self._cmd_queues, *self._out_queues):
+            q.close()
+
+    def __enter__(self) -> "ParallelShardedPipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Don't mask an in-flight exception with a barrier error from
+        # workers that may already be wedged.
+        if exc_type is None:
+            self.close()
+        else:
+            self.terminate()
+
+    def terminate(self) -> None:
+        """Hard-kill the workers (error paths only — loses unsynced
+        state)."""
+        self._closed = True
+        for process in self._workers:
+            if process.is_alive():
+                process.terminate()
+
+    # -- merged views ----------------------------------------------------------
+
+    @property
+    def counters(self) -> PipelineCounters:
+        merged = PipelineCounters()
+        for state in self._sync():
+            merged.merge(state.counters)
+        return merged
+
+    @property
+    def telemetry(self) -> TelemetryStore:
+        """All workers' records merged worker-by-worker — the same
+        shard-major order the serial dispatcher's ``telemetry`` gives.
+        A fresh snapshot per sync, not a live store."""
+        merged = TelemetryStore()
+        for state in self._sync():
+            merged.extend(state.records)
+        return merged
+
+    @property
+    def store(self) -> TelemetryStore:
+        return self.telemetry
+
+    @property
+    def rollup(self):
+        """The workers' rollup cubes — snapshotted through
+        ``save_rollup``/``load_rollup`` and merged with ``merge_from``
+        (exact for every additive aggregate, order-independent) — or
+        None under ``retention="raw"``."""
+        if self.retention == "raw":
+            return None
+        self._sync()
+        return self._rollup_cache
+
+    @property
+    def live_flows(self) -> int:
+        return sum(state.live_flows for state in self._sync())
+
+    @property
+    def pending_classifications(self) -> int:
+        return sum(state.pending for state in self._sync())
+
+    @property
+    def shard_loads(self) -> list[int]:
+        return [state.counters.flows for state in self._sync()]

@@ -145,6 +145,18 @@ class ShardedPipeline:
         return sum(shard.flush_idle(now, idle_timeout, role)
                    for shard in self.shards)
 
+    # Same no-op lifecycle as RealtimePipeline: callers scope every
+    # runtime flavor with one protocol.
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "ShardedPipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+
     # -- merged views ----------------------------------------------------------
 
     @property

@@ -135,6 +135,47 @@ class TestCliWorkflow:
         assert "Campus insight summary" in out
         assert "video flows" in out
 
+    def test_classify_workers_matches_in_process(self, workspace,
+                                                 trained_bank_dir,
+                                                 capsys):
+        """--workers N (multiprocess) must print exactly what the
+        in-process runtimes print on the same capture — composed with
+        --ingest, --batch-size, and --idle-timeout."""
+        dataset_dir = workspace / "workers-dataset"
+        assert main(["export-dataset", "--out", str(dataset_dir),
+                     "--scale", "0.03", "--seed", "4"]) == 0
+        capsys.readouterr()
+        pcap = str(dataset_dir / "flows.pcap")
+        base = ["classify", "--bank", str(trained_bank_dir),
+                "--pcap", pcap, "--batch-size", "8",
+                "--idle-timeout", "3600"]
+        assert main(base + ["--shards", "2"]) == 0
+        sharded_out = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        workers_out = capsys.readouterr().out
+        assert workers_out == sharded_out
+        assert main(base + ["--workers", "2", "--ingest", "eager"]) == 0
+        assert capsys.readouterr().out == sharded_out
+
+    def test_campus_workers_runs_synthetic_workload(self, workspace,
+                                                    trained_bank_dir,
+                                                    capsys):
+        args = ["campus", "--bank", str(trained_bank_dir),
+                "--sessions", "30", "--seed", "3"]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_workers_and_shards_are_exclusive(self, workspace,
+                                              trained_bank_dir, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campus", "--bank", str(trained_bank_dir),
+                  "--sessions", "5", "--workers", "2", "--shards", "2"])
+        # Usage errors exit 2, like every other CLI validation failure.
+        assert excinfo.value.code == 2
+        assert "pick one" in capsys.readouterr().err
+
     def test_train_synthesizes_when_no_dataset(self, workspace, capsys):
         bank_dir = workspace / "bank2"
         assert main(["train", "--out", str(bank_dir),
