@@ -25,6 +25,10 @@ Usage::
     python -m repro.cli campus --bank bank/ --pcap campus-day.pcap
     python -m repro.cli campus --bank bank/ --retention rollup \
         --save-rollup rollup/
+    python -m repro.cli campus --bank bank/ --pcap campus-day.pcap \
+        --checkpoint-dir ck/ --checkpoint-interval 600
+    python -m repro.cli campus --bank bank/ --pcap campus-day.pcap \
+        --resume ck/ --reload-bank bank-v2/
     python -m repro.cli report --rollup rollup/
 """
 
@@ -33,6 +37,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import ConfigError
 from repro.analysis import (
     bandwidth_by_device,
     excluded_share,
@@ -48,6 +53,7 @@ from repro.pipeline import (
     ParallelShardedPipeline,
     RealtimePipeline,
     ShardedPipeline,
+    checkpoint_kind,
     ingest_pcap,
     load_bank,
     save_bank,
@@ -62,6 +68,14 @@ from repro.trafficgen import (
     save_dataset,
 )
 from repro.util import format_table
+
+# Capture-time seconds between periodic replay checkpoints when
+# --checkpoint-dir (or --resume) is given without an explicit
+# --checkpoint-interval.
+DEFAULT_CHECKPOINT_INTERVAL = 300.0
+
+# Classification batch size when --batch-size is not given.
+DEFAULT_BATCH_SIZE = 64
 
 
 def _model_factory_for(args: argparse.Namespace):
@@ -97,23 +111,101 @@ def _build_pipeline(args: argparse.Namespace):
     """Honor the batch/shard/worker/retention knobs shared by classify
     and campus. ``--workers`` gives the shards real processes (each
     loads the bank from ``--bank`` on its own); ``--shards`` keeps the
-    serial in-process dispatcher."""
+    serial in-process dispatcher. ``--resume DIR`` rebuilds whichever
+    runtime from a checkpoint instead of starting empty, and
+    ``--reload-bank DIR`` hot-swaps a retrained bank into the (possibly
+    restored) pipeline before any traffic flows."""
     if args.workers > 1 and args.shards > 1:
         print("--workers (multiprocess) and --shards (in-process) are "
               "alternative runtimes; pick one", file=sys.stderr)
         raise SystemExit(2)
+    if args.resume:
+        pipeline = _restore_pipeline(args)
+    else:
+        # --retention/--batch-size are None unless the user set them,
+        # so a resumed pipeline can default to its checkpointed
+        # values; fresh pipelines fall back to the classic defaults.
+        retention = args.retention or "raw"
+        batch_size = args.batch_size or DEFAULT_BATCH_SIZE
+        if args.workers > 1:
+            pipeline = ParallelShardedPipeline(
+                args.bank, num_workers=args.workers,
+                batch_size=batch_size, retention=retention,
+                checkpoint_dir=args.checkpoint_dir)
+        else:
+            bank = load_bank(args.bank)
+            if args.shards > 1:
+                pipeline = ShardedPipeline(bank,
+                                           num_shards=args.shards,
+                                           batch_size=batch_size,
+                                           retention=retention)
+            else:
+                pipeline = RealtimePipeline(bank,
+                                            batch_size=batch_size,
+                                            retention=retention)
+    if args.reload_bank:
+        if isinstance(pipeline, ParallelShardedPipeline):
+            pipeline.reload_bank(args.reload_bank)
+        else:
+            pipeline.reload_bank(load_bank(args.reload_bank))
+    return pipeline
+
+
+def _pipeline_retention(pipeline) -> str:
+    """The retention a (possibly restored) pipeline actually runs
+    with — the CLI flag is None unless explicitly set, and a resumed
+    pipeline inherits its checkpointed retention."""
+    retention = getattr(pipeline, "retention", None)
+    if retention is None:  # ShardedPipeline holds it per shard
+        retention = pipeline.shards[0].retention
+    return retention
+
+
+def _restore_pipeline(args: argparse.Namespace):
+    """Rebuild the selected runtime from ``--resume DIR``. Retention
+    and batch size left unset on the command line default to the
+    checkpointed values."""
+    kind = checkpoint_kind(args.resume)
+    if kind is None:
+        raise ConfigError(f"no checkpoint at {args.resume}")
     if args.workers > 1:
-        return ParallelShardedPipeline(args.bank,
-                                       num_workers=args.workers,
-                                       batch_size=args.batch_size,
-                                       retention=args.retention)
+        # New checkpoints (and crash-recovery journaling) default to
+        # the resume directory, matching _ingest_args: a resumed run
+        # stays recoverable without restating --checkpoint-dir.
+        return ParallelShardedPipeline.restore(
+            args.resume, args.bank, num_workers=args.workers,
+            batch_size=args.batch_size, retention=args.retention,
+            checkpoint_dir=args.checkpoint_dir or args.resume)
     bank = load_bank(args.bank)
+    if kind == "sharded":
+        return ShardedPipeline.restore(
+            args.resume, bank,
+            num_shards=args.shards if args.shards > 1 else None,
+            batch_size=args.batch_size, retention=args.retention)
     if args.shards > 1:
-        return ShardedPipeline(bank, num_shards=args.shards,
-                               batch_size=args.batch_size,
-                               retention=args.retention)
-    return RealtimePipeline(bank, batch_size=args.batch_size,
-                            retention=args.retention)
+        raise ConfigError(
+            f"checkpoint at {args.resume} is a single-pipeline "
+            f"snapshot; drop --shards to resume it")
+    return RealtimePipeline.restore(args.resume, bank,
+                                    batch_size=args.batch_size,
+                                    retention=args.retention)
+
+
+def _ingest_args(args: argparse.Namespace) -> dict:
+    """The checkpoint/resume knobs every pcap replay forwards to
+    ``ingest_pcap``. New checkpoints land in ``--checkpoint-dir``
+    (falling back to the resume directory, so an interrupted resumed
+    run stays resumable); the replay position comes from ``--resume``."""
+    checkpoint_dir = args.checkpoint_dir or args.resume
+    interval = args.checkpoint_interval
+    if interval is None and checkpoint_dir:
+        interval = DEFAULT_CHECKPOINT_INTERVAL
+    return dict(
+        idle_timeout=args.idle_timeout,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=interval,
+        resume_dir=args.resume,
+    )
 
 
 def cmd_classify(args: argparse.Namespace) -> int:
@@ -128,8 +220,14 @@ def cmd_classify(args: argparse.Namespace) -> int:
     # for the multiprocess one (so a close-time barrier against an
     # already-dead worker never masks the original traceback).
     with _build_pipeline(args) as pipeline:
+        if _pipeline_retention(pipeline) == "rollup":
+            # Reachable via --resume of a rollup-only checkpoint.
+            print("classify needs raw records for its per-flow table; "
+                  "this checkpoint retains rollup cells only",
+                  file=sys.stderr)
+            return 2
         result = ingest_pcap(pipeline, args.pcap, mode=args.ingest,
-                             idle_timeout=args.idle_timeout)
+                             **_ingest_args(args))
         pipeline.flush()
         if result.skipped:
             print(f"Skipped {result.skipped} unparseable frames "
@@ -156,20 +254,22 @@ def cmd_classify(args: argparse.Namespace) -> int:
 
 
 def cmd_campus(args: argparse.Namespace) -> int:
-    if args.save_rollup and args.retention == "raw":
-        print("--save-rollup requires --retention rollup or both",
-              file=sys.stderr)
-        return 2
     with _build_pipeline(args) as pipeline:
-        return _run_campus(pipeline, args)
+        retention = _pipeline_retention(pipeline)
+        if args.save_rollup and retention == "raw":
+            print("--save-rollup requires --retention rollup or both",
+                  file=sys.stderr)
+            return 2
+        return _run_campus(pipeline, args, retention)
 
 
-def _run_campus(pipeline, args: argparse.Namespace) -> int:
+def _run_campus(pipeline, args: argparse.Namespace,
+                retention: str) -> int:
     if args.pcap:
         # Replay a captured campus trace through the packet path
         # instead of synthesizing flow summaries.
         result = ingest_pcap(pipeline, args.pcap, mode=args.ingest,
-                             idle_timeout=args.idle_timeout)
+                             **_ingest_args(args))
         pipeline.flush()
         if result.skipped:
             print(f"Skipped {result.skipped} unparseable frames "
@@ -182,8 +282,8 @@ def _run_campus(pipeline, args: argparse.Namespace) -> int:
         pipeline.flush()
     # Bind the merged cube once: on a sharded pipeline ``rollup`` is a
     # fresh O(cells) merge per access.
-    cube = pipeline.rollup if args.retention != "raw" else None
-    if args.retention == "rollup":
+    cube = pipeline.rollup if retention != "raw" else None
+    if retention == "rollup":
         # No raw records were retained: answer from the rollup cube.
         excluded = rollup_queries.excluded_share(cube)
         sessions = rollup_queries.distinct_sessions(cube)
@@ -335,11 +435,21 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {value}")
+    return value
+
+
 def _add_scaling_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--batch-size", type=_positive_int, default=64,
-        help="flows buffered per batched classification drain "
-             "(1 = classify each flow as its handshake parses)")
+        "--batch-size", type=_positive_int, default=None,
+        help=f"flows buffered per batched classification drain "
+             f"(1 = classify each flow as its handshake parses; "
+             f"default {DEFAULT_BATCH_SIZE}, or the checkpointed "
+             f"value under --resume)")
     parser.add_argument(
         "--shards", type=_positive_int, default=1,
         help="worker pipelines partitioned by 5-tuple hash "
@@ -355,13 +465,35 @@ def _add_scaling_args(parser: argparse.ArgumentParser) -> None:
              "replay, bounding the flow table on long captures "
              "(default: no eviction)")
     parser.add_argument(
-        "--retention", choices=RETENTION_MODES, default="raw",
+        "--retention", choices=RETENTION_MODES, default=None,
         help="per-record retention: raw store, bounded-memory rollup "
-             "cube, or both")
+             "cube, or both (default raw, or the checkpointed value "
+             "under --resume)")
     parser.add_argument(
         "--ingest", choices=INGEST_MODES, default="raw",
         help="pcap ingest path: zero-copy raw frames (fast path) or "
              "eager per-record Packet.from_bytes (the oracle)")
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="periodically snapshot full pipeline state (+ replay "
+             "position during pcap replay) into DIR, atomically; with "
+             "--workers this also arms per-worker crash recovery")
+    parser.add_argument(
+        "--checkpoint-interval", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="capture-time seconds between checkpoints (default "
+             f"{DEFAULT_CHECKPOINT_INTERVAL:.0f} once a checkpoint "
+             "directory is set)")
+    parser.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="restore pipeline state (and, for pcap replay, the "
+             "position) from a checkpoint written by --checkpoint-dir "
+             "and continue")
+    parser.add_argument(
+        "--reload-bank", metavar="DIR", default=None,
+        help="hot-swap a retrained bank directory into the pipeline "
+             "before traffic flows (driftwatch's retraining handoff; "
+             "combine with --resume to swap at a checkpoint boundary)")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -9,6 +9,12 @@ from repro.pipeline.bank import (
     default_model_factory,
     split_platform_label,
 )
+from repro.pipeline.checkpoint import (
+    checkpoint_kind,
+    redistribute_checkpoint,
+    restore_realtime,
+    restore_sharded,
+)
 from repro.pipeline.confidence import (
     DEFAULT_CONFIDENCE_THRESHOLD,
     PlatformPrediction,
@@ -24,7 +30,12 @@ from repro.pipeline.engine import (
     RETENTION_MODES,
     RealtimePipeline,
 )
-from repro.pipeline.ingest import INGEST_MODES, ingest_pcap
+from repro.pipeline.ingest import (
+    INGEST_MODES,
+    IngestPosition,
+    ingest_pcap,
+    load_ingest_position,
+)
 from repro.pipeline.parallel import ParallelShardedPipeline
 from repro.pipeline.persist import load_bank, save_bank
 from repro.pipeline.sharded import ShardedPipeline, shard_index
@@ -43,6 +54,7 @@ __all__ = [
     "PageHinkley",
     "DEFAULT_CONFIDENCE_THRESHOLD",
     "INGEST_MODES",
+    "IngestPosition",
     "OBJECTIVES",
     "OpenSetResult",
     "ParallelShardedPipeline",
@@ -57,9 +69,14 @@ __all__ = [
     "TelemetryStore",
     "TrainedScenario",
     "default_model_factory",
+    "checkpoint_kind",
     "evaluate_scenario_on",
     "ingest_pcap",
     "load_bank",
+    "load_ingest_position",
+    "redistribute_checkpoint",
+    "restore_realtime",
+    "restore_sharded",
     "save_bank",
     "scenario_data",
     "select_prediction",

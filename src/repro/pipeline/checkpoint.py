@@ -1,0 +1,713 @@
+"""Checkpoint/restore for running pipelines (§5.1 operability).
+
+The paper's deployment runs continuously on an ISP border tap for
+months; ours must survive a process restart without losing the flow
+table, the classification buffer, the counters, or the longitudinal
+rollup cubes. This module snapshots the *full* state of a
+:class:`~repro.pipeline.engine.RealtimePipeline` — and, shard by
+shard, of the sharded/parallel runtimes — into a versioned on-disk
+checkpoint, and restores it into a fresh process:
+
+    checkpoint/
+      state.json       format version, kind, self-verifying payload
+                       (config echo, counters, flow table, telemetry
+                       records, driftwatch state, artifact digests)
+      packets.bin      the flow table's handshake buffers (the
+                       reassembly state), pickled wire-faithful
+      rollup/          the rollup cube via telemetry.snapshot
+      -- sharded/parallel checkpoints --
+      meta.json        format version, kind, num_shards
+      shard00/ ...     one realtime checkpoint per shard
+
+Three properties the test suite pins:
+
+* **Byte stability** — saving a restored checkpoint reproduces the
+  original ``state.json`` and ``packets.bin`` byte for byte (floats
+  ride Python's exact shortest-repr round trip, orders are preserved,
+  JSON keys sorted).
+* **Equivalence** — a replay interrupted at any point and resumed from
+  the last checkpoint finishes with counters, predictions, record
+  order, and rollup snapshot bytes identical to an uninterrupted run
+  *with the same checkpoint schedule* (checkpointing itself drains the
+  classification buffer and flushes sketch buffers — both
+  equivalence-preserving at matching boundaries — so the oracle must
+  tick checkpoints at the same capture times).
+* **Rejection over garbage** — a corrupted, truncated, or
+  version-bumped checkpoint raises
+  :class:`~repro.errors.ConfigError`; the payload carries a SHA-256
+  over its canonical JSON form and over every sidecar artifact, so a
+  flipped byte anywhere is detected instead of restored.
+
+Saves are atomic: everything lands in a sibling temp directory that is
+swapped into place, so a crash mid-save leaves the previous checkpoint
+intact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import shutil
+from dataclasses import asdict, fields
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+from repro.fingerprints.model import Provider, Transport
+from repro.net.flow import FlowKey
+from repro.net.packet import Packet
+from repro.pipeline.confidence import PlatformPrediction
+from repro.pipeline.driftwatch import ConceptDriftMonitor
+from repro.pipeline.engine import PipelineCounters, _FlowState
+from repro.pipeline.store import TelemetryRecord, TelemetryStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pipeline.engine import RealtimePipeline
+    from repro.pipeline.sharded import ShardedPipeline
+
+_FORMAT_VERSION = 1
+STATE_FILE = "state.json"
+PACKETS_FILE = "packets.bin"
+ROLLUP_DIR = "rollup"
+META_FILE = "meta.json"
+_PICKLE_PROTOCOL = 4
+
+KIND_REALTIME = "realtime"
+KIND_SHARDED = "sharded"
+
+
+def shard_dir_name(index: int) -> str:
+    return f"shard{index:02d}"
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _canonical_json(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+# -- plain-data pipeline state ---------------------------------------------------
+
+
+class PipelineState:
+    """One realtime pipeline's full state as plain data.
+
+    The intermediate form between a live pipeline and its on-disk
+    checkpoint. It is deliberately bank-free: redistribution across a
+    different shard count (``redistribute_states``) and the parallel
+    parent's resume plumbing both operate on states without ever
+    loading classifier models.
+    """
+
+    __slots__ = ("counters", "flows", "records", "retention",
+                 "batch_size", "threshold", "rollup", "monitor_state")
+
+    def __init__(self, counters: PipelineCounters,
+                 flows: list[_FlowState],
+                 records: list[TelemetryRecord],
+                 retention: str, batch_size: int, threshold: float,
+                 rollup, monitor_state: dict | None):
+        self.counters = counters
+        self.flows = flows
+        self.records = records
+        self.retention = retention
+        self.batch_size = batch_size
+        self.threshold = threshold
+        self.rollup = rollup
+        self.monitor_state = monitor_state
+
+
+def state_of(pipeline: "RealtimePipeline") -> PipelineState:
+    """Capture a pipeline's state. Drains the classification buffer
+    first: predictions are independent of batch composition (the PR 1
+    equivalence contract), so classifying the buffered flows at the
+    checkpoint boundary is observationally identical to classifying
+    them later — and it means the checkpoint never has to serialize
+    encoder-ready attribute dictionaries."""
+    pipeline.drain()
+    return PipelineState(
+        counters=pipeline.counters,
+        flows=list(pipeline._flows.values()),
+        records=list(pipeline.store),
+        retention=pipeline.retention,
+        batch_size=pipeline.batch_size,
+        threshold=pipeline.threshold,
+        rollup=pipeline.rollup,
+        monitor_state=(pipeline.monitor.state_dict()
+                       if pipeline.monitor is not None else None),
+    )
+
+
+def apply_state(state: PipelineState,
+                pipeline: "RealtimePipeline") -> None:
+    """Load a :class:`PipelineState` into a freshly built pipeline."""
+    if state.retention != pipeline.retention:
+        raise ConfigError(
+            f"checkpoint was taken with retention={state.retention!r}, "
+            f"cannot restore into retention={pipeline.retention!r}")
+    pipeline.counters = state.counters
+    pipeline._flows = {}
+    for flow in state.flows:
+        key = flow.key
+        pipeline._flows[(key.protocol, key.src_ip, key.src_port,
+                         key.dst_ip, key.dst_port)] = flow
+    pipeline.store._records = list(state.records)
+    if state.rollup is not None:
+        pipeline.rollup = state.rollup
+    if state.monitor_state is not None:
+        pipeline.monitor = ConceptDriftMonitor.from_state(
+            state.monitor_state)
+
+
+# -- JSON encoding ---------------------------------------------------------------
+
+
+def _prediction_to_json(prediction: PlatformPrediction | None):
+    if prediction is None:
+        return None
+    return {
+        "status": prediction.status,
+        "platform": prediction.platform,
+        "device": prediction.device,
+        "agent": prediction.agent,
+        "confidence": prediction.confidence,
+        "device_confidence": prediction.device_confidence,
+        "agent_confidence": prediction.agent_confidence,
+    }
+
+
+def _prediction_from_json(data) -> PlatformPrediction | None:
+    if data is None:
+        return None
+    return PlatformPrediction(
+        status=data["status"], platform=data["platform"],
+        device=data["device"], agent=data["agent"],
+        confidence=data["confidence"],
+        device_confidence=data["device_confidence"],
+        agent_confidence=data["agent_confidence"],
+    )
+
+
+def _key_to_json(key: FlowKey) -> list:
+    return [key.protocol, key.src_ip, key.src_port, key.dst_ip,
+            key.dst_port]
+
+
+def _key_from_json(data) -> FlowKey:
+    protocol, src_ip, src_port, dst_ip, dst_port = data
+    return FlowKey(int(protocol), str(src_ip), int(src_port),
+                   str(dst_ip), int(dst_port))
+
+
+def _flow_to_json(flow: _FlowState) -> dict:
+    return {
+        "key": _key_to_json(flow.key),
+        "first_seen": flow.first_seen,
+        "last_seen": flow.last_seen,
+        "bytes_down": flow.bytes_down,
+        "bytes_up": flow.bytes_up,
+        "client_ip": flow.client_ip,
+        "provider": flow.provider.value if flow.provider else None,
+        "transport": flow.transport.value if flow.transport else None,
+        "prediction": _prediction_to_json(flow.prediction),
+        "done_collecting": flow.done_collecting,
+        "not_video": flow.not_video,
+    }
+
+
+def _flow_from_json(data: dict, packets: list[Packet]) -> _FlowState:
+    return _FlowState(
+        key=_key_from_json(data["key"]),
+        first_seen=data["first_seen"],
+        handshake_packets=packets,
+        last_seen=data["last_seen"],
+        bytes_down=data["bytes_down"],
+        bytes_up=data["bytes_up"],
+        client_ip=data["client_ip"],
+        provider=(Provider(data["provider"])
+                  if data["provider"] is not None else None),
+        transport=(Transport(data["transport"])
+                   if data["transport"] is not None else None),
+        prediction=_prediction_from_json(data["prediction"]),
+        done_collecting=data["done_collecting"],
+        not_video=data["not_video"],
+    )
+
+
+def _record_to_json(record: TelemetryRecord) -> dict:
+    return {
+        "key": _key_to_json(record.key),
+        "provider": record.provider.value,
+        "transport": record.transport.value,
+        "role": record.role,
+        "start_time": record.start_time,
+        "duration": record.duration,
+        "bytes_down": record.bytes_down,
+        "bytes_up": record.bytes_up,
+        "prediction": _prediction_to_json(record.prediction),
+        "session_id": record.session_id,
+    }
+
+
+def _record_from_json(data: dict) -> TelemetryRecord:
+    return TelemetryRecord(
+        key=_key_from_json(data["key"]),
+        provider=Provider(data["provider"]),
+        transport=Transport(data["transport"]),
+        role=data["role"],
+        start_time=data["start_time"],
+        duration=data["duration"],
+        bytes_down=data["bytes_down"],
+        bytes_up=data["bytes_up"],
+        prediction=_prediction_from_json(data["prediction"]),
+        session_id=data["session_id"],
+    )
+
+
+# -- realtime checkpoint write/read ----------------------------------------------
+
+
+def _write_state(state: PipelineState, root: Path,
+                 extra: dict[str, str] | None = None) -> None:
+    """Write one realtime state into ``root`` (must exist and be
+    empty). Not atomic — callers wrap with :func:`atomic_save`."""
+    packet_blob = pickle.dumps(
+        [flow.handshake_packets for flow in state.flows],
+        protocol=_PICKLE_PROTOCOL)
+    (root / PACKETS_FILE).write_bytes(packet_blob)
+    rollup_digest = None
+    if state.rollup is not None:
+        from repro.telemetry.snapshot import save_rollup
+
+        save_rollup(state.rollup, root / ROLLUP_DIR)
+        rollup_digest = _sha256(
+            (root / ROLLUP_DIR / "rollup.json").read_bytes())
+    payload = {
+        "retention": state.retention,
+        "batch_size": state.batch_size,
+        "threshold": state.threshold,
+        "counters": asdict(state.counters),
+        "flows": [_flow_to_json(flow) for flow in state.flows],
+        "records": [_record_to_json(r) for r in state.records],
+        "monitor": state.monitor_state,
+        "packets_sha256": _sha256(packet_blob),
+        "rollup_sha256": rollup_digest,
+        "extra_sha256": {name: _sha256(text.encode())
+                         for name, text in (extra or {}).items()},
+    }
+    document = {
+        "format_version": _FORMAT_VERSION,
+        "kind": KIND_REALTIME,
+        "payload_sha256": _sha256(_canonical_json(payload)),
+        "payload": payload,
+    }
+    (root / STATE_FILE).write_text(
+        json.dumps(document, sort_keys=True, indent=1))
+    for name, text in (extra or {}).items():
+        (root / name).write_text(text)
+
+
+def _read_document(path: Path, expected_kind: str) -> dict:
+    if not path.exists():
+        raise ConfigError(f"no checkpoint at {path.parent}")
+    try:
+        document = json.loads(path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+        raise ConfigError(
+            f"unreadable checkpoint file {path}: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ConfigError(f"malformed checkpoint file {path}")
+    version = document.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ConfigError(
+            f"unsupported checkpoint format {version!r} at {path}")
+    kind = document.get("kind")
+    if kind != expected_kind:
+        raise ConfigError(
+            f"checkpoint at {path.parent} is kind {kind!r}, "
+            f"expected {expected_kind!r}")
+    return document
+
+
+def load_state(root: str | Path) -> PipelineState:
+    """Read a realtime checkpoint into a :class:`PipelineState`,
+    verifying format version, payload digest, and sidecar digests.
+    Everything suspicious raises :class:`ConfigError`."""
+    root = Path(root)
+    _recover_interrupted_swap(root)
+    document = _read_document(root / STATE_FILE, KIND_REALTIME)
+    try:
+        payload = document["payload"]
+        declared = document["payload_sha256"]
+    except KeyError as exc:
+        raise ConfigError(
+            f"checkpoint at {root} lacks {exc}") from exc
+    if _sha256(_canonical_json(payload)) != declared:
+        raise ConfigError(f"checkpoint payload at {root} is corrupt "
+                          f"(digest mismatch)")
+    try:
+        packet_blob = (root / PACKETS_FILE).read_bytes()
+    except OSError as exc:
+        raise ConfigError(
+            f"checkpoint at {root} lacks {PACKETS_FILE}: "
+            f"{exc}") from exc
+    try:
+        if _sha256(packet_blob) != payload["packets_sha256"]:
+            raise ConfigError(
+                f"{PACKETS_FILE} at {root} is corrupt (digest mismatch)")
+        try:
+            buffers = pickle.loads(packet_blob)
+        except Exception as exc:  # any unpickling failure is corruption
+            raise ConfigError(
+                f"cannot unpickle {PACKETS_FILE} at {root}: "
+                f"{exc}") from exc
+        flows_json = payload["flows"]
+        if not isinstance(buffers, list) or \
+                len(buffers) != len(flows_json):
+            raise ConfigError(
+                f"{PACKETS_FILE} at {root} does not match the flow "
+                f"table ({len(buffers)} buffers, {len(flows_json)} "
+                f"flows)")
+        counters_json = payload["counters"]
+        known = {f.name for f in fields(PipelineCounters)}
+        if set(counters_json) != known:
+            raise ConfigError(
+                f"checkpoint counters at {root} do not match "
+                f"PipelineCounters")
+        for name, digest in payload["extra_sha256"].items():
+            sidecar = root / name
+            if not sidecar.exists() or \
+                    _sha256(sidecar.read_bytes()) != digest:
+                raise ConfigError(
+                    f"checkpoint sidecar {name!r} at {root} is "
+                    f"missing or corrupt (digest mismatch)")
+        retention = payload["retention"]
+        rollup = None
+        if retention != "raw":
+            from repro.telemetry.snapshot import load_rollup
+
+            rollup_json = root / ROLLUP_DIR / "rollup.json"
+            if not rollup_json.exists() or \
+                    _sha256(rollup_json.read_bytes()) != \
+                    payload["rollup_sha256"]:
+                raise ConfigError(
+                    f"rollup snapshot at {root} is missing or corrupt")
+            rollup = load_rollup(root / ROLLUP_DIR)
+        return PipelineState(
+            counters=PipelineCounters(**counters_json),
+            flows=[_flow_from_json(flow, packets)
+                   for flow, packets in zip(flows_json, buffers)],
+            records=[_record_from_json(r) for r in payload["records"]],
+            retention=retention,
+            batch_size=payload["batch_size"],
+            threshold=payload["threshold"],
+            rollup=rollup,
+            monitor_state=payload["monitor"],
+        )
+    except ConfigError:
+        raise
+    except (KeyError, ValueError, TypeError, AttributeError) as exc:
+        raise ConfigError(
+            f"malformed checkpoint payload at {root}: {exc}") from exc
+
+
+def _recover_interrupted_swap(path: Path) -> None:
+    """Finish a swap that crashed between its two renames: the target
+    vanished but the previous complete checkpoint survives under
+    ``<path>.replaced`` — put it back. (``<path>.saving`` is never
+    promoted: without a terminal marker it cannot be proven complete.)"""
+    old = path.parent / (path.name + ".replaced")
+    if old.exists() and not path.exists():
+        old.rename(path)
+
+
+def atomic_save(path: Path, write) -> None:
+    """Run ``write(tmp_dir)`` then swap ``tmp_dir`` into ``path`` so a
+    crash mid-save never destroys the previous checkpoint; a crash in
+    the rename window itself is healed by the next save or load."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _recover_interrupted_swap(path)
+    tmp = path.parent / (path.name + ".saving")
+    old = path.parent / (path.name + ".replaced")
+    shutil.rmtree(tmp, ignore_errors=True)
+    shutil.rmtree(old, ignore_errors=True)
+    tmp.mkdir()
+    try:
+        write(tmp)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    if path.exists():
+        path.rename(old)
+    tmp.rename(path)
+    shutil.rmtree(old, ignore_errors=True)
+
+
+# -- public surface --------------------------------------------------------------
+
+
+def save_realtime(pipeline: "RealtimePipeline", path: str | Path,
+                  extra: dict[str, str] | None = None) -> None:
+    """Checkpoint one :class:`RealtimePipeline` into ``path``.
+
+    ``extra`` maps file names to text written into the checkpoint
+    atomically with it — the ingest glue stores its replay position
+    this way, so a crash can never leave a checkpoint whose position
+    sidecar belongs to a different snapshot.
+    """
+    state = state_of(pipeline)
+    atomic_save(Path(path), lambda tmp: _write_state(state, tmp,
+                                                      extra=extra))
+
+
+def read_state_config(root: str | Path) -> dict:
+    """Cheap peek at a realtime checkpoint's config echo — retention,
+    batch size, threshold — without digest verification, packet
+    unpickling, or rollup loading. For callers (the parallel parent)
+    that only need constructor knobs before a worker performs the full
+    verified restore."""
+    root = Path(root)
+    _recover_interrupted_swap(root)
+    document = _read_document(root / STATE_FILE, KIND_REALTIME)
+    try:
+        payload = document["payload"]
+        return {"retention": payload["retention"],
+                "batch_size": payload["batch_size"],
+                "threshold": payload["threshold"]}
+    except (KeyError, TypeError) as exc:
+        raise ConfigError(
+            f"malformed checkpoint payload at {root}: {exc}") from exc
+
+
+def restore_realtime(path: str | Path, bank,
+                     batch_size: int | None = None,
+                     confidence_threshold: float | None = None,
+                     retention: str | None = None) -> "RealtimePipeline":
+    """Rebuild a :class:`RealtimePipeline` from a checkpoint.
+
+    ``bank`` is supplied by the caller (models live in their own
+    persisted bank directory, not in checkpoints). ``batch_size`` and
+    ``confidence_threshold`` default to the checkpointed values;
+    ``retention`` must match the checkpoint (the cube either exists in
+    the snapshot or it does not).
+    """
+    from repro.pipeline.engine import RealtimePipeline
+
+    state = load_state(path)
+    if retention is not None and retention != state.retention:
+        raise ConfigError(
+            f"checkpoint at {path} was taken with "
+            f"retention={state.retention!r}, cannot restore into "
+            f"retention={retention!r}")
+    pipeline = RealtimePipeline(
+        bank, store=TelemetryStore(),
+        confidence_threshold=(confidence_threshold
+                              if confidence_threshold is not None
+                              else state.threshold),
+        batch_size=(batch_size if batch_size is not None
+                    else state.batch_size),
+        retention=state.retention)
+    apply_state(state, pipeline)
+    return pipeline
+
+
+def write_sharded_meta(root: Path, num_shards: int,
+                       extra: dict[str, str] | None = None) -> None:
+    """Write a sharded checkpoint's meta file plus any sidecar files,
+    with the sidecars' digests embedded so corruption is detected at
+    load like every other artifact."""
+    (root / META_FILE).write_text(json.dumps({
+        "format_version": _FORMAT_VERSION,
+        "kind": KIND_SHARDED,
+        "num_shards": num_shards,
+        "extra_sha256": {name: _sha256(text.encode())
+                         for name, text in (extra or {}).items()},
+    }, sort_keys=True, indent=1))
+    for name, text in (extra or {}).items():
+        (root / name).write_text(text)
+
+
+def read_sharded_meta(root: str | Path) -> int:
+    """Validate a sharded checkpoint's meta file (including sidecar
+    digests); returns the saved shard count."""
+    root = Path(root)
+    _recover_interrupted_swap(root)
+    document = _read_document(root / META_FILE, KIND_SHARDED)
+    try:
+        num_shards = int(document["num_shards"])
+        extra = document["extra_sha256"]
+    except (KeyError, ValueError, TypeError) as exc:
+        raise ConfigError(
+            f"malformed sharded checkpoint meta at {root}") from exc
+    if num_shards < 1:
+        raise ConfigError(
+            f"sharded checkpoint at {root} claims {num_shards} shards")
+    for name, digest in extra.items():
+        sidecar = root / name
+        if not sidecar.exists() or \
+                _sha256(sidecar.read_bytes()) != digest:
+            raise ConfigError(
+                f"checkpoint sidecar {name!r} at {root} is missing or "
+                f"corrupt (digest mismatch)")
+    for i in range(num_shards):
+        if not (root / shard_dir_name(i) / STATE_FILE).exists():
+            raise ConfigError(
+                f"sharded checkpoint at {root} lacks shard {i}")
+    return num_shards
+
+
+def save_sharded(shards, path: str | Path,
+                 extra: dict[str, str] | None = None) -> None:
+    """Checkpoint a list of realtime pipelines shard by shard."""
+    states = [state_of(shard) for shard in shards]
+
+    def write(tmp: Path) -> None:
+        for i, state in enumerate(states):
+            shard_root = tmp / shard_dir_name(i)
+            shard_root.mkdir()
+            _write_state(state, shard_root)
+        write_sharded_meta(tmp, len(states), extra=extra)
+
+    atomic_save(Path(path), write)
+
+
+def load_sharded_states(root: str | Path) -> list[PipelineState]:
+    root = Path(root)
+    count = read_sharded_meta(root)
+    return [load_state(root / shard_dir_name(i)) for i in range(count)]
+
+
+def redistribute_states(states: list[PipelineState],
+                        num_shards: int) -> list[PipelineState]:
+    """Re-shard checkpointed states onto a different shard count.
+
+    Live flows are re-routed by the same canonical-5-tuple crc32 the
+    dispatchers use, so every future packet of a restored flow finds
+    its state. Already-emitted records, merged counters, and the
+    merged rollup cube are carried on shard 0 — the merged operator
+    views (sum / concatenation / ``merge_from``) are preserved
+    exactly, while per-shard attribution of *pre-restore* history is
+    deliberately given up (record order across shards is only defined
+    for a fixed shard count).
+    """
+    from repro.pipeline.sharded import _shard_of_tuple
+
+    if num_shards < 1:
+        raise ConfigError(
+            f"num_shards must be >= 1, got {num_shards}")
+    if not states:
+        raise ConfigError("cannot redistribute an empty checkpoint")
+    retention = states[0].retention
+    merged_counters = PipelineCounters()
+    all_records: list[TelemetryRecord] = []
+    merged_rollup = None
+    flow_bins: list[list[_FlowState]] = [[] for _ in range(num_shards)]
+    for state in states:
+        if state.retention != retention:
+            raise ConfigError(
+                "sharded checkpoint mixes retention modes")
+        merged_counters.merge(state.counters)
+        all_records.extend(state.records)
+        if state.rollup is not None:
+            if merged_rollup is None:
+                from repro.telemetry.rollup import RollupCube
+
+                merged_rollup = RollupCube(state.rollup.config)
+            merged_rollup.merge_from(state.rollup)
+        for flow in state.flows:
+            key = flow.key
+            shard = _shard_of_tuple(
+                (key.protocol, key.src_ip, key.src_port, key.dst_ip,
+                 key.dst_port), num_shards)
+            flow_bins[shard].append(flow)
+    out = []
+    for i in range(num_shards):
+        rollup = None
+        if merged_rollup is not None:
+            if i == 0:
+                rollup = merged_rollup
+            else:
+                from repro.telemetry.rollup import RollupCube
+
+                rollup = RollupCube(merged_rollup.config)
+        out.append(PipelineState(
+            counters=merged_counters if i == 0 else PipelineCounters(),
+            flows=flow_bins[i],
+            records=all_records if i == 0 else [],
+            retention=retention,
+            batch_size=states[0].batch_size,
+            threshold=states[0].threshold,
+            rollup=rollup,
+            monitor_state=None,
+        ))
+    return out
+
+
+def redistribute_checkpoint(src: str | Path, dst: str | Path,
+                            num_shards: int) -> None:
+    """Rewrite a sharded checkpoint for a different shard count.
+
+    Bank-free: operates purely on checkpointed state, so the parallel
+    parent can re-shard a resume directory without loading models.
+    """
+    states = redistribute_states(load_sharded_states(src), num_shards)
+
+    def write(tmp: Path) -> None:
+        for i, state in enumerate(states):
+            shard_root = tmp / shard_dir_name(i)
+            shard_root.mkdir()
+            _write_state(state, shard_root)
+        write_sharded_meta(tmp, num_shards)
+
+    atomic_save(Path(dst), write)
+
+
+def restore_sharded(path: str | Path, bank,
+                    num_shards: int | None = None,
+                    batch_size: int | None = None,
+                    confidence_threshold: float | None = None,
+                    retention: str | None = None) -> "ShardedPipeline":
+    """Rebuild a :class:`ShardedPipeline` from a sharded checkpoint,
+    optionally onto a different shard count (see
+    :func:`redistribute_states` for what changing the count keeps
+    exact)."""
+    from repro.pipeline.sharded import ShardedPipeline
+
+    states = load_sharded_states(path)
+    if retention is not None and retention != states[0].retention:
+        raise ConfigError(
+            f"checkpoint at {path} was taken with "
+            f"retention={states[0].retention!r}, cannot restore into "
+            f"retention={retention!r}")
+    target = num_shards if num_shards is not None else len(states)
+    if target != len(states):
+        states = redistribute_states(states, target)
+    pipeline = ShardedPipeline(
+        bank, num_shards=target,
+        confidence_threshold=(confidence_threshold
+                              if confidence_threshold is not None
+                              else states[0].threshold),
+        batch_size=(batch_size if batch_size is not None
+                    else states[0].batch_size),
+        retention=states[0].retention)
+    for shard, state in zip(pipeline.shards, states):
+        apply_state(state, shard)
+    return pipeline
+
+
+def checkpoint_kind(path: str | Path) -> str | None:
+    """``"realtime"``, ``"sharded"``, or None when ``path`` holds no
+    recognizable checkpoint. Purely structural — corruption is only
+    detected by the load functions."""
+    root = Path(path)
+    _recover_interrupted_swap(root)
+    if (root / META_FILE).exists():
+        return KIND_SHARDED
+    if (root / STATE_FILE).exists():
+        return KIND_REALTIME
+    return None

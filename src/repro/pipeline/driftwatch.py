@@ -67,6 +67,33 @@ class PageHinkley:
         self._minimum = 0.0
         self._alarmed = False
 
+    def state_dict(self) -> dict:
+        """JSON-serializable detector state (exact float round trip)."""
+        return {
+            "delta": self.delta,
+            "threshold": self.threshold,
+            "count": self._count,
+            "mean": self._mean,
+            "cumulative": self._cumulative,
+            "minimum": self._minimum,
+            "alarmed": self._alarmed,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PageHinkley":
+        try:
+            detector = cls(delta=state["delta"],
+                           threshold=state["threshold"])
+            detector._count = int(state["count"])
+            detector._mean = float(state["mean"])
+            detector._cumulative = float(state["cumulative"])
+            detector._minimum = float(state["minimum"])
+            detector._alarmed = bool(state["alarmed"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"malformed PageHinkley state: {exc}") from exc
+        return detector
+
 
 @dataclass
 class _ScenarioState:
@@ -197,3 +224,64 @@ class ConceptDriftMonitor:
         state.classified_window.clear()
         state.page_hinkley.reset()
         state.observed = 0
+
+    # -- checkpointable state ----------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The monitor's full state as JSON-serializable data, in
+        scenario insertion order — byte-stable under save/load/save,
+        the property the checkpoint subsystem needs."""
+        scenarios = []
+        for (provider, transport), state in self._scenarios.items():
+            scenarios.append({
+                "provider": provider.value,
+                "transport": transport.value,
+                "reference_confidence": state.reference_confidence,
+                "reference_classified_share":
+                    state.reference_classified_share,
+                "window": list(state.window),
+                "classified_window": list(state.classified_window),
+                "page_hinkley": state.page_hinkley.state_dict(),
+                "observed": state.observed,
+            })
+        return {
+            "confidence_drop_threshold": self.confidence_drop_threshold,
+            "min_observations": self.min_observations,
+            "window_size": self.window_size,
+            "ph_delta": self._ph_delta,
+            "ph_threshold": self._ph_threshold,
+            "scenarios": scenarios,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ConceptDriftMonitor":
+        """Rebuild a monitor from :meth:`state_dict` output; malformed
+        state raises :class:`ConfigError`."""
+        try:
+            monitor = cls(
+                confidence_drop_threshold=state[
+                    "confidence_drop_threshold"],
+                min_observations=state["min_observations"],
+                window_size=state["window_size"],
+                ph_delta=state["ph_delta"],
+                ph_threshold=state["ph_threshold"])
+            for entry in state["scenarios"]:
+                scenario = monitor._state(Provider(entry["provider"]),
+                                          Transport(entry["transport"]))
+                scenario.reference_confidence = \
+                    entry["reference_confidence"]
+                scenario.reference_classified_share = \
+                    entry["reference_classified_share"]
+                scenario.window.extend(
+                    float(v) for v in entry["window"])
+                scenario.classified_window.extend(
+                    float(v) for v in entry["classified_window"])
+                scenario.page_hinkley = PageHinkley.from_state(
+                    entry["page_hinkley"])
+                scenario.observed = int(entry["observed"])
+        except ConfigError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"malformed drift-monitor state: {exc}") from exc
+        return monitor

@@ -121,7 +121,8 @@ class RealtimePipeline:
                  DEFAULT_CONFIDENCE_THRESHOLD,
                  batch_size: int = 1,
                  retention: str = "raw",
-                 rollup_config: "RollupConfig | None" = None):
+                 rollup_config: "RollupConfig | None" = None,
+                 monitor: "ConceptDriftMonitor | None" = None):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if retention not in RETENTION_MODES:
@@ -144,6 +145,10 @@ class RealtimePipeline:
             self.rollup = RollupCube(rollup_config
                                      if rollup_config is not None
                                      else RollupConfig())
+        # Optional concept-drift watch (§5.3): every prediction the
+        # pipeline assigns is also shown to the monitor, whose state
+        # rides along in checkpoints.
+        self.monitor = monitor
         self.counters = PipelineCounters()
         # Keyed on the canonical 5-tuple as a plain tuple: tuple hashing
         # is the per-packet hot path, FlowKey objects are only built
@@ -299,9 +304,12 @@ class RealtimePipeline:
         items = [(provider, transport, attributes)
                  for _, provider, transport, attributes in pending]
         predictions = self.bank.classify_batch(items, self.threshold)
-        for (state, _, _, _), prediction in zip(pending, predictions):
+        for (state, provider, transport, _), prediction in \
+                zip(pending, predictions):
             state.prediction = prediction
             self.counters.record(prediction)
+            if self.monitor is not None:
+                self.monitor.observe(provider, transport, prediction)
         return len(pending)
 
     @property
@@ -362,6 +370,44 @@ class RealtimePipeline:
         """Current flow-table size (bounded via :meth:`flush_idle`)."""
         return len(self._flows)
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def reload_bank(self, bank: ClassifierBank) -> None:
+        """Hot-swap a retrained classifier bank without dropping
+        in-flight flows — driftwatch's deferred retraining trigger.
+
+        Drains the classification buffer first, so every flow whose
+        handshake the *old* bank's scenarios admitted is classified by
+        the bank that admitted it; flows still collecting their
+        handshake classify under the new bank, exactly as if the
+        process had restarted with it."""
+        self.drain()
+        self.bank = bank
+
+    def save_checkpoint(self, path,
+                        extra: dict[str, str] | None = None) -> None:
+        """Write a full state snapshot (flow table with handshake
+        buffers, counters, telemetry, rollup cube, driftwatch state)
+        to the directory ``path``, atomically. Drains the
+        classification buffer at the boundary (equivalence-preserving
+        by the batching contract)."""
+        from repro.pipeline.checkpoint import save_realtime
+
+        save_realtime(self, path, extra=extra)
+
+    @classmethod
+    def restore(cls, path, bank: ClassifierBank,
+                batch_size: int | None = None,
+                confidence_threshold: float | None = None,
+                retention: str | None = None) -> "RealtimePipeline":
+        """Rebuild a pipeline from :meth:`save_checkpoint` output plus
+        a (separately persisted) classifier bank."""
+        from repro.pipeline.checkpoint import restore_realtime
+
+        return restore_realtime(path, bank, batch_size=batch_size,
+                                confidence_threshold=confidence_threshold,
+                                retention=retention)
+
     # Uniform runtime lifecycle: in-process pipelines have nothing to
     # release, but sharing the protocol lets callers scope any runtime
     # (this, sharded, or the multiprocess parallel one) identically.
@@ -403,6 +449,8 @@ class RealtimePipeline:
                                         attributes, self.threshold)
         self.counters.video_flows += 1
         self.counters.record(prediction)
+        if self.monitor is not None:
+            self.monitor.observe(provider, record.transport, prediction)
         telemetry = self._flow_record(flow, provider, record.transport,
                                       prediction)
         self._record(telemetry)
@@ -450,6 +498,8 @@ class RealtimePipeline:
                                                               predictions):
             self.counters.video_flows += 1
             self.counters.record(prediction)
+            if self.monitor is not None:
+                self.monitor.observe(provider, transport, prediction)
             self._record(self._flow_record(flow, provider, transport,
                                            prediction))
         return len(ready)

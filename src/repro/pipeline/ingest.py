@@ -22,19 +22,96 @@ call the pipeline's ``flush_idle`` every ``evict_interval`` seconds of
 instead of O(total flows). For captures shorter than the timeout no
 flow can be idle long enough to evict, so counters and telemetry stay
 identical to an unbounded replay.
+
+Checkpointing rides the same capture clock: with ``checkpoint_dir``
+and ``checkpoint_interval`` set, every interval of capture time the
+pipeline's ``save_checkpoint`` runs and the replay position (records
+consumed, clock, pending eviction/checkpoint deadlines) is written
+*atomically with* the snapshot as an ``ingest.json`` sidecar. A
+killed replay then restarts with ``resume_dir=``: the caller restores
+the pipeline from the checkpoint, :func:`ingest_pcap` skips the
+already-consumed records and re-arms the clocks, and the finished run
+is byte-identical to one that was never interrupted (given the same
+checkpoint schedule — see ``pipeline/checkpoint.py`` for why the
+schedule is part of the contract).
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import NamedTuple
 
-from repro.errors import ParseError
+from repro.errors import ConfigError, ParseError
 from repro.net.packet import Packet
 from repro.net.pcap import PcapReader
 from repro.net.rawpacket import RawPacket
 
 INGEST_MODES = ("raw", "eager")
+
+INGEST_POSITION_FILE = "ingest.json"
+_INGEST_POSITION_VERSION = 1
+
+
+class IngestPosition(NamedTuple):
+    """Where a checkpointed replay stood when its snapshot was taken.
+
+    ``consumed`` counts every pcap record read (processed *and*
+    skipped) — the records :func:`ingest_pcap` fast-forwards past on
+    resume. The clocks re-arm eviction and checkpoint ticks at the
+    same capture times an uninterrupted replay would hit.
+    """
+
+    consumed: int
+    frames: int
+    skipped: int
+    clock: float | None
+    next_evict: float | None
+    next_checkpoint: float | None
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "format_version": _INGEST_POSITION_VERSION,
+            "consumed": self.consumed,
+            "frames": self.frames,
+            "skipped": self.skipped,
+            "clock": self.clock,
+            "next_evict": self.next_evict,
+            "next_checkpoint": self.next_checkpoint,
+        }, sort_keys=True, indent=1)
+
+
+def load_ingest_position(checkpoint_dir: str | Path) -> IngestPosition:
+    """Read the replay position saved alongside a checkpoint; raises
+    :class:`ConfigError` when the checkpoint carries none (it was not
+    written by a checkpointing :func:`ingest_pcap`) or it is
+    malformed."""
+    path = Path(checkpoint_dir) / INGEST_POSITION_FILE
+    if not path.exists():
+        raise ConfigError(
+            f"checkpoint at {checkpoint_dir} has no replay position "
+            f"({INGEST_POSITION_FILE}); it was not written during a "
+            f"pcap replay")
+    try:
+        data = json.loads(path.read_text())
+        if data.get("format_version") != _INGEST_POSITION_VERSION:
+            raise ConfigError(
+                f"unsupported ingest position format "
+                f"{data.get('format_version')!r} at {path}")
+        return IngestPosition(
+            consumed=int(data["consumed"]),
+            frames=int(data["frames"]),
+            skipped=int(data["skipped"]),
+            clock=data["clock"],
+            next_evict=data["next_evict"],
+            next_checkpoint=data["next_checkpoint"],
+        )
+    except ConfigError:
+        raise
+    except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+            TypeError, ValueError, OSError) as exc:
+        raise ConfigError(
+            f"malformed ingest position at {path}: {exc}") from exc
 
 
 class IngestResult(NamedTuple):
@@ -48,7 +125,10 @@ class IngestResult(NamedTuple):
 def ingest_pcap(pipeline, path: str | Path, mode: str = "raw",
                 strict: bool = False,
                 idle_timeout: float | None = None,
-                evict_interval: float | None = None) -> IngestResult:
+                evict_interval: float | None = None,
+                checkpoint_dir: str | Path | None = None,
+                checkpoint_interval: float | None = None,
+                resume_dir: str | Path | None = None) -> IngestResult:
     """Stream every frame of ``path`` into ``pipeline``.
 
     Does not flush — callers decide when flows are final. With
@@ -61,6 +141,16 @@ def ingest_pcap(pipeline, path: str | Path, mode: str = "raw",
     capture clock, finalizing flows idle for ``idle_timeout`` seconds.
     The capture clock is the maximum timestamp seen so far, so a
     reordered slice never drives it backwards.
+
+    ``checkpoint_dir`` + ``checkpoint_interval`` snapshot the pipeline
+    (``pipeline.save_checkpoint``) every interval of capture time,
+    with the replay position embedded atomically in the checkpoint.
+    ``resume_dir`` reads such a position back (the caller must have
+    restored ``pipeline`` from the same checkpoint), fast-forwards
+    past the consumed records, and returns cumulative frame counts —
+    the combined run is indistinguishable from one that was never
+    interrupted. Usually ``resume_dir`` and ``checkpoint_dir`` are the
+    same directory.
     """
     if mode not in INGEST_MODES:
         raise ValueError(
@@ -76,9 +166,40 @@ def ingest_pcap(pipeline, path: str | Path, mode: str = "raw",
     elif evict_interval <= 0:
         raise ValueError(
             f"evict_interval must be positive, got {evict_interval}")
-    frames = skipped = 0
+    if checkpoint_interval is not None:
+        if checkpoint_dir is None:
+            raise ValueError("checkpoint_interval requires "
+                             "checkpoint_dir")
+        if checkpoint_interval <= 0:
+            raise ValueError(
+                f"checkpoint_interval must be positive, "
+                f"got {checkpoint_interval}")
+    elif checkpoint_dir is not None:
+        # Symmetric with the check above: a checkpoint directory that
+        # never receives a snapshot is a silent data-loss trap.
+        raise ValueError("checkpoint_dir requires checkpoint_interval")
+    track_clock = idle_timeout is not None or \
+        checkpoint_interval is not None
+    consumed = frames = skipped = 0
+    to_skip = 0
     clock: float | None = None
     next_evict: float | None = None
+    next_checkpoint: float | None = None
+    if resume_dir is not None:
+        position = load_ingest_position(resume_dir)
+        to_skip = position.consumed
+        consumed = position.consumed
+        frames = position.frames
+        skipped = position.skipped
+        clock = position.clock
+        # A saved deadline only re-arms when this run still has the
+        # matching knob: resuming without idle_timeout (or without
+        # checkpointing) deliberately drops that tick rather than
+        # firing it against a None interval.
+        next_evict = (position.next_evict
+                      if evict_interval is not None else None)
+        next_checkpoint = (position.next_checkpoint
+                           if checkpoint_interval is not None else None)
     with PcapReader(path) as reader:
         if mode == "raw":
             parse = RawPacket.parse
@@ -87,25 +208,54 @@ def ingest_pcap(pipeline, path: str | Path, mode: str = "raw",
             parse = Packet.from_bytes
             process = pipeline.process_packet
         for data, timestamp in reader.frames():
+            if to_skip:
+                # Fast-forward through records the checkpointed run
+                # already consumed; their effects are in the restored
+                # pipeline state.
+                to_skip -= 1
+                continue
             # The clock advances on every frame — skipped ones too: an
             # unparseable-heavy stretch (IPv6/ARP bursts) still passes
             # capture time, and idle flows must not outlive it.
-            if idle_timeout is not None:
+            if track_clock:
                 if clock is None or timestamp > clock:
                     clock = timestamp
-                    if next_evict is None:
+                    if next_evict is None and evict_interval is not None:
                         next_evict = clock + evict_interval
-                if clock >= next_evict:
+                    if next_checkpoint is None and \
+                            checkpoint_interval is not None:
+                        next_checkpoint = clock + checkpoint_interval
+                if next_evict is not None and clock >= next_evict:
                     pipeline.flush_idle(now=clock,
                                         idle_timeout=idle_timeout)
                     next_evict = clock + evict_interval
+                if next_checkpoint is not None and \
+                        clock >= next_checkpoint:
+                    next_checkpoint = clock + checkpoint_interval
+                    pipeline.save_checkpoint(
+                        checkpoint_dir,
+                        extra={INGEST_POSITION_FILE: IngestPosition(
+                            consumed=consumed, frames=frames,
+                            skipped=skipped, clock=clock,
+                            next_evict=next_evict,
+                            next_checkpoint=next_checkpoint,
+                        ).to_json()})
             try:
                 packet = parse(data, timestamp)
             except ParseError:
                 if strict:
                     raise
                 skipped += 1
+                consumed += 1
                 continue
             process(packet)
             frames += 1
+            consumed += 1
+    if to_skip:
+        # Fewer records than the checkpoint consumed: this is not the
+        # capture the position came from (wrong file or truncated).
+        raise ConfigError(
+            f"cannot resume: {path} holds fewer records than the "
+            f"checkpointed position ({to_skip} of "
+            f"{position.consumed} consumed records missing)")
     return IngestResult(frames, skipped)

@@ -29,6 +29,22 @@ The result is held to the serial :class:`ShardedPipeline` as an
 equivalence oracle (``tests/test_parallel_pipeline.py``): identical
 counters, predictions, telemetry, and rollup snapshots on the same
 capture for any worker count.
+
+**Checkpointing and crash recovery.** With ``checkpoint_dir=`` set the
+runtime becomes restartable at two granularities. The whole pipeline
+checkpoints per shard (:meth:`save_checkpoint`, one realtime
+sub-checkpoint per worker written at a drain barrier and swapped into
+place atomically) and resumes via :meth:`restore` — including onto a
+different worker count, in which case live flows are re-routed by the
+dispatcher hash. And a *single* worker crash no longer aborts the run:
+the parent journals every command shipped to each worker since its
+last completed checkpoint, so when a worker dies (segfault, OOM kill,
+SIGKILL) the parent respawns the process, restores its shard from the
+last checkpoint, replays the journaled delta, and continues — the
+merged views stay byte-identical to a run that never crashed, because
+a worker's state is a pure function of (checkpoint state, ordered
+command stream). Without ``checkpoint_dir`` there is no restore point
+to replay from, so the runtime keeps its original fail-fast behavior.
 """
 
 from __future__ import annotations
@@ -68,6 +84,19 @@ _QUEUE_MAX_CHUNKS = 16
 
 _REPLY_TIMEOUT = 5.0  # between liveness checks while awaiting a reply
 
+# Commands that only carry data (fire-and-forget, no reply); everything
+# else is a control command with exactly one reply.
+_DATA_OPS = frozenset(("frames", "packets", "flows"))
+
+# Sentinel for "no recovered reply pending" (None is a valid reply).
+_NO_REPLY = object()
+
+
+class _WorkerDied(RuntimeError):
+    """Internal: a worker process is gone (not a worker-reported
+    error). Carries the human-readable detail; the recovery layer
+    decides whether to respawn or surface it."""
+
 
 class _WorkerState(NamedTuple):
     """One worker's collected state at a sync barrier."""
@@ -79,21 +108,33 @@ class _WorkerState(NamedTuple):
 
 
 def _worker_main(worker_id: int, bank_dir: str, options: dict,
-                 cmd_queue, out_queue) -> None:
-    """Worker process entry point: load the bank from disk, run a
-    private :class:`RealtimePipeline`, and serve the parent's command
-    stream until ``stop``.
+                 resume_dir: str | None, cmd_queue, out_queue) -> None:
+    """Worker process entry point: load the bank from disk (and the
+    shard's checkpoint, when resuming), run a private
+    :class:`RealtimePipeline`, and serve the parent's command stream
+    until ``stop``.
 
     Data commands (``frames``/``packets``/``flows``) are fire-and-forget
     chunks; control commands (``drain``/``flush``/``flush_idle``/
-    ``sync``/``stop``) each produce exactly one ``("ok", payload)``
-    reply. Any failure ships the traceback back as ``("error", text)``
-    and ends the worker — the parent raises it at the next barrier.
+    ``sync``/``checkpoint``/``reload_bank``/``stop``) each produce
+    exactly one ``("ok", payload)`` reply. Any failure ships the
+    traceback back as ``("error", text)`` and ends the worker — the
+    parent raises it at the next barrier (or respawns, if recovery is
+    armed).
     """
     try:
         bank = load_bank(bank_dir)
-        pipeline = RealtimePipeline(bank, store=TelemetryStore(),
-                                    **options)
+        if resume_dir is not None:
+            from repro.pipeline.checkpoint import restore_realtime
+
+            pipeline = restore_realtime(
+                resume_dir, bank,
+                batch_size=options.get("batch_size"),
+                confidence_threshold=options.get("confidence_threshold"),
+                retention=options.get("retention"))
+        else:
+            pipeline = RealtimePipeline(bank, store=TelemetryStore(),
+                                        **options)
         while True:
             cmd = cmd_queue.get()
             op = cmd[0]
@@ -111,6 +152,12 @@ def _worker_main(worker_id: int, bank_dir: str, options: dict,
             elif op == "flush_idle":
                 out_queue.put(("ok", pipeline.flush_idle(
                     now=cmd[1], idle_timeout=cmd[2], role=cmd[3])))
+            elif op == "checkpoint":
+                pipeline.save_checkpoint(cmd[1])
+                out_queue.put(("ok", None))
+            elif op == "reload_bank":
+                pipeline.reload_bank(load_bank(cmd[1]))
+                out_queue.put(("ok", None))
             elif op == "sync":
                 rollup_dir = cmd[1]
                 if pipeline.rollup is not None and rollup_dir is not None:
@@ -147,6 +194,15 @@ class ParallelShardedPipeline:
     are synchronous barriers across all workers, as is the state sync
     behind the merged views. Use as a context manager (or call
     :meth:`close`) so worker processes always join.
+
+    ``checkpoint_dir`` arms the restartable mode: :meth:`save_checkpoint`
+    defaults to that directory, the parent journals per-worker command
+    deltas between checkpoints, and a dead worker is respawned from its
+    shard checkpoint + journal replay (up to ``max_worker_restarts``
+    times per checkpoint window) instead of aborting the run.
+    ``resume_dir`` starts every worker from an existing sharded
+    checkpoint (see :meth:`restore` for the worker-count-changing
+    variant).
     """
 
     def __init__(self, bank_dir: str | Path, num_workers: int = 4,
@@ -156,7 +212,10 @@ class ParallelShardedPipeline:
                  retention: str = "raw",
                  rollup_config=None,
                  chunk_items: int = DEFAULT_CHUNK_ITEMS,
-                 start_method: str | None = None):
+                 start_method: str | None = None,
+                 checkpoint_dir: str | Path | None = None,
+                 resume_dir: str | Path | None = None,
+                 max_worker_restarts: int = 3):
         if num_workers < 1:
             raise ValueError(
                 f"num_workers must be >= 1, got {num_workers}")
@@ -169,31 +228,55 @@ class ParallelShardedPipeline:
         if chunk_items < 1:
             raise ValueError(
                 f"chunk_items must be >= 1, got {chunk_items}")
+        if max_worker_restarts < 0:
+            raise ValueError(
+                f"max_worker_restarts must be >= 0, "
+                f"got {max_worker_restarts}")
         bank_dir = Path(bank_dir)
         if not (bank_dir / "manifest.json").exists():
             # Fail in the parent with a pointable error instead of K
             # tracebacks from freshly spawned workers.
             raise ConfigError(f"no bank manifest at {bank_dir}")
+        if resume_dir is not None:
+            from repro.pipeline.checkpoint import read_sharded_meta
+
+            resume_dir = Path(resume_dir)
+            saved = read_sharded_meta(resume_dir)
+            if saved != num_workers:
+                raise ConfigError(
+                    f"checkpoint at {resume_dir} holds {saved} shards "
+                    f"but num_workers={num_workers}; use "
+                    f"ParallelShardedPipeline.restore to re-shard")
         self.bank_dir = bank_dir
         self.num_workers = num_workers
         self.retention = retention
         self.chunk_items = chunk_items
-        options = dict(confidence_threshold=confidence_threshold,
-                       batch_size=batch_size, retention=retention,
-                       rollup_config=rollup_config)
-        ctx = multiprocessing.get_context(start_method)
-        self._cmd_queues = [ctx.Queue(maxsize=_QUEUE_MAX_CHUNKS)
-                            for _ in range(num_workers)]
-        self._out_queues = [ctx.Queue() for _ in range(num_workers)]
-        self._workers = []
+        self.checkpoint_dir = (Path(checkpoint_dir)
+                               if checkpoint_dir is not None else None)
+        self.max_worker_restarts = max_worker_restarts
+        self._options = dict(confidence_threshold=confidence_threshold,
+                             batch_size=batch_size, retention=retention,
+                             rollup_config=rollup_config)
+        self._ctx = multiprocessing.get_context(start_method)
+        # Recovery state: the journal holds every command shipped to a
+        # worker since its last completed checkpoint (None = recovery
+        # disarmed); the restore point starts at resume_dir and
+        # advances with each save_checkpoint. The bank directory is
+        # tracked separately for respawn because reload_bank may have
+        # swapped banks *after* the restore point.
+        journaling = self.checkpoint_dir is not None
+        self._journals: list[list | None] = [
+            [] if journaling else None for _ in range(num_workers)]
+        self._restarts = [0] * num_workers
+        self._recovered = [_NO_REPLY] * num_workers
+        self._restore_point: Path | None = resume_dir
+        self._respawn_bank_dir = bank_dir
+        self._resume_tmp: Path | None = None
+        self._workers: list = [None] * num_workers
+        self._cmd_queues: list = [None] * num_workers
+        self._out_queues: list = [None] * num_workers
         for i in range(num_workers):
-            process = ctx.Process(
-                target=_worker_main,
-                args=(i, str(bank_dir), options,
-                      self._cmd_queues[i], self._out_queues[i]),
-                name=f"repro-shard-{i}", daemon=True)
-            process.start()
-            self._workers.append(process)
+            self._spawn_worker(i, self._shard_resume_dir(resume_dir, i))
         self._buffers: list[list] = [[] for _ in range(num_workers)]
         self._buffer_kind: list[str | None] = [None] * num_workers
         self._closed = False
@@ -201,6 +284,151 @@ class ParallelShardedPipeline:
         self._rollup_cache = None
 
     # -- worker plumbing -------------------------------------------------------
+
+    @staticmethod
+    def _shard_resume_dir(root: Path | None, worker: int) -> str | None:
+        if root is None:
+            return None
+        from repro.pipeline.checkpoint import STATE_FILE, shard_dir_name
+
+        shard = Path(root) / shard_dir_name(worker)
+        return str(shard) if (shard / STATE_FILE).exists() else None
+
+    def _spawn_worker(self, worker: int,
+                      resume_dir: str | None) -> None:
+        """(Re)create worker ``worker``'s process and queues. A stale
+        queue pair is never reused: it may hold chunks the dead worker
+        popped from nobody's perspective, and replaying those to the
+        fresh process would double-process them."""
+        old = self._workers[worker]
+        if old is not None:
+            old.join(timeout=0)
+            for q in (self._cmd_queues[worker], self._out_queues[worker]):
+                q.cancel_join_thread()
+                q.close()
+        cmd_queue = self._ctx.Queue(maxsize=_QUEUE_MAX_CHUNKS)
+        out_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(worker, str(self._respawn_bank_dir), self._options,
+                  resume_dir, cmd_queue, out_queue),
+            name=f"repro-shard-{worker}", daemon=True)
+        process.start()
+        self._workers[worker] = process
+        self._cmd_queues[worker] = cmd_queue
+        self._out_queues[worker] = out_queue
+
+    def _death_detail(self, worker: int) -> str:
+        """Human-readable cause for a dead worker: its shipped
+        traceback if one made it out, else the exit code."""
+        try:
+            reply = self._out_queues[worker].get_nowait()
+        except queue_mod.Empty:
+            reply = None
+        if reply is not None and reply[0] == "error":
+            return f"worker {worker} failed:\n{reply[1]}"
+        return (f"worker {worker} died (exit code "
+                f"{self._workers[worker].exitcode})")
+
+    def _plain_put(self, worker: int, command: tuple) -> None:
+        """Enqueue with backpressure and a liveness check: the queue is
+        bounded (a slow worker throttles the parent instead of the
+        capture accumulating in queue buffers), and a dead worker
+        surfaces at the next put instead of hours later at a barrier —
+        otherwise the parent would pickle the rest of a multi-hour
+        replay into a queue nobody drains."""
+        q = self._cmd_queues[worker]
+        while True:
+            if not self._workers[worker].is_alive():
+                raise _WorkerDied(self._death_detail(worker))
+            try:
+                q.put(command, timeout=_REPLY_TIMEOUT)
+                return
+            except queue_mod.Full:
+                continue
+
+    def _plain_await(self, worker: int):
+        while True:
+            try:
+                reply = self._out_queues[worker].get(
+                    timeout=_REPLY_TIMEOUT)
+            except queue_mod.Empty:
+                if not self._workers[worker].is_alive():
+                    raise _WorkerDied(
+                        f"worker {worker} died (exit code "
+                        f"{self._workers[worker].exitcode}) without "
+                        f"replying") from None
+                continue
+            if reply[0] == "error":
+                raise RuntimeError(
+                    f"worker {worker} failed:\n{reply[1]}")
+            return reply[1]
+
+    def _put(self, worker: int, command: tuple) -> None:
+        """Journal + deliver one command, recovering the worker if it
+        is found dead at delivery time."""
+        journal = self._journals[worker]
+        if journal is not None:
+            journal.append(command)
+        try:
+            self._plain_put(worker, command)
+        except _WorkerDied as exc:
+            self._recover(worker, exc)
+
+    def _await(self, worker: int):
+        recovered = self._recovered[worker]
+        if recovered is not _NO_REPLY:
+            self._recovered[worker] = _NO_REPLY
+            return recovered
+        try:
+            return self._plain_await(worker)
+        except _WorkerDied as exc:
+            self._recover(worker, exc)
+            recovered = self._recovered[worker]
+            if recovered is _NO_REPLY:  # pragma: no cover - invariant
+                raise RuntimeError(str(exc)) from exc
+            self._recovered[worker] = _NO_REPLY
+            return recovered
+
+    def _recover(self, worker: int, cause: _WorkerDied) -> None:
+        """Respawn a dead worker from its last checkpoint and replay
+        the journaled command delta.
+
+        The parent is single-threaded and awaits every control reply
+        right after issuing the command, so at the moment of death at
+        most one control reply is outstanding — and only when the
+        journal *ends* with a control command. Its replayed reply is
+        stashed for the pending :meth:`_await`; replies to earlier
+        journaled control commands were consumed before the crash and
+        are discarded.
+        """
+        journal = self._journals[worker]
+        if journal is None:
+            # No checkpointing, no restore point: keep fail-fast.
+            raise RuntimeError(str(cause)) from cause
+        detail = str(cause)
+        while self._restarts[worker] < self.max_worker_restarts:
+            self._restarts[worker] += 1
+            self._state = None
+            self._spawn_worker(
+                worker,
+                self._shard_resume_dir(self._restore_point, worker))
+            try:
+                last_reply = _NO_REPLY
+                for command in journal:
+                    self._plain_put(worker, command)
+                    if command[0] not in _DATA_OPS:
+                        last_reply = self._plain_await(worker)
+                if journal and journal[-1][0] not in _DATA_OPS:
+                    self._recovered[worker] = last_reply
+                return
+            except _WorkerDied as exc:
+                detail = str(exc)
+                continue
+        raise RuntimeError(
+            f"{detail}; recovery gave up after "
+            f"{self.max_worker_restarts} restart(s) in this "
+            f"checkpoint window")
 
     def _enqueue(self, worker: int, kind: str, item) -> None:
         if self._closed:
@@ -218,53 +446,6 @@ class ParallelShardedPipeline:
             self._put(worker,
                       (self._buffer_kind[worker], self._buffers[worker]))
             self._buffers[worker] = []
-
-    def _put(self, worker: int, command: tuple) -> None:
-        """Enqueue with backpressure and a liveness check: the queue is
-        bounded (a slow worker throttles the parent instead of the
-        capture accumulating in queue buffers), and a dead worker
-        surfaces at the next put instead of hours later at a barrier —
-        otherwise the parent would pickle the rest of a multi-hour
-        replay into a queue nobody drains."""
-        q = self._cmd_queues[worker]
-        while True:
-            if not self._workers[worker].is_alive():
-                self._raise_worker_death(worker)
-            try:
-                q.put(command, timeout=_REPLY_TIMEOUT)
-                return
-            except queue_mod.Full:
-                continue
-
-    def _raise_worker_death(self, worker: int) -> None:
-        """Surface a dead worker's traceback if it managed to send one;
-        otherwise report the exit code."""
-        try:
-            reply = self._out_queues[worker].get_nowait()
-        except queue_mod.Empty:
-            reply = None
-        if reply is not None and reply[0] == "error":
-            raise RuntimeError(f"worker {worker} failed:\n{reply[1]}")
-        raise RuntimeError(
-            f"worker {worker} died (exit code "
-            f"{self._workers[worker].exitcode})")
-
-    def _await(self, worker: int):
-        while True:
-            try:
-                reply = self._out_queues[worker].get(
-                    timeout=_REPLY_TIMEOUT)
-            except queue_mod.Empty:
-                if not self._workers[worker].is_alive():
-                    raise RuntimeError(
-                        f"worker {worker} died (exit code "
-                        f"{self._workers[worker].exitcode}) without "
-                        f"replying") from None
-                continue
-            if reply[0] == "error":
-                raise RuntimeError(
-                    f"worker {worker} failed:\n{reply[1]}")
-            return reply[1]
 
     def _barrier(self, command: tuple) -> list:
         """Ship buffered chunks, broadcast one control command, and
@@ -294,8 +475,9 @@ class ParallelShardedPipeline:
             for worker in range(self.num_workers):
                 self._ship(worker)
                 self._put(worker, ("sync", dirs[worker]))
-            self._state = [self._await(worker)
-                           for worker in range(self.num_workers)]
+            state = [self._await(worker)
+                     for worker in range(self.num_workers)]
+            self._state = state
             if rollup_root is not None:
                 from repro.telemetry.rollup import RollupCube
                 from repro.telemetry.snapshot import load_rollup
@@ -376,6 +558,121 @@ class ParallelShardedPipeline:
         self._state = None
         return result
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def save_checkpoint(self, path: str | Path | None = None,
+                        extra: dict[str, str] | None = None) -> None:
+        """Checkpoint every worker's shard into one sharded checkpoint
+        (default: the constructor's ``checkpoint_dir``), atomically.
+
+        A drain barrier per worker: each worker classifies its
+        buffered flows, snapshots its full pipeline state into
+        ``<dir>/shardNN``, and the parent swaps the assembled
+        directory into place, clears the per-worker journals, and
+        resets the restart budget — this checkpoint is the new restore
+        point for crash recovery.
+        """
+        if self._closed:
+            raise RuntimeError("pipeline is closed")
+        target = Path(path) if path is not None else self.checkpoint_dir
+        if target is None:
+            raise ValueError(
+                "no checkpoint directory: pass path= or construct "
+                "with checkpoint_dir=")
+        from repro.pipeline.checkpoint import (
+            atomic_save,
+            shard_dir_name,
+            write_sharded_meta,
+        )
+
+        def write(tmp: Path) -> None:
+            for worker in range(self.num_workers):
+                self._ship(worker)
+                self._put(worker, ("checkpoint",
+                                   str(tmp / shard_dir_name(worker))))
+            for worker in range(self.num_workers):
+                self._await(worker)
+            write_sharded_meta(tmp, self.num_workers, extra=extra)
+
+        # If the save fails, the journaled ("checkpoint", <tmp>/shardNN)
+        # commands deliberately stay: replaying them preserves the
+        # worker's exact drain/flush trajectory, and the resurrected
+        # temp directory is removed by the next save to this target.
+        atomic_save(target, write)
+        self._restore_point = target
+        self._respawn_bank_dir = self.bank_dir
+        for worker in range(self.num_workers):
+            if self._journals[worker] is not None:
+                self._journals[worker] = []
+            self._restarts[worker] = 0
+        # Worker-side drain changed pending/classified state.
+        self._state = None
+
+    @classmethod
+    def restore(cls, path: str | Path, bank_dir: str | Path,
+                num_workers: int | None = None,
+                **options) -> "ParallelShardedPipeline":
+        """Resume a parallel runtime from a sharded checkpoint
+        (written by this class *or* by ``ShardedPipeline`` — the
+        formats are identical).
+
+        ``num_workers`` may differ from the checkpointed shard count:
+        the checkpoint is re-sharded bank-free on the parent side
+        (live flows re-routed by the dispatcher hash, merged history
+        carried on shard 0) into a temp directory the workers resume
+        from. ``batch_size``/``confidence_threshold``/``retention``
+        default to the checkpointed values.
+        """
+        from repro.pipeline.checkpoint import (
+            read_sharded_meta,
+            read_state_config,
+            redistribute_checkpoint,
+            shard_dir_name,
+        )
+
+        path = Path(path)
+        saved = read_sharded_meta(path)
+        target = num_workers if num_workers is not None else saved
+        resume = path
+        tmp_root: Path | None = None
+        if target != saved:
+            tmp_root = Path(tempfile.mkdtemp(prefix="repro-resume-"))
+            resume = tmp_root / "checkpoint"
+            redistribute_checkpoint(path, resume, target)
+        # Config defaults ride in every shard checkpoint; shard 0 is
+        # authoritative (save_* writes them identical across shards).
+        # A cheap header peek — the workers do the full verified load.
+        # An explicit None means "use the checkpointed value" too (the
+        # CLI passes unset flags through as None).
+        shard0 = read_state_config(resume / shard_dir_name(0))
+        if options.get("retention") is None:
+            options["retention"] = shard0["retention"]
+        if options.get("batch_size") is None:
+            options["batch_size"] = shard0["batch_size"]
+        if options.get("confidence_threshold") is None:
+            options["confidence_threshold"] = shard0["threshold"]
+        try:
+            pipeline = cls(bank_dir, num_workers=target,
+                           resume_dir=resume, **options)
+        except BaseException:
+            if tmp_root is not None:
+                shutil.rmtree(tmp_root, ignore_errors=True)
+            raise
+        pipeline._resume_tmp = tmp_root
+        return pipeline
+
+    def reload_bank(self, bank_dir: str | Path) -> None:
+        """Hot-swap a retrained persisted bank into every worker
+        without dropping in-flight flows (each worker drains first —
+        the driftwatch retraining trigger, best issued right after a
+        checkpoint so the swap is part of the journaled delta)."""
+        bank_dir = Path(bank_dir)
+        if not (bank_dir / "manifest.json").exists():
+            raise ConfigError(f"no bank manifest at {bank_dir}")
+        self._barrier(("reload_bank", str(bank_dir)))
+        self.bank_dir = bank_dir
+        self._state = None
+
     def close(self) -> None:
         """Stop and join every worker. Merged views stay readable: the
         final state is synced before the workers exit. If the final
@@ -394,6 +691,9 @@ class ParallelShardedPipeline:
             process.join(timeout=30.0)
         for q in (*self._cmd_queues, *self._out_queues):
             q.close()
+        if self._resume_tmp is not None:
+            shutil.rmtree(self._resume_tmp, ignore_errors=True)
+            self._resume_tmp = None
 
     def __enter__(self) -> "ParallelShardedPipeline":
         return self
@@ -411,8 +711,11 @@ class ParallelShardedPipeline:
         state)."""
         self._closed = True
         for process in self._workers:
-            if process.is_alive():
+            if process is not None and process.is_alive():
                 process.terminate()
+        if self._resume_tmp is not None:
+            shutil.rmtree(self._resume_tmp, ignore_errors=True)
+            self._resume_tmp = None
 
     # -- merged views ----------------------------------------------------------
 

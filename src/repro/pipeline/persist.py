@@ -14,6 +14,8 @@ encoders' codebooks to JSON; everything lands in one directory:
 from __future__ import annotations
 
 import json
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -166,31 +168,60 @@ def save_bank(bank: ClassifierBank, path: str | Path) -> None:
 
 
 def load_bank(path: str | Path) -> ClassifierBank:
-    """Load a bank previously written by :func:`save_bank`."""
+    """Load a bank previously written by :func:`save_bank`.
+
+    A bank directory that is corrupted, truncated, or of an unknown
+    format version raises :class:`ConfigError` — a restarted
+    deployment must refuse a damaged model store rather than come up
+    classifying with garbage.
+    """
     root = Path(path)
     manifest_path = root / "manifest.json"
     if not manifest_path.exists():
         raise ConfigError(f"no bank manifest at {root}")
-    manifest = json.loads(manifest_path.read_text())
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+        raise ConfigError(
+            f"unreadable bank manifest at {root}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise ConfigError(f"malformed bank manifest at {root}")
     if manifest.get("format_version") != _FORMAT_VERSION:
         raise ConfigError(
             f"unsupported bank format {manifest.get('format_version')}")
     scenarios = {}
-    for stem in manifest["scenarios"]:
-        meta = json.loads((root / f"{stem}.json").read_text())
-        arrays = np.load(root / f"{stem}.npz")
-        provider = Provider(meta["provider"])
-        transport = Transport(meta["transport"])
-        scenarios[(provider, transport)] = TrainedScenario(
-            provider=provider,
-            transport=transport,
-            encoder=_restore_encoder(meta["encoder"]),
-            platform_model=_deserialize_forest(
-                meta["models"]["platform"], "platform", arrays),
-            device_model=_deserialize_forest(
-                meta["models"]["device"], "device", arrays),
-            agent_model=_deserialize_forest(
-                meta["models"]["agent"], "agent", arrays),
-            n_training_flows=meta["n_training_flows"],
-        )
+    try:
+        stems = list(manifest["scenarios"])
+    except (KeyError, TypeError) as exc:
+        raise ConfigError(
+            f"malformed bank manifest at {root}: {exc}") from exc
+    for stem in stems:
+        try:
+            meta = json.loads((root / f"{stem}.json").read_text())
+            arrays = np.load(root / f"{stem}.npz")
+            provider = Provider(meta["provider"])
+            transport = Transport(meta["transport"])
+            scenarios[(provider, transport)] = TrainedScenario(
+                provider=provider,
+                transport=transport,
+                encoder=_restore_encoder(meta["encoder"]),
+                platform_model=_deserialize_forest(
+                    meta["models"]["platform"], "platform", arrays),
+                device_model=_deserialize_forest(
+                    meta["models"]["device"], "device", arrays),
+                agent_model=_deserialize_forest(
+                    meta["models"]["agent"], "agent", arrays),
+                n_training_flows=meta["n_training_flows"],
+            )
+        except ConfigError:
+            raise
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+                TypeError, ValueError, OSError,
+                zipfile.BadZipFile, zlib.error) as exc:
+            # np.load raises BadZipFile/zlib.error/ValueError/OSError
+            # on damaged archives; enum and dict lookups raise the
+            # rest.
+            raise ConfigError(
+                f"corrupt bank artifact {stem!r} at {root}: "
+                f"{exc}") from exc
     return ClassifierBank(scenarios)

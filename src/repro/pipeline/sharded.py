@@ -145,6 +145,41 @@ class ShardedPipeline:
         return sum(shard.flush_idle(now, idle_timeout, role)
                    for shard in self.shards)
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def reload_bank(self, bank: ClassifierBank) -> None:
+        """Hot-swap a retrained bank into every shard (each drains its
+        classification buffer first)."""
+        for shard in self.shards:
+            shard.reload_bank(bank)
+
+    def save_checkpoint(self, path,
+                        extra: dict[str, str] | None = None) -> None:
+        """Checkpoint all shards into ``path`` (one sub-checkpoint per
+        shard plus a meta file), atomically."""
+        from repro.pipeline.checkpoint import save_sharded
+
+        save_sharded(self.shards, path, extra=extra)
+
+    @classmethod
+    def restore(cls, path, bank: ClassifierBank,
+                num_shards: int | None = None,
+                batch_size: int | None = None,
+                confidence_threshold: float | None = None,
+                retention: str | None = None) -> "ShardedPipeline":
+        """Rebuild a sharded pipeline from :meth:`save_checkpoint`
+        output. ``num_shards`` may differ from the checkpointed count:
+        live flows are re-routed by the dispatcher hash and merged
+        history is carried on shard 0 (merged views stay exact;
+        per-shard attribution of pre-restore history is not
+        preserved)."""
+        from repro.pipeline.checkpoint import restore_sharded
+
+        return restore_sharded(path, bank, num_shards=num_shards,
+                               batch_size=batch_size,
+                               confidence_threshold=confidence_threshold,
+                               retention=retention)
+
     # Same no-op lifecycle as RealtimePipeline: callers scope every
     # runtime flavor with one protocol.
     def close(self) -> None:

@@ -21,6 +21,8 @@ original ``rollup.json`` byte for byte and every npz array exactly
 from __future__ import annotations
 
 import json
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -94,34 +96,55 @@ def save_rollup(cube: RollupCube, path: str | Path) -> None:
 
 
 def load_rollup(path: str | Path) -> RollupCube:
-    """Load a cube previously written by :func:`save_rollup`."""
+    """Load a cube previously written by :func:`save_rollup`.
+
+    Corrupted, truncated, or version-bumped snapshots raise
+    :class:`ConfigError` rather than restoring garbage aggregates.
+    """
     root = Path(path)
     manifest_path = root / "rollup.json"
     if not manifest_path.exists():
         raise ConfigError(f"no rollup snapshot at {root}")
-    manifest = json.loads(manifest_path.read_text())
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+        raise ConfigError(
+            f"unreadable rollup manifest at {root}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise ConfigError(f"malformed rollup manifest at {root}")
     if manifest.get("format_version") != _FORMAT_VERSION:
         raise ConfigError(
             f"unsupported rollup format {manifest.get('format_version')}")
-    config = RollupConfig(bucket_seconds=manifest["bucket_seconds"],
-                          epsilon=manifest["epsilon"])
-    cube = RollupCube(config)
     npz_path = root / "rollup.npz"
     if not npz_path.exists():
         raise ConfigError(f"rollup snapshot at {root} lacks rollup.npz")
-    with np.load(npz_path) as arrays:
-        for i, meta in enumerate(manifest["cells"]):
-            stem = f"c{i:06d}"
-            key = RollupKey(
-                bucket=int(meta["bucket"]),
-                provider=Provider(meta["provider"]),
-                transport=Transport(meta["transport"]),
-                role=meta["role"],
-                status=meta["status"],
-                device=meta["device"],
-                agent=meta["agent"],
-            )
-            cube._cells[key] = _restore_cell(meta, stem, arrays, config)
+    try:
+        config = RollupConfig(bucket_seconds=manifest["bucket_seconds"],
+                              epsilon=manifest["epsilon"])
+        cube = RollupCube(config)
+        with np.load(npz_path) as arrays:
+            for i, meta in enumerate(manifest["cells"]):
+                stem = f"c{i:06d}"
+                key = RollupKey(
+                    bucket=int(meta["bucket"]),
+                    provider=Provider(meta["provider"]),
+                    transport=Transport(meta["transport"]),
+                    role=meta["role"],
+                    status=meta["status"],
+                    device=meta["device"],
+                    agent=meta["agent"],
+                )
+                cube._cells[key] = _restore_cell(meta, stem, arrays,
+                                                 config)
+    except ConfigError:
+        raise
+    except (KeyError, TypeError, ValueError, OSError,
+            zipfile.BadZipFile, zlib.error) as exc:
+        # np.load raises BadZipFile/zlib.error/ValueError/OSError on a
+        # damaged archive; missing arrays and mangled cell metadata
+        # raise the rest.
+        raise ConfigError(
+            f"corrupt rollup snapshot at {root}: {exc}") from exc
     return cube
 
 

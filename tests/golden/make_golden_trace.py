@@ -1,0 +1,158 @@
+"""Regenerate the golden-trace fixture (golden.pcap + expected.json).
+
+Run from the repo root ONLY when an intentional behavior change moves
+the pinned bytes::
+
+    PYTHONPATH=src python tests/golden/make_golden_trace.py
+
+and commit the updated fixture together with the change that moved it.
+``tests/test_golden_trace.py`` replays the committed pcap through a
+bank retrained in-test with the exact parameters below and fails on
+any drift in counters, per-flow predictions, record order, or rollup
+snapshot bytes — the cheapest tier-1 tripwire for every future
+fast-path PR.
+
+Everything here is seeded; regeneration on the same code is
+byte-stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.fingerprints import Provider, Transport, UserPlatform, get_profile
+from repro.ml import RandomForestClassifier
+from repro.net import PcapWriter, TCPHeader, make_tcp_packet
+from repro.pipeline import ClassifierBank
+from repro.telemetry import save_rollup
+from repro.trafficgen import (
+    FlowBuildRequest,
+    FlowFactory,
+    generate_lab_dataset,
+)
+from repro.util import SeededRNG
+
+HERE = Path(__file__).parent
+
+# -- pinned generation parameters (mirrored in test_golden_trace.py) ----------
+TRAIN_SEED = 29
+TRAIN_SCALE = 0.05
+MODEL_PARAMS = dict(n_estimators=6, max_depth=12, random_state=9)
+TRACE_SEED = 61
+TRACE_SCALE = 0.04
+
+
+def model_factory():
+    return RandomForestClassifier(**MODEL_PARAMS)
+
+
+def train_bank() -> ClassifierBank:
+    return ClassifierBank.train(
+        generate_lab_dataset(seed=TRAIN_SEED, scale=TRAIN_SCALE),
+        model_factory=model_factory)
+
+
+def build_frames() -> list[tuple[bytes, float]]:
+    """The golden campus mix: video flows of every scenario from a
+    non-training seed, interleaved with non-video TLS, non-443 bulk,
+    and a few unparseable frames — all timestamp-ordered."""
+    lab = generate_lab_dataset(seed=TRACE_SEED, scale=TRACE_SCALE)
+    flows = list(lab)[::4][:48]
+    factory = FlowFactory(SeededRNG(101))
+    profile = get_profile(UserPlatform.from_label("macOS_safari"),
+                          Provider.NETFLIX)
+    for i in range(6):
+        flows.append(factory.build(FlowBuildRequest(
+            platform_label="macOS_safari", provider=Provider.NETFLIX,
+            transport=Transport.TCP, profile=profile,
+            sni=f"cdn{i}.not-a-video.example.org",
+            client_ip=f"10.{60 + i}.9.3", start_time=30.0 + 2 * i)))
+    frames = [(p.to_bytes(), p.timestamp)
+              for flow in flows for p in flow.packets]
+    rng = SeededRNG(131)
+    for i in range(40):
+        tcp = TCPHeader(src_port=41000 + i, dst_port=8080 if i % 2
+                        else 443, seq=i * 1400, flag_ack=True)
+        bulk = make_tcp_packet(
+            f"10.{i % 40}.7.7", "198.51.100.9", tcp,
+            payload=rng.token_bytes(256), timestamp=5.0 + i * 1.7)
+        frames.append((bulk.to_bytes(), bulk.timestamp))
+    # Unparseable frames the replay must skip-and-count, not die on.
+    frames.append((b"\x00" * 24, 11.0))
+    frames.append((bytes.fromhex("ffffffffffff00000000000108060001"),
+                   17.5))
+    frames.sort(key=lambda pair: pair[1])
+    return frames
+
+
+def record_rows(store) -> list[list]:
+    rows = []
+    for r in store:
+        p = r.prediction
+        rows.append([
+            str(r.key), r.provider.value, r.transport.value, r.role,
+            r.start_time, r.duration, r.bytes_down, r.bytes_up,
+            p.status, p.platform, p.device, p.agent, p.confidence,
+        ])
+    return rows
+
+
+def rollup_digest(cube, workdir: Path, tag: str) -> str:
+    target = workdir / f"rollup-{tag}"
+    save_rollup(cube, target)
+    return hashlib.sha256(
+        (target / "rollup.json").read_bytes()).hexdigest()
+
+
+def main() -> None:
+    import tempfile
+
+    from dataclasses import asdict
+
+    from repro.pipeline import RealtimePipeline, ShardedPipeline, \
+        ingest_pcap
+
+    frames = build_frames()
+    pcap = HERE / "golden.pcap"
+    with PcapWriter(pcap) as writer:
+        for data, timestamp in frames:
+            writer.write_bytes(data, timestamp)
+
+    bank = train_bank()
+    workdir = Path(tempfile.mkdtemp(prefix="golden-"))
+
+    serial = RealtimePipeline(bank, batch_size=8, retention="both")
+    result = ingest_pcap(serial, pcap)
+    serial.flush()
+
+    sharded = ShardedPipeline(bank, num_shards=3, batch_size=8,
+                              retention="both")
+    ingest_pcap(sharded, pcap)
+    sharded.flush()
+
+    expected = {
+        "_generator": {
+            "train_seed": TRAIN_SEED, "train_scale": TRAIN_SCALE,
+            "model_params": MODEL_PARAMS,
+            "trace_seed": TRACE_SEED, "trace_scale": TRACE_SCALE,
+        },
+        "ingest": {"frames": result.frames, "skipped": result.skipped},
+        "counters": asdict(serial.counters),
+        "records": record_rows(serial.store),
+        "rollup_sha256_serial": rollup_digest(serial.rollup, workdir,
+                                              "serial"),
+        "rollup_sha256_sharded3": rollup_digest(sharded.rollup, workdir,
+                                                "sharded3"),
+    }
+    (HERE / "expected.json").write_text(
+        json.dumps(expected, sort_keys=True, indent=1))
+    print(f"wrote {pcap} ({pcap.stat().st_size} bytes) and "
+          f"expected.json ({len(expected['records'])} records, "
+          f"{expected['counters']['video_flows']} video flows, "
+          f"{result.skipped} skipped frames)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+"""Golden-trace regression tripwire.
+
+``tests/golden/golden.pcap`` is a committed, seeded campus capture;
+``tests/golden/expected.json`` pins the counters, every per-flow
+prediction (with exact confidences), the record order, and the rollup
+snapshot digests a bank trained with the pinned parameters must
+produce on it. This suite replays the committed bytes through
+eager/raw ingest x serial/sharded/parallel runtimes and fails on *any*
+drift — the cheapest tier-1 guard for every future fast-path change.
+
+If a change moves these bytes **intentionally**, regenerate with::
+
+    PYTHONPATH=src python tests/golden/make_golden_trace.py
+
+and commit the updated fixture with the change (the generator is
+seeded, so regeneration is reproducible).
+"""
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline import (
+    ParallelShardedPipeline,
+    RealtimePipeline,
+    ShardedPipeline,
+    ingest_pcap,
+    save_bank,
+)
+from repro.telemetry import save_rollup
+
+from golden.make_golden_trace import record_rows, train_bank
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def expected():
+    return json.loads((GOLDEN / "expected.json").read_text())
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return train_bank()
+
+
+@pytest.fixture(scope="module")
+def bank_dir(bank, tmp_path_factory):
+    path = tmp_path_factory.mktemp("golden-bank") / "bank"
+    save_bank(bank, path)
+    return path
+
+
+def _rollup_digest(cube, tmp_path, tag) -> str:
+    target = tmp_path / f"rollup-{tag}"
+    save_rollup(cube, target)
+    return hashlib.sha256(
+        (target / "rollup.json").read_bytes()).hexdigest()
+
+
+class TestGoldenTrace:
+    @pytest.mark.parametrize("mode", ("raw", "eager"))
+    def test_serial_replay_matches_pinned_bytes(self, bank, expected,
+                                                tmp_path, mode):
+        pipeline = RealtimePipeline(bank, batch_size=8,
+                                    retention="both")
+        result = ingest_pcap(pipeline, GOLDEN / "golden.pcap",
+                             mode=mode)
+        pipeline.flush()
+        assert result.frames == expected["ingest"]["frames"]
+        assert result.skipped == expected["ingest"]["skipped"]
+        assert asdict(pipeline.counters) == expected["counters"]
+        assert record_rows(pipeline.store) == expected["records"]
+        assert _rollup_digest(pipeline.rollup, tmp_path, mode) == \
+            expected["rollup_sha256_serial"]
+
+    @pytest.mark.parametrize("mode", ("raw", "eager"))
+    def test_sharded_replay_matches_pinned_bytes(self, bank, expected,
+                                                 tmp_path, mode):
+        pipeline = ShardedPipeline(bank, num_shards=3, batch_size=8,
+                                   retention="both")
+        ingest_pcap(pipeline, GOLDEN / "golden.pcap", mode=mode)
+        pipeline.flush()
+        assert asdict(pipeline.counters) == expected["counters"]
+        # Record *order* is shard-major (pinned via the merged rollup
+        # digest + the serial order above); the multiset must still
+        # match the serial records exactly.
+        assert sorted(map(tuple, record_rows(pipeline.store))) == \
+            sorted(map(tuple, expected["records"]))
+        assert _rollup_digest(pipeline.rollup, tmp_path, mode) == \
+            expected["rollup_sha256_sharded3"]
+
+    def test_parallel_replay_matches_pinned_bytes(self, bank_dir,
+                                                  expected, tmp_path):
+        with ParallelShardedPipeline(bank_dir, num_workers=3,
+                                     batch_size=8,
+                                     retention="both") as pipeline:
+            ingest_pcap(pipeline, GOLDEN / "golden.pcap")
+            pipeline.flush()
+            assert asdict(pipeline.counters) == expected["counters"]
+            assert sorted(map(tuple, record_rows(pipeline.telemetry))) \
+                == sorted(map(tuple, expected["records"]))
+            # The multiprocess runtime must land on the same merged
+            # rollup bytes as the serial 3-shard dispatcher.
+            assert _rollup_digest(pipeline.rollup, tmp_path, "par") == \
+                expected["rollup_sha256_sharded3"]
+
+    def test_checkpointed_replay_matches_pinned_bytes(self, bank,
+                                                      expected,
+                                                      tmp_path):
+        """Checkpointing mid-replay and resuming must not move the
+        golden bytes either: the additive state (counters, records,
+        predictions) is checkpoint-schedule-invariant."""
+        victim = RealtimePipeline(bank, batch_size=8)
+        ingest_pcap(victim, GOLDEN / "golden.pcap",
+                    checkpoint_dir=tmp_path / "ck",
+                    checkpoint_interval=20.0)
+        resumed = RealtimePipeline.restore(tmp_path / "ck", bank)
+        ingest_pcap(resumed, GOLDEN / "golden.pcap",
+                    checkpoint_dir=tmp_path / "ck",
+                    resume_dir=tmp_path / "ck",
+                    checkpoint_interval=20.0)
+        resumed.flush()
+        assert asdict(resumed.counters) == expected["counters"]
+        assert record_rows(resumed.store) == expected["records"]
+
+    def test_fixture_files_are_committed(self):
+        assert (GOLDEN / "golden.pcap").stat().st_size > 10_000
+        expected = json.loads((GOLDEN / "expected.json").read_text())
+        assert expected["counters"]["video_flows"] > 0
+        assert len(expected["records"]) == \
+            expected["counters"]["video_flows"]

@@ -124,3 +124,202 @@ class TestMutatedValidMessages:
             ClientHello.parse_handshake(truncated)
         except CLEAN_ERRORS:
             pass
+
+
+# --- QUIC Initial mutation corpus ---------------------------------------------
+#
+# A border tap sees hostile and half-broken QUIC as surely as hostile
+# TLS: every mutant of a *valid, decryptable* client Initial must fail
+# cleanly (ParseError/CryptoError, never an unhandled exception), and
+# the zero-copy raw ingest path must reject exactly the same mutants
+# the eager path rejects — the rejection-parity half of the PR 3
+# ingest equivalence contract, extended to the QUIC surface.
+
+import random
+
+from repro.features.extract import parse_flow_handshake
+from repro.fingerprints import Provider, UserPlatform, get_profile
+from repro.fingerprints.specs import (
+    build_client_hello,
+    build_transport_parameters,
+)
+from repro.net import make_udp_packet
+from repro.net.rawpacket import RawPacket
+from repro.pipeline.engine import RealtimePipeline
+from repro.quic import QuicInitial, protect_client_initial
+from repro.quic.initial import build_crypto_frame, extract_crypto_stream
+from repro.quic.varint import encode_varint
+from repro.util import SeededRNG
+
+
+def _valid_quic_initial() -> bytes:
+    """A protected, decryptable client Initial built exactly the way
+    the trace generator builds them."""
+    profile = get_profile(UserPlatform.from_label("windows_chrome"),
+                          Provider.YOUTUBE)
+    rng = SeededRNG(5)
+    dcid = rng.token_bytes(profile.quic.dcid_length)
+    scid = rng.token_bytes(profile.quic.scid_length)
+    params = build_transport_parameters(profile.quic, rng, scid)
+    hello = build_client_hello(profile.tls_quic, "www.youtube.com", rng,
+                               quic_params=params,
+                               alpn_override=("h3",),
+                               resumption=False)
+    initial = QuicInitial(dcid=dcid, scid=scid,
+                          payload=build_crypto_frame(
+                              hello.to_handshake_bytes()))
+    return protect_client_initial(
+        initial, pn_length=profile.quic.packet_number_length,
+        min_datagram_size=profile.quic.datagram_size)
+
+
+def _mutation_corpus() -> list[tuple[str, bytes]]:
+    """Deterministic (seeded) mutants of the valid Initial: truncated
+    CRYPTO frames, flipped header-protection bytes, oversized/invalid
+    varints, short and oversized DCIDs, plus random byte flips and
+    truncations across the datagram."""
+    valid = _valid_quic_initial()
+    rng = random.Random(0xC0FFEE)
+    corpus: list[tuple[str, bytes]] = []
+
+    def mutate(tag, data):
+        corpus.append((tag, bytes(data)))
+
+    # Flipped header-protection territory: the first byte's protected
+    # bits and every byte of the pn/sample region.
+    for bit in range(8):
+        data = bytearray(valid)
+        data[0] ^= 1 << bit
+        mutate(f"first-byte-bit{bit}", data)
+    for _ in range(24):
+        data = bytearray(valid)
+        pos = 7 + rng.randrange(len(valid) - 8)
+        data[pos] ^= 1 + rng.randrange(255)
+        mutate(f"flip@{pos}", data)
+
+    # Truncations: through the header, through the CRYPTO payload.
+    for _ in range(16):
+        cut = rng.randrange(1, len(valid))
+        mutate(f"trunc@{cut}", valid[:cut])
+
+    # DCID length abuse: short (keys derive but AEAD fails), oversized
+    # (>20, structurally invalid), and a length that overruns.
+    for dcid_len in (0, 1, 4, 7, 21, 255):
+        data = bytearray(valid)
+        data[5] = dcid_len
+        mutate(f"dcid-len{dcid_len}", data)
+
+    # Varint abuse in the token-length field: an 8-byte varint
+    # claiming a giant token, and a truncated varint at the very end.
+    header = bytearray(valid[:6 + valid[5] + 1 + valid[6 + valid[5]]])
+    giant = bytes(header) + encode_varint((1 << 61) - 1)
+    mutate("giant-token-varint", giant + valid[len(header):])
+    mutate("dangling-varint", bytes(header) + b"\xc0")
+
+    # Oversized length varint: body length far past the datagram.
+    mutate("oversized-length",
+           bytes(header) + encode_varint(0) + encode_varint(1 << 20)
+           + valid[len(header) + 2:])
+
+    # Wrong version / not-initial type bits.
+    data = bytearray(valid)
+    data[1:5] = (0xBABABABA).to_bytes(4, "big")
+    mutate("bad-version", data)
+    data = bytearray(valid)
+    data[0] |= 0x30  # long header, but type = Retry
+    mutate("retry-type", data)
+    return corpus
+
+
+def _crypto_frame_mutants() -> list[tuple[str, bytes]]:
+    """Plaintext-payload mutants sealed with *valid* crypto, so the
+    frame parser (not the AEAD) is the code under test: truncated
+    CRYPTO frames, gaps, unknown frames, length overruns."""
+    hello = _valid_hello_bytes()
+    cases = [
+        ("crypto-truncated-length",
+         bytes([0x06]) + encode_varint(0) + encode_varint(len(hello) * 4)
+         + hello[:40]),
+        ("crypto-gap", build_crypto_frame(hello[:50], offset=64)),
+        ("crypto-unknown-frame", b"\x1c" + hello[:30]),
+        ("crypto-empty", b"\x00" * 64),
+        ("crypto-dangling-varint", bytes([0x06]) + b"\xff"),
+    ]
+    out = []
+    for tag, payload in cases:
+        initial = QuicInitial(dcid=b"\x11" * 8, scid=b"\x22" * 8,
+                              payload=payload)
+        out.append((tag, protect_client_initial(initial)))
+    return out
+
+
+class TestQuicInitialMutations:
+    CORPUS = _mutation_corpus() + _crypto_frame_mutants()
+
+    @pytest.mark.parametrize("tag,datagram",
+                             CORPUS, ids=[t for t, _ in CORPUS])
+    def test_unprotect_fails_cleanly(self, tag, datagram):
+        try:
+            initial = unprotect_client_initial(datagram)
+            # Mutants that survive (a flip in padding, say) must still
+            # have produced a coherent CRYPTO stream.
+            assert isinstance(initial.crypto_stream, bytes)
+        except CLEAN_ERRORS:
+            pass
+
+    @pytest.mark.parametrize("tag,datagram",
+                             CORPUS, ids=[t for t, _ in CORPUS])
+    def test_raw_vs_eager_rejection_parity(self, tag, datagram):
+        """Wrapped in a UDP/443 frame, every mutant must drive
+        parse_flow_handshake to the same outcome through the eager
+        packet path and the zero-copy raw path."""
+        frame = make_udp_packet("10.0.0.1", "93.184.216.34", 50000, 443,
+                                payload=datagram).to_bytes()
+
+        def outcome(packet):
+            try:
+                record = parse_flow_handshake([packet])
+                return ("ok", record.transport, record.sni)
+            except CLEAN_ERRORS as exc:
+                return ("rejected", type(exc).__name__)
+
+        eager = outcome(Packet.from_bytes(frame, 1.0))
+        raw = outcome(RawPacket.parse(frame, 1.0).promote())
+        assert eager == raw
+
+    def test_pipeline_survives_whole_corpus(self, quic_fuzz_bank):
+        """The full mutant corpus through a live pipeline: no crash,
+        and eager/raw counters stay identical."""
+        eager = RealtimePipeline(quic_fuzz_bank)
+        raw = RealtimePipeline(quic_fuzz_bank)
+        for i, (tag, datagram) in enumerate(self.CORPUS):
+            frame = make_udp_packet(f"10.1.{i % 200}.2", "93.184.216.34",
+                                    40000 + i, 443,
+                                    payload=datagram).to_bytes()
+            eager.process_packet(Packet.from_bytes(frame, float(i)))
+            raw.process_frame(frame, float(i))
+        eager.flush()
+        raw.flush()
+        assert eager.counters == raw.counters
+
+    def test_valid_initial_still_parses(self):
+        initial = unprotect_client_initial(_valid_quic_initial())
+        hello = ClientHello.parse_handshake(initial.crypto_stream)
+        assert hello.server_name == "www.youtube.com"
+
+    def test_crypto_stream_reassembly_rejects_gap(self):
+        with pytest.raises(ParseError):
+            extract_crypto_stream(build_crypto_frame(b"x" * 10,
+                                                     offset=5))
+
+
+@pytest.fixture(scope="module")
+def quic_fuzz_bank():
+    from repro.ml import RandomForestClassifier
+    from repro.pipeline import ClassifierBank
+    from repro.trafficgen import generate_lab_dataset
+
+    return ClassifierBank.train(
+        generate_lab_dataset(seed=3, scale=0.02),
+        model_factory=lambda: RandomForestClassifier(
+            n_estimators=2, max_depth=6, random_state=0))
