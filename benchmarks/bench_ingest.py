@@ -4,16 +4,28 @@ The paper's tap inspects every campus packet at line rate behind DPDK;
 the Python analogue of that constraint is the cost of turning captured
 bytes into pipeline updates. This bench streams the same bulk-dominated
 campus mix (video handshakes interleaved with the non-video traffic
-that dominates a real tap, a slice VLAN-tagged) through both ingest
-paths and reports packets/sec. The acceptance floor is >=2x for the raw
-path, with byte-identical counters and telemetry — equivalence is
-asserted here as well as in the dedicated suite.
+that dominates a real tap, a slice VLAN-tagged) through all three
+ingest paths and reports packets/sec. Acceptance floors: >=2x for the
+raw path vs eager, bulk no slower than raw on the campus mix, and
+>=5x bulk vs raw on the line-rate slice (the non-443-dominated regime
+where frame decode — not per-flow handshake parsing and
+classification, which every path pays identically — is the measured
+cost; the regime the vectorized path exists for). Counters and
+telemetry must be byte-identical throughout — equivalence is asserted
+here as well as in the dedicated suite.
+
+Both benches append their numbers to the committed trajectory
+(``BENCH_ingest.json`` at the repo root) with CPU count and Python
+version, so cross-runner comparisons stay interpretable;
+REPRO_BENCH_SMOKE=1 shrinks the workload for the CI regression gate.
 """
 
 import time
 from dataclasses import replace
 
-from conftest import bench_model_factory, emit
+from conftest import BENCH_SMOKE, bench_model_factory, emit, emit_bench_json
+
+from repro.net.rawpacket import FrameBlock, decode_block
 
 from repro.fingerprints import Provider, Transport, UserPlatform, get_profile
 from repro.net import EthernetHeader, Packet, TCPHeader, make_tcp_packet
@@ -69,11 +81,30 @@ def _best_of(fn, rounds=3):
     return min((fn() for _ in range(rounds)), key=lambda r: r[0])
 
 
+BLOCK_FRAMES = 4096
+
+
+def _blocks_of(frames):
+    """Pre-addressed capture blocks — the shape a DPDK-style delivery
+    hands the pipeline (and what PcapReader.blocks() yields), built
+    outside the timed region just as the per-frame list is for the
+    raw/eager paths."""
+    return [FrameBlock.from_frames(frames[i:i + BLOCK_FRAMES])
+            for i in range(0, len(frames), BLOCK_FRAMES)]
+
+
 def test_ingest_throughput():
     lab = generate_lab_dataset(seed=55, scale=0.08, name="bench-ingest")
     bank = ClassifierBank.train(lab, model_factory=bench_model_factory)
-    frames = _campus_mix_frames(lab)
+    # Smoke mode shrinks the workload but keeps the *composition*
+    # (video : web : filler ratio) fixed — the speedup ratios are only
+    # comparable across runs when the per-packet cost mix is the same.
+    mix_scale = 1 if BENCH_SMOKE else 3
+    frames = _campus_mix_frames(lab, video_flows=40 * mix_scale,
+                                web_flows=50 * mix_scale,
+                                bulk_packets=4000 * mix_scale)
     n = len(frames)
+    blocks = _blocks_of(frames)
 
     def run_eager():
         pipeline = RealtimePipeline(bank, batch_size=64)
@@ -90,6 +121,14 @@ def test_ingest_throughput():
         pipeline.flush()
         return time.perf_counter() - start, pipeline
 
+    def run_bulk():
+        pipeline = RealtimePipeline(bank, batch_size=64)
+        start = time.perf_counter()
+        for block in blocks:
+            pipeline.process_block(decode_block(block))
+        pipeline.flush()
+        return time.perf_counter() - start, pipeline
+
     def run_raw_sharded():
         pipeline = ShardedPipeline(bank, num_shards=4, batch_size=64)
         start = time.perf_counter()
@@ -99,21 +138,27 @@ def test_ingest_throughput():
 
     t_eager, ref = _best_of(run_eager)
     t_raw, fast = _best_of(run_raw)
+    t_bulk, bulk = _best_of(run_bulk)
     t_sharded, sharded = _best_of(run_raw_sharded)
 
-    # The fast path is only admissible while indistinguishable from the
-    # oracle on the same capture.
+    # The fast paths are only admissible while indistinguishable from
+    # the oracle on the same capture.
     assert fast.counters == ref.counters
     assert list(fast.store) == list(ref.store)
+    assert bulk.counters == ref.counters
+    assert list(bulk.store) == list(ref.store)
     assert sharded.counters == ref.counters
 
     speedup = t_eager / t_raw
+    bulk_speedup = t_eager / t_bulk
     emit("ingest_throughput", format_table(
         ("ingest path", "pkt/s", "vs eager"),
         [
             ("eager Packet.from_bytes", f"{n / t_eager:,.0f}", "1.00x"),
             ("raw frames (zero-copy)", f"{n / t_raw:,.0f}",
              f"{speedup:.2f}x"),
+            ("bulk decode_block", f"{n / t_bulk:,.0f}",
+             f"{bulk_speedup:.2f}x"),
             ("raw frames, 4 shards", f"{n / t_sharded:,.0f}",
              f"{t_eager / t_sharded:.2f}x"),
         ],
@@ -124,3 +169,69 @@ def test_ingest_throughput():
     assert speedup >= 2.0, (
         f"raw ingest speedup {speedup:.2f}x below the 2x acceptance "
         f"floor ({n / t_raw:,.0f} vs {n / t_eager:,.0f} pkt/s)")
+    assert t_bulk <= t_raw * 1.05, (
+        f"bulk ingest slower than raw on the campus mix: "
+        f"{n / t_bulk:,.0f} vs {n / t_raw:,.0f} pkt/s")
+
+    # --- line-rate slice: frame decode is the measured cost ----------
+    #
+    # A tap at ISP line rate is dominated by frames the flow table
+    # never needs (non-443). Per-flow handshake parsing and RF
+    # classification cost the same in every mode, so the campus-mix
+    # ratio above understates the decode win; this slice isolates it.
+    lr_packets = 15000 if BENCH_SMOKE else 60000
+    lr_frames = _campus_mix_frames(lab, video_flows=0, web_flows=0,
+                                   bulk_packets=lr_packets)
+    m = len(lr_frames)
+    lr_blocks = _blocks_of(lr_frames)
+
+    def run_lr_raw():
+        pipeline = RealtimePipeline(bank, batch_size=64)
+        start = time.perf_counter()
+        pipeline.process_frames(lr_frames)
+        pipeline.flush()
+        return time.perf_counter() - start, pipeline
+
+    def run_lr_bulk():
+        pipeline = RealtimePipeline(bank, batch_size=64)
+        start = time.perf_counter()
+        for block in lr_blocks:
+            pipeline.process_block(decode_block(block))
+        pipeline.flush()
+        return time.perf_counter() - start, pipeline
+
+    t_lr_raw, lr_ref = _best_of(run_lr_raw)
+    t_lr_bulk, lr_bulk = _best_of(run_lr_bulk)
+    assert lr_bulk.counters == lr_ref.counters
+    lr_speedup = t_lr_raw / t_lr_bulk
+
+    emit("ingest_linerate", format_table(
+        ("ingest path", "pkt/s", "vs raw"),
+        [
+            ("raw frames (zero-copy)", f"{m / t_lr_raw:,.0f}", "1.00x"),
+            ("bulk decode_block", f"{m / t_lr_bulk:,.0f}",
+             f"{lr_speedup:.2f}x"),
+        ],
+        title=f"Line-rate slice — {m:,} non-443 packets, "
+              f"frame decode dominated"))
+
+    emit_bench_json("ingest", [
+        {"mode": "eager", "workers": 1,
+         "pkt_per_s": round(n / t_eager), "speedup": 1.0},
+        {"mode": "raw", "workers": 1,
+         "pkt_per_s": round(n / t_raw),
+         "speedup": round(speedup, 3)},
+        {"mode": "bulk", "workers": 1,
+         "pkt_per_s": round(n / t_bulk),
+         "speedup": round(bulk_speedup, 3)},
+        {"mode": "raw-linerate", "workers": 1,
+         "pkt_per_s": round(m / t_lr_raw), "speedup": 1.0},
+        {"mode": "bulk-linerate", "workers": 1,
+         "pkt_per_s": round(m / t_lr_bulk),
+         "speedup": round(lr_speedup, 3)},
+    ])
+
+    assert lr_speedup >= 5.0, (
+        f"bulk decode speedup {lr_speedup:.2f}x below the 5x floor on "
+        f"the line-rate slice ({m / t_lr_bulk:,.0f} vs "
+        f"{m / t_lr_raw:,.0f} pkt/s)")

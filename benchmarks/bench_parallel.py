@@ -7,12 +7,19 @@ bench streams the same 443-heavy campus mix — video handshakes plus
 the non-video TLS a BPF-filtered tap still carries, the regime where
 per-packet work is concentrated in the workers rather than the
 routing parent — through the serial dispatcher and the parallel
-runtime at 1, 2, and 4 workers, and reports packets/sec.
+runtime at 1, 2, and 4 workers — over the pickling queue transport
+and over the shared-memory ring transport with vectorized bulk decode
+in the parent — and reports packets/sec.
 
-Counters must match the serial oracle at every worker count. The
-scaling assertion (>1x at 4 workers vs 1) only runs on machines with
-at least 4 cores — on fewer cores the workers time-slice a single
-core and the queue hop is pure overhead.
+Counters must match the serial oracle at every worker count and
+transport. The scaling assertions only run on machines with at least
+4 cores — on fewer cores the workers time-slice a single core and
+every transport hop is pure overhead: >1x at 4 workers for the queue
+transport, and >=3x at 4 workers for shm+bulk (relaxed to >=1.5x
+under REPRO_BENCH_SMOKE, where the shrunken workload leaves fixed
+costs dominant). The committed trajectory lands in
+``BENCH_parallel.json`` with CPU count and Python version, so
+cross-runner numbers stay interpretable.
 """
 
 import os
@@ -20,7 +27,9 @@ import shutil
 import tempfile
 import time
 
-from conftest import bench_model_factory, emit
+from conftest import BENCH_SMOKE, bench_model_factory, emit, emit_bench_json
+
+from repro.net.rawpacket import FrameBlock, decode_block
 
 from repro.fingerprints import Provider, Transport, UserPlatform, get_profile
 from repro.pipeline import (
@@ -66,8 +75,13 @@ def test_parallel_scaling():
     bank = ClassifierBank.train(lab, model_factory=bench_model_factory)
     bank_dir = tempfile.mkdtemp(prefix="repro-bench-bank-")
     save_bank(bank, bank_dir)
-    frames = _https_mix_frames(lab)
+    if BENCH_SMOKE:
+        frames = _https_mix_frames(lab, video_flows=100, web_flows=350)
+    else:
+        frames = _https_mix_frames(lab)
     n = len(frames)
+    blocks = [FrameBlock.from_frames(frames[i:i + 4096])
+              for i in range(0, n, 4096)]
 
     def run_serial():
         pipeline = ShardedPipeline(bank, num_shards=4, batch_size=64)
@@ -76,11 +90,16 @@ def test_parallel_scaling():
         pipeline.flush()
         return time.perf_counter() - start, pipeline.counters
 
-    def run_parallel(workers):
+    def run_parallel(workers, transport="queue", bulk=False):
         with ParallelShardedPipeline(bank_dir, num_workers=workers,
-                                     batch_size=64) as pipeline:
+                                     batch_size=64,
+                                     transport=transport) as pipeline:
             start = time.perf_counter()
-            pipeline.process_frames(frames)
+            if bulk:
+                for block in blocks:
+                    pipeline.process_block(decode_block(block))
+            else:
+                pipeline.process_frames(frames)
             pipeline.flush()
             elapsed = time.perf_counter() - start
             return elapsed, pipeline.counters
@@ -90,14 +109,33 @@ def test_parallel_scaling():
         rows = [("serial ShardedPipeline (4 shards)",
                  f"{n / t_serial:,.0f}", "1.00x", "-")]
         timings = {}
+        shm_timings = {}
+        entries = [{"mode": "serial", "workers": 1,
+                    "pkt_per_s": round(n / t_serial), "speedup": 1.0}]
         for workers in WORKER_COUNTS:
             t, counters = _best_of(lambda w=workers: run_parallel(w))
             assert counters == ref  # speed never at the cost of fidelity
             timings[workers] = t
-            rows.append((f"parallel, {workers} worker"
+            rows.append((f"queue transport, {workers} worker"
                          f"{'s' if workers > 1 else ''}",
                          f"{n / t:,.0f}", f"{t_serial / t:.2f}x",
                          f"{timings[1] / t:.2f}x"))
+            entries.append({"mode": "queue", "workers": workers,
+                            "pkt_per_s": round(n / t),
+                            "speedup": round(timings[1] / t, 3)})
+        for workers in WORKER_COUNTS:
+            t, counters = _best_of(
+                lambda w=workers: run_parallel(w, transport="shm",
+                                               bulk=True))
+            assert counters == ref
+            shm_timings[workers] = t
+            rows.append((f"shm transport + bulk decode, {workers} "
+                         f"worker{'s' if workers > 1 else ''}",
+                         f"{n / t:,.0f}", f"{t_serial / t:.2f}x",
+                         f"{shm_timings[1] / t:.2f}x"))
+            entries.append({"mode": "shm-bulk", "workers": workers,
+                            "pkt_per_s": round(n / t),
+                            "speedup": round(shm_timings[1] / t, 3)})
     finally:
         shutil.rmtree(bank_dir, ignore_errors=True)
 
@@ -106,9 +144,16 @@ def test_parallel_scaling():
         title=f"Parallel shard runtime — {n:,} packets, 443-heavy mix "
               f"({ref.video_flows} video / {ref.non_video_flows} "
               f"non-video flows), {os.cpu_count()} cores"))
+    emit_bench_json("parallel", entries)
 
-    scaling = timings[1] / timings[4]
     if (os.cpu_count() or 1) >= 4:
+        scaling = timings[1] / timings[4]
         assert scaling > 1.0, (
             f"4 workers not faster than 1: {scaling:.2f}x "
             f"({n / timings[4]:,.0f} vs {n / timings[1]:,.0f} pkt/s)")
+        shm_scaling = shm_timings[1] / shm_timings[4]
+        shm_floor = 1.5 if BENCH_SMOKE else 3.0
+        assert shm_scaling >= shm_floor, (
+            f"shm+bulk scaling at 4 workers {shm_scaling:.2f}x below "
+            f"the {shm_floor}x floor ({n / shm_timings[4]:,.0f} vs "
+            f"{n / shm_timings[1]:,.0f} pkt/s)")

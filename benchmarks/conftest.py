@@ -74,3 +74,54 @@ def emit(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n{text}\n")
+
+
+# --- committed benchmark trajectory -----------------------------------------
+#
+# BENCH_<name>.json at the repo root is the committed perf record:
+# commit, machine context (CPU count, Python version — cross-runner
+# numbers are meaningless without them), and one entry per
+# (mode, workers) with pkt/s and speedup. CI regenerates the files in
+# smoke mode (REPRO_BENCH_SMOKE=1 shrinks the workload) and
+# check_bench_regression.py fails the build on >20% regression vs the
+# committed floor, skipping comparisons that are not meaningful across
+# machine contexts.
+
+import json
+import platform
+import subprocess
+import sys
+
+BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def _current_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+            timeout=10).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def emit_bench_json(name: str, entries: list[dict]) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root.
+
+    Each entry carries ``mode``, ``workers``, ``pkt_per_s`` and
+    ``speedup`` (the ratio named by the entry's mode — see each
+    bench's table for the baseline row).
+    """
+    payload = {
+        "bench": name,
+        "commit": _current_commit(),
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "smoke": BENCH_SMOKE,
+        "entries": entries,
+    }
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench] wrote {path}", file=sys.stderr)
+    return path

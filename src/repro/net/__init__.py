@@ -12,7 +12,12 @@ from repro.net.ethernet import ETHERTYPE_IPV4, ETHERTYPE_VLAN, EthernetHeader
 from repro.net.flow import FlowKey
 from repro.net.ipv4 import PROTO_TCP, PROTO_UDP, IPv4Header
 from repro.net.packet import Packet, make_tcp_packet, make_udp_packet
-from repro.net.rawpacket import RawPacket
+from repro.net.rawpacket import (
+    DecodedBlock,
+    FrameBlock,
+    RawPacket,
+    decode_block,
+)
 from repro.net.pcap import (
     PcapReader,
     PcapRecord,
@@ -32,10 +37,12 @@ from repro.net.tcp import (
 from repro.net.udp import UDPHeader
 
 __all__ = [
+    "DecodedBlock",
     "ETHERTYPE_IPV4",
     "ETHERTYPE_VLAN",
     "EthernetHeader",
     "FlowKey",
+    "FrameBlock",
     "IPv4Header",
     "PROTO_TCP",
     "PROTO_UDP",
@@ -47,6 +54,7 @@ __all__ = [
     "TCPHeader",
     "TcpOption",
     "UDPHeader",
+    "decode_block",
     "internet_checksum",
     "ip_from_bytes",
     "ip_to_bytes",

@@ -13,9 +13,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import BinaryIO, Iterable, Iterator
 
+import numpy as np
+
 from repro.errors import ParseError
 from repro.net.packet import Packet
-from repro.net.rawpacket import RawPacket
+from repro.net.rawpacket import FrameBlock, RawPacket
 
 MAGIC_USEC = 0xA1B2C3D4
 LINKTYPE_ETHERNET = 1
@@ -139,6 +141,53 @@ class PcapReader:
                 raise ParseError("truncated pcap record body")
             yield data, sec + usec / 1_000_000
 
+    def blocks(self, max_frames: int = 4096,
+               chunk_bytes: int = 1 << 20) -> Iterator[FrameBlock]:
+        """Stream the capture as :class:`FrameBlock` chunks — the feed
+        for the bulk ``decode_block`` ingest path.
+
+        Each block's frames live inside one file-read buffer (record
+        headers skipped by offset, frame bytes never copied); a record
+        straddling a read boundary is carried into the next chunk, and
+        a record larger than ``chunk_bytes`` grows the carry until it
+        fits. Truncation raises the same :class:`ParseError` classes as
+        :meth:`frames`.
+        """
+        read = self._file.read
+        header_size = self._record.size
+        unpack_from = self._record.unpack_from
+        tail = b""
+        while True:
+            data = read(chunk_bytes)
+            if not data:
+                if tail:
+                    if len(tail) < header_size:
+                        raise ParseError("truncated pcap record header")
+                    raise ParseError("truncated pcap record body")
+                self._file.close()
+                return
+            chunk = tail + data if tail else data
+            n = len(chunk)
+            offset = 0
+            starts: list[int] = []
+            ends: list[int] = []
+            times: list[float] = []
+            while offset + header_size <= n:
+                sec, usec, incl_len, _ = unpack_from(chunk, offset)
+                body = offset + header_size
+                if body + incl_len > n:
+                    break
+                starts.append(body)
+                ends.append(body + incl_len)
+                times.append(sec + usec / 1_000_000)
+                offset = body + incl_len
+                if len(starts) >= max_frames:
+                    yield _make_block(chunk, starts, ends, times)
+                    starts, ends, times = [], [], []
+            if starts:
+                yield _make_block(chunk, starts, ends, times)
+            tail = chunk[offset:]
+
     def raw_packets(self) -> Iterator[RawPacket]:
         """Stream each record as a zero-copy :class:`RawPacket` view —
         same validation as :meth:`packets`, none of the dataclass
@@ -154,6 +203,14 @@ class PcapReader:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def _make_block(chunk: bytes, starts: list[int], ends: list[int],
+                times: list[float]) -> FrameBlock:
+    return FrameBlock(chunk,
+                      np.asarray(starts, dtype=np.int64),
+                      np.asarray(ends, dtype=np.int64),
+                      np.asarray(times, dtype=np.float64))
 
 
 def write_pcap(path: str | Path, packets: Iterable[Packet]) -> int:

@@ -36,7 +36,7 @@ from repro.pipeline.ingest import (
     ingest_pcap,
     load_ingest_position,
 )
-from repro.pipeline.parallel import ParallelShardedPipeline
+from repro.pipeline.parallel import TRANSPORTS, ParallelShardedPipeline
 from repro.pipeline.persist import load_bank, save_bank
 from repro.pipeline.sharded import ShardedPipeline, shard_index
 from repro.pipeline.evaluate import (
@@ -65,6 +65,7 @@ __all__ = [
     "SCENARIOS",
     "ScenarioData",
     "ShardedPipeline",
+    "TRANSPORTS",
     "TelemetryRecord",
     "TelemetryStore",
     "TrainedScenario",

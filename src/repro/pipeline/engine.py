@@ -34,7 +34,7 @@ from repro.fingerprints.model import Provider, Transport
 from repro.fingerprints.providers import detect_provider
 from repro.net.flow import FlowKey
 from repro.net.packet import Packet
-from repro.net.rawpacket import RawPacket
+from repro.net.rawpacket import DecodedBlock, RawPacket
 from repro.pipeline.bank import ClassifierBank
 from repro.pipeline.confidence import (
     DEFAULT_CONFIDENCE_THRESHOLD,
@@ -45,6 +45,7 @@ from repro.trafficgen.session import SyntheticFlow
 
 HTTPS_PORT = 443
 _MAX_HANDSHAKE_PACKETS = 8
+_DIRKEY_CACHE_MAX = 1 << 16
 
 # What the pipeline keeps per emitted telemetry record: raw records in
 # the store (the seed behavior and the §5.2 full-scan oracle), rollup
@@ -156,6 +157,13 @@ class RealtimePipeline:
         self._flows: dict[tuple, _FlowState] = {}
         self._pending: list[tuple[_FlowState, Provider, Transport, dict]] \
             = []
+        # Bulk-path direction cache: packed numeric (src,dst,ports)
+        # pair -> (canonical key tuple, src_ip, dst_ip). The canonical
+        # key compares dotted-quad *strings*, so it cannot be derived
+        # numerically — but a tap's (host pair, port pair) population
+        # is bounded, so each direction's string work happens once.
+        self._dirkey_cache: dict[tuple[int, int],
+                                 tuple[tuple, str, str]] = {}
 
     # -- packet mode -----------------------------------------------------------
 
@@ -258,6 +266,61 @@ class RealtimePipeline:
             process(parse(data, timestamp))
             count += 1
         return count
+
+    # -- bulk (vectorized block) mode ------------------------------------------
+
+    def count_packets(self, count: int) -> None:
+        """Account ``count`` valid frames that need no flow-table work
+        (the non-443 majority a bulk decode disposes of in one add)."""
+        self.counters.packets += count
+
+    def process_block(self, decoded: DecodedBlock) -> None:
+        """Ingest one vectorized :func:`~repro.net.decode_block` result.
+
+        Equivalent to feeding the block's valid frames through
+        :meth:`process_frame` one by one — identical counters, flow
+        table, predictions, and telemetry — but only the HTTPS frames
+        run any per-frame Python, and only candidate handshake packets
+        of still-collecting flows are promoted to full ``Packet``
+        objects. Invalid frames are untouched (the ingest layer owns
+        skip accounting, as it does for the per-frame paths)."""
+        self.counters.packets += decoded.valid_count
+        indices = decoded.https_indices
+        if indices.size:
+            self._ingest_https(decoded, indices)
+
+    def _ingest_https(self, decoded: DecodedBlock, indices) -> None:
+        """Per-frame flow-table work for the HTTPS lanes of a decoded
+        block (shared by the serial, sharded, and worker runtimes —
+        ``counters.packets`` is the caller's job)."""
+        cache = self._dirkey_cache
+        make_key = decoded.make_key
+        update = self._update_flow
+        classify = self._try_classify
+        times = decoded.timestamps[indices].tolist()
+        plens = decoded.payload_len[indices].tolist()
+        dports = decoded.dst_port[indices].tolist()
+        syns = decoded.syn_noack[indices].tolist()
+        for i, dirkey, ts, plen, dport, syn in zip(
+                indices.tolist(), decoded.dir_keys(indices), times,
+                plens, dports, syns):
+            entry = cache.get(dirkey)
+            if entry is None:
+                if len(cache) >= _DIRKEY_CACHE_MAX:
+                    cache.clear()
+                entry = cache[dirkey] = make_key(i)
+            key, src_ip, dst_ip = entry
+            state = update(key, ts, src_ip, dst_ip, dport, plen)
+            if state.not_video or state.done_collecting:
+                continue
+            state.handshake_packets.append(decoded.promote(i))
+            # Same reparse gate as the per-frame paths; the late-
+            # client-SYN test uses the precomputed SYN-no-ACK lane.
+            if plen or \
+                    len(state.handshake_packets) >= \
+                    _MAX_HANDSHAKE_PACKETS \
+                    or (syn and len(state.handshake_packets) > 1):
+                classify(state)
 
     def _try_classify(self, state: _FlowState) -> None:
         try:

@@ -4,9 +4,12 @@ One function bridges :class:`~repro.net.pcap.PcapReader` and either
 pipeline flavor without materializing the capture. ``mode="raw"`` (the
 default, and what the CLI uses) streams raw frames through the
 zero-copy ``process_frames`` path; ``mode="eager"`` keeps the original
-per-record ``Packet.from_bytes`` path alive as the equivalence oracle —
-both produce identical counters, predictions, and telemetry on the same
-file (``tests/test_ingest_equivalence.py`` pins this).
+per-record ``Packet.from_bytes`` path alive as the equivalence oracle;
+``mode="bulk"`` streams whole :class:`~repro.net.FrameBlock` chunks
+through the vectorized ``decode_block``/``process_block`` path. All
+three produce identical counters, predictions, and telemetry on the
+same file (``tests/test_ingest_equivalence.py`` and
+``tests/test_bulk_equivalence.py`` pin this).
 
 Real captures carry frames the pipeline cannot use — ARP, IPv6, LLDP,
 mangled records. By default those are skipped and tallied rather than
@@ -42,12 +45,14 @@ import json
 from pathlib import Path
 from typing import NamedTuple
 
+import numpy as np
+
 from repro.errors import ConfigError, ParseError
 from repro.net.packet import Packet
 from repro.net.pcap import PcapReader
-from repro.net.rawpacket import RawPacket
+from repro.net.rawpacket import RawPacket, decode_block
 
-INGEST_MODES = ("raw", "eager")
+INGEST_MODES = ("raw", "eager", "bulk")
 
 INGEST_POSITION_FILE = "ingest.json"
 _INGEST_POSITION_VERSION = 1
@@ -200,6 +205,15 @@ def ingest_pcap(pipeline, path: str | Path, mode: str = "raw",
                       if evict_interval is not None else None)
         next_checkpoint = (position.next_checkpoint
                            if checkpoint_interval is not None else None)
+    if mode == "bulk":
+        return _ingest_bulk(
+            pipeline, path, strict=strict, to_skip=to_skip,
+            consumed=consumed, frames=frames, skipped=skipped,
+            clock=clock, next_evict=next_evict,
+            next_checkpoint=next_checkpoint, track_clock=track_clock,
+            idle_timeout=idle_timeout, evict_interval=evict_interval,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_interval=checkpoint_interval)
     with PcapReader(path) as reader:
         if mode == "raw":
             parse = RawPacket.parse
@@ -258,4 +272,122 @@ def ingest_pcap(pipeline, path: str | Path, mode: str = "raw",
             f"cannot resume: {path} holds fewer records than the "
             f"checkpointed position ({to_skip} of "
             f"{position.consumed} consumed records missing)")
+    return IngestResult(frames, skipped)
+
+
+def _ingest_bulk(pipeline, path, *, strict, to_skip, consumed, frames,
+                 skipped, clock, next_evict, next_checkpoint,
+                 track_clock, idle_timeout, evict_interval,
+                 checkpoint_dir, checkpoint_interval) -> IngestResult:
+    """The ``mode="bulk"`` body of :func:`ingest_pcap`: stream the
+    capture as :class:`~repro.net.FrameBlock` chunks through
+    ``pipeline.process_block``.
+
+    Per-frame observable order is preserved exactly — the capture
+    clock is the running max of *all* timestamps (skipped frames too),
+    eviction/checkpoint deadlines arm on the first clock advance, each
+    tick fires *before* the frame that crossed its deadline is
+    processed, and a strict-mode :class:`ParseError` surfaces after
+    every preceding frame has been processed. Blocks are split at
+    those event frames (``np.searchsorted`` over the running max), so
+    a tick-free block is one ``process_block`` call.
+    """
+    resume_consumed = consumed
+
+    def _process_span(decoded, lo, hi):
+        nonlocal consumed, frames, skipped
+        span = decoded if lo == 0 and hi == len(decoded) \
+            else decoded.slice(lo, hi)
+        pipeline.process_block(span)
+        good = span.valid_count
+        frames += good
+        skipped += (hi - lo) - good
+        consumed += hi - lo
+
+    with PcapReader(path) as reader:
+        for block in reader.blocks():
+            if to_skip:
+                # Fast-forward records the checkpointed run already
+                # consumed; like the per-frame loop, they advance
+                # nothing — not even the clock.
+                if to_skip >= len(block):
+                    to_skip -= len(block)
+                    continue
+                block = block.slice(to_skip, len(block))
+                to_skip = 0
+            decoded = decode_block(block)
+            times = block.timestamps
+            runmax = np.maximum.accumulate(times)
+            if clock is not None:
+                runmax = np.maximum(runmax, clock)
+            n = len(block)
+            pos = 0
+            while pos < n:
+                if track_clock:
+                    # Frame-``pos`` events, in per-frame order: clock
+                    # advance + deadline arming, eviction tick,
+                    # checkpoint tick.
+                    new_clock = float(runmax[pos])
+                    if clock is None or new_clock > clock:
+                        clock = new_clock
+                        if next_evict is None and \
+                                evict_interval is not None:
+                            next_evict = clock + evict_interval
+                        if next_checkpoint is None and \
+                                checkpoint_interval is not None:
+                            next_checkpoint = clock + \
+                                checkpoint_interval
+                    if next_evict is not None and clock >= next_evict:
+                        pipeline.flush_idle(now=clock,
+                                            idle_timeout=idle_timeout)
+                        next_evict = clock + evict_interval
+                    if next_checkpoint is not None and \
+                            clock >= next_checkpoint:
+                        next_checkpoint = clock + checkpoint_interval
+                        pipeline.save_checkpoint(
+                            checkpoint_dir,
+                            extra={INGEST_POSITION_FILE: IngestPosition(
+                                consumed=consumed, frames=frames,
+                                skipped=skipped, clock=clock,
+                                next_evict=next_evict,
+                                next_checkpoint=next_checkpoint,
+                            ).to_json()})
+                if strict and not decoded.valid[pos]:
+                    # Ticks at this frame fired above; now fail with
+                    # the per-frame path's exact error.
+                    decoded.raise_invalid(pos)
+                # Find the next event frame after ``pos``; everything
+                # before it is one uninterrupted span.
+                cut = n
+                if track_clock:
+                    if (next_evict is None and
+                            evict_interval is not None) or \
+                            (next_checkpoint is None and
+                             checkpoint_interval is not None):
+                        # A deadline is still unarmed: it arms at the
+                        # next clock advance.
+                        ahead = times[pos + 1:] > clock
+                        if ahead.any():
+                            cut = min(cut,
+                                      pos + 1 + int(np.argmax(ahead)))
+                    for deadline in (next_evict, next_checkpoint):
+                        if deadline is not None:
+                            cut = min(cut, pos + 1 + int(
+                                np.searchsorted(runmax[pos + 1:],
+                                                deadline)))
+                if strict:
+                    bad = np.nonzero(~decoded.valid[pos:cut])[0]
+                    if bad.size:
+                        # bad[0] > 0: an invalid frame *at* pos raised
+                        # above, so the span below is never empty.
+                        cut = pos + int(bad[0])
+                _process_span(decoded, pos, cut)
+                if track_clock and cut > pos:
+                    clock = float(runmax[cut - 1])
+                pos = cut
+    if to_skip:
+        raise ConfigError(
+            f"cannot resume: {path} holds fewer records than the "
+            f"checkpointed position ({to_skip} of "
+            f"{resume_consumed} consumed records missing)")
     return IngestResult(frames, skipped)

@@ -59,7 +59,8 @@ from typing import NamedTuple
 
 from repro.errors import ConfigError
 from repro.net.packet import Packet
-from repro.net.rawpacket import RawPacket
+from repro.net.rawpacket import DecodedBlock, FrameBlock, RawPacket, \
+    decode_block
 from repro.pipeline.confidence import DEFAULT_CONFIDENCE_THRESHOLD
 from repro.pipeline.engine import (
     PipelineCounters,
@@ -67,7 +68,12 @@ from repro.pipeline.engine import (
     RealtimePipeline,
 )
 from repro.pipeline.persist import load_bank
-from repro.pipeline.sharded import _shard_of_tuple, shard_index
+from repro.pipeline.sharded import (
+    _shard_of_tuple,
+    partition_https_indices,
+    shard_index,
+)
+from repro.pipeline.shmring import DEFAULT_RING_BYTES, FrameRing, RingReader
 from repro.pipeline.store import TelemetryRecord, TelemetryStore
 
 # Frames shipped per queue message: large enough to amortize pickling
@@ -85,8 +91,18 @@ _QUEUE_MAX_CHUNKS = 16
 _REPLY_TIMEOUT = 5.0  # between liveness checks while awaiting a reply
 
 # Commands that only carry data (fire-and-forget, no reply); everything
-# else is a control command with exactly one reply.
-_DATA_OPS = frozenset(("frames", "packets", "flows"))
+# else is a control command with exactly one reply. "block" (packed
+# bulk-decode chunk), "pframes" (packed per-frame chunk, the shm
+# carrier for process_frames traffic) and "tally" (bare packet-count
+# attribution) joined with the bulk/shm transport work.
+_DATA_OPS = frozenset(("frames", "packets", "flows", "block", "pframes",
+                       "tally"))
+
+# Available frame transports: "queue" pickles frame chunks through the
+# command queue (the original path); "shm" writes packed frame bytes
+# into a per-worker shared-memory ring and ships only (offset, length)
+# descriptors through the queue.
+TRANSPORTS = ("queue", "shm")
 
 # Sentinel for "no recovered reply pending" (None is a valid reply).
 _NO_REPLY = object()
@@ -107,22 +123,51 @@ class _WorkerState(NamedTuple):
     pending: int
 
 
+def _ingest_packed_block(pipeline: RealtimePipeline, buf) -> None:
+    """Worker-side bulk ingest of one packed chunk: every frame in it
+    is a valid HTTPS frame the parent routed here, so the (cheap,
+    vectorized) re-decode re-derives the field arrays in-process
+    instead of pickling them across."""
+    pipeline.process_block(decode_block(FrameBlock.unpack(buf)))
+
+
+def _ingest_packed_frames(pipeline: RealtimePipeline, buf) -> None:
+    """Worker-side per-frame ingest of one packed chunk — the shm
+    carrier for ``process_frames`` traffic; semantics identical to the
+    queue transport's ``("frames", [...])`` chunks."""
+    block = FrameBlock.unpack(buf)
+    process = pipeline.process_raw
+    parse = RawPacket.parse
+    for data, timestamp in block.iter_frames():
+        process(parse(data, timestamp))
+
+
 def _worker_main(worker_id: int, bank_dir: str, options: dict,
-                 resume_dir: str | None, cmd_queue, out_queue) -> None:
+                 resume_dir: str | None, cmd_queue, out_queue,
+                 ring_name: str | None = None,
+                 ring_consumed=None) -> None:
     """Worker process entry point: load the bank from disk (and the
     shard's checkpoint, when resuming), run a private
     :class:`RealtimePipeline`, and serve the parent's command stream
     until ``stop``.
 
-    Data commands (``frames``/``packets``/``flows``) are fire-and-forget
-    chunks; control commands (``drain``/``flush``/``flush_idle``/
-    ``sync``/``checkpoint``/``reload_bank``/``stop``) each produce
-    exactly one ``("ok", payload)`` reply. Any failure ships the
-    traceback back as ``("error", text)`` and ends the worker — the
-    parent raises it at the next barrier (or respawns, if recovery is
-    armed).
+    Data commands (``frames``/``packets``/``flows``/``block``/
+    ``pframes``/``tally``) are fire-and-forget chunks; control commands
+    (``drain``/``flush``/``flush_idle``/``sync``/``checkpoint``/
+    ``reload_bank``/``stop``) each produce exactly one
+    ``("ok", payload)`` reply. Under the shm transport, ``block``/
+    ``pframes`` payloads arrive as ``("shm", op, offset, length,
+    consumed_after)`` descriptors resolved against the attached ring;
+    the consumption cursor is published only after the span is fully
+    processed (everything a flow keeps was copied by promotion). Any
+    failure ships the traceback back as ``("error", text)`` and ends
+    the worker — the parent raises it at the next barrier (or
+    respawns, if recovery is armed).
     """
+    ring = None
     try:
+        if ring_name is not None:
+            ring = RingReader(ring_name, ring_consumed)
         bank = load_bank(bank_dir)
         if resume_dir is not None:
             from repro.pipeline.checkpoint import restore_realtime
@@ -140,6 +185,25 @@ def _worker_main(worker_id: int, bank_dir: str, options: dict,
             op = cmd[0]
             if op == "frames":
                 pipeline.process_frames(cmd[1])
+            elif op == "shm":
+                _, data_op, offset, length, consumed_after = cmd
+                buf = ring.view(offset, length)
+                try:
+                    if data_op == "block":
+                        _ingest_packed_block(pipeline, buf)
+                    else:
+                        _ingest_packed_frames(pipeline, buf)
+                finally:
+                    # Nothing still points into the span (promotion
+                    # copies); hand the bytes back to the producer.
+                    del buf
+                    ring.release(consumed_after)
+            elif op == "block":
+                _ingest_packed_block(pipeline, cmd[1])
+            elif op == "pframes":
+                _ingest_packed_frames(pipeline, cmd[1])
+            elif op == "tally":
+                pipeline.count_packets(cmd[1])
             elif op == "packets":
                 for packet in cmd[1]:
                     pipeline.process_packet(packet)
@@ -176,6 +240,9 @@ def _worker_main(worker_id: int, bank_dir: str, options: dict,
                 raise RuntimeError(f"unknown worker command {op!r}")
     except BaseException:
         out_queue.put(("error", traceback.format_exc()))
+    finally:
+        if ring is not None:
+            ring.close()
 
 
 class ParallelShardedPipeline:
@@ -203,6 +270,14 @@ class ParallelShardedPipeline:
     ``resume_dir`` starts every worker from an existing sharded
     checkpoint (see :meth:`restore` for the worker-count-changing
     variant).
+
+    ``transport`` picks how frame bytes reach the workers:
+    ``"queue"`` (default) pickles chunks through the command queues;
+    ``"shm"`` writes packed frame blocks into one shared-memory ring
+    per worker (``ring_bytes`` each) and ships only offset descriptors
+    — same command order, same journal/recovery contract, no pickling
+    on the frame hot path. Both transports serve both the per-frame
+    and the bulk (:meth:`process_block`) ingest surfaces.
     """
 
     def __init__(self, bank_dir: str | Path, num_workers: int = 4,
@@ -215,10 +290,16 @@ class ParallelShardedPipeline:
                  start_method: str | None = None,
                  checkpoint_dir: str | Path | None = None,
                  resume_dir: str | Path | None = None,
-                 max_worker_restarts: int = 3):
+                 max_worker_restarts: int = 3,
+                 transport: str = "queue",
+                 ring_bytes: int = DEFAULT_RING_BYTES):
         if num_workers < 1:
             raise ValueError(
                 f"num_workers must be >= 1, got {num_workers}")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, "
+                f"got {transport!r}")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if retention not in RETENTION_MODES:
@@ -251,6 +332,12 @@ class ParallelShardedPipeline:
         self.num_workers = num_workers
         self.retention = retention
         self.chunk_items = chunk_items
+        self.transport = transport
+        self.ring_bytes = ring_bytes
+        # Packed chunks must fit the ring with room for several in
+        # flight; a quarter of the ring keeps the producer ahead of
+        # the consumer without ever deadlocking on its own payload.
+        self._pack_bytes = max(4096, ring_bytes // 4)
         self.checkpoint_dir = (Path(checkpoint_dir)
                                if checkpoint_dir is not None else None)
         self.max_worker_restarts = max_worker_restarts
@@ -275,10 +362,14 @@ class ParallelShardedPipeline:
         self._workers: list = [None] * num_workers
         self._cmd_queues: list = [None] * num_workers
         self._out_queues: list = [None] * num_workers
+        self._rings: list[FrameRing | None] = [None] * num_workers
         for i in range(num_workers):
             self._spawn_worker(i, self._shard_resume_dir(resume_dir, i))
         self._buffers: list[list] = [[] for _ in range(num_workers)]
         self._buffer_kind: list[str | None] = [None] * num_workers
+        # Bulk routing cache: direction key -> worker (same contract
+        # as the serial dispatcher's cache).
+        self._shard_cache: dict[tuple[int, int], int] = {}
         self._closed = False
         self._state: list[_WorkerState] | None = None
         self._rollup_cache = None
@@ -306,12 +397,23 @@ class ParallelShardedPipeline:
             for q in (self._cmd_queues[worker], self._out_queues[worker]):
                 q.cancel_join_thread()
                 q.close()
+        ring = None
+        if self.transport == "shm":
+            # A fresh ring per (re)spawn: the dead worker's consumption
+            # cursor is meaningless to the replayed stream, and stale
+            # unconsumed spans must never be re-read.
+            if self._rings[worker] is not None:
+                self._rings[worker].close()
+            ring = FrameRing(self._ctx, self.ring_bytes)
+        self._rings[worker] = ring
         cmd_queue = self._ctx.Queue(maxsize=_QUEUE_MAX_CHUNKS)
         out_queue = self._ctx.Queue()
         process = self._ctx.Process(
             target=_worker_main,
             args=(worker, str(self._respawn_bank_dir), self._options,
-                  resume_dir, cmd_queue, out_queue),
+                  resume_dir, cmd_queue, out_queue,
+                  ring.name if ring is not None else None,
+                  ring.consumed if ring is not None else None),
             name=f"repro-shard-{worker}", daemon=True)
         process.start()
         self._workers[worker] = process
@@ -364,14 +466,36 @@ class ParallelShardedPipeline:
                     f"worker {worker} failed:\n{reply[1]}")
             return reply[1]
 
+    def _deliver(self, worker: int, command: tuple) -> None:
+        """Physical delivery of one *logical* command. Under the shm
+        transport, ``block``/``pframes`` payload bytes go through the
+        worker's ring and only a descriptor rides the queue (keeping
+        the queue's FIFO as the single ordering authority); everything
+        else ships on the queue as-is."""
+        op = command[0]
+        if self.transport == "shm" and op in ("block", "pframes"):
+            ring = self._rings[worker]
+
+            def liveness() -> None:
+                if not self._workers[worker].is_alive():
+                    raise _WorkerDied(self._death_detail(worker))
+
+            offset, length, after = ring.write(command[1], liveness)
+            self._plain_put(worker, ("shm", op, offset, length, after))
+        else:
+            self._plain_put(worker, command)
+
     def _put(self, worker: int, command: tuple) -> None:
         """Journal + deliver one command, recovering the worker if it
-        is found dead at delivery time."""
+        is found dead at delivery time. The journal holds the
+        *logical* command (payload bytes included, parent-side copy):
+        ring spans get overwritten, so replay re-delivers through
+        :meth:`_deliver` into the respawned worker's fresh ring."""
         journal = self._journals[worker]
         if journal is not None:
             journal.append(command)
         try:
-            self._plain_put(worker, command)
+            self._deliver(worker, command)
         except _WorkerDied as exc:
             self._recover(worker, exc)
 
@@ -416,7 +540,7 @@ class ParallelShardedPipeline:
             try:
                 last_reply = _NO_REPLY
                 for command in journal:
-                    self._plain_put(worker, command)
+                    self._deliver(worker, command)
                     if command[0] not in _DATA_OPS:
                         last_reply = self._plain_await(worker)
                 if journal and journal[-1][0] not in _DATA_OPS:
@@ -442,10 +566,20 @@ class ParallelShardedPipeline:
         self._state = None
 
     def _ship(self, worker: int) -> None:
-        if self._buffers[worker]:
-            self._put(worker,
-                      (self._buffer_kind[worker], self._buffers[worker]))
-            self._buffers[worker] = []
+        if not self._buffers[worker]:
+            return
+        kind = self._buffer_kind[worker]
+        buffer = self._buffers[worker]
+        self._buffers[worker] = []
+        if kind == "pframes":
+            # Frame tuples headed for the ring: pack them into the
+            # block wire format here, so journal entries are the exact
+            # bytes a replay re-writes into a fresh ring.
+            packed = FrameBlock.from_frames(buffer)
+            for chunk in packed.pack_chunks(max_bytes=self._pack_bytes):
+                self._put(worker, ("pframes", chunk))
+        else:
+            self._put(worker, (kind, buffer))
 
     def _barrier(self, command: tuple) -> list:
         """Ship buffered chunks, broadcast one control command, and
@@ -515,7 +649,8 @@ class ParallelShardedPipeline:
         data = raw.data
         if not isinstance(data, bytes):
             data = bytes(data)
-        self._enqueue(worker, "frames", (data, raw.timestamp))
+        kind = "pframes" if self.transport == "shm" else "frames"
+        self._enqueue(worker, kind, (data, raw.timestamp))
 
     def process_frames(self, frames) -> int:
         parse = RawPacket.parse
@@ -524,6 +659,34 @@ class ParallelShardedPipeline:
             self.process_raw(parse(data, timestamp))
             count += 1
         return count
+
+    # -- bulk (vectorized block) mode ------------------------------------------
+
+    def process_block(self, decoded: DecodedBlock) -> None:
+        """Bulk ingest across the worker fleet: HTTPS lanes are
+        partitioned by the canonical-tuple hash (identical placement
+        to every per-frame path), packed into block chunks, and
+        shipped to their workers — through the ring under the shm
+        transport, pickled under queue. The valid non-HTTPS remainder
+        is a bare count attributed to worker 0, mirroring the serial
+        dispatcher, so merged counters agree across all runtimes."""
+        if self._closed:
+            raise RuntimeError("pipeline is closed")
+        per_worker = partition_https_indices(decoded, self.num_workers,
+                                             self._shard_cache)
+        https_total = 0
+        for worker, lanes in enumerate(per_worker):
+            if not lanes:
+                continue
+            https_total += len(lanes)
+            self._ship(worker)  # keep FIFO with buffered frame chunks
+            for chunk in decoded.block.pack_chunks(
+                    lanes, max_bytes=self._pack_bytes):
+                self._put(worker, ("block", chunk))
+        tally = decoded.valid_count - https_total
+        if tally:
+            self._put(0, ("tally", tally))
+        self._state = None
 
     # -- flow-summary mode -----------------------------------------------------
 
@@ -691,6 +854,7 @@ class ParallelShardedPipeline:
             process.join(timeout=30.0)
         for q in (*self._cmd_queues, *self._out_queues):
             q.close()
+        self._close_rings()
         if self._resume_tmp is not None:
             shutil.rmtree(self._resume_tmp, ignore_errors=True)
             self._resume_tmp = None
@@ -706,6 +870,15 @@ class ParallelShardedPipeline:
         else:
             self.terminate()
 
+    def _close_rings(self) -> None:
+        """Unlink every shm segment (owner side; idempotent) — runs on
+        clean close *and* on terminate, so no /dev/shm entries outlive
+        the parent on either path."""
+        for i, ring in enumerate(self._rings):
+            if ring is not None:
+                ring.close()
+                self._rings[i] = None
+
     def terminate(self) -> None:
         """Hard-kill the workers (error paths only — loses unsynced
         state)."""
@@ -713,6 +886,10 @@ class ParallelShardedPipeline:
         for process in self._workers:
             if process is not None and process.is_alive():
                 process.terminate()
+        for process in self._workers:
+            if process is not None:
+                process.join(timeout=5.0)
+        self._close_rings()
         if self._resume_tmp is not None:
             shutil.rmtree(self._resume_tmp, ignore_errors=True)
             self._resume_tmp = None

@@ -17,9 +17,11 @@ from __future__ import annotations
 
 import zlib
 
+import numpy as np
+
 from repro.net.flow import FlowKey
 from repro.net.packet import Packet
-from repro.net.rawpacket import RawPacket
+from repro.net.rawpacket import DecodedBlock, RawPacket
 from repro.pipeline.bank import ClassifierBank
 from repro.pipeline.confidence import DEFAULT_CONFIDENCE_THRESHOLD
 from repro.pipeline.engine import PipelineCounters, RealtimePipeline
@@ -27,10 +29,35 @@ from repro.pipeline.store import TelemetryStore
 from repro.trafficgen.session import SyntheticFlow
 
 
+_SHARD_CACHE_MAX = 1 << 16
+
+
 def _shard_of_tuple(key: tuple, num_shards: int) -> int:
     material = (f"{key[0]}|{key[1]}|{key[2]}|{key[3]}|"
                 f"{key[4]}").encode()
     return zlib.crc32(material) % num_shards
+
+
+def partition_https_indices(decoded: DecodedBlock, num_shards: int,
+                            cache: dict) -> list[list[int]]:
+    """Partition a decoded block's HTTPS frame indices by owning shard
+    (the canonical-tuple crc32 every routing path uses), memoizing
+    direction key -> shard in ``cache``. Shared by the serial
+    dispatcher and the multiprocess parent so both route bulk frames
+    identically to the per-frame paths."""
+    per_shard: list[list[int]] = [[] for _ in range(num_shards)]
+    indices = decoded.https_indices
+    if indices.size:
+        for i, dirkey in zip(indices.tolist(),
+                             decoded.dir_keys(indices)):
+            shard = cache.get(dirkey)
+            if shard is None:
+                if len(cache) >= _SHARD_CACHE_MAX:
+                    cache.clear()
+                key, _, _ = decoded.make_key(i)
+                shard = cache[dirkey] = _shard_of_tuple(key, num_shards)
+            per_shard[shard].append(i)
+    return per_shard
 
 
 def shard_index(key: FlowKey, num_shards: int) -> int:
@@ -72,6 +99,10 @@ class ShardedPipeline:
                              rollup_config=rollup_config)
             for _ in range(num_shards)
         ]
+        # Bulk-path routing cache: packed numeric direction key ->
+        # shard index (same bounded-population argument as the
+        # engine-level canonical-key cache).
+        self._shard_cache: dict[tuple[int, int], int] = {}
 
     def shard_for(self, key: FlowKey) -> int:
         return shard_index(key, self.num_shards)
@@ -107,6 +138,33 @@ class ShardedPipeline:
             shards[shard].process_raw(raw)
             count += 1
         return count
+
+    # -- bulk (vectorized block) mode ------------------------------------------
+
+    def shard_https_indices(self, decoded: DecodedBlock) -> list[list[int]]:
+        """Partition the block's HTTPS frame indices by owning shard —
+        the canonical-tuple hash every other routing path uses, cached
+        per direction key."""
+        return partition_https_indices(decoded, self.num_shards,
+                                       self._shard_cache)
+
+    def process_block(self, decoded: DecodedBlock) -> None:
+        """Bulk ingest: HTTPS lanes go to their owning shard (same
+        placement the per-frame paths give the same frames); the valid
+        non-HTTPS remainder is pure packet accounting and lands on
+        shard 0, so merged counters stay identical to the per-frame
+        dispatch (per-shard ``packets`` attribution differs; flows —
+        the load that matters — never do)."""
+        per_shard = self.shard_https_indices(decoded)
+        https_total = 0
+        for shard, lanes in enumerate(per_shard):
+            if lanes:
+                https_total += len(lanes)
+                engine = self.shards[shard]
+                engine.count_packets(len(lanes))
+                engine._ingest_https(decoded, np.asarray(lanes,
+                                                         dtype=np.int64))
+        self.shards[0].count_packets(decoded.valid_count - https_total)
 
     # -- flow-summary mode -----------------------------------------------------
 

@@ -1,0 +1,136 @@
+"""Single-producer/single-consumer shared-memory frame ring.
+
+The multiprocess runtime's queue transport pickles every frame chunk
+into a pipe and unpickles it in the worker — three copies and a
+serialization pass for bytes that are already in exactly the layout
+the worker wants. :class:`FrameRing` removes that: the parent writes a
+packed :class:`~repro.net.FrameBlock` chunk into a per-worker
+``multiprocessing.shared_memory`` segment once, ships a tiny
+``(offset, length)`` descriptor over the existing command queue (so
+command FIFO order — and therefore per-flow order — is untouched),
+and the worker maps numpy offset tables straight over the segment,
+copying only the ≤8 handshake frames per flow it promotes.
+
+Flow control is a classic SPSC ring: the parent owns a monotonically
+increasing ``written`` cursor (process-local — only the parent
+writes), the worker publishes a monotonically increasing ``consumed``
+cursor through an unlocked shared 8-byte counter (single writer,
+aligned word: atomic on every platform we run on), and the parent
+blocks — polling the worker's liveness — whenever the next write
+would overrun unconsumed bytes. A payload that would straddle the
+physical end of the segment skips the tail instead (``skip`` bytes
+are accounted to both cursors), so every descriptor names one
+contiguous span.
+
+Cleanup: the parent is the segment's owner — it unlinks on close and
+on terminate, and the interpreter's ``resource_tracker`` covers a
+SIGKILLed parent. Workers attach without taking ownership
+(``track=False`` where available; pre-3.13 attach registration is a
+no-op in the shared tracker), so a worker crash never races the
+parent's unlink.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing.shared_memory import SharedMemory
+
+# Default ring capacity per worker. Big enough to hold several packed
+# chunks in flight (routing runs ahead of processing), small enough
+# that K workers' rings stay a rounding error next to the flow tables.
+DEFAULT_RING_BYTES = 1 << 22
+
+_POLL_SECONDS = 0.0002  # backpressure poll; liveness-checked each spin
+
+
+class FrameRing:
+    """Producer (parent) side of one worker's frame ring."""
+
+    def __init__(self, ctx, size: int = DEFAULT_RING_BYTES):
+        if size < 4096:
+            raise ValueError(f"ring size must be >= 4096, got {size}")
+        self.size = size
+        self.shm = SharedMemory(create=True, size=size)
+        # Unlocked on purpose: exactly one writer (the worker), and an
+        # aligned 8-byte store/load needs no lock.
+        self.consumed = ctx.Value("Q", 0, lock=False)
+        self.written = 0
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def write(self, payload, liveness=None) -> tuple[int, int, int]:
+        """Copy ``payload`` into the ring, blocking while the worker
+        is behind. Returns ``(offset, length, consumed_after)`` for
+        the descriptor; the worker publishes ``consumed_after`` once
+        it has fully processed the span (covering any skipped tail).
+
+        ``liveness`` is polled while blocked so a dead worker raises
+        out of the wait instead of hanging the parent forever.
+        """
+        length = len(payload)
+        if length > self.size:
+            raise ValueError(
+                f"payload of {length} bytes exceeds ring size "
+                f"{self.size}; raise ring_bytes")
+        offset = self.written % self.size
+        skip = self.size - offset if offset + length > self.size else 0
+        need = length + skip
+        consumed = self.consumed
+        while self.written + need - consumed.value > self.size:
+            if liveness is not None:
+                liveness()
+            time.sleep(_POLL_SECONDS)
+        if skip:
+            self.written += skip
+            offset = 0
+        self.shm.buf[offset:offset + length] = payload
+        self.written += length
+        return offset, length, self.written
+
+    def close(self) -> None:
+        """Release and unlink the segment (owner side; idempotent)."""
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class RingReader:
+    """Consumer (worker) side: attach by name, read spans, publish
+    consumption."""
+
+    def __init__(self, name: str, consumed):
+        try:
+            # 3.13+: never register with the resource tracker — the
+            # parent owns the segment.
+            self.shm = SharedMemory(name=name, track=False)
+        except TypeError:
+            # Pre-3.13 attach re-registers the name, but workers share
+            # the parent's tracker and its cache is a set, so this is
+            # a no-op: the parent's unlink clears the single entry.
+            # Explicitly unregistering here would strip the parent's
+            # registration and make its unlink warn.
+            self.shm = SharedMemory(name=name)
+        self.consumed = consumed
+
+    def view(self, offset: int, length: int) -> memoryview:
+        """Zero-copy view of one descriptor's span. The caller must
+        drop every reference into it before :meth:`release`."""
+        return memoryview(self.shm.buf)[offset:offset + length]
+
+    def release(self, consumed_after: int) -> None:
+        """Publish that everything up to ``consumed_after`` bytes of
+        the producer's cursor has been processed."""
+        self.consumed.value = consumed_after
+
+    def close(self) -> None:
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - lingering export
+            pass

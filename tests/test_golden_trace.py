@@ -62,7 +62,7 @@ def _rollup_digest(cube, tmp_path, tag) -> str:
 
 
 class TestGoldenTrace:
-    @pytest.mark.parametrize("mode", ("raw", "eager"))
+    @pytest.mark.parametrize("mode", ("raw", "eager", "bulk"))
     def test_serial_replay_matches_pinned_bytes(self, bank, expected,
                                                 tmp_path, mode):
         pipeline = RealtimePipeline(bank, batch_size=8,
@@ -77,7 +77,7 @@ class TestGoldenTrace:
         assert _rollup_digest(pipeline.rollup, tmp_path, mode) == \
             expected["rollup_sha256_serial"]
 
-    @pytest.mark.parametrize("mode", ("raw", "eager"))
+    @pytest.mark.parametrize("mode", ("raw", "eager", "bulk"))
     def test_sharded_replay_matches_pinned_bytes(self, bank, expected,
                                                  tmp_path, mode):
         pipeline = ShardedPipeline(bank, num_shards=3, batch_size=8,
@@ -106,6 +106,22 @@ class TestGoldenTrace:
             # The multiprocess runtime must land on the same merged
             # rollup bytes as the serial 3-shard dispatcher.
             assert _rollup_digest(pipeline.rollup, tmp_path, "par") == \
+                expected["rollup_sha256_sharded3"]
+
+    def test_parallel_shm_bulk_matches_pinned_bytes(self, bank_dir,
+                                                    expected, tmp_path):
+        """The fully optimized path — vectorized bulk decode over the
+        shared-memory ring transport — must land on the same pinned
+        bytes as every other mode x runtime combination."""
+        with ParallelShardedPipeline(bank_dir, num_workers=3,
+                                     batch_size=8, retention="both",
+                                     transport="shm") as pipeline:
+            ingest_pcap(pipeline, GOLDEN / "golden.pcap", mode="bulk")
+            pipeline.flush()
+            assert asdict(pipeline.counters) == expected["counters"]
+            assert sorted(map(tuple, record_rows(pipeline.telemetry))) \
+                == sorted(map(tuple, expected["records"]))
+            assert _rollup_digest(pipeline.rollup, tmp_path, "shm") == \
                 expected["rollup_sha256_sharded3"]
 
     def test_checkpointed_replay_matches_pinned_bytes(self, bank,

@@ -323,3 +323,248 @@ def quic_fuzz_bank():
         generate_lab_dataset(seed=3, scale=0.02),
         model_factory=lambda: RandomForestClassifier(
             n_estimators=2, max_depth=6, random_state=0))
+
+
+# --- Vectorized bulk decode: the per-frame parser is the oracle ---------------
+#
+# decode_block() promises to accept/reject exactly the frames
+# RawPacket.parse accepts/rejects and to extract identical fields for
+# the accepted ones. These property tests drive that contract with
+# random bytes, mutated valid frames, truncations, zero/max-length
+# frames, packed-wire-format corruption, pcap records straddling block
+# boundaries, and the full QUIC mutant corpus through bulk ingest.
+
+from dataclasses import replace
+
+from repro.net import EthernetHeader, PcapReader, PcapWriter, TCPHeader
+from repro.net import make_tcp_packet
+from repro.net.rawpacket import FrameBlock, decode_block
+
+
+def _base_frames() -> list[bytes]:
+    """Valid frames of every interesting shape: TCP/443, UDP/443, a
+    VLAN-tagged frame, a non-443 frame, a SYN, and a capture-padded
+    frame (total_length shorter than the snap)."""
+    tcp = make_tcp_packet(
+        "10.0.0.1", "93.184.216.34",
+        TCPHeader(src_port=50000, dst_port=443, seq=7, flag_ack=True),
+        payload=b"x" * 64, timestamp=1.0)
+    syn = make_tcp_packet(
+        "10.0.0.3", "93.184.216.34",
+        TCPHeader(src_port=50002, dst_port=443, seq=0, flag_syn=True),
+        timestamp=1.0)
+    vlan = replace(tcp, eth=EthernetHeader(vlan_id=19))
+    off443 = make_tcp_packet(
+        "10.0.0.4", "93.184.216.34",
+        TCPHeader(src_port=50003, dst_port=8080, seq=3, flag_ack=True),
+        payload=b"z" * 32, timestamp=1.0)
+    udp = make_udp_packet("10.0.0.2", "93.184.216.34", 50001, 443,
+                          payload=b"y" * 48)
+    return [tcp.to_bytes(), syn.to_bytes(), vlan.to_bytes(),
+            off443.to_bytes(), udp.to_bytes(),
+            tcp.to_bytes() + b"\x00" * 9]  # capture padding
+
+
+_BASES = _base_frames()
+
+# A frame is random garbage, a mutant of a valid frame, a truncation
+# of one, or a valid frame verbatim — the mix that makes both accept
+# and reject lanes dense in every drawn block.
+_frame_strategy = st.one_of(
+    st.binary(max_size=200),
+    st.builds(
+        lambda base, pos, val: (
+            _BASES[base][:pos % len(_BASES[base])]
+            + bytes([val])
+            + _BASES[base][pos % len(_BASES[base]) + 1:]),
+        st.integers(0, len(_BASES) - 1),
+        st.integers(0, 10_000),
+        st.integers(0, 255)),
+    st.builds(lambda base, cut: _BASES[base][:cut % len(_BASES[base])],
+              st.integers(0, len(_BASES) - 1),
+              st.integers(0, 10_000)),
+    st.sampled_from(_BASES),
+)
+
+
+def _block_of(frames: list[bytes]) -> FrameBlock:
+    return FrameBlock.from_frames(
+        (data, float(i)) for i, data in enumerate(frames))
+
+
+class TestDecodeBlockOracleParity:
+    @given(st.lists(_frame_strategy, max_size=24))
+    @settings(max_examples=150)
+    def test_validity_and_fields_match_per_frame_parse(self, frames):
+        decoded = decode_block(_block_of(frames))
+        assert len(decoded) == len(frames)
+        for i, data in enumerate(frames):
+            try:
+                raw = RawPacket.parse(data, float(i))
+            except CLEAN_ERRORS:
+                assert not decoded.valid[i], (i, data.hex())
+                continue
+            assert decoded.valid[i], (i, data.hex())
+            assert int(decoded.protocol[i]) == raw.protocol
+            assert int(decoded.src_port[i]) == raw.src_port
+            assert int(decoded.dst_port[i]) == raw.dst_port
+            assert int(decoded.ttl[i]) == raw.ttl
+            assert int(decoded.payload_len[i]) == raw.payload_len
+            vlan = int(decoded.vlan_id[i])
+            assert (None if vlan < 0 else vlan) == raw.vlan_id
+            key, src, dst = decoded.make_key(i)
+            assert key == raw.canonical_key_tuple
+            assert (src, dst) == (raw.src_ip, raw.dst_ip)
+            assert bool(decoded.https[i]) == (
+                raw.src_port == 443 or raw.dst_port == 443)
+            packet = decoded.promote(i)
+            assert bool(decoded.syn_noack[i]) == bool(
+                packet.tcp is not None and packet.tcp.flag_syn
+                and not packet.tcp.flag_ack)
+
+    def test_zero_and_extreme_length_frames(self):
+        frames = [b"", b"\x00", b"\x00" * 13, b"\x00" * 14,
+                  b"\xff" * 65535, _BASES[0], _BASES[0] + b"\x00" * 4096]
+        decoded = decode_block(_block_of(frames))
+        for i, data in enumerate(frames):
+            try:
+                RawPacket.parse(data, float(i))
+                expect = True
+            except CLEAN_ERRORS:
+                expect = False
+            assert bool(decoded.valid[i]) == expect, i
+        assert decoded.invalid_count == 5
+        assert decoded.first_invalid() == 0
+
+    def test_empty_block_decodes(self):
+        decoded = decode_block(_block_of([]))
+        assert len(decoded) == 0
+        assert decoded.valid_count == 0
+        assert decoded.https_indices.size == 0
+
+
+class TestPackedWireFormat:
+    @given(st.lists(_frame_strategy, max_size=16),
+           st.integers(min_value=64, max_value=2048))
+    @settings(max_examples=80)
+    def test_pack_roundtrip_preserves_frames(self, frames, max_bytes):
+        block = _block_of(frames)
+        out = []
+        for chunk in block.pack_chunks(max_bytes=max_bytes):
+            sub = FrameBlock.unpack(chunk)
+            out.extend((sub.frame_bytes(i), float(sub.timestamps[i]))
+                       for i in range(len(sub)))
+        assert out == [(data, float(i))
+                       for i, data in enumerate(frames)]
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60)
+    def test_truncated_packed_block_always_raises(self, cut):
+        packed = next(iter(_block_of(_BASES).pack_chunks()))
+        with pytest.raises(ParseError):
+            FrameBlock.unpack(packed[:cut % len(packed)])
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=150)
+    def test_arbitrary_bytes_unpack_cleanly_or_decode(self, data):
+        """Garbage either fails with ParseError at unpack or yields a
+        block whose decode never crashes (corrupt offset tables are
+        clamped and masked invalid, not chased out of bounds)."""
+        try:
+            block = FrameBlock.unpack(data)
+        except CLEAN_ERRORS:
+            return
+        decoded = decode_block(block)
+        assert len(decoded) == len(block)
+
+    @given(st.lists(_frame_strategy, max_size=16),
+           st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=0, max_value=255))
+    @settings(max_examples=100)
+    def test_mutated_packed_block_cleanly_splits(self, frames, pos, val):
+        packed = bytearray(
+            next(iter(_block_of(frames + [_BASES[0]]).pack_chunks())))
+        packed[pos % len(packed)] = val
+        try:
+            decoded = decode_block(FrameBlock.unpack(bytes(packed)))
+        except CLEAN_ERRORS:
+            return
+        assert decoded.valid_count + decoded.invalid_count == \
+            len(decoded)
+
+
+class TestBlockReaderBoundaries:
+    @pytest.mark.parametrize("chunk_bytes,max_frames",
+                             [(64, 4096), (257, 3), (1 << 20, 1),
+                              (128, 7)])
+    def test_records_straddling_read_chunks(self, tmp_path, chunk_bytes,
+                                            max_frames):
+        """A pcap record split across reader chunks must come out
+        byte-identical, whatever the chunk/flush geometry — and decode
+        identically to the one-big-block decode."""
+        path = tmp_path / "straddle.pcap"
+        frames = [(_BASES[i % len(_BASES)], 1.0 + i * 0.25)
+                  for i in range(40)]
+        frames.insert(7, (b"\xff" * 12 + b"\x08\x06" + b"\x00" * 28,
+                          2.0))
+        with PcapWriter(path) as writer:
+            for data, timestamp in frames:
+                writer.write_bytes(data, timestamp)
+        streamed = []
+        for block in PcapReader(path).blocks(max_frames=max_frames,
+                                             chunk_bytes=chunk_bytes):
+            assert len(block) <= max_frames
+            decoded = decode_block(block)
+            streamed.extend(
+                (block.frame_bytes(i), float(block.timestamps[i]),
+                 bool(decoded.valid[i]))
+                for i in range(len(block)))
+        whole = decode_block(_block_of([d for d, _ in frames]))
+        assert [(d, t) for d, t, _ in streamed] == frames
+        assert [v for _, _, v in streamed] == \
+            [bool(whole.valid[i]) for i in range(len(frames))]
+
+
+class TestQuicMutantsThroughBulkIngest:
+    """The QUIC mutant corpus, one more time — through the vectorized
+    bulk path. Every mutant datagram rides a well-formed UDP/443 frame,
+    so decode_block accepts them all; rejection happens at handshake
+    parse inside the engine and must match the eager path exactly."""
+
+    def test_promotion_outcome_parity(self):
+        corpus = TestQuicInitialMutations.CORPUS
+        frames = []
+        for i, (tag, datagram) in enumerate(corpus):
+            frame = make_udp_packet(f"10.2.{i % 200}.2",
+                                    "93.184.216.34", 41000 + i, 443,
+                                    payload=datagram).to_bytes()
+            frames.append((frame, float(i)))
+        decoded = decode_block(FrameBlock.from_frames(frames))
+        assert decoded.valid_count == len(corpus)
+        assert decoded.https_indices.size == len(corpus)
+        for i, (data, timestamp) in enumerate(frames):
+            def outcome(packet):
+                try:
+                    record = parse_flow_handshake([packet])
+                    return ("ok", record.transport, record.sni)
+                except CLEAN_ERRORS as exc:
+                    return ("rejected", type(exc).__name__)
+            eager = outcome(Packet.from_bytes(data, timestamp))
+            bulk = outcome(decoded.promote(i))
+            assert eager == bulk, corpus[i][0]
+
+    def test_pipeline_counters_parity(self, quic_fuzz_bank):
+        eager = RealtimePipeline(quic_fuzz_bank)
+        bulk = RealtimePipeline(quic_fuzz_bank)
+        frames = []
+        for i, (tag, datagram) in enumerate(
+                TestQuicInitialMutations.CORPUS):
+            frame = make_udp_packet(f"10.3.{i % 200}.2",
+                                    "93.184.216.34", 42000 + i, 443,
+                                    payload=datagram).to_bytes()
+            frames.append((frame, float(i)))
+            eager.process_packet(Packet.from_bytes(frame, float(i)))
+        bulk.process_block(decode_block(FrameBlock.from_frames(frames)))
+        eager.flush()
+        bulk.flush()
+        assert eager.counters == bulk.counters
