@@ -21,76 +21,23 @@ REPRO_BENCH_SMOKE=1 shrinks the workload for the CI regression gate.
 """
 
 import time
-from dataclasses import replace
 
-from conftest import BENCH_SMOKE, bench_model_factory, emit, emit_bench_json
+from conftest import (
+    BENCH_SMOKE,
+    bench_model_factory,
+    best_of,
+    blocks_of as _blocks_of,
+    campus_mix_frames as _campus_mix_frames,
+    emit,
+    emit_bench_json,
+)
 
-from repro.net.rawpacket import FrameBlock, decode_block
+from repro.net.rawpacket import decode_block
 
-from repro.fingerprints import Provider, Transport, UserPlatform, get_profile
-from repro.net import EthernetHeader, Packet, TCPHeader, make_tcp_packet
+from repro.net import Packet
 from repro.pipeline import ClassifierBank, RealtimePipeline, ShardedPipeline
-from repro.trafficgen import FlowBuildRequest, FlowFactory, generate_lab_dataset
-from repro.util import SeededRNG, format_table
-
-
-def _campus_mix_frames(lab, video_flows=120, bulk_packets=12000,
-                       web_flows=150):
-    video = []
-    for i, flow in enumerate(list(lab)[:video_flows]):
-        packets = flow.packets
-        if i % 5 == 0:  # trunk-port slice arrives 802.1Q-tagged
-            packets = tuple(replace(p, eth=EthernetHeader(vlan_id=112))
-                            for p in packets)
-        video.extend(packets)
-    # Non-video HTTPS (web browsing): full TLS handshakes toward
-    # non-video hosts — the SNI filter discards these after one parse.
-    factory = FlowFactory(SeededRNG(23))
-    profile = get_profile(UserPlatform.from_label("windows_chrome"),
-                          Provider.YOUTUBE)
-    for i in range(web_flows):
-        flow = factory.build(FlowBuildRequest(
-            platform_label="windows_chrome", provider=Provider.YOUTUBE,
-            transport=Transport.TCP, profile=profile,
-            sni=f"www.site{i}.example.org",
-            client_ip=f"10.{i % 200}.4.9",
-            start_time=20.0 + i * 0.01))
-        video.extend(flow.packets)
-    # Non-443 bulk (the dominant share of a campus tap's packets).
-    rng = SeededRNG(17)
-    bulk = []
-    for i in range(bulk_packets):
-        tcp = TCPHeader(src_port=40000 + i % 900, dst_port=8080,
-                        seq=i * 700, flag_ack=True)
-        bulk.append(make_tcp_packet(
-            f"10.{i % 180}.7.2", "93.184.216.34", tcp,
-            payload=rng.token_bytes(700), timestamp=30.0 + i * 5e-5))
-    # interleave: ~1 video/web packet per 8 bulk packets, like a real mix
-    mixed, vi = [], iter(video)
-    for i, packet in enumerate(bulk):
-        mixed.append(packet)
-        if i % 8 == 0:
-            nxt = next(vi, None)
-            if nxt is not None:
-                mixed.append(nxt)
-    mixed.extend(vi)
-    return [(p.to_bytes(), p.timestamp) for p in mixed]
-
-
-def _best_of(fn, rounds=3):
-    return min((fn() for _ in range(rounds)), key=lambda r: r[0])
-
-
-BLOCK_FRAMES = 4096
-
-
-def _blocks_of(frames):
-    """Pre-addressed capture blocks — the shape a DPDK-style delivery
-    hands the pipeline (and what PcapReader.blocks() yields), built
-    outside the timed region just as the per-frame list is for the
-    raw/eager paths."""
-    return [FrameBlock.from_frames(frames[i:i + BLOCK_FRAMES])
-            for i in range(0, len(frames), BLOCK_FRAMES)]
+from repro.trafficgen import generate_lab_dataset
+from repro.util import format_table
 
 
 def test_ingest_throughput():
@@ -136,10 +83,11 @@ def test_ingest_throughput():
         pipeline.flush()
         return time.perf_counter() - start, pipeline
 
-    t_eager, ref = _best_of(run_eager)
-    t_raw, fast = _best_of(run_raw)
-    t_bulk, bulk = _best_of(run_bulk)
-    t_sharded, sharded = _best_of(run_raw_sharded)
+    t_eager, ref = best_of(run_eager, name="ingest-eager")
+    t_raw, fast = best_of(run_raw, name="ingest-raw")
+    t_bulk, bulk = best_of(run_bulk, name="ingest-bulk")
+    t_sharded, sharded = best_of(run_raw_sharded,
+                                 name="ingest-raw-sharded")
 
     # The fast paths are only admissible while indistinguishable from
     # the oracle on the same capture.
@@ -200,8 +148,8 @@ def test_ingest_throughput():
         pipeline.flush()
         return time.perf_counter() - start, pipeline
 
-    t_lr_raw, lr_ref = _best_of(run_lr_raw)
-    t_lr_bulk, lr_bulk = _best_of(run_lr_bulk)
+    t_lr_raw, lr_ref = best_of(run_lr_raw, name="linerate-raw")
+    t_lr_bulk, lr_bulk = best_of(run_lr_bulk, name="linerate-bulk")
     assert lr_bulk.counters == lr_ref.counters
     lr_speedup = t_lr_raw / t_lr_bulk
 

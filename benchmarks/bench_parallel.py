@@ -27,7 +27,13 @@ import shutil
 import tempfile
 import time
 
-from conftest import BENCH_SMOKE, bench_model_factory, emit, emit_bench_json
+from conftest import (
+    BENCH_SMOKE,
+    bench_model_factory,
+    best_of,
+    emit,
+    emit_bench_json,
+)
 
 from repro.net.rawpacket import FrameBlock, decode_block
 
@@ -66,10 +72,6 @@ def _https_mix_frames(lab, video_flows=240, web_flows=900):
     return [(p.to_bytes(), p.timestamp) for p in packets]
 
 
-def _best_of(fn, rounds=2):
-    return min((fn() for _ in range(rounds)), key=lambda r: r[0])
-
-
 def test_parallel_scaling():
     lab = generate_lab_dataset(seed=66, scale=0.08, name="bench-parallel")
     bank = ClassifierBank.train(lab, model_factory=bench_model_factory)
@@ -105,7 +107,7 @@ def test_parallel_scaling():
             return elapsed, pipeline.counters
 
     try:
-        t_serial, ref = _best_of(run_serial)
+        t_serial, ref = best_of(run_serial, rounds=2, name="parallel-serial")
         rows = [("serial ShardedPipeline (4 shards)",
                  f"{n / t_serial:,.0f}", "1.00x", "-")]
         timings = {}
@@ -113,7 +115,9 @@ def test_parallel_scaling():
         entries = [{"mode": "serial", "workers": 1,
                     "pkt_per_s": round(n / t_serial), "speedup": 1.0}]
         for workers in WORKER_COUNTS:
-            t, counters = _best_of(lambda w=workers: run_parallel(w))
+            t, counters = best_of(lambda w=workers: run_parallel(w),
+                                  rounds=2,
+                                  name=f"parallel-queue-{workers}w")
             assert counters == ref  # speed never at the cost of fidelity
             timings[workers] = t
             rows.append((f"queue transport, {workers} worker"
@@ -124,9 +128,10 @@ def test_parallel_scaling():
                             "pkt_per_s": round(n / t),
                             "speedup": round(timings[1] / t, 3)})
         for workers in WORKER_COUNTS:
-            t, counters = _best_of(
+            t, counters = best_of(
                 lambda w=workers: run_parallel(w, transport="shm",
-                                               bulk=True))
+                                               bulk=True),
+                rounds=2, name=f"parallel-shm-{workers}w")
             assert counters == ref
             shm_timings[workers] = t
             rows.append((f"shm transport + bulk decode, {workers} "

@@ -18,6 +18,13 @@ each with a 20% tolerance:
   measured on >=4 cores; a 1-core box produces inverted scaling that
   would be meaningless as a floor.
 
+A baseline entry may additionally carry a ``floor`` field: an
+*absolute* speedup floor the fresh run must reach regardless of the
+committed value (used by BENCH_obs.json to pin the <=3% observability
+overhead budget as ``floor: 0.97`` — a budget, not a ratchet, so a
+lucky committed 0.999x never tightens it). When present, the absolute
+floor replaces the relative 80%-of-committed speedup comparison.
+
 Exit status 1 on any regression beyond tolerance.
 """
 
@@ -78,6 +85,16 @@ def check(baseline: dict, fresh: dict) -> int:
             else:
                 print(f"{tag} ok — pkt/s {other['pkt_per_s']:,} vs "
                       f"committed {entry['pkt_per_s']:,}")
+        floor_abs = entry.get("floor")
+        if floor_abs is not None:
+            if other["speedup"] < floor_abs:
+                print(f"{tag} FAIL — speedup {other['speedup']}x "
+                      f"below the absolute floor {floor_abs}x")
+                failures += 1
+            else:
+                print(f"{tag} ok — speedup {other['speedup']}x >= "
+                      f"absolute floor {floor_abs}x")
+            continue
         if entry["workers"] > 1 and not scaling_ok:
             print(f"{tag} SKIP speedup — scaling ratio needs >=4 "
                   f"cores on both sides (baseline "

@@ -31,6 +31,9 @@ Usage::
         --checkpoint-dir ck/ --checkpoint-interval 600
     python -m repro.cli campus --bank bank/ --pcap campus-day.pcap \
         --resume ck/ --reload-bank bank-v2/
+    python -m repro.cli campus --bank bank/ --pcap campus-day.pcap \
+        --metrics-port 9107 --event-log events.jsonl \
+        --metrics-out metrics.prom
     python -m repro.cli report --rollup rollup/
 """
 
@@ -38,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.errors import ConfigError
 from repro.analysis import (
@@ -61,6 +65,7 @@ from repro.pipeline import (
     load_bank,
     save_bank,
 )
+from repro.obs import EventLog, MetricsServer
 from repro.telemetry import load_rollup, save_rollup
 from repro.telemetry import queries as rollup_queries
 from repro.trafficgen import (
@@ -110,7 +115,67 @@ def cmd_export_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_pipeline(args: argparse.Namespace):
+class _Obs:
+    """Lifecycle owner for the observability flags shared by classify
+    and campus: the JSONL event log (``--event-log``), the opt-in
+    ``/metrics`` endpoint (``--metrics-port``), and the end-of-run
+    metrics write (``--metrics-out``). When no flag asked for
+    anything, every hook stays None and the pipelines run with
+    instrumentation disabled."""
+
+    def __init__(self, args: argparse.Namespace):
+        # The registries exist only when something will read them; the
+        # event log alone does not pay for per-batch timing spans.
+        self.metrics = (args.metrics_out is not None
+                        or args.metrics_port is not None)
+        self.events = (EventLog(args.event_log)
+                       if args.event_log else None)
+        self._out = args.metrics_out
+        self._port = args.metrics_port
+        self._server: MetricsServer | None = None
+
+    def serve(self, pipeline) -> None:
+        """Start the ``/metrics`` + ``/healthz`` endpoint against a
+        live pipeline (``--metrics-port 0`` binds an ephemeral port,
+        announced on stderr either way)."""
+        if self._port is None:
+            return
+        self._server = MetricsServer(pipeline.export_metrics,
+                                     port=self._port).start()
+        print(f"Serving metrics on "
+              f"http://127.0.0.1:{self._server.port}/metrics",
+              file=sys.stderr)
+
+    def write_out(self, pipeline) -> None:
+        """Write ``--metrics-out`` while the pipeline is still live
+        (the multiprocess runtime's export needs its workers). A
+        ``.json`` suffix picks the JSON snapshot; anything else gets
+        Prometheus text exposition."""
+        if self._out is None:
+            return
+        registry = pipeline.export_metrics()
+        text = (registry.to_json() if self._out.endswith(".json")
+                else registry.render_prometheus())
+        out = Path(self._out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text, encoding="utf-8")
+        print(f"Wrote metrics -> {out}", file=sys.stderr)
+
+    def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        if self.events is not None:
+            self.events.close()
+
+    def __enter__(self) -> "_Obs":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _build_pipeline(args: argparse.Namespace, obs: _Obs):
     """Honor the batch/shard/worker/retention knobs shared by classify
     and campus. ``--workers`` gives the shards real processes (each
     loads the bank from ``--bank`` on its own); ``--shards`` keeps the
@@ -123,7 +188,7 @@ def _build_pipeline(args: argparse.Namespace):
               "alternative runtimes; pick one", file=sys.stderr)
         raise SystemExit(2)
     if args.resume:
-        pipeline = _restore_pipeline(args)
+        pipeline = _restore_pipeline(args, obs)
     else:
         # --retention/--batch-size are None unless the user set them,
         # so a resumed pipeline can default to its checkpointed
@@ -135,23 +200,28 @@ def _build_pipeline(args: argparse.Namespace):
                 args.bank, num_workers=args.workers,
                 batch_size=batch_size, retention=retention,
                 transport=args.transport,
-                checkpoint_dir=args.checkpoint_dir)
+                checkpoint_dir=args.checkpoint_dir,
+                metrics=obs.metrics, events=obs.events)
         else:
             bank = load_bank(args.bank)
             if args.shards > 1:
                 pipeline = ShardedPipeline(bank,
                                            num_shards=args.shards,
                                            batch_size=batch_size,
-                                           retention=retention)
+                                           retention=retention,
+                                           metrics=obs.metrics)
             else:
                 pipeline = RealtimePipeline(bank,
                                             batch_size=batch_size,
-                                            retention=retention)
+                                            retention=retention,
+                                            metrics=obs.metrics)
     if args.reload_bank:
         if isinstance(pipeline, ParallelShardedPipeline):
             pipeline.reload_bank(args.reload_bank)
         else:
             pipeline.reload_bank(load_bank(args.reload_bank))
+        if obs.events is not None:
+            obs.events.emit("bank_reload", bank=str(args.reload_bank))
     return pipeline
 
 
@@ -165,7 +235,7 @@ def _pipeline_retention(pipeline) -> str:
     return retention
 
 
-def _restore_pipeline(args: argparse.Namespace):
+def _restore_pipeline(args: argparse.Namespace, obs: _Obs):
     """Rebuild the selected runtime from ``--resume DIR``. Retention
     and batch size left unset on the command line default to the
     checkpointed values."""
@@ -180,20 +250,23 @@ def _restore_pipeline(args: argparse.Namespace):
             args.resume, args.bank, num_workers=args.workers,
             batch_size=args.batch_size, retention=args.retention,
             transport=args.transport,
-            checkpoint_dir=args.checkpoint_dir or args.resume)
+            checkpoint_dir=args.checkpoint_dir or args.resume,
+            metrics=obs.metrics, events=obs.events)
     bank = load_bank(args.bank)
     if kind == "sharded":
         return ShardedPipeline.restore(
             args.resume, bank,
             num_shards=args.shards if args.shards > 1 else None,
-            batch_size=args.batch_size, retention=args.retention)
+            batch_size=args.batch_size, retention=args.retention,
+            metrics=obs.metrics)
     if args.shards > 1:
         raise ConfigError(
             f"checkpoint at {args.resume} is a single-pipeline "
             f"snapshot; drop --shards to resume it")
     return RealtimePipeline.restore(args.resume, bank,
                                     batch_size=args.batch_size,
-                                    retention=args.retention)
+                                    retention=args.retention,
+                                    metrics=obs.metrics)
 
 
 def _ingest_args(args: argparse.Namespace) -> dict:
@@ -224,16 +297,18 @@ def cmd_classify(args: argparse.Namespace) -> int:
     # the in-process flavors, close-on-success / terminate-on-error
     # for the multiprocess one (so a close-time barrier against an
     # already-dead worker never masks the original traceback).
-    with _build_pipeline(args) as pipeline:
+    with _Obs(args) as obs, _build_pipeline(args, obs) as pipeline:
         if _pipeline_retention(pipeline) == "rollup":
             # Reachable via --resume of a rollup-only checkpoint.
             print("classify needs raw records for its per-flow table; "
                   "this checkpoint retains rollup cells only",
                   file=sys.stderr)
             return 2
+        obs.serve(pipeline)
         result = ingest_pcap(pipeline, args.pcap, mode=args.ingest,
-                             **_ingest_args(args))
+                             events=obs.events, **_ingest_args(args))
         pipeline.flush()
+        obs.write_out(pipeline)
         if result.skipped:
             print(f"Skipped {result.skipped} unparseable frames "
                   f"(non-IPv4/non-TCP-UDP)", file=sys.stderr)
@@ -259,22 +334,23 @@ def cmd_classify(args: argparse.Namespace) -> int:
 
 
 def cmd_campus(args: argparse.Namespace) -> int:
-    with _build_pipeline(args) as pipeline:
+    with _Obs(args) as obs, _build_pipeline(args, obs) as pipeline:
         retention = _pipeline_retention(pipeline)
         if args.save_rollup and retention == "raw":
             print("--save-rollup requires --retention rollup or both",
                   file=sys.stderr)
             return 2
-        return _run_campus(pipeline, args, retention)
+        obs.serve(pipeline)
+        return _run_campus(pipeline, args, retention, obs)
 
 
 def _run_campus(pipeline, args: argparse.Namespace,
-                retention: str) -> int:
+                retention: str, obs: _Obs) -> int:
     if args.pcap:
         # Replay a captured campus trace through the packet path
         # instead of synthesizing flow summaries.
         result = ingest_pcap(pipeline, args.pcap, mode=args.ingest,
-                             **_ingest_args(args))
+                             events=obs.events, **_ingest_args(args))
         pipeline.flush()
         if result.skipped:
             print(f"Skipped {result.skipped} unparseable frames "
@@ -285,6 +361,7 @@ def _run_campus(pipeline, args: argparse.Namespace,
             seed=args.seed))
         pipeline.process_flows(workload.flows())
         pipeline.flush()
+    obs.write_out(pipeline)
     # Bind the merged cube once: on a sharded pipeline ``rollup`` is a
     # fresh O(cells) merge per access.
     cube = pipeline.rollup if retention != "raw" else None
@@ -507,6 +584,23 @@ def _add_scaling_args(parser: argparse.ArgumentParser) -> None:
         help="hot-swap a retrained bank directory into the pipeline "
              "before traffic flows (driftwatch's retraining handoff; "
              "combine with --resume to swap at a checkpoint boundary)")
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the run's merged metrics to PATH on completion "
+             "(Prometheus text exposition, or the JSON snapshot when "
+             "PATH ends in .json)")
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve live /metrics (Prometheus text), /metrics.json "
+             "and /healthz on 127.0.0.1:PORT for the duration of the "
+             "run (0 = ephemeral port; the bound address is printed "
+             "to stderr)")
+    parser.add_argument(
+        "--event-log", metavar="PATH", default=None,
+        help="append structured JSONL operational events "
+             "(checkpoints, eviction sweeps, bank reloads, resume and "
+             "worker-respawn transitions) to PATH, stamped with both "
+             "wall and capture clocks")
 
 
 def main(argv: list[str] | None = None) -> int:

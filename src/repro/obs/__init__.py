@@ -1,0 +1,38 @@
+"""Runtime observability plane: metrics, spans, events, exposition.
+
+Split by concern:
+
+* :mod:`repro.obs.metrics` — Counter/Gauge/Histogram instruments, the
+  mergeable :class:`MetricsRegistry`, Prometheus/JSON exposition.
+* :mod:`repro.obs.export` — derive count metrics from pipeline state
+  at export time (keeps the hot path uninstrumented).
+* :mod:`repro.obs.events` — append-only JSONL event log with
+  wall + capture-clock timestamps.
+* :mod:`repro.obs.httpserv` — opt-in stdlib ``/metrics`` +
+  ``/healthz`` endpoint.
+"""
+
+from repro.obs.events import EventLog, read_events
+from repro.obs.export import (export_counters, export_drift,
+                              export_runtime_gauges,
+                              export_shard_gauges)
+from repro.obs.httpserv import MetricsServer
+from repro.obs.metrics import (COUNT_BUCKETS, DEFAULT_BUCKETS, Counter,
+                               Gauge, Histogram, MetricsRegistry, Span)
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsServer",
+    "Span",
+    "export_counters",
+    "export_drift",
+    "export_runtime_gauges",
+    "export_shard_gauges",
+    "read_events",
+]

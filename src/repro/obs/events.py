@@ -1,0 +1,97 @@
+"""Structured JSONL event log for operational state transitions.
+
+Metrics answer "how much / how fast"; the event log answers "what
+happened when": checkpoints taken, eviction sweeps, bank hot-reloads,
+drift alarms, worker respawns with their journal-replay accounting.
+One JSON object per line, append-only, flushed per event — the shape
+log shippers (and ``jq``) expect from a long-running daemon.
+
+Every event carries two timestamps:
+
+* ``wall`` — wall-clock seconds (``time.time()``) at emission, the
+  operator's frame of reference;
+* ``clock`` — the *capture* clock (pcap timestamp domain) last
+  published via :meth:`EventLog.set_clock`, or null before any frame
+  has advanced it. A replay of last month's capture emits events at
+  last month's capture times, which is what makes the log joinable
+  against the telemetry it describes.
+
+The log is deliberately dumb: no rotation, no buffering policy beyond
+line-flush, no schema registry. Consumers get ``{"event": <type>,
+"wall": ..., "clock": ..., **fields}`` and nothing else is promised
+except that fields are JSON scalars/arrays.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+
+class EventLog:
+    """Append-only JSONL event sink.
+
+    Thread-safe (the metrics HTTP endpoint and a respawn path can
+    race the ingest loop); cheap when idle — emission cost is one
+    ``json.dumps`` and one line write, and nothing at all happens
+    between events.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._clock: float | None = None
+        self._count = 0
+
+    def set_clock(self, clock: float) -> None:
+        """Publish the current capture clock; subsequent events are
+        stamped with it. Monotonic by construction at the call sites
+        (the ingest loop's clock is a running max) — not enforced
+        here."""
+        self._clock = clock
+
+    @property
+    def clock(self) -> float | None:
+        return self._clock
+
+    @property
+    def count(self) -> int:
+        """Events emitted through this log instance."""
+        return self._count
+
+    def emit(self, event: str, **fields) -> None:
+        """Write one event line. ``fields`` must be JSON-serializable;
+        ``event``/``wall``/``clock`` keys are reserved."""
+        entry = {"event": event, "wall": time.time(),
+                 "clock": self._clock}
+        entry.update(fields)
+        line = json.dumps(entry, sort_keys=True)
+        with self._lock:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            self._count += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Parse a JSONL event log back into dicts (test/tooling helper;
+    skips blank lines, raises on malformed JSON)."""
+    out = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            out.append(json.loads(line))
+    return out

@@ -1,0 +1,125 @@
+"""Derived-metric export: pipeline state -> a metrics registry.
+
+The hot path never pays for per-packet metric updates — the engine
+already maintains :class:`~repro.pipeline.engine.PipelineCounters` for
+its own accounting, so the observability plane *derives* the count
+metrics from those (and from the flow table / rollup cube sizes) at
+export time, then merges in the live timing registries the
+instrumented stages write into. An export is a fresh
+:class:`~repro.obs.metrics.MetricsRegistry` snapshot every call:
+reading metrics never mutates runtime state beyond the same sync
+barrier any merged-view read pays.
+
+Because the derived values come from the equivalence-pinned counters,
+the parallel runtime's parent-merged metrics are byte-identical to a
+serial run's for every count metric — and they survive the PR 5
+SIGKILL-respawn contract for free, since counters are checkpointed
+and journal-replayed. Process-local measurements (stage latencies,
+promotions, ring waits) are additive best-effort: they merge exactly,
+but a respawned worker's pre-crash timings die with the process.
+
+The helpers here are deliberately duck-typed (``dataclasses.fields``
+over the counters, ``getattr`` probes for optional views) so this
+module imports nothing from ``repro.pipeline`` — the pipelines import
+*us*, never the reverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.obs.metrics import MetricsRegistry
+
+# PipelineCounters field -> (metric name, static labels, help).
+# ``classified``/``partial``/``unknown`` share one family split by a
+# status label, mirroring how the confidence selector buckets
+# predictions.
+COUNTER_METRICS = {
+    "packets": ("repro_packets_total", None,
+                "Frames accounted by the pipeline (all paths)"),
+    "flows": ("repro_flows_total", None,
+              "Distinct 5-tuple flows entered into the flow table"),
+    "video_flows": ("repro_video_flows_total", None,
+                    "Flows admitted by the SNI filter to a trained "
+                    "scenario"),
+    "classified": ("repro_classifications_total",
+                   {"status": "classified"},
+                   "Predictions by confidence-selector status"),
+    "partial": ("repro_classifications_total", {"status": "partial"},
+                "Predictions by confidence-selector status"),
+    "unknown": ("repro_classifications_total", {"status": "unknown"},
+                "Predictions by confidence-selector status"),
+    "non_video_flows": ("repro_non_video_flows_total", None,
+                        "Flows rejected by the SNI/scenario filter"),
+    "parse_failures": ("repro_parse_failures_total", None,
+                       "Flows whose 8 observed handshake packets "
+                       "never parsed"),
+    "incomplete": ("repro_incomplete_flows_total", None,
+                   "Flows truncated before their handshake completed"),
+    "evicted": ("repro_evicted_flows_total", None,
+                "Flows evicted from the flow table by idle timeout"),
+}
+
+
+def export_counters(registry: MetricsRegistry, counters) -> None:
+    """Map a (merged) ``PipelineCounters`` onto counter metrics."""
+    for f in fields(counters):
+        spec = COUNTER_METRICS.get(f.name)
+        if spec is None:  # forward-compatible: unmapped fields skipped
+            continue
+        name, labels, help = spec
+        registry.counter(name, help, labels).inc(
+            getattr(counters, f.name))
+
+
+def export_runtime_gauges(registry: MetricsRegistry, pipeline) -> None:
+    """The point-in-time views every runtime flavor shares."""
+    registry.gauge(
+        "repro_live_flows",
+        "Flows currently held in the flow table(s)",
+    ).set(pipeline.live_flows)
+    registry.gauge(
+        "repro_pending_classifications",
+        "Flows buffered for the next batch classification drain",
+    ).set(pipeline.pending_classifications)
+    rollup = getattr(pipeline, "rollup", None)
+    if rollup is not None:
+        registry.gauge(
+            "repro_rollup_cells",
+            "Cells held by the telemetry rollup cube",
+        ).set(len(rollup))
+        registry.counter(
+            "repro_rollup_records_total",
+            "Telemetry records folded into the rollup cube",
+        ).inc(rollup.total_flows)
+
+
+def export_shard_gauges(registry: MetricsRegistry,
+                        live_flows: list[int],
+                        flows_seen: list[int]) -> None:
+    """Per-shard load/occupancy gauges (shard label = worker index)."""
+    for i, value in enumerate(live_flows):
+        registry.gauge(
+            "repro_shard_live_flows",
+            "Flows currently held per shard flow table",
+            {"shard": str(i)}).set(value)
+    for i, value in enumerate(flows_seen):
+        registry.gauge(
+            "repro_shard_flows",
+            "Flows ever seen per shard (hash balance)",
+            {"shard": str(i)}).set(value)
+
+
+def export_drift(registry: MetricsRegistry, monitor) -> None:
+    """Drift status derived from a ConceptDriftMonitor's reports."""
+    if monitor is None:
+        return
+    reports = monitor.reports()
+    registry.gauge(
+        "repro_drift_scenarios",
+        "Scenarios observed by the drift monitor",
+    ).set(len(reports))
+    registry.gauge(
+        "repro_drift_alarmed_scenarios",
+        "Scenarios currently flagged as drifting",
+    ).set(sum(1 for r in reports if r.drifting))

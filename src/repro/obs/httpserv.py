@@ -1,0 +1,105 @@
+"""Opt-in HTTP exposition: ``/metrics`` (Prometheus text) + ``/healthz``.
+
+A months-long tap is scraped, not ssh'd into. This serves the merged
+registry of a live pipeline over a background stdlib ``http.server``
+thread — no framework, no dependency, no request leaves the two
+whitelisted paths. The server never touches pipeline internals
+directly: it calls a ``collect`` callback the owner supplies, which
+must return a :class:`~repro.obs.metrics.MetricsRegistry` (typically
+:func:`~repro.obs.export.export_pipeline_metrics` over the runtime).
+
+Scrapes against the multiprocess runtime trigger a sync barrier in
+the collect path; Prometheus-style scrape intervals (seconds to
+minutes) make that a rounding error next to the traffic between
+scrapes, and the barrier is the same one every merged-view read
+already pays.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class MetricsServer:
+    """Background ``/metrics`` + ``/healthz`` endpoint.
+
+    ``collect`` runs on the serving thread per scrape; exceptions
+    surface as a 500 with the error text instead of killing the
+    thread (a wedged worker must not take the health endpoint down
+    with it — that is exactly when an operator needs it).
+    """
+
+    def __init__(self, collect: Callable[[], MetricsRegistry],
+                 port: int = 0, host: str = "127.0.0.1"):
+        self.collect = collect
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # quiet by design
+                pass
+
+            def _send(self, status: int, body: bytes,
+                      content_type: str) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:
+                path = self.path.split("?", 1)[0]
+                if path == "/healthz":
+                    self._send(200, json.dumps(
+                        {"status": "ok"}).encode(),
+                        "application/json")
+                    return
+                if path in ("/metrics", "/metrics.json"):
+                    try:
+                        registry = server.collect()
+                        if path == "/metrics.json":
+                            body = registry.to_json().encode()
+                            ctype = "application/json"
+                        else:
+                            body = registry.render_prometheus().encode()
+                            ctype = ("text/plain; version=0.0.4; "
+                                     "charset=utf-8")
+                    except Exception as exc:  # keep serving
+                        self._send(500, f"collect failed: {exc}"
+                                   .encode(), "text/plain")
+                        return
+                    self._send(200, body, ctype)
+                    return
+                self._send(404, b"not found", "text/plain")
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` ephemeral binds)."""
+        return self._httpd.server_address[1]
+
+    def start(self) -> "MetricsServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            name="repro-metrics", daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

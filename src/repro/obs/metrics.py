@@ -1,0 +1,351 @@
+"""Low-overhead metrics registry for the runtime observability plane.
+
+The paper's deployment is an ISP tap that runs for months; an operator
+needs live counters, stage latencies, and queue depths without
+attaching a debugger. This module is the measurement substrate: three
+instrument kinds — monotonic :class:`Counter`, :class:`Gauge`, and
+fixed-bucket :class:`Histogram` — owned by a :class:`MetricsRegistry`
+that can snapshot itself to plain data, merge snapshots
+order-independently (the same contract the rollup cube's shard merge
+pins: ``merge(a, b) == merge(b, a)`` and associativity, exact for
+every additive aggregate), and render either Prometheus text
+exposition format or a JSON dump.
+
+Design constraints, in order:
+
+* **No-op-cheap when disabled.** Pipelines hold ``metrics=None`` by
+  default and guard every instrumentation point with one attribute
+  check; per-packet work is NEVER instrumented directly — packet/flow
+  counts are derived from the already-maintained
+  :class:`~repro.pipeline.engine.PipelineCounters` at export time, and
+  timing spans wrap batch-level operations only (a block decode, a
+  classification drain, an eviction sweep, a checkpoint), so the
+  enabled-mode cost is one ``perf_counter`` pair per *batch*, not per
+  packet. ``benchmarks/bench_obs.py`` holds the enabled-vs-disabled
+  regression under 3%.
+* **Mergeable.** Counters and histogram buckets add; gauges add too
+  (every gauge we export is a per-shard quantity whose fleet view is
+  the sum — live flows, pending classifications, ring bytes in
+  flight). Worker registries snapshot into plain dicts that ride the
+  existing cmd-queue sync barrier and merge in the parent.
+* **Stdlib + nothing.** Prometheus exposition is a text format; no
+  client library is needed (or available in the container).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Iterable
+
+# Latency buckets (seconds) sized for our stage spans: a bulk block
+# decode is ~100us-1ms, a classification drain ~1-50ms, a checkpoint
+# ~10ms-10s. One shared ladder keeps cross-metric comparisons sane.
+DEFAULT_BUCKETS = (0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+                   0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+                   10.0, 30.0)
+
+# Size buckets (counts) for batch-size style histograms.
+COUNT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096,
+                 16384)
+
+_SNAPSHOT_VERSION = 1
+
+
+class Counter:
+    """Monotonic counter. ``inc`` only; merge adds."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value. Merge adds (every exported gauge is a
+    per-shard quantity whose fleet-wide reading is the sum)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``buckets`` are inclusive upper bounds; an implicit +Inf bucket
+    catches the rest. ``counts[i]`` is the number of observations
+    ``<= buckets[i]`` *for that bucket alone* internally — cumulative
+    sums are produced at render time, so merge is a plain elementwise
+    add and stays order-independent and associative.
+    """
+
+    __slots__ = ("buckets", "counts", "inf", "total", "count")
+    kind = "histogram"
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS):
+        self.buckets = tuple(buckets)
+        if not self.buckets or \
+                any(b <= a for b, a in zip(self.buckets[1:],
+                                           self.buckets)):
+            raise ValueError(
+                f"histogram buckets must be strictly increasing, "
+                f"got {self.buckets}")
+        self.counts = [0] * len(self.buckets)
+        self.inf = 0
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.inf += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Span:
+    """Context manager timing one stage into a histogram.
+
+    Reusable (and reentrancy-free by design: one span per call site),
+    allocated once at instrumentation setup so the hot path pays only
+    two ``perf_counter`` calls and one ``observe``.
+    """
+
+    __slots__ = ("histogram", "_start")
+
+    def __init__(self, histogram: Histogram):
+        self.histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.histogram.observe(time.perf_counter() - self._start)
+
+
+def _label_key(labels: dict[str, str] | None) -> tuple:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """A named family of instruments, each optionally labelled.
+
+    Instruments are keyed by ``(name, sorted labels)``; the first
+    registration of a name fixes its kind and help string (a second
+    registration with a conflicting kind raises — silent type drift is
+    how dashboards rot). ``snapshot()`` / ``merge_snapshot()`` are the
+    cross-process transport: plain JSON-able dicts, merged with the
+    rollup cube's order-independent additive contract.
+    """
+
+    def __init__(self) -> None:
+        # (name, labelkey) -> instrument
+        self._instruments: dict[tuple[str, tuple], object] = {}
+        # name -> (kind, help)
+        self._families: dict[str, tuple[str, str]] = {}
+
+    # -- instrument registration ---------------------------------------------
+
+    def _get(self, cls, name: str, help: str,
+             labels: dict[str, str] | None, **kwargs):
+        family = self._families.get(name)
+        if family is None:
+            self._families[name] = (cls.kind, help)
+        elif family[0] != cls.kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family[0]}, "
+                f"cannot re-register as {cls.kind}")
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._instruments[key] = cls(**kwargs)
+        return instrument
+
+    def counter(self, name: str, help: str = "",
+                labels: dict[str, str] | None = None) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: dict[str, str] | None = None) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: dict[str, str] | None = None,
+                  buckets: Iterable[float] = DEFAULT_BUCKETS,
+                  ) -> Histogram:
+        return self._get(Histogram, name, help, labels,
+                         buckets=buckets)
+
+    def timed(self, name: str, help: str = "",
+              labels: dict[str, str] | None = None,
+              buckets: Iterable[float] = DEFAULT_BUCKETS) -> Span:
+        """A reusable :class:`Span` over a histogram — allocate once
+        at setup, enter per stage execution."""
+        return Span(self.histogram(name, help, labels, buckets))
+
+    # -- snapshot / merge ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The registry as plain JSON-able data (the cross-process
+        wire form and the checkpoint-friendly form)."""
+        metrics = []
+        for (name, labelkey), instrument in sorted(
+                self._instruments.items()):
+            entry: dict = {"name": name,
+                           "labels": [list(kv) for kv in labelkey]}
+            if instrument.kind == "histogram":
+                entry["buckets"] = list(instrument.buckets)
+                entry["counts"] = list(instrument.counts)
+                entry["inf"] = instrument.inf
+                entry["sum"] = instrument.total
+                entry["count"] = instrument.count
+            else:
+                entry["value"] = instrument.value
+            metrics.append(entry)
+        return {
+            "format_version": _SNAPSHOT_VERSION,
+            "families": {name: list(meta)
+                         for name, meta in sorted(
+                             self._families.items())},
+            "metrics": metrics,
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold one :meth:`snapshot` into this registry: counters,
+        gauges, and histogram buckets add elementwise — exact,
+        order-independent, and associative, so any merge tree over
+        worker snapshots lands on identical values."""
+        for name, (kind, help) in snapshot.get("families", {}).items():
+            family = self._families.get(name)
+            if family is None:
+                self._families[name] = (kind, help)
+            elif family[0] != kind:
+                raise ValueError(
+                    f"cannot merge metric {name!r}: kind {kind} vs "
+                    f"registered {family[0]}")
+        for entry in snapshot.get("metrics", []):
+            name = entry["name"]
+            labels = dict(tuple(kv) for kv in entry["labels"])
+            kind = self._families[name][0]
+            if kind == "histogram":
+                hist = self.histogram(name, labels=labels,
+                                      buckets=entry["buckets"])
+                if tuple(entry["buckets"]) != hist.buckets:
+                    raise ValueError(
+                        f"cannot merge histogram {name!r}: bucket "
+                        f"ladders differ")
+                for i, c in enumerate(entry["counts"]):
+                    hist.counts[i] += c
+                hist.inf += entry["inf"]
+                hist.total += entry["sum"]
+                hist.count += entry["count"]
+            elif kind == "counter":
+                self.counter(name, labels=labels).inc(entry["value"])
+            else:
+                self.gauge(name, labels=labels).inc(entry["value"])
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        self.merge_snapshot(other.snapshot())
+
+    # -- reads -----------------------------------------------------------------
+
+    def value(self, name: str,
+              labels: dict[str, str] | None = None):
+        """The current value of a counter/gauge (or a histogram's
+        ``(count, sum)``); None when never registered. Test/assertion
+        convenience, not a hot path."""
+        instrument = self._instruments.get((name, _label_key(labels)))
+        if instrument is None:
+            return None
+        if instrument.kind == "histogram":
+            return (instrument.count, instrument.total)
+        return instrument.value
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -- exposition ------------------------------------------------------------
+
+    @staticmethod
+    def _fmt_labels(labelkey: tuple, extra: str = "") -> str:
+        parts = [f'{k}="{v}"' for k, v in labelkey]
+        if extra:
+            parts.append(extra)
+        return "{" + ",".join(parts) + "}" if parts else ""
+
+    @staticmethod
+    def _fmt_value(value) -> str:
+        if isinstance(value, float):
+            return repr(value)
+        return str(value)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4): HELP and
+        TYPE per family, cumulative ``le`` buckets plus ``_sum`` and
+        ``_count`` per histogram."""
+        by_family: dict[str, list] = {}
+        for (name, labelkey), instrument in sorted(
+                self._instruments.items()):
+            by_family.setdefault(name, []).append((labelkey,
+                                                   instrument))
+        lines = []
+        for name, series in by_family.items():
+            kind, help = self._families[name]
+            if help:
+                lines.append(f"# HELP {name} {help}")
+            lines.append(f"# TYPE {name} {kind}")
+            for labelkey, instrument in series:
+                if kind == "histogram":
+                    running = 0
+                    for bound, count in zip(instrument.buckets,
+                                            instrument.counts):
+                        running += count
+                        le = 'le="%s"' % bound
+                        lines.append(
+                            f"{name}_bucket"
+                            f"{self._fmt_labels(labelkey, le)}"
+                            f" {running}")
+                    inf_le = 'le="+Inf"'
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{self._fmt_labels(labelkey, inf_le)}"
+                        f" {running + instrument.inf}")
+                    lines.append(
+                        f"{name}_sum{self._fmt_labels(labelkey)} "
+                        f"{self._fmt_value(instrument.total)}")
+                    lines.append(
+                        f"{name}_count{self._fmt_labels(labelkey)} "
+                        f"{instrument.count}")
+                else:
+                    lines.append(
+                        f"{name}{self._fmt_labels(labelkey)} "
+                        f"{self._fmt_value(instrument.value)}")
+        return "\n".join(lines) + "\n"
+
+    def to_json(self, indent: int | None = 1) -> str:
+        """The snapshot as a JSON document (stable key order)."""
+        return json.dumps(self.snapshot(), sort_keys=True,
+                          indent=indent)

@@ -487,7 +487,8 @@ def read_state_config(root: str | Path) -> dict:
 def restore_realtime(path: str | Path, bank,
                      batch_size: int | None = None,
                      confidence_threshold: float | None = None,
-                     retention: str | None = None) -> "RealtimePipeline":
+                     retention: str | None = None,
+                     metrics=None) -> "RealtimePipeline":
     """Rebuild a :class:`RealtimePipeline` from a checkpoint.
 
     ``bank`` is supplied by the caller (models live in their own
@@ -511,7 +512,7 @@ def restore_realtime(path: str | Path, bank,
                               else state.threshold),
         batch_size=(batch_size if batch_size is not None
                     else state.batch_size),
-        retention=state.retention)
+        retention=state.retention, metrics=metrics)
     apply_state(state, pipeline)
     return pipeline
 
@@ -671,7 +672,8 @@ def restore_sharded(path: str | Path, bank,
                     num_shards: int | None = None,
                     batch_size: int | None = None,
                     confidence_threshold: float | None = None,
-                    retention: str | None = None) -> "ShardedPipeline":
+                    retention: str | None = None,
+                    metrics=None) -> "ShardedPipeline":
     """Rebuild a :class:`ShardedPipeline` from a sharded checkpoint,
     optionally onto a different shard count (see
     :func:`redistribute_states` for what changing the count keeps
@@ -694,7 +696,7 @@ def restore_sharded(path: str | Path, bank,
                               else states[0].threshold),
         batch_size=(batch_size if batch_size is not None
                     else states[0].batch_size),
-        retention=states[0].retention)
+        retention=states[0].retention, metrics=metrics)
     for shard, state in zip(pipeline.shards, states):
         apply_state(state, shard)
     return pipeline

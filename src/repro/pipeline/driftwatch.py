@@ -137,7 +137,8 @@ class ConceptDriftMonitor:
     def __init__(self, confidence_drop_threshold: float = 0.08,
                  min_observations: int = 50,
                  window_size: int = 500,
-                 ph_delta: float = 0.02, ph_threshold: float = 2.0):
+                 ph_delta: float = 0.02, ph_threshold: float = 2.0,
+                 on_alarm=None):
         if not 0 < confidence_drop_threshold < 1:
             raise ConfigError("confidence_drop_threshold must be in (0,1)")
         self.confidence_drop_threshold = confidence_drop_threshold
@@ -145,6 +146,14 @@ class ConceptDriftMonitor:
         self.window_size = window_size
         self._ph_delta = ph_delta
         self._ph_threshold = ph_threshold
+        # Fired as ``on_alarm(provider, transport)`` the first time a
+        # scenario's Page-Hinkley detector flips to alarmed (once per
+        # flip, re-armed by :meth:`reset`) — the observability hook
+        # that turns a sticky state bit into a loggable transition.
+        # Deliberately not part of :meth:`state_dict`: callbacks do
+        # not serialize, so restored monitors get it re-attached by
+        # the caller (or not at all).
+        self.on_alarm = on_alarm
         self._scenarios: dict[tuple[Provider, Transport],
                               _ScenarioState] = {}
 
@@ -178,7 +187,11 @@ class ConceptDriftMonitor:
         state.window.append(prediction.confidence)
         state.classified_window.append(1.0 if prediction.is_classified
                                        else 0.0)
+        was_alarmed = state.page_hinkley.alarmed
         state.page_hinkley.update(1.0 - prediction.confidence)
+        if self.on_alarm is not None and not was_alarmed \
+                and state.page_hinkley.alarmed:
+            self.on_alarm(provider, transport)
 
     def report(self, provider: Provider,
                transport: Transport) -> DriftReport:

@@ -35,6 +35,7 @@ from repro.fingerprints.providers import detect_provider
 from repro.net.flow import FlowKey
 from repro.net.packet import Packet
 from repro.net.rawpacket import DecodedBlock, RawPacket
+from repro.obs.metrics import COUNT_BUCKETS, MetricsRegistry
 from repro.pipeline.bank import ClassifierBank
 from repro.pipeline.confidence import (
     DEFAULT_CONFIDENCE_THRESHOLD,
@@ -52,6 +53,8 @@ _DIRKEY_CACHE_MAX = 1 << 16
 # cells only (bounded memory for long deployments), or both.
 RETENTION_MODES = ("raw", "rollup", "both")
 
+_STAGE_HELP = "Stage latency (seconds) per batch-level operation"
+
 
 @dataclass
 class PipelineCounters:
@@ -67,6 +70,12 @@ class PipelineCounters:
     # before _MAX_HANDSHAKE_PACKETS): distinct from parse_failures,
     # which only counts flows whose 8 observed packets never parsed.
     incomplete: int = 0
+    # Flows removed from the flow table by flush_idle's idle-timeout
+    # sweep (video and non-video alike). Lives here rather than in a
+    # side channel because eviction schedules are identical across
+    # ingest modes and shardings — so the count inherits the
+    # equivalence, checkpoint, and journal-replay contracts for free.
+    evicted: int = 0
 
     def record(self, prediction: PlatformPrediction) -> None:
         if prediction.status == "classified":
@@ -123,7 +132,8 @@ class RealtimePipeline:
                  batch_size: int = 1,
                  retention: str = "raw",
                  rollup_config: "RollupConfig | None" = None,
-                 monitor: "ConceptDriftMonitor | None" = None):
+                 monitor: "ConceptDriftMonitor | None" = None,
+                 metrics: "MetricsRegistry | bool | None" = None):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if retention not in RETENTION_MODES:
@@ -164,6 +174,46 @@ class RealtimePipeline:
         # is bounded, so each direction's string work happens once.
         self._dirkey_cache: dict[tuple[int, int],
                                  tuple[tuple, str, str]] = {}
+        # Observability plane (``metrics=True`` builds a private
+        # registry; a shared one can be passed in, as the sharded
+        # runtime does). Per-packet counts are NOT instrumented here —
+        # they derive from ``self.counters`` at export time — so the
+        # instruments below cost one perf_counter pair per *batch*
+        # operation, and a single ``is not None`` guard when disabled.
+        # Note the explicit False/None mapping: an *empty* registry is
+        # len()==0 and therefore falsy, so ``metrics or None`` would
+        # silently discard a freshly created (or passed-in, not yet
+        # populated) registry.
+        if metrics is True:
+            metrics = MetricsRegistry()
+        elif metrics is False:
+            metrics = None
+        self.metrics: MetricsRegistry | None = metrics
+        if self.metrics is not None:
+            m = self.metrics
+            self._span_drain = m.timed("repro_stage_seconds",
+                                       _STAGE_HELP,
+                                       {"stage": "classify_drain"})
+            self._span_sweep = m.timed("repro_stage_seconds",
+                                       _STAGE_HELP,
+                                       {"stage": "eviction_sweep"})
+            self._span_ckpt = m.timed("repro_stage_seconds",
+                                      _STAGE_HELP,
+                                      {"stage": "checkpoint_save"})
+            self._hist_batch = m.histogram(
+                "repro_classify_batch_flows",
+                "Flows per batch classification drain",
+                buckets=COUNT_BUCKETS)
+            self._c_promotions = m.counter(
+                "repro_promotions_total",
+                "Raw/bulk frames promoted to full Packet objects "
+                "(handshake-phase only; structurally 0 in eager mode)")
+        else:
+            self._span_drain = None
+            self._span_sweep = None
+            self._span_ckpt = None
+            self._hist_batch = None
+            self._c_promotions = None
 
     # -- packet mode -----------------------------------------------------------
 
@@ -248,6 +298,8 @@ class RealtimePipeline:
             return
         # Lazy promotion: only handshake-phase packets (≤8 per flow)
         # ever become full Packet objects.
+        if self._c_promotions is not None:
+            self._c_promotions.inc()
         promoted = raw.promote()
         state.handshake_packets.append(promoted)
         if payload_len or \
@@ -313,6 +365,8 @@ class RealtimePipeline:
             state = update(key, ts, src_ip, dst_ip, dport, plen)
             if state.not_video or state.done_collecting:
                 continue
+            if self._c_promotions is not None:
+                self._c_promotions.inc()
             state.handshake_packets.append(decoded.promote(i))
             # Same reparse gate as the per-frame paths; the late-
             # client-SYN test uses the precomputed SYN-no-ACK lane.
@@ -366,7 +420,13 @@ class RealtimePipeline:
         pending, self._pending = self._pending, []
         items = [(provider, transport, attributes)
                  for _, provider, transport, attributes in pending]
-        predictions = self.bank.classify_batch(items, self.threshold)
+        if self._span_drain is not None:
+            self._hist_batch.observe(len(items))
+            with self._span_drain:
+                predictions = self.bank.classify_batch(items,
+                                                       self.threshold)
+        else:
+            predictions = self.bank.classify_batch(items, self.threshold)
         for (state, provider, transport, _), prediction in \
                 zip(pending, predictions):
             state.prediction = prediction
@@ -420,9 +480,17 @@ class RealtimePipeline:
         ``now`` — the flow-table eviction a long-running tap needs to
         bound its state. Returns emitted video-flow records."""
         self.drain()
+        if self._span_sweep is not None:
+            with self._span_sweep:
+                return self._sweep(now, idle_timeout, role)
+        return self._sweep(now, idle_timeout, role)
+
+    def _sweep(self, now: float, idle_timeout: float,
+               role: str) -> int:
         emitted = 0
         expired = [key for key, state in self._flows.items()
                    if now - state.last_seen >= idle_timeout]
+        self.counters.evicted += len(expired)
         for key in expired:
             if self._emit(self._flows.pop(key), role):
                 emitted += 1
@@ -456,20 +524,49 @@ class RealtimePipeline:
         by the batching contract)."""
         from repro.pipeline.checkpoint import save_realtime
 
-        save_realtime(self, path, extra=extra)
+        if self._span_ckpt is not None:
+            with self._span_ckpt:
+                save_realtime(self, path, extra=extra)
+        else:
+            save_realtime(self, path, extra=extra)
 
     @classmethod
     def restore(cls, path, bank: ClassifierBank,
                 batch_size: int | None = None,
                 confidence_threshold: float | None = None,
-                retention: str | None = None) -> "RealtimePipeline":
+                retention: str | None = None,
+                metrics: "MetricsRegistry | bool | None" = None,
+                ) -> "RealtimePipeline":
         """Rebuild a pipeline from :meth:`save_checkpoint` output plus
         a (separately persisted) classifier bank."""
         from repro.pipeline.checkpoint import restore_realtime
 
         return restore_realtime(path, bank, batch_size=batch_size,
                                 confidence_threshold=confidence_threshold,
-                                retention=retention)
+                                retention=retention, metrics=metrics)
+
+    # -- observability ---------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict | None:
+        """The live instrument registry as plain JSON-able data (the
+        worker-to-parent wire form); None when metrics are disabled."""
+        return None if self.metrics is None else self.metrics.snapshot()
+
+    def export_metrics(self) -> MetricsRegistry:
+        """A fresh registry holding this pipeline's full metric view:
+        count metrics derived from :class:`PipelineCounters`, runtime
+        gauges, drift status, plus the live timing instruments. Safe to
+        call repeatedly — exporting never mutates runtime state."""
+        from repro.obs.export import (export_counters, export_drift,
+                                      export_runtime_gauges)
+
+        registry = MetricsRegistry()
+        export_counters(registry, self.counters)
+        export_runtime_gauges(registry, self)
+        export_drift(registry, self.monitor)
+        if self.metrics is not None:
+            registry.merge(self.metrics)
+        return registry
 
     # Uniform runtime lifecycle: in-process pipelines have nothing to
     # release, but sharing the protocol lets callers scope any runtime

@@ -42,6 +42,7 @@ schedule is part of the contract).
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 from typing import NamedTuple
 
@@ -56,6 +57,8 @@ INGEST_MODES = ("raw", "eager", "bulk")
 
 INGEST_POSITION_FILE = "ingest.json"
 _INGEST_POSITION_VERSION = 1
+
+_STAGE_HELP = "Stage latency (seconds) per batch-level operation"
 
 
 class IngestPosition(NamedTuple):
@@ -133,7 +136,8 @@ def ingest_pcap(pipeline, path: str | Path, mode: str = "raw",
                 evict_interval: float | None = None,
                 checkpoint_dir: str | Path | None = None,
                 checkpoint_interval: float | None = None,
-                resume_dir: str | Path | None = None) -> IngestResult:
+                resume_dir: str | Path | None = None,
+                events=None) -> IngestResult:
     """Stream every frame of ``path`` into ``pipeline``.
 
     Does not flush — callers decide when flows are final. With
@@ -156,6 +160,13 @@ def ingest_pcap(pipeline, path: str | Path, mode: str = "raw",
     the combined run is indistinguishable from one that was never
     interrupted. Usually ``resume_dir`` and ``checkpoint_dir`` are the
     same directory.
+
+    ``events`` is an optional :class:`~repro.obs.events.EventLog`:
+    the replay publishes its capture clock to it and records resume,
+    eviction-sweep, and checkpoint events. When the pipeline carries a
+    live metrics registry (``pipeline.metrics``), the replay also
+    times block decodes and observes total ingest duration and skip
+    counts into it; both hooks cost nothing when absent.
     """
     if mode not in INGEST_MODES:
         raise ValueError(
@@ -205,6 +216,15 @@ def ingest_pcap(pipeline, path: str | Path, mode: str = "raw",
                       if evict_interval is not None else None)
         next_checkpoint = (position.next_checkpoint
                            if checkpoint_interval is not None else None)
+        if events is not None:
+            if clock is not None:
+                events.set_clock(clock)
+            # Clean planned resume (vs. the parallel runtime's
+            # worker_respawn crash recovery — operators need to tell
+            # the two apart in the same log).
+            events.emit("ingest_resume", resume_dir=str(resume_dir),
+                        consumed=consumed, frames=frames,
+                        skipped=skipped)
     if mode == "bulk":
         return _ingest_bulk(
             pipeline, path, strict=strict, to_skip=to_skip,
@@ -213,7 +233,10 @@ def ingest_pcap(pipeline, path: str | Path, mode: str = "raw",
             next_checkpoint=next_checkpoint, track_clock=track_clock,
             idle_timeout=idle_timeout, evict_interval=evict_interval,
             checkpoint_dir=checkpoint_dir,
-            checkpoint_interval=checkpoint_interval)
+            checkpoint_interval=checkpoint_interval, events=events)
+    registry = getattr(pipeline, "metrics", None)
+    started = time.perf_counter()
+    start_skipped = skipped
     with PcapReader(path) as reader:
         if mode == "raw":
             parse = RawPacket.parse
@@ -240,12 +263,14 @@ def ingest_pcap(pipeline, path: str | Path, mode: str = "raw",
                             checkpoint_interval is not None:
                         next_checkpoint = clock + checkpoint_interval
                 if next_evict is not None and clock >= next_evict:
-                    pipeline.flush_idle(now=clock,
-                                        idle_timeout=idle_timeout)
+                    emitted = pipeline.flush_idle(
+                        now=clock, idle_timeout=idle_timeout)
                     next_evict = clock + evict_interval
+                    _emit_sweep(events, clock, emitted)
                 if next_checkpoint is not None and \
                         clock >= next_checkpoint:
                     next_checkpoint = clock + checkpoint_interval
+                    tick = time.perf_counter()
                     pipeline.save_checkpoint(
                         checkpoint_dir,
                         extra={INGEST_POSITION_FILE: IngestPosition(
@@ -254,6 +279,9 @@ def ingest_pcap(pipeline, path: str | Path, mode: str = "raw",
                             next_evict=next_evict,
                             next_checkpoint=next_checkpoint,
                         ).to_json()})
+                    _emit_checkpoint(events, clock, checkpoint_dir,
+                                     consumed,
+                                     time.perf_counter() - tick)
             try:
                 packet = parse(data, timestamp)
             except ParseError:
@@ -272,13 +300,44 @@ def ingest_pcap(pipeline, path: str | Path, mode: str = "raw",
             f"cannot resume: {path} holds fewer records than the "
             f"checkpointed position ({to_skip} of "
             f"{position.consumed} consumed records missing)")
+    _observe_ingest(registry, started, skipped - start_skipped)
     return IngestResult(frames, skipped)
+
+
+def _emit_sweep(events, clock: float, emitted: int) -> None:
+    if events is not None:
+        events.set_clock(clock)
+        events.emit("eviction_sweep", emitted=emitted)
+
+
+def _emit_checkpoint(events, clock: float, checkpoint_dir, consumed: int,
+                     elapsed: float) -> None:
+    if events is not None:
+        events.set_clock(clock)
+        events.emit("checkpoint", path=str(checkpoint_dir),
+                    consumed=consumed, duration_seconds=elapsed)
+
+
+def _observe_ingest(registry, started: float, skipped: int) -> None:
+    """Fold one replay's totals into the pipeline's live registry (one
+    observation per :func:`ingest_pcap` call, nothing per frame)."""
+    if registry is None:
+        return
+    registry.histogram(
+        "repro_ingest_seconds",
+        "Wall-clock duration of one capture replay",
+        buckets=(0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0, 1800.0,
+                 7200.0, 43200.0)).observe(time.perf_counter() - started)
+    registry.counter(
+        "repro_ingest_skipped_total",
+        "Unparseable frames skipped during replay").inc(skipped)
 
 
 def _ingest_bulk(pipeline, path, *, strict, to_skip, consumed, frames,
                  skipped, clock, next_evict, next_checkpoint,
                  track_clock, idle_timeout, evict_interval,
-                 checkpoint_dir, checkpoint_interval) -> IngestResult:
+                 checkpoint_dir, checkpoint_interval,
+                 events=None) -> IngestResult:
     """The ``mode="bulk"`` body of :func:`ingest_pcap`: stream the
     capture as :class:`~repro.net.FrameBlock` chunks through
     ``pipeline.process_block``.
@@ -293,6 +352,11 @@ def _ingest_bulk(pipeline, path, *, strict, to_skip, consumed, frames,
     a tick-free block is one ``process_block`` call.
     """
     resume_consumed = consumed
+    registry = getattr(pipeline, "metrics", None)
+    started = time.perf_counter()
+    start_skipped = skipped
+    decode_span = None if registry is None else registry.timed(
+        "repro_stage_seconds", _STAGE_HELP, {"stage": "block_decode"})
 
     def _process_span(decoded, lo, hi):
         nonlocal consumed, frames, skipped
@@ -315,7 +379,11 @@ def _ingest_bulk(pipeline, path, *, strict, to_skip, consumed, frames,
                     continue
                 block = block.slice(to_skip, len(block))
                 to_skip = 0
-            decoded = decode_block(block)
+            if decode_span is not None:
+                with decode_span:
+                    decoded = decode_block(block)
+            else:
+                decoded = decode_block(block)
             times = block.timestamps
             runmax = np.maximum.accumulate(times)
             if clock is not None:
@@ -338,12 +406,14 @@ def _ingest_bulk(pipeline, path, *, strict, to_skip, consumed, frames,
                             next_checkpoint = clock + \
                                 checkpoint_interval
                     if next_evict is not None and clock >= next_evict:
-                        pipeline.flush_idle(now=clock,
-                                            idle_timeout=idle_timeout)
+                        emitted = pipeline.flush_idle(
+                            now=clock, idle_timeout=idle_timeout)
                         next_evict = clock + evict_interval
+                        _emit_sweep(events, clock, emitted)
                     if next_checkpoint is not None and \
                             clock >= next_checkpoint:
                         next_checkpoint = clock + checkpoint_interval
+                        tick = time.perf_counter()
                         pipeline.save_checkpoint(
                             checkpoint_dir,
                             extra={INGEST_POSITION_FILE: IngestPosition(
@@ -352,6 +422,9 @@ def _ingest_bulk(pipeline, path, *, strict, to_skip, consumed, frames,
                                 next_evict=next_evict,
                                 next_checkpoint=next_checkpoint,
                             ).to_json()})
+                        _emit_checkpoint(events, clock, checkpoint_dir,
+                                         consumed,
+                                         time.perf_counter() - tick)
                 if strict and not decoded.valid[pos]:
                     # Ticks at this frame fired above; now fail with
                     # the per-frame path's exact error.
@@ -390,4 +463,5 @@ def _ingest_bulk(pipeline, path, *, strict, to_skip, consumed, frames,
             f"cannot resume: {path} holds fewer records than the "
             f"checkpointed position ({to_skip} of "
             f"{resume_consumed} consumed records missing)")
+    _observe_ingest(registry, started, skipped - start_skipped)
     return IngestResult(frames, skipped)

@@ -53,6 +53,7 @@ import multiprocessing
 import queue as queue_mod
 import shutil
 import tempfile
+import time
 import traceback
 from pathlib import Path
 from typing import NamedTuple
@@ -121,6 +122,14 @@ class _WorkerState(NamedTuple):
     records: list[TelemetryRecord]
     live_flows: int
     pending: int
+    # The worker's live instrument registry as a plain snapshot dict
+    # (None when metrics are disabled): piggybacks on the sync reply
+    # rather than adding a new barrier. Count metrics do NOT ride here
+    # — the parent derives them from the merged counters, which is
+    # what keeps parallel metric values byte-identical to serial runs
+    # and crash-respawn safe; only process-local timing/promotion
+    # instruments travel as snapshots.
+    metrics: dict | None = None
 
 
 def _ingest_packed_block(pipeline: RealtimePipeline, buf) -> None:
@@ -176,7 +185,8 @@ def _worker_main(worker_id: int, bank_dir: str, options: dict,
                 resume_dir, bank,
                 batch_size=options.get("batch_size"),
                 confidence_threshold=options.get("confidence_threshold"),
-                retention=options.get("retention"))
+                retention=options.get("retention"),
+                metrics=options.get("metrics"))
         else:
             pipeline = RealtimePipeline(bank, store=TelemetryStore(),
                                         **options)
@@ -232,7 +242,8 @@ def _worker_main(worker_id: int, bank_dir: str, options: dict,
                     counters=pipeline.counters,
                     records=list(pipeline.store),
                     live_flows=pipeline.live_flows,
-                    pending=pipeline.pending_classifications)))
+                    pending=pipeline.pending_classifications,
+                    metrics=pipeline.metrics_snapshot())))
             elif op == "stop":
                 out_queue.put(("ok", None))
                 return
@@ -292,7 +303,9 @@ class ParallelShardedPipeline:
                  resume_dir: str | Path | None = None,
                  max_worker_restarts: int = 3,
                  transport: str = "queue",
-                 ring_bytes: int = DEFAULT_RING_BYTES):
+                 ring_bytes: int = DEFAULT_RING_BYTES,
+                 metrics: bool = False,
+                 events=None):
         if num_workers < 1:
             raise ValueError(
                 f"num_workers must be >= 1, got {num_workers}")
@@ -341,9 +354,23 @@ class ParallelShardedPipeline:
         self.checkpoint_dir = (Path(checkpoint_dir)
                                if checkpoint_dir is not None else None)
         self.max_worker_restarts = max_worker_restarts
+        # ``metrics=True`` gives every worker a private instrument
+        # registry (snapshots ride the sync barrier and merge in the
+        # parent) plus a parent-side registry for parent-only signals
+        # (respawns, journal replays). ``events`` is a parent-side
+        # :class:`~repro.obs.events.EventLog` that records respawn /
+        # replay transitions — never pickled to workers.
+        if metrics:
+            from repro.obs.metrics import MetricsRegistry
+
+            self.metrics = MetricsRegistry()
+        else:
+            self.metrics = None
+        self._events = events
         self._options = dict(confidence_threshold=confidence_threshold,
                              batch_size=batch_size, retention=retention,
-                             rollup_config=rollup_config)
+                             rollup_config=rollup_config,
+                             metrics=bool(metrics))
         self._ctx = multiprocessing.get_context(start_method)
         # Recovery state: the journal holds every command shipped to a
         # worker since its last completed checkpoint (None = recovery
@@ -531,6 +558,7 @@ class ParallelShardedPipeline:
             # No checkpointing, no restore point: keep fail-fast.
             raise RuntimeError(str(cause)) from cause
         detail = str(cause)
+        started = time.perf_counter()
         while self._restarts[worker] < self.max_worker_restarts:
             self._restarts[worker] += 1
             self._state = None
@@ -545,14 +573,46 @@ class ParallelShardedPipeline:
                         last_reply = self._plain_await(worker)
                 if journal and journal[-1][0] not in _DATA_OPS:
                     self._recovered[worker] = last_reply
+                self._note_respawn(worker, cause, len(journal),
+                                   time.perf_counter() - started)
                 return
             except _WorkerDied as exc:
                 detail = str(exc)
                 continue
+        if self._events is not None:
+            self._events.emit(
+                "worker_respawn_failed", worker=worker,
+                restarts=self._restarts[worker],
+                cause=str(cause).splitlines()[0])
         raise RuntimeError(
             f"{detail}; recovery gave up after "
             f"{self.max_worker_restarts} restart(s) in this "
             f"checkpoint window")
+
+    def _note_respawn(self, worker: int, cause: _WorkerDied,
+                      replayed: int, elapsed: float) -> None:
+        """Record one successful crash recovery: without the replayed
+        command count and replay duration in the event log, a resumed
+        operator cannot tell clean startup from crash recovery."""
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_worker_respawns_total",
+                "Worker processes respawned after a crash").inc()
+            self.metrics.counter(
+                "repro_journal_replayed_commands_total",
+                "Journaled commands replayed into respawned "
+                "workers").inc(replayed)
+            self.metrics.histogram(
+                "repro_journal_replay_seconds",
+                "Respawn-plus-journal-replay duration per "
+                "recovery").observe(elapsed)
+        if self._events is not None:
+            self._events.emit(
+                "worker_respawn", worker=worker,
+                restarts=self._restarts[worker],
+                replayed_commands=replayed,
+                replay_seconds=elapsed,
+                cause=str(cause).splitlines()[0])
 
     def _enqueue(self, worker: int, kind: str, item) -> None:
         if self._closed:
@@ -939,3 +999,62 @@ class ParallelShardedPipeline:
     @property
     def shard_loads(self) -> list[int]:
         return [state.counters.flows for state in self._sync()]
+
+    @property
+    def shard_live_flows(self) -> list[int]:
+        """Current flow-table size per worker (same sync snapshot the
+        other merged views read)."""
+        return [state.live_flows for state in self._sync()]
+
+    # -- observability ---------------------------------------------------------
+
+    def export_metrics(self):
+        """A fresh registry with the fleet-wide metric view.
+
+        Count metrics derive from the merged counters (byte-identical
+        to a serial run by the equivalence contract, crash-safe by the
+        checkpoint/journal contract); worker timing registries merge
+        from the snapshots the last sync barrier carried; parent-side
+        signals (respawns, ring backpressure, queue depths) come from
+        the parent's own state. Reading is one sync barrier — the same
+        cost as ``counters`` — and mutates nothing."""
+        from repro.obs.export import (export_counters,
+                                      export_runtime_gauges,
+                                      export_shard_gauges)
+        from repro.obs.metrics import MetricsRegistry
+
+        states = self._sync()
+        registry = MetricsRegistry()
+        merged = PipelineCounters()
+        for state in states:
+            merged.merge(state.counters)
+        export_counters(registry, merged)
+        export_runtime_gauges(registry, self)
+        export_shard_gauges(registry,
+                            [state.live_flows for state in states],
+                            [state.counters.flows for state in states])
+        for state in states:
+            if state.metrics is not None:
+                registry.merge_snapshot(state.metrics)
+        if self.metrics is not None:
+            registry.merge(self.metrics)
+        if self.transport == "shm":
+            rings = [ring for ring in self._rings if ring is not None]
+            registry.counter(
+                "repro_shm_ring_waits_total",
+                "Ring writes that blocked on worker backpressure",
+            ).inc(sum(ring.waits for ring in rings))
+            registry.counter(
+                "repro_shm_ring_wait_seconds_total",
+                "Parent seconds spent blocked on ring backpressure",
+            ).inc(sum(ring.wait_seconds for ring in rings))
+        for i, q in enumerate(self._cmd_queues):
+            try:
+                depth = q.qsize()
+            except NotImplementedError:  # macOS has no sem_getvalue
+                break
+            registry.gauge(
+                "repro_cmd_queue_depth",
+                "Chunks queued to a worker and not yet popped",
+                {"worker": str(i)}).set(depth)
+        return registry

@@ -87,16 +87,30 @@ class ShardedPipeline:
                  DEFAULT_CONFIDENCE_THRESHOLD,
                  batch_size: int = 1,
                  retention: str = "raw",
-                 rollup_config=None):
+                 rollup_config=None,
+                 metrics=None):
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self.num_shards = num_shards
+        # One registry shared by every shard: instruments are keyed by
+        # (name, labels), so shards time into the same histograms —
+        # in-process sharding needs no per-shard snapshot transport.
+        # False/None mapped explicitly: an empty registry is falsy
+        # (len()==0), so ``metrics or None`` would drop it.
+        if metrics is True:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        elif metrics is False:
+            metrics = None
+        self.metrics = metrics
         self.shards: list[RealtimePipeline] = [
             RealtimePipeline(bank, store=TelemetryStore(),
                              confidence_threshold=confidence_threshold,
                              batch_size=batch_size,
                              retention=retention,
-                             rollup_config=rollup_config)
+                             rollup_config=rollup_config,
+                             metrics=self.metrics)
             for _ in range(num_shards)
         ]
         # Bulk-path routing cache: packed numeric direction key ->
@@ -224,7 +238,8 @@ class ShardedPipeline:
                 num_shards: int | None = None,
                 batch_size: int | None = None,
                 confidence_threshold: float | None = None,
-                retention: str | None = None) -> "ShardedPipeline":
+                retention: str | None = None,
+                metrics=None) -> "ShardedPipeline":
         """Rebuild a sharded pipeline from :meth:`save_checkpoint`
         output. ``num_shards`` may differ from the checkpointed count:
         live flows are re-routed by the dispatcher hash and merged
@@ -236,7 +251,7 @@ class ShardedPipeline:
         return restore_sharded(path, bank, num_shards=num_shards,
                                batch_size=batch_size,
                                confidence_threshold=confidence_threshold,
-                               retention=retention)
+                               retention=retention, metrics=metrics)
 
     # Same no-op lifecycle as RealtimePipeline: callers scope every
     # runtime flavor with one protocol.
@@ -310,3 +325,28 @@ class ShardedPipeline:
     def shard_loads(self) -> list[int]:
         """Flows seen per shard — the balance a hash dispatcher gives."""
         return [shard.counters.flows for shard in self.shards]
+
+    @property
+    def shard_live_flows(self) -> list[int]:
+        """Current flow-table size per shard."""
+        return [shard.live_flows for shard in self.shards]
+
+    # -- observability ---------------------------------------------------------
+
+    def export_metrics(self):
+        """A fresh registry with the merged metric view across shards:
+        derived counts from the merged counters, totals plus per-shard
+        occupancy gauges, and the shared timing registry."""
+        from repro.obs.export import (export_counters,
+                                      export_runtime_gauges,
+                                      export_shard_gauges)
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        export_counters(registry, self.counters)
+        export_runtime_gauges(registry, self)
+        export_shard_gauges(registry, self.shard_live_flows,
+                            self.shard_loads)
+        if self.metrics is not None:
+            registry.merge(self.metrics)
+        return registry

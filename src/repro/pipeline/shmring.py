@@ -55,6 +55,12 @@ class FrameRing:
         # aligned 8-byte store/load needs no lock.
         self.consumed = ctx.Value("Q", 0, lock=False)
         self.written = 0
+        # Backpressure accounting, touched only while blocked — the
+        # unblocked write path pays nothing. ``waits`` counts writes
+        # that blocked at least once; ``wait_seconds`` sums the time
+        # spent polling. Read by the parent's metric export.
+        self.waits = 0
+        self.wait_seconds = 0.0
 
     @property
     def name(self) -> str:
@@ -78,10 +84,14 @@ class FrameRing:
         skip = self.size - offset if offset + length > self.size else 0
         need = length + skip
         consumed = self.consumed
-        while self.written + need - consumed.value > self.size:
-            if liveness is not None:
-                liveness()
-            time.sleep(_POLL_SECONDS)
+        if self.written + need - consumed.value > self.size:
+            self.waits += 1
+            blocked_at = time.perf_counter()
+            while self.written + need - consumed.value > self.size:
+                if liveness is not None:
+                    liveness()
+                time.sleep(_POLL_SECONDS)
+            self.wait_seconds += time.perf_counter() - blocked_at
         if skip:
             self.written += skip
             offset = 0

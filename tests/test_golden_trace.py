@@ -143,6 +143,53 @@ class TestGoldenTrace:
         assert asdict(resumed.counters) == expected["counters"]
         assert record_rows(resumed.store) == expected["records"]
 
+    def test_parallel_metrics_match_serial_on_golden_trace(
+            self, bank, bank_dir, expected, tmp_path):
+        """The observability plane's core equivalence: count metrics
+        exported by the instrumented multiprocess runtime (merged
+        across workers) must be *byte-identical* to a serial run's on
+        the pinned trace — and both must agree with the pinned
+        counters. Timing series are excluded (wall time is not
+        deterministic); everything additive must be."""
+        serial = RealtimePipeline(bank, batch_size=8, retention="both",
+                                  metrics=True)
+        ingest_pcap(serial, GOLDEN / "golden.pcap")
+        serial.flush()
+        with ParallelShardedPipeline(bank_dir, num_workers=3,
+                                     batch_size=8, retention="both",
+                                     transport="shm",
+                                     metrics=True) as par:
+            ingest_pcap(par, GOLDEN / "golden.pcap", mode="bulk")
+            par.flush()
+            par_metrics = par.export_metrics()
+        serial_metrics = serial.export_metrics()
+
+        count_names = ("repro_packets_total", "repro_flows_total",
+                       "repro_video_flows_total",
+                       "repro_non_video_flows_total",
+                       "repro_classifications_total",
+                       "repro_parse_failures_total",
+                       "repro_incomplete_flows_total",
+                       "repro_evicted_flows_total")
+
+        def count_lines(registry):
+            return [line for line in
+                    registry.render_prometheus().splitlines()
+                    if not line.startswith("#")
+                    and line.split("{")[0].split(" ")[0] in count_names]
+
+        serial_lines = count_lines(serial_metrics)
+        assert count_lines(par_metrics) == serial_lines
+        # Both views agree with the pinned golden counters.
+        assert serial_metrics.value("repro_packets_total") == \
+            expected["counters"]["packets"]
+        assert serial_metrics.value("repro_video_flows_total") == \
+            expected["counters"]["video_flows"]
+        assert serial_metrics.value(
+            "repro_classifications_total",
+            {"status": "classified"}) == \
+            expected["counters"]["classified"]
+
     def test_fixture_files_are_committed(self):
         assert (GOLDEN / "golden.pcap").stat().st_size > 10_000
         expected = json.loads((GOLDEN / "expected.json").read_text())
