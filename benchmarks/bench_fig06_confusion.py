@@ -8,7 +8,6 @@ native/iOS Safari) and the Chromium cluster (macOS Chrome <-> Edge);
 device-type accuracy above agent accuracy.
 """
 
-import numpy as np
 from conftest import BENCH_FOLDS, bench_model_factory, emit
 
 from repro.fingerprints import Provider, Transport

@@ -102,7 +102,7 @@ def _current_commit() -> str:
             ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
             capture_output=True, text=True, check=True,
             timeout=10).stdout.strip()
-    except Exception:
+    except Exception:  # replint: disable=RPL004 -- best-effort metadata: a missing git binary or shallow clone must not fail a benchmark run
         return "unknown"
 
 

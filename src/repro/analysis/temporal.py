@@ -13,7 +13,7 @@ from collections import defaultdict
 import numpy as np
 
 from repro.analysis.filtering import reliable_records
-from repro.fingerprints.model import DeviceClass, DeviceType, Provider
+from repro.fingerprints.model import DeviceClass, Provider
 from repro.pipeline.store import TelemetryStore
 
 _DEVICE_CLASS_OF_LABEL = {

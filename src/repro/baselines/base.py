@@ -18,7 +18,6 @@ import numpy as np
 from repro.errors import NotAdaptableError
 from repro.fingerprints.model import Transport
 from repro.ml.forest import RandomForestClassifier
-from repro.ml.metrics import accuracy_score
 from repro.ml.model_selection import StratifiedKFold
 from repro.pipeline.evaluate import ScenarioData
 

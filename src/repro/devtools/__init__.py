@@ -1,0 +1,55 @@
+"""replint — project-specific static analysis for the pipeline runtime.
+
+The repo's hardest guarantees are cross-cutting *conventions*: the
+fast paths must stay byte-identical to the eager oracle, checkpoint
+payloads must version themselves, shared-memory segments must never
+outlive their owner, the per-frame hot loop must never touch the wall
+clock or a metrics registry. Test suites catch violations of these
+contracts eventually — often flakily, in a parallel run, hours after
+the careless edit. ``replint`` makes them machine-checked at review
+time instead: an AST-visitor rule engine with a stable rule catalog
+(``RPL001``..), inline suppressions that *require* a justification,
+and text/JSON reporters wired into CI.
+
+Usage::
+
+    python -m repro.devtools.lint src tests benchmarks
+    python -m repro.devtools.lint --format=json src
+    python -m repro.devtools.lint --list-rules
+
+Suppressing a finding (the justification after ``--`` is mandatory —
+an unexplained suppression is itself a violation)::
+
+    except Exception as exc:  # replint: disable=RPL004 -- keep serving
+
+See ``docs/ARCHITECTURE.md`` ("Static analysis & invariants") for the
+rule catalog and the policy on adding rules.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.core import (
+    FileContext,
+    Rule,
+    Violation,
+    all_rules,
+    lint_paths,
+    lint_source,
+    register,
+)
+from repro.devtools.reporters import render_json, render_text
+
+# Importing the rules module registers the default catalog.
+from repro.devtools import rules as _rules  # noqa: F401  (import-for-effect)
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "render_json",
+    "render_text",
+]

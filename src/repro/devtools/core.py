@@ -1,0 +1,328 @@
+"""replint rule engine: file contexts, suppressions, registry, driver.
+
+The engine is deliberately small: one :class:`FileContext` per linted
+file (source, AST, import-alias map, parent links, suppressions), a
+:class:`Rule` base class whose subclasses register themselves under a
+stable ID, and a driver that runs every in-scope rule and filters the
+findings through the suppression table.
+
+Suppression grammar (line-scoped — the comment must sit on the line
+the finding is reported at)::
+
+    # replint: disable=RPL004 -- why this site is exempt
+    # replint: disable=RPL001,RPL003 -- one justification for both
+
+A suppression without a justification, or naming an unknown rule ID,
+is itself reported (as ``RPL000``) — the whole point of forcing the
+``--  why`` clause is that every exemption documents the contract it
+is waiving, like a ``# type: ignore`` with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+#: The meta rule ID used for findings about replint's own directives
+#: (malformed suppressions, unknown rule IDs, unparseable files).
+META_RULE_ID = "RPL000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*replint:\s*disable=(?P<ids>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<why>.*?))?\s*$")
+
+_SKIP_DIRS = {".git", "__pycache__", ".hypothesis", ".pytest_cache",
+              ".benchmarks", ".mypy_cache", ".ruff_cache", ".venv",
+              "node_modules"}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule, a location, and a one-line message."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    line: int
+    rule_ids: tuple[str, ...]
+    justification: str
+
+
+class FileContext:
+    """Everything a rule needs to check one file.
+
+    ``path`` is the path violations are reported under *and* the path
+    rule scoping matches against (posix separators). ``lint_source``
+    accepts a virtual path, so rule fixtures never have to touch the
+    real tree.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path.replace("\\", "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.suppressions, self.directive_problems = \
+            _parse_suppressions(source)
+        self._aliases = _import_aliases(tree)
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    # -- navigation ------------------------------------------------------------
+
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child -> parent links over the whole tree (built lazily)."""
+        if self._parents is None:
+            parents: dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    # -- name resolution -------------------------------------------------------
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """The dotted name a Name/Attribute chain refers to, with
+        import aliases folded back to their canonical module path —
+        ``mp.Process`` resolves to ``multiprocessing.Process`` under
+        ``import multiprocessing as mp``. None for dynamic expressions
+        (subscripts, calls) anywhere in the chain."""
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        parts.append(current.id)
+        parts.reverse()
+        head = self._aliases.get(parts[0], parts[0])
+        return ".".join([head, *parts[1:]])
+
+    def call_name(self, call: ast.Call) -> str | None:
+        return self.resolve(call.func)
+
+    def in_scope(self, *suffixes: str) -> bool:
+        """Whether this file's path ends with any of the suffixes
+        (posix, e.g. ``repro/pipeline/engine.py``)."""
+        return any(self.path.endswith(suffix) for suffix in suffixes)
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> canonical dotted origin, from every import in the
+    file (nested imports included — lazy imports are an idiom here)."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                target = alias.name if alias.asname else \
+                    alias.name.split(".", 1)[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module \
+                and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _comment_tokens(source: str) -> Iterator[tuple[int, str]]:
+    """(line, text) for every real comment token — strings and
+    docstrings that merely *mention* the directive grammar are not
+    directives."""
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError):
+        # The AST parse will have reported the syntax problem already.
+        return
+
+
+def _parse_suppressions(
+        source: str,
+) -> tuple[dict[int, Suppression], list[Violation]]:
+    """Scan comment tokens for replint directives. Returns the
+    per-line suppression table plus any malformed-directive findings
+    (reported under :data:`META_RULE_ID`; path is filled in by the
+    driver)."""
+    table: dict[int, Suppression] = {}
+    problems: list[Violation] = []
+    for lineno, text in _comment_tokens(source):
+        if "replint:" not in text:
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            problems.append(Violation(
+                META_RULE_ID, "", lineno, 0,
+                "malformed replint directive (expected "
+                "'# replint: disable=RPLnnn[,RPLnnn] -- justification')"))
+            continue
+        ids = tuple(part.strip() for part in
+                    match.group("ids").split(",") if part.strip())
+        why = (match.group("why") or "").strip()
+        if not why:
+            problems.append(Violation(
+                META_RULE_ID, "", lineno, 0,
+                f"suppression of {','.join(ids)} has no justification "
+                f"(append ' -- <why this site is exempt>')"))
+            continue
+        bad = [rule_id for rule_id in ids if rule_id not in _REGISTRY]
+        if bad:
+            problems.append(Violation(
+                META_RULE_ID, "", lineno, 0,
+                f"suppression names unknown rule id(s) "
+                f"{', '.join(bad)} (see --list-rules)"))
+        valid = tuple(rule_id for rule_id in ids if rule_id in _REGISTRY)
+        if valid:
+            table[lineno] = Suppression(lineno, valid, why)
+    return table, problems
+
+
+class Rule:
+    """One invariant checker. Subclasses set the class attributes and
+    implement :meth:`check`, yielding ``(node_or_lineno, message)``
+    pairs; the driver turns them into :class:`Violation` records and
+    applies suppressions."""
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[tuple[object, str]]:
+        raise NotImplementedError
+        yield  # pragma: no cover - marks this as a generator signature
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator: add a rule to the catalog under its stable ID."""
+    if not rule_cls.id or not re.fullmatch(r"RPL\d{3}", rule_cls.id):
+        raise ValueError(
+            f"rule {rule_cls.__name__} needs a stable id 'RPLnnn', "
+            f"got {rule_cls.id!r}")
+    if rule_cls.id == META_RULE_ID:
+        raise ValueError(f"{META_RULE_ID} is reserved for the engine")
+    existing = _REGISTRY.get(rule_cls.id)
+    if existing is not None and existing is not rule_cls:
+        raise ValueError(
+            f"rule id {rule_cls.id} already registered by "
+            f"{existing.__name__}")
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """The registered catalog, keyed by rule ID (sorted)."""
+    return dict(sorted(_REGISTRY.items()))
+
+
+def _to_violation(item: object, message: str, rule_id: str,
+                  path: str) -> Violation:
+    if isinstance(item, ast.AST):
+        line = getattr(item, "lineno", 0)
+        col = getattr(item, "col_offset", 0)
+    else:
+        line, col = int(item), 0  # type: ignore[arg-type]
+    return Violation(rule_id, path, line, col, message)
+
+
+def lint_source(source: str, path: str,
+                rule_ids: Iterable[str] | None = None) -> list[Violation]:
+    """Lint one source text under a (possibly virtual) path. The unit
+    the self-test fixtures call directly."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Violation(META_RULE_ID, path, exc.lineno or 0,
+                          exc.offset or 0, f"syntax error: {exc.msg}")]
+    ctx = FileContext(path, source, tree)
+    selected = set(rule_ids) if rule_ids is not None else None
+    violations = [Violation(p.rule_id, ctx.path, p.line, p.col, p.message)
+                  for p in ctx.directive_problems]
+    for rule_id, rule_cls in all_rules().items():
+        if selected is not None and rule_id not in selected:
+            continue
+        rule = rule_cls()
+        if not rule.applies_to(ctx):
+            continue
+        for item, message in rule.check(ctx):
+            violation = _to_violation(item, message, rule_id, ctx.path)
+            suppression = ctx.suppressions.get(violation.line)
+            if suppression is not None and rule_id in suppression.rule_ids:
+                continue
+            violations.append(violation)
+    violations.sort(key=Violation.sort_key)
+    return violations
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Every ``*.py`` under the given files/directories, skipping vcs
+    and cache directories, in sorted order."""
+    seen: set[Path] = set()
+    collected: list[Path] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            candidates: Iterable[Path] = [root]
+        else:
+            candidates = root.rglob("*.py")
+        for candidate in candidates:
+            if any(part in _SKIP_DIRS for part in candidate.parts):
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            collected.append(candidate)
+    collected.sort(key=lambda p: p.as_posix())
+    return iter(collected)
+
+
+def lint_paths(paths: Iterable[str | Path],
+               rule_ids: Iterable[str] | None = None,
+               ) -> tuple[list[Violation], int]:
+    """Lint every Python file under ``paths``. Returns the sorted
+    violations and the number of files checked."""
+    violations: list[Violation] = []
+    count = 0
+    for file_path in iter_python_files(paths):
+        count += 1
+        source = file_path.read_text(encoding="utf-8")
+        violations.extend(lint_source(source, file_path.as_posix(),
+                                      rule_ids))
+    violations.sort(key=Violation.sort_key)
+    return violations, count

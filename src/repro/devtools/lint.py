@@ -1,0 +1,93 @@
+"""The replint CLI: ``python -m repro.devtools.lint src tests benchmarks``.
+
+Exit status is the CI contract: 0 for a clean tree, 1 when any
+violation (including malformed suppressions) is found, 2 for usage
+errors. ``--format=json`` writes the machine report (optionally to
+``--output``) for artifact upload while keeping the human summary on
+stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.devtools.core import all_rules, lint_paths
+from repro.devtools.reporters import (
+    render_json,
+    render_rule_list,
+    render_text,
+)
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="replint: project-invariant static analysis")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--output", metavar="FILE", default=None,
+                        help="write the report to FILE instead of stdout")
+    parser.add_argument("--select", metavar="IDS", default=None,
+                        help="comma-separated rule IDs to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    if not args.paths:
+        print("error: no paths given (try: src tests benchmarks)",
+              file=sys.stderr)
+        return 2
+    rule_ids = None
+    if args.select is not None:
+        rule_ids = [part.strip() for part in args.select.split(",")
+                    if part.strip()]
+        known = all_rules()
+        unknown = [rule_id for rule_id in rule_ids
+                   if rule_id not in known]
+        if unknown:
+            print(f"error: unknown rule id(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    violations, checked = lint_paths(args.paths, rule_ids)
+    if args.format == "json":
+        report = render_json(violations, checked)
+    else:
+        report = render_text(violations, checked)
+    if args.output is not None:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        # Keep the human-readable tally visible in CI logs even when
+        # the machine report goes to the artifact file.
+        print(render_text(violations, checked)
+              if args.format == "json" else
+              f"report written to {args.output}", file=sys.stderr)
+    else:
+        print(report)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    try:
+        status = main()
+    except BrokenPipeError:
+        # ``lint ... | head`` closes stdout early; exit quietly with
+        # the conventional SIGPIPE status instead of a traceback.
+        sys.stderr.close()
+        status = 128 + 13
+    raise SystemExit(status)

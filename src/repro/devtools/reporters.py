@@ -1,0 +1,55 @@
+"""Violation reporters: human text and machine JSON.
+
+The JSON form is what CI uploads as an artifact — stable key order,
+a format version, and a per-rule summary so a dashboard can trend
+violation counts without parsing messages.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.devtools.core import Violation, all_rules
+
+REPORT_FORMAT_VERSION = 1
+
+
+def render_text(violations: Sequence[Violation],
+                checked_files: int) -> str:
+    """``path:line:col: RPLnnn message`` per finding, plus a summary
+    line — empty-clean trees still report what was checked."""
+    lines = [f"{v.path}:{v.line}:{v.col}: {v.rule_id} {v.message}"
+             for v in violations]
+    noun = "violation" if len(violations) == 1 else "violations"
+    lines.append(f"replint: {len(violations)} {noun} in "
+                 f"{checked_files} file(s) checked")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation],
+                checked_files: int) -> str:
+    """The CI-artifact form: versioned, sorted, with per-rule counts."""
+    by_rule = Counter(v.rule_id for v in violations)
+    document = {
+        "format_version": REPORT_FORMAT_VERSION,
+        "checked_files": checked_files,
+        "total": len(violations),
+        "by_rule": dict(sorted(by_rule.items())),
+        "violations": [
+            {"rule": v.rule_id, "path": v.path, "line": v.line,
+             "col": v.col, "message": v.message}
+            for v in violations
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """The catalog for ``--list-rules``: ID, slug, and the contract."""
+    lines = []
+    for rule_id, rule_cls in all_rules().items():
+        lines.append(f"{rule_id}  {rule_cls.name}")
+        lines.append(f"    {rule_cls.description}")
+    return "\n".join(lines)

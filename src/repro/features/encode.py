@@ -21,7 +21,6 @@ import numpy as np
 
 from repro.errors import DatasetError, NotFittedError
 from repro.features.schema import (
-    ATTRIBUTES,
     AttributeKind,
     AttributeSpec,
     attributes_for,

@@ -15,12 +15,11 @@ list/categorical values so it cannot masquerade as platform signal.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
-from typing import Iterable, Mapping
 
 from repro.errors import CryptoError, ParseError
 from repro.fingerprints.model import Transport
-from repro.net.ipv4 import PROTO_TCP, PROTO_UDP
 from repro.net.packet import Packet
 from repro.net.tcp import TCPHeader
 from repro.quic import (

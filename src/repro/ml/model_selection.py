@@ -3,9 +3,9 @@ and the grid search used to produce Fig 6(a)."""
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 from itertools import product
-from typing import Callable, Iterator
 
 import numpy as np
 

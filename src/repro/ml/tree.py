@@ -13,7 +13,6 @@ import numpy as np
 
 from repro.errors import DatasetError
 from repro.ml.base import BaseClassifier, LabelEncoder, validate_xy
-from repro.util.rng import SeededRNG
 
 
 @dataclass

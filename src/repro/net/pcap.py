@@ -9,9 +9,10 @@ LINKTYPE_ETHERNET.
 from __future__ import annotations
 
 import struct
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
-from typing import BinaryIO, Iterable, Iterator
+from typing import BinaryIO
 
 import numpy as np
 

@@ -25,6 +25,7 @@ on every capture, malformed records included.
 from __future__ import annotations
 
 import struct
+from collections.abc import Iterable, Iterator
 
 from repro.errors import ParseError
 from repro.net.ethernet import ETHERTYPE_IPV4, ETHERTYPE_VLAN
@@ -68,7 +69,8 @@ class RawPacket:
         raise TypeError("use RawPacket.parse(data, timestamp)")
 
     @classmethod
-    def parse(cls, data, timestamp: float = 0.0) -> "RawPacket":
+    def parse(cls, data: bytes | bytearray | memoryview,
+              timestamp: float = 0.0) -> "RawPacket":
         """Decode a frame into a view; raises :class:`ParseError` on the
         same frame classes ``Packet.from_bytes`` rejects."""
         n = len(data)
@@ -262,14 +264,16 @@ class FrameBlock:
 
     __slots__ = ("buf", "starts", "ends", "timestamps")
 
-    def __init__(self, buf, starts, ends, timestamps):
+    def __init__(self, buf: bytes | memoryview, starts: np.ndarray,
+                 ends: np.ndarray, timestamps: np.ndarray) -> None:
         self.buf = buf
         self.starts = starts
         self.ends = ends
         self.timestamps = timestamps
 
     @classmethod
-    def from_frames(cls, frames) -> "FrameBlock":
+    def from_frames(cls, frames: Iterable[tuple[
+            bytes | bytearray | memoryview, float]]) -> "FrameBlock":
         """Pack an iterable of ``(frame bytes, timestamp)`` pairs into
         one contiguous block (testing/benchmark convenience; streaming
         callers get blocks from ``PcapReader.blocks()``)."""
@@ -293,7 +297,7 @@ class FrameBlock:
     def frame_bytes(self, i: int) -> bytes:
         return bytes(self.frame(i))
 
-    def iter_frames(self):
+    def iter_frames(self) -> Iterator[tuple[memoryview, float]]:
         """Yield ``(memoryview, timestamp)`` pairs — the adapter that
         feeds a block through the per-frame ``process_frames`` path."""
         view = memoryview(self.buf)
@@ -315,7 +319,8 @@ class FrameBlock:
     # arrays straight over the carrier buffer, so a worker reading a
     # shared-memory ring never copies frame bytes.
 
-    def pack_chunks(self, indices=None, max_bytes: int | None = None):
+    def pack_chunks(self, indices: Iterable[int] | None = None,
+                    max_bytes: int | None = None) -> Iterator[bytes]:
         """Serialize (a subset of) the block into one or more packed
         chunks of at most ``max_bytes`` each (a chunk always carries at
         least one frame, however large)."""
@@ -355,7 +360,7 @@ class FrameBlock:
         ))
 
     @classmethod
-    def unpack(cls, buf) -> "FrameBlock":
+    def unpack(cls, buf: bytes | bytearray | memoryview) -> "FrameBlock":
         """Rebuild a block over ``buf`` (bytes or memoryview) without
         copying the frame payload."""
         view = memoryview(buf)
@@ -397,9 +402,12 @@ class DecodedBlock:
                  "payload_len", "vlan_id", "syn_noack", "_https_idx",
                  "_dir_hi", "_dir_lo")
 
-    def __init__(self, block, valid, https, protocol, src_u32, dst_u32,
-                 src_port, dst_port, ttl, payload_len, vlan_id,
-                 syn_noack):
+    def __init__(self, block: FrameBlock, valid: np.ndarray,
+                 https: np.ndarray, protocol: np.ndarray,
+                 src_u32: np.ndarray, dst_u32: np.ndarray,
+                 src_port: np.ndarray, dst_port: np.ndarray,
+                 ttl: np.ndarray, payload_len: np.ndarray,
+                 vlan_id: np.ndarray, syn_noack: np.ndarray) -> None:
         self.block = block
         self.valid = valid
         self.https = https
@@ -420,7 +428,7 @@ class DecodedBlock:
         return len(self.valid)
 
     @property
-    def timestamps(self):
+    def timestamps(self) -> np.ndarray:
         return self.block.timestamps
 
     @property
@@ -432,14 +440,14 @@ class DecodedBlock:
         return len(self.valid) - self.valid_count
 
     @property
-    def https_indices(self):
+    def https_indices(self) -> np.ndarray:
         """Indices of the valid frames that touch port 443, in capture
         order — the frames that reach the flow table."""
         if self._https_idx is None:
             self._https_idx = np.nonzero(self.https)[0]
         return self._https_idx
 
-    def dir_keys(self, indices):
+    def dir_keys(self, indices: np.ndarray) -> Iterator[tuple[int, int]]:
         """Directional numeric flow keys ``(hi, lo)`` for the given
         frames: two uint64s packing (src, dst) and (proto, sport,
         dport). Both directions of a flow give different keys, which is

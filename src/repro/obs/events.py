@@ -63,7 +63,7 @@ class EventLog:
         """Events emitted through this log instance."""
         return self._count
 
-    def emit(self, event: str, **fields) -> None:
+    def emit(self, event: str, **fields: object) -> None:
         """Write one event line. ``fields`` must be JSON-serializable;
         ``event``/``wall``/``clock`` keys are reserved."""
         entry = {"event": event, "wall": time.time(),

@@ -27,8 +27,13 @@ module imports nothing from ``repro.pipeline`` — the pipelines import
 from __future__ import annotations
 
 from dataclasses import fields
+from typing import TYPE_CHECKING, Any
 
 from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # annotation-only: the runtime import edge stays
+    from repro.pipeline.driftwatch import ConceptDriftMonitor
+    from repro.pipeline.engine import PipelineCounters
 
 # PipelineCounters field -> (metric name, static labels, help).
 # ``classified``/``partial``/``unknown`` share one family split by a
@@ -61,7 +66,8 @@ COUNTER_METRICS = {
 }
 
 
-def export_counters(registry: MetricsRegistry, counters) -> None:
+def export_counters(registry: MetricsRegistry,
+                    counters: "PipelineCounters") -> None:
     """Map a (merged) ``PipelineCounters`` onto counter metrics."""
     for f in fields(counters):
         spec = COUNTER_METRICS.get(f.name)
@@ -72,7 +78,8 @@ def export_counters(registry: MetricsRegistry, counters) -> None:
             getattr(counters, f.name))
 
 
-def export_runtime_gauges(registry: MetricsRegistry, pipeline) -> None:
+def export_runtime_gauges(registry: MetricsRegistry,
+                          pipeline: Any) -> None:
     """The point-in-time views every runtime flavor shares."""
     registry.gauge(
         "repro_live_flows",
@@ -110,7 +117,8 @@ def export_shard_gauges(registry: MetricsRegistry,
             {"shard": str(i)}).set(value)
 
 
-def export_drift(registry: MetricsRegistry, monitor) -> None:
+def export_drift(registry: MetricsRegistry,
+                 monitor: "ConceptDriftMonitor | None") -> None:
     """Drift status derived from a ConceptDriftMonitor's reports."""
     if monitor is None:
         return

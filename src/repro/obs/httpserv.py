@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import json
 import threading
+from collections.abc import Callable
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable
 
 from repro.obs.metrics import MetricsRegistry
 
@@ -40,7 +40,7 @@ class MetricsServer:
         server = self
 
         class Handler(BaseHTTPRequestHandler):
-            def log_message(self, *args) -> None:  # quiet by design
+            def log_message(self, *args: object) -> None:  # quiet by design
                 pass
 
             def _send(self, status: int, body: bytes,
@@ -68,7 +68,7 @@ class MetricsServer:
                             body = registry.render_prometheus().encode()
                             ctype = ("text/plain; version=0.0.4; "
                                      "charset=utf-8")
-                    except Exception as exc:  # keep serving
+                    except Exception as exc:  # replint: disable=RPL004 -- keep serving: a wedged collect path must not take the health endpoint down with it; the error body carries the cause to the scraper
                         self._send(500, f"collect failed: {exc}"
                                    .encode(), "text/plain")
                         return
@@ -92,11 +92,14 @@ class MetricsServer:
         return self
 
     def close(self) -> None:
-        self._httpd.shutdown()
-        self._httpd.server_close()
+        # shutdown() blocks on serve_forever's acknowledgement; calling
+        # it on a server that was never started would wait forever, so
+        # only the started path goes through the full handshake.
         if self._thread is not None:
+            self._httpd.shutdown()
             self._thread.join(timeout=5.0)
             self._thread = None
+        self._httpd.server_close()
 
     def __enter__(self) -> "MetricsServer":
         return self.start()

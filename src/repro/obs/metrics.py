@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Iterable
+from collections.abc import Iterable
 
 # Latency buckets (seconds) sized for our stage spans: a bulk block
 # decode is ~100us-1ms, a classification drain ~1-50ms, a checkpoint
@@ -272,8 +272,8 @@ class MetricsRegistry:
 
     # -- reads -----------------------------------------------------------------
 
-    def value(self, name: str,
-              labels: dict[str, str] | None = None):
+    def value(self, name: str, labels: dict[str, str] | None = None,
+              ) -> float | tuple[int, float] | None:
         """The current value of a counter/gauge (or a histogram's
         ``(count, sum)``); None when never registered. Test/assertion
         convenience, not a hot path."""

@@ -9,8 +9,8 @@ giving five scenarios — the same split Table 6 evaluates.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable
 
 import numpy as np
 

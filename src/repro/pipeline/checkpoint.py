@@ -49,6 +49,7 @@ import hashlib
 import json
 import pickle
 import shutil
+from collections.abc import Callable, Sequence
 from dataclasses import asdict, fields
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -63,8 +64,11 @@ from repro.pipeline.engine import PipelineCounters, _FlowState
 from repro.pipeline.store import TelemetryRecord, TelemetryStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.pipeline.bank import ClassifierBank
     from repro.pipeline.engine import RealtimePipeline
     from repro.pipeline.sharded import ShardedPipeline
+    from repro.telemetry.rollup import RollupCube
 
 _FORMAT_VERSION = 1
 STATE_FILE = "state.json"
@@ -110,7 +114,8 @@ class PipelineState:
                  flows: list[_FlowState],
                  records: list[TelemetryRecord],
                  retention: str, batch_size: int, threshold: float,
-                 rollup, monitor_state: dict | None):
+                 rollup: "RollupCube | None",
+                 monitor_state: dict | None) -> None:
         self.counters = counters
         self.flows = flows
         self.records = records
@@ -425,7 +430,7 @@ def _recover_interrupted_swap(path: Path) -> None:
         old.rename(path)
 
 
-def atomic_save(path: Path, write) -> None:
+def atomic_save(path: Path, write: Callable[[Path], None]) -> None:
     """Run ``write(tmp_dir)`` then swap ``tmp_dir`` into ``path`` so a
     crash mid-save never destroys the previous checkpoint; a crash in
     the rename window itself is healed by the next save or load."""
@@ -484,11 +489,12 @@ def read_state_config(root: str | Path) -> dict:
             f"malformed checkpoint payload at {root}: {exc}") from exc
 
 
-def restore_realtime(path: str | Path, bank,
+def restore_realtime(path: str | Path, bank: "ClassifierBank",
                      batch_size: int | None = None,
                      confidence_threshold: float | None = None,
                      retention: str | None = None,
-                     metrics=None) -> "RealtimePipeline":
+                     metrics: "MetricsRegistry | bool | None" = None,
+                     ) -> "RealtimePipeline":
     """Rebuild a :class:`RealtimePipeline` from a checkpoint.
 
     ``bank`` is supplied by the caller (models live in their own
@@ -562,7 +568,7 @@ def read_sharded_meta(root: str | Path) -> int:
     return num_shards
 
 
-def save_sharded(shards, path: str | Path,
+def save_sharded(shards: Sequence["RealtimePipeline"], path: str | Path,
                  extra: dict[str, str] | None = None) -> None:
     """Checkpoint a list of realtime pipelines shard by shard."""
     states = [state_of(shard) for shard in shards]
@@ -668,12 +674,13 @@ def redistribute_checkpoint(src: str | Path, dst: str | Path,
     atomic_save(Path(dst), write)
 
 
-def restore_sharded(path: str | Path, bank,
+def restore_sharded(path: str | Path, bank: "ClassifierBank",
                     num_shards: int | None = None,
                     batch_size: int | None = None,
                     confidence_threshold: float | None = None,
                     retention: str | None = None,
-                    metrics=None) -> "ShardedPipeline":
+                    metrics: "MetricsRegistry | bool | None" = None,
+                    ) -> "ShardedPipeline":
     """Rebuild a :class:`ShardedPipeline` from a sharded checkpoint,
     optionally onto a different shard count (see
     :func:`redistribute_states` for what changing the count keeps

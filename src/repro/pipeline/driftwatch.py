@@ -21,6 +21,7 @@ confidence, exactly the signal the paper's deployment had available.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
@@ -138,7 +139,8 @@ class ConceptDriftMonitor:
                  min_observations: int = 50,
                  window_size: int = 500,
                  ph_delta: float = 0.02, ph_threshold: float = 2.0,
-                 on_alarm=None):
+                 on_alarm: Callable[[Provider, Transport], None] | None
+                 = None) -> None:
         if not 0 < confidence_drop_threshold < 1:
             raise ConfigError("confidence_drop_threshold must be in (0,1)")
         self.confidence_drop_threshold = confidence_drop_threshold

@@ -26,7 +26,9 @@ packets in Python would add nothing to the measurement path under test).
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field, fields
+from pathlib import Path
 
 from repro.errors import CryptoError, ParseError
 from repro.features.extract import extract_attributes, parse_flow_handshake
@@ -273,7 +275,8 @@ class RealtimePipeline:
 
     # -- raw-frame mode --------------------------------------------------------
 
-    def process_frame(self, data, timestamp: float = 0.0) -> None:
+    def process_frame(self, data: bytes | bytearray | memoryview,
+                      timestamp: float = 0.0) -> None:
         """Ingest one raw captured frame through the zero-copy path.
 
         Equivalent to ``process_packet(Packet.from_bytes(data,
@@ -307,7 +310,8 @@ class RealtimePipeline:
                 or self._is_late_client_syn(state, promoted):
             self._try_classify(state)
 
-    def process_frames(self, frames) -> int:
+    def process_frames(self, frames: Iterable[tuple[
+            bytes | bytearray | memoryview, float]]) -> int:
         """Ingest an iterable of ``(frame bytes, timestamp)`` pairs —
         the batched feed a pcap reader or ring buffer hands over.
         Returns the number of frames processed."""
@@ -515,7 +519,7 @@ class RealtimePipeline:
         self.drain()
         self.bank = bank
 
-    def save_checkpoint(self, path,
+    def save_checkpoint(self, path: str | Path,
                         extra: dict[str, str] | None = None) -> None:
         """Write a full state snapshot (flow table with handshake
         buffers, counters, telemetry, rollup cube, driftwatch state)
@@ -531,7 +535,7 @@ class RealtimePipeline:
             save_realtime(self, path, extra=extra)
 
     @classmethod
-    def restore(cls, path, bank: ClassifierBank,
+    def restore(cls, path: str | Path, bank: ClassifierBank,
                 batch_size: int | None = None,
                 confidence_threshold: float | None = None,
                 retention: str | None = None,
@@ -664,7 +668,7 @@ class RealtimePipeline:
                                            prediction))
         return len(ready)
 
-    def process_flows(self, flows) -> int:
+    def process_flows(self, flows: Iterable[SyntheticFlow]) -> int:
         """Run many flow summaries; with ``batch_size > 1`` the flows
         ride the batch classification path in ``batch_size`` chunks."""
         if self.batch_size <= 1:

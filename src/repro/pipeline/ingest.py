@@ -44,7 +44,7 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
-from typing import NamedTuple
+from typing import TYPE_CHECKING, NamedTuple
 
 import numpy as np
 
@@ -52,6 +52,12 @@ from repro.errors import ConfigError, ParseError
 from repro.net.packet import Packet
 from repro.net.pcap import PcapReader
 from repro.net.rawpacket import RawPacket, decode_block
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import EventLog
+    from repro.pipeline.engine import RealtimePipeline
+    from repro.pipeline.parallel import ParallelShardedPipeline
+    from repro.pipeline.sharded import ShardedPipeline
 
 INGEST_MODES = ("raw", "eager", "bulk")
 
@@ -130,14 +136,16 @@ class IngestResult(NamedTuple):
     skipped: int
 
 
-def ingest_pcap(pipeline, path: str | Path, mode: str = "raw",
+def ingest_pcap(pipeline: "RealtimePipeline | ShardedPipeline | "
+                          "ParallelShardedPipeline",
+                path: str | Path, mode: str = "raw",
                 strict: bool = False,
                 idle_timeout: float | None = None,
                 evict_interval: float | None = None,
                 checkpoint_dir: str | Path | None = None,
                 checkpoint_interval: float | None = None,
                 resume_dir: str | Path | None = None,
-                events=None) -> IngestResult:
+                events: "EventLog | None" = None) -> IngestResult:
     """Stream every frame of ``path`` into ``pipeline``.
 
     Does not flush — callers decide when flows are final. With

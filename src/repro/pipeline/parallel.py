@@ -55,8 +55,9 @@ import shutil
 import tempfile
 import time
 import traceback
+from collections.abc import Iterable
 from pathlib import Path
-from typing import NamedTuple
+from typing import TYPE_CHECKING, Any, NamedTuple
 
 from repro.errors import ConfigError
 from repro.net.packet import Packet
@@ -76,6 +77,13 @@ from repro.pipeline.sharded import (
 )
 from repro.pipeline.shmring import DEFAULT_RING_BYTES, FrameRing, RingReader
 from repro.pipeline.store import TelemetryRecord, TelemetryStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.flow import FlowKey
+    from repro.obs.events import EventLog
+    from repro.obs.metrics import MetricsRegistry
+    from repro.telemetry.rollup import RollupConfig, RollupCube
+    from repro.trafficgen.session import SyntheticFlow
 
 # Frames shipped per queue message: large enough to amortize pickling
 # and queue locking, small enough that worker memory stays bounded and
@@ -249,7 +257,7 @@ def _worker_main(worker_id: int, bank_dir: str, options: dict,
                 return
             else:  # pragma: no cover - protocol bug
                 raise RuntimeError(f"unknown worker command {op!r}")
-    except BaseException:
+    except BaseException:  # replint: disable=RPL004 -- worker boundary: the traceback must cross the process gap as an ("error", text) reply (KeyboardInterrupt/SystemExit included — the process exits right after, so nothing is swallowed)
         out_queue.put(("error", traceback.format_exc()))
     finally:
         if ring is not None:
@@ -296,7 +304,7 @@ class ParallelShardedPipeline:
                  DEFAULT_CONFIDENCE_THRESHOLD,
                  batch_size: int = 1,
                  retention: str = "raw",
-                 rollup_config=None,
+                 rollup_config: "RollupConfig | None" = None,
                  chunk_items: int = DEFAULT_CHUNK_ITEMS,
                  start_method: str | None = None,
                  checkpoint_dir: str | Path | None = None,
@@ -305,7 +313,7 @@ class ParallelShardedPipeline:
                  transport: str = "queue",
                  ring_bytes: int = DEFAULT_RING_BYTES,
                  metrics: bool = False,
-                 events=None):
+                 events: "EventLog | None" = None) -> None:
         if num_workers < 1:
             raise ValueError(
                 f"num_workers must be >= 1, got {num_workers}")
@@ -390,8 +398,16 @@ class ParallelShardedPipeline:
         self._cmd_queues: list = [None] * num_workers
         self._out_queues: list = [None] * num_workers
         self._rings: list[FrameRing | None] = [None] * num_workers
-        for i in range(num_workers):
-            self._spawn_worker(i, self._shard_resume_dir(resume_dir, i))
+        try:
+            for i in range(num_workers):
+                self._spawn_worker(i,
+                                   self._shard_resume_dir(resume_dir, i))
+        except BaseException:
+            # A failed i-th spawn must not leak the i-1 workers, rings,
+            # and queues already created — the constructor raising
+            # means close() will never run.
+            self.terminate()
+            raise
         self._buffers: list[list] = [[] for _ in range(num_workers)]
         self._buffer_kind: list[str | None] = [None] * num_workers
         # Bulk routing cache: direction key -> worker (same contract
@@ -695,7 +711,8 @@ class ParallelShardedPipeline:
 
     # -- raw-frame mode --------------------------------------------------------
 
-    def process_frame(self, data, timestamp: float = 0.0) -> None:
+    def process_frame(self, data: bytes | bytearray | memoryview,
+                      timestamp: float = 0.0) -> None:
         self.process_raw(RawPacket.parse(data, timestamp))
 
     def process_raw(self, raw: RawPacket) -> None:
@@ -712,7 +729,8 @@ class ParallelShardedPipeline:
         kind = "pframes" if self.transport == "shm" else "frames"
         self._enqueue(worker, kind, (data, raw.timestamp))
 
-    def process_frames(self, frames) -> int:
+    def process_frames(self, frames: Iterable[tuple[
+            bytes | bytearray | memoryview, float]]) -> int:
         parse = RawPacket.parse
         count = 0
         for data, timestamp in frames:
@@ -750,7 +768,7 @@ class ParallelShardedPipeline:
 
     # -- flow-summary mode -----------------------------------------------------
 
-    def process_flows(self, flows) -> None:
+    def process_flows(self, flows: Iterable["SyntheticFlow"]) -> None:
         """Partition a flow-summary stream across the workers (same
         placement as ``ShardedPipeline.shard_for``). Unlike the serial
         dispatcher this cannot return the classified count without a
@@ -759,7 +777,7 @@ class ParallelShardedPipeline:
             worker = shard_index(flow.key, self.num_workers)
             self._enqueue(worker, "flows", flow)
 
-    def shard_for(self, key) -> int:
+    def shard_for(self, key: "FlowKey") -> int:
         return shard_index(key, self.num_workers)
 
     # -- lifecycle -------------------------------------------------------------
@@ -834,7 +852,7 @@ class ParallelShardedPipeline:
     @classmethod
     def restore(cls, path: str | Path, bank_dir: str | Path,
                 num_workers: int | None = None,
-                **options) -> "ParallelShardedPipeline":
+                **options: Any) -> "ParallelShardedPipeline":
         """Resume a parallel runtime from a sharded checkpoint
         (written by this class *or* by ``ShardedPipeline`` — the
         formats are identical).
@@ -978,7 +996,7 @@ class ParallelShardedPipeline:
         return self.telemetry
 
     @property
-    def rollup(self):
+    def rollup(self) -> "RollupCube | None":
         """The workers' rollup cubes — snapshotted through
         ``save_rollup``/``load_rollup`` and merged with ``merge_from``
         (exact for every additive aggregate, order-independent) — or
@@ -1008,7 +1026,7 @@ class ParallelShardedPipeline:
 
     # -- observability ---------------------------------------------------------
 
-    def export_metrics(self):
+    def export_metrics(self) -> "MetricsRegistry":
         """A fresh registry with the fleet-wide metric view.
 
         Count metrics derive from the merged counters (byte-identical

@@ -16,6 +16,9 @@ identically across runs and machines.
 from __future__ import annotations
 
 import zlib
+from collections.abc import Iterable
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -25,8 +28,12 @@ from repro.net.rawpacket import DecodedBlock, RawPacket
 from repro.pipeline.bank import ClassifierBank
 from repro.pipeline.confidence import DEFAULT_CONFIDENCE_THRESHOLD
 from repro.pipeline.engine import PipelineCounters, RealtimePipeline
-from repro.pipeline.store import TelemetryStore
+from repro.pipeline.store import TelemetryRecord, TelemetryStore
 from repro.trafficgen.session import SyntheticFlow
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.telemetry.rollup import RollupConfig, RollupCube
 
 
 _SHARD_CACHE_MAX = 1 << 16
@@ -87,8 +94,8 @@ class ShardedPipeline:
                  DEFAULT_CONFIDENCE_THRESHOLD,
                  batch_size: int = 1,
                  retention: str = "raw",
-                 rollup_config=None,
-                 metrics=None):
+                 rollup_config: "RollupConfig | None" = None,
+                 metrics: "MetricsRegistry | bool | None" = None) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self.num_shards = num_shards
@@ -130,7 +137,8 @@ class ShardedPipeline:
 
     # -- raw-frame mode --------------------------------------------------------
 
-    def process_frame(self, data, timestamp: float = 0.0) -> None:
+    def process_frame(self, data: bytes | bytearray | memoryview,
+                      timestamp: float = 0.0) -> None:
         """Zero-copy ingest: parse the frame once, route the view by
         canonical 5-tuple — the same placement the eager path gives the
         same frame (both hash the identical canonical tuple)."""
@@ -140,7 +148,8 @@ class ShardedPipeline:
         shard = _shard_of_tuple(raw.canonical_key_tuple, self.num_shards)
         self.shards[shard].process_raw(raw)
 
-    def process_frames(self, frames) -> int:
+    def process_frames(self, frames: Iterable[tuple[
+            bytes | bytearray | memoryview, float]]) -> int:
         """Ingest ``(frame bytes, timestamp)`` pairs; returns the count."""
         parse = RawPacket.parse
         shards = self.shards
@@ -182,10 +191,10 @@ class ShardedPipeline:
 
     # -- flow-summary mode -----------------------------------------------------
 
-    def process_flow(self, flow: SyntheticFlow):
+    def process_flow(self, flow: SyntheticFlow) -> TelemetryRecord | None:
         return self.shards[self.shard_for(flow.key)].process_flow(flow)
 
-    def process_flows(self, flows) -> int:
+    def process_flows(self, flows: Iterable[SyntheticFlow]) -> int:
         """Partition a flow stream across shards, draining each shard's
         buffer through its (possibly batched) flow path as it fills —
         the stream is never materialized, so memory stays
@@ -225,7 +234,7 @@ class ShardedPipeline:
         for shard in self.shards:
             shard.reload_bank(bank)
 
-    def save_checkpoint(self, path,
+    def save_checkpoint(self, path: str | Path,
                         extra: dict[str, str] | None = None) -> None:
         """Checkpoint all shards into ``path`` (one sub-checkpoint per
         shard plus a meta file), atomically."""
@@ -234,12 +243,13 @@ class ShardedPipeline:
         save_sharded(self.shards, path, extra=extra)
 
     @classmethod
-    def restore(cls, path, bank: ClassifierBank,
+    def restore(cls, path: str | Path, bank: ClassifierBank,
                 num_shards: int | None = None,
                 batch_size: int | None = None,
                 confidence_threshold: float | None = None,
                 retention: str | None = None,
-                metrics=None) -> "ShardedPipeline":
+                metrics: "MetricsRegistry | bool | None" = None,
+                ) -> "ShardedPipeline":
         """Rebuild a sharded pipeline from :meth:`save_checkpoint`
         output. ``num_shards`` may differ from the checkpointed count:
         live flows are re-routed by the dispatcher hash and merged
@@ -297,7 +307,7 @@ class ShardedPipeline:
         return self.telemetry
 
     @property
-    def rollup(self):
+    def rollup(self) -> "RollupCube | None":
         """All shards' rollup cubes merged into one (or None when
         ``retention="raw"``). Same merged-snapshot semantics as
         ``telemetry``: a fresh O(cells) merge per access, exact for
@@ -333,7 +343,7 @@ class ShardedPipeline:
 
     # -- observability ---------------------------------------------------------
 
-    def export_metrics(self):
+    def export_metrics(self) -> "MetricsRegistry":
         """A fresh registry with the merged metric view across shards:
         derived counts from the merged counters, totals plus per-shard
         occupancy gauges, and the shared timing registry."""

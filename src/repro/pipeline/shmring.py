@@ -33,7 +33,12 @@ parent's unlink.
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 from multiprocessing.shared_memory import SharedMemory
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.context import BaseContext
 
 # Default ring capacity per worker. Big enough to hold several packed
 # chunks in flight (routing runs ahead of processing), small enough
@@ -46,14 +51,22 @@ _POLL_SECONDS = 0.0002  # backpressure poll; liveness-checked each spin
 class FrameRing:
     """Producer (parent) side of one worker's frame ring."""
 
-    def __init__(self, ctx, size: int = DEFAULT_RING_BYTES):
+    def __init__(self, ctx: "BaseContext",
+                 size: int = DEFAULT_RING_BYTES) -> None:
         if size < 4096:
             raise ValueError(f"ring size must be >= 4096, got {size}")
         self.size = size
         self.shm = SharedMemory(create=True, size=size)
-        # Unlocked on purpose: exactly one writer (the worker), and an
-        # aligned 8-byte store/load needs no lock.
-        self.consumed = ctx.Value("Q", 0, lock=False)
+        try:
+            # Unlocked on purpose: exactly one writer (the worker), and
+            # an aligned 8-byte store/load needs no lock.
+            self.consumed = ctx.Value("Q", 0, lock=False)
+        except BaseException:
+            # The segment exists the moment SharedMemory() returns; a
+            # failure in the counter allocation would otherwise leak it
+            # in /dev/shm until reboot.
+            self.close()
+            raise
         self.written = 0
         # Backpressure accounting, touched only while blocked — the
         # unblocked write path pays nothing. ``waits`` counts writes
@@ -66,7 +79,9 @@ class FrameRing:
     def name(self) -> str:
         return self.shm.name
 
-    def write(self, payload, liveness=None) -> tuple[int, int, int]:
+    def write(self, payload: bytes | bytearray | memoryview,
+              liveness: Callable[[], None] | None = None,
+              ) -> tuple[int, int, int]:
         """Copy ``payload`` into the ring, blocking while the worker
         is behind. Returns ``(offset, length, consumed_after)`` for
         the descriptor; the worker publishes ``consumed_after`` once
@@ -115,7 +130,10 @@ class RingReader:
     """Consumer (worker) side: attach by name, read spans, publish
     consumption."""
 
-    def __init__(self, name: str, consumed):
+    def __init__(self, name: str, consumed: Any) -> None:
+        # ``consumed`` is the ring's unlocked multiprocessing.Value
+        # ("Q"); its runtime type (SynchronizedBase vs raw ctypes
+        # wrapper) varies by start method, hence Any.
         try:
             # 3.13+: never register with the resource tracker — the
             # parent owns the segment.

@@ -8,8 +8,8 @@ and offers the filtering/grouping the §5.2 insight analyses need.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, replace
-from typing import Callable, Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass
 
 from repro.fingerprints.model import Provider, Transport
 from repro.net.flow import FlowKey

@@ -29,8 +29,9 @@ analyses over a cube, with the full-scan functions in
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable, ItemsView, Iterator
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, ItemsView, Iterator
+from typing import TYPE_CHECKING
 
 from repro.fingerprints.model import Provider, Transport
 from repro.telemetry.sketch import GKQuantileSketch
@@ -184,7 +185,7 @@ class RollupCube:
             self._cells[key] = cell
         cell.ingest(record)
 
-    def ingest_many(self, records) -> None:
+    def ingest_many(self, records: Iterable["TelemetryRecord"]) -> None:
         for record in records:
             self.ingest(record)
 

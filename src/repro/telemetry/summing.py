@@ -16,7 +16,7 @@ insertion or merge order.
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from collections.abc import Iterable
 
 
 class ExactSum:

@@ -24,13 +24,11 @@ only for generator tests, never by the measurement path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator
+from collections.abc import Iterator
+from dataclasses import dataclass
 
 from repro.fingerprints.library import (
-    get_profile,
     get_unknown_profile,
-    supported_platforms,
     transports_for,
 )
 from repro.fingerprints.model import (

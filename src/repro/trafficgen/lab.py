@@ -8,8 +8,8 @@ shrinks every cell proportionally for fast tests.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, replace
-from typing import Iterable
 
 from repro.errors import DatasetError
 from repro.fingerprints.library import (

@@ -20,6 +20,11 @@ from repro.net.packet import Packet
 from repro.trafficgen.lab import FlowDataset
 from repro.trafficgen.session import SyntheticFlow
 
+# Version of the labels.json sidecar shape. The pcap half is the
+# externally versioned wire format; the sidecar is ours — any change
+# to its keys must bump this so old readers reject new bytes.
+_FORMAT_VERSION = 1
+
 
 def _key_id(key: FlowKey) -> str:
     return str(key.canonical())
@@ -46,6 +51,7 @@ def save_dataset(dataset: FlowDataset, directory: str | Path) -> Path:
                 "sni": flow.sni,
             }
     (root / "labels.json").write_text(json.dumps({
+        "format_version": _FORMAT_VERSION,
         "name": dataset.name,
         "seed": dataset.seed,
         "flows": sidecar,
@@ -61,6 +67,10 @@ def load_dataset(directory: str | Path) -> FlowDataset:
     if not labels_path.exists() or not pcap_path.exists():
         raise DatasetError(f"no dataset at {root}")
     meta = json.loads(labels_path.read_text())
+    version = meta.get("format_version", 1)  # pre-versioning sidecars
+    if version != _FORMAT_VERSION:
+        raise DatasetError(
+            f"unsupported dataset sidecar format {version} at {root}")
     by_key: dict[str, list[Packet]] = {}
     with PcapReader(pcap_path) as reader:
         for packet in reader.packets():

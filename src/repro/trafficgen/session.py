@@ -11,7 +11,7 @@ has something to split.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.fingerprints.model import Provider, Transport, UserPlatform

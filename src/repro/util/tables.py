@@ -6,7 +6,7 @@ module keeps that formatting in one place.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 
 def _cell(value: object, width: int, align: str) -> str:

@@ -1,8 +1,5 @@
 """Tests for the feature layer: schema, extraction, encoding, importance."""
 
-import math
-
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

@@ -4,7 +4,7 @@
 import pytest
 
 from repro.features import extract_flow_attributes
-from repro.fingerprints import Provider, Transport
+from repro.fingerprints import Transport
 from repro.ml import RandomForestClassifier, accuracy_score
 from repro.pipeline import (
     ClassifierBank,

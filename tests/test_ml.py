@@ -330,7 +330,6 @@ class TestFeatureImportances:
         assert tree.feature_importances_.sum() == 0.0
 
     def test_restored_forest_importances_empty(self, tmp_path):
-        from repro.ml.forest import _SharedEncoder
         from repro.pipeline import ClassifierBank, load_bank, save_bank
         from repro.trafficgen import generate_lab_dataset
 

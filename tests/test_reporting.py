@@ -4,7 +4,6 @@ paper reference values."""
 import numpy as np
 import pytest
 
-from repro.fingerprints import Provider, Transport
 from repro.pipeline import SCENARIOS
 from repro.reporting import (
     confusion_table,

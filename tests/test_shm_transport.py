@@ -44,8 +44,10 @@ def _segment_exists(name: str) -> bool:
         shm = SharedMemory(name=name)
     except FileNotFoundError:
         return False
-    shm.close()
-    return True
+    try:
+        return True
+    finally:
+        shm.close()
 
 
 class TestFrameRingUnit:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.fingerprints import Provider, Transport, UserPlatform
+from repro.fingerprints import Provider, Transport
 from repro.net import PROTO_TCP, PROTO_UDP
 from repro.quic import unprotect_client_initial
 from repro.tls import parse_client_hello_records
