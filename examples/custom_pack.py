@@ -1,0 +1,134 @@
+"""Custom fingerprint pack: author an overlay pack, validate it, train
+a bank from it, and classify flows — the full data-driven fingerprint
+loop without touching a line of library code.
+
+The overlay extends the committed builtin pack and makes two kinds of
+edit the merge layer supports:
+
+* a *retune*: Windows machines in this deployment run a tuned TCP
+  stack (larger window, higher window scale), expressed as a new spec
+  plus a field-level profile override for ``windows_chrome``;
+* a *relabel*: the same profile gains a TLS-library lineage label.
+
+Everything else is inherited from the base pack untouched.
+
+Run:  python examples/custom_pack.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.fingerprints import Provider, Transport, UserPlatform
+from repro.fingerprints.packs import (
+    PACK_FORMAT_VERSION,
+    builtin_pack,
+    load_pack,
+    payload_digest,
+    set_active_pack,
+)
+from repro.ml import RandomForestClassifier
+from repro.pipeline import ClassifierBank, RealtimePipeline
+from repro.trafficgen import generate_lab_dataset
+
+OVERLAY_NAME = "campus-tuned"
+
+
+def build_overlay_document() -> dict:
+    """An overlay pack document. The payload holds only the deltas;
+    ``extends`` pulls everything else from the committed builtin."""
+    payload = {
+        "tcp_stacks": {
+            "windows_tuned": {
+                "ttl": 128,
+                "window_size": 131072,
+                "mss": 1460,
+                "window_scale": 10,
+                "sack_permitted": True,
+                "timestamps": False,
+                "ecn_setup": False,
+                "option_order": ["mss", "nop", "window_scale", "nop",
+                                 "nop", "sack_permitted"],
+            },
+        },
+        "profiles": [
+            # Field-level override: only the named fields change; the
+            # ClientHello and QUIC references stay inherited.
+            {"platform": "windows_chrome",
+             "tcp_stack": "windows_tuned",
+             "tls_library": "boringssl"},
+        ],
+    }
+    return {
+        "format_version": PACK_FORMAT_VERSION,
+        "name": OVERLAY_NAME,
+        "version": "demo",
+        "description": "Builtin fingerprints with a tuned Windows "
+                       "TCP stack for this campus.",
+        "extends": "builtin-2023q3",
+        "payload": payload,
+        # The digest covers the overlay's own payload; the *effective*
+        # digest (post-merge) is computed by the loader.
+        "payload_sha256": payload_digest(payload),
+    }
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / f"{OVERLAY_NAME}.json"
+        path.write_text(json.dumps(build_overlay_document(),
+                                   sort_keys=True, indent=1) + "\n",
+                        encoding="utf-8")
+
+        # Loading IS validation: envelope digest, schema, spec
+        # references, flow-count consistency — any problem raises
+        # ConfigError naming the offending path. (The CLI equivalent:
+        # `repro packs validate campus-tuned.json`.)
+        pack = load_pack(path)
+        base = builtin_pack()
+        print(f"Loaded {pack.name}@{pack.version} "
+              f"(digest {pack.digest[:12]}, extends {base.name})")
+
+        windows_chrome = UserPlatform.from_label("windows_chrome")
+        before = base.get_profile(windows_chrome, Provider.YOUTUBE)
+        after = pack.get_profile(windows_chrome, Provider.YOUTUBE)
+        print(f"windows_chrome window_size: "
+              f"{before.tcp_stack.window_size} -> "
+              f"{after.tcp_stack.window_size}, window_scale: "
+              f"{before.tcp_stack.window_scale} -> "
+              f"{after.tcp_stack.window_scale}")
+        print(f"windows_chrome tls_library: "
+              f"{base.tls_library(windows_chrome, Provider.YOUTUBE)} "
+              f"-> {pack.tls_library(windows_chrome, Provider.YOUTUBE)}")
+        print(f"inherited cells: {len(pack.all_pairs())} "
+              f"(base has {len(base.all_pairs())})")
+
+        # Activate the pack and run the paper's loop against it: the
+        # lab dataset is synthesized from the pack's fingerprints and
+        # the trained bank is stamped with the pack's identity.
+        set_active_pack(pack)
+        try:
+            lab = generate_lab_dataset(seed=11, scale=0.05)
+            bank = ClassifierBank.train(
+                lab,
+                model_factory=lambda: RandomForestClassifier(
+                    n_estimators=6, max_depth=12, random_state=0))
+            print(f"\nTrained bank stamped with pack: {bank.pack_info}")
+
+            pipeline = RealtimePipeline(bank)
+            hits = total = 0
+            for flow in list(lab.subset(transport=Transport.TCP))[:40]:
+                record = pipeline.process_flow(flow)
+                if record is None or \
+                        record.prediction.status != "classified":
+                    continue
+                total += 1
+                hits += record.prediction.platform == flow.platform_label
+            print(f"Classified {total} lab flows under the custom "
+                  f"pack; {hits} matched their ground-truth platform.")
+        finally:
+            set_active_pack(None)
+
+
+if __name__ == "__main__":
+    main()

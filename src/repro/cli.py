@@ -10,7 +10,11 @@ Three operator-facing commands mirroring the paper's workflow:
   §5.2 insight report;
 * ``export-dataset`` — write a synthetic lab dataset to pcap + labels;
 * ``report`` — render the §5.2 paper tables from a saved rollup
-  snapshot, without any raw records.
+  snapshot, without any raw records;
+* ``packs`` — list, validate, show and diff fingerprint packs.
+
+``train``, ``classify`` and ``campus`` accept ``--pack`` to run against
+a fingerprint pack other than the committed builtin.
 
 Usage::
 
@@ -35,6 +39,14 @@ Usage::
         --metrics-port 9107 --event-log events.jsonl \
         --metrics-out metrics.prom
     python -m repro.cli report --rollup rollup/
+    python -m repro.cli packs list
+    python -m repro.cli packs validate
+    python -m repro.cli packs show tls-lib-2023q3
+    python -m repro.cli packs diff builtin-2023q3 tls-lib-2023q3
+    python -m repro.cli train --out bank-tls/ --pack tls-lib-2023q3 \
+        --label-mode tls_library
+    python -m repro.cli classify --bank bank-tls/ \
+        --pack tls-lib-2023q3 --pcap dataset/flows.pcap
 """
 
 from __future__ import annotations
@@ -51,10 +63,20 @@ from repro.analysis import (
     watch_time_by_device,
 )
 from repro.fingerprints import Provider
+from repro.fingerprints.packs import (
+    FingerprintPack,
+    PackRegistry,
+    builtin_data_dir,
+    canonical_json,
+    load_pack,
+    resolve_payload,
+    set_active_pack,
+)
 from repro.ml import RandomForestClassifier
 from repro.pipeline import (
     ClassifierBank,
     INGEST_MODES,
+    LABEL_MODES,
     RETENTION_MODES,
     TRANSPORTS,
     ParallelShardedPipeline,
@@ -86,6 +108,40 @@ DEFAULT_CHECKPOINT_INTERVAL = 300.0
 DEFAULT_BATCH_SIZE = 64
 
 
+def _pack_dirs(args: argparse.Namespace) -> list[Path]:
+    return [Path(d) for d in (getattr(args, "pack_dir", None) or [])]
+
+
+def _resolve_pack_arg(token: str, pack_dirs: list[Path]
+                      ) -> tuple[FingerprintPack, Path]:
+    """``--pack`` accepts either a pack file path or a pack name looked
+    up in ``--pack-dir`` directories (plus the committed packs)."""
+    path = Path(token)
+    if path.exists():
+        dirs = [path.parent, *pack_dirs, builtin_data_dir()]
+        return load_pack(path, search_dirs=dirs), path
+    registry = PackRegistry(pack_dirs or None)
+    return registry.get(token), registry.path(token)
+
+
+def _activate_pack(args: argparse.Namespace,
+                   events: EventLog | None = None
+                   ) -> FingerprintPack | None:
+    """Honor ``--pack``/``--pack-dir`` before anything touches the
+    active pack (bank loads check its digest, generators draw from
+    it). Returns the activated pack, or None when the builtin stays
+    active."""
+    if getattr(args, "pack", None) is None:
+        return None
+    pack, path = _resolve_pack_arg(args.pack, _pack_dirs(args))
+    set_active_pack(pack)
+    print(f"Using fingerprint pack {pack.name}@{pack.version} "
+          f"({pack.digest[:12]}) from {path}", file=sys.stderr)
+    if events is not None:
+        events.emit("pack_loaded", path=str(path), **pack.info())
+    return pack
+
+
 def _model_factory_for(args: argparse.Namespace):
     return lambda: RandomForestClassifier(
         n_estimators=args.trees, max_depth=20, max_features=34,
@@ -93,6 +149,7 @@ def _model_factory_for(args: argparse.Namespace):
 
 
 def cmd_train(args: argparse.Namespace) -> int:
+    _activate_pack(args)
     if args.dataset:
         print(f"Loading dataset from {args.dataset} ...")
         dataset = load_dataset(args.dataset)
@@ -101,9 +158,15 @@ def cmd_train(args: argparse.Namespace) -> int:
         dataset = generate_lab_dataset(seed=args.seed, scale=args.scale)
     print(f"  {len(dataset)} flows")
     bank = ClassifierBank.train(dataset,
-                                model_factory=_model_factory_for(args))
+                                model_factory=_model_factory_for(args),
+                                label_mode=args.label_mode)
     save_bank(bank, args.out)
     print(f"Trained {len(bank.scenarios)} scenarios -> {args.out}")
+    if bank.pack_info is not None:
+        print(f"  pack {bank.pack_info['name']}"
+              f"@{bank.pack_info['version']} "
+              f"({bank.pack_info['digest'][:12]}), "
+              f"label mode {bank.label_mode}")
     return 0
 
 
@@ -187,6 +250,9 @@ def _build_pipeline(args: argparse.Namespace, obs: _Obs):
         print("--workers (multiprocess) and --shards (in-process) are "
               "alternative runtimes; pick one", file=sys.stderr)
         raise SystemExit(2)
+    # Pack first: bank loads (parent and workers) verify their manifest
+    # digest against whatever is active.
+    _activate_pack(args, obs.events)
     if args.resume:
         pipeline = _restore_pipeline(args, obs)
     else:
@@ -453,6 +519,142 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _pack_file(token: str, pack_dirs: list[Path]) -> Path:
+    """Path for a ``packs`` operand: a file path as-is, otherwise a
+    name looked up in the registry."""
+    path = Path(token)
+    if path.exists():
+        return path
+    return PackRegistry(pack_dirs or None).path(token)
+
+
+def cmd_packs_list(args: argparse.Namespace) -> int:
+    registry = PackRegistry(_pack_dirs(args) or None)
+    rows = []
+    for pack in registry.packs():
+        rows.append((
+            pack.name, pack.version, pack.digest[:12],
+            str(len(pack.all_pairs())),
+            "yes" if pack.has_tls_library_axis() else "no",
+            str(registry.path(pack.name)),
+        ))
+    print(format_table(
+        ("name", "version", "digest", "cells", "tls-lib", "path"),
+        rows, title="Fingerprint packs"))
+    return 0
+
+
+def cmd_packs_validate(args: argparse.Namespace) -> int:
+    """Load (= fully validate) each named pack, or every committed and
+    ``--pack-dir`` pack when none are named. Any failure prints the
+    loader's diagnosis and fails the command — the CI gate for the
+    repository's committed packs."""
+    paths: list[Path]
+    if args.packs:
+        dirs = _pack_dirs(args)
+        paths = [_pack_file(token, dirs) for token in args.packs]
+    else:
+        paths = sorted(builtin_data_dir().glob("*.json"))
+        for directory in _pack_dirs(args):
+            paths.extend(sorted(Path(directory).glob("*.json")))
+    failed = 0
+    for path in paths:
+        try:
+            pack = load_pack(path)
+        except ConfigError as exc:
+            print(f"FAIL {path}: {exc}")
+            failed += 1
+            continue
+        print(f"ok   {pack.name}@{pack.version} "
+              f"({pack.digest[:12]}) {path}")
+    if failed:
+        print(f"{failed} of {len(paths)} packs failed validation",
+              file=sys.stderr)
+        return 1
+    print(f"{len(paths)} packs valid")
+    return 0
+
+
+def cmd_packs_show(args: argparse.Namespace) -> int:
+    pack, path = _resolve_pack_arg(args.pack, _pack_dirs(args))
+    print(f"{pack.name}@{pack.version}  digest {pack.digest}")
+    print(f"  source: {path}")
+    if pack.description:
+        print(f"  {pack.description}")
+    pairs = pack.all_pairs()
+    platforms = sorted({platform.label for platform, _ in pairs})
+    providers = sorted({provider.value for _, provider in pairs})
+    print(f"  {len(pairs)} (platform, provider) cells over "
+          f"{len(platforms)} platforms and {len(providers)} providers")
+    print(f"  {len(pack.tcp_stacks)} TCP stacks, "
+          f"{len(pack.hello_specs)} ClientHello specs, "
+          f"{len(pack.quic_specs)} QUIC specs, "
+          f"{len(pack.unknown_platform_labels)} unknown profiles")
+    if pack.has_tls_library_axis():
+        rows = sorted(
+            (platform.label, provider.value,
+             pack.tls_library(platform, provider) or "-")
+            for platform, provider in pairs)
+        print(format_table(
+            ("platform", "provider", "tls library"), rows,
+            title="TLS-library lineage axis"))
+    else:
+        print("  no TLS-library lineage labels")
+    return 0
+
+
+def _flatten_payload(payload: dict) -> dict[str, bytes]:
+    """One canonical-JSON blob per comparable unit: per named spec for
+    the dict sections, per (platform, provider) entry for the profile
+    lists, whole-section for the ordered lists."""
+    flat: dict[str, bytes] = {}
+    for section, value in sorted(payload.items()):
+        if section in ("tcp_stacks", "hello_specs", "quic_specs",
+                       "providers"):
+            for key, sub in value.items():
+                flat[f"{section}/{key}"] = canonical_json(sub)
+        elif section in ("profiles", "unknown_profiles"):
+            for entry in value:
+                key = (f"{entry.get('platform')}"
+                       f"@{entry.get('provider', '*')}")
+                flat[f"{section}/{key}"] = canonical_json(entry)
+        else:
+            flat[section] = canonical_json(value)
+    return flat
+
+
+def cmd_packs_diff(args: argparse.Namespace) -> int:
+    """Structural diff of two packs' *effective* payloads (extends
+    chains resolved). Exit status follows ``diff``: 0 identical,
+    1 different."""
+    dirs = _pack_dirs(args)
+    path_a = _pack_file(args.pack_a, dirs)
+    path_b = _pack_file(args.pack_b, dirs)
+    doc_a, payload_a = resolve_payload(path_a)
+    doc_b, payload_b = resolve_payload(path_b)
+    flat_a = _flatten_payload(payload_a)
+    flat_b = _flatten_payload(payload_b)
+    lines = []
+    for key in sorted(set(flat_a) | set(flat_b)):
+        if key not in flat_b:
+            lines.append(f"- {key}")
+        elif key not in flat_a:
+            lines.append(f"+ {key}")
+        elif flat_a[key] != flat_b[key]:
+            lines.append(f"~ {key}")
+    label_a = f"{doc_a['name']}@{doc_a.get('version', '?')}"
+    label_b = f"{doc_b['name']}@{doc_b.get('version', '?')}"
+    if not lines:
+        print(f"{label_a} and {label_b} have identical effective "
+              f"payloads")
+        return 0
+    print(f"--- {label_a} ({path_a})")
+    print(f"+++ {label_b} ({path_b})")
+    for line in lines:
+        print(line)
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -466,6 +668,11 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--trees", type=int, default=15)
     train.add_argument("--dataset",
                        help="train from an exported dataset directory")
+    train.add_argument(
+        "--label-mode", choices=LABEL_MODES, default="platform",
+        help="platform model target: OS/browser platform labels, or "
+             "TLS-library lineage labels from the active pack")
+    _add_pack_args(train)
     train.set_defaults(func=cmd_train)
 
     export = sub.add_parser("export-dataset",
@@ -482,6 +689,7 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--limit", type=int, default=20,
                           help="max rows to print")
     _add_scaling_args(classify)
+    _add_pack_args(classify)
     classify.set_defaults(func=cmd_classify)
 
     campus = sub.add_parser("campus", help="simulate a campus deployment")
@@ -496,6 +704,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="persist the rollup cube to DIR "
                              "(requires --retention rollup|both)")
     _add_scaling_args(campus)
+    _add_pack_args(campus)
     campus.set_defaults(func=cmd_campus)
 
     report = sub.add_parser(
@@ -506,6 +715,44 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--limit", type=_positive_int, default=6,
                         help="max devices listed per provider")
     report.set_defaults(func=cmd_report)
+
+    packs = sub.add_parser(
+        "packs", help="inspect + validate fingerprint packs")
+    packs_sub = packs.add_subparsers(dest="packs_command", required=True)
+
+    packs_list = packs_sub.add_parser(
+        "list", help="list discoverable packs")
+    _add_pack_dir_arg(packs_list)
+    packs_list.set_defaults(func=cmd_packs_list)
+
+    packs_validate = packs_sub.add_parser(
+        "validate",
+        help="fully load each pack, failing on any schema, digest or "
+             "consistency error")
+    packs_validate.add_argument(
+        "packs", nargs="*", metavar="PACK",
+        help="pack files or names (default: every committed pack plus "
+             "any --pack-dir packs)")
+    _add_pack_dir_arg(packs_validate)
+    packs_validate.set_defaults(func=cmd_packs_validate)
+
+    packs_show = packs_sub.add_parser(
+        "show", help="summarize one pack's contents")
+    packs_show.add_argument("pack", metavar="PACK",
+                            help="pack file or name")
+    _add_pack_dir_arg(packs_show)
+    packs_show.set_defaults(func=cmd_packs_show)
+
+    packs_diff = packs_sub.add_parser(
+        "diff",
+        help="compare two packs' effective payloads (exit 1 when they "
+             "differ)")
+    packs_diff.add_argument("pack_a", metavar="PACK_A",
+                            help="pack file or name")
+    packs_diff.add_argument("pack_b", metavar="PACK_B",
+                            help="pack file or name")
+    _add_pack_dir_arg(packs_diff)
+    packs_diff.set_defaults(func=cmd_packs_diff)
     return parser
 
 
@@ -523,6 +770,23 @@ def _positive_float(text: str) -> float:
         raise argparse.ArgumentTypeError(
             f"must be a positive number, got {value}")
     return value
+
+
+def _add_pack_dir_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--pack-dir", action="append", metavar="DIR", default=None,
+        help="extra directory searched for packs, highest precedence "
+             "first (repeatable; the committed packs are always "
+             "searched last)")
+
+
+def _add_pack_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--pack", metavar="PACK", default=None,
+        help="activate this fingerprint pack (a pack file path, or a "
+             "pack name resolved via --pack-dir and the committed "
+             "packs) instead of the builtin pack")
+    _add_pack_dir_arg(parser)
 
 
 def _add_scaling_args(parser: argparse.ArgumentParser) -> None:

@@ -62,6 +62,17 @@ GOLDEN_TEST_DIRS = ("tests/golden/",)
 #: model banks.
 PICKLE_ALLOWED_MODULES = ("repro/pipeline/checkpoint.py",)
 
+#: The one module allowed to assemble PlatformProfile objects inside
+#: ``fingerprints/``: the pack loader. Fingerprint data lives in pack
+#: files; code that constructs profiles directly is re-growing the
+#: hardcoded library the pack refactor dissolved.
+PROFILE_ASSEMBLY_ALLOWED = ("repro/fingerprints/packs/loader.py",)
+
+#: Function-name prefixes that mark pack writers: anything in
+#: ``fingerprints/packs/`` that serializes under one of these names
+#: must stamp the pack format version into the document.
+PACK_WRITER_PREFIXES = ("write_", "save_", "export_")
+
 #: Modules allowed to print: user-facing CLI / report rendering and
 #: the linter's own reporters.
 PRINT_ALLOWED_MODULES = (
@@ -756,3 +767,48 @@ class PublicApiAnnotations(Rule):
                 yield func, (
                     f"public {'method' if cls else 'function'} "
                     f"{func.name}() has no return annotation")
+
+
+# -- RPL011 --------------------------------------------------------------------
+
+@register
+class PackDataDiscipline(Rule):
+    id = "RPL011"
+    name = "pack-data-discipline"
+    description = (
+        "Fingerprint data lives in pack files: inside fingerprints/, "
+        "only the pack loader may assemble PlatformProfile objects "
+        "(direct construction re-grows the hardcoded library the pack "
+        "refactor dissolved), and every pack writer "
+        "(write_*/save_*/export_* in packs/) must stamp the pack "
+        "format version so emitted documents stay loadable.")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "repro/fingerprints/" in ctx.path and \
+            "tests/" not in ctx.path
+
+    def check(self, ctx: FileContext) -> Iterator[tuple[object, str]]:
+        if not ctx.in_scope(*PROFILE_ASSEMBLY_ALLOWED):
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = ctx.call_name(node) or ""
+                if dotted.rsplit(".", 1)[-1] == "PlatformProfile":
+                    yield node, (
+                        "PlatformProfile assembled outside the pack "
+                        "loader; fingerprint data belongs in pack "
+                        "files — add it to a pack payload and let "
+                        "packs/loader.py materialize it")
+        if "repro/fingerprints/packs/" not in ctx.path:
+            return
+        for func in _function_defs(ctx.tree):
+            if not func.name.startswith(PACK_WRITER_PREFIXES):
+                continue
+            if not _serializes(ctx, func):
+                continue
+            if not _references_version(func):
+                yield func, (
+                    f"{func.name}() writes a pack document without "
+                    f"referencing the pack format version; stamp "
+                    f"PACK_FORMAT_VERSION (or 'format_version') so "
+                    f"emitted packs stay loadable")

@@ -1,0 +1,57 @@
+"""Fingerprint packs: the versioned, validated, hot-loadable data files
+that carry the platform fingerprint library.
+
+A *pack* is a JSON document (format-version stamped, SHA-256 digested,
+the same self-verification discipline as ``pipeline/checkpoint.py``)
+holding TCP stack specs, TLS ClientHello specs, QUIC specs, assembled
+per-platform profiles, provider SNI rules, the Table 1 flow-count
+matrix, and optional TLS-library lineage labels. The loader here is the
+only code allowed to assemble :class:`~repro.fingerprints.specs.
+PlatformProfile` objects inside ``fingerprints/`` (replint RPL011);
+everything else consumes profiles through a loaded pack.
+"""
+
+from repro.fingerprints.packs.loader import (
+    FingerprintPack,
+    load_pack,
+    materialize_pack,
+    merge_payload,
+    read_pack_document,
+    resolve_payload,
+)
+from repro.fingerprints.packs.registry import (
+    BUILTIN_PACK_NAME,
+    PackRegistry,
+    activate_pack,
+    active_pack,
+    active_pack_info,
+    builtin_data_dir,
+    builtin_pack,
+    set_active_pack,
+)
+from repro.fingerprints.packs.schema import (
+    PACK_FORMAT_VERSION,
+    TLS_LIBRARIES,
+    canonical_json,
+    payload_digest,
+)
+
+__all__ = [
+    "BUILTIN_PACK_NAME",
+    "FingerprintPack",
+    "PACK_FORMAT_VERSION",
+    "PackRegistry",
+    "TLS_LIBRARIES",
+    "activate_pack",
+    "active_pack",
+    "active_pack_info",
+    "builtin_data_dir",
+    "builtin_pack",
+    "canonical_json",
+    "load_pack",
+    "materialize_pack",
+    "merge_payload",
+    "payload_digest",
+    "read_pack_document",
+    "resolve_payload",
+]

@@ -1,0 +1,918 @@
+"""Seeded regenerator for the committed packs.
+
+This module is the single literal source of the builtin fingerprint
+data — the content that used to live as module globals in
+``fingerprints/library.py``. It builds the spec dataclasses exactly as
+the old library did, serializes them through the pack schema, and stamps
+the envelope, so ``write_builtin_packs`` reproduces the committed
+``packs/data/*.json`` files byte-for-byte (CI pins this). Profiles are
+emitted as *reference entries* (spec names), never as constructed
+``PlatformProfile`` objects — materialization is the loader's job
+(replint RPL011).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+from repro.fingerprints.model import DeviceType, Provider
+from repro.fingerprints.providers import PROVIDER_SPECS
+from repro.fingerprints.specs import (
+    ClientHelloSpec,
+    QuicParamSpec,
+    QuicSpec,
+    TcpStackSpec,
+)
+from repro.fingerprints.packs.loader import DATA_DIR
+from repro.fingerprints.packs.schema import (
+    PACK_FORMAT_VERSION,
+    hello_to_json,
+    payload_digest,
+    provider_to_json,
+    quic_to_json,
+    tcp_stack_to_json,
+)
+from repro.tls import constants as c
+
+BUILTIN_NAME = "builtin-2023q3"
+TLS_LIB_NAME = "tls-lib-2023q3"
+
+# ---------------------------------------------------------------------------
+# TCP stacks per device OS (plus the unknown-platform stacks)
+# ---------------------------------------------------------------------------
+
+_TCP_STACKS: dict[str, TcpStackSpec] = {
+    DeviceType.WINDOWS.value: TcpStackSpec(
+        ttl=128, window_size=64240, mss=1460, window_scale=8,
+        sack_permitted=True, timestamps=False, ecn_setup=False,
+        option_order=("mss", "nop", "window_scale", "nop", "nop",
+                      "sack_permitted"),
+        mss_alternatives=(1440,),
+    ),
+    DeviceType.MACOS.value: TcpStackSpec(
+        ttl=64, window_size=65535, mss=1460, window_scale=6,
+        sack_permitted=True, timestamps=True, ecn_setup=True,
+        option_order=("mss", "nop", "window_scale", "nop", "nop",
+                      "timestamps", "sack_permitted", "eol"),
+        mss_alternatives=(1448,),
+    ),
+    DeviceType.IOS.value: TcpStackSpec(
+        ttl=64, window_size=65535, mss=1448, window_scale=5,
+        sack_permitted=True, timestamps=True, ecn_setup=True,
+        option_order=("mss", "nop", "window_scale", "nop", "nop",
+                      "timestamps", "sack_permitted", "eol"),
+        mss_alternatives=(1460,),
+    ),
+    DeviceType.ANDROID.value: TcpStackSpec(
+        ttl=64, window_size=65535, mss=1460, window_scale=9,
+        sack_permitted=True, timestamps=True, ecn_setup=False,
+        option_order=("mss", "sack_permitted", "timestamps", "nop",
+                      "window_scale"),
+        mss_alternatives=(1400,),
+    ),
+    DeviceType.ANDROID_TV.value: TcpStackSpec(
+        ttl=64, window_size=65535, mss=1460, window_scale=7,
+        sack_permitted=True, timestamps=True, ecn_setup=False,
+        option_order=("mss", "sack_permitted", "timestamps", "nop",
+                      "window_scale"),
+    ),
+    DeviceType.PLAYSTATION.value: TcpStackSpec(
+        ttl=64, window_size=65535, mss=1460, window_scale=6,
+        sack_permitted=True, timestamps=True, ecn_setup=False,
+        option_order=("mss", "nop", "window_scale", "sack_permitted",
+                      "timestamps"),
+    ),
+    "linux": TcpStackSpec(
+        ttl=64, window_size=64240, mss=1460, window_scale=7,
+        sack_permitted=True, timestamps=True, ecn_setup=False,
+        option_order=("mss", "sack_permitted", "timestamps", "nop",
+                      "window_scale"),
+    ),
+    "webos": TcpStackSpec(
+        ttl=64, window_size=14600, mss=1460, window_scale=4,
+        sack_permitted=True, timestamps=True, ecn_setup=False,
+        option_order=("mss", "sack_permitted", "timestamps", "nop",
+                      "window_scale"),
+    ),
+}
+
+# ---------------------------------------------------------------------------
+# TLS ClientHello family base specs
+# ---------------------------------------------------------------------------
+
+_CHROMIUM_SUITES = (
+    c.TLS_AES_128_GCM_SHA256, c.TLS_AES_256_GCM_SHA384,
+    c.TLS_CHACHA20_POLY1305_SHA256,
+    c.ECDHE_ECDSA_AES128_GCM, c.ECDHE_RSA_AES128_GCM,
+    c.ECDHE_ECDSA_AES256_GCM, c.ECDHE_RSA_AES256_GCM,
+    c.ECDHE_ECDSA_CHACHA20, c.ECDHE_RSA_CHACHA20,
+    c.ECDHE_RSA_AES128_CBC_SHA, c.ECDHE_RSA_AES256_CBC_SHA,
+    c.RSA_AES128_GCM, c.RSA_AES256_GCM,
+    c.RSA_AES128_CBC_SHA, c.RSA_AES256_CBC_SHA,
+)
+
+_CHROMIUM_SIGALGS = (
+    c.SIG_ECDSA_SECP256R1_SHA256, c.SIG_RSA_PSS_RSAE_SHA256,
+    c.SIG_RSA_PKCS1_SHA256, c.SIG_ECDSA_SECP384R1_SHA384,
+    c.SIG_RSA_PSS_RSAE_SHA384, c.SIG_RSA_PKCS1_SHA384,
+    c.SIG_RSA_PSS_RSAE_SHA512, c.SIG_RSA_PKCS1_SHA512,
+)
+
+_CHROMIUM_ORDER_TCP = (
+    "grease_first", "server_name", "extended_master_secret",
+    "renegotiation_info", "supported_groups", "ec_point_formats",
+    "session_ticket", "alpn", "status_request", "signature_algorithms",
+    "sct", "key_share", "psk_key_exchange_modes", "supported_versions",
+    "compress_certificate", "application_settings", "grease_last",
+    "padding", "pre_shared_key",
+)
+
+_CHROME_TCP = ClientHelloSpec(
+    cipher_suites=_CHROMIUM_SUITES,
+    extension_order=_CHROMIUM_ORDER_TCP,
+    groups=(c.GROUP_X25519_KYBER768, c.GROUP_X25519, c.GROUP_SECP256R1,
+            c.GROUP_SECP384R1),
+    signature_algorithms=_CHROMIUM_SIGALGS,
+    alpn=("h2", "http/1.1"),
+    key_share_groups=(c.GROUP_X25519,),
+    compress_certificate=(c.CERT_COMPRESSION_BROTLI,),
+    application_settings=("h2",),
+    grease=True,
+    randomized_extension_order=True,
+    padding_target=517,
+    resumption_probability=0.3,
+)
+
+# Chrome's hybrid-PQ rollout was staged per platform in the capture
+# window: Windows desktop had X25519Kyber768, macOS/Android did not yet.
+_CHROME_TCP_MAC = replace(
+    _CHROME_TCP,
+    groups=(c.GROUP_X25519, c.GROUP_SECP256R1, c.GROUP_SECP384R1),
+)
+_CHROME_TCP_ANDROID = _CHROME_TCP_MAC
+
+# Edge: same BoringSSL, a release behind — no Kyber, no ALPS, different
+# padding boundary.
+_EDGE_TCP = replace(
+    _CHROME_TCP,
+    groups=(c.GROUP_X25519, c.GROUP_SECP256R1, c.GROUP_SECP384R1),
+    extension_order=tuple(t for t in _CHROMIUM_ORDER_TCP
+                          if t != "application_settings"),
+    application_settings=(),
+    padding_target=508,
+)
+
+# macOS Edge lagged a release and still advertised legacy ecdsa_sha1.
+_EDGE_TCP_MAC = replace(
+    _EDGE_TCP,
+    signature_algorithms=_EDGE_TCP.signature_algorithms
+    + (c.SIG_ECDSA_SHA1,),
+)
+
+_FIREFOX_SUITES = (
+    c.TLS_AES_128_GCM_SHA256, c.TLS_CHACHA20_POLY1305_SHA256,
+    c.TLS_AES_256_GCM_SHA384,
+    c.ECDHE_ECDSA_AES128_GCM, c.ECDHE_RSA_AES128_GCM,
+    c.ECDHE_ECDSA_CHACHA20, c.ECDHE_RSA_CHACHA20,
+    c.ECDHE_ECDSA_AES256_GCM, c.ECDHE_RSA_AES256_GCM,
+    c.ECDHE_ECDSA_AES256_CBC_SHA, c.ECDHE_ECDSA_AES128_CBC_SHA,
+    c.ECDHE_RSA_AES128_CBC_SHA, c.ECDHE_RSA_AES256_CBC_SHA,
+    c.RSA_AES128_GCM, c.RSA_AES256_GCM,
+    c.RSA_AES128_CBC_SHA, c.RSA_AES256_CBC_SHA,
+)
+
+_FIREFOX_TCP = ClientHelloSpec(
+    cipher_suites=_FIREFOX_SUITES,
+    extension_order=(
+        "server_name", "extended_master_secret", "renegotiation_info",
+        "supported_groups", "ec_point_formats", "session_ticket", "alpn",
+        "status_request", "delegated_credentials", "key_share",
+        "supported_versions", "signature_algorithms",
+        "psk_key_exchange_modes", "record_size_limit", "padding",
+        "pre_shared_key",
+    ),
+    groups=(c.GROUP_X25519, c.GROUP_SECP256R1, c.GROUP_SECP384R1,
+            c.GROUP_SECP521R1, c.GROUP_FFDHE2048, c.GROUP_FFDHE3072),
+    signature_algorithms=(
+        c.SIG_ECDSA_SECP256R1_SHA256, c.SIG_ECDSA_SECP384R1_SHA384,
+        c.SIG_ECDSA_SECP521R1_SHA512, c.SIG_RSA_PSS_RSAE_SHA256,
+        c.SIG_RSA_PSS_RSAE_SHA384, c.SIG_RSA_PSS_RSAE_SHA512,
+        c.SIG_RSA_PKCS1_SHA256, c.SIG_RSA_PKCS1_SHA384,
+        c.SIG_RSA_PKCS1_SHA512, c.SIG_ECDSA_SHA1, c.SIG_RSA_PKCS1_SHA1,
+    ),
+    alpn=("h2", "http/1.1"),
+    key_share_groups=(c.GROUP_X25519, c.GROUP_SECP256R1),
+    ec_point_formats=(0, 1, 2),
+    record_size_limit=16385,
+    delegated_credentials=(
+        c.SIG_ECDSA_SECP256R1_SHA256, c.SIG_ECDSA_SECP384R1_SHA384,
+        c.SIG_ECDSA_SECP521R1_SHA512, c.SIG_ECDSA_SHA1,
+    ),
+    grease=False,
+    padding_target=512,
+    resumption_probability=0.25,
+)
+
+_APPLE_SUITES = (
+    c.TLS_AES_128_GCM_SHA256, c.TLS_AES_256_GCM_SHA384,
+    c.TLS_CHACHA20_POLY1305_SHA256,
+    c.ECDHE_ECDSA_AES256_GCM, c.ECDHE_ECDSA_AES128_GCM,
+    c.ECDHE_ECDSA_CHACHA20,
+    c.ECDHE_RSA_AES256_GCM, c.ECDHE_RSA_AES128_GCM,
+    c.ECDHE_RSA_CHACHA20,
+    c.ECDHE_ECDSA_AES256_CBC_SHA, c.ECDHE_ECDSA_AES128_CBC_SHA,
+    c.ECDHE_RSA_AES256_CBC_SHA, c.ECDHE_RSA_AES128_CBC_SHA,
+    c.RSA_AES256_GCM, c.RSA_AES128_GCM,
+    c.RSA_AES256_CBC_SHA, c.RSA_AES128_CBC_SHA,
+    c.RSA_3DES_EDE_CBC_SHA,
+)
+
+_SAFARI_TCP = ClientHelloSpec(
+    cipher_suites=_APPLE_SUITES,
+    extension_order=(
+        "grease_first", "server_name", "extended_master_secret",
+        "renegotiation_info", "supported_groups", "ec_point_formats",
+        "alpn", "status_request", "signature_algorithms", "sct",
+        "key_share", "psk_key_exchange_modes", "supported_versions",
+        "compress_certificate", "grease_last", "pre_shared_key",
+    ),
+    groups=(c.GROUP_X25519, c.GROUP_SECP256R1, c.GROUP_SECP384R1,
+            c.GROUP_SECP521R1),
+    signature_algorithms=(
+        c.SIG_ECDSA_SECP256R1_SHA256, c.SIG_RSA_PSS_RSAE_SHA256,
+        c.SIG_RSA_PKCS1_SHA256, c.SIG_ECDSA_SECP384R1_SHA384,
+        c.SIG_ECDSA_SHA1, c.SIG_RSA_PSS_RSAE_SHA384,
+        c.SIG_RSA_PKCS1_SHA384, c.SIG_RSA_PSS_RSAE_SHA512,
+        c.SIG_RSA_PKCS1_SHA512, c.SIG_RSA_PKCS1_SHA1,
+    ),
+    alpn=("h2", "http/1.1"),
+    supported_versions=(c.TLS_1_3, c.TLS_1_2, c.TLS_1_1, c.TLS_1_0),
+    key_share_groups=(c.GROUP_X25519,),
+    compress_certificate=(c.CERT_COMPRESSION_ZLIB,),
+    grease=True,
+    padding_target=None,  # Apple does not pad
+    resumption_probability=0.3,
+)
+
+# macOS Safari had already dropped the legacy TLS 1.1/1.0 offers iOS
+# still advertises.
+_SAFARI_TCP_MAC = replace(
+    _SAFARI_TCP,
+    supported_versions=(c.TLS_1_3, c.TLS_1_2),
+)
+
+# iOS Chrome is WebKit-mandated: Apple stack with Chrome-shell tweaks.
+_IOS_CHROME_TCP = replace(
+    _SAFARI_TCP,
+    alpn=("h2", "http/1.1", "h3"),
+    compress_certificate=(c.CERT_COMPRESSION_ZLIB,
+                          c.CERT_COMPRESSION_BROTLI),
+    resumption_probability=0.25,
+)
+
+# Windows native apps ride Schannel: TLS 1.3 triple first, no GREASE,
+# empty session id, three EC point formats, no padding/ALPS/SCT.
+_SCHANNEL_TCP = ClientHelloSpec(
+    cipher_suites=(
+        c.TLS_AES_256_GCM_SHA384, c.TLS_AES_128_GCM_SHA256,
+        c.TLS_CHACHA20_POLY1305_SHA256,
+        c.ECDHE_ECDSA_AES256_GCM, c.ECDHE_ECDSA_AES128_GCM,
+        c.ECDHE_RSA_AES256_GCM, c.ECDHE_RSA_AES128_GCM,
+        c.RSA_AES256_GCM, c.RSA_AES128_GCM,
+        c.RSA_AES256_CBC_SHA, c.RSA_AES128_CBC_SHA,
+    ),
+    extension_order=(
+        "server_name", "status_request", "supported_groups",
+        "ec_point_formats", "signature_algorithms", "session_ticket",
+        "alpn", "extended_master_secret", "supported_versions",
+        "psk_key_exchange_modes", "key_share", "renegotiation_info",
+    ),
+    groups=(c.GROUP_SECP256R1, c.GROUP_SECP384R1, c.GROUP_X25519),
+    signature_algorithms=(
+        c.SIG_ECDSA_SECP256R1_SHA256, c.SIG_ECDSA_SECP384R1_SHA384,
+        c.SIG_RSA_PSS_RSAE_SHA256, c.SIG_RSA_PSS_RSAE_SHA384,
+        c.SIG_RSA_PSS_RSAE_SHA512, c.SIG_RSA_PKCS1_SHA256,
+        c.SIG_RSA_PKCS1_SHA384, c.SIG_RSA_PKCS1_SHA512,
+        c.SIG_RSA_PKCS1_SHA1,
+    ),
+    alpn=("h2", "http/1.1"),
+    key_share_groups=(c.GROUP_SECP256R1, c.GROUP_X25519),
+    ec_point_formats=(0, 1, 2),
+    session_id_length=0,
+    grease=False,
+    padding_target=None,
+    resumption_probability=0.35,
+)
+
+# Android OkHttp/BoringSSL app stack: lean extension set, no GREASE.
+_OKHTTP_TCP = ClientHelloSpec(
+    cipher_suites=(
+        c.TLS_AES_128_GCM_SHA256, c.TLS_AES_256_GCM_SHA384,
+        c.TLS_CHACHA20_POLY1305_SHA256,
+        c.ECDHE_ECDSA_AES128_GCM, c.ECDHE_RSA_AES128_GCM,
+        c.ECDHE_ECDSA_AES256_GCM, c.ECDHE_RSA_AES256_GCM,
+        c.ECDHE_ECDSA_CHACHA20, c.ECDHE_RSA_CHACHA20,
+    ),
+    extension_order=(
+        "server_name", "extended_master_secret", "renegotiation_info",
+        "supported_groups", "ec_point_formats", "alpn",
+        "signature_algorithms", "key_share", "psk_key_exchange_modes",
+        "supported_versions", "session_ticket", "pre_shared_key",
+    ),
+    groups=(c.GROUP_X25519, c.GROUP_SECP256R1, c.GROUP_SECP384R1),
+    signature_algorithms=(
+        c.SIG_ECDSA_SECP256R1_SHA256, c.SIG_RSA_PSS_RSAE_SHA256,
+        c.SIG_RSA_PKCS1_SHA256, c.SIG_ECDSA_SECP384R1_SHA384,
+        c.SIG_RSA_PSS_RSAE_SHA384, c.SIG_RSA_PKCS1_SHA384,
+        c.SIG_RSA_PSS_RSAE_SHA512, c.SIG_RSA_PKCS1_SHA512,
+    ),
+    alpn=("h2",),
+    key_share_groups=(c.GROUP_X25519,),
+    grease=False,
+    padding_target=None,
+    resumption_probability=0.4,
+)
+
+# Cronet (Chromium stack in Google mobile apps): Chromium TLS without
+# browser-only extensions, fixed order; app builds pin certificates so
+# OCSP status_request is omitted.
+_CRONET_TCP = replace(
+    _CHROME_TCP,
+    extension_order=tuple(t for t in _CHROMIUM_ORDER_TCP
+                          if t not in ("application_settings",
+                                       "status_request")),
+    application_settings=(),
+    groups=(c.GROUP_X25519, c.GROUP_SECP256R1, c.GROUP_SECP384R1),
+    alpn=("h2", "http/1.1"),
+    randomized_extension_order=False,
+    padding_target=512,
+    resumption_probability=0.4,
+)
+
+# Samsung Internet: Chromium fork one major version behind.
+_SAMSUNG_TCP = replace(
+    _CRONET_TCP,
+    padding_target=517,
+    resumption_probability=0.25,
+)
+
+# PlayStation 5 WebMAF runtime: TLS 1.2-era hello.
+_PS5_TCP = ClientHelloSpec(
+    cipher_suites=(
+        c.ECDHE_ECDSA_AES128_GCM, c.ECDHE_RSA_AES128_GCM,
+        c.ECDHE_ECDSA_AES256_GCM, c.ECDHE_RSA_AES256_GCM,
+        c.ECDHE_ECDSA_AES128_CBC_SHA, c.ECDHE_RSA_AES128_CBC_SHA,
+        c.ECDHE_ECDSA_AES256_CBC_SHA, c.ECDHE_RSA_AES256_CBC_SHA,
+        c.RSA_AES128_GCM, c.RSA_AES256_GCM,
+        c.RSA_AES128_CBC_SHA, c.RSA_AES256_CBC_SHA,
+        c.RSA_3DES_EDE_CBC_SHA,
+    ),
+    extension_order=(
+        "server_name", "supported_groups", "ec_point_formats",
+        "signature_algorithms", "alpn", "extended_master_secret",
+        "session_ticket", "renegotiation_info",
+    ),
+    groups=(c.GROUP_SECP256R1, c.GROUP_SECP384R1, c.GROUP_SECP521R1,
+            c.GROUP_X25519),
+    signature_algorithms=(
+        c.SIG_RSA_PKCS1_SHA256, c.SIG_ECDSA_SECP256R1_SHA256,
+        c.SIG_RSA_PKCS1_SHA384, c.SIG_ECDSA_SECP384R1_SHA384,
+        c.SIG_RSA_PKCS1_SHA512, c.SIG_RSA_PKCS1_SHA1, c.SIG_ECDSA_SHA1,
+    ),
+    alpn=("http/1.1",),
+    supported_versions=(),
+    key_share_groups=(),
+    psk_modes=(),
+    session_id_length=32,
+    grease=False,
+    padding_target=None,
+    resumption_probability=0.3,
+)
+
+# Per-provider app variants.
+_NF_APP = replace(_OKHTTP_TCP, alpn=("h2",), resumption_probability=0.45)
+_DN_APP = replace(_OKHTTP_TCP, alpn=("h2", "http/1.1"),
+                  resumption_probability=0.35)
+_AP_APP = replace(
+    _OKHTTP_TCP,
+    alpn=("h2", "http/1.1"),
+    signature_algorithms=_OKHTTP_TCP.signature_algorithms
+    + (c.SIG_RSA_PKCS1_SHA1,),
+    resumption_probability=0.3,
+)
+
+_CRONET_TV_YOUTUBE = replace(
+    _CRONET_TCP,
+    extension_order=tuple(t for t in _CRONET_TCP.extension_order
+                          if t != "sct"),
+    resumption_probability=0.3,
+)
+
+
+def _ios_app(app_spec: ClientHelloSpec) -> ClientHelloSpec:
+    """iOS subscription apps: Apple NSURLSession stack with app ALPN."""
+    return replace(
+        _SAFARI_TCP, alpn=app_spec.alpn,
+        compress_certificate=(),
+        extension_order=tuple(
+            t for t in _SAFARI_TCP.extension_order
+            if t not in ("sct", "compress_certificate")),
+        resumption_probability=0.45)
+
+
+_SCHANNEL_NF = replace(_SCHANNEL_TCP, resumption_probability=0.4)
+_SCHANNEL_DN = replace(_SCHANNEL_TCP, alpn=("h2",),
+                       resumption_probability=0.3)
+_SCHANNEL_AP = replace(_SCHANNEL_TCP,
+                       groups=(c.GROUP_X25519, c.GROUP_SECP256R1,
+                               c.GROUP_SECP384R1),
+                       resumption_probability=0.35)
+
+# macOS Amazon Prime app: Electron bundle (fixed-order Chromium).
+_ELECTRON_AP_MAC = replace(_CRONET_TCP, alpn=("h2", "http/1.1"),
+                           padding_target=508,
+                           resumption_probability=0.2)
+
+_WEBOS_TLS = replace(
+    _OKHTTP_TCP,
+    cipher_suites=_OKHTTP_TCP.cipher_suites
+    + (c.ECDHE_RSA_AES128_CBC_SHA, c.RSA_AES128_CBC_SHA),
+    alpn=("http/1.1",),
+    supported_versions=(c.TLS_1_2,),
+    resumption_probability=0.1,
+)
+
+# --- QUIC specs -------------------------------------------------------------
+
+_UA_CHROME_WIN = "Chrome/119.0.6045.{build} Windows NT 10.0; Win64; x64"
+_UA_CHROME_MAC = "Chrome/119.0.6045.{build} Intel Mac OS X 14_1_1"
+_UA_CHROME_LINUX = "Chrome/119.0.6045.{build} X11; Linux x86_64"
+_UA_EDGE_WIN = "Edg/119.0.2151.{build} Windows NT 10.0; Win64; x64"
+_UA_EDGE_MAC = "Edg/119.0.2151.{build} Intel Mac OS X 14_1_1"
+_UA_CHROME_ANDROID = "Chrome/119.0.6045.{build} Linux; Android 14; Pixel 7"
+_UA_YT_ANDROID = ("com.google.android.youtube/18.45.{build} (Linux; U; "
+                  "Android 14; en_AU) Cronet/119.0.6045.31")
+_UA_YT_IOS = ("com.google.ios.youtube/18.45.{build} (iPhone15,2; U; CPU iOS "
+              "17_1_1 like Mac OS X) Cronet/119.0.6045.31")
+
+
+def _chromium_quic_spec(user_agent: str, datagram_size: int = 1250,
+                        scid_length: int = 0,
+                        with_initial_rtt: bool = False,
+                        max_udp_payload: int = 1472,
+                        streams_uni: int = 103) -> QuicSpec:
+    params = [
+        QuicParamSpec("initial_max_streams_uni", "varint", streams_uni),
+        QuicParamSpec("max_idle_timeout", "varint", 30000),
+        QuicParamSpec("google_connection_options", "bytes", b"RVCM"),
+        QuicParamSpec("initial_max_stream_data_bidi_local", "varint",
+                      6291456),
+        QuicParamSpec("user_agent", "utf8", user_agent),
+        QuicParamSpec("initial_max_stream_data_uni", "varint", 6291456),
+        QuicParamSpec("initial_max_data", "varint", 15728640),
+        QuicParamSpec("initial_max_stream_data_bidi_remote", "varint",
+                      6291456),
+        QuicParamSpec("max_udp_payload_size", "varint", max_udp_payload),
+        QuicParamSpec("max_datagram_frame_size", "varint", 65536),
+        QuicParamSpec("initial_source_connection_id", "cid"),
+        QuicParamSpec("initial_max_streams_bidi", "varint", 100),
+        QuicParamSpec("google_version", "utf8", "T072"),
+        QuicParamSpec("_grease", "grease"),
+        QuicParamSpec("version_information", "bytes",
+                      bytes.fromhex("00000001") + bytes.fromhex("00000001")
+                      + bytes.fromhex("8a8a8a8a")),
+    ]
+    if with_initial_rtt:
+        params.insert(3, QuicParamSpec("initial_rtt", "varint", 100000))
+        params.append(QuicParamSpec("disable_active_migration", "flag"))
+    return QuicSpec(params=tuple(params), dcid_length=8,
+                    scid_length=scid_length, datagram_size=datagram_size)
+
+
+_FIREFOX_QUIC = QuicSpec(
+    params=(
+        QuicParamSpec("initial_source_connection_id", "cid"),
+        QuicParamSpec("initial_max_stream_data_bidi_remote", "varint",
+                      12582912),
+        QuicParamSpec("grease_quic_bit", "flag"),
+        QuicParamSpec("initial_max_streams_uni", "varint", 16),
+        QuicParamSpec("max_idle_timeout", "varint", 120000),
+        QuicParamSpec("initial_max_data", "varint", 25165824),
+        QuicParamSpec("initial_max_stream_data_uni", "varint", 12582912),
+        QuicParamSpec("ack_delay_exponent", "varint", 3),
+        QuicParamSpec("initial_max_streams_bidi", "varint", 16),
+        QuicParamSpec("active_connection_id_limit", "varint", 8),
+        QuicParamSpec("max_udp_payload_size", "varint", 1452),
+        QuicParamSpec("version_information", "bytes",
+                      bytes.fromhex("00000001") + bytes.fromhex("00000001")),
+        QuicParamSpec("max_datagram_frame_size", "varint", 65535),
+    ),
+    dcid_length=8, scid_length=3, datagram_size=1357,
+)
+
+# Apple Network.framework: macOS and iOS builds differ in flow-control
+# and path-MTU defaults.
+_APPLE_QUIC_MAC = QuicSpec(
+    params=(
+        QuicParamSpec("initial_max_stream_data_bidi_local", "varint",
+                      2097152),
+        QuicParamSpec("initial_max_stream_data_bidi_remote", "varint",
+                      2097152),
+        QuicParamSpec("initial_max_stream_data_uni", "varint", 2097152),
+        QuicParamSpec("initial_max_data", "varint", 4194304),
+        QuicParamSpec("initial_max_streams_bidi", "varint", 100),
+        QuicParamSpec("initial_max_streams_uni", "varint", 100),
+        QuicParamSpec("max_idle_timeout", "varint", 96000),
+        QuicParamSpec("max_udp_payload_size", "varint", 1452),
+        QuicParamSpec("initial_source_connection_id", "cid"),
+        QuicParamSpec("active_connection_id_limit", "varint", 8),
+        QuicParamSpec("max_ack_delay", "varint", 25),
+    ),
+    dcid_length=8, scid_length=8, datagram_size=1280,
+)
+
+_APPLE_QUIC_IOS = QuicSpec(
+    params=(
+        QuicParamSpec("initial_max_stream_data_bidi_local", "varint",
+                      1048576),
+        QuicParamSpec("initial_max_stream_data_bidi_remote", "varint",
+                      1048576),
+        QuicParamSpec("initial_max_stream_data_uni", "varint", 1048576),
+        QuicParamSpec("initial_max_data", "varint", 2097152),
+        QuicParamSpec("initial_max_streams_bidi", "varint", 100),
+        QuicParamSpec("initial_max_streams_uni", "varint", 100),
+        QuicParamSpec("max_idle_timeout", "varint", 30000),
+        QuicParamSpec("max_udp_payload_size", "varint", 1350),
+        QuicParamSpec("initial_source_connection_id", "cid"),
+        QuicParamSpec("active_connection_id_limit", "varint", 8),
+        QuicParamSpec("max_ack_delay", "varint", 25),
+    ),
+    dcid_length=8, scid_length=4, datagram_size=1350,
+)
+
+
+# QUIC hellos: family specs minus TCP-only extensions, plus the
+# quic_transport_parameters extension; ALPN becomes h3.
+def _quicify(spec: ClientHelloSpec,
+             order: tuple[str, ...] | None = None) -> ClientHelloSpec:
+    drop = {"ec_point_formats", "session_ticket", "record_size_limit",
+            "encrypt_then_mac"}
+    if order is None:
+        out = [t for t in spec.extension_order if t not in drop]
+        if "quic_transport_parameters" not in out:
+            tail = {"grease_last", "padding", "pre_shared_key"}
+            insert_at = len(out)
+            while insert_at > 0 and out[insert_at - 1] in tail:
+                insert_at -= 1
+            out.insert(insert_at, "quic_transport_parameters")
+        order = tuple(out)
+    return replace(
+        spec,
+        extension_order=order,
+        alpn=("h3",),
+        record_size_limit=None,
+        resumption_probability=min(spec.resumption_probability, 0.1),
+    )
+
+
+# iOS Chrome pads its h3 hellos (Chromium habit) even though the TLS
+# stack underneath is WebKit's.
+_IOS_CHROME_QUIC_HELLO = replace(
+    _quicify(_IOS_CHROME_TCP),
+    extension_order=_quicify(_IOS_CHROME_TCP).extension_order
+    + ("padding",),
+    padding_target=480,
+)
+
+_HELLO_SPECS: dict[str, ClientHelloSpec] = {
+    "chrome_tcp": _CHROME_TCP,
+    "chrome_tcp_mac": _CHROME_TCP_MAC,
+    "chrome_tcp_android": _CHROME_TCP_ANDROID,
+    "edge_tcp": _EDGE_TCP,
+    "edge_tcp_mac": _EDGE_TCP_MAC,
+    "firefox_tcp": _FIREFOX_TCP,
+    "safari_tcp": _SAFARI_TCP,
+    "safari_tcp_mac": _SAFARI_TCP_MAC,
+    "ios_chrome_tcp": _IOS_CHROME_TCP,
+    "schannel_tcp": _SCHANNEL_TCP,
+    "okhttp_tcp": _OKHTTP_TCP,
+    "cronet_tcp": _CRONET_TCP,
+    "samsung_tcp": _SAMSUNG_TCP,
+    "ps5_tcp": _PS5_TCP,
+    "netflix_app": _NF_APP,
+    "disney_app": _DN_APP,
+    "amazon_app": _AP_APP,
+    "cronet_tv_youtube": _CRONET_TV_YOUTUBE,
+    "ios_app_netflix": _ios_app(_NF_APP),
+    "ios_app_disney": _ios_app(_DN_APP),
+    "ios_app_amazon": _ios_app(_AP_APP),
+    "schannel_netflix": _SCHANNEL_NF,
+    "schannel_disney": _SCHANNEL_DN,
+    "schannel_amazon": _SCHANNEL_AP,
+    "electron_amazon_mac": _ELECTRON_AP_MAC,
+    "webos_tls": _WEBOS_TLS,
+    "chrome_quic": _quicify(_CHROME_TCP),
+    "chrome_quic_mac": _quicify(_CHROME_TCP_MAC),
+    "chrome_quic_android": _quicify(_CHROME_TCP_ANDROID),
+    "edge_quic": _quicify(_EDGE_TCP),
+    "edge_quic_mac": _quicify(_EDGE_TCP_MAC),
+    "firefox_quic_hello": _quicify(_FIREFOX_TCP),
+    "safari_quic": _quicify(_SAFARI_TCP),
+    "safari_quic_mac": _quicify(_SAFARI_TCP_MAC),
+    "ios_chrome_quic": _IOS_CHROME_QUIC_HELLO,
+    "cronet_quic": _quicify(_CRONET_TCP),
+}
+
+_QUIC_SPECS: dict[str, QuicSpec] = {
+    "chromium_windows_chrome": _chromium_quic_spec(_UA_CHROME_WIN),
+    "chromium_windows_edge": _chromium_quic_spec(_UA_EDGE_WIN),
+    "chromium_macos_chrome": _chromium_quic_spec(_UA_CHROME_MAC),
+    "chromium_macos_edge": _chromium_quic_spec(_UA_EDGE_MAC),
+    "chromium_android_chrome": _chromium_quic_spec(_UA_CHROME_ANDROID,
+                                                   datagram_size=1350),
+    "chromium_linux_chrome": _chromium_quic_spec(_UA_CHROME_LINUX),
+    "cronet_youtube_android": _chromium_quic_spec(
+        _UA_YT_ANDROID, datagram_size=1350, with_initial_rtt=True),
+    "cronet_youtube_ios": _chromium_quic_spec(
+        _UA_YT_IOS, datagram_size=1252, with_initial_rtt=True,
+        max_udp_payload=1452, streams_uni=100),
+    "firefox_quic": _FIREFOX_QUIC,
+    "apple_quic_mac": _APPLE_QUIC_MAC,
+    "apple_quic_ios": _APPLE_QUIC_IOS,
+}
+
+# ---------------------------------------------------------------------------
+# Profile reference entries
+# ---------------------------------------------------------------------------
+
+
+def _entry(platform: str, provider: str, tcp_stack: str, tls_tcp: str,
+           tls_quic: str | None = None, quic: str | None = None,
+           lookalikes: tuple[tuple[str, float], ...] = ()) -> dict:
+    return {
+        "platform": platform, "provider": provider,
+        "tcp_stack": tcp_stack, "tls_tcp": tls_tcp, "tls_quic": tls_quic,
+        "quic": quic,
+        "lookalikes": [[label, p] for label, p in lookalikes],
+        "tls_library": None,
+    }
+
+
+def _browser(platform: str, tcp_stack: str, tls_tcp: str,
+             tls_quic: str | None = None, quic: str | None = None,
+             lookalikes: tuple[tuple[str, float], ...] = ()) -> dict:
+    return _entry(platform, "*", tcp_stack, tls_tcp, tls_quic, quic,
+                  lookalikes)
+
+
+_PROFILES: list[dict] = [
+    _browser("windows_chrome", "windows", "chrome_tcp", "chrome_quic",
+             "chromium_windows_chrome"),
+    _browser("windows_edge", "windows", "edge_tcp", "edge_quic",
+             "chromium_windows_edge"),
+    _browser("windows_firefox", "windows", "firefox_tcp",
+             "firefox_quic_hello", "firefox_quic"),
+    _browser("macOS_safari", "macOS", "safari_tcp_mac", "safari_quic_mac",
+             "apple_quic_mac", lookalikes=(("macOS_edge", 0.04),)),
+    _browser("macOS_chrome", "macOS", "chrome_tcp_mac", "chrome_quic_mac",
+             "chromium_macos_chrome",
+             lookalikes=(("macOS_edge", 0.05), ("iOS_safari", 0.04))),
+    _browser("macOS_edge", "macOS", "edge_tcp_mac", "edge_quic_mac",
+             "chromium_macos_edge",
+             lookalikes=(("macOS_chrome", 0.05),)),
+    _browser("macOS_firefox", "macOS", "firefox_tcp",
+             "firefox_quic_hello", "firefox_quic",
+             lookalikes=(("macOS_safari", 0.04),)),
+    _browser("android_chrome", "android", "chrome_tcp_android",
+             "chrome_quic_android", "chromium_android_chrome"),
+    _browser("android_samsungInternet", "android", "samsung_tcp"),
+    _browser("iOS_safari", "iOS", "safari_tcp", "safari_quic",
+             "apple_quic_ios",
+             lookalikes=(("iOS_nativeApp", 0.05), ("macOS_safari", 0.04))),
+    _browser("iOS_chrome", "iOS", "ios_chrome_tcp", "ios_chrome_quic",
+             "apple_quic_ios",
+             lookalikes=(("iOS_nativeApp", 0.04),)),
+    # YouTube mobile apps: Cronet (QUIC-capable).
+    _entry("android_nativeApp", "youtube", "android", "cronet_tcp",
+           "cronet_quic", "cronet_youtube_android"),
+    _entry("iOS_nativeApp", "youtube", "iOS", "cronet_tcp",
+           "cronet_quic", "cronet_youtube_ios",
+           lookalikes=(("android_nativeApp", 0.05), ("iOS_safari", 0.03),
+                       ("iOS_chrome", 0.02))),
+    # Subscription-provider mobile/TV/console apps.
+    _entry("android_nativeApp", "netflix", "android", "netflix_app"),
+    _entry("androidTV_nativeApp", "netflix", "androidTV", "netflix_app"),
+    _entry("iOS_nativeApp", "netflix", "iOS", "ios_app_netflix"),
+    _entry("ps5_nativeApp", "netflix", "ps5", "ps5_tcp"),
+    _entry("android_nativeApp", "disney", "android", "disney_app"),
+    _entry("androidTV_nativeApp", "disney", "androidTV", "disney_app"),
+    _entry("iOS_nativeApp", "disney", "iOS", "ios_app_disney"),
+    _entry("ps5_nativeApp", "disney", "ps5", "ps5_tcp"),
+    _entry("android_nativeApp", "amazon", "android", "amazon_app"),
+    _entry("androidTV_nativeApp", "amazon", "androidTV", "amazon_app"),
+    _entry("iOS_nativeApp", "amazon", "iOS", "ios_app_amazon"),
+    _entry("ps5_nativeApp", "amazon", "ps5", "ps5_tcp"),
+    # YouTube TV-device apps ride TCP in the capture window.
+    _entry("androidTV_nativeApp", "youtube", "androidTV",
+           "cronet_tv_youtube"),
+    _entry("ps5_nativeApp", "youtube", "ps5", "ps5_tcp"),
+    # Windows native apps are Schannel UWP builds.
+    _entry("windows_nativeApp", "netflix", "windows", "schannel_netflix"),
+    _entry("windows_nativeApp", "disney", "windows", "schannel_disney"),
+    _entry("windows_nativeApp", "amazon", "windows", "schannel_amazon"),
+    # macOS Amazon Prime app: Electron bundle.
+    _entry("macOS_nativeApp", "amazon", "macOS", "electron_amazon_mac",
+           lookalikes=(("macOS_chrome", 0.04),)),
+]
+
+_UNKNOWN_PROFILES: list[dict] = [
+    _browser("linux_chrome", "linux", "chrome_tcp", "chrome_quic",
+             "chromium_linux_chrome"),
+    _browser("webOS_nativeApp", "webos", "webos_tls"),
+]
+
+# (platform, provider, flows) — the paper's Table 1 cells.
+_FLOW_COUNTS: list[list] = [
+    ["windows_chrome", "youtube", 411],
+    ["windows_chrome", "netflix", 202],
+    ["windows_chrome", "disney", 199],
+    ["windows_chrome", "amazon", 215],
+    ["windows_edge", "youtube", 406],
+    ["windows_edge", "netflix", 208],
+    ["windows_edge", "disney", 200],
+    ["windows_edge", "amazon", 200],
+    ["windows_firefox", "youtube", 466],
+    ["windows_firefox", "netflix", 207],
+    ["windows_firefox", "disney", 204],
+    ["windows_firefox", "amazon", 195],
+    ["windows_nativeApp", "netflix", 204],
+    ["windows_nativeApp", "disney", 211],
+    ["windows_nativeApp", "amazon", 186],
+    ["macOS_safari", "youtube", 200],
+    ["macOS_safari", "netflix", 204],
+    ["macOS_safari", "disney", 200],
+    ["macOS_safari", "amazon", 201],
+    ["macOS_chrome", "youtube", 407],
+    ["macOS_chrome", "netflix", 213],
+    ["macOS_chrome", "disney", 202],
+    ["macOS_chrome", "amazon", 208],
+    ["macOS_edge", "youtube", 402],
+    ["macOS_edge", "netflix", 204],
+    ["macOS_edge", "disney", 202],
+    ["macOS_edge", "amazon", 210],
+    ["macOS_firefox", "youtube", 467],
+    ["macOS_firefox", "netflix", 212],
+    ["macOS_firefox", "disney", 202],
+    ["macOS_firefox", "amazon", 199],
+    ["macOS_nativeApp", "amazon", 200],
+    ["android_chrome", "youtube", 107],
+    ["android_samsungInternet", "youtube", 103],
+    ["android_nativeApp", "youtube", 100],
+    ["android_nativeApp", "netflix", 102],
+    ["android_nativeApp", "disney", 106],
+    ["android_nativeApp", "amazon", 111],
+    ["iOS_safari", "youtube", 203],
+    ["iOS_chrome", "youtube", 213],
+    ["iOS_nativeApp", "youtube", 203],
+    ["iOS_nativeApp", "netflix", 215],
+    ["iOS_nativeApp", "disney", 306],
+    ["iOS_nativeApp", "amazon", 372],
+    ["androidTV_nativeApp", "youtube", 200],
+    ["androidTV_nativeApp", "netflix", 116],
+    ["androidTV_nativeApp", "disney", 107],
+    ["androidTV_nativeApp", "amazon", 113],
+    ["ps5_nativeApp", "youtube", 105],
+    ["ps5_nativeApp", "netflix", 100],
+    ["ps5_nativeApp", "disney", 100],
+    ["ps5_nativeApp", "amazon", 103],
+]
+
+# Platforms observed over QUIC for YouTube (Fig 12a) vs TCP (Fig 12b).
+_YOUTUBE_QUIC = sorted((
+    "windows_chrome", "windows_edge", "windows_firefox",
+    "macOS_safari", "macOS_chrome", "macOS_edge", "macOS_firefox",
+    "android_chrome", "android_nativeApp",
+    "iOS_safari", "iOS_chrome", "iOS_nativeApp",
+))
+
+_YOUTUBE_TCP = sorted((
+    "windows_chrome", "windows_edge", "windows_firefox",
+    "macOS_safari", "macOS_chrome", "macOS_edge", "macOS_firefox",
+    "android_chrome", "android_samsungInternet",
+    "iOS_safari", "iOS_chrome", "iOS_nativeApp",
+    "androidTV_nativeApp", "ps5_nativeApp",
+))
+
+# ---------------------------------------------------------------------------
+# TLS-library lineage (the stack-granularity axis of the second pack)
+# ---------------------------------------------------------------------------
+
+_TLS_LIBRARY_ENTRIES: list[tuple[str, str, str]] = [
+    ("windows_chrome", "*", "boringssl"),
+    ("windows_edge", "*", "boringssl"),
+    ("windows_firefox", "*", "nss"),
+    ("macOS_safari", "*", "securetransport"),
+    ("macOS_chrome", "*", "boringssl"),
+    ("macOS_edge", "*", "boringssl"),
+    ("macOS_firefox", "*", "nss"),
+    ("android_chrome", "*", "boringssl"),
+    ("android_samsungInternet", "*", "boringssl"),
+    ("iOS_safari", "*", "securetransport"),
+    ("iOS_chrome", "*", "securetransport"),
+    ("android_nativeApp", "youtube", "boringssl"),
+    ("android_nativeApp", "netflix", "boringssl"),
+    ("android_nativeApp", "disney", "boringssl"),
+    ("android_nativeApp", "amazon", "boringssl"),
+    ("androidTV_nativeApp", "youtube", "boringssl"),
+    ("androidTV_nativeApp", "netflix", "boringssl"),
+    ("androidTV_nativeApp", "disney", "boringssl"),
+    ("androidTV_nativeApp", "amazon", "boringssl"),
+    ("iOS_nativeApp", "youtube", "boringssl"),
+    ("iOS_nativeApp", "netflix", "securetransport"),
+    ("iOS_nativeApp", "disney", "securetransport"),
+    ("iOS_nativeApp", "amazon", "securetransport"),
+    ("windows_nativeApp", "netflix", "schannel"),
+    ("windows_nativeApp", "disney", "schannel"),
+    ("windows_nativeApp", "amazon", "schannel"),
+    ("ps5_nativeApp", "youtube", "openssl"),
+    ("ps5_nativeApp", "netflix", "openssl"),
+    ("ps5_nativeApp", "disney", "openssl"),
+    ("ps5_nativeApp", "amazon", "openssl"),
+    ("macOS_nativeApp", "amazon", "boringssl"),
+]
+
+# ---------------------------------------------------------------------------
+# Document assembly
+# ---------------------------------------------------------------------------
+
+
+def _document(name: str, version: str, description: str, payload: dict,
+              extends: str | None = None) -> dict:
+    return {
+        "format_version": PACK_FORMAT_VERSION,
+        "name": name,
+        "version": version,
+        "description": description,
+        "extends": extends,
+        "payload": payload,
+        "payload_sha256": payload_digest(payload),
+    }
+
+
+def builtin_pack_document() -> dict:
+    """The complete builtin pack, regenerated from this module's data."""
+    payload = {
+        "tcp_stacks": {name: tcp_stack_to_json(spec)
+                       for name, spec in _TCP_STACKS.items()},
+        "hello_specs": {name: hello_to_json(spec)
+                        for name, spec in _HELLO_SPECS.items()},
+        "quic_specs": {name: quic_to_json(spec)
+                       for name, spec in _QUIC_SPECS.items()},
+        "profiles": _PROFILES,
+        "unknown_profiles": _UNKNOWN_PROFILES,
+        "flow_counts": _FLOW_COUNTS,
+        "youtube_quic_platforms": _YOUTUBE_QUIC,
+        "youtube_tcp_platforms": _YOUTUBE_TCP,
+        "providers": {provider.value: provider_to_json(spec)
+                      for provider, spec in PROVIDER_SPECS.items()},
+    }
+    return _document(
+        BUILTIN_NAME, "2023q3",
+        "Table 1 platform fingerprints as of the paper's mid/late-2023 "
+        "capture window (Chrome/Firefox/Safari releases, Windows 11 "
+        "Schannel, Android OkHttp/Cronet, PlayStation WebMAF).",
+        payload)
+
+
+def tls_library_pack_document() -> dict:
+    """Overlay adding TLS-library lineage labels to every builtin
+    profile, opening the stack-granularity classification axis."""
+    payload = {
+        "profiles": [
+            {"platform": platform, "provider": provider,
+             "tls_library": lineage}
+            for platform, provider, lineage in _TLS_LIBRARY_ENTRIES
+        ],
+    }
+    return _document(
+        TLS_LIB_NAME, "2023q3",
+        "TLS implementation lineage labels (BoringSSL/NSS/SecureTransport"
+        "/Schannel/OpenSSL) layered over the builtin 2023q3 fingerprints.",
+        payload, extends=BUILTIN_NAME)
+
+
+def write_builtin_packs(directory: Path | str = DATA_DIR) -> list[Path]:
+    """Regenerate the committed pack files (deterministic bytes)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for document in (builtin_pack_document(), tls_library_pack_document()):
+        if document["format_version"] != PACK_FORMAT_VERSION:
+            raise AssertionError("pack document missing format stamp")
+        path = directory / f"{document['name']}.json"
+        path.write_text(json.dumps(document, sort_keys=True, indent=1)
+                        + "\n", encoding="utf-8")
+        written.append(path)
+    return written

@@ -1,0 +1,549 @@
+"""Pack loading: envelope verification, override/merge resolution, and
+materialization of a JSON pack document into a :class:`FingerprintPack`.
+
+This module is the only place in ``fingerprints/`` that may construct
+:class:`~repro.fingerprints.specs.PlatformProfile` (enforced by replint
+rule RPL011): profiles exist as data in pack files and as loaded objects
+here — never as literals scattered through code.
+
+Override/merge semantics (tlsLibHunter-style platform override): a pack
+whose ``extends`` names a base pack is an *overlay*. Spec sections
+(``tcp_stacks``/``hello_specs``/``quic_specs``/``providers``) merge per
+name; profile entries merge per (platform, provider) with field-level
+override, so an overlay can relabel or retune one platform without
+restating the rest; list sections (``flow_counts``, the YouTube
+transport tables) replace wholesale when present. A pack's identity
+digest is the SHA-256 of its *effective* (post-merge) payload, so two
+banks agree on a pack digest iff they saw identical fingerprint data.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.fingerprints.model import (
+    DeviceType,
+    Provider,
+    Transport,
+    UserPlatform,
+)
+from repro.fingerprints.providers import ProviderSpec
+from repro.fingerprints.specs import (
+    ClientHelloSpec,
+    PlatformProfile,
+    QuicSpec,
+    TcpStackSpec,
+)
+from repro.fingerprints.packs import schema
+from repro.fingerprints.packs.schema import (
+    PACK_FORMAT_VERSION,
+    PAYLOAD_KEYS,
+    PROFILE_FIELDS,
+    TLS_LIBRARIES,
+    TOP_LEVEL_KEYS,
+    payload_digest,
+)
+
+# Committed packs ship inside the package.
+DATA_DIR = Path(__file__).parent / "data"
+
+_WILDCARD = "*"
+
+
+class FingerprintPack:
+    """A loaded, validated fingerprint pack.
+
+    Construct via :func:`load_pack` / :func:`materialize_pack`; the
+    attributes hold fully materialized spec dataclasses, so profile
+    objects compare equal to ones built from identical literals and the
+    seeded generators draw identical streams from them.
+    """
+
+    def __init__(self, *, name: str, version: str, description: str,
+                 digest: str, source: str,
+                 tcp_stacks: dict[str, TcpStackSpec],
+                 hello_specs: dict[str, ClientHelloSpec],
+                 quic_specs: dict[str, QuicSpec],
+                 profiles: dict[tuple[str, str], PlatformProfile],
+                 tls_libraries: dict[tuple[str, str], str],
+                 unknown_profiles: dict[str, PlatformProfile],
+                 flow_counts: dict[tuple[UserPlatform, Provider], int],
+                 youtube_quic_platforms: tuple[UserPlatform, ...],
+                 youtube_tcp_platforms: tuple[UserPlatform, ...],
+                 provider_specs: dict[Provider, ProviderSpec]):
+        self.name = name
+        self.version = version
+        self.description = description
+        self.digest = digest
+        self.source = source
+        self.tcp_stacks = tcp_stacks
+        self.hello_specs = hello_specs
+        self.quic_specs = quic_specs
+        self._profiles = profiles
+        self._tls_libraries = tls_libraries
+        self._unknown = unknown_profiles
+        self.flow_counts = flow_counts
+        self.youtube_quic_platforms = youtube_quic_platforms
+        self.youtube_tcp_platforms = youtube_tcp_platforms
+        self.provider_specs = provider_specs
+
+    # --- identity ---------------------------------------------------------
+
+    def info(self) -> dict[str, str]:
+        """The (name, version, digest) triple stamped into banks,
+        checkpoints and the ``repro_pack_info`` gauge."""
+        return {"name": self.name, "version": self.version,
+                "digest": self.digest}
+
+    # --- profile lookup ---------------------------------------------------
+
+    @property
+    def os_stacks(self) -> dict[DeviceType, TcpStackSpec]:
+        """TCP stacks for names that are Table 1 device types."""
+        out: dict[DeviceType, TcpStackSpec] = {}
+        for name, spec in self.tcp_stacks.items():
+            try:
+                out[DeviceType(name)] = spec
+            except ValueError:
+                continue
+        return out
+
+    def get_profile(self, platform: UserPlatform,
+                    provider: Provider) -> PlatformProfile:
+        """Profile for a platform when streaming from ``provider``."""
+        exact = (platform.label, provider.value)
+        if exact in self._profiles:
+            return self._profiles[exact]
+        star = (platform.label, _WILDCARD)
+        if star in self._profiles:
+            return self._profiles[star]
+        raise ConfigError(
+            f"pack {self.name}: no profile for {platform.label} when "
+            f"streaming from {provider.value}")
+
+    def tls_library(self, platform: UserPlatform,
+                    provider: Provider) -> str | None:
+        """TLS-library lineage label for a platform, if the pack carries
+        the stack-granularity axis."""
+        return (self._tls_libraries.get((platform.label, provider.value))
+                or self._tls_libraries.get((platform.label, _WILDCARD)))
+
+    def has_tls_library_axis(self) -> bool:
+        return bool(self._tls_libraries)
+
+    @property
+    def unknown_platform_labels(self) -> tuple[str, ...]:
+        return tuple(self._unknown)
+
+    def get_unknown_profile(self, label: str,
+                            provider: Provider) -> PlatformProfile:
+        if label not in self._unknown:
+            raise ConfigError(
+                f"pack {self.name}: unknown unknown-platform label "
+                f"{label!r}")
+        return self._unknown[label]
+
+    # --- support matrix ---------------------------------------------------
+
+    def supported_platforms(self, provider: Provider
+                            ) -> tuple[UserPlatform, ...]:
+        return tuple(sorted(
+            {platform for (platform, prov) in self.flow_counts
+             if prov is provider},
+            key=lambda p: p.label,
+        ))
+
+    def transports_for(self, platform: UserPlatform,
+                       provider: Provider) -> tuple[Transport, ...]:
+        if provider is not Provider.YOUTUBE:
+            return (Transport.TCP,)
+        quic = platform in self.youtube_quic_platforms
+        tcp = platform in self.youtube_tcp_platforms
+        if quic and tcp:
+            return (Transport.TCP, Transport.QUIC)
+        if quic:
+            return (Transport.QUIC,)
+        return (Transport.TCP,)
+
+    def all_pairs(self) -> tuple[tuple[UserPlatform, Provider], ...]:
+        return tuple(self.flow_counts)
+
+    def assert_consistent(self) -> None:
+        """The builtin pack's extra invariant: every known platform has a
+        Table 1 cell (custom packs may legitimately cover fewer)."""
+        from repro.fingerprints.model import ALL_PLATFORMS
+        for platform in ALL_PLATFORMS:
+            if not any(p == platform for (p, _) in self.flow_counts):
+                raise ConfigError(
+                    f"pack {self.name}: {platform.label} not in the "
+                    "flow-count matrix")
+
+
+# --- envelope ----------------------------------------------------------------
+
+
+def read_pack_document(path: Path | str) -> dict:
+    """Parse one pack file and verify its envelope and payload digest.
+
+    Cross-references are *not* checked here — that happens after
+    override/merge resolution in :func:`materialize_pack`.
+    """
+    path = Path(path)
+    where = f"pack file {path}"
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigError(f"{where}: unreadable: {exc}") from exc
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{where}: malformed JSON: {exc}") from exc
+    verify_pack_document(document, where)
+    return document
+
+
+def verify_pack_document(document: object, where: str) -> None:
+    """Envelope checks shared by file and in-memory documents."""
+    if not isinstance(document, dict):
+        raise ConfigError(f"{where}: expected a JSON object at top level")
+    unknown = sorted(set(document) - TOP_LEVEL_KEYS)
+    if unknown:
+        raise ConfigError(f"{where}: unknown top-level keys {unknown}")
+    for key in ("format_version", "name", "version", "payload",
+                "payload_sha256"):
+        if key not in document:
+            raise ConfigError(f"{where}: missing top-level key {key!r}")
+    if document["format_version"] != PACK_FORMAT_VERSION:
+        raise ConfigError(
+            f"{where}: format version {document['format_version']!r} "
+            f"unsupported (expected {PACK_FORMAT_VERSION})")
+    if not isinstance(document["name"], str) or not document["name"]:
+        raise ConfigError(f"{where}: pack name must be a non-empty string")
+    extends = document.get("extends")
+    if extends is not None and not isinstance(extends, str):
+        raise ConfigError(f"{where}: extends must be null or a pack name")
+    payload = document["payload"]
+    if not isinstance(payload, dict):
+        raise ConfigError(f"{where}: payload must be a JSON object")
+    unknown = sorted(set(payload) - PAYLOAD_KEYS)
+    if unknown:
+        raise ConfigError(f"{where}: unknown payload sections {unknown}")
+    digest = payload_digest(payload)
+    if document["payload_sha256"] != digest:
+        raise ConfigError(
+            f"{where}: payload digest mismatch (stamped "
+            f"{document['payload_sha256']!r}, computed {digest!r})")
+
+
+# --- override/merge ----------------------------------------------------------
+
+
+def _entry_key(entry: dict) -> tuple[str, str]:
+    return (str(entry.get("platform")), str(entry.get("provider",
+                                                      _WILDCARD)))
+
+
+def merge_payload(base: dict, overlay: dict) -> dict:
+    """Apply an overlay payload on top of a base payload."""
+    merged = copy.deepcopy(base)
+    for section in ("tcp_stacks", "hello_specs", "quic_specs",
+                    "providers"):
+        if section in overlay:
+            merged.setdefault(section, {}).update(
+                copy.deepcopy(overlay[section]))
+    for section in ("profiles", "unknown_profiles"):
+        if section not in overlay:
+            continue
+        entries: dict[tuple[str, str], dict] = {}
+        for entry in merged.get(section, []):
+            entries[_entry_key(entry)] = dict(entry)
+        for entry in overlay[section]:
+            key = _entry_key(entry)
+            if key in entries:
+                entries[key].update(copy.deepcopy(entry))
+            else:
+                entries[key] = copy.deepcopy(entry)
+        merged[section] = list(entries.values())
+    for section in ("flow_counts", "youtube_quic_platforms",
+                    "youtube_tcp_platforms"):
+        if section in overlay:
+            merged[section] = copy.deepcopy(overlay[section])
+    return merged
+
+
+def _resolve_base(name: str, search_dirs: list[Path],
+                  where: str) -> Path:
+    for directory in search_dirs:
+        candidate = directory / f"{name}.json"
+        if candidate.is_file():
+            return candidate
+    raise ConfigError(
+        f"{where}: base pack {name!r} not found in "
+        f"{[str(d) for d in search_dirs]}")
+
+
+# --- materialization ---------------------------------------------------------
+
+
+def _platform(label: object, where: str) -> UserPlatform:
+    try:
+        return UserPlatform.from_label(str(label))
+    except ValueError as exc:
+        raise ConfigError(f"{where}: {exc}") from exc
+
+
+def _provider(value: object, where: str) -> Provider:
+    try:
+        return Provider(str(value))
+    except ValueError as exc:
+        raise ConfigError(
+            f"{where}: unknown provider {value!r}") from exc
+
+
+def _materialize_profile(entry: dict, where: str,
+                         tcp_stacks: dict[str, TcpStackSpec],
+                         hello_specs: dict[str, ClientHelloSpec],
+                         quic_specs: dict[str, QuicSpec]
+                         ) -> PlatformProfile:
+    def _ref(section: dict, field: str, required: bool) -> object:
+        name = entry.get(field)
+        if name is None:
+            if required:
+                raise ConfigError(
+                    f"{where}: missing required field {field!r}")
+            return None
+        if name not in section:
+            raise ConfigError(
+                f"{where}: {field} references unknown spec {name!r}")
+        return section[name]
+
+    tcp_stack = _ref(tcp_stacks, "tcp_stack", required=True)
+    tls_tcp = _ref(hello_specs, "tls_tcp", required=True)
+    tls_quic = _ref(hello_specs, "tls_quic", required=False)
+    quic = _ref(quic_specs, "quic", required=False)
+    if (tls_quic is None) != (quic is None):
+        raise ConfigError(
+            f"{where}: tls_quic and quic must be both set or both null")
+    raw_lookalikes = entry.get("lookalikes", [])
+    if not isinstance(raw_lookalikes, list):
+        raise ConfigError(f"{where}: lookalikes must be a list")
+    lookalikes = []
+    for i, pair in enumerate(raw_lookalikes):
+        if (not isinstance(pair, list) or len(pair) != 2
+                or not isinstance(pair[0], str)
+                or not isinstance(pair[1], (int, float))
+                or isinstance(pair[1], bool)
+                or not 0.0 <= pair[1] <= 1.0):
+            raise ConfigError(
+                f"{where}: lookalikes[{i}] must be "
+                "[platform_label, probability in [0, 1]]")
+        _platform(pair[0], f"{where}.lookalikes[{i}]")
+        lookalikes.append((pair[0], float(pair[1])))
+    return PlatformProfile(
+        tcp_stack=tcp_stack, tls_tcp=tls_tcp, tls_quic=tls_quic,
+        quic=quic, lookalikes=tuple(lookalikes),
+    )
+
+
+def materialize_pack(document: dict, source: str,
+                     payload: dict | None = None) -> FingerprintPack:
+    """Turn a verified (and merge-resolved) document into a pack.
+
+    ``payload`` overrides ``document["payload"]`` when the document is an
+    overlay whose effective payload was produced by :func:`merge_payload`.
+    All cross-references and semantic invariants are checked here; any
+    violation raises :class:`ConfigError` naming the pack and the
+    offending path.
+    """
+    if payload is None:
+        payload = document["payload"]
+    name = document["name"]
+    where = f"pack {name} ({source})"
+
+    tcp_stacks = {
+        key: schema.tcp_stack_from_json(value,
+                                        f"{where}: tcp_stacks[{key!r}]")
+        for key, value in dict(payload.get("tcp_stacks", {})).items()
+    }
+    hello_specs = {
+        key: schema.hello_from_json(value,
+                                    f"{where}: hello_specs[{key!r}]")
+        for key, value in dict(payload.get("hello_specs", {})).items()
+    }
+    quic_specs = {
+        key: schema.quic_from_json(value, f"{where}: quic_specs[{key!r}]")
+        for key, value in dict(payload.get("quic_specs", {})).items()
+    }
+    provider_specs = {}
+    for key, value in dict(payload.get("providers", {})).items():
+        spec = schema.provider_from_json(key, value,
+                                         f"{where}: providers[{key!r}]")
+        provider_specs[spec.provider] = spec
+
+    profiles: dict[tuple[str, str], PlatformProfile] = {}
+    tls_libraries: dict[tuple[str, str], str] = {}
+    raw_profiles = payload.get("profiles", [])
+    if not isinstance(raw_profiles, list):
+        raise ConfigError(f"{where}: profiles must be a list")
+    for i, entry in enumerate(raw_profiles):
+        entry_where = f"{where}: profiles[{i}]"
+        if not isinstance(entry, dict):
+            raise ConfigError(f"{entry_where}: expected a JSON object")
+        unknown = sorted(set(entry) - PROFILE_FIELDS)
+        if unknown:
+            raise ConfigError(f"{entry_where}: unknown fields {unknown}")
+        platform = _platform(entry.get("platform"), entry_where)
+        provider_key = str(entry.get("provider", _WILDCARD))
+        if provider_key != _WILDCARD:
+            _provider(provider_key, entry_where)
+        key = (platform.label, provider_key)
+        if key in profiles:
+            raise ConfigError(
+                f"{entry_where}: duplicate profile for {key}")
+        profiles[key] = _materialize_profile(
+            entry, entry_where, tcp_stacks, hello_specs, quic_specs)
+        lineage = entry.get("tls_library")
+        if lineage is not None:
+            if lineage not in TLS_LIBRARIES:
+                raise ConfigError(
+                    f"{entry_where}: unknown tls_library {lineage!r} "
+                    f"(known: {list(TLS_LIBRARIES)})")
+            tls_libraries[key] = lineage
+
+    unknown_profiles: dict[str, PlatformProfile] = {}
+    raw_unknown = payload.get("unknown_profiles", [])
+    if not isinstance(raw_unknown, list):
+        raise ConfigError(f"{where}: unknown_profiles must be a list")
+    for i, entry in enumerate(raw_unknown):
+        entry_where = f"{where}: unknown_profiles[{i}]"
+        if not isinstance(entry, dict):
+            raise ConfigError(f"{entry_where}: expected a JSON object")
+        unknown = sorted(set(entry) - PROFILE_FIELDS)
+        if unknown:
+            raise ConfigError(f"{entry_where}: unknown fields {unknown}")
+        label = entry.get("platform")
+        if not isinstance(label, str) or not label:
+            raise ConfigError(
+                f"{entry_where}: platform must be a non-empty label")
+        if label in unknown_profiles:
+            raise ConfigError(
+                f"{entry_where}: duplicate unknown profile {label!r}")
+        unknown_profiles[label] = _materialize_profile(
+            entry, entry_where, tcp_stacks, hello_specs, quic_specs)
+
+    flow_counts: dict[tuple[UserPlatform, Provider], int] = {}
+    raw_counts = payload.get("flow_counts", [])
+    if not isinstance(raw_counts, list):
+        raise ConfigError(f"{where}: flow_counts must be a list")
+    for i, row in enumerate(raw_counts):
+        row_where = f"{where}: flow_counts[{i}]"
+        if not isinstance(row, list) or len(row) != 3:
+            raise ConfigError(
+                f"{row_where}: expected [platform, provider, count]")
+        platform = _platform(row[0], row_where)
+        provider = _provider(row[1], row_where)
+        count = row[2]
+        if not isinstance(count, int) or isinstance(count, bool) \
+                or count <= 0:
+            raise ConfigError(
+                f"{row_where}: count must be a positive integer")
+        if (platform, provider) in flow_counts:
+            raise ConfigError(
+                f"{row_where}: duplicate cell "
+                f"({platform.label}, {provider.value})")
+        flow_counts[(platform, provider)] = count
+
+    def _platform_list(section: str) -> tuple[UserPlatform, ...]:
+        raw = payload.get(section, [])
+        if not isinstance(raw, list):
+            raise ConfigError(f"{where}: {section} must be a list")
+        return tuple(_platform(label, f"{where}: {section}[{i}]")
+                     for i, label in enumerate(raw))
+
+    youtube_quic = _platform_list("youtube_quic_platforms")
+    youtube_tcp = _platform_list("youtube_tcp_platforms")
+
+    pack = FingerprintPack(
+        name=name,
+        version=str(document.get("version", "")),
+        description=str(document.get("description", "")),
+        digest=payload_digest(payload),
+        source=source,
+        tcp_stacks=tcp_stacks,
+        hello_specs=hello_specs,
+        quic_specs=quic_specs,
+        profiles=profiles,
+        tls_libraries=tls_libraries,
+        unknown_profiles=unknown_profiles,
+        flow_counts=flow_counts,
+        youtube_quic_platforms=youtube_quic,
+        youtube_tcp_platforms=youtube_tcp,
+        provider_specs=provider_specs,
+    )
+
+    # Cross-section invariants: every flow-count cell resolves to a
+    # profile, and QUIC-marked platforms carry QUIC specs.
+    for (platform, provider) in flow_counts:
+        profile = pack.get_profile(platform, provider)
+        for transport in pack.transports_for(platform, provider):
+            if transport is Transport.QUIC and not profile.supports_quic():
+                raise ConfigError(
+                    f"{where}: {platform.label} marked QUIC for "
+                    f"{provider.value} but its profile has no QUIC spec")
+    for label, lists in (("youtube_quic_platforms", youtube_quic),
+                         ("youtube_tcp_platforms", youtube_tcp)):
+        for platform in lists:
+            if (platform, Provider.YOUTUBE) not in flow_counts:
+                raise ConfigError(
+                    f"{where}: {label} lists {platform.label} which has "
+                    "no YouTube flow-count cell")
+    return pack
+
+
+def resolve_payload(path: Path | str,
+                    search_dirs: list[Path] | None = None
+                    ) -> tuple[dict, dict]:
+    """Read a pack file and resolve its ``extends`` chain, returning
+    ``(document, effective_payload)`` without materializing specs —
+    the raw-JSON view ``packs diff`` compares."""
+    path = Path(path)
+    document = read_pack_document(path)
+    dirs = search_dirs if search_dirs is not None \
+        else [path.parent, DATA_DIR]
+    chain = [document]
+    seen = {document["name"]}
+    current = document
+    while current.get("extends"):
+        base_name = current["extends"]
+        if base_name in seen:
+            raise ConfigError(
+                f"pack file {path}: circular extends chain at "
+                f"{base_name!r}")
+        base_path = _resolve_base(base_name, dirs, f"pack file {path}")
+        current = read_pack_document(base_path)
+        if current["name"] != base_name:
+            raise ConfigError(
+                f"pack file {base_path}: names itself "
+                f"{current['name']!r} but was resolved as {base_name!r}")
+        seen.add(base_name)
+        chain.append(current)
+    payload = chain[-1]["payload"]
+    for overlay in reversed(chain[:-1]):
+        payload = merge_payload(payload, overlay["payload"])
+    return document, payload
+
+
+def load_pack(path: Path | str,
+              search_dirs: list[Path] | None = None) -> FingerprintPack:
+    """Load one pack file, resolving its ``extends`` chain.
+
+    Base packs are looked up by name (``<name>.json``) in
+    ``search_dirs``, defaulting to the pack's own directory followed by
+    the committed data directory.
+    """
+    path = Path(path)
+    document, payload = resolve_payload(path, search_dirs)
+    return materialize_pack(document, str(path), payload=payload)

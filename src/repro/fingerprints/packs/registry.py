@@ -1,0 +1,104 @@
+"""Pack registry and the process-wide active pack.
+
+The *active pack* is the fingerprint data every layer consults: the
+library shim resolves profiles through it, trafficgen synthesizes flows
+from it, banks and checkpoints stamp its identity, and ``load_bank``
+refuses banks trained against a different digest. It defaults to the
+committed builtin pack; the CLI's ``--pack``/``--pack-dir`` flags (and
+tests) swap it with :func:`set_active_pack` / :func:`activate_pack`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.fingerprints.packs.loader import (
+    DATA_DIR,
+    FingerprintPack,
+    load_pack,
+)
+
+BUILTIN_PACK_NAME = "builtin-2023q3"
+
+_builtin: FingerprintPack | None = None
+_active: FingerprintPack | None = None
+
+
+def builtin_data_dir() -> Path:
+    """Directory holding the committed packs."""
+    return DATA_DIR
+
+
+def builtin_pack() -> FingerprintPack:
+    """The committed builtin pack (loaded once, cached)."""
+    global _builtin
+    if _builtin is None:
+        _builtin = load_pack(DATA_DIR / f"{BUILTIN_PACK_NAME}.json")
+    return _builtin
+
+
+def active_pack() -> FingerprintPack:
+    """The pack the process is currently classifying/generating against."""
+    return _active if _active is not None else builtin_pack()
+
+
+def active_pack_info() -> dict[str, str]:
+    return active_pack().info()
+
+
+def set_active_pack(pack: FingerprintPack | None) -> FingerprintPack:
+    """Swap the active pack; ``None`` reverts to the builtin."""
+    global _active
+    _active = pack
+    return active_pack()
+
+
+def activate_pack(path: Path | str) -> FingerprintPack:
+    """Load a pack file and make it the active pack."""
+    return set_active_pack(load_pack(path))
+
+
+class PackRegistry:
+    """Packs discovered in a directory (plus the committed data dir).
+
+    Later directories win on name collisions, so a deployment can shadow
+    a committed pack with a patched copy by dropping a same-named file
+    into its own pack directory.
+    """
+
+    def __init__(self, directories: list[Path | str] | None = None,
+                 include_builtin: bool = True):
+        dirs: list[Path] = [Path(d) for d in (directories or [])]
+        if include_builtin:
+            dirs.insert(0, DATA_DIR)
+        self._dirs = dirs
+        self._paths: dict[str, Path] = {}
+        self._packs: dict[str, FingerprintPack] = {}
+        search = list(reversed(dirs))
+        for directory in dirs:
+            if not directory.is_dir():
+                raise ConfigError(
+                    f"pack directory {directory} does not exist")
+            for path in sorted(directory.glob("*.json")):
+                pack = load_pack(path, search_dirs=search)
+                self._paths[pack.name] = path
+                self._packs[pack.name] = pack
+
+    def names(self) -> list[str]:
+        return sorted(self._packs)
+
+    def packs(self) -> list[FingerprintPack]:
+        return [self._packs[name] for name in self.names()]
+
+    def path(self, name: str) -> Path:
+        self.get(name)
+        return self._paths[name]
+
+    def get(self, name: str) -> FingerprintPack:
+        if name not in self._packs:
+            raise ConfigError(
+                f"no pack named {name!r} in "
+                f"{[str(d) for d in self._dirs]} "
+                f"(available: {self.names()})")
+        return self._packs[name]

@@ -1,0 +1,420 @@
+"""Pack document schema: (de)serializers between the fingerprint spec
+dataclasses and their JSON form, plus strict field validation.
+
+A pack document is::
+
+    {"format_version": 1, "name": ..., "version": ..., "description": ...,
+     "extends": null | "<base pack name>",
+     "payload": {...}, "payload_sha256": "<hex>"}
+
+with the digest computed over the canonical JSON of ``payload`` — the
+same self-verification discipline as ``pipeline/checkpoint.py``. Every
+parser here is strict: unknown fields, wrong types, out-of-range TLS
+cipher/extension IDs, GREASE values in static suite lists, or GREASE
+bookends without GREASE enabled all raise :class:`ConfigError` carrying
+the pack-path context the caller threads through ``where``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.errors import ConfigError
+from repro.fingerprints.model import Provider, Transport
+from repro.fingerprints.providers import ProviderSpec
+from repro.fingerprints.specs import (
+    _QUIC_PARAM_IDS,
+    KNOWN_TOKENS,
+    ClientHelloSpec,
+    QuicParamSpec,
+    QuicSpec,
+    TcpStackSpec,
+)
+from repro.tls.grease import is_grease
+
+PACK_FORMAT_VERSION = 1
+
+# TLS implementation lineages a pack may label profiles with (the
+# stack-granularity axis: which TLS library produced the ClientHello).
+TLS_LIBRARIES = ("boringssl", "nss", "securetransport", "schannel",
+                 "openssl")
+
+TOP_LEVEL_KEYS = frozenset((
+    "format_version", "name", "version", "description", "extends",
+    "payload", "payload_sha256",
+))
+PAYLOAD_KEYS = frozenset((
+    "tcp_stacks", "hello_specs", "quic_specs", "profiles",
+    "unknown_profiles", "flow_counts", "youtube_quic_platforms",
+    "youtube_tcp_platforms", "providers",
+))
+
+_TCP_OPTION_TOKENS = frozenset((
+    "mss", "nop", "window_scale", "sack_permitted", "timestamps", "eol",
+))
+_QUIC_PARAM_KINDS = frozenset((
+    "varint", "flag", "cid", "utf8", "bytes", "grease",
+))
+
+_TCP_FIELDS = frozenset((
+    "ttl", "window_size", "mss", "window_scale", "sack_permitted",
+    "timestamps", "ecn_setup", "option_order", "mss_alternatives",
+))
+_HELLO_FIELDS = frozenset((
+    "cipher_suites", "extension_order", "groups", "signature_algorithms",
+    "alpn", "supported_versions", "key_share_groups", "psk_modes",
+    "ec_point_formats", "compress_certificate", "record_size_limit",
+    "delegated_credentials", "application_settings", "legacy_version",
+    "session_id_length", "grease", "randomized_extension_order",
+    "padding_target", "resumption_probability",
+))
+_QUIC_SPEC_FIELDS = frozenset((
+    "params", "dcid_length", "scid_length", "packet_number_length",
+    "datagram_size",
+))
+_QUIC_PARAM_FIELDS = frozenset(("name", "kind", "value"))
+_PROVIDER_FIELDS = frozenset((
+    "management_hosts", "content_host_patterns", "sni_suffixes",
+    "transports",
+))
+# Profile entries reference specs by name; "provider" is "*" for
+# provider-independent (browser) profiles.
+PROFILE_FIELDS = frozenset((
+    "platform", "provider", "tcp_stack", "tls_tcp", "tls_quic", "quic",
+    "lookalikes", "tls_library",
+))
+
+
+def canonical_json(payload: object) -> bytes:
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+def payload_digest(payload: object) -> str:
+    return hashlib.sha256(canonical_json(payload)).hexdigest()
+
+
+def _fail(where: str, message: str) -> None:
+    raise ConfigError(f"{where}: {message}")
+
+
+def _mapping(data: object, where: str) -> dict:
+    if not isinstance(data, dict):
+        _fail(where, f"expected a JSON object, got {type(data).__name__}")
+    return data
+
+
+def _check_fields(data: dict, allowed: frozenset, where: str) -> None:
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        _fail(where, f"unknown fields {unknown}")
+
+
+def _require(data: dict, key: str, where: str) -> object:
+    if key not in data:
+        _fail(where, f"missing required field {key!r}")
+    return data[key]
+
+
+def _int(value: object, where: str, minimum: int | None = None,
+         maximum: int | None = None) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        _fail(where, f"expected an integer, got {value!r}")
+    if minimum is not None and value < minimum:
+        _fail(where, f"{value} below minimum {minimum}")
+    if maximum is not None and value > maximum:
+        _fail(where, f"{value} above maximum {maximum}")
+    return value
+
+def _opt_int(value: object, where: str, minimum: int | None = None,
+             maximum: int | None = None) -> int | None:
+    if value is None:
+        return None
+    return _int(value, where, minimum, maximum)
+
+
+def _bool(value: object, where: str) -> bool:
+    if not isinstance(value, bool):
+        _fail(where, f"expected a boolean, got {value!r}")
+    return value
+
+
+def _str(value: object, where: str) -> str:
+    if not isinstance(value, str):
+        _fail(where, f"expected a string, got {value!r}")
+    return value
+
+
+def _str_tuple(value: object, where: str) -> tuple[str, ...]:
+    if not isinstance(value, list):
+        _fail(where, f"expected a list of strings, got {value!r}")
+    return tuple(_str(v, f"{where}[{i}]") for i, v in enumerate(value))
+
+
+def _int_tuple(value: object, where: str, minimum: int | None = None,
+               maximum: int | None = None) -> tuple[int, ...]:
+    if not isinstance(value, list):
+        _fail(where, f"expected a list of integers, got {value!r}")
+    return tuple(_int(v, f"{where}[{i}]", minimum, maximum)
+                 for i, v in enumerate(value))
+
+
+def _tls_id_tuple(value: object, where: str) -> tuple[int, ...]:
+    """A list of 16-bit TLS code points with no literal GREASE values
+    (GREASE is injected per-session by the hello builder, never stored)."""
+    ids = _int_tuple(value, where, 0, 0xFFFF)
+    for i, code in enumerate(ids):
+        if is_grease(code):
+            _fail(where, f"[{i}] literal GREASE value 0x{code:04x} "
+                         "(GREASE slots are drawn per session, not stored)")
+    return ids
+
+
+# --- TCP stack ---------------------------------------------------------------
+
+
+def tcp_stack_to_json(spec: TcpStackSpec) -> dict:
+    return {
+        "ttl": spec.ttl,
+        "window_size": spec.window_size,
+        "mss": spec.mss,
+        "window_scale": spec.window_scale,
+        "sack_permitted": spec.sack_permitted,
+        "timestamps": spec.timestamps,
+        "ecn_setup": spec.ecn_setup,
+        "option_order": list(spec.option_order),
+        "mss_alternatives": list(spec.mss_alternatives),
+    }
+
+
+def tcp_stack_from_json(data: object, where: str) -> TcpStackSpec:
+    data = _mapping(data, where)
+    _check_fields(data, _TCP_FIELDS, where)
+    option_order = _str_tuple(_require(data, "option_order", where),
+                              f"{where}.option_order")
+    unknown = sorted(set(option_order) - _TCP_OPTION_TOKENS)
+    if unknown:
+        _fail(where, f"unknown TCP option tokens {unknown}")
+    return TcpStackSpec(
+        ttl=_int(_require(data, "ttl", where), f"{where}.ttl", 1, 255),
+        window_size=_int(_require(data, "window_size", where),
+                         f"{where}.window_size", 1, 0xFFFFFFFF),
+        mss=_int(_require(data, "mss", where), f"{where}.mss", 1, 0xFFFF),
+        window_scale=_opt_int(_require(data, "window_scale", where),
+                              f"{where}.window_scale", 0, 14),
+        sack_permitted=_bool(data.get("sack_permitted", True),
+                             f"{where}.sack_permitted"),
+        timestamps=_bool(data.get("timestamps", False),
+                         f"{where}.timestamps"),
+        ecn_setup=_bool(data.get("ecn_setup", False), f"{where}.ecn_setup"),
+        option_order=option_order,
+        mss_alternatives=_int_tuple(data.get("mss_alternatives", []),
+                                    f"{where}.mss_alternatives", 1, 0xFFFF),
+    )
+
+
+# --- TLS ClientHello ---------------------------------------------------------
+
+
+def hello_to_json(spec: ClientHelloSpec) -> dict:
+    return {
+        "cipher_suites": list(spec.cipher_suites),
+        "extension_order": list(spec.extension_order),
+        "groups": list(spec.groups),
+        "signature_algorithms": list(spec.signature_algorithms),
+        "alpn": list(spec.alpn),
+        "supported_versions": list(spec.supported_versions),
+        "key_share_groups": list(spec.key_share_groups),
+        "psk_modes": list(spec.psk_modes),
+        "ec_point_formats": list(spec.ec_point_formats),
+        "compress_certificate": list(spec.compress_certificate),
+        "record_size_limit": spec.record_size_limit,
+        "delegated_credentials": list(spec.delegated_credentials),
+        "application_settings": list(spec.application_settings),
+        "legacy_version": spec.legacy_version,
+        "session_id_length": spec.session_id_length,
+        "grease": spec.grease,
+        "randomized_extension_order": spec.randomized_extension_order,
+        "padding_target": spec.padding_target,
+        "resumption_probability": spec.resumption_probability,
+    }
+
+
+def hello_from_json(data: object, where: str) -> ClientHelloSpec:
+    data = _mapping(data, where)
+    _check_fields(data, _HELLO_FIELDS, where)
+    order = _str_tuple(_require(data, "extension_order", where),
+                       f"{where}.extension_order")
+    unknown = sorted(set(order) - set(KNOWN_TOKENS))
+    if unknown:
+        _fail(where, f"unknown extension tokens {unknown}")
+    grease = _bool(data.get("grease", False), f"{where}.grease")
+    bookends = [t for t in order if t in ("grease_first", "grease_last")]
+    if bookends and not grease:
+        _fail(where, f"GREASE slots {bookends} present but grease is false")
+    resumption = data.get("resumption_probability", 0.0)
+    if not isinstance(resumption, (int, float)) or \
+            isinstance(resumption, bool) or not 0.0 <= resumption <= 1.0:
+        _fail(where, f"resumption_probability {resumption!r} "
+                     "not a number in [0, 1]")
+    return ClientHelloSpec(
+        cipher_suites=_tls_id_tuple(
+            _require(data, "cipher_suites", where),
+            f"{where}.cipher_suites"),
+        extension_order=order,
+        groups=_tls_id_tuple(data.get("groups", []), f"{where}.groups"),
+        signature_algorithms=_tls_id_tuple(
+            data.get("signature_algorithms", []),
+            f"{where}.signature_algorithms"),
+        alpn=_str_tuple(data.get("alpn", ["h2", "http/1.1"]),
+                        f"{where}.alpn"),
+        supported_versions=_tls_id_tuple(
+            data.get("supported_versions", []),
+            f"{where}.supported_versions"),
+        key_share_groups=_tls_id_tuple(
+            data.get("key_share_groups", []),
+            f"{where}.key_share_groups"),
+        psk_modes=_int_tuple(data.get("psk_modes", []),
+                             f"{where}.psk_modes", 0, 255),
+        ec_point_formats=_int_tuple(data.get("ec_point_formats", [0]),
+                                    f"{where}.ec_point_formats", 0, 255),
+        compress_certificate=_int_tuple(
+            data.get("compress_certificate", []),
+            f"{where}.compress_certificate", 0, 0xFFFF),
+        record_size_limit=_opt_int(data.get("record_size_limit"),
+                                   f"{where}.record_size_limit", 64),
+        delegated_credentials=_tls_id_tuple(
+            data.get("delegated_credentials", []),
+            f"{where}.delegated_credentials"),
+        application_settings=_str_tuple(
+            data.get("application_settings", []),
+            f"{where}.application_settings"),
+        legacy_version=_int(data.get("legacy_version", 0x0303),
+                            f"{where}.legacy_version", 0, 0xFFFF),
+        session_id_length=_int(data.get("session_id_length", 32),
+                               f"{where}.session_id_length", 0, 32),
+        grease=grease,
+        randomized_extension_order=_bool(
+            data.get("randomized_extension_order", False),
+            f"{where}.randomized_extension_order"),
+        padding_target=_opt_int(data.get("padding_target"),
+                                f"{where}.padding_target", 1),
+        resumption_probability=float(resumption),
+    )
+
+
+# --- QUIC --------------------------------------------------------------------
+
+
+def _quic_param_to_json(param: QuicParamSpec) -> dict:
+    value: object = param.value
+    if isinstance(value, (bytes, bytearray)):
+        value = {"hex": bytes(value).hex()}
+    return {"name": param.name, "kind": param.kind, "value": value}
+
+
+def _quic_param_from_json(data: object, where: str) -> QuicParamSpec:
+    data = _mapping(data, where)
+    _check_fields(data, _QUIC_PARAM_FIELDS, where)
+    name = _str(_require(data, "name", where), f"{where}.name")
+    kind = _str(_require(data, "kind", where), f"{where}.kind")
+    if kind not in _QUIC_PARAM_KINDS:
+        _fail(where, f"unknown QUIC param kind {kind!r}")
+    if kind != "grease" and name not in _QUIC_PARAM_IDS:
+        _fail(where, f"unknown QUIC parameter {name!r}")
+    raw = data.get("value")
+    value: object = None
+    if kind == "varint":
+        value = _int(raw, f"{where}.value", 0)
+    elif kind == "utf8":
+        value = _str(raw, f"{where}.value")
+    elif kind == "bytes":
+        hexed = _mapping(raw, f"{where}.value")
+        _check_fields(hexed, frozenset(("hex",)), f"{where}.value")
+        try:
+            value = bytes.fromhex(_str(_require(hexed, "hex",
+                                                f"{where}.value"),
+                                       f"{where}.value.hex"))
+        except ValueError as exc:
+            _fail(f"{where}.value.hex", f"invalid hex string: {exc}")
+    elif raw is not None:
+        _fail(where, f"kind {kind!r} takes no value, got {raw!r}")
+    return QuicParamSpec(name=name, kind=kind, value=value)
+
+
+def quic_to_json(spec: QuicSpec) -> dict:
+    return {
+        "params": [_quic_param_to_json(p) for p in spec.params],
+        "dcid_length": spec.dcid_length,
+        "scid_length": spec.scid_length,
+        "packet_number_length": spec.packet_number_length,
+        "datagram_size": spec.datagram_size,
+    }
+
+
+def quic_from_json(data: object, where: str) -> QuicSpec:
+    data = _mapping(data, where)
+    _check_fields(data, _QUIC_SPEC_FIELDS, where)
+    raw_params = _require(data, "params", where)
+    if not isinstance(raw_params, list):
+        _fail(where, f"params must be a list, got {raw_params!r}")
+    params = tuple(_quic_param_from_json(p, f"{where}.params[{i}]")
+                   for i, p in enumerate(raw_params))
+    return QuicSpec(
+        params=params,
+        dcid_length=_int(data.get("dcid_length", 8),
+                         f"{where}.dcid_length", 0, 20),
+        scid_length=_int(data.get("scid_length", 8),
+                         f"{where}.scid_length", 0, 20),
+        packet_number_length=_int(data.get("packet_number_length", 1),
+                                  f"{where}.packet_number_length", 1, 4),
+        datagram_size=_int(data.get("datagram_size", 1250),
+                           f"{where}.datagram_size", 64, 65527),
+    )
+
+
+# --- Provider specs ----------------------------------------------------------
+
+
+def provider_to_json(spec: ProviderSpec) -> dict:
+    return {
+        "management_hosts": list(spec.management_hosts),
+        "content_host_patterns": list(spec.content_host_patterns),
+        "sni_suffixes": list(spec.sni_suffixes),
+        "transports": [t.value for t in spec.transports],
+    }
+
+
+def provider_from_json(provider_key: str, data: object,
+                       where: str) -> ProviderSpec:
+    data = _mapping(data, where)
+    _check_fields(data, _PROVIDER_FIELDS, where)
+    try:
+        provider = Provider(provider_key)
+    except ValueError:
+        _fail(where, f"unknown provider {provider_key!r}")
+    transports = []
+    for i, value in enumerate(
+            _str_tuple(_require(data, "transports", where),
+                       f"{where}.transports")):
+        try:
+            transports.append(Transport(value))
+        except ValueError:
+            _fail(f"{where}.transports[{i}]", f"unknown transport {value!r}")
+    suffixes = _str_tuple(_require(data, "sni_suffixes", where),
+                          f"{where}.sni_suffixes")
+    for i, suffix in enumerate(suffixes):
+        if not suffix.strip("."):
+            _fail(f"{where}.sni_suffixes[{i}]", "empty SNI suffix")
+    return ProviderSpec(
+        provider=provider,
+        management_hosts=_str_tuple(
+            _require(data, "management_hosts", where),
+            f"{where}.management_hosts"),
+        content_host_patterns=_str_tuple(
+            _require(data, "content_host_patterns", where),
+            f"{where}.content_host_patterns"),
+        sni_suffixes=suffixes,
+        transports=tuple(transports),
+    )

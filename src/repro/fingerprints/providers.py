@@ -82,13 +82,23 @@ PROVIDER_SPECS: dict[Provider, ProviderSpec] = {
 }
 
 
-def detect_provider(sni: str | None) -> Provider | None:
-    """Map an SNI hostname to a provider, or None if not a video service."""
+def detect_provider(sni: str | None,
+                    specs: dict[Provider, ProviderSpec] | None = None
+                    ) -> Provider | None:
+    """Map an SNI hostname to a provider, or None if not a video service.
+
+    DNS names are case-insensitive and a fully-qualified SNI may carry
+    a trailing dot, so *both* sides of the comparison are normalized —
+    the observed hostname and the configured suffix (packs may carry
+    suffixes in any case). ``specs`` substitutes a pack's provider
+    table (default: the module-level ``PROVIDER_SPECS``).
+    """
     if not sni:
         return None
     hostname = sni.lower().rstrip(".")
-    for spec in PROVIDER_SPECS.values():
-        for suffix in spec.sni_suffixes:
+    for spec in (specs or PROVIDER_SPECS).values():
+        for raw in spec.sni_suffixes:
+            suffix = raw.lower().rstrip(".")
             if suffix.startswith("."):
                 if hostname.endswith(suffix) or hostname == suffix[1:]:
                     return spec.provider

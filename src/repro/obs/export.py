@@ -117,6 +117,21 @@ def export_shard_gauges(registry: MetricsRegistry,
             {"shard": str(i)}).set(value)
 
 
+def export_pack_info(registry: MetricsRegistry) -> None:
+    """Identity of the active fingerprint pack as an info-style gauge
+    (constant value 1; the payload rides the labels, the Prometheus
+    ``*_info`` convention). Scrapes join on it to attribute every other
+    series to the pack the process was classifying against."""
+    from repro.fingerprints.packs import active_pack_info
+
+    info = active_pack_info()
+    registry.gauge(
+        "repro_pack_info",
+        "Active fingerprint pack (identity in labels, value always 1)",
+        {"name": info["name"], "version": info["version"],
+         "digest": info["digest"]}).set(1)
+
+
 def export_drift(registry: MetricsRegistry,
                  monitor: "ConceptDriftMonitor | None") -> None:
     """Drift status derived from a ConceptDriftMonitor's reports."""

@@ -3,6 +3,7 @@ bank, confidence selector, telemetry store and the packet engine."""
 
 from repro.pipeline.bank import (
     ClassifierBank,
+    LABEL_MODES,
     OBJECTIVES,
     SCENARIOS,
     TrainedScenario,
@@ -55,6 +56,7 @@ __all__ = [
     "DEFAULT_CONFIDENCE_THRESHOLD",
     "INGEST_MODES",
     "IngestPosition",
+    "LABEL_MODES",
     "OBJECTIVES",
     "OpenSetResult",
     "ParallelShardedPipeline",

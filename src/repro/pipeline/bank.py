@@ -14,10 +14,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import DatasetError, PipelineError
+from repro.errors import ConfigError, DatasetError, PipelineError
 from repro.features.encode import AttributeEncoder
 from repro.features.extract import extract_flow_attributes
-from repro.fingerprints.model import Provider, Transport
+from repro.fingerprints.model import Provider, Transport, UserPlatform
+from repro.fingerprints.packs import FingerprintPack, active_pack
 from repro.ml.forest import RandomForestClassifier
 from repro.pipeline.confidence import (
     DEFAULT_CONFIDENCE_THRESHOLD,
@@ -36,6 +37,11 @@ SCENARIOS: tuple[tuple[Provider, Transport], ...] = (
 
 OBJECTIVES = ("user_platform", "device_type", "software_agent")
 
+# Platform-model label granularities: "platform" trains on composite
+# (device, agent) labels; "tls_library" trains on the pack's TLS
+# implementation lineage labels (the stack-granularity axis).
+LABEL_MODES = ("platform", "tls_library")
+
 
 def default_model_factory() -> RandomForestClassifier:
     """The deployed model configuration (§4.3.1's tuned random forest)."""
@@ -46,6 +52,17 @@ def default_model_factory() -> RandomForestClassifier:
 def split_platform_label(label: str) -> tuple[str, str]:
     device, _, agent = label.partition("_")
     return device, agent
+
+
+def _tls_library_label(pack: FingerprintPack, label: str,
+                       provider: Provider) -> str:
+    lineage = pack.tls_library(UserPlatform.from_label(label), provider)
+    if lineage is None:
+        raise ConfigError(
+            f"pack {pack.name} carries no tls_library label for "
+            f"{label}/{provider.value}; train with a pack that opens "
+            "the stack-granularity axis")
+    return lineage
 
 
 @dataclass
@@ -108,20 +125,40 @@ class ClassifierBank:
     """All trained scenarios; the object the realtime engine consults."""
 
     def __init__(self, scenarios: dict[tuple[Provider, Transport],
-                                       TrainedScenario]):
+                                       TrainedScenario],
+                 pack_info: dict[str, str] | None = None,
+                 label_mode: str = "platform"):
         self._scenarios = scenarios
+        # (name, version, digest) of the fingerprint pack the training
+        # data was generated from; persisted with the bank and checked
+        # against the active pack at load time. None for banks built
+        # outside the pack discipline (e.g. hand-assembled in tests).
+        self.pack_info = pack_info
+        self.label_mode = label_mode
 
     @classmethod
     def train(cls, dataset: FlowDataset,
               model_factory: Callable[[], RandomForestClassifier]
               | None = None,
               attribute_names: list[str] | None = None,
+              pack: FingerprintPack | None = None,
+              label_mode: str = "platform",
               ) -> "ClassifierBank":
         """Train every scenario present in ``dataset``.
 
         ``attribute_names`` restricts the feature space (Table 5's
-        cost-constrained deployments).
+        cost-constrained deployments). ``pack`` is the fingerprint pack
+        the dataset was generated from (default: the active pack); its
+        identity is stamped into the bank. ``label_mode="tls_library"``
+        trains the platform model on the pack's TLS-library lineage
+        labels instead of composite platform labels — the device and
+        agent models keep their original label spaces.
         """
+        if label_mode not in LABEL_MODES:
+            raise ConfigError(
+                f"unknown label mode {label_mode!r} "
+                f"(expected one of {LABEL_MODES})")
+        the_pack = pack if pack is not None else active_pack()
         factory = model_factory or default_model_factory
         scenarios: dict[tuple[Provider, Transport], TrainedScenario] = {}
         for provider, transport in SCENARIOS:
@@ -141,7 +178,13 @@ class ClassifierBank:
                              for lb in platform_labels]
             agent_labels = [split_platform_label(lb)[1]
                             for lb in platform_labels]
-            platform_model = factory().fit(X, platform_labels)
+            if label_mode == "tls_library":
+                target_labels = [
+                    _tls_library_label(the_pack, lb, provider)
+                    for lb in platform_labels]
+            else:
+                target_labels = platform_labels
+            platform_model = factory().fit(X, target_labels)
             device_model = factory().fit(X, device_labels)
             agent_model = factory().fit(X, agent_labels)
             scenarios[(provider, transport)] = TrainedScenario(
@@ -151,7 +194,8 @@ class ClassifierBank:
             )
         if not scenarios:
             raise DatasetError("dataset contained no trainable scenario")
-        return cls(scenarios)
+        return cls(scenarios, pack_info=the_pack.info(),
+                   label_mode=label_mode)
 
     def scenario(self, provider: Provider,
                  transport: Transport) -> TrainedScenario:

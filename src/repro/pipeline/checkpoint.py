@@ -56,6 +56,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
 from repro.fingerprints.model import Provider, Transport
+from repro.fingerprints.packs import active_pack_info
 from repro.net.flow import FlowKey
 from repro.net.packet import Packet
 from repro.pipeline.confidence import PlatformPrediction
@@ -295,6 +296,11 @@ def _write_state(state: PipelineState, root: Path,
         "retention": state.retention,
         "batch_size": state.batch_size,
         "threshold": state.threshold,
+        # Which fingerprint pack the process was classifying against
+        # when the snapshot was taken. Informational: restore does not
+        # enforce it (promoting a pack across a resume is legal — the
+        # *bank* is the artifact that refuses a digest mismatch).
+        "pack": active_pack_info(),
         "counters": asdict(state.counters),
         "flows": [_flow_to_json(flow) for flow in state.flows],
         "records": [_record_to_json(r) for r in state.records],
@@ -532,6 +538,7 @@ def write_sharded_meta(root: Path, num_shards: int,
         "format_version": _FORMAT_VERSION,
         "kind": KIND_SHARDED,
         "num_shards": num_shards,
+        "pack": active_pack_info(),
         "extra_sha256": {name: _sha256(text.encode())
                          for name, text in (extra or {}).items()},
     }, sort_keys=True, indent=1))

@@ -33,6 +33,7 @@ from pathlib import Path
 from repro.errors import CryptoError, ParseError
 from repro.features.extract import extract_attributes, parse_flow_handshake
 from repro.fingerprints.model import Provider, Transport
+from repro.fingerprints.packs import FingerprintPack
 from repro.fingerprints.providers import detect_provider
 from repro.net.flow import FlowKey
 from repro.net.packet import Packet
@@ -507,7 +508,8 @@ class RealtimePipeline:
 
     # -- checkpoint/restore ----------------------------------------------------
 
-    def reload_bank(self, bank: ClassifierBank) -> None:
+    def reload_bank(self, bank: ClassifierBank,
+                    pack: "FingerprintPack | None" = None) -> None:
         """Hot-swap a retrained classifier bank without dropping
         in-flight flows — driftwatch's deferred retraining trigger.
 
@@ -515,8 +517,16 @@ class RealtimePipeline:
         handshake the *old* bank's scenarios admitted is classified by
         the bank that admitted it; flows still collecting their
         handshake classify under the new bank, exactly as if the
-        process had restarted with it."""
+        process had restarted with it.
+
+        ``pack`` promotes a new fingerprint pack together with the
+        bank (it becomes the process-wide active pack, the one every
+        subsequent ``load_bank`` digest check runs against)."""
         self.drain()
+        if pack is not None:
+            from repro.fingerprints.packs import set_active_pack
+
+            set_active_pack(pack)
         self.bank = bank
 
     def save_checkpoint(self, path: str | Path,
@@ -562,12 +572,14 @@ class RealtimePipeline:
         gauges, drift status, plus the live timing instruments. Safe to
         call repeatedly — exporting never mutates runtime state."""
         from repro.obs.export import (export_counters, export_drift,
+                                      export_pack_info,
                                       export_runtime_gauges)
 
         registry = MetricsRegistry()
         export_counters(registry, self.counters)
         export_runtime_gauges(registry, self)
         export_drift(registry, self.monitor)
+        export_pack_info(registry)
         if self.metrics is not None:
             registry.merge(self.metrics)
         return registry

@@ -60,6 +60,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, NamedTuple
 
 from repro.errors import ConfigError
+from repro.fingerprints.packs import activate_pack, active_pack
 from repro.net.packet import Packet
 from repro.net.rawpacket import DecodedBlock, FrameBlock, RawPacket, \
     decode_block
@@ -185,6 +186,14 @@ def _worker_main(worker_id: int, bank_dir: str, options: dict,
     try:
         if ring_name is not None:
             ring = RingReader(ring_name, ring_consumed)
+        options = dict(options)
+        pack_path = options.pop("pack_path", None)
+        if pack_path is not None:
+            # Mirror the parent's active pack before touching the bank:
+            # load_bank refuses a pack-digest mismatch, and profile
+            # lookups must resolve against the same data in every
+            # process.
+            activate_pack(pack_path)
         bank = load_bank(bank_dir)
         if resume_dir is not None:
             from repro.pipeline.checkpoint import restore_realtime
@@ -238,6 +247,8 @@ def _worker_main(worker_id: int, bank_dir: str, options: dict,
                 pipeline.save_checkpoint(cmd[1])
                 out_queue.put(("ok", None))
             elif op == "reload_bank":
+                if cmd[2] is not None:
+                    activate_pack(cmd[2])
                 pipeline.reload_bank(load_bank(cmd[1]))
                 out_queue.put(("ok", None))
             elif op == "sync":
@@ -375,10 +386,24 @@ class ParallelShardedPipeline:
         else:
             self.metrics = None
         self._events = events
+        # Workers mirror the parent's active fingerprint pack before
+        # loading the bank (load_bank enforces the pack digest). Only a
+        # file-backed pack can cross the process gap; the builtin needs
+        # no path — every process resolves it itself.
+        pack = active_pack()
+        pack_path = (pack.source
+                     if Path(pack.source).is_file() else None)
         self._options = dict(confidence_threshold=confidence_threshold,
                              batch_size=batch_size, retention=retention,
                              rollup_config=rollup_config,
-                             metrics=bool(metrics))
+                             metrics=bool(metrics),
+                             pack_path=pack_path)
+        # The pack the *current* bank was trained against. Respawn
+        # options keep the checkpoint-era pack (``_respawn_bank_dir``
+        # discipline: a respawned worker restores the old bank, then
+        # journal replay re-promotes); this field folds into
+        # ``_options`` when save_checkpoint advances the restore point.
+        self._pack_path = pack_path
         self._ctx = multiprocessing.get_context(start_method)
         # Recovery state: the journal holds every command shipped to a
         # worker since its last completed checkpoint (None = recovery
@@ -842,6 +867,7 @@ class ParallelShardedPipeline:
         atomic_save(target, write)
         self._restore_point = target
         self._respawn_bank_dir = self.bank_dir
+        self._options["pack_path"] = self._pack_path
         for worker in range(self.num_workers):
             if self._journals[worker] is not None:
                 self._journals[worker] = []
@@ -902,15 +928,29 @@ class ParallelShardedPipeline:
         pipeline._resume_tmp = tmp_root
         return pipeline
 
-    def reload_bank(self, bank_dir: str | Path) -> None:
+    def reload_bank(self, bank_dir: str | Path,
+                    pack_path: str | Path | None = None) -> None:
         """Hot-swap a retrained persisted bank into every worker
         without dropping in-flight flows (each worker drains first —
         the driftwatch retraining trigger, best issued right after a
-        checkpoint so the swap is part of the journaled delta)."""
+        checkpoint so the swap is part of the journaled delta).
+
+        ``pack_path`` promotes a new fingerprint pack along with the
+        bank: the parent activates it, every worker activates it
+        before loading the bank (whose manifest must carry the new
+        pack's digest), and respawned workers come up on it too.
+        """
         bank_dir = Path(bank_dir)
         if not (bank_dir / "manifest.json").exists():
             raise ConfigError(f"no bank manifest at {bank_dir}")
-        self._barrier(("reload_bank", str(bank_dir)))
+        pack_arg = None
+        if pack_path is not None:
+            pack = activate_pack(pack_path)
+            pack_arg = str(pack_path)
+            self._pack_path = pack_arg
+            if self._events is not None:
+                self._events.emit("pack_promoted", **pack.info())
+        self._barrier(("reload_bank", str(bank_dir), pack_arg))
         self.bank_dir = bank_dir
         self._state = None
 
@@ -1037,6 +1077,7 @@ class ParallelShardedPipeline:
         the parent's own state. Reading is one sync barrier — the same
         cost as ``counters`` — and mutates nothing."""
         from repro.obs.export import (export_counters,
+                                      export_pack_info,
                                       export_runtime_gauges,
                                       export_shard_gauges)
         from repro.obs.metrics import MetricsRegistry
@@ -1051,6 +1092,7 @@ class ParallelShardedPipeline:
         export_shard_gauges(registry,
                             [state.live_flows for state in states],
                             [state.counters.flows for state in states])
+        export_pack_info(registry)
         for state in states:
             if state.metrics is not None:
                 registry.merge_snapshot(state.metrics)

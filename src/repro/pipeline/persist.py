@@ -23,6 +23,7 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.features.encode import AttributeEncoder, _Codebook
 from repro.fingerprints.model import Provider, Transport
+from repro.fingerprints.packs import active_pack
 from repro.ml.base import LabelEncoder
 from repro.ml.forest import RandomForestClassifier, _SharedEncoder
 from repro.ml.tree import DecisionTreeClassifier
@@ -143,7 +144,12 @@ def save_bank(bank: ClassifierBank, path: str | Path) -> None:
     """Write a trained bank to ``path`` (a directory, created)."""
     root = Path(path)
     root.mkdir(parents=True, exist_ok=True)
-    manifest = {"format_version": _FORMAT_VERSION, "scenarios": []}
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "pack": bank.pack_info,
+        "label_mode": bank.label_mode,
+        "scenarios": [],
+    }
     for (provider, transport), scenario in bank.scenarios.items():
         stem = f"{provider.value}_{transport.value}"
         arrays: dict[str, np.ndarray] = {}
@@ -189,6 +195,20 @@ def load_bank(path: str | Path) -> ClassifierBank:
     if manifest.get("format_version") != _FORMAT_VERSION:
         raise ConfigError(
             f"unsupported bank format {manifest.get('format_version')}")
+    pack_info = manifest.get("pack")
+    if pack_info is not None:
+        if not isinstance(pack_info, dict):
+            raise ConfigError(f"malformed pack stamp at {root}")
+        current = active_pack()
+        if pack_info.get("digest") != current.digest:
+            raise ConfigError(
+                f"bank at {root} was trained against pack "
+                f"{pack_info.get('name')}@{pack_info.get('version')} "
+                f"(digest {str(pack_info.get('digest'))[:12]}…) but the "
+                f"active pack is {current.name}@{current.version} "
+                f"(digest {current.digest[:12]}…); activate the matching "
+                "pack or retrain")
+    label_mode = manifest.get("label_mode", "platform")
     scenarios = {}
     try:
         stems = list(manifest["scenarios"])
@@ -224,4 +244,5 @@ def load_bank(path: str | Path) -> ClassifierBank:
             raise ConfigError(
                 f"corrupt bank artifact {stem!r} at {root}: "
                 f"{exc}") from exc
-    return ClassifierBank(scenarios)
+    return ClassifierBank(scenarios, pack_info=pack_info,
+                          label_mode=label_mode)

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.fingerprints.packs import FingerprintPack
 from repro.net.flow import FlowKey
 from repro.net.packet import Packet
 from repro.net.rawpacket import DecodedBlock, RawPacket
@@ -228,11 +229,18 @@ class ShardedPipeline:
 
     # -- checkpoint/restore ----------------------------------------------------
 
-    def reload_bank(self, bank: ClassifierBank) -> None:
+    def reload_bank(self, bank: ClassifierBank,
+                    pack: "FingerprintPack | None" = None) -> None:
         """Hot-swap a retrained bank into every shard (each drains its
-        classification buffer first)."""
+        classification buffer first); ``pack`` promotes a new
+        fingerprint pack along with it (process-wide — shards share
+        the active pack)."""
         for shard in self.shards:
             shard.reload_bank(bank)
+        if pack is not None:
+            from repro.fingerprints.packs import set_active_pack
+
+            set_active_pack(pack)
 
     def save_checkpoint(self, path: str | Path,
                         extra: dict[str, str] | None = None) -> None:
@@ -348,6 +356,7 @@ class ShardedPipeline:
         derived counts from the merged counters, totals plus per-shard
         occupancy gauges, and the shared timing registry."""
         from repro.obs.export import (export_counters,
+                                      export_pack_info,
                                       export_runtime_gauges,
                                       export_shard_gauges)
         from repro.obs.metrics import MetricsRegistry
@@ -357,6 +366,7 @@ class ShardedPipeline:
         export_runtime_gauges(registry, self)
         export_shard_gauges(registry, self.shard_live_flows,
                             self.shard_loads)
+        export_pack_info(registry)
         if self.metrics is not None:
             registry.merge(self.metrics)
         return registry

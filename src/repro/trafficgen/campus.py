@@ -27,10 +27,6 @@ from __future__ import annotations
 from collections.abc import Iterator
 from dataclasses import dataclass
 
-from repro.fingerprints.library import (
-    get_unknown_profile,
-    transports_for,
-)
 from repro.fingerprints.model import (
     DeviceClass,
     DeviceType,
@@ -39,6 +35,7 @@ from repro.fingerprints.model import (
     Transport,
     UserPlatform,
 )
+from repro.fingerprints.packs import FingerprintPack, active_pack
 from repro.trafficgen.lab import YOUTUBE_QUIC_SHARE, effective_profile
 from repro.trafficgen.session import (
     FlowBuildRequest,
@@ -235,8 +232,10 @@ def _content_flow_split(rng: SeededRNG) -> list[float]:
 class CampusWorkload:
     """Iterator over synthetic campus sessions/flows."""
 
-    def __init__(self, config: CampusConfig | None = None):
+    def __init__(self, config: CampusConfig | None = None,
+                 pack: FingerprintPack | None = None):
         self.config = config or CampusConfig()
+        self._pack = pack if pack is not None else active_pack()
         self._rng = SeededRNG(self.config.seed)
         self._factory = FlowFactory(self._rng.fork("factory"))
         self._session_counter = 0
@@ -249,7 +248,7 @@ class CampusWorkload:
             labels = [label for label, _ in _UNKNOWN_MIX]
             weights = [w for _, w in _UNKNOWN_MIX]
             label = rng.weighted_choice(labels, weights)
-            profile = get_unknown_profile(label, provider)
+            profile = self._pack.get_unknown_profile(label, provider)
             if label == "linux_chrome" and provider is Provider.YOUTUBE \
                     and rng.bernoulli(YOUTUBE_QUIC_SHARE):
                 transport = Transport.QUIC
@@ -258,14 +257,15 @@ class CampusWorkload:
             return label, profile, transport
         label = _pick_platform(rng, provider)
         platform = UserPlatform.from_label(label)
-        transports = transports_for(platform, provider)
+        transports = self._pack.transports_for(platform, provider)
         if len(transports) == 2:
             transport = (Transport.QUIC
                          if rng.bernoulli(YOUTUBE_QUIC_SHARE)
                          else Transport.TCP)
         else:
             transport = transports[0]
-        profile = effective_profile(platform, provider, transport, rng)
+        profile = effective_profile(platform, provider, transport, rng,
+                                    pack=self._pack)
         return label, profile, transport
 
     def _build_session(self, day: int) -> CampusSession:
@@ -299,7 +299,8 @@ class CampusWorkload:
             flows.append(self._factory.build(FlowBuildRequest(
                 platform_label=label, provider=provider,
                 transport=Transport.TCP, profile=profile,
-                sni=pick_sni(provider, "management", rng),
+                sni=pick_sni(provider, "management", rng,
+                             specs=self._pack.provider_specs),
                 role="management", session_id=sid, start_time=start - 2.0,
                 duration=5.0, bytes_down=400_000, bytes_up=60_000,
                 client_ip=client_ip, server_ip=server_ip,
@@ -311,7 +312,8 @@ class CampusWorkload:
             flows.append(self._factory.build(FlowBuildRequest(
                 platform_label=label, provider=provider,
                 transport=transport, profile=profile,
-                sni=pick_sni(provider, "content", rng),
+                sni=pick_sni(provider, "content", rng,
+                             specs=self._pack.provider_specs),
                 role="content", session_id=sid,
                 start_time=start + offset, duration=flow_duration,
                 bytes_down=int(mbps * flow_duration * 1e6 / 8),
@@ -328,7 +330,8 @@ class CampusWorkload:
             flows.append(self._factory.build(FlowBuildRequest(
                 platform_label=label, provider=provider,
                 transport=Transport.TCP, profile=profile,
-                sni=pick_sni(provider, "management", rng),
+                sni=pick_sni(provider, "management", rng,
+                             specs=self._pack.provider_specs),
                 role="telemetry", session_id=sid,
                 start_time=start + 30.0, duration=max(30.0, duration),
                 bytes_down=50_000,

@@ -12,13 +12,8 @@ from collections.abc import Iterable
 from dataclasses import dataclass, replace
 
 from repro.errors import DatasetError
-from repro.fingerprints.library import (
-    TABLE1_FLOW_COUNTS,
-    get_profile,
-    supported_platforms,
-    transports_for,
-)
 from repro.fingerprints.model import Provider, Transport, UserPlatform
+from repro.fingerprints.packs import FingerprintPack, active_pack
 from repro.fingerprints.specs import PlatformProfile
 from repro.trafficgen.session import (
     FlowBuildRequest,
@@ -36,15 +31,18 @@ YOUTUBE_QUIC_SHARE = 0.55
 
 
 def effective_profile(platform: UserPlatform, provider: Provider,
-                      transport: Transport, rng: SeededRNG
+                      transport: Transport, rng: SeededRNG,
+                      pack: FingerprintPack | None = None
                       ) -> PlatformProfile:
     """The profile used for one flow's TLS template, after lookalike dice.
 
     With the profile's configured probabilities a flow borrows the TLS and
     QUIC templates of a *lookalike* platform (shared stack/firmware); the
-    TCP stack always remains the platform's own OS.
+    TCP stack always remains the platform's own OS. ``pack`` selects the
+    fingerprint pack to draw from (default: the active pack).
     """
-    base = get_profile(platform, provider)
+    the_pack = pack if pack is not None else active_pack()
+    base = the_pack.get_profile(platform, provider)
     for label, probability in base.lookalikes:
         if probability <= 0 or not rng.bernoulli(probability):
             continue
@@ -52,9 +50,9 @@ def effective_profile(platform: UserPlatform, provider: Provider,
             other_platform = UserPlatform.from_label(label)
         except ValueError:
             continue
-        if other_platform not in supported_platforms(provider):
+        if other_platform not in the_pack.supported_platforms(provider):
             continue
-        other = get_profile(other_platform, provider)
+        other = the_pack.get_profile(other_platform, provider)
         if transport is Transport.QUIC and not other.supports_quic():
             continue
         return replace(base, tls_tcp=other.tls_tcp,
@@ -104,8 +102,9 @@ class FlowDataset:
 
 
 def _transport_plan(platform: UserPlatform, provider: Provider, count: int,
-                    rng: SeededRNG) -> list[Transport]:
-    transports = transports_for(platform, provider)
+                    rng: SeededRNG,
+                    pack: FingerprintPack) -> list[Transport]:
+    transports = pack.transports_for(platform, provider)
     if len(transports) == 1:
         return [transports[0]] * count
     plan = [Transport.QUIC if rng.bernoulli(YOUTUBE_QUIC_SHARE)
@@ -126,14 +125,18 @@ def generate_lab_dataset(
     profile_overrides: dict[tuple[UserPlatform, Provider],
                             PlatformProfile] | None = None,
     name: str = "lab",
+    pack: FingerprintPack | None = None,
 ) -> FlowDataset:
     """Synthesize a Table 1-shaped labeled dataset.
 
     ``profile_overrides`` substitutes specific (platform, provider)
     profiles — the open-set generator uses this to inject drifted stacks.
+    ``pack`` selects the fingerprint pack supplying the profiles, flow
+    counts, and provider hosts (default: the active pack).
     """
+    the_pack = pack if pack is not None else active_pack()
     if counts is None:
-        counts = TABLE1_FLOW_COUNTS
+        counts = the_pack.flow_counts
     rng = SeededRNG(seed)
     factory = FlowFactory(rng.fork("flows"))
     flows: list[SyntheticFlow] = []
@@ -143,7 +146,8 @@ def generate_lab_dataset(
                                             kv[0][0].label)):
         count = max(2, round(base_count * scale))
         plan = _transport_plan(platform, provider, count,
-                               rng.fork((platform.label, provider.value)))
+                               rng.fork((platform.label, provider.value)),
+                               the_pack)
         for transport in plan:
             session_id += 1
             if profile_overrides and (platform, provider) in \
@@ -151,7 +155,7 @@ def generate_lab_dataset(
                 profile = profile_overrides[(platform, provider)]
             else:
                 profile = effective_profile(platform, provider, transport,
-                                            rng)
+                                            rng, pack=the_pack)
             duration = max(60.0, rng.lognormal(5.0, 0.6))
             mbps = max(0.3, rng.lognormal(0.9, 0.5))
             request = FlowBuildRequest(
@@ -159,7 +163,8 @@ def generate_lab_dataset(
                 provider=provider,
                 transport=transport,
                 profile=profile,
-                sni=pick_sni(provider, "content", rng),
+                sni=pick_sni(provider, "content", rng,
+                             specs=the_pack.provider_specs),
                 session_id=session_id,
                 start_time=60.0 * session_id,
                 duration=duration,

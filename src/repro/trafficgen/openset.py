@@ -10,8 +10,8 @@ across all user platforms").
 from __future__ import annotations
 
 from repro.fingerprints.drift import drift_profile
-from repro.fingerprints.library import TABLE1_FLOW_COUNTS, get_profile
 from repro.fingerprints.model import Provider, UserPlatform
+from repro.fingerprints.packs import FingerprintPack, active_pack
 from repro.trafficgen.lab import FlowDataset, generate_lab_dataset
 from repro.util.rng import SeededRNG
 
@@ -19,7 +19,9 @@ from repro.util.rng import SeededRNG
 def generate_openset_dataset(seed: int = 1000, flows_per_pair: int = 40,
                              drift_strength: float = 1.0,
                              name: str = "home",
-                             flow_seed: int | None = None) -> FlowDataset:
+                             flow_seed: int | None = None,
+                             pack: FingerprintPack | None = None
+                             ) -> FlowDataset:
     """Generate the home-network evaluation dataset.
 
     ``flows_per_pair`` flows for each of the 52 (platform, provider)
@@ -31,18 +33,19 @@ def generate_openset_dataset(seed: int = 1000, flows_per_pair: int = 40,
     pass a different ``flow_seed`` with the same ``seed`` to draw fresh
     traffic from the same fleet (e.g. retraining captures).
     """
+    the_pack = pack if pack is not None else active_pack()
     rng = SeededRNG(seed)
     overrides = {}
-    for (platform, provider) in TABLE1_FLOW_COUNTS:
+    for (platform, provider) in the_pack.flow_counts:
         pair_rng = rng.fork(("drift", platform.label, provider.value))
         overrides[(platform, provider)] = drift_profile(
-            get_profile(platform, provider), pair_rng,
+            the_pack.get_profile(platform, provider), pair_rng,
             strength=drift_strength)
     counts: dict[tuple[UserPlatform, Provider], int] = {
-        pair: flows_per_pair for pair in TABLE1_FLOW_COUNTS
+        pair: flows_per_pair for pair in the_pack.flow_counts
     }
     return generate_lab_dataset(
         seed=flow_seed if flow_seed is not None else seed + 1,
         scale=1.0, counts=counts,
-        profile_overrides=overrides, name=name,
+        profile_overrides=overrides, name=name, pack=the_pack,
     )

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.fingerprints.model import Provider, Transport, UserPlatform
-from repro.fingerprints.providers import PROVIDER_SPECS
+from repro.fingerprints.providers import PROVIDER_SPECS, ProviderSpec
 from repro.fingerprints.specs import (
     PlatformProfile,
     build_client_hello,
@@ -292,8 +292,11 @@ class FlowFactory:
         )
 
 
-def pick_sni(provider: Provider, role: str, rng: SeededRNG) -> str:
-    spec = PROVIDER_SPECS[provider]
+def pick_sni(provider: Provider, role: str, rng: SeededRNG,
+             specs: "dict[Provider, ProviderSpec] | None" = None) -> str:
+    """A hostname for one flow's SNI. ``specs`` substitutes a pack's
+    provider table (default: the module-level ``PROVIDER_SPECS``)."""
+    spec = (specs or PROVIDER_SPECS)[provider]
     if role == "content":
         return spec.random_content_host(rng)
     return spec.random_management_host(rng)

@@ -45,8 +45,8 @@ def fired(violations, rule_id: str) -> list:
 # -- registry ------------------------------------------------------------------
 
 
-def test_catalog_is_rpl001_through_rpl010():
-    assert sorted(all_rules()) == [f"RPL{i:03d}" for i in range(1, 11)]
+def test_catalog_is_rpl001_through_rpl011():
+    assert sorted(all_rules()) == [f"RPL{i:03d}" for i in range(1, 12)]
 
 
 def test_register_rejects_bad_and_reserved_ids():
@@ -611,6 +611,70 @@ def test_rpl010_private_nested_and_init_return_are_exempt():
 def test_rpl010_only_guards_typed_packages():
     source = "def transform(data):\n    return data\n"
     assert lint(source, "repro/trafficgen/x.py", "RPL010") == []
+
+
+# -- RPL011 pack data discipline -----------------------------------------------
+
+
+def test_rpl011_fires_on_profile_assembly_outside_the_loader():
+    source = """\
+        from repro.fingerprints.specs import PlatformProfile
+
+        EXTRA = PlatformProfile(label="linux_chrome")
+    """
+    violations = lint(source, "repro/fingerprints/extras.py", "RPL011")
+    assert "outside the pack loader" in violations[0].message
+
+
+def test_rpl011_loader_may_assemble_profiles():
+    source = """\
+        from repro.fingerprints.specs import PlatformProfile
+
+        def _materialize(entry):
+            return PlatformProfile(**entry)
+    """
+    path = "repro/fingerprints/packs/loader.py"
+    assert lint(source, path, "RPL011") == []
+
+
+def test_rpl011_fires_on_unversioned_pack_writer():
+    source = """\
+        import json
+
+        def write_pack(document, path):
+            path.write_text(json.dumps(document))
+    """
+    violations = lint(source, "repro/fingerprints/packs/x.py", "RPL011")
+    assert "without referencing the pack format version" in \
+        violations[0].message
+
+
+def test_rpl011_clean_on_version_stamped_pack_writer():
+    source = """\
+        import json
+
+        PACK_FORMAT_VERSION = 1
+
+        def write_pack(document, path):
+            document["format_version"] = PACK_FORMAT_VERSION
+            path.write_text(json.dumps(document))
+    """
+    assert lint(source, "repro/fingerprints/packs/x.py", "RPL011") == []
+
+
+def test_rpl011_writer_check_only_guards_the_packs_package():
+    source = """\
+        import json
+
+        def write_report(document, path):
+            path.write_text(json.dumps(document))
+    """
+    assert lint(source, "repro/fingerprints/report.py", "RPL011") == []
+
+
+def test_rpl011_out_of_scope_packages_are_ignored():
+    source = "P = PlatformProfile(label='x')\n"
+    assert lint(source, "repro/pipeline/x.py", "RPL011") == []
 
 
 # -- reporters -----------------------------------------------------------------

@@ -1,5 +1,7 @@
 """Tests for the platform fingerprint library and CHLO builders."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.errors import ConfigError
@@ -7,6 +9,7 @@ from repro.fingerprints import (
     ALL_PLATFORMS,
     DeviceClass,
     DeviceType,
+    PROVIDER_SPECS,
     Provider,
     SoftwareAgent,
     TABLE1_FLOW_COUNTS,
@@ -246,3 +249,37 @@ class TestProviderDetection:
     ])
     def test_detect(self, sni, expected):
         assert detect_provider(sni) is expected
+
+    @pytest.mark.parametrize("sni,expected", [
+        # DNS names are case-insensitive; real ClientHellos mix case.
+        ("RR4---SN-Q4FL6N6R.GoogleVideo.com", Provider.YOUTUBE),
+        ("WWW.YOUTUBE.COM", Provider.YOUTUBE),
+        ("Vod-Akc-Oc3.Media.DSSOTT.com", Provider.DISNEY),
+        # A fully-qualified SNI may carry the root-zone trailing dot.
+        ("www.netflix.com.", Provider.NETFLIX),
+        ("atv-ps.amazon.com.", Provider.AMAZON),
+        ("RR4---sn-x.googlevideo.COM.", Provider.YOUTUBE),
+        # A suffix must match on label boundaries, not substrings.
+        ("evilgooglevideo.com", None),
+        ("googlevideo.com.attacker.example", None),
+    ])
+    def test_detect_normalizes_case_and_trailing_dot(self, sni,
+                                                     expected):
+        assert detect_provider(sni) is expected
+
+    def test_detect_normalizes_configured_suffixes_too(self):
+        """Packs may carry suffixes in any case or with trailing dots;
+        both sides of the comparison are normalized."""
+        spec = PROVIDER_SPECS[Provider.NETFLIX]
+        shouting = {Provider.NETFLIX: replace(
+            spec, sni_suffixes=(".NflxVideo.NET.", "WWW.NETFLIX.COM"))}
+        assert detect_provider("ipv4-c1-ix-syd1.1.oca.nflxvideo.net",
+                               specs=shouting) is Provider.NETFLIX
+        assert detect_provider("www.netflix.com.",
+                               specs=shouting) is Provider.NETFLIX
+        assert detect_provider("api-global.netflix.com",
+                               specs=shouting) is None
+
+    def test_detect_bare_suffix_matches_the_apex(self):
+        # ".youtube.com" admits both subdomains and the apex itself.
+        assert detect_provider("youtube.com") is Provider.YOUTUBE

@@ -124,6 +124,24 @@ class TestGoldenTrace:
             assert _rollup_digest(pipeline.rollup, tmp_path, "shm") == \
                 expected["rollup_sha256_sharded3"]
 
+    @pytest.mark.parametrize("workers", (1, 4))
+    def test_worker_count_equivalence_under_builtin_pack(
+            self, bank_dir, expected, workers):
+        """The committed builtin fingerprint pack reproduces the pinned
+        golden trace at any worker count — the CI gate for the pack
+        refactor: dissolving the hardcoded library into pack files
+        moved zero bytes, serial or parallel."""
+        from repro.fingerprints.packs import BUILTIN_PACK_NAME, active_pack
+        assert active_pack().name == BUILTIN_PACK_NAME
+        with ParallelShardedPipeline(bank_dir, num_workers=workers,
+                                     batch_size=8,
+                                     retention="both") as pipeline:
+            ingest_pcap(pipeline, GOLDEN / "golden.pcap")
+            pipeline.flush()
+            assert asdict(pipeline.counters) == expected["counters"]
+            assert sorted(map(tuple, record_rows(pipeline.telemetry))) \
+                == sorted(map(tuple, expected["records"]))
+
     def test_checkpointed_replay_matches_pinned_bytes(self, bank,
                                                       expected,
                                                       tmp_path):

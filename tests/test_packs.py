@@ -1,0 +1,403 @@
+"""Fingerprint pack suite: envelope corruption, semantic validation,
+regenerator byte-stability, override/merge, the registry, and the
+pack ↔ bank compatibility contract.
+
+The corruption matrix mirrors ``test_persist_roundtrip.py``: a damaged,
+truncated, or version-bumped pack must raise ConfigError — never an
+arbitrary exception, never a half-loaded pack. Byte-stability pins the
+committed pack files to the seeded regenerator, so a payload edit that
+bypasses ``write_builtin_packs`` fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fingerprints import Provider, UserPlatform
+from repro.fingerprints.packs import (
+    BUILTIN_PACK_NAME,
+    PACK_FORMAT_VERSION,
+    PackRegistry,
+    TLS_LIBRARIES,
+    active_pack,
+    builtin_data_dir,
+    builtin_pack,
+    load_pack,
+    merge_payload,
+    payload_digest,
+    set_active_pack,
+)
+from repro.fingerprints.packs.builtin import write_builtin_packs
+from repro.ml import RandomForestClassifier
+from repro.pipeline import (
+    ClassifierBank,
+    RealtimePipeline,
+    load_bank,
+    save_bank,
+)
+from repro.trafficgen import generate_lab_dataset
+
+DATA_DIR = builtin_data_dir()
+BUILTIN_PATH = DATA_DIR / f"{BUILTIN_PACK_NAME}.json"
+TLS_LIB_PATH = DATA_DIR / "tls-lib-2023q3.json"
+
+
+@pytest.fixture(autouse=True)
+def _restore_active_pack():
+    yield
+    set_active_pack(None)
+
+
+@pytest.fixture()
+def document() -> dict:
+    return json.loads(BUILTIN_PATH.read_text(encoding="utf-8"))
+
+
+def write_document(document: dict, path: Path, restamp: bool = True) -> Path:
+    if restamp:
+        document = dict(document)
+        document["payload_sha256"] = payload_digest(document["payload"])
+    path.write_text(json.dumps(document, sort_keys=True, indent=1) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+# -- envelope corruption matrix ------------------------------------------------
+
+
+class TestEnvelopeCorruption:
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ConfigError, match="malformed JSON"):
+            load_pack(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "trunc.json"
+        path.write_bytes(BUILTIN_PATH.read_bytes()[:500])
+        with pytest.raises(ConfigError):
+            load_pack(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="unreadable"):
+            load_pack(tmp_path / "nope.json")
+
+    def test_format_version_bump_rejected(self, document, tmp_path):
+        document["format_version"] = PACK_FORMAT_VERSION + 1
+        path = write_document(document, tmp_path / "v2.json")
+        with pytest.raises(ConfigError, match="format version"):
+            load_pack(path)
+
+    def test_payload_edit_without_restamp_rejected(self, document,
+                                                   tmp_path):
+        document["payload"]["tcp_stacks"]["windows"]["ttl"] = 64
+        path = write_document(document, tmp_path / "edited.json",
+                              restamp=False)
+        with pytest.raises(ConfigError, match="digest mismatch"):
+            load_pack(path)
+
+    def test_flipped_digest_rejected(self, document, tmp_path):
+        stamped = document["payload_sha256"]
+        document["payload_sha256"] = stamped[::-1]
+        path = write_document(document, tmp_path / "flipped.json",
+                              restamp=False)
+        with pytest.raises(ConfigError, match="digest mismatch"):
+            load_pack(path)
+
+    @pytest.mark.parametrize("key", ("format_version", "name", "payload",
+                                     "payload_sha256"))
+    def test_missing_top_level_key_rejected(self, document, tmp_path,
+                                            key):
+        del document[key]
+        path = write_document(document, tmp_path / "missing.json",
+                              restamp=(key != "payload_sha256"
+                                       and key != "payload"))
+        with pytest.raises(ConfigError):
+            load_pack(path)
+
+    def test_unknown_top_level_key_rejected(self, document, tmp_path):
+        document["surprise"] = True
+        path = write_document(document, tmp_path / "extra.json")
+        with pytest.raises(ConfigError, match="unknown top-level"):
+            load_pack(path)
+
+    def test_unknown_payload_section_rejected(self, document, tmp_path):
+        document["payload"]["surprise"] = {}
+        path = write_document(document, tmp_path / "extra.json")
+        with pytest.raises(ConfigError, match="unknown payload"):
+            load_pack(path)
+
+
+# -- semantic validation -------------------------------------------------------
+
+
+class TestSemanticValidation:
+    def test_profile_referencing_unknown_spec_rejected(self, document,
+                                                       tmp_path):
+        document["payload"]["profiles"][0]["tcp_stack"] = "beos"
+        path = write_document(document, tmp_path / "ref.json")
+        with pytest.raises(ConfigError, match="unknown spec"):
+            load_pack(path)
+
+    def test_unknown_tls_library_rejected(self, document, tmp_path):
+        document["payload"]["profiles"][0]["tls_library"] = "wolfssl9"
+        path = write_document(document, tmp_path / "lineage.json")
+        with pytest.raises(ConfigError, match="unknown tls_library"):
+            load_pack(path)
+
+    def test_unknown_profile_field_rejected(self, document, tmp_path):
+        document["payload"]["profiles"][0]["color"] = "mauve"
+        path = write_document(document, tmp_path / "field.json")
+        with pytest.raises(ConfigError, match="unknown fields"):
+            load_pack(path)
+
+    def test_duplicate_flow_count_cell_rejected(self, document, tmp_path):
+        counts = document["payload"]["flow_counts"]
+        counts.append(list(counts[0]))
+        path = write_document(document, tmp_path / "dup.json")
+        with pytest.raises(ConfigError, match="duplicate cell"):
+            load_pack(path)
+
+    def test_unknown_platform_in_flow_counts_rejected(self, document,
+                                                      tmp_path):
+        document["payload"]["flow_counts"][0][0] = "vax_mosaic"
+        path = write_document(document, tmp_path / "plat.json")
+        with pytest.raises(ConfigError):
+            load_pack(path)
+
+    def test_quic_marked_platform_without_quic_spec_rejected(
+            self, document, tmp_path):
+        label = document["payload"]["youtube_quic_platforms"][0]
+        for entry in document["payload"]["profiles"]:
+            if entry["platform"] == label:
+                entry["tls_quic"] = None
+                entry["quic"] = None
+        path = write_document(document, tmp_path / "quicless.json")
+        with pytest.raises(ConfigError, match="no QUIC spec"):
+            load_pack(path)
+
+    def test_flow_count_must_be_positive(self, document, tmp_path):
+        document["payload"]["flow_counts"][0][2] = 0
+        path = write_document(document, tmp_path / "zero.json")
+        with pytest.raises(ConfigError, match="positive integer"):
+            load_pack(path)
+
+
+# -- byte-stability ------------------------------------------------------------
+
+
+class TestByteStability:
+    def test_regenerator_reproduces_committed_packs(self, tmp_path):
+        """The committed pack files are exactly what the seeded
+        regenerator emits — edits must go through it."""
+        written = write_builtin_packs(tmp_path)
+        assert sorted(p.name for p in written) == sorted(
+            p.name for p in DATA_DIR.glob("*.json"))
+        for path in written:
+            assert path.read_bytes() == \
+                (DATA_DIR / path.name).read_bytes(), path.name
+
+    def test_write_load_write_is_stable(self, tmp_path):
+        first = {p.name: p.read_bytes()
+                 for p in write_builtin_packs(tmp_path / "a")}
+        for name in first:
+            load_pack(tmp_path / "a" / name)  # full validation pass
+        second = {p.name: p.read_bytes()
+                  for p in write_builtin_packs(tmp_path / "b")}
+        assert first == second
+
+    def test_digest_is_effective_payload_digest(self):
+        pack = load_pack(BUILTIN_PATH)
+        document = json.loads(BUILTIN_PATH.read_text(encoding="utf-8"))
+        assert pack.digest == document["payload_sha256"]
+        assert pack.digest == payload_digest(document["payload"])
+
+
+# -- override/merge ------------------------------------------------------------
+
+
+class TestOverrideMerge:
+    def test_dict_sections_merge_per_key(self):
+        base = {"tcp_stacks": {"a": {"ttl": 64}, "b": {"ttl": 128}}}
+        overlay = {"tcp_stacks": {"b": {"ttl": 255}, "c": {"ttl": 32}}}
+        merged = merge_payload(base, overlay)
+        assert merged["tcp_stacks"] == {
+            "a": {"ttl": 64}, "b": {"ttl": 255}, "c": {"ttl": 32}}
+
+    def test_profiles_merge_field_level_per_cell(self):
+        base = {"profiles": [
+            {"platform": "windows_chrome", "tcp_stack": "windows",
+             "tls_tcp": "chrome"},
+        ]}
+        overlay = {"profiles": [
+            {"platform": "windows_chrome", "tls_library": "boringssl"},
+        ]}
+        merged = merge_payload(base, overlay)
+        assert merged["profiles"] == [
+            {"platform": "windows_chrome", "tcp_stack": "windows",
+             "tls_tcp": "chrome", "tls_library": "boringssl"},
+        ]
+
+    def test_list_sections_replace_wholesale(self):
+        base = {"youtube_quic_platforms": ["a", "b"]}
+        overlay = {"youtube_quic_platforms": ["c"]}
+        assert merge_payload(base, overlay)[
+            "youtube_quic_platforms"] == ["c"]
+
+    def test_tls_lib_overlay_keeps_builtin_fingerprints(self):
+        """The committed TLS-library pack changes labels, not wire
+        behavior: every materialized profile equals the builtin's."""
+        base = load_pack(BUILTIN_PATH)
+        overlay = load_pack(TLS_LIB_PATH)
+        assert overlay.digest != base.digest
+        assert overlay.has_tls_library_axis()
+        assert not base.has_tls_library_axis()
+        assert overlay.all_pairs() == base.all_pairs()
+        for platform, provider in base.all_pairs():
+            assert overlay.get_profile(platform, provider) == \
+                base.get_profile(platform, provider)
+            assert overlay.tls_library(platform, provider) in \
+                TLS_LIBRARIES
+
+    def test_missing_base_pack_rejected(self, document, tmp_path):
+        document["name"] = "orphan"
+        document["extends"] = "no-such-base"
+        path = write_document(document, tmp_path / "orphan.json")
+        with pytest.raises(ConfigError, match="not found"):
+            load_pack(path, search_dirs=[tmp_path])
+
+    def test_circular_extends_rejected(self, document, tmp_path):
+        first = dict(document, name="ouro", extends="boros")
+        second = dict(document, name="boros", extends="ouro")
+        write_document(first, tmp_path / "ouro.json")
+        write_document(second, tmp_path / "boros.json")
+        with pytest.raises(ConfigError, match="circular"):
+            load_pack(tmp_path / "ouro.json", search_dirs=[tmp_path])
+
+
+# -- registry + active pack ----------------------------------------------------
+
+
+class TestRegistry:
+    def test_committed_packs_discovered(self):
+        registry = PackRegistry()
+        assert BUILTIN_PACK_NAME in registry.names()
+        assert "tls-lib-2023q3" in registry.names()
+
+    def test_unknown_name_lists_available(self):
+        registry = PackRegistry()
+        with pytest.raises(ConfigError, match="available"):
+            registry.get("no-such-pack")
+
+    def test_later_directory_shadows_committed_pack(self, document,
+                                                    tmp_path):
+        document["version"] = "2024q1-patched"
+        write_document(document,
+                       tmp_path / f"{BUILTIN_PACK_NAME}.json")
+        registry = PackRegistry([tmp_path])
+        assert registry.get(BUILTIN_PACK_NAME).version == "2024q1-patched"
+        assert registry.path(BUILTIN_PACK_NAME).parent == tmp_path
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="does not exist"):
+            PackRegistry([tmp_path / "absent"])
+
+    def test_active_pack_defaults_to_builtin_and_reverts(self):
+        assert active_pack().name == BUILTIN_PACK_NAME
+        overlay = load_pack(TLS_LIB_PATH)
+        set_active_pack(overlay)
+        assert active_pack() is overlay
+        set_active_pack(None)
+        assert active_pack().name == BUILTIN_PACK_NAME
+
+
+# -- pack <-> bank compatibility ----------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return generate_lab_dataset(seed=47, scale=0.05)
+
+
+def _small_bank(lab, **kwargs) -> ClassifierBank:
+    return ClassifierBank.train(
+        lab,
+        model_factory=lambda: RandomForestClassifier(
+            n_estimators=4, max_depth=10, random_state=3),
+        **kwargs)
+
+
+class TestBankPackDiscipline:
+    def test_bank_stamps_active_pack(self, lab):
+        bank = _small_bank(lab)
+        assert bank.pack_info == builtin_pack().info()
+        assert bank.label_mode == "platform"
+
+    def test_bank_roundtrips_under_matching_pack(self, lab, tmp_path):
+        bank = _small_bank(lab)
+        save_bank(bank, tmp_path / "bank")
+        reloaded = load_bank(tmp_path / "bank")
+        assert reloaded.pack_info == bank.pack_info
+        assert reloaded.label_mode == "platform"
+
+    def test_bank_refuses_mismatched_active_pack(self, lab, tmp_path):
+        bank = _small_bank(lab)
+        save_bank(bank, tmp_path / "bank")
+        set_active_pack(load_pack(TLS_LIB_PATH))
+        with pytest.raises(ConfigError, match="active pack"):
+            load_bank(tmp_path / "bank")
+        set_active_pack(None)
+        assert load_bank(tmp_path / "bank").pack_info == bank.pack_info
+
+    def test_tls_library_mode_requires_the_axis(self, lab):
+        with pytest.raises(ConfigError, match="tls_library"):
+            _small_bank(lab, label_mode="tls_library")
+
+    def test_unknown_label_mode_rejected(self, lab):
+        with pytest.raises(ConfigError, match="label mode"):
+            _small_bank(lab, label_mode="cipherpunk")
+
+    def test_tls_library_bank_classifies_at_stack_granularity(self, lab):
+        """With the TLS-library pack active, the platform model's label
+        space is implementation lineages, and a campus-style mix comes
+        back labeled by TLS stack, not by platform."""
+        pack = load_pack(TLS_LIB_PATH)
+        bank = _small_bank(lab, pack=pack, label_mode="tls_library")
+        for scenario in bank.scenarios.values():
+            assert set(scenario.platform_model.classes_) <= \
+                set(TLS_LIBRARIES)
+        pipeline = RealtimePipeline(bank)
+        classified = []
+        for flow in list(lab)[::7][:60]:
+            record = pipeline.process_flow(flow)
+            if record is not None and \
+                    record.prediction.status == "classified":
+                classified.append(record.prediction.platform)
+        assert classified
+        assert set(classified) <= set(TLS_LIBRARIES)
+
+    def test_tls_library_bank_agrees_with_pack_lineage(self, lab):
+        """Seeded lab flows carry ground-truth platform labels; the
+        lineage the TLS bank predicts should usually be the lineage the
+        pack assigns to that platform (the forests are small, so allow
+        a minority of misses)."""
+        pack = load_pack(TLS_LIB_PATH)
+        bank = _small_bank(lab, pack=pack, label_mode="tls_library")
+        pipeline = RealtimePipeline(bank)
+        hits = total = 0
+        for flow in list(lab)[::11][:80]:
+            record = pipeline.process_flow(flow)
+            if record is None or \
+                    record.prediction.status != "classified":
+                continue
+            expected = pack.tls_library(
+                UserPlatform.from_label(flow.platform_label),
+                flow.provider)
+            total += 1
+            hits += record.prediction.platform == expected
+        assert total >= 10
+        assert hits / total > 0.6
