@@ -1,0 +1,38 @@
+# Container image for the repro toolkit, built around the live
+# service plane: the default entrypoint is the CLI, so the common
+# deployment is
+#
+#   docker build -t repro .
+#   docker run -v $PWD/bank:/data/bank -v $PWD/captures:/data/captures \
+#       -p 9107:9107 repro serve --bank /data/bank \
+#       --source tail:/data/captures/live.pcap \
+#       --host 0.0.0.0 --port 9107 --checkpoint-dir /data/ck
+#
+# and every other subcommand (train, classify, campus, report, packs)
+# works the same way. The image carries only the runtime dependency
+# set (numpy); dev tooling stays in CI.
+
+FROM python:3.12-slim
+
+WORKDIR /opt/repro
+
+# Dependency layer first so source edits don't re-download numpy.
+RUN pip install --no-cache-dir numpy
+
+COPY pyproject.toml setup.py ./
+COPY src ./src
+RUN pip install --no-cache-dir .
+
+# Default HTTP port for /metrics, /healthz, /readyz and /api when the
+# operator passes --port 9107 (the serve default is an ephemeral port).
+EXPOSE 9107
+
+# Orchestrators that don't probe HTTP themselves can lean on the
+# container healthcheck; it mirrors a GET /healthz on the default port
+# and reports starting/unhealthy states truthfully (a 503 exits 1).
+HEALTHCHECK --interval=30s --timeout=5s --start-period=20s \
+    CMD ["python", "-c", "import urllib.request; \
+urllib.request.urlopen('http://127.0.0.1:9107/healthz', timeout=4)"]
+
+ENTRYPOINT ["python", "-m", "repro.cli"]
+CMD ["--help"]

@@ -11,6 +11,9 @@ Three operator-facing commands mirroring the paper's workflow:
 * ``export-dataset`` — write a synthetic lab dataset to pcap + labels;
 * ``report`` — render the §5.2 paper tables from a saved rollup
   snapshot, without any raw records;
+* ``serve`` — run the live service daemon: ingest frames from a
+  tailed capture, socket stream or AF_PACKET tap and answer §5.2
+  rollup queries over HTTP until drained by SIGTERM;
 * ``packs`` — list, validate, show and diff fingerprint packs.
 
 ``train``, ``classify`` and ``campus`` accept ``--pack`` to run against
@@ -39,6 +42,11 @@ Usage::
         --metrics-port 9107 --event-log events.jsonl \
         --metrics-out metrics.prom
     python -m repro.cli report --rollup rollup/
+    python -m repro.cli serve --bank bank/ --source tail:live.pcap \
+        --port 9107 --workers 2 --checkpoint-dir ck/
+    python -m repro.cli serve --bank bank/ \
+        --source socket:127.0.0.1:9999 --port 9107 --resume \
+        --checkpoint-dir ck/
     python -m repro.cli packs list
     python -m repro.cli packs validate
     python -m repro.cli packs show tls-lib-2023q3
@@ -59,7 +67,6 @@ from repro.errors import ConfigError
 from repro.analysis import (
     bandwidth_by_device,
     excluded_share,
-    peak_hours,
     watch_time_by_device,
 )
 from repro.fingerprints import Provider
@@ -88,6 +95,7 @@ from repro.pipeline import (
     save_bank,
 )
 from repro.obs import EventLog, MetricsServer
+from repro.reporting import render_rollup_report
 from repro.telemetry import load_rollup, save_rollup
 from repro.telemetry import queries as rollup_queries
 from repro.trafficgen import (
@@ -468,55 +476,41 @@ def _run_campus(pipeline, args: argparse.Namespace,
 def cmd_report(args: argparse.Namespace) -> int:
     """Render the §5.2 tables from a rollup snapshot alone — what a
     months-long ``retention=rollup`` deployment can answer after a
-    restart, with no raw records anywhere."""
+    restart, with no raw records anywhere. The rendering is shared
+    verbatim with the daemon's ``GET /api/report``."""
     cube = load_rollup(args.rollup)
-    excluded = rollup_queries.excluded_share(cube)
-    sessions = rollup_queries.distinct_sessions(cube)
-    print(f"Rollup snapshot: {cube.total_flows} flows in {len(cube)} "
-          f"cells from {sessions} distinct sessions; "
-          f"{excluded:.0%} of content flows excluded as low-confidence\n")
-
-    by_device = rollup_queries.watch_time_by_device(cube)
-    bandwidth = rollup_queries.bandwidth_by_device(cube)
-    hourly = rollup_queries.hourly_usage_gb(cube)
-    provider_rows = []
-    for provider in Provider:
-        per_device = by_device.get(provider, {})
-        hours = sum(per_device.values())
-        share = rollup_queries.mobile_share(cube, provider)
-        combined = [0.0] * 24
-        for series in hourly.get(provider, {}).values():
-            combined = [a + b for a, b in zip(combined, series)]
-        peaks = (",".join(f"{h:02d}" for h in peak_hours(combined))
-                 if any(combined) else "-")
-        provider_rows.append((
-            provider.short, f"{hours:.0f}", f"{share:.0%}", peaks))
-    print(format_table(
-        ("provider", "watch h/day", "mobile share", "peak hours"),
-        provider_rows, title="Figs 7/11 — engagement per provider"))
-    print()
-
-    device_rows = []
-    for provider in Provider:
-        per_device = sorted(by_device.get(provider, {}).items(),
-                            key=lambda kv: kv[1], reverse=True)
-        for device, hours in per_device[:args.limit]:
-            stats = bandwidth.get(provider, {}).get(device)
-            device_rows.append((
-                provider.short, device, f"{hours:.1f}",
-                f"{stats['median']:.1f}" if stats else "-",
-                f"{stats['iqr']:.1f}" if stats else "-",
-                # Classified-only, matching the row's other columns
-                # (both filtered by the §5.2 reliability contract).
-                str(rollup_queries.distinct_sessions(
-                    cube, provider=provider, device=device,
-                    role="content", status="classified")),
-            ))
-    print(format_table(
-        ("provider", "device", "watch h/day", "median Mbps",
-         "IQR Mbps", "sessions"), device_rows,
-        title="Figs 7/9 — per-device detail"))
+    sys.stdout.write(render_rollup_report(cube, limit=args.limit))
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the live service daemon: pipeline + source + HTTP API,
+    until SIGTERM/SIGINT drains it (final checkpoint, exit 0)."""
+    from repro.service import build_daemon, open_source
+
+    events = EventLog(args.event_log) if args.event_log else None
+    _activate_pack(args, events)
+    interval = args.checkpoint_interval
+    if interval is None and args.checkpoint_dir:
+        interval = DEFAULT_CHECKPOINT_INTERVAL
+    source = open_source(args.source)
+    daemon = build_daemon(
+        args.bank, source,
+        num_workers=args.workers,
+        retention=args.retention or "rollup",
+        batch_size=args.batch_size,
+        transport=args.transport,
+        host=args.host, port=args.port,
+        idle_timeout=args.idle_timeout,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=interval,
+        resume=args.resume,
+        events=events,
+        poll_timeout=args.poll_timeout)
+    print(f"repro serve: ingesting {source.describe()}, API on "
+          f"http://{args.host}:{daemon.server.port} "
+          f"(/metrics /healthz /readyz /api/...)", file=sys.stderr)
+    return daemon.run()
 
 
 def _pack_file(token: str, pack_dirs: list[Path]) -> Path:
@@ -715,6 +709,68 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--limit", type=_positive_int, default=6,
                         help="max devices listed per provider")
     report.set_defaults(func=cmd_report)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the live service daemon: ingest a live source, "
+             "serve §5.2 queries + metrics + health over HTTP")
+    serve.add_argument("--bank", required=True,
+                       help="trained classifier bank directory")
+    serve.add_argument(
+        "--source", required=True, metavar="SPEC",
+        help="live frame source: tail:PCAP (follow a growing capture "
+             "file across rotations), socket:HOST:PORT (length-"
+             "prefixed frame stream), afpacket:IFACE (Linux raw "
+             "socket; needs CAP_NET_RAW); a bare path means tail:")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="HTTP bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="HTTP port for /metrics /healthz /readyz /api "
+             "(default 0 = ephemeral; the bound address is printed "
+             "to stderr)")
+    serve.add_argument(
+        "--workers", type=_positive_int, default=2,
+        help="worker processes running the sharded pipeline "
+             "(default 2)")
+    serve.add_argument("--batch-size", type=_positive_int, default=None,
+                       help="flows buffered per classification drain")
+    serve.add_argument(
+        "--retention", choices=RETENTION_MODES, default=None,
+        help="per-record retention (default rollup: bounded memory "
+             "for unbounded live runs)")
+    serve.add_argument(
+        "--transport", choices=TRANSPORTS, default="queue",
+        help="frame transport to worker processes")
+    serve.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="evict flows idle this long in capture time "
+             "(default: no eviction)")
+    serve.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="periodically snapshot pipeline state + source position "
+             "into DIR (wall-clock cadence), and write a final "
+             "checkpoint on graceful shutdown")
+    serve.add_argument(
+        "--checkpoint-interval", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="wall-clock seconds between checkpoints (default "
+             f"{DEFAULT_CHECKPOINT_INTERVAL:.0f} once a checkpoint "
+             "directory is set)")
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="restore pipeline state and source position from "
+             "--checkpoint-dir before ingesting")
+    serve.add_argument(
+        "--poll-timeout", type=_positive_float, default=0.2,
+        metavar="SECONDS",
+        help="max seconds the ingest loop blocks waiting for frames "
+             "(bounds shutdown latency; default 0.2)")
+    serve.add_argument(
+        "--event-log", metavar="PATH", default=None,
+        help="append structured JSONL operational events to PATH")
+    _add_pack_args(serve)
+    serve.set_defaults(func=cmd_serve)
 
     packs = sub.add_parser(
         "packs", help="inspect + validate fingerprint packs")

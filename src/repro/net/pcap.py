@@ -69,6 +69,12 @@ class PcapWriter:
             count += 1
         return count
 
+    def flush(self) -> None:
+        """Push buffered records to disk at a record boundary — what a
+        live capture writer does between bursts so a tailing reader
+        (``repro serve --source tail:...``) sees them before close."""
+        self._file.flush()
+
     def close(self) -> None:
         self._file.close()
 

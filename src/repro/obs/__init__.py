@@ -8,24 +8,29 @@ Split by concern:
   at export time (keeps the hot path uninstrumented).
 * :mod:`repro.obs.events` — append-only JSONL event log with
   wall + capture-clock timestamps.
+* :mod:`repro.obs.health` — the component health model behind
+  truthful ``/healthz``/``/readyz`` probes.
 * :mod:`repro.obs.httpserv` — opt-in stdlib ``/metrics`` +
-  ``/healthz`` endpoint.
+  ``/healthz`` endpoint with mountable extra routes.
 """
 
 from repro.obs.events import EventLog, read_events
 from repro.obs.export import (export_counters, export_drift,
                               export_runtime_gauges,
                               export_shard_gauges)
+from repro.obs.health import ComponentHealth, HealthReport
 from repro.obs.httpserv import MetricsServer
 from repro.obs.metrics import (COUNT_BUCKETS, DEFAULT_BUCKETS, Counter,
                                Gauge, Histogram, MetricsRegistry, Span)
 
 __all__ = [
     "COUNT_BUCKETS",
+    "ComponentHealth",
     "Counter",
     "DEFAULT_BUCKETS",
     "EventLog",
     "Gauge",
+    "HealthReport",
     "Histogram",
     "MetricsRegistry",
     "MetricsServer",

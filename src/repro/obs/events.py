@@ -46,6 +46,8 @@ class EventLog:
         self._lock = threading.Lock()
         self._clock: float | None = None
         self._count = 0
+        self._dropped = 0
+        self._closed = False
 
     def set_clock(self, clock: float) -> None:
         """Publish the current capture clock; subsequent events are
@@ -63,20 +65,38 @@ class EventLog:
         """Events emitted through this log instance."""
         return self._count
 
+    @property
+    def dropped(self) -> int:
+        """Events that arrived after :meth:`close` and were discarded.
+        Nonzero means a thread (metrics scrape, respawn path) outlived
+        the owner's shutdown — worth a log line, never a crash."""
+        return self._dropped
+
     def emit(self, event: str, **fields: object) -> None:
         """Write one event line. ``fields`` must be JSON-serializable;
-        ``event``/``wall``/``clock`` keys are reserved."""
+        ``event``/``wall``/``clock`` keys are reserved.
+
+        A no-op once the log is closed: shutdown races the serving and
+        respawn threads, and a late event must not turn a clean exit
+        into a ``ValueError`` on a closed file handle. Late arrivals
+        are counted in :attr:`dropped` instead."""
         entry = {"event": event, "wall": time.time(),
                  "clock": self._clock}
         entry.update(fields)
         line = json.dumps(entry, sort_keys=True)
         with self._lock:
+            # Checked under the lock: close() holds it too, so emit
+            # can never observe a half-closed handle.
+            if self._closed:
+                self._dropped += 1
+                return
             self._fh.write(line + "\n")
             self._fh.flush()
             self._count += 1
 
     def close(self) -> None:
         with self._lock:
+            self._closed = True
             if not self._fh.closed:
                 self._fh.close()
 

@@ -1,12 +1,25 @@
-"""Opt-in HTTP exposition: ``/metrics`` (Prometheus text) + ``/healthz``.
+"""Opt-in HTTP exposition: ``/metrics``, ``/healthz``, and mounts.
 
 A months-long tap is scraped, not ssh'd into. This serves the merged
 registry of a live pipeline over a background stdlib ``http.server``
-thread — no framework, no dependency, no request leaves the two
-whitelisted paths. The server never touches pipeline internals
-directly: it calls a ``collect`` callback the owner supplies, which
-must return a :class:`~repro.obs.metrics.MetricsRegistry` (typically
+thread — no framework, no dependency. The server never touches
+pipeline internals directly: it calls a ``collect`` callback the owner
+supplies, which must return a
+:class:`~repro.obs.metrics.MetricsRegistry` (typically
 :func:`~repro.obs.export.export_pipeline_metrics` over the runtime).
+
+Beyond the two metrics paths the server exposes:
+
+* ``/healthz`` — when the owner supplies a ``health`` callback
+  returning a :class:`~repro.obs.health.HealthReport`, the endpoint
+  tells the truth: 200 only while every component is healthy, 503
+  naming the failing component(s) otherwise. Without a callback it
+  keeps the historical always-ok behavior (process liveness is all a
+  bare metrics sidecar can claim).
+* arbitrary **mounts** — :meth:`MetricsServer.mount` attaches a
+  handler under a path prefix, which is how the service plane
+  (``repro/service/api.py``) adds ``/api/...`` and ``/readyz`` to the
+  same listener instead of running a second server.
 
 Scrapes against the multiprocess runtime trigger a sync barrier in
 the collect path; Prometheus-style scrape intervals (seconds to
@@ -21,22 +34,44 @@ import json
 import threading
 from collections.abc import Callable
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 
+from repro.obs.health import ComponentHealth, HealthReport
 from repro.obs.metrics import MetricsRegistry
+
+#: A mounted handler: ``(method, path, query, body) -> (status, body,
+#: content type)``. ``query`` maps parameter names to value lists
+#: (``urllib.parse.parse_qs`` shape). Raising surfaces as a 500 with
+#: the error text; the server keeps serving.
+MountHandler = Callable[[str, str, dict[str, list[str]], bytes],
+                        tuple[int, bytes, str]]
 
 
 class MetricsServer:
-    """Background ``/metrics`` + ``/healthz`` endpoint.
+    """Background ``/metrics`` + ``/healthz`` endpoint, extensible via
+    mounts.
 
     ``collect`` runs on the serving thread per scrape; exceptions
     surface as a 500 with the error text instead of killing the
     thread (a wedged worker must not take the health endpoint down
-    with it — that is exactly when an operator needs it).
+    with it — that is exactly when an operator needs it). The most
+    recent collect failure is kept in :attr:`last_collect_error` so a
+    health probe can report a wedged collect path even to callers that
+    never scrape ``/metrics`` themselves.
+
+    ``health`` is an optional zero-argument callback returning a
+    :class:`~repro.obs.health.HealthReport`; it must be cheap and
+    lock-light (orchestrator probes arrive even — especially — when
+    the pipeline is wedged).
     """
 
     def __init__(self, collect: Callable[[], MetricsRegistry],
-                 port: int = 0, host: str = "127.0.0.1"):
+                 port: int = 0, host: str = "127.0.0.1",
+                 health: Callable[[], HealthReport] | None = None):
         self.collect = collect
+        self.health = health
+        self.last_collect_error: str | None = None
+        self._mounts: list[tuple[str, MountHandler]] = []
         server = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -51,33 +86,93 @@ class MetricsServer:
                 self.end_headers()
                 self.wfile.write(body)
 
-            def do_GET(self) -> None:
-                path = self.path.split("?", 1)[0]
-                if path == "/healthz":
-                    self._send(200, json.dumps(
-                        {"status": "ok"}).encode(),
-                        "application/json")
+            def _dispatch(self, method: str, body: bytes) -> None:
+                path, _, raw_query = self.path.partition("?")
+                query = parse_qs(raw_query)
+                if method == "GET" and path == "/healthz":
+                    self._send(*server._handle_health())
                     return
-                if path in ("/metrics", "/metrics.json"):
+                if method == "GET" and path in ("/metrics",
+                                                "/metrics.json"):
+                    self._send(*server._handle_metrics(path))
+                    return
+                handler = server._mount_for(path)
+                if handler is not None:
                     try:
-                        registry = server.collect()
-                        if path == "/metrics.json":
-                            body = registry.to_json().encode()
-                            ctype = "application/json"
-                        else:
-                            body = registry.render_prometheus().encode()
-                            ctype = ("text/plain; version=0.0.4; "
-                                     "charset=utf-8")
-                    except Exception as exc:  # replint: disable=RPL004 -- keep serving: a wedged collect path must not take the health endpoint down with it; the error body carries the cause to the scraper
-                        self._send(500, f"collect failed: {exc}"
-                                   .encode(), "text/plain")
+                        status, payload, ctype = handler(
+                            method, path, query, body)
+                    except Exception as exc:  # replint: disable=RPL004 -- keep serving: a failing mounted handler must not take the listener (and with it /healthz) down; the 500 body carries the cause to the caller
+                        self._send(500, f"{exc}".encode(), "text/plain")
                         return
-                    self._send(200, body, ctype)
+                    self._send(status, payload, ctype)
                     return
                 self._send(404, b"not found", "text/plain")
 
+            def do_GET(self) -> None:
+                self._dispatch("GET", b"")
+
+            def do_POST(self) -> None:
+                length = int(self.headers.get("Content-Length") or 0)
+                body = self.rfile.read(length) if length else b""
+                self._dispatch("POST", body)
+
         self._httpd = ThreadingHTTPServer((host, port), Handler)
         self._thread: threading.Thread | None = None
+
+    # -- request handling ------------------------------------------------------
+
+    def _handle_health(self) -> tuple[int, bytes, str]:
+        if self.health is None:
+            # Historical contract: a bare metrics sidecar claims
+            # nothing beyond process liveness.
+            return 200, json.dumps({"status": "ok"}).encode(), \
+                "application/json"
+        try:
+            report = self.health()
+        except Exception as exc:  # replint: disable=RPL004 -- a probe that cannot even run is itself the unhealthy verdict; crashing the serving thread would silence the one endpoint built to report it
+            report = HealthReport((
+                ComponentHealth("health_probe", False, str(exc)),))
+        status = 200 if report.healthy else 503
+        return status, json.dumps(
+            report.to_payload(), sort_keys=True).encode(), \
+            "application/json"
+
+    def _handle_metrics(self, path: str) -> tuple[int, bytes, str]:
+        try:
+            registry = self.collect()
+            if path == "/metrics.json":
+                body = registry.to_json().encode()
+                ctype = "application/json"
+            else:
+                body = registry.render_prometheus().encode()
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+        except Exception as exc:  # replint: disable=RPL004 -- keep serving: a wedged collect path must not take the health endpoint down with it; the error body carries the cause to the scraper
+            self.last_collect_error = str(exc)
+            return 500, f"collect failed: {exc}".encode(), "text/plain"
+        self.last_collect_error = None
+        return 200, body, ctype
+
+    def _mount_for(self, path: str) -> MountHandler | None:
+        """Longest-prefix mount match: ``prefix`` itself or anything
+        under ``prefix/``."""
+        best: tuple[str, MountHandler] | None = None
+        for prefix, handler in self._mounts:
+            if path == prefix or path.startswith(prefix + "/"):
+                if best is None or len(prefix) > len(best[0]):
+                    best = (prefix, handler)
+        return best[1] if best is not None else None
+
+    def mount(self, prefix: str, handler: MountHandler) -> None:
+        """Attach ``handler`` under ``prefix`` (e.g. ``"/api"``,
+        ``"/readyz"``). The built-in ``/healthz``/``/metrics`` paths
+        always win; among mounts the longest matching prefix wins."""
+        if not prefix.startswith("/") or prefix.endswith("/"):
+            raise ValueError(
+                f"mount prefix must start with '/' and not end with "
+                f"one, got {prefix!r}")
+        self._mounts.append((prefix, handler))
+
+    # -- lifecycle -------------------------------------------------------------
 
     @property
     def port(self) -> int:

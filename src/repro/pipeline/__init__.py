@@ -40,6 +40,7 @@ from repro.pipeline.ingest import (
 from repro.pipeline.parallel import TRANSPORTS, ParallelShardedPipeline
 from repro.pipeline.persist import load_bank, save_bank
 from repro.pipeline.sharded import ShardedPipeline, shard_index
+from repro.pipeline.ticks import TickDriver
 from repro.pipeline.evaluate import (
     OpenSetResult,
     ScenarioData,
@@ -70,6 +71,7 @@ __all__ = [
     "TRANSPORTS",
     "TelemetryRecord",
     "TelemetryStore",
+    "TickDriver",
     "TrainedScenario",
     "default_model_factory",
     "checkpoint_kind",

@@ -209,7 +209,13 @@ class ConceptDriftMonitor:
         enough = state.observed >= self.min_observations
         windowed_drift = (ref_conf is not None and enough
                           and drop > self.confidence_drop_threshold)
-        ph_drift = enough and state.page_hinkley.alarmed
+        # The report's alarm field is the detector's *actual* state —
+        # an alarmed-but-young scenario must log alarm=True or the
+        # operator reading the report cannot reconcile it with the
+        # on_alarm transition that already fired. The
+        # ``min_observations`` gate applies only to the retraining
+        # verdict (``drifting``).
+        ph_alarm = state.page_hinkley.alarmed
         return DriftReport(
             provider=provider, transport=transport,
             observed_flows=state.observed,
@@ -218,8 +224,8 @@ class ConceptDriftMonitor:
             rolling_classified_share=rolling_share,
             reference_classified_share=ref_share or 0.0,
             confidence_drop=drop,
-            page_hinkley_alarm=ph_drift,
-            drifting=windowed_drift or ph_drift,
+            page_hinkley_alarm=ph_alarm,
+            drifting=windowed_drift or (enough and ph_alarm),
         )
 
     def reports(self) -> list[DriftReport]:

@@ -52,6 +52,7 @@ from repro.errors import ConfigError, ParseError
 from repro.net.packet import Packet
 from repro.net.pcap import PcapReader
 from repro.net.rawpacket import RawPacket, decode_block
+from repro.pipeline.ticks import TickDriver
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.events import EventLog
@@ -95,6 +96,22 @@ class IngestPosition(NamedTuple):
         }, sort_keys=True, indent=1)
 
 
+def _clock_field(data: dict, key: str) -> float | None:
+    """Coerce a saved clock/deadline to ``float | None``. The raw JSON
+    value used to pass through untyped, so a hand-edited (or corrupted)
+    position with ``"clock": "12.5"`` survived loading and only blew up
+    frames later inside the tick arithmetic — far from the real cause.
+    Booleans are explicitly rejected: ``True`` is an ``int`` to
+    ``isinstance`` but never a meaningful timestamp."""
+    value = data[key]
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(
+            f"{key} must be a number or null, got {value!r}")
+    return float(value)
+
+
 def load_ingest_position(checkpoint_dir: str | Path) -> IngestPosition:
     """Read the replay position saved alongside a checkpoint; raises
     :class:`ConfigError` when the checkpoint carries none (it was not
@@ -116,9 +133,9 @@ def load_ingest_position(checkpoint_dir: str | Path) -> IngestPosition:
             consumed=int(data["consumed"]),
             frames=int(data["frames"]),
             skipped=int(data["skipped"]),
-            clock=data["clock"],
-            next_evict=data["next_evict"],
-            next_checkpoint=data["next_checkpoint"],
+            clock=_clock_field(data, "clock"),
+            next_evict=_clock_field(data, "next_evict"),
+            next_checkpoint=_clock_field(data, "next_checkpoint"),
         )
     except ConfigError:
         raise
@@ -179,54 +196,27 @@ def ingest_pcap(pipeline: "RealtimePipeline | ShardedPipeline | "
     if mode not in INGEST_MODES:
         raise ValueError(
             f"mode must be one of {INGEST_MODES}, got {mode!r}")
-    if idle_timeout is None:
-        if evict_interval is not None:
-            raise ValueError("evict_interval requires idle_timeout")
-    elif idle_timeout <= 0:
-        raise ValueError(
-            f"idle_timeout must be positive, got {idle_timeout}")
-    if evict_interval is None:
-        evict_interval = idle_timeout / 4 if idle_timeout else None
-    elif evict_interval <= 0:
-        raise ValueError(
-            f"evict_interval must be positive, got {evict_interval}")
-    if checkpoint_interval is not None:
-        if checkpoint_dir is None:
-            raise ValueError("checkpoint_interval requires "
-                             "checkpoint_dir")
-        if checkpoint_interval <= 0:
-            raise ValueError(
-                f"checkpoint_interval must be positive, "
-                f"got {checkpoint_interval}")
-    elif checkpoint_dir is not None:
-        # Symmetric with the check above: a checkpoint directory that
-        # never receives a snapshot is a silent data-loss trap.
-        raise ValueError("checkpoint_dir requires checkpoint_interval")
-    track_clock = idle_timeout is not None or \
-        checkpoint_interval is not None
+    # The driver constructor is also the knob validator (ValueError on
+    # inconsistent idle/evict/checkpoint settings), shared verbatim
+    # with the service daemon's wall-clock instance.
+    driver = TickDriver(pipeline, idle_timeout=idle_timeout,
+                        evict_interval=evict_interval,
+                        checkpoint_dir=checkpoint_dir,
+                        checkpoint_interval=checkpoint_interval,
+                        events=events)
     consumed = frames = skipped = 0
     to_skip = 0
-    clock: float | None = None
-    next_evict: float | None = None
-    next_checkpoint: float | None = None
     if resume_dir is not None:
         position = load_ingest_position(resume_dir)
         to_skip = position.consumed
         consumed = position.consumed
         frames = position.frames
         skipped = position.skipped
-        clock = position.clock
-        # A saved deadline only re-arms when this run still has the
-        # matching knob: resuming without idle_timeout (or without
-        # checkpointing) deliberately drops that tick rather than
-        # firing it against a None interval.
-        next_evict = (position.next_evict
-                      if evict_interval is not None else None)
-        next_checkpoint = (position.next_checkpoint
-                           if checkpoint_interval is not None else None)
+        driver.resume(position.clock, position.next_evict,
+                      position.next_checkpoint)
         if events is not None:
-            if clock is not None:
-                events.set_clock(clock)
+            if position.clock is not None:
+                events.set_clock(position.clock)
             # Clean planned resume (vs. the parallel runtime's
             # worker_respawn crash recovery — operators need to tell
             # the two apart in the same log).
@@ -235,16 +225,17 @@ def ingest_pcap(pipeline: "RealtimePipeline | ShardedPipeline | "
                         skipped=skipped)
     if mode == "bulk":
         return _ingest_bulk(
-            pipeline, path, strict=strict, to_skip=to_skip,
-            consumed=consumed, frames=frames, skipped=skipped,
-            clock=clock, next_evict=next_evict,
-            next_checkpoint=next_checkpoint, track_clock=track_clock,
-            idle_timeout=idle_timeout, evict_interval=evict_interval,
-            checkpoint_dir=checkpoint_dir,
-            checkpoint_interval=checkpoint_interval, events=events)
+            pipeline, path, driver, strict=strict, to_skip=to_skip,
+            consumed=consumed, frames=frames, skipped=skipped)
     registry = getattr(pipeline, "metrics", None)
     started = time.perf_counter()
     start_skipped = skipped
+    track_clock = driver.active
+    driver.position = lambda: {INGEST_POSITION_FILE: IngestPosition(
+        consumed=consumed, frames=frames, skipped=skipped,
+        clock=driver.clock, next_evict=driver.next_evict,
+        next_checkpoint=driver.next_checkpoint).to_json()}
+    driver.event_fields = lambda: {"consumed": consumed}
     with PcapReader(path) as reader:
         if mode == "raw":
             parse = RawPacket.parse
@@ -263,33 +254,7 @@ def ingest_pcap(pipeline: "RealtimePipeline | ShardedPipeline | "
             # unparseable-heavy stretch (IPv6/ARP bursts) still passes
             # capture time, and idle flows must not outlive it.
             if track_clock:
-                if clock is None or timestamp > clock:
-                    clock = timestamp
-                    if next_evict is None and evict_interval is not None:
-                        next_evict = clock + evict_interval
-                    if next_checkpoint is None and \
-                            checkpoint_interval is not None:
-                        next_checkpoint = clock + checkpoint_interval
-                if next_evict is not None and clock >= next_evict:
-                    emitted = pipeline.flush_idle(
-                        now=clock, idle_timeout=idle_timeout)
-                    next_evict = clock + evict_interval
-                    _emit_sweep(events, clock, emitted)
-                if next_checkpoint is not None and \
-                        clock >= next_checkpoint:
-                    next_checkpoint = clock + checkpoint_interval
-                    tick = time.perf_counter()
-                    pipeline.save_checkpoint(
-                        checkpoint_dir,
-                        extra={INGEST_POSITION_FILE: IngestPosition(
-                            consumed=consumed, frames=frames,
-                            skipped=skipped, clock=clock,
-                            next_evict=next_evict,
-                            next_checkpoint=next_checkpoint,
-                        ).to_json()})
-                    _emit_checkpoint(events, clock, checkpoint_dir,
-                                     consumed,
-                                     time.perf_counter() - tick)
+                driver.advance(timestamp)
             try:
                 packet = parse(data, timestamp)
             except ParseError:
@@ -312,20 +277,6 @@ def ingest_pcap(pipeline: "RealtimePipeline | ShardedPipeline | "
     return IngestResult(frames, skipped)
 
 
-def _emit_sweep(events, clock: float, emitted: int) -> None:
-    if events is not None:
-        events.set_clock(clock)
-        events.emit("eviction_sweep", emitted=emitted)
-
-
-def _emit_checkpoint(events, clock: float, checkpoint_dir, consumed: int,
-                     elapsed: float) -> None:
-    if events is not None:
-        events.set_clock(clock)
-        events.emit("checkpoint", path=str(checkpoint_dir),
-                    consumed=consumed, duration_seconds=elapsed)
-
-
 def _observe_ingest(registry, started: float, skipped: int) -> None:
     """Fold one replay's totals into the pipeline's live registry (one
     observation per :func:`ingest_pcap` call, nothing per frame)."""
@@ -341,11 +292,8 @@ def _observe_ingest(registry, started: float, skipped: int) -> None:
         "Unparseable frames skipped during replay").inc(skipped)
 
 
-def _ingest_bulk(pipeline, path, *, strict, to_skip, consumed, frames,
-                 skipped, clock, next_evict, next_checkpoint,
-                 track_clock, idle_timeout, evict_interval,
-                 checkpoint_dir, checkpoint_interval,
-                 events=None) -> IngestResult:
+def _ingest_bulk(pipeline, path, driver: TickDriver, *, strict,
+                 to_skip, consumed, frames, skipped) -> IngestResult:
     """The ``mode="bulk"`` body of :func:`ingest_pcap`: stream the
     capture as :class:`~repro.net.FrameBlock` chunks through
     ``pipeline.process_block``.
@@ -355,14 +303,23 @@ def _ingest_bulk(pipeline, path, *, strict, to_skip, consumed, frames,
     eviction/checkpoint deadlines arm on the first clock advance, each
     tick fires *before* the frame that crossed its deadline is
     processed, and a strict-mode :class:`ParseError` surfaces after
-    every preceding frame has been processed. Blocks are split at
-    those event frames (``np.searchsorted`` over the running max), so
-    a tick-free block is one ``process_block`` call.
+    every preceding frame has been processed. All of that ordering
+    lives in ``driver`` (:class:`~repro.pipeline.ticks.TickDriver`);
+    this loop's own job is finding the spans *between* ticks: blocks
+    are split at event frames (``np.searchsorted`` over the running
+    max against the driver's armed deadlines), so a tick-free block is
+    one ``process_block`` call.
     """
     resume_consumed = consumed
     registry = getattr(pipeline, "metrics", None)
     started = time.perf_counter()
     start_skipped = skipped
+    track_clock = driver.active
+    driver.position = lambda: {INGEST_POSITION_FILE: IngestPosition(
+        consumed=consumed, frames=frames, skipped=skipped,
+        clock=driver.clock, next_evict=driver.next_evict,
+        next_checkpoint=driver.next_checkpoint).to_json()}
+    driver.event_fields = lambda: {"consumed": consumed}
     decode_span = None if registry is None else registry.timed(
         "repro_stage_seconds", _STAGE_HELP, {"stage": "block_decode"})
 
@@ -394,8 +351,8 @@ def _ingest_bulk(pipeline, path, *, strict, to_skip, consumed, frames,
                 decoded = decode_block(block)
             times = block.timestamps
             runmax = np.maximum.accumulate(times)
-            if clock is not None:
-                runmax = np.maximum(runmax, clock)
+            if driver.clock is not None:
+                runmax = np.maximum(runmax, driver.clock)
             n = len(block)
             pos = 0
             while pos < n:
@@ -403,36 +360,7 @@ def _ingest_bulk(pipeline, path, *, strict, to_skip, consumed, frames,
                     # Frame-``pos`` events, in per-frame order: clock
                     # advance + deadline arming, eviction tick,
                     # checkpoint tick.
-                    new_clock = float(runmax[pos])
-                    if clock is None or new_clock > clock:
-                        clock = new_clock
-                        if next_evict is None and \
-                                evict_interval is not None:
-                            next_evict = clock + evict_interval
-                        if next_checkpoint is None and \
-                                checkpoint_interval is not None:
-                            next_checkpoint = clock + \
-                                checkpoint_interval
-                    if next_evict is not None and clock >= next_evict:
-                        emitted = pipeline.flush_idle(
-                            now=clock, idle_timeout=idle_timeout)
-                        next_evict = clock + evict_interval
-                        _emit_sweep(events, clock, emitted)
-                    if next_checkpoint is not None and \
-                            clock >= next_checkpoint:
-                        next_checkpoint = clock + checkpoint_interval
-                        tick = time.perf_counter()
-                        pipeline.save_checkpoint(
-                            checkpoint_dir,
-                            extra={INGEST_POSITION_FILE: IngestPosition(
-                                consumed=consumed, frames=frames,
-                                skipped=skipped, clock=clock,
-                                next_evict=next_evict,
-                                next_checkpoint=next_checkpoint,
-                            ).to_json()})
-                        _emit_checkpoint(events, clock, checkpoint_dir,
-                                         consumed,
-                                         time.perf_counter() - tick)
+                    driver.advance(float(runmax[pos]))
                 if strict and not decoded.valid[pos]:
                     # Ticks at this frame fired above; now fail with
                     # the per-frame path's exact error.
@@ -441,17 +369,18 @@ def _ingest_bulk(pipeline, path, *, strict, to_skip, consumed, frames,
                 # before it is one uninterrupted span.
                 cut = n
                 if track_clock:
-                    if (next_evict is None and
-                            evict_interval is not None) or \
-                            (next_checkpoint is None and
-                             checkpoint_interval is not None):
+                    if (driver.next_evict is None and
+                            driver.evict_interval is not None) or \
+                            (driver.next_checkpoint is None and
+                             driver.checkpoint_interval is not None):
                         # A deadline is still unarmed: it arms at the
                         # next clock advance.
-                        ahead = times[pos + 1:] > clock
+                        ahead = times[pos + 1:] > driver.clock
                         if ahead.any():
                             cut = min(cut,
                                       pos + 1 + int(np.argmax(ahead)))
-                    for deadline in (next_evict, next_checkpoint):
+                    for deadline in (driver.next_evict,
+                                     driver.next_checkpoint):
                         if deadline is not None:
                             cut = min(cut, pos + 1 + int(
                                 np.searchsorted(runmax[pos + 1:],
@@ -464,7 +393,10 @@ def _ingest_bulk(pipeline, path, *, strict, to_skip, consumed, frames,
                         cut = pos + int(bad[0])
                 _process_span(decoded, pos, cut)
                 if track_clock and cut > pos:
-                    clock = float(runmax[cut - 1])
+                    # Catch the clock up to the span's end; by the cut
+                    # construction no deadline lies inside the span, so
+                    # this advance can never fire a tick.
+                    driver.advance(float(runmax[cut - 1]))
                 pos = cut
     if to_skip:
         raise ConfigError(

@@ -1015,6 +1015,16 @@ class ParallelShardedPipeline:
     # -- merged views ----------------------------------------------------------
 
     @property
+    def workers_alive(self) -> int:
+        """Worker processes alive *right now* — a lock-free liveness
+        probe (no sync barrier, mutates nothing). A count below
+        ``num_workers`` is transient while the dispatcher's next use
+        respawns the worker, permanent once the restart budget is
+        spent — exactly the distinction a health endpoint reports."""
+        return sum(1 for process in self._workers
+                   if process is not None and process.is_alive())
+
+    @property
     def counters(self) -> PipelineCounters:
         merged = PipelineCounters()
         for state in self._sync():

@@ -1,0 +1,203 @@
+"""Deadline scheduling shared by capture-clock replay and wall-clock
+service loops.
+
+Two things happen "every N seconds" in a long-running pipeline:
+idle-flow eviction sweeps and periodic checkpoints. A pcap replay
+drives both from the *capture* clock (``ingest_pcap``); the live
+service daemon (``repro serve``) drives eviction from the capture
+clock its frames carry and checkpoints from the *wall* clock — a tap
+whose feed stalls must still checkpoint on schedule. Before this
+module the scheduling logic lived inline in ``ingest_pcap``'s frame
+loop; the daemon would have needed a second, subtly divergent copy.
+
+:class:`TickDriver` is that one implementation, clock-agnostic: the
+caller feeds it timestamps from whatever domain it lives in, and the
+driver keeps the replay contract's exact per-frame event order —
+clock advance and deadline arming first, then the eviction sweep,
+then the checkpoint. Deadlines arm on the first clock advance (never
+at construction: a replay's clock starts at the first frame, not at
+process start), each tick re-arms relative to the clock that fired
+it, and a monotonic running-max clock means reordered capture slices
+never drive time backwards.
+
+The driver mutates nothing behind the pipeline's back: eviction goes
+through ``pipeline.flush_idle`` and checkpoints through
+``pipeline.save_checkpoint`` with the owner-supplied position sidecar,
+so every byte-equivalence and crash-recovery contract those calls pin
+holds unchanged. The bulk ingest path reads the driver's public
+``clock``/``next_evict``/``next_checkpoint`` fields to vectorize its
+tick-free spans; they are state, not implementation detail.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import EventLog
+
+
+class TickablePipeline(Protocol):
+    """The slice of the pipeline surface the driver needs — satisfied
+    by every runtime flavor (realtime, sharded, parallel)."""
+
+    def flush_idle(self, now: float, idle_timeout: float = 120.0,
+                   role: str = "content") -> int:
+        ...  # pragma: no cover - protocol
+
+    def save_checkpoint(self, path: str | Path,
+                        extra: dict[str, str] | None = None) -> None:
+        ...  # pragma: no cover - protocol
+
+
+class TickDriver:
+    """Fire eviction sweeps and checkpoints as a clock advances.
+
+    ``position`` supplies the checkpoint's sidecar files (file name ->
+    text) at the moment of the snapshot — the replay position during
+    pcap ingest, the source position in the daemon; evaluated *after*
+    the checkpoint deadline re-arms, so a saved position re-arms the
+    resumed run at the same future ticks the uninterrupted run would
+    hit. ``event_fields`` adds caller context (e.g. consumed record
+    counts) to emitted checkpoint events. Both are public attributes
+    and may be (re)bound after construction — ingest binds them to
+    closures over its loop counters, which do not exist yet when the
+    driver is built.
+
+    ``publish_clock=False`` keeps the driver from stamping its clock
+    into the event log — the wall-clock checkpoint driver in the
+    daemon runs alongside a capture-clock eviction driver, and only
+    the capture clock belongs in the log's ``clock`` field.
+    """
+
+    def __init__(self, pipeline: TickablePipeline, *,
+                 idle_timeout: float | None = None,
+                 evict_interval: float | None = None,
+                 checkpoint_dir: str | Path | None = None,
+                 checkpoint_interval: float | None = None,
+                 events: "EventLog | None" = None,
+                 position: Callable[[], dict[str, str]] | None = None,
+                 event_fields: Callable[[], dict[str, object]] | None
+                 = None,
+                 publish_clock: bool = True) -> None:
+        if idle_timeout is None:
+            if evict_interval is not None:
+                raise ValueError("evict_interval requires idle_timeout")
+        elif idle_timeout <= 0:
+            raise ValueError(
+                f"idle_timeout must be positive, got {idle_timeout}")
+        if evict_interval is None:
+            evict_interval = idle_timeout / 4 if idle_timeout else None
+        elif evict_interval <= 0:
+            raise ValueError(
+                f"evict_interval must be positive, got {evict_interval}")
+        if checkpoint_interval is not None:
+            if checkpoint_dir is None:
+                raise ValueError("checkpoint_interval requires "
+                                 "checkpoint_dir")
+            if checkpoint_interval <= 0:
+                raise ValueError(
+                    f"checkpoint_interval must be positive, "
+                    f"got {checkpoint_interval}")
+        elif checkpoint_dir is not None:
+            # Symmetric with the check above: a checkpoint directory
+            # that never receives a snapshot is a silent data-loss trap.
+            raise ValueError("checkpoint_dir requires checkpoint_interval")
+        self._pipeline = pipeline
+        self.idle_timeout = idle_timeout
+        self.evict_interval = evict_interval
+        self.checkpoint_dir = (Path(checkpoint_dir)
+                               if checkpoint_dir is not None else None)
+        self.checkpoint_interval = checkpoint_interval
+        self._events = events
+        self.position = position
+        self.event_fields = event_fields
+        self._publish_clock = publish_clock
+        #: The running-max clock; None until the first advance.
+        self.clock: float | None = None
+        #: Armed deadlines; None while unarmed (or the knob is off).
+        self.next_evict: float | None = None
+        self.next_checkpoint: float | None = None
+        #: Wall-clock time of the last completed checkpoint (for
+        #: staleness health probes), None before the first one.
+        self.last_checkpoint_wall: float | None = None
+
+    @property
+    def active(self) -> bool:
+        """Whether any schedule exists — callers skip clock tracking
+        entirely when nothing would ever fire."""
+        return (self.evict_interval is not None
+                or self.checkpoint_interval is not None)
+
+    def resume(self, clock: float | None, next_evict: float | None,
+               next_checkpoint: float | None) -> None:
+        """Re-arm from a saved position. A saved deadline only re-arms
+        when this run still has the matching knob: resuming without
+        ``idle_timeout`` (or without checkpointing) deliberately drops
+        that tick rather than firing it against a None interval."""
+        self.clock = clock
+        self.next_evict = (next_evict
+                           if self.evict_interval is not None else None)
+        self.next_checkpoint = (next_checkpoint
+                                if self.checkpoint_interval is not None
+                                else None)
+
+    def advance(self, now: float) -> None:
+        """Advance the clock to ``max(clock, now)`` and fire every due
+        tick, in the pinned order: arm, evict, checkpoint. Call before
+        processing the frame (or at the wall-clock poll) that carries
+        ``now`` — a tick fires *before* the frame that crossed its
+        deadline."""
+        if self.clock is None or now > self.clock:
+            self.clock = now
+            if self.next_evict is None and \
+                    self.evict_interval is not None:
+                self.next_evict = self.clock + self.evict_interval
+            if self.next_checkpoint is None and \
+                    self.checkpoint_interval is not None:
+                self.next_checkpoint = self.clock + \
+                    self.checkpoint_interval
+        if self.next_evict is not None and self.clock >= self.next_evict:
+            # A deadline only arms when both knobs exist (construction
+            # and resume() both enforce it), so the narrows hold.
+            assert self.idle_timeout is not None
+            assert self.evict_interval is not None
+            emitted = self._pipeline.flush_idle(
+                now=self.clock, idle_timeout=self.idle_timeout)
+            self.next_evict = self.clock + self.evict_interval
+            if self._events is not None:
+                if self._publish_clock:
+                    self._events.set_clock(self.clock)
+                self._events.emit("eviction_sweep", emitted=emitted)
+        if self.next_checkpoint is not None and \
+                self.clock >= self.next_checkpoint:
+            assert self.checkpoint_interval is not None
+            self.next_checkpoint = self.clock + self.checkpoint_interval
+            self.checkpoint()
+
+    def checkpoint(self) -> None:
+        """Take one checkpoint now (also the body of the periodic
+        tick, and what the daemon's POST /api/checkpoint calls). The
+        position sidecar is evaluated here, after any deadline
+        re-arm, so it carries the deadlines the *next* run must hit."""
+        if self.checkpoint_dir is None:
+            raise ValueError(
+                "no checkpoint directory: construct with "
+                "checkpoint_dir= to take checkpoints")
+        tick = time.perf_counter()
+        extra = self.position() if self.position is not None else None
+        self._pipeline.save_checkpoint(self.checkpoint_dir, extra=extra)
+        elapsed = time.perf_counter() - tick
+        self.last_checkpoint_wall = time.time()
+        if self._events is not None:
+            if self._publish_clock and self.clock is not None:
+                self._events.set_clock(self.clock)
+            fields: dict[str, object] = {
+                "path": str(self.checkpoint_dir),
+                "duration_seconds": elapsed,
+            }
+            if self.event_fields is not None:
+                fields.update(self.event_fields())
+            self._events.emit("checkpoint", **fields)

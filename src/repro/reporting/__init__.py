@@ -6,10 +6,12 @@ from repro.reporting.render import (
     hourly_series_table,
     paper_vs_measured_table,
 )
+from repro.reporting.rollup_report import render_rollup_report
 
 __all__ = [
     "confusion_table",
     "hourly_series_table",
     "paper_values",
     "paper_vs_measured_table",
+    "render_rollup_report",
 ]

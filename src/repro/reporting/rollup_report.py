@@ -1,0 +1,75 @@
+"""The §5.2 rollup report as a string, shared by CLI and service.
+
+``repro report`` (batch, from a saved snapshot) and the daemon's
+``GET /api/report`` (live, from the running pipeline's cube) must
+render the *same bytes* for the same cube — that equivalence is how an
+operator cross-checks the live service against the offline path, and
+``tests/test_service.py`` pins it. So the rendering lives here, once,
+and both callers print/serve the returned string verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import peak_hours
+from repro.fingerprints import Provider
+from repro.telemetry import RollupCube
+from repro.telemetry import queries as rollup_queries
+from repro.util import format_table
+
+
+def render_rollup_report(cube: RollupCube, limit: int = 6) -> str:
+    """Render the §5.2 tables (Figs 7/9/11) from a rollup cube.
+
+    ``limit`` caps the devices listed per provider in the per-device
+    table. The output ends in a newline; callers emit it with
+    ``sys.stdout.write`` / HTTP body as-is.
+    """
+    lines: list[str] = []
+    excluded = rollup_queries.excluded_share(cube)
+    sessions = rollup_queries.distinct_sessions(cube)
+    lines.append(
+        f"Rollup snapshot: {cube.total_flows} flows in {len(cube)} "
+        f"cells from {sessions} distinct sessions; "
+        f"{excluded:.0%} of content flows excluded as low-confidence\n")
+
+    by_device = rollup_queries.watch_time_by_device(cube)
+    bandwidth = rollup_queries.bandwidth_by_device(cube)
+    hourly = rollup_queries.hourly_usage_gb(cube)
+    provider_rows = []
+    for provider in Provider:
+        per_device = by_device.get(provider, {})
+        hours = sum(per_device.values())
+        share = rollup_queries.mobile_share(cube, provider)
+        combined = [0.0] * 24
+        for series in hourly.get(provider, {}).values():
+            combined = [a + b for a, b in zip(combined, series)]
+        peaks = (",".join(f"{h:02d}" for h in peak_hours(combined))
+                 if any(combined) else "-")
+        provider_rows.append((
+            provider.short, f"{hours:.0f}", f"{share:.0%}", peaks))
+    lines.append(format_table(
+        ("provider", "watch h/day", "mobile share", "peak hours"),
+        provider_rows, title="Figs 7/11 — engagement per provider"))
+    lines.append("")
+
+    device_rows = []
+    for provider in Provider:
+        per_device = sorted(by_device.get(provider, {}).items(),
+                            key=lambda kv: kv[1], reverse=True)
+        for device, hours in per_device[:limit]:
+            stats = bandwidth.get(provider, {}).get(device)
+            device_rows.append((
+                provider.short, device, f"{hours:.1f}",
+                f"{stats['median']:.1f}" if stats else "-",
+                f"{stats['iqr']:.1f}" if stats else "-",
+                # Classified-only, matching the row's other columns
+                # (both filtered by the §5.2 reliability contract).
+                str(rollup_queries.distinct_sessions(
+                    cube, provider=provider, device=device,
+                    role="content", status="classified")),
+            ))
+    lines.append(format_table(
+        ("provider", "device", "watch h/day", "median Mbps",
+         "IQR Mbps", "sessions"), device_rows,
+        title="Figs 7/9 — per-device detail"))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,42 @@
+"""Live service plane: the ``repro serve`` daemon and its parts.
+
+* :mod:`repro.service.sources` — pluggable live frame sources
+  (pcap tail, length-prefixed socket stream, AF_PACKET).
+* :mod:`repro.service.daemon` — the supervisor owning the pipeline,
+  the ingest thread, both tick drivers, and the shutdown contract.
+* :mod:`repro.service.api` — the ``/api/...`` + ``/readyz`` routes
+  mounted on the shared metrics server.
+* :mod:`repro.service.schemas` — versioned JSON payload builders.
+"""
+
+from repro.service.daemon import (
+    SERVICE_POSITION_FILE,
+    ServeDaemon,
+    ServicePosition,
+    build_daemon,
+    load_service_position,
+)
+from repro.service.sources import (
+    AFPacketSource,
+    FrameSource,
+    MAX_FRAME_BYTES,
+    PcapTailSource,
+    STREAM_FRAME_HEADER,
+    SocketStreamSource,
+    open_source,
+)
+
+__all__ = [
+    "AFPacketSource",
+    "FrameSource",
+    "MAX_FRAME_BYTES",
+    "PcapTailSource",
+    "SERVICE_POSITION_FILE",
+    "STREAM_FRAME_HEADER",
+    "ServeDaemon",
+    "ServicePosition",
+    "SocketStreamSource",
+    "build_daemon",
+    "load_service_position",
+    "open_source",
+]

@@ -1,0 +1,169 @@
+"""The daemon's HTTP query surface, mounted on the metrics server.
+
+Stdlib-only, like :mod:`repro.obs.httpserv` it plugs into — the
+service plane adds routes to the *same* listener instead of running a
+second server, so one port serves Prometheus scrapes, orchestrator
+probes, and operator queries:
+
+================================  =========================================
+``GET  /api/status``              daemon lifecycle + source position
+``GET  /api/counters``            merged pipeline counters
+``GET  /api/rollup[?query=...]``  §5.2 rollup queries (JSON numbers)
+``GET  /api/report[?limit=N]``    the §5.2 tables, byte-identical to
+                                  ``repro report`` on the same cube
+``GET  /api/drift``               drift monitor status (truthful about
+                                  absence)
+``POST /api/flush``               finalize all in-flight flows now
+``POST /api/checkpoint``          snapshot state + source position now
+``POST /api/reload``              hot-swap bank (and optionally pack):
+                                  ``{"bank": DIR[, "pack": PATH]}``
+``GET  /readyz``                  readiness (started, not draining,
+                                  healthy); ``/healthz`` itself is the
+                                  server's, fed by the daemon's probe
+================================  =========================================
+
+Every JSON body comes from :mod:`repro.service.schemas` and carries a
+``format_version``. Reads that need pipeline state go through the
+daemon's locked accessors (they are sync-barrier reads, same cost the
+metrics scrape already pays); ``/readyz`` is lock-free like the
+health probe.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+from repro.reporting import render_rollup_report
+from repro.service import schemas
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.httpserv import MetricsServer
+    from repro.service.daemon import ServeDaemon
+
+_JSON = "application/json"
+_TEXT = "text/plain; charset=utf-8"
+
+
+def _json_body(payload: dict[str, object],
+               status: int = 200) -> tuple[int, bytes, str]:
+    return status, json.dumps(payload, sort_keys=True).encode(), _JSON
+
+
+def _error(status: int, message: str) -> tuple[int, bytes, str]:
+    return _json_body({"error": message}, status)
+
+
+class ServiceAPI:
+    """Route table over a :class:`~repro.service.daemon.ServeDaemon`."""
+
+    def __init__(self, daemon: "ServeDaemon") -> None:
+        self._daemon = daemon
+
+    def mount_on(self, server: "MetricsServer") -> None:
+        server.mount("/api", self.handle_api)
+        server.mount("/readyz", self.handle_readyz)
+
+    # -- /readyz -----------------------------------------------------------
+
+    def handle_readyz(self, method: str, path: str,
+                      query: dict[str, list[str]],
+                      body: bytes) -> tuple[int, bytes, str]:
+        if method != "GET":
+            return _error(405, "method not allowed")
+        ready, reason = self._daemon.ready()
+        return _json_body({"ready": ready, "reason": reason},
+                          200 if ready else 503)
+
+    # -- /api --------------------------------------------------------------
+
+    def handle_api(self, method: str, path: str,
+                   query: dict[str, list[str]],
+                   body: bytes) -> tuple[int, bytes, str]:
+        route = path.removeprefix("/api")
+        if method == "GET":
+            if route == "/status":
+                return self._status()
+            if route == "/counters":
+                return self._counters()
+            if route == "/rollup":
+                return self._rollup(query)
+            if route == "/report":
+                return self._report(query)
+            if route == "/drift":
+                return self._drift()
+        elif method == "POST":
+            if route == "/flush":
+                return self._flush()
+            if route == "/checkpoint":
+                return self._checkpoint()
+            if route == "/reload":
+                return self._reload(body)
+        return _error(404, f"no route {method} {path}")
+
+    def _status(self) -> tuple[int, bytes, str]:
+        return _json_body(self._daemon.status())
+
+    def _counters(self) -> tuple[int, bytes, str]:
+        return _json_body(
+            schemas.counters_payload(self._daemon.counters()))
+
+    def _rollup(self, query: dict[str, list[str]]
+                ) -> tuple[int, bytes, str]:
+        cube = self._daemon.rollup_cube()
+        if cube is None:
+            return _error(409, "rollup retention disabled: the daemon "
+                               "runs with retention=raw")
+        name = query.get("query", [None])[0]
+        try:
+            payload = schemas.rollup_payload(cube, name)
+        except ValueError as exc:
+            return _error(400, str(exc))
+        return _json_body(payload)
+
+    def _report(self, query: dict[str, list[str]]
+                ) -> tuple[int, bytes, str]:
+        cube = self._daemon.rollup_cube()
+        if cube is None:
+            return _error(409, "rollup retention disabled: the daemon "
+                               "runs with retention=raw")
+        try:
+            limit = int(query.get("limit", ["6"])[0])
+            if limit < 1:
+                raise ValueError
+        except ValueError:
+            return _error(400, "limit must be a positive integer")
+        return 200, render_rollup_report(cube, limit=limit).encode(), \
+            _TEXT
+
+    def _drift(self) -> tuple[int, bytes, str]:
+        return _json_body(
+            schemas.drift_payload(self._daemon.drift_monitor()))
+
+    def _flush(self) -> tuple[int, bytes, str]:
+        return _json_body({"flushed": self._daemon.flush()})
+
+    def _checkpoint(self) -> tuple[int, bytes, str]:
+        try:
+            self._daemon.checkpoint_now()
+        except ConfigError as exc:
+            return _error(409, str(exc))
+        return _json_body({
+            "checkpointed": True,
+            "path": str(self._daemon.checkpoint_dir)})
+
+    def _reload(self, body: bytes) -> tuple[int, bytes, str]:
+        try:
+            request = json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            return _error(400, f"malformed JSON body: {exc}")
+        if not isinstance(request, dict) or "bank" not in request:
+            return _error(400, 'body must be {"bank": DIR[, "pack": '
+                               'PATH]}')
+        try:
+            self._daemon.reload(request["bank"], request.get("pack"))
+        except ConfigError as exc:
+            return _error(409, str(exc))
+        return _json_body({"reloaded": True, "bank": request["bank"],
+                           "pack": request.get("pack")})

@@ -1,0 +1,163 @@
+"""Versioned JSON payload builders for the service HTTP API.
+
+Every response body the daemon serves is built here, nowhere else, and
+carries ``"format_version"`` so API consumers can detect breaking
+changes the way checkpoint/snapshot readers already do. Builders map
+runtime objects (counters, rollup cubes, drift reports) to plain
+JSON-serializable dicts with enum keys flattened to their string
+values; they never reach back into the daemon — the API layer hands
+them already-fetched state, keeping lock scope visible in one place
+(``daemon.py``).
+
+Serialization is ``json.dumps(..., sort_keys=True)`` at the API layer,
+so payload dict insertion order never leaks into response bytes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.fingerprints import Provider
+from repro.telemetry import queries as rollup_queries
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pipeline.driftwatch import ConceptDriftMonitor
+    from repro.pipeline.engine import PipelineCounters
+    from repro.telemetry import RollupCube
+
+#: Bumped on any backward-incompatible change to a response shape.
+API_FORMAT_VERSION = 1
+
+#: The ``?query=`` names ``/api/rollup`` accepts, mapped to the §5.2
+#: query they answer. ``None`` selects the full payload.
+ROLLUP_QUERIES = ("watch_time", "bandwidth", "mobile_share", "hourly",
+                  "excluded_share", "sessions", "watch_hours",
+                  "classified_share")
+
+
+def envelope(kind: str, payload: dict[str, object]) -> dict[str, object]:
+    """Wrap a payload with the version + kind header every response
+    carries."""
+    return {"format_version": API_FORMAT_VERSION, "kind": kind,
+            **payload}
+
+
+def counters_payload(counters: "PipelineCounters") -> dict[str, object]:
+    return envelope("counters", {
+        "packets": counters.packets,
+        "flows": counters.flows,
+        "video_flows": counters.video_flows,
+        "classified": counters.classified,
+        "partial": counters.partial,
+        "unknown": counters.unknown,
+        "non_video_flows": counters.non_video_flows,
+        "parse_failures": counters.parse_failures,
+        "incomplete": counters.incomplete,
+        "evicted": counters.evicted,
+    })
+
+
+def _by_provider_device(data: dict[Provider, dict[str, object]]
+                        ) -> dict[str, dict[str, object]]:
+    return {provider.value: dict(per_device)
+            for provider, per_device in data.items()}
+
+
+def rollup_payload(cube: "RollupCube",
+                   query: str | None = None) -> dict[str, object]:
+    """The §5.2 query surface over a rollup cube.
+
+    With ``query=None`` every section is present; otherwise only the
+    named one — same numbers either way, so a consumer can start broad
+    and narrow without re-deriving anything.
+    """
+    if query is not None and query not in ROLLUP_QUERIES:
+        raise ValueError(
+            f"unknown rollup query {query!r}; expected one of "
+            f"{ROLLUP_QUERIES}")
+    sections: dict[str, object] = {}
+
+    def want(name: str) -> bool:
+        return query is None or query == name
+
+    if want("watch_time"):
+        sections["watch_time"] = _by_provider_device(
+            rollup_queries.watch_time_by_device(cube))
+    if want("bandwidth"):
+        sections["bandwidth"] = _by_provider_device(
+            rollup_queries.bandwidth_by_device(cube))
+    if want("mobile_share"):
+        sections["mobile_share"] = {
+            provider.value: rollup_queries.mobile_share(cube, provider)
+            for provider in Provider}
+    if want("hourly"):
+        sections["hourly_usage_gb"] = _by_provider_device(
+            rollup_queries.hourly_usage_gb(cube))
+    if want("excluded_share"):
+        sections["excluded_share"] = \
+            rollup_queries.excluded_share(cube)
+    if want("sessions"):
+        sections["distinct_sessions"] = \
+            rollup_queries.distinct_sessions(cube)
+    if want("watch_hours"):
+        sections["total_watch_hours"] = \
+            rollup_queries.total_watch_hours(cube)
+    if want("classified_share"):
+        sections["classified_share"] = \
+            rollup_queries.classified_share(cube)
+    return envelope("rollup", {
+        "total_flows": cube.total_flows,
+        "cells": len(cube),
+        **sections,
+    })
+
+
+def drift_payload(monitor: "ConceptDriftMonitor | None"
+                  ) -> dict[str, object]:
+    """Drift status; truthful about absence — a runtime without a
+    monitor reports ``monitor_attached: false`` and no scenarios, it
+    does not fake an all-clear."""
+    if monitor is None:
+        return envelope("drift", {"monitor_attached": False,
+                                  "scenarios": []})
+    scenarios = []
+    for report in monitor.reports():
+        scenarios.append({
+            "provider": report.provider.value,
+            "transport": report.transport.value,
+            "observed_flows": report.observed_flows,
+            "rolling_confidence": report.rolling_confidence,
+            "reference_confidence": report.reference_confidence,
+            "rolling_classified_share":
+                report.rolling_classified_share,
+            "reference_classified_share":
+                report.reference_classified_share,
+            "confidence_drop": report.confidence_drop,
+            # The detector's actual alarm state (see driftwatch.report:
+            # gating applies only to ``drifting``).
+            "page_hinkley_alarm": report.page_hinkley_alarm,
+            "drifting": report.drifting,
+        })
+    return envelope("drift", {"monitor_attached": True,
+                              "scenarios": scenarios})
+
+
+def status_payload(*, source: str, running: bool, draining: bool,
+                   consumed: int, frames: int, skipped: int,
+                   uptime_seconds: float, num_workers: int,
+                   checkpoint_dir: str | None,
+                   last_checkpoint_age: float | None,
+                   events_emitted: int | None) -> dict[str, object]:
+    return envelope("status", {
+        "source": source,
+        "running": running,
+        "draining": draining,
+        "consumed": consumed,
+        "frames": frames,
+        "skipped": skipped,
+        "uptime_seconds": uptime_seconds,
+        "num_workers": num_workers,
+        "checkpoint_dir": checkpoint_dir,
+        "last_checkpoint_age_seconds": last_checkpoint_age,
+        "events_emitted": events_emitted,
+    })

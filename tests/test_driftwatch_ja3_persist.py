@@ -95,6 +95,32 @@ class TestConceptDriftMonitor:
         assert not monitor.report(Provider.YOUTUBE,
                                   Transport.QUIC).drifting
 
+    def test_report_alarm_is_raw_detector_state(self):
+        # The min_observations gate applies to the retraining verdict
+        # only: an alarmed-but-young scenario must still report
+        # page_hinkley_alarm=True, or the operator cannot reconcile
+        # the report with the on_alarm transition that already fired.
+        fired = []
+        monitor = ConceptDriftMonitor(
+            min_observations=50,
+            on_alarm=lambda p, t: fired.append((p, t)))
+        monitor.calibrate(Provider.YOUTUBE, Transport.QUIC,
+                          [_prediction(0.93) for _ in range(100)])
+        # 10 healthy flows establish the running mean, then the
+        # confidence collapses: the detector alarms well before the
+        # 50-observation retraining gate opens.
+        for _ in range(10):
+            monitor.observe(Provider.YOUTUBE, Transport.QUIC,
+                            _prediction(0.93))
+        for _ in range(30):
+            monitor.observe(Provider.YOUTUBE, Transport.QUIC,
+                            _prediction(0.05))
+        report = monitor.report(Provider.YOUTUBE, Transport.QUIC)
+        assert fired == [(Provider.YOUTUBE, Transport.QUIC)]
+        assert report.observed_flows == 40
+        assert report.page_hinkley_alarm
+        assert not report.drifting
+
     def test_reset_after_retraining(self):
         monitor = self._calibrated()
         for _ in range(100):

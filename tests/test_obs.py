@@ -25,7 +25,9 @@ from repro.ml import RandomForestClassifier
 from repro.net import Packet, PcapWriter
 from repro.obs import (
     COUNT_BUCKETS,
+    ComponentHealth,
     EventLog,
+    HealthReport,
     Histogram,
     MetricsRegistry,
     MetricsServer,
@@ -251,6 +253,25 @@ class TestEventLog:
             assert log.count == 1
         assert [e["event"] for e in read_events(path)] == ["a", "b"]
 
+    def test_emit_after_close_is_counted_noop(self, tmp_path):
+        # Shutdown races: a serving thread may emit after the owner
+        # closed the log. That must drop (and count), never raise.
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("before")
+        log.close()
+        log.emit("late", detail=1)
+        log.emit("later")
+        assert log.dropped == 2
+        assert log.count == 1
+        assert [e["event"] for e in read_events(path)] == ["before"]
+
+    def test_close_is_idempotent(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+        log.close()
+        log.close()
+        assert log.dropped == 0
+
 
 # --- HTTP endpoint ----------------------------------------------------------
 
@@ -296,9 +317,93 @@ class TestMetricsServer:
             status, body = _get(server.port, "/metrics")
             assert status == 500
             assert b"worker wedged" in body
+            assert server.last_collect_error == "worker wedged"
             status, body = _get(server.port, "/metrics")
             assert status == 200
             assert b"repro_ok 1" in body
+            assert server.last_collect_error is None
+
+    def test_health_callback_drives_healthz(self):
+        state = {"ok": True}
+
+        def health():
+            return HealthReport((
+                ComponentHealth("ingest", state["ok"],
+                                "" if state["ok"] else "thread died"),
+                ComponentHealth("workers", True)))
+
+        registry = MetricsRegistry()
+        with MetricsServer(lambda: registry, port=0,
+                           health=health) as server:
+            status, body = _get(server.port, "/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+            state["ok"] = False
+            status, body = _get(server.port, "/healthz")
+            assert status == 503
+            payload = json.loads(body)
+            assert payload["status"] == "unhealthy"
+            failing = [c for c in payload["components"]
+                       if not c["healthy"]]
+            assert [c["component"] for c in failing] == ["ingest"]
+            assert failing[0]["detail"] == "thread died"
+
+    def test_crashing_health_callback_is_503_not_crash(self):
+        def health():
+            raise RuntimeError("probe exploded")
+
+        registry = MetricsRegistry()
+        with MetricsServer(lambda: registry, port=0,
+                           health=health) as server:
+            status, body = _get(server.port, "/healthz")
+            assert status == 503
+            assert b"probe exploded" in body
+
+    def test_mounts_dispatch_by_longest_prefix(self):
+        calls = []
+
+        def api(method, path, query, body):
+            calls.append((method, path, query, body))
+            return 200, b"api", "text/plain"
+
+        def api_sub(method, path, query, body):
+            return 200, b"sub", "text/plain"
+
+        def boom(method, path, query, body):
+            raise RuntimeError("handler exploded")
+
+        registry = MetricsRegistry()
+        with MetricsServer(lambda: registry, port=0) as server:
+            server.mount("/api", api)
+            server.mount("/api/deep", api_sub)
+            server.mount("/boom", boom)
+            assert _get(server.port, "/api/x?q=1")[1] == b"api"
+            assert calls[0][0] == "GET"
+            assert calls[0][2] == {"q": ["1"]}
+            assert _get(server.port, "/api/deep/y")[1] == b"sub"
+            # built-in paths always win over mounts
+            assert _get(server.port, "/metrics")[0] == 200
+            status, body = _get(server.port, "/boom")
+            assert status == 500
+            assert b"handler exploded" in body
+            # POST bodies reach the handler
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{server.port}/api/z",
+                data=b"payload", method="POST")
+            with urllib.request.urlopen(request, timeout=10):
+                pass
+            assert calls[-1][0] == "POST"
+            assert calls[-1][3] == b"payload"
+
+    def test_bad_mount_prefix_rejected(self):
+        server = MetricsServer(MetricsRegistry, port=0)
+        try:
+            with pytest.raises(ValueError):
+                server.mount("api", lambda *a: (200, b"", "t"))
+            with pytest.raises(ValueError):
+                server.mount("/api/", lambda *a: (200, b"", "t"))
+        finally:
+            server.close()
 
 
 # --- pipeline instrumentation ----------------------------------------------

@@ -1,0 +1,623 @@
+"""Service plane suite: live sources, the serve daemon, and its API.
+
+The two load-bearing contracts:
+
+* **Oracle equivalence** — a daemon tailing the golden capture must
+  serve §5.2 report bytes identical to the batch ``report`` path over
+  the same frames (after an explicit ``/api/flush`` drain), and an
+  interrupted run resumed from its final checkpoint must end up
+  indistinguishable from a never-interrupted one.
+* **Operational truthfulness** — ``/healthz``/``/readyz`` must flip
+  to 503 naming the failing component when ingest dies or workers go
+  away, never report an all-clear they cannot back.
+"""
+
+import json
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError, ParseError
+from repro.pipeline import (
+    RealtimePipeline,
+    ingest_pcap,
+    load_bank,
+    save_bank,
+)
+from repro.pipeline.ingest import load_ingest_position
+from repro.reporting import render_rollup_report
+from repro.service import (
+    AFPacketSource,
+    MAX_FRAME_BYTES,
+    PcapTailSource,
+    SERVICE_POSITION_FILE,
+    STREAM_FRAME_HEADER,
+    ServicePosition,
+    SocketStreamSource,
+    build_daemon,
+    load_service_position,
+    open_source,
+)
+from repro.service.sources import FrameSource
+
+from golden.make_golden_trace import train_bank
+
+GOLDEN = Path(__file__).parent / "golden" / "golden.pcap"
+
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+def _split_records(pcap: bytes) -> tuple[bytes, list[bytes]]:
+    """The golden capture's global header and each full record's
+    bytes, so tests can grow a tailed file record by record."""
+    header, records = pcap[:24], []
+    offset = 24
+    while offset < len(pcap):
+        _, _, incl_len, _ = _RECORD_HEADER.unpack_from(pcap, offset)
+        end = offset + 16 + incl_len
+        records.append(pcap[offset:end])
+        offset = end
+    return header, records
+
+
+# --- fixtures ---------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def bank_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("service-bank") / "bank"
+    save_bank(train_bank(), path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def golden_parts():
+    return _split_records(GOLDEN.read_bytes())
+
+
+@pytest.fixture(scope="module")
+def oracle(bank_dir):
+    """The uninterrupted batch run every live test compares against."""
+    pipeline = RealtimePipeline(load_bank(bank_dir), batch_size=8,
+                                retention="rollup")
+    result = ingest_pcap(pipeline, GOLDEN)
+    pipeline.flush()
+    return pipeline, result
+
+
+def _get(port: int, path: str) -> tuple[int, bytes]:
+    try:
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}{path}", timeout=10) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def _post(port: int, path: str, body: bytes = b"") -> tuple[int, bytes]:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=body, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=10) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def _wait_frames(port: int, target: int, timeout: float = 30.0) -> dict:
+    """Poll /api/status until the daemon has ingested ``target``
+    source records (frames + skipped)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = json.loads(_get(port, "/api/status")[1])
+        if status["frames"] + status["skipped"] >= target:
+            return status
+        time.sleep(0.05)
+    raise AssertionError(
+        f"daemon never reached {target} records: {status}")
+
+
+# --- source spec parsing ----------------------------------------------------
+
+
+class TestOpenSource:
+    def test_tail_spec(self):
+        source = open_source("tail:/tmp/cap.pcap")
+        assert isinstance(source, PcapTailSource)
+        assert source.path == Path("/tmp/cap.pcap")
+
+    def test_bare_path_means_tail(self, tmp_path):
+        source = open_source(str(tmp_path / "cap.pcap"))
+        assert isinstance(source, PcapTailSource)
+
+    def test_socket_spec(self):
+        source = open_source("socket:0.0.0.0:9999")
+        assert isinstance(source, SocketStreamSource)
+        assert source.host == "0.0.0.0"
+        assert source.port == 9999
+
+    def test_afpacket_spec(self):
+        source = open_source("afpacket:eth0")
+        assert isinstance(source, AFPacketSource)
+        assert source.interface == "eth0"
+
+    @pytest.mark.parametrize("spec", ["tail:", "afpacket:",
+                                      "socket:9999", "socket:host:x"])
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ConfigError):
+            open_source(spec)
+
+
+# --- pcap tail --------------------------------------------------------------
+
+
+class TestPcapTailSource:
+    def test_follows_appends(self, tmp_path, golden_parts):
+        header, records = golden_parts
+        live = tmp_path / "live.pcap"
+        live.write_bytes(header + b"".join(records[:3]))
+        with PcapTailSource(live) as source:
+            first = source.poll(max_frames=10, timeout=0.5)
+            assert len(first) == 3
+            with live.open("ab") as fh:
+                fh.write(b"".join(records[3:5]))
+            second = source.poll(max_frames=10, timeout=0.5)
+            assert len(second) == 2
+            assert source.consumed == 5
+        # Frame bytes and timestamps come straight from the records.
+        sec, usec, incl_len, _ = _RECORD_HEADER.unpack_from(records[0])
+        assert first[0][0] == records[0][16:16 + incl_len]
+        assert first[0][1] == pytest.approx(sec + usec / 1e6)
+
+    def test_waits_for_file_to_appear(self, tmp_path, golden_parts):
+        header, records = golden_parts
+        live = tmp_path / "late.pcap"
+        with PcapTailSource(live) as source:
+            assert source.poll(max_frames=10, timeout=0.05) == []
+            live.write_bytes(header + records[0])
+            assert len(source.poll(max_frames=10, timeout=0.5)) == 1
+
+    def test_partial_record_reread_when_completed(self, tmp_path,
+                                                  golden_parts):
+        header, records = golden_parts
+        live = tmp_path / "partial.pcap"
+        # Record header visible, body still in the writer's buffer.
+        live.write_bytes(header + records[0][:20])
+        with PcapTailSource(live) as source:
+            assert source.poll(max_frames=10, timeout=0.05) == []
+            with live.open("ab") as fh:
+                fh.write(records[0][20:])
+            frames = source.poll(max_frames=10, timeout=0.5)
+            assert len(frames) == 1
+
+    def test_rotation_drains_old_then_follows_new(self, tmp_path,
+                                                  golden_parts):
+        header, records = golden_parts
+        live = tmp_path / "rotating.pcap"
+        live.write_bytes(header + b"".join(records[:2]))
+        with PcapTailSource(live) as source:
+            assert len(source.poll(max_frames=10, timeout=0.5)) == 2
+            # logrotate-style: move the old file aside, new inode at
+            # the path.
+            live.rename(tmp_path / "rotating.pcap.1")
+            fresh = tmp_path / "fresh.pcap"
+            fresh.write_bytes(header + b"".join(records[2:5]))
+            fresh.rename(live)
+            assert len(source.poll(max_frames=10, timeout=1.0)) == 3
+            assert source.consumed == 5
+
+    def test_truncation_rereads_from_top(self, tmp_path, golden_parts):
+        header, records = golden_parts
+        live = tmp_path / "truncated.pcap"
+        live.write_bytes(header + b"".join(records[:4]))
+        with PcapTailSource(live) as source:
+            assert len(source.poll(max_frames=10, timeout=0.5)) == 4
+            # A restarted capture truncates in place (same inode).
+            live.write_bytes(header + records[0])
+            assert len(source.poll(max_frames=10, timeout=1.0)) == 1
+
+    def test_skip_fast_forwards(self, tmp_path, golden_parts):
+        header, records = golden_parts
+        live = tmp_path / "resume.pcap"
+        live.write_bytes(header + b"".join(records[:5]))
+        with PcapTailSource(live) as source:
+            source.skip(3)
+            assert source.consumed == 3
+            frames = source.poll(max_frames=10, timeout=0.5)
+            assert len(frames) == 2
+            assert frames[0][0] == records[3][16:]
+
+    def test_skip_past_eof_rejected(self, tmp_path, golden_parts):
+        header, records = golden_parts
+        live = tmp_path / "short.pcap"
+        live.write_bytes(header + records[0])
+        with PcapTailSource(live) as source:
+            with pytest.raises(ConfigError, match="cannot resume"):
+                source.skip(5)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.pcap"
+        bogus.write_bytes(b"\x00" * 24)
+        with pytest.raises(ParseError, match="magic"):
+            PcapTailSource(bogus).open()
+
+    def test_corrupt_length_rejected(self, tmp_path, golden_parts):
+        header, _ = golden_parts
+        live = tmp_path / "corrupt.pcap"
+        live.write_bytes(header + _RECORD_HEADER.pack(
+            1, 0, MAX_FRAME_BYTES + 1, MAX_FRAME_BYTES + 1))
+        with PcapTailSource(live) as source:
+            with pytest.raises(ParseError, match="corrupt"):
+                source.poll(max_frames=1, timeout=0.2)
+
+
+# --- socket stream ----------------------------------------------------------
+
+
+def _stream_frame(data: bytes, timestamp: float) -> bytes:
+    return STREAM_FRAME_HEADER.pack(timestamp, len(data)) + data
+
+
+class TestSocketStreamSource:
+    def test_receives_length_prefixed_frames(self):
+        with SocketStreamSource(port=0) as source:
+            with socket.create_connection(("127.0.0.1",
+                                           source.port)) as peer:
+                peer.sendall(_stream_frame(b"\x01\x02\x03", 10.5)
+                             + _stream_frame(b"\x04", 11.0))
+                frames = source.poll(max_frames=10, timeout=2.0)
+            assert frames == [(b"\x01\x02\x03", 10.5), (b"\x04", 11.0)]
+            assert source.consumed == 2
+
+    def test_survives_peer_disconnect(self):
+        with SocketStreamSource(port=0) as source:
+            with socket.create_connection(("127.0.0.1",
+                                           source.port)) as peer:
+                peer.sendall(_stream_frame(b"a", 1.0))
+                assert len(source.poll(max_frames=10, timeout=2.0)) == 1
+            # first forwarder gone; a second one takes over
+            source.poll(max_frames=10, timeout=0.1)
+            with socket.create_connection(("127.0.0.1",
+                                           source.port)) as peer:
+                peer.sendall(_stream_frame(b"b", 2.0))
+                frames = source.poll(max_frames=10, timeout=2.0)
+            assert frames == [(b"b", 2.0)]
+
+    def test_oversize_length_drops_peer(self):
+        with SocketStreamSource(port=0) as source:
+            with socket.create_connection(("127.0.0.1",
+                                           source.port)) as peer:
+                peer.sendall(STREAM_FRAME_HEADER.pack(
+                    1.0, MAX_FRAME_BYTES + 1))
+                assert source.poll(max_frames=10, timeout=0.3) == []
+                # protocol violation: the server hung up on us
+                peer.settimeout(5.0)
+                try:
+                    assert peer.recv(1) == b""
+                except OSError:
+                    pass  # RST is also a hangup
+
+
+# --- positions --------------------------------------------------------------
+
+
+class TestServicePosition:
+    def _write(self, tmp_path, **overrides):
+        data = {"format_version": 1, "consumed": 7, "frames": 5,
+                "skipped": 2, "clock": 12.5, "next_evict": 20.0}
+        data.update(overrides)
+        (tmp_path / SERVICE_POSITION_FILE).write_text(json.dumps(data))
+
+    def test_roundtrip(self, tmp_path):
+        position = ServicePosition(consumed=7, frames=5, skipped=2,
+                                   clock=12.5, next_evict=20.0)
+        (tmp_path / SERVICE_POSITION_FILE).write_text(position.to_json())
+        loaded = load_service_position(tmp_path)
+        assert (loaded.consumed, loaded.frames, loaded.skipped) == \
+            (7, 5, 2)
+        assert (loaded.clock, loaded.next_evict) == (12.5, 20.0)
+
+    def test_absent_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="no service position"):
+            load_service_position(tmp_path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        self._write(tmp_path, format_version=99)
+        with pytest.raises(ConfigError, match="unsupported"):
+            load_service_position(tmp_path)
+
+    def test_null_clocks_pass(self, tmp_path):
+        self._write(tmp_path, clock=None, next_evict=None)
+        loaded = load_service_position(tmp_path)
+        assert loaded.clock is None and loaded.next_evict is None
+
+    @pytest.mark.parametrize("bad", ["12.5", True, [1.0]])
+    def test_non_numeric_clock_rejected(self, tmp_path, bad):
+        self._write(tmp_path, clock=bad)
+        with pytest.raises(ConfigError, match="number or null"):
+            load_service_position(tmp_path)
+
+
+class TestIngestPositionCoercion:
+    """Satellite: ``load_ingest_position`` must reject non-numeric
+    clock fields at load time instead of letting them blow up frames
+    later inside the tick arithmetic."""
+
+    def _write(self, tmp_path, **overrides):
+        data = {"format_version": 1, "consumed": 3, "frames": 3,
+                "skipped": 0, "clock": 5.0, "next_evict": None,
+                "next_checkpoint": 300.0}
+        data.update(overrides)
+        (tmp_path / "ingest.json").write_text(json.dumps(data))
+
+    def test_numeric_and_null_pass(self, tmp_path):
+        self._write(tmp_path, clock=5, next_evict=None)
+        position = load_ingest_position(tmp_path)
+        assert position.clock == 5.0
+        assert isinstance(position.clock, float)
+        assert position.next_evict is None
+        assert position.next_checkpoint == 300.0
+
+    @pytest.mark.parametrize("field", ["clock", "next_evict",
+                                       "next_checkpoint"])
+    @pytest.mark.parametrize("bad", ["12.5", True, {"t": 1}])
+    def test_non_numeric_rejected(self, tmp_path, field, bad):
+        self._write(tmp_path, **{field: bad})
+        with pytest.raises(ConfigError, match="number or null"):
+            load_ingest_position(tmp_path)
+
+
+# --- daemon -----------------------------------------------------------------
+
+
+class _ExplodingSource(FrameSource):
+    """Feeds one unparseable frame, then dies — the supervisor must
+    surface that as unhealthy ingest, not a silent thread death."""
+
+    def __init__(self):
+        super().__init__()
+        self.polls = 0
+
+    def poll(self, max_frames=256, timeout=0.2):
+        self.polls += 1
+        if self.polls == 1:
+            return [(b"\x00" * 20, 1.0)]
+        raise RuntimeError("feed exploded")
+
+    def describe(self):
+        return "exploding:"
+
+
+class TestServeDaemon:
+    def test_live_report_matches_batch_oracle(self, bank_dir, oracle,
+                                              tmp_path, golden_parts):
+        header, records = golden_parts
+        oracle_pipeline, oracle_result = oracle
+        live = tmp_path / "live.pcap"
+        # Start with a prefix so the daemon exercises the tail path,
+        # then grow the file under it.
+        live.write_bytes(header + b"".join(records[:10]))
+        daemon = build_daemon(bank_dir, open_source(f"tail:{live}"),
+                              num_workers=2, retention="rollup",
+                              batch_size=8)
+        with daemon:
+            port = daemon.server.port
+            _wait_frames(port, 10)
+            with live.open("ab") as fh:
+                fh.write(b"".join(records[10:]))
+            status = _wait_frames(port, len(records))
+            assert status["frames"] == oracle_result.frames
+            assert status["skipped"] == oracle_result.skipped
+            assert _get(port, "/readyz")[0] == 200
+            assert _get(port, "/healthz")[0] == 200
+            # the explicit operator drain that makes the live cube
+            # comparable to the batch run
+            _post(port, "/api/flush")
+            counters = json.loads(_get(port, "/api/counters")[1])
+            expected = asdict(oracle_pipeline.counters)
+            assert {k: counters[k] for k in expected} == expected
+            status_code, body = _get(port, "/api/report?limit=6")
+            assert status_code == 200
+            assert body.decode() == render_rollup_report(
+                oracle_pipeline.rollup, limit=6)
+            rollup = json.loads(_get(port, "/api/rollup")[1])
+            assert rollup["total_flows"] == \
+                oracle_pipeline.rollup.total_flows
+            drift = json.loads(_get(port, "/api/drift")[1])
+            assert drift["monitor_attached"] is False
+            assert _get(port, "/api/rollup?query=bogus")[0] == 400
+            assert _get(port, "/api/nope")[0] == 404
+            assert _post(port, "/api/checkpoint")[0] == 409
+
+    def test_interrupted_resume_matches_uninterrupted(
+            self, bank_dir, oracle, tmp_path, golden_parts):
+        header, records = golden_parts
+        oracle_pipeline, oracle_result = oracle
+        live = tmp_path / "live.pcap"
+        ck = tmp_path / "ck"
+        half = len(records) // 2
+        live.write_bytes(header + b"".join(records[:half]))
+        # Run 1: ingest the first half, then drain gracefully — the
+        # final checkpoint carries pipeline state + source position.
+        daemon = build_daemon(bank_dir, open_source(f"tail:{live}"),
+                              num_workers=2, retention="rollup",
+                              batch_size=8, checkpoint_dir=ck,
+                              checkpoint_interval=3600.0)
+        with daemon:
+            port = daemon.server.port
+            _wait_frames(port, half)
+        position = load_service_position(ck)
+        assert position.consumed == half
+        # Run 2: resume, then the capture grows the second half.
+        daemon = build_daemon(bank_dir, open_source(f"tail:{live}"),
+                              num_workers=2, retention="rollup",
+                              batch_size=8, checkpoint_dir=ck,
+                              checkpoint_interval=3600.0, resume=True)
+        with daemon:
+            port = daemon.server.port
+            with live.open("ab") as fh:
+                fh.write(b"".join(records[half:]))
+            status = _wait_frames(port, len(records))
+            assert status["frames"] == oracle_result.frames
+            assert status["skipped"] == oracle_result.skipped
+            _post(port, "/api/flush")
+            report = _get(port, "/api/report?limit=6")[1]
+            assert report.decode() == render_rollup_report(
+                oracle_pipeline.rollup, limit=6)
+
+    def test_resume_on_empty_checkpoint_dir_is_cold_start(
+            self, bank_dir, tmp_path, golden_parts):
+        header, records = golden_parts
+        live = tmp_path / "live.pcap"
+        live.write_bytes(header + b"".join(records[:2]))
+        daemon = build_daemon(bank_dir, open_source(f"tail:{live}"),
+                              num_workers=2, retention="rollup",
+                              checkpoint_dir=tmp_path / "ck",
+                              checkpoint_interval=3600.0, resume=True)
+        with daemon:
+            _wait_frames(daemon.server.port, 2)
+
+    def test_resume_without_checkpoint_dir_rejected(self, bank_dir,
+                                                    tmp_path):
+        with pytest.raises(ConfigError, match="checkpoint directory"):
+            build_daemon(bank_dir,
+                         open_source(str(tmp_path / "x.pcap")),
+                         resume=True)
+
+    def test_ingest_failure_flips_health_to_503(self, bank_dir):
+        daemon = build_daemon(bank_dir, _ExplodingSource(),
+                              num_workers=2, retention="rollup")
+        try:
+            daemon.start()
+            port = daemon.server.port
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline:
+                status_code, body = _get(port, "/healthz")
+                if status_code == 503:
+                    break
+                time.sleep(0.05)
+            assert status_code == 503
+            payload = json.loads(body)
+            assert payload["status"] == "unhealthy"
+            failing = [c["component"] for c in payload["components"]
+                       if not c["healthy"]]
+            assert "ingest" in failing
+            assert "feed exploded" in body.decode()
+            ready, reason = daemon.ready()
+            assert not ready
+        finally:
+            daemon.close()
+
+    def test_dead_worker_flips_health_to_503(self, bank_dir, tmp_path,
+                                             golden_parts):
+        header, records = golden_parts
+        live = tmp_path / "live.pcap"
+        live.write_bytes(header + b"".join(records[:4]))
+        daemon = build_daemon(bank_dir, open_source(f"tail:{live}"),
+                              num_workers=2, retention="rollup")
+        try:
+            daemon.start()
+            port = daemon.server.port
+            _wait_frames(port, 4)
+            victim = daemon._pipeline._workers[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline:
+                status_code, body = _get(port, "/healthz")
+                if status_code == 503:
+                    break
+                time.sleep(0.05)
+            assert status_code == 503
+            assert b"workers dead" in body
+            assert _get(port, "/readyz")[0] == 503
+        finally:
+            daemon._pipeline.terminate()
+            daemon._ingest_error = "worker killed by test"
+            daemon.close()
+
+    def test_checkpoint_api_409_without_checkpoint_dir(self, bank_dir,
+                                                       tmp_path,
+                                                       golden_parts):
+        header, records = golden_parts
+        live = tmp_path / "live.pcap"
+        live.write_bytes(header + records[0])
+        daemon = build_daemon(bank_dir, open_source(f"tail:{live}"),
+                              num_workers=2, retention="rollup")
+        with daemon:
+            port = daemon.server.port
+            status_code, body = _post(port, "/api/checkpoint")
+            assert status_code == 409
+            assert b"disabled" in body
+            # reload validation errors are 400s
+            assert _post(port, "/api/reload", b"not json")[0] == 400
+            assert _post(port, "/api/reload", b"{}")[0] == 400
+
+
+# --- serve CLI lifecycle ----------------------------------------------------
+
+
+class TestServeCommand:
+    def test_sigterm_drains_with_final_checkpoint(self, bank_dir,
+                                                  tmp_path,
+                                                  golden_parts):
+        header, records = golden_parts
+        live = tmp_path / "live.pcap"
+        ck = tmp_path / "ck"
+        live.write_bytes(header + b"".join(records))
+        env = dict(os.environ)
+        src = Path(__file__).parent.parent / "src"
+        env["PYTHONPATH"] = f"{src}{os.pathsep}" \
+            f"{env.get('PYTHONPATH', '')}"
+        port_file = tmp_path / "events.jsonl"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--bank", str(bank_dir), "--source", f"tail:{live}",
+             "--port", "0", "--workers", "2",
+             "--checkpoint-dir", str(ck),
+             "--event-log", str(port_file)],
+            env=env, stderr=subprocess.PIPE, text=True)
+        try:
+            # The bound address is announced on stderr once the API
+            # (and hence the daemon) is constructed.
+            line = process.stderr.readline()
+            assert "http://127.0.0.1:" in line, line
+            port = int(line.split("http://127.0.0.1:")[1].split()[0])
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                try:
+                    if _get(port, "/readyz")[0] == 200:
+                        status = json.loads(
+                            _get(port, "/api/status")[1])
+                        if status["frames"] + status["skipped"] >= \
+                                len(records):
+                            break
+                except OSError:
+                    pass
+                time.sleep(0.1)
+            else:
+                raise AssertionError("daemon never drained the capture")
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=60) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+        position = load_service_position(ck)
+        assert position.consumed == len(records)
+        events = [json.loads(line) for line in
+                  port_file.read_text().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert "service_start" in kinds
+        assert "checkpoint" in kinds
+        assert kinds[-1] == "service_stop"
+        assert events[-1]["clean"] is True
